@@ -1,0 +1,228 @@
+//! Waveform anomaly detection — the Real-Time Monitoring workflow (§1.1,
+//! §2.3): "we have a workflow that compares the incoming waveforms to
+//! reference ones, raising an alert when we identify significant
+//! differences between the two".
+//!
+//! A window of waveform samples is summarized into [`WaveFeatures`]
+//! (time-domain moments + spectral band energies via FFT); the detector
+//! holds per-patient reference feature statistics and scores an incoming
+//! window by its worst feature z-score.
+
+use crate::fft::band_energy;
+use crate::stats::{mean, stddev, zscore};
+use bigdawg_common::{BigDawgError, Result};
+use std::collections::HashMap;
+
+/// Summary features of one waveform window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveFeatures {
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Spectral energy in the low band (bins 1..8 of the padded FFT).
+    pub low_band: f64,
+    /// Spectral energy in the mid band (bins 8..32).
+    pub mid_band: f64,
+}
+
+impl WaveFeatures {
+    /// Extract features from a window of samples.
+    pub fn extract(window: &[f64]) -> Result<WaveFeatures> {
+        if window.len() < 4 {
+            return Err(BigDawgError::Execution(format!(
+                "window too short for feature extraction: {}",
+                window.len()
+            )));
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in window {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        Ok(WaveFeatures {
+            mean: mean(window),
+            std: stddev(window),
+            min: lo,
+            max: hi,
+            low_band: band_energy(window, 1, 8),
+            mid_band: band_energy(window, 8, 32),
+        })
+    }
+
+    fn as_vec(&self) -> [f64; 6] {
+        [
+            self.mean,
+            self.std,
+            self.min,
+            self.max,
+            self.low_band,
+            self.mid_band,
+        ]
+    }
+}
+
+/// Per-patient reference statistics (mean/std of each feature over the
+/// reference windows).
+#[derive(Debug, Clone)]
+struct Reference {
+    means: [f64; 6],
+    stds: [f64; 6],
+    windows: usize,
+}
+
+/// The detector: learn references from normal waveform windows, score live
+/// windows, alert past a z-score threshold.
+#[derive(Debug, Clone)]
+pub struct AnomalyDetector {
+    refs: HashMap<u64, Reference>,
+    /// Alert when the worst |z| exceeds this.
+    pub threshold: f64,
+}
+
+impl AnomalyDetector {
+    pub fn new(threshold: f64) -> Self {
+        AnomalyDetector {
+            refs: HashMap::new(),
+            threshold,
+        }
+    }
+
+    /// Learn a patient's reference from windows of known-normal waveform.
+    pub fn learn_reference(&mut self, patient: u64, windows: &[&[f64]]) -> Result<()> {
+        if windows.len() < 2 {
+            return Err(BigDawgError::Execution(
+                "need at least two reference windows".into(),
+            ));
+        }
+        let feats: Vec<[f64; 6]> = windows
+            .iter()
+            .map(|w| WaveFeatures::extract(w).map(|f| f.as_vec()))
+            .collect::<Result<_>>()?;
+        let mut means = [0.0; 6];
+        let mut stds = [0.0; 6];
+        for f in 0..6 {
+            let col: Vec<f64> = feats.iter().map(|v| v[f]).collect();
+            means[f] = mean(&col);
+            // floor the std so a perfectly flat reference feature doesn't
+            // make every deviation infinite
+            stds[f] = stddev(&col).max(1e-6 * (means[f].abs() + 1.0));
+        }
+        self.refs.insert(
+            patient,
+            Reference {
+                means,
+                stds,
+                windows: windows.len(),
+            },
+        );
+        Ok(())
+    }
+
+    pub fn has_reference(&self, patient: u64) -> bool {
+        self.refs.contains_key(&patient)
+    }
+
+    /// Number of reference windows learned for a patient.
+    pub fn reference_windows(&self, patient: u64) -> usize {
+        self.refs.get(&patient).map_or(0, |r| r.windows)
+    }
+
+    /// Score a live window: the worst absolute feature z-score against the
+    /// patient's reference.
+    pub fn score(&self, patient: u64, window: &[f64]) -> Result<f64> {
+        let r = self
+            .refs
+            .get(&patient)
+            .ok_or_else(|| BigDawgError::NotFound(format!("reference for patient {patient}")))?;
+        let f = WaveFeatures::extract(window)?.as_vec();
+        let worst = f
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| zscore(x, r.means[i], r.stds[i]).abs())
+            .fold(0.0f64, f64::max);
+        Ok(worst)
+    }
+
+    /// Score and compare against the threshold.
+    pub fn is_anomalous(&self, patient: u64, window: &[f64]) -> Result<bool> {
+        Ok(self.score(patient, window)? > self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic "normal sinus rhythm": a steady sine + small phase jitter.
+    fn normal_window(phase: f64) -> Vec<f64> {
+        (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * 4.0 * i as f64 / 128.0 + phase).sin())
+            .collect()
+    }
+
+    /// Synthetic arrhythmia: amplitude spike and frequency doubling.
+    fn arrhythmia_window() -> Vec<f64> {
+        (0..128)
+            .map(|i| 3.0 * (2.0 * std::f64::consts::PI * 11.0 * i as f64 / 128.0).sin())
+            .collect()
+    }
+
+    fn trained() -> AnomalyDetector {
+        let mut det = AnomalyDetector::new(6.0);
+        let refs: Vec<Vec<f64>> = (0..8).map(|i| normal_window(i as f64 * 0.1)).collect();
+        let views: Vec<&[f64]> = refs.iter().map(Vec::as_slice).collect();
+        det.learn_reference(7, &views).unwrap();
+        det
+    }
+
+    #[test]
+    fn normal_scores_low_anomaly_scores_high() {
+        let det = trained();
+        let normal = det.score(7, &normal_window(0.35)).unwrap();
+        let abnormal = det.score(7, &arrhythmia_window()).unwrap();
+        assert!(
+            abnormal > 10.0 * normal.max(0.1),
+            "normal={normal}, abnormal={abnormal}"
+        );
+        assert!(!det.is_anomalous(7, &normal_window(0.22)).unwrap());
+        assert!(det.is_anomalous(7, &arrhythmia_window()).unwrap());
+    }
+
+    #[test]
+    fn unknown_patient_errors() {
+        let det = trained();
+        assert!(det.score(99, &normal_window(0.0)).is_err());
+        assert!(det.has_reference(7));
+        assert!(!det.has_reference(99));
+        assert_eq!(det.reference_windows(7), 8);
+    }
+
+    #[test]
+    fn feature_extraction_sanity() {
+        let f = WaveFeatures::extract(&normal_window(0.0)).unwrap();
+        assert!(f.mean.abs() < 0.1);
+        assert!(f.max <= 1.0 + 1e-9 && f.min >= -1.0 - 1e-9);
+        assert!(f.low_band > f.mid_band, "4 Hz energy sits in the low band");
+        assert!(WaveFeatures::extract(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn reference_needs_multiple_windows() {
+        let mut det = AnomalyDetector::new(4.0);
+        let w = normal_window(0.0);
+        assert!(det.learn_reference(1, &[&w]).is_err());
+    }
+
+    #[test]
+    fn flat_reference_does_not_blow_up() {
+        let mut det = AnomalyDetector::new(4.0);
+        let flat = vec![1.0; 64];
+        let flat2 = vec![1.0; 64];
+        det.learn_reference(1, &[&flat, &flat2]).unwrap();
+        // identical window scores ~0 despite zero reference variance
+        assert!(det.score(1, &vec![1.0; 64]).unwrap() < 1.0);
+        // different window still flags
+        assert!(det.score(1, &arrhythmia_window()).unwrap() > 4.0);
+    }
+}

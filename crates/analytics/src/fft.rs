@@ -1,0 +1,212 @@
+//! Iterative radix-2 FFT.
+//!
+//! The demo's marquee complex-analytics example: "compute the FFT of a
+//! patient's waveform data and then compare it to 'normal'" (§1.1).
+
+use bigdawg_common::{BigDawgError, Result};
+
+/// A complex number (no external deps).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+/// In-place iterative Cooley–Tukey. Length must be a power of two.
+fn fft_in_place(buf: &mut [Complex], invert: bool) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if invert { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2].mul(w);
+                buf[start + k] = u.add(v);
+                buf[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if invert {
+        for c in buf.iter_mut() {
+            c.re /= n as f64;
+            c.im /= n as f64;
+        }
+    }
+}
+
+fn check_pow2(n: usize) -> Result<()> {
+    if n == 0 || !n.is_power_of_two() {
+        return Err(BigDawgError::Execution(format!(
+            "FFT length must be a power of two, got {n}"
+        )));
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal (zero-padded to the next power of two).
+/// Returns the complex spectrum of the padded length.
+pub fn fft(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len().max(1).next_power_of_two();
+    let mut buf: Vec<Complex> = signal
+        .iter()
+        .map(|&x| Complex::new(x, 0.0))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(n)
+        .collect();
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Inverse FFT; input length must be a power of two.
+pub fn ifft(spectrum: &[Complex]) -> Result<Vec<Complex>> {
+    check_pow2(spectrum.len())?;
+    let mut buf = spectrum.to_vec();
+    fft_in_place(&mut buf, true);
+    Ok(buf)
+}
+
+/// One-sided magnitude spectrum of a real signal: `n/2 + 1` bins.
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spec = fft(signal);
+    let n = spec.len();
+    spec.iter().take(n / 2 + 1).map(|c| c.abs()).collect()
+}
+
+/// Index of the dominant non-DC frequency bin and its magnitude.
+pub fn dominant_frequency(signal: &[f64]) -> Option<(usize, f64)> {
+    let mags = magnitude_spectrum(signal);
+    mags.iter()
+        .enumerate()
+        .skip(1) // skip DC
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, &m)| (i, m))
+}
+
+/// Total spectral energy within a bin band `[lo, hi)` — the feature the
+/// anomaly detector compares against reference waveforms.
+pub fn band_energy(signal: &[f64], lo: usize, hi: usize) -> f64 {
+    let mags = magnitude_spectrum(signal);
+    mags.iter()
+        .enumerate()
+        .filter(|(i, _)| *i >= lo && *i < hi)
+        .map(|(_, m)| m * m)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut signal = vec![0.0; 8];
+        signal[0] = 1.0;
+        let spec = fft(&signal);
+        for c in &spec {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sine_concentrates_at_its_bin() {
+        let n = 256;
+        let freq = 10.0;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / n as f64).sin())
+            .collect();
+        let (bin, mag) = dominant_frequency(&signal).unwrap();
+        assert_eq!(bin, 10);
+        assert!(mag > 100.0);
+    }
+
+    #[test]
+    fn roundtrip_fft_ifft() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+        let spec = fft(&signal);
+        let back = ifft(&spec).unwrap();
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((a - b.re).abs() < 1e-9);
+            assert!(b.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft(&signal);
+        let freq_energy: f64 = spec.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_pow2_padded() {
+        let spec = fft(&[1.0, 2.0, 3.0]); // padded to 4
+        assert_eq!(spec.len(), 4);
+        assert!(ifft(&[Complex::default(); 3]).is_err());
+    }
+
+    #[test]
+    fn band_energy_splits_spectrum() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / n as f64).sin())
+            .collect();
+        let low = band_energy(&signal, 1, 10);
+        let high = band_energy(&signal, 10, 64);
+        assert!(low > 100.0 * high.max(1e-9), "energy must sit in [1,10)");
+    }
+}

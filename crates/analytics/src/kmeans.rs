@@ -1,0 +1,210 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ style seeding).
+
+use bigdawg_common::{BigDawgError, Result};
+
+/// Clustering output.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// k centroids, each of dimension d.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input row.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    pub iterations: usize,
+}
+
+/// Deterministic splitmix64 — keeps the crate dependency-free while giving
+/// reproducible seeding.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Cluster row-major data (`n` rows × `d` columns) into `k` clusters.
+pub fn kmeans(data: &[f64], d: usize, k: usize, seed: u64, max_iters: usize) -> Result<KMeansResult> {
+    if d == 0 || data.len() % d != 0 {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "data length {} not divisible by dimension {d}",
+            data.len()
+        )));
+    }
+    let n = data.len() / d;
+    if k == 0 || k > n {
+        return Err(BigDawgError::Execution(format!(
+            "k={k} must be in 1..={n}"
+        )));
+    }
+    let row = |i: usize| &data[i * d..(i + 1) * d];
+    let mut rng = SplitMix(seed);
+
+    // k-means++ seeding
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(row((rng.next() % n as u64) as usize).to_vec());
+    let mut dists: Vec<f64> = (0..n).map(|i| sq_dist(row(i), &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // all points coincide with current centroids: pick any
+            (rng.next() % n as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut pick = n - 1;
+            for (i, &dd) in dists.iter().enumerate() {
+                target -= dd;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(row(next).to_vec());
+        for i in 0..n {
+            dists[i] = dists[i].min(sq_dist(row(i), centroids.last().expect("pushed")));
+        }
+    }
+
+    // Lloyd iterations
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iters.max(1) {
+        iterations = it + 1;
+        let mut changed = false;
+        for i in 0..n {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, cent)| (c, sq_dist(row(i), cent)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // recompute centroids
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignments[i]] += 1;
+            for (s, v) in sums[assignments[i]].iter_mut().zip(row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // empty cluster: reseed at the farthest point
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(row(a), &centroids[assignments[a]])
+                            .total_cmp(&sq_dist(row(b), &centroids[assignments[b]]))
+                    })
+                    .expect("n >= 1");
+                centroids[c] = row(far).to_vec();
+                continue;
+            }
+            for (j, s) in sums[c].iter().enumerate() {
+                centroids[c][j] = s / counts[c] as f64;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(row(i), &centroids[assignments[i]]))
+        .sum();
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-d blobs.
+    fn blobs() -> Vec<f64> {
+        let mut data = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..30 {
+                let jx = ((i * 7 + ci * 13) % 10) as f64 / 10.0 - 0.5;
+                let jy = ((i * 11 + ci * 17) % 10) as f64 / 10.0 - 0.5;
+                data.push(cx + jx);
+                data.push(cy + jy);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let r = kmeans(&blobs(), 2, 3, 42, 100).unwrap();
+        // each blob of 30 points must be a pure cluster
+        for blob in 0..3 {
+            let first = r.assignments[blob * 30];
+            assert!(
+                r.assignments[blob * 30..(blob + 1) * 30]
+                    .iter()
+                    .all(|&a| a == first),
+                "blob {blob} split across clusters"
+            );
+        }
+        // distinct clusters
+        let mut labels: Vec<usize> = (0..3).map(|b| r.assignments[b * 30]).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+        assert!(r.inertia < 60.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = kmeans(&blobs(), 2, 3, 7, 100).unwrap();
+        let b = kmeans(&blobs(), 2, 3, 7, 100).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let data = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0];
+        let r = kmeans(&data, 2, 3, 1, 50).unwrap();
+        assert!((r.inertia).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(kmeans(&[1.0, 2.0], 2, 0, 0, 10).is_err());
+        assert!(kmeans(&[1.0, 2.0], 2, 2, 0, 10).is_err()); // k > n
+        assert!(kmeans(&[1.0, 2.0, 3.0], 2, 1, 0, 10).is_err()); // bad shape
+    }
+
+    #[test]
+    fn identical_points() {
+        let data = vec![5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        let r = kmeans(&data, 2, 2, 3, 10).unwrap();
+        assert_eq!(r.inertia, 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Complex analytics — the §2.4 layer of the BigDAWG demo.
+//!
+//! "Increasingly analysts rely on predictive models … The vast majority are
+//! based on linear algebra and often use recursion": this crate implements
+//! the demo's Complex Analytics screen — linear regression, FFT, PCA
+//! (power iteration), k-means — plus the real-time waveform anomaly scoring
+//! that drives the monitoring screen (§2.3).
+//!
+//! Everything here runs on plain `f64` buffers and on the array engine's
+//! [`bigdawg_array::Array`] (the SciDB coupling), so the polystore can point
+//! these kernels at whatever engine currently holds the waveforms.
+
+pub mod anomaly;
+pub mod array_bridge;
+pub mod fft;
+pub mod kmeans;
+pub mod linalg;
+pub mod pca;
+pub mod regression;
+pub mod stats;
+
+pub use anomaly::{AnomalyDetector, WaveFeatures};
+pub use fft::{fft, ifft, magnitude_spectrum, Complex};
+pub use kmeans::{kmeans, KMeansResult};
+pub use pca::{pca, PcaResult};
+pub use regression::{linear_regression, RegressionModel};

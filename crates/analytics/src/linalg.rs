@@ -1,0 +1,117 @@
+//! Small dense linear-algebra helpers shared by regression and PCA.
+
+use bigdawg_common::{BigDawgError, Result};
+
+/// Solve `A x = b` for square `A` (row-major, n×n) by Gaussian elimination
+/// with partial pivoting. Consumes copies; returns `x`.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>> {
+    if a.len() != n * n || b.len() != n {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "solve expects {n}x{n} matrix and length-{n} rhs"
+        )));
+    }
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // pivot
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[r * n + col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(BigDawgError::Execution(
+                "singular matrix in solve (collinear predictors?)".into(),
+            ));
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // eliminate below
+        for r in (col + 1)..n {
+            let f = m[r * n + col] / m[col * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[r * n + k] -= f * m[col * n + k];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for k in (row + 1)..n {
+            s -= m[row * n + k] * x[k];
+        }
+        x[row] = s / m[row * n + row];
+    }
+    Ok(x)
+}
+
+/// `y = M v` for row-major n×n `M`.
+pub fn matvec(m: &[f64], v: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let row = &m[i * n..(i + 1) * n];
+        out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+    }
+    out
+}
+
+/// Euclidean norm.
+pub fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x - y = 1  → x = 2, y = 1
+        let a = vec![2.0, 1.0, 1.0, -1.0];
+        let b = vec![5.0, 1.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // zero on the diagonal forces a row swap
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![3.0, 4.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve(&a, &[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn shape_checked() {
+        assert!(solve(&[1.0], &[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn matvec_and_norms() {
+        let m = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(matvec(&m, &[1.0, 1.0], 2), vec![3.0, 7.0]);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Principal component analysis via power iteration with deflation — the
+//! "eigenanalysis (e.g. power iterations)" workload of §2.4.
+
+use crate::linalg::{dot, matvec, norm};
+use bigdawg_common::{BigDawgError, Result};
+
+/// PCA output: components are rows (unit vectors), one per requested
+/// principal direction, plus each component's explained variance.
+#[derive(Debug, Clone)]
+pub struct PcaResult {
+    pub components: Vec<Vec<f64>>,
+    pub explained_variance: Vec<f64>,
+    pub means: Vec<f64>,
+}
+
+impl PcaResult {
+    /// Project one observation onto the components.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        let centered: Vec<f64> = x.iter().zip(&self.means).map(|(v, m)| v - m).collect();
+        self.components.iter().map(|c| dot(c, &centered)).collect()
+    }
+}
+
+/// Compute the top-`k` principal components of row-major data (`n` rows ×
+/// `d` columns) by power iteration on the covariance matrix with deflation.
+pub fn pca(data: &[f64], d: usize, k: usize) -> Result<PcaResult> {
+    if d == 0 || data.len() % d != 0 {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "data length {} not divisible by dimension {d}",
+            data.len()
+        )));
+    }
+    let n = data.len() / d;
+    if n < 2 {
+        return Err(BigDawgError::Execution(
+            "PCA needs at least two observations".into(),
+        ));
+    }
+    let k = k.min(d);
+
+    // column means
+    let mut means = vec![0.0; d];
+    for row in data.chunks_exact(d) {
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+
+    // covariance matrix (d×d)
+    let mut cov = vec![0.0; d * d];
+    for row in data.chunks_exact(d) {
+        for i in 0..d {
+            let ci = row[i] - means[i];
+            for j in i..d {
+                cov[i * d + j] += ci * (row[j] - means[j]);
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for i in 0..d {
+        for j in i..d {
+            cov[i * d + j] /= denom;
+            cov[j * d + i] = cov[i * d + j];
+        }
+    }
+
+    let mut components = Vec::with_capacity(k);
+    let mut explained = Vec::with_capacity(k);
+    let mut deflated = cov;
+    for comp in 0..k {
+        // deterministic start vector, orthogonal-ish to previous ones
+        let mut v: Vec<f64> = (0..d)
+            .map(|i| if i == comp % d { 1.0 } else { 0.3 / (i + 1) as f64 })
+            .collect();
+        let mut eigenvalue = 0.0;
+        for _ in 0..300 {
+            let next = matvec(&deflated, &v, d);
+            let len = norm(&next);
+            if len < 1e-14 {
+                break; // null space: no more variance
+            }
+            let next: Vec<f64> = next.iter().map(|x| x / len).collect();
+            let new_eig = dot(&next, &matvec(&deflated, &next, d));
+            let converged = (new_eig - eigenvalue).abs() < 1e-12;
+            eigenvalue = new_eig;
+            v = next;
+            if converged {
+                break;
+            }
+        }
+        if eigenvalue.abs() < 1e-12 {
+            break; // remaining variance is numerically zero
+        }
+        // deflate: C ← C - λ v vᵀ
+        for i in 0..d {
+            for j in 0..d {
+                deflated[i * d + j] -= eigenvalue * v[i] * v[j];
+            }
+        }
+        components.push(v);
+        explained.push(eigenvalue);
+    }
+    Ok(PcaResult {
+        components,
+        explained_variance: explained,
+        means,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strongly correlated 2-d data along y = 2x.
+    fn correlated_data() -> Vec<f64> {
+        let mut data = Vec::new();
+        for i in 0..200 {
+            let x = i as f64 / 10.0;
+            let jitter = ((i * 37) % 11) as f64 / 50.0 - 0.1;
+            data.push(x);
+            data.push(2.0 * x + jitter);
+        }
+        data
+    }
+
+    #[test]
+    fn first_component_along_correlation() {
+        let r = pca(&correlated_data(), 2, 2).unwrap();
+        let c = &r.components[0];
+        // direction ∝ (1, 2) normalized
+        let expected = (1.0f64, 2.0f64);
+        let elen = (expected.0 * expected.0 + expected.1 * expected.1).sqrt();
+        let cosine = (c[0] * expected.0 / elen + c[1] * expected.1 / elen).abs();
+        assert!(cosine > 0.999, "cos={cosine}, component={c:?}");
+        // first PC explains almost everything
+        let total: f64 = r.explained_variance.iter().sum();
+        assert!(r.explained_variance[0] / total > 0.99);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let r = pca(&correlated_data(), 2, 2).unwrap();
+        for c in &r.components {
+            assert!((norm(c) - 1.0).abs() < 1e-9);
+        }
+        if r.components.len() == 2 {
+            assert!(dot(&r.components[0], &r.components[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn projection_decorrelates() {
+        let data = correlated_data();
+        let r = pca(&data, 2, 2).unwrap();
+        let p0 = r.project(&data[0..2]);
+        let p1 = r.project(&data[200..202]);
+        // projections along PC1 differ a lot; along PC2 barely
+        assert!((p1[0] - p0[0]).abs() > 1.0);
+        if p0.len() > 1 {
+            assert!((p1[1] - p0[1]).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_dimension() {
+        let r = pca(&correlated_data(), 2, 10).unwrap();
+        assert!(r.components.len() <= 2);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(pca(&[1.0, 2.0, 3.0], 2, 1).is_err()); // not divisible
+        assert!(pca(&[1.0, 2.0], 2, 1).is_err()); // one observation
+        assert!(pca(&[], 0, 1).is_err());
+    }
+
+    #[test]
+    fn zero_variance_data() {
+        let data = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0]; // 3 identical rows
+        let r = pca(&data, 2, 2).unwrap();
+        assert!(r.components.is_empty(), "no variance to explain");
+    }
+}

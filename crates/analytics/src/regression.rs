@@ -1,0 +1,164 @@
+//! Ordinary least squares linear regression.
+
+use crate::linalg::solve;
+use bigdawg_common::{BigDawgError, Result};
+
+/// A fitted linear model `y = intercept + Σ coef[i]·x[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionModel {
+    pub intercept: f64,
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+    pub n: usize,
+}
+
+impl RegressionModel {
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+}
+
+/// Fit OLS via the normal equations `(XᵀX) β = Xᵀy` with an intercept
+/// column. `xs` is row-major, `k` predictors per row.
+pub fn linear_regression(xs: &[f64], ys: &[f64], k: usize) -> Result<RegressionModel> {
+    if k == 0 {
+        return Err(BigDawgError::SchemaMismatch(
+            "regression needs at least one predictor".into(),
+        ));
+    }
+    let n = ys.len();
+    if xs.len() != n * k {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "xs has {} values, expected {n}×{k}",
+            xs.len()
+        )));
+    }
+    if n < k + 1 {
+        return Err(BigDawgError::Execution(format!(
+            "need more observations ({n}) than parameters ({})",
+            k + 1
+        )));
+    }
+    let p = k + 1; // + intercept
+    // Build XᵀX (p×p) and Xᵀy (p) in one pass.
+    let mut xtx = vec![0.0f64; p * p];
+    let mut xty = vec![0.0f64; p];
+    let mut row_buf = vec![0.0f64; p];
+    for (i, &y) in ys.iter().enumerate() {
+        row_buf[0] = 1.0;
+        row_buf[1..].copy_from_slice(&xs[i * k..(i + 1) * k]);
+        for a in 0..p {
+            xty[a] += row_buf[a] * y;
+            for b in a..p {
+                xtx[a * p + b] += row_buf[a] * row_buf[b];
+            }
+        }
+    }
+    // mirror the upper triangle
+    for a in 0..p {
+        for b in (a + 1)..p {
+            xtx[b * p + a] = xtx[a * p + b];
+        }
+    }
+    let beta = solve(&xtx, &xty, p)?;
+
+    // r²
+    let y_mean = ys.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (i, &y) in ys.iter().enumerate() {
+        let pred = beta[0]
+            + beta[1..]
+                .iter()
+                .zip(&xs[i * k..(i + 1) * k])
+                .map(|(c, v)| c * v)
+                .sum::<f64>();
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - y_mean) * (y - y_mean);
+    }
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(RegressionModel {
+        intercept: beta[0],
+        coefficients: beta[1..].to_vec(),
+        r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 3 + 2x
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let m = linear_regression(&xs, &ys, 1).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-9);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((m.r_squared - 1.0).abs() < 1e-12);
+        assert!((m.predict(&[10.0]) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multivariate_fit() {
+        // y = 1 + 2a - 3b over a small grid
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                xs.push(a as f64);
+                xs.push(b as f64);
+                ys.push(1.0 + 2.0 * a as f64 - 3.0 * b as f64);
+            }
+        }
+        let m = linear_regression(&xs, &ys, 2).unwrap();
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((m.coefficients[1] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        // deterministic pseudo-noise
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 5.0 - 0.5 * x + ((i * 2654435761) % 100) as f64 / 500.0 - 0.1)
+            .collect();
+        let m = linear_regression(&xs, &ys, 1).unwrap();
+        assert!((m.coefficients[0] + 0.5).abs() < 0.02, "slope {}", m.coefficients[0]);
+        assert!(m.r_squared > 0.98);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(linear_regression(&[1.0], &[1.0], 0).is_err());
+        assert!(linear_regression(&[1.0, 2.0], &[1.0], 1).is_err()); // arity
+        assert!(linear_regression(&[1.0], &[1.0], 1).is_err()); // too few rows
+    }
+
+    #[test]
+    fn collinear_predictors_error() {
+        // second predictor is a copy of the first
+        let mut xs = Vec::new();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        for i in 0..10 {
+            xs.push(i as f64);
+            xs.push(i as f64);
+        }
+        assert!(linear_regression(&xs, &ys, 2).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Descriptive statistics and distribution distances.
+
+/// Mean of a slice (NaN for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (NaN for < 2 points).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample covariance of two equally long series.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    covariance(xs, ys) / (stddev(xs) * stddev(ys))
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; out-of-range
+/// values clamp into the edge buckets.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    let mut h = vec![0u64; bins.max(1)];
+    if xs.is_empty() || hi <= lo {
+        return h;
+    }
+    let w = (hi - lo) / bins as f64;
+    for &x in xs {
+        let b = (((x - lo) / w).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        h[b] += 1;
+    }
+    h
+}
+
+/// Normalize a histogram to a probability vector.
+pub fn normalize(h: &[u64]) -> Vec<f64> {
+    let total: u64 = h.iter().sum();
+    if total == 0 {
+        return vec![0.0; h.len()];
+    }
+    h.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// 1-d earth mover's distance between two probability vectors over the same
+/// ordered support (the prefix-sum formulation).
+pub fn emd(p: &[f64], q: &[f64]) -> f64 {
+    let mut carried = 0.0;
+    let mut total = 0.0;
+    for (a, b) in p.iter().zip(q) {
+        carried += a - b;
+        total += carried.abs();
+    }
+    total
+}
+
+/// Kullback–Leibler divergence `KL(p‖q)` with ε-smoothing so zero bins do
+/// not produce infinities.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    const EPS: f64 = 1e-9;
+    p.iter()
+        .zip(q)
+        .map(|(&a, &b)| {
+            let a = a + EPS;
+            let b = b + EPS;
+            a * (a / b).ln()
+        })
+        .sum()
+}
+
+/// z-score of `x` against a reference mean/std.
+pub fn zscore(x: f64, ref_mean: f64, ref_std: f64) -> f64 {
+    if ref_std <= 0.0 {
+        return if x == ref_mean { 0.0 } else { f64::INFINITY };
+    }
+    (x - ref_mean) / ref_std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((stddev(&xs) - 2.138089935299395).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps() {
+        let h = histogram(&[-5.0, 0.5, 1.5, 99.0], 0.0, 2.0, 2);
+        assert_eq!(h, vec![2, 2]);
+        assert_eq!(histogram(&[], 0.0, 1.0, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn emd_properties() {
+        let p = vec![1.0, 0.0, 0.0];
+        let q = vec![0.0, 0.0, 1.0];
+        assert_eq!(emd(&p, &p), 0.0);
+        assert_eq!(emd(&p, &q), 2.0); // move all mass 2 bins
+        let r = vec![0.0, 1.0, 0.0];
+        assert_eq!(emd(&p, &r), 1.0);
+        assert!(emd(&p, &q) > emd(&p, &r), "farther moves cost more");
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = normalize(&[5, 5, 10]);
+        assert!(kl_divergence(&p, &p).abs() < 1e-9);
+        let q = normalize(&[10, 5, 5]);
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn zscore_degenerate_reference() {
+        assert_eq!(zscore(5.0, 5.0, 0.0), 0.0);
+        assert!(zscore(6.0, 5.0, 0.0).is_infinite());
+        assert_eq!(zscore(7.0, 5.0, 1.0), 2.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The array container: chunk map, cell access, and iteration.
+
+use crate::chunk::Chunk;
+use crate::schema::ArraySchema;
+use bigdawg_common::{BigDawgError, Result};
+use std::collections::BTreeMap;
+
+/// An n-dimensional array: a schema plus a map from chunk coordinates to
+/// chunks. Chunks are created lazily on first write, so a sparse array costs
+/// memory only where it has cells.
+#[derive(Debug, Clone)]
+pub struct Array {
+    schema: ArraySchema,
+    /// chunk coordinate (per-dimension chunk number) → chunk
+    chunks: BTreeMap<Vec<u64>, Chunk>,
+}
+
+impl Array {
+    /// An empty array with the given schema.
+    pub fn new(schema: ArraySchema) -> Self {
+        Array {
+            chunks: BTreeMap::new(),
+            schema,
+        }
+    }
+
+    /// Build a dense array by evaluating `f` at every coordinate.
+    pub fn build(schema: ArraySchema, mut f: impl FnMut(&[i64]) -> Vec<f64>) -> Result<Self> {
+        let mut arr = Array::new(schema);
+        let dims = arr.schema.dims.clone();
+        let mut coords: Vec<i64> = dims.iter().map(|d| d.start).collect();
+        if arr.schema.cell_count() == 0 {
+            return Ok(arr);
+        }
+        loop {
+            let vals = f(&coords);
+            arr.set(&coords, &vals)?;
+            // Odometer increment (row-major: last dim fastest).
+            let mut d = dims.len();
+            loop {
+                if d == 0 {
+                    return Ok(arr);
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] <= dims[d].end() {
+                    break;
+                }
+                coords[d] = dims[d].start;
+            }
+        }
+    }
+
+    /// Build a 1-d array from a slice (the waveform-loading fast path).
+    pub fn from_vector(
+        name: impl Into<String>,
+        attr: impl Into<String>,
+        data: &[f64],
+        chunk: u64,
+    ) -> Self {
+        let schema = ArraySchema::vector(name, attr, data.len() as u64, chunk);
+        let mut arr = Array::new(schema);
+        for (i, v) in data.iter().enumerate() {
+            arr.set(&[i as i64], &[*v]).expect("coords in range");
+        }
+        arr
+    }
+
+    pub fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+
+    /// Number of materialized chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of present (non-empty) cells.
+    pub fn cell_count(&self) -> usize {
+        self.chunks.values().map(Chunk::present_count).sum()
+    }
+
+    /// Compute (chunk coordinate, offset within chunk) for a cell.
+    fn locate(&self, coords: &[i64]) -> (Vec<u64>, usize) {
+        let mut chunk_coord = Vec::with_capacity(coords.len());
+        let mut offset = 0usize;
+        for (c, d) in coords.iter().zip(&self.schema.dims) {
+            let rel = (c - d.start) as u64;
+            chunk_coord.push(rel / d.chunk_len);
+            let within = (rel % d.chunk_len) as usize;
+            // Edge chunks are allocated at full chunk size for simplicity.
+            offset = offset * d.chunk_len as usize + within;
+        }
+        (chunk_coord, offset)
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.schema
+            .dims
+            .iter()
+            .map(|d| d.chunk_len as usize)
+            .product()
+    }
+
+    /// Write a cell (all attributes).
+    pub fn set(&mut self, coords: &[i64], vals: &[f64]) -> Result<()> {
+        self.schema.check_coords(coords)?;
+        if vals.len() != self.schema.attrs.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "expected {} attribute values, got {}",
+                self.schema.attrs.len(),
+                vals.len()
+            )));
+        }
+        let cap = self.chunk_capacity();
+        let n_attrs = self.schema.attrs.len();
+        let (cc, off) = self.locate(coords);
+        self.chunks
+            .entry(cc)
+            .or_insert_with(|| Chunk::new(n_attrs, cap))
+            .set(off, vals);
+        Ok(())
+    }
+
+    /// Read a cell (all attributes); `None` if the cell is empty.
+    pub fn get(&self, coords: &[i64]) -> Result<Option<Vec<f64>>> {
+        self.schema.check_coords(coords)?;
+        let (cc, off) = self.locate(coords);
+        Ok(self.chunks.get(&cc).and_then(|c| c.get(off)))
+    }
+
+    /// Read one attribute of a cell.
+    pub fn get_attr(&self, coords: &[i64], attr: &str) -> Result<Option<f64>> {
+        self.schema.check_coords(coords)?;
+        let ai = self.schema.attr_index(attr)?;
+        let (cc, off) = self.locate(coords);
+        Ok(self.chunks.get(&cc).and_then(|c| c.get_attr(ai, off)))
+    }
+
+    /// Remove a cell.
+    pub fn clear(&mut self, coords: &[i64]) -> Result<()> {
+        self.schema.check_coords(coords)?;
+        let (cc, off) = self.locate(coords);
+        if let Some(c) = self.chunks.get_mut(&cc) {
+            c.clear(off);
+        }
+        Ok(())
+    }
+
+    /// Visit every present cell without allocating: `f` receives borrowed
+    /// coordinate and value slices that are reused between calls. This is
+    /// the hot path for the AFL operators — prefer it over [`Array::iter_cells`]
+    /// inside kernels.
+    pub fn for_each_cell(&self, mut f: impl FnMut(&[i64], &[f64])) {
+        let dims = &self.schema.dims;
+        let n_attrs = self.schema.attrs.len();
+        let mut coords = vec![0i64; dims.len()];
+        let mut vals = vec![0.0f64; n_attrs];
+        for (cc, chunk) in &self.chunks {
+            let cap = chunk.capacity();
+            for off in 0..cap {
+                if !chunk.is_present(off) {
+                    continue;
+                }
+                let mut rem = off;
+                for d in (0..dims.len()).rev() {
+                    let clen = dims[d].chunk_len as usize;
+                    let within = rem % clen;
+                    rem /= clen;
+                    coords[d] =
+                        dims[d].start + (cc[d] * dims[d].chunk_len) as i64 + within as i64;
+                }
+                for (a, v) in vals.iter_mut().enumerate() {
+                    *v = chunk.attr_buffer(a)[off];
+                }
+                f(&coords, &vals);
+            }
+        }
+    }
+
+    /// Iterate `(coords, values)` over all present cells in chunk order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (Vec<i64>, Vec<f64>)> + '_ {
+        let dims = &self.schema.dims;
+        self.chunks.iter().flat_map(move |(cc, chunk)| {
+            chunk.iter_present().map(move |(off, vals)| {
+                // Reconstruct global coordinates from chunk coord + offset.
+                let mut coords = vec![0i64; dims.len()];
+                let mut rem = off;
+                for d in (0..dims.len()).rev() {
+                    let clen = dims[d].chunk_len as usize;
+                    let within = rem % clen;
+                    rem /= clen;
+                    coords[d] = dims[d].start + (cc[d] * dims[d].chunk_len) as i64 + within as i64;
+                }
+                (coords, vals)
+            })
+        })
+    }
+
+    /// Extract one attribute of a 1-d array as a dense vector (empty cells
+    /// become NaN). Errors if the array is not 1-dimensional.
+    pub fn to_vector(&self, attr: &str) -> Result<Vec<f64>> {
+        if self.schema.ndim() != 1 {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "to_vector needs a 1-d array, `{}` has {} dims",
+                self.schema.name,
+                self.schema.ndim()
+            )));
+        }
+        let ai = self.schema.attr_index(attr)?;
+        let d = &self.schema.dims[0];
+        let mut out = vec![f64::NAN; d.length as usize];
+        for (coords, vals) in self.iter_cells() {
+            out[(coords[0] - d.start) as usize] = vals[ai];
+        }
+        // NaN placeholders only survive for truly-empty cells.
+        let _ = ai;
+        Ok(out)
+    }
+
+    /// Extract one attribute of a 2-d array as a dense row-major matrix
+    /// (empty cells become 0.0, the linear-algebra convention).
+    pub fn to_matrix(&self, attr: &str) -> Result<(usize, usize, Vec<f64>)> {
+        if self.schema.ndim() != 2 {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "to_matrix needs a 2-d array, `{}` has {} dims",
+                self.schema.name,
+                self.schema.ndim()
+            )));
+        }
+        let ai = self.schema.attr_index(attr)?;
+        let (r, c) = (
+            self.schema.dims[0].length as usize,
+            self.schema.dims[1].length as usize,
+        );
+        let (r0, c0) = (self.schema.dims[0].start, self.schema.dims[1].start);
+        let mut out = vec![0.0; r * c];
+        for (coords, vals) in self.iter_cells() {
+            let i = (coords[0] - r0) as usize;
+            let j = (coords[1] - c0) as usize;
+            out[i * c + j] = vals[ai];
+        }
+        Ok((r, c, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ArraySchema, Dimension};
+
+    #[test]
+    fn set_get_multidim() {
+        let schema = ArraySchema::matrix("m", "v", 100, 100, 32, 32);
+        let mut a = Array::new(schema);
+        a.set(&[0, 0], &[1.0]).unwrap();
+        a.set(&[99, 99], &[2.0]).unwrap();
+        a.set(&[31, 32], &[3.0]).unwrap(); // chunk boundary
+        assert_eq!(a.get(&[0, 0]).unwrap(), Some(vec![1.0]));
+        assert_eq!(a.get(&[99, 99]).unwrap(), Some(vec![2.0]));
+        assert_eq!(a.get(&[31, 32]).unwrap(), Some(vec![3.0]));
+        assert_eq!(a.get(&[50, 50]).unwrap(), None);
+        assert!(a.get(&[100, 0]).is_err());
+        assert_eq!(a.cell_count(), 3);
+        // 3 cells in 3 distinct chunks out of 16 possible
+        assert_eq!(a.chunk_count(), 3);
+    }
+
+    #[test]
+    fn build_dense_row_major() {
+        let schema = ArraySchema::matrix("m", "v", 3, 4, 2, 2);
+        let a = Array::build(schema, |c| vec![(c[0] * 4 + c[1]) as f64]).unwrap();
+        assert_eq!(a.cell_count(), 12);
+        assert_eq!(a.get(&[2, 3]).unwrap(), Some(vec![11.0]));
+        let (r, c, m) = a.to_matrix("v").unwrap();
+        assert_eq!((r, c), (3, 4));
+        assert_eq!(m[2 * 4 + 3], 11.0);
+        assert_eq!(m, (0..12).map(|x| x as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_zero_origin() {
+        let schema = ArraySchema::new(
+            "t",
+            vec![Dimension::new("time", 1000, 10, 4)],
+            vec!["hr".into()],
+        )
+        .unwrap();
+        let mut a = Array::new(schema);
+        a.set(&[1009], &[60.0]).unwrap();
+        assert!(a.set(&[999], &[60.0]).is_err());
+        assert_eq!(a.get(&[1009]).unwrap(), Some(vec![60.0]));
+        let cells: Vec<_> = a.iter_cells().collect();
+        assert_eq!(cells, vec![(vec![1009], vec![60.0])]);
+    }
+
+    #[test]
+    fn from_vector_roundtrip() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let a = Array::from_vector("wave", "v", &data, 16);
+        assert_eq!(a.to_vector("v").unwrap(), data);
+        assert_eq!(a.chunk_count(), 7); // ceil(100/16)
+    }
+
+    #[test]
+    fn multi_attribute_cells() {
+        let schema = ArraySchema::new(
+            "ecg",
+            vec![Dimension::new("t", 0, 8, 4)],
+            vec!["lead1".into(), "lead2".into()],
+        )
+        .unwrap();
+        let mut a = Array::new(schema);
+        a.set(&[3], &[0.5, -0.5]).unwrap();
+        assert_eq!(a.get_attr(&[3], "lead2").unwrap(), Some(-0.5));
+        assert!(a.get_attr(&[3], "lead3").is_err());
+        assert!(a.set(&[3], &[1.0]).is_err()); // arity mismatch
+    }
+
+    #[test]
+    fn clear_cell() {
+        let mut a = Array::from_vector("v", "x", &[1.0, 2.0, 3.0], 2);
+        a.clear(&[1]).unwrap();
+        assert_eq!(a.get(&[1]).unwrap(), None);
+        assert_eq!(a.cell_count(), 2);
+        let v = a.to_vector("x").unwrap();
+        assert!(v[1].is_nan());
+    }
+}

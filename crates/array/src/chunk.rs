@@ -1,0 +1,115 @@
+//! Fixed-size row-major chunks with presence bitmaps.
+
+/// One chunk of an array: for each attribute, a dense value buffer, plus a
+/// shared presence bitmap ("empty" cells are how sparsity is represented —
+/// SciDB calls these empty cells too).
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Per-attribute dense storage, each of length `capacity`.
+    values: Vec<Box<[f64]>>,
+    /// Which cells are present.
+    present: Vec<bool>,
+    present_count: usize,
+}
+
+impl Chunk {
+    pub fn new(n_attrs: usize, capacity: usize) -> Self {
+        Chunk {
+            values: (0..n_attrs)
+                .map(|_| vec![0.0; capacity].into_boxed_slice())
+                .collect(),
+            present: vec![false; capacity],
+            present_count: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.present.len()
+    }
+
+    pub fn present_count(&self) -> usize {
+        self.present_count
+    }
+
+    pub fn is_present(&self, offset: usize) -> bool {
+        self.present[offset]
+    }
+
+    /// Read all attribute values at `offset`, if present.
+    pub fn get(&self, offset: usize) -> Option<Vec<f64>> {
+        if !self.present[offset] {
+            return None;
+        }
+        Some(self.values.iter().map(|buf| buf[offset]).collect())
+    }
+
+    /// Read one attribute at `offset`, if present.
+    pub fn get_attr(&self, attr: usize, offset: usize) -> Option<f64> {
+        self.present[offset].then(|| self.values[attr][offset])
+    }
+
+    /// Write all attribute values at `offset`, marking the cell present.
+    pub fn set(&mut self, offset: usize, vals: &[f64]) {
+        debug_assert_eq!(vals.len(), self.values.len());
+        for (buf, v) in self.values.iter_mut().zip(vals) {
+            buf[offset] = *v;
+        }
+        if !self.present[offset] {
+            self.present[offset] = true;
+            self.present_count += 1;
+        }
+    }
+
+    /// Remove a cell (used by `filter`).
+    pub fn clear(&mut self, offset: usize) {
+        if self.present[offset] {
+            self.present[offset] = false;
+            self.present_count -= 1;
+        }
+    }
+
+    /// Raw attribute buffer (for kernels like matmul that want dense reads).
+    pub fn attr_buffer(&self, attr: usize) -> &[f64] {
+        &self.values[attr]
+    }
+
+    /// Iterate `(offset, values)` over present cells.
+    pub fn iter_present(&self) -> impl Iterator<Item = (usize, Vec<f64>)> + '_ {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p)
+            .map(move |(off, _)| (off, self.values.iter().map(|b| b[off]).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut c = Chunk::new(2, 8);
+        assert_eq!(c.get(3), None);
+        c.set(3, &[1.5, -2.0]);
+        assert_eq!(c.get(3), Some(vec![1.5, -2.0]));
+        assert_eq!(c.get_attr(1, 3), Some(-2.0));
+        assert_eq!(c.present_count(), 1);
+        c.set(3, &[2.5, 0.0]); // overwrite does not double-count
+        assert_eq!(c.present_count(), 1);
+        c.clear(3);
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.present_count(), 0);
+        c.clear(3); // idempotent
+        assert_eq!(c.present_count(), 0);
+    }
+
+    #[test]
+    fn iter_present_skips_holes() {
+        let mut c = Chunk::new(1, 4);
+        c.set(0, &[1.0]);
+        c.set(2, &[3.0]);
+        let cells: Vec<_> = c.iter_present().collect();
+        assert_eq!(cells, vec![(0, vec![1.0]), (2, vec![3.0])]);
+    }
+}

@@ -1,0 +1,153 @@
+//! A chunked n-dimensional array engine — the SciDB stand-in (paper §1.1:
+//! SciDB stores the historical waveform data in a time-series array
+//! database; §2.4: complex analytics run on an array DBMS).
+//!
+//! The engine follows SciDB's model:
+//!
+//! * an [`ArraySchema`] declares named **dimensions** (with origin, length,
+//!   and chunk length) and named f64 **attributes**;
+//! * data lives in fixed-size row-major **chunks** with presence bitmaps, so
+//!   both dense arrays (waveforms) and sparse arrays (filter results) share
+//!   one representation;
+//! * [`ops`] provides the AFL-style operator set: `subarray`, `filter`,
+//!   `apply`, `regrid`, `window`, `aggregate`, `transpose`, `matmul`,
+//!   and cell iteration.
+//!
+//! The array island in `bigdawg-core` layers its query dialect on these
+//! operators; `bigdawg-analytics` layers FFT/PCA/regression on top.
+
+pub mod array;
+pub mod chunk;
+pub mod ops;
+pub mod schema;
+
+pub use array::Array;
+pub use schema::{ArraySchema, Dimension};
+
+/// Aggregate functions supported by `regrid`, `window`, and `aggregate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Count,
+    Stddev,
+}
+
+impl AggKind {
+    /// Parse an aggregate name as used by island dialects.
+    pub fn by_name(name: &str) -> Option<AggKind> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "sum" => AggKind::Sum,
+            "avg" | "mean" => AggKind::Avg,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            "count" => AggKind::Count,
+            "stddev" | "std" => AggKind::Stddev,
+            _ => return None,
+        })
+    }
+}
+
+/// Streaming accumulator shared by every aggregating operator.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    kind: AggKind,
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl AggState {
+    pub fn new(kind: AggKind) -> Self {
+        AggState {
+            kind,
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Final value; `None` when the aggregate is undefined for the inputs
+    /// seen (no cells, or stddev of < 2 cells).
+    pub fn finish(&self) -> Option<f64> {
+        if self.n == 0 {
+            return match self.kind {
+                AggKind::Count => Some(0.0),
+                _ => None,
+            };
+        }
+        Some(match self.kind {
+            AggKind::Sum => self.sum,
+            AggKind::Avg => self.sum / self.n as f64,
+            AggKind::Min => self.min,
+            AggKind::Max => self.max,
+            AggKind::Count => self.n as f64,
+            AggKind::Stddev => {
+                if self.n < 2 {
+                    return None;
+                }
+                (self.m2 / (self.n - 1) as f64).sqrt()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_state_basic() {
+        let mut s = AggState::new(AggKind::Avg);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.update(x);
+        }
+        assert_eq!(s.finish(), Some(2.5));
+    }
+
+    #[test]
+    fn agg_state_empty() {
+        assert_eq!(AggState::new(AggKind::Sum).finish(), None);
+        assert_eq!(AggState::new(AggKind::Count).finish(), Some(0.0));
+    }
+
+    #[test]
+    fn agg_stddev_needs_two() {
+        let mut s = AggState::new(AggKind::Stddev);
+        s.update(1.0);
+        assert_eq!(s.finish(), None);
+        s.update(3.0);
+        let sd = s.finish().unwrap();
+        assert!((sd - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agg_by_name() {
+        assert_eq!(AggKind::by_name("AVG"), Some(AggKind::Avg));
+        assert_eq!(AggKind::by_name("std"), Some(AggKind::Stddev));
+        assert_eq!(AggKind::by_name("median"), None);
+    }
+}

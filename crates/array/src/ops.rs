@@ -1,0 +1,490 @@
+//! AFL-style array operators.
+//!
+//! All operators are functional: they take `&Array` and produce a new
+//! [`Array`], mirroring SciDB's operator algebra. Predicates and apply
+//! functions are Rust closures; the array island in `bigdawg-core` compiles
+//! its textual dialect down to these closures.
+
+use crate::array::Array;
+use crate::schema::{ArraySchema, Dimension};
+use crate::{AggKind, AggState};
+use bigdawg_common::{BigDawgError, Result};
+
+/// `subarray(A, low, high)` — the box `[low, high]` (inclusive), with
+/// dimensions renumbered to start at 0 (SciDB semantics).
+pub fn subarray(a: &Array, low: &[i64], high: &[i64]) -> Result<Array> {
+    let s = a.schema();
+    s.check_coords(low)?;
+    s.check_coords(high)?;
+    for (l, h) in low.iter().zip(high) {
+        if l > h {
+            return Err(BigDawgError::Execution(format!(
+                "subarray low {l} > high {h}"
+            )));
+        }
+    }
+    let dims = s
+        .dims
+        .iter()
+        .zip(low.iter().zip(high))
+        .map(|(d, (l, h))| {
+            let len = (h - l + 1) as u64;
+            Dimension::new(&d.name, 0, len, d.chunk_len.min(len))
+        })
+        .collect();
+    let schema = ArraySchema::new(format!("subarray({})", s.name), dims, s.attrs.clone())?;
+    let mut out = Array::new(schema);
+    for (coords, vals) in a.iter_cells() {
+        if coords.iter().zip(low.iter().zip(high)).all(|(c, (l, h))| c >= l && c <= h) {
+            let new_coords: Vec<i64> = coords.iter().zip(low).map(|(c, l)| c - l).collect();
+            out.set(&new_coords, &vals)?;
+        }
+    }
+    Ok(out)
+}
+
+/// `filter(A, pred)` — keep cells whose attribute values satisfy `pred`.
+/// The result has the same schema but is (generally) sparse.
+pub fn filter(a: &Array, pred: impl Fn(&[i64], &[f64]) -> bool) -> Array {
+    let mut out = Array::new(ArraySchema {
+        name: format!("filter({})", a.schema().name),
+        ..a.schema().clone()
+    });
+    a.for_each_cell(|coords, vals| {
+        if pred(coords, vals) {
+            out.set(coords, vals).expect("same box");
+        }
+    });
+    out
+}
+
+/// `apply(A, name, f)` — add a computed attribute.
+pub fn apply(a: &Array, new_attr: &str, f: impl Fn(&[i64], &[f64]) -> f64) -> Result<Array> {
+    let s = a.schema();
+    if s.attrs.iter().any(|x| x == new_attr) {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "attribute `{new_attr}` already exists"
+        )));
+    }
+    let mut attrs = s.attrs.clone();
+    attrs.push(new_attr.to_string());
+    let schema = ArraySchema::new(format!("apply({})", s.name), s.dims.clone(), attrs)?;
+    let mut out = Array::new(schema);
+    for (coords, mut vals) in a.iter_cells() {
+        let v = f(&coords, &vals);
+        vals.push(v);
+        out.set(&coords, &vals)?;
+    }
+    Ok(out)
+}
+
+/// `project(A, attrs)` — keep only the named attributes.
+pub fn project(a: &Array, attrs: &[&str]) -> Result<Array> {
+    let s = a.schema();
+    let idx: Vec<usize> = attrs
+        .iter()
+        .map(|n| s.attr_index(n))
+        .collect::<Result<_>>()?;
+    let schema = ArraySchema::new(
+        format!("project({})", s.name),
+        s.dims.clone(),
+        attrs.iter().map(|s| s.to_string()).collect(),
+    )?;
+    let mut out = Array::new(schema);
+    for (coords, vals) in a.iter_cells() {
+        let proj: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
+        out.set(&coords, &proj)?;
+    }
+    Ok(out)
+}
+
+/// `regrid(A, factors, agg)` — partition the array into blocks of
+/// `factors[d]` cells along each dimension and aggregate every attribute
+/// within each block. Output dimension `d` has length
+/// `ceil(len[d] / factors[d])`.
+pub fn regrid(a: &Array, factors: &[u64], agg: AggKind) -> Result<Array> {
+    let s = a.schema();
+    if factors.len() != s.ndim() {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "regrid expects {} factors, got {}",
+            s.ndim(),
+            factors.len()
+        )));
+    }
+    if factors.iter().any(|&f| f == 0) {
+        return Err(BigDawgError::Execution("regrid factor of zero".into()));
+    }
+    let dims: Vec<Dimension> = s
+        .dims
+        .iter()
+        .zip(factors)
+        .map(|(d, &f)| {
+            let len = d.length.div_ceil(f);
+            Dimension::new(&d.name, 0, len, d.chunk_len.div_ceil(f).max(1).min(len))
+        })
+        .collect();
+    let schema = ArraySchema::new(format!("regrid({})", s.name), dims, s.attrs.clone())?;
+
+    // Flat accumulator grid: one AggState per (block, attribute). Blocks
+    // are addressed by row-major linear index so the hot loop allocates
+    // nothing per cell.
+    let out_lens: Vec<u64> = schema.dims.iter().map(|d| d.length).collect();
+    let n_blocks: usize = out_lens.iter().map(|&l| l as usize).product();
+    let n_attrs = s.attrs.len();
+    let mut states: Vec<AggState> = vec![AggState::new(agg); n_blocks * n_attrs];
+    let mut touched = vec![false; n_blocks];
+    let starts: Vec<i64> = s.dims.iter().map(|d| d.start).collect();
+    a.for_each_cell(|coords, vals| {
+        let mut idx = 0usize;
+        for d in 0..coords.len() {
+            let b = ((coords[d] - starts[d]) / factors[d] as i64) as usize;
+            idx = idx * out_lens[d] as usize + b;
+        }
+        touched[idx] = true;
+        let slot = &mut states[idx * n_attrs..(idx + 1) * n_attrs];
+        for (st, v) in slot.iter_mut().zip(vals) {
+            st.update(*v);
+        }
+    });
+    let mut out = Array::new(schema);
+    let mut block = vec![0i64; out_lens.len()];
+    let mut vals = vec![0.0f64; n_attrs];
+    for (idx, hit) in touched.iter().enumerate() {
+        if !*hit {
+            continue;
+        }
+        let mut rem = idx;
+        for d in (0..out_lens.len()).rev() {
+            block[d] = (rem % out_lens[d] as usize) as i64;
+            rem /= out_lens[d] as usize;
+        }
+        for (v, st) in vals.iter_mut().zip(&states[idx * n_attrs..(idx + 1) * n_attrs]) {
+            *v = st.finish().unwrap_or(f64::NAN);
+        }
+        out.set(&block, &vals)?;
+    }
+    Ok(out)
+}
+
+/// `window(A, left, right, agg)` — moving-window aggregate: for every
+/// present cell, aggregate each attribute over the box
+/// `[coord - left[d], coord + right[d]]` (clipped to the array).
+pub fn window(a: &Array, left: &[u64], right: &[u64], agg: AggKind) -> Result<Array> {
+    let s = a.schema();
+    if left.len() != s.ndim() || right.len() != s.ndim() {
+        return Err(BigDawgError::SchemaMismatch(
+            "window widths must match dimensionality".into(),
+        ));
+    }
+    let schema = ArraySchema::new(
+        format!("window({})", s.name),
+        s.dims.clone(),
+        s.attrs.clone(),
+    )?;
+    let mut out = Array::new(schema);
+    let n_attrs = s.attrs.len();
+    for (coords, _) in a.iter_cells() {
+        let lo: Vec<i64> = coords
+            .iter()
+            .zip(s.dims.iter().zip(left))
+            .map(|(c, (d, &w))| (*c - w as i64).max(d.start))
+            .collect();
+        let hi: Vec<i64> = coords
+            .iter()
+            .zip(s.dims.iter().zip(right))
+            .map(|(c, (d, &w))| (*c + w as i64).min(d.end()))
+            .collect();
+        let mut states: Vec<AggState> = (0..n_attrs).map(|_| AggState::new(agg)).collect();
+        // Walk the (small) window box with an odometer.
+        let mut cur = lo.clone();
+        'walk: loop {
+            if let Some(vals) = a.get(&cur)? {
+                for (st, v) in states.iter_mut().zip(&vals) {
+                    st.update(*v);
+                }
+            }
+            let mut d = cur.len();
+            loop {
+                if d == 0 {
+                    break 'walk;
+                }
+                d -= 1;
+                cur[d] += 1;
+                if cur[d] <= hi[d] {
+                    break;
+                }
+                cur[d] = lo[d];
+            }
+        }
+        let vals: Vec<f64> = states
+            .iter()
+            .map(|st| st.finish().unwrap_or(f64::NAN))
+            .collect();
+        out.set(&coords, &vals)?;
+    }
+    Ok(out)
+}
+
+/// `aggregate(A, agg, attr)` — collapse the whole array to one value.
+pub fn aggregate(a: &Array, agg: AggKind, attr: &str) -> Result<Option<f64>> {
+    let ai = a.schema().attr_index(attr)?;
+    let mut st = AggState::new(agg);
+    a.for_each_cell(|_, vals| st.update(vals[ai]));
+    Ok(st.finish())
+}
+
+/// Fused `aggregate(apply(A, _, f), agg)` — stream `f` over cells straight
+/// into the accumulator without materializing the derived array. The AFL
+/// executor rewrites `aggregate(apply(…))` into this.
+pub fn aggregate_map(
+    a: &Array,
+    agg: AggKind,
+    mut f: impl FnMut(&[i64], &[f64]) -> f64,
+) -> Option<f64> {
+    let mut st = AggState::new(agg);
+    a.for_each_cell(|coords, vals| st.update(f(coords, vals)));
+    st.finish()
+}
+
+/// `transpose(A)` — swap the two dimensions of a matrix.
+pub fn transpose(a: &Array) -> Result<Array> {
+    let s = a.schema();
+    if s.ndim() != 2 {
+        return Err(BigDawgError::SchemaMismatch(
+            "transpose needs a 2-d array".into(),
+        ));
+    }
+    let dims = vec![s.dims[1].clone(), s.dims[0].clone()];
+    let schema = ArraySchema::new(format!("transpose({})", s.name), dims, s.attrs.clone())?;
+    let mut out = Array::new(schema);
+    for (coords, vals) in a.iter_cells() {
+        out.set(&[coords[1], coords[0]], &vals)?;
+    }
+    Ok(out)
+}
+
+/// `matmul(A, B)` — dense matrix multiply of one attribute from each input.
+/// Empty cells are treated as 0. Output is a `rows(A) × cols(B)` matrix with
+/// attribute `v`, chunked like `A`.
+pub fn matmul(a: &Array, a_attr: &str, b: &Array, b_attr: &str) -> Result<Array> {
+    let (ar, ac, am) = a.to_matrix(a_attr)?;
+    let (br, bc, bm) = b.to_matrix(b_attr)?;
+    if ac != br {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "matmul shape mismatch: {ar}x{ac} · {br}x{bc}"
+        )));
+    }
+    let out_buf = dense_matmul(ar, ac, &am, bc, &bm);
+    let chunk_rows = a.schema().dims[0].chunk_len.min(ar.max(1) as u64);
+    let chunk_cols = b.schema().dims[1].chunk_len.min(bc.max(1) as u64);
+    let schema = ArraySchema::matrix(
+        format!("matmul({},{})", a.schema().name, b.schema().name),
+        "v",
+        ar as u64,
+        bc as u64,
+        chunk_rows,
+        chunk_cols,
+    );
+    let mut out = Array::new(schema);
+    for i in 0..ar {
+        for j in 0..bc {
+            out.set(&[i as i64, j as i64], &[out_buf[i * bc + j]])?;
+        }
+    }
+    Ok(out)
+}
+
+/// Cache-friendly i-k-j dense multiply on row-major buffers. Exposed so the
+/// analytics crate can use it on raw buffers without array overhead.
+pub fn dense_matmul(ar: usize, ac: usize, a: &[f64], bc: usize, b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; ar * bc];
+    for i in 0..ar {
+        for k in 0..ac {
+            let aik = a[i * ac + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[k * bc..(k + 1) * bc];
+            let orow = &mut out[i * bc..(i + 1) * bc];
+            for j in 0..bc {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// Element-wise combination of two arrays with identical boxes. Cells
+/// present in only one input are dropped (inner-join semantics, matching
+/// SciDB's `join` + `apply` idiom).
+pub fn elementwise(
+    a: &Array,
+    b: &Array,
+    out_attr: &str,
+    f: impl Fn(&[f64], &[f64]) -> f64,
+) -> Result<Array> {
+    let (sa, sb) = (a.schema(), b.schema());
+    if sa.dims.len() != sb.dims.len()
+        || sa
+            .dims
+            .iter()
+            .zip(&sb.dims)
+            .any(|(x, y)| x.start != y.start || x.length != y.length)
+    {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "elementwise boxes differ: `{}` vs `{}`",
+            sa.name, sb.name
+        )));
+    }
+    let schema = ArraySchema::new(
+        format!("zip({},{})", sa.name, sb.name),
+        sa.dims.clone(),
+        vec![out_attr.to_string()],
+    )?;
+    let mut out = Array::new(schema);
+    for (coords, va) in a.iter_cells() {
+        if let Some(vb) = b.get(&coords)? {
+            out.set(&coords, &[f(&va, &vb)])?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Array {
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        Array::from_vector("w", "v", &data, 16)
+    }
+
+    #[test]
+    fn subarray_renumbers() {
+        let a = wave(100);
+        let s = subarray(&a, &[10], &[19]).unwrap();
+        assert_eq!(s.schema().dims[0].length, 10);
+        assert_eq!(s.to_vector("v").unwrap(), (10..20).map(|x| x as f64).collect::<Vec<_>>());
+        assert!(subarray(&a, &[20], &[10]).is_err());
+    }
+
+    #[test]
+    fn filter_produces_sparse() {
+        let a = wave(10);
+        let f = filter(&a, |_, v| v[0] >= 5.0);
+        assert_eq!(f.cell_count(), 5);
+        assert_eq!(f.get(&[3]).unwrap(), None);
+        assert_eq!(f.get(&[7]).unwrap(), Some(vec![7.0]));
+    }
+
+    #[test]
+    fn apply_and_project() {
+        let a = wave(4);
+        let b = apply(&a, "sq", |_, v| v[0] * v[0]).unwrap();
+        assert_eq!(b.get(&[3]).unwrap(), Some(vec![3.0, 9.0]));
+        assert!(apply(&b, "sq", |_, _| 0.0).is_err());
+        let p = project(&b, &["sq"]).unwrap();
+        assert_eq!(p.get(&[3]).unwrap(), Some(vec![9.0]));
+    }
+
+    #[test]
+    fn regrid_blocks() {
+        // 10 cells, factor 3 → blocks [0..3)=avg 1, [3..6)=4, [6..9)=7, [9]=9
+        let a = wave(10);
+        let r = regrid(&a, &[3], AggKind::Avg).unwrap();
+        assert_eq!(r.schema().dims[0].length, 4);
+        assert_eq!(r.to_vector("v").unwrap(), vec![1.0, 4.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn regrid_2d_sum() {
+        let a = Array::build(ArraySchema::matrix("m", "v", 4, 4, 2, 2), |_| vec![1.0]).unwrap();
+        let r = regrid(&a, &[2, 2], AggKind::Sum).unwrap();
+        assert_eq!(r.schema().dims[0].length, 2);
+        assert_eq!(r.get(&[1, 1]).unwrap(), Some(vec![4.0]));
+    }
+
+    #[test]
+    fn window_moving_average() {
+        let a = wave(5);
+        let w = window(&a, &[1], &[1], AggKind::Avg).unwrap();
+        // edges clip: [0,1]→0.5 ; interior [0,1,2]→1 ...
+        assert_eq!(w.to_vector("v").unwrap(), vec![0.5, 1.0, 2.0, 3.0, 3.5]);
+    }
+
+    #[test]
+    fn aggregate_whole_array() {
+        let a = wave(101);
+        assert_eq!(aggregate(&a, AggKind::Max, "v").unwrap(), Some(100.0));
+        assert_eq!(aggregate(&a, AggKind::Count, "v").unwrap(), Some(101.0));
+        assert!(aggregate(&a, AggKind::Max, "nope").is_err());
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let a = Array::build(ArraySchema::matrix("m", "v", 2, 3, 2, 2), |c| {
+            vec![(c[0] * 3 + c[1]) as f64]
+        })
+        .unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.schema().dims[0].length, 3);
+        assert_eq!(t.get(&[2, 1]).unwrap(), a.get(&[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Array::build(ArraySchema::matrix("a", "v", 3, 3, 2, 2), |c| {
+            vec![(c[0] * 3 + c[1]) as f64]
+        })
+        .unwrap();
+        let id = Array::build(ArraySchema::matrix("i", "v", 3, 3, 2, 2), |c| {
+            vec![if c[0] == c[1] { 1.0 } else { 0.0 }]
+        })
+        .unwrap();
+        let p = matmul(&m, "v", &id, "v").unwrap();
+        let (_, _, got) = p.to_matrix("v").unwrap();
+        let (_, _, want) = m.to_matrix("v").unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Array::build(ArraySchema::matrix("a", "v", 2, 2, 2, 2), |c| {
+            vec![(c[0] * 2 + c[1] + 1) as f64]
+        })
+        .unwrap();
+        let b = Array::build(ArraySchema::matrix("b", "v", 2, 2, 2, 2), |c| {
+            vec![(c[0] * 2 + c[1] + 5) as f64]
+        })
+        .unwrap();
+        let p = matmul(&a, "v", &b, "v").unwrap();
+        let (_, _, m) = p.to_matrix("v").unwrap();
+        assert_eq!(m, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Array::build(ArraySchema::matrix("a", "v", 2, 3, 2, 2), |_| vec![1.0]).unwrap();
+        let b = Array::build(ArraySchema::matrix("b", "v", 2, 2, 2, 2), |_| vec![1.0]).unwrap();
+        assert!(matmul(&a, "v", &b, "v").is_err());
+    }
+
+    #[test]
+    fn elementwise_inner_join_semantics() {
+        let a = wave(5);
+        let mut b = wave(5);
+        b.clear(&[2]).unwrap();
+        let z = elementwise(&a, &b, "s", |x, y| x[0] + y[0]).unwrap();
+        assert_eq!(z.cell_count(), 4);
+        assert_eq!(z.get(&[4]).unwrap(), Some(vec![8.0]));
+        assert_eq!(z.get(&[2]).unwrap(), None);
+    }
+
+    #[test]
+    fn elementwise_box_mismatch() {
+        let a = wave(5);
+        let b = wave(6);
+        assert!(elementwise(&a, &b, "s", |x, y| x[0] + y[0]).is_err());
+    }
+}

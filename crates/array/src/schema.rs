@@ -1,0 +1,199 @@
+//! Array schemas: dimensions and attributes.
+
+use bigdawg_common::{BigDawgError, Result};
+
+/// One array dimension. Coordinates run `start .. start + length`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    pub name: String,
+    /// First valid coordinate (SciDB dimensions need not start at 0).
+    pub start: i64,
+    /// Number of valid coordinates.
+    pub length: u64,
+    /// Chunk length along this dimension (`> 0`, `<= length` typically).
+    pub chunk_len: u64,
+}
+
+impl Dimension {
+    pub fn new(name: impl Into<String>, start: i64, length: u64, chunk_len: u64) -> Self {
+        Dimension {
+            name: name.into(),
+            start,
+            length,
+            chunk_len: chunk_len.max(1),
+        }
+    }
+
+    /// A dimension starting at 0 with a single chunk.
+    pub fn unchunked(name: impl Into<String>, length: u64) -> Self {
+        Dimension::new(name, 0, length, length.max(1))
+    }
+
+    /// Last valid coordinate.
+    pub fn end(&self) -> i64 {
+        self.start + self.length as i64 - 1
+    }
+
+    pub fn contains(&self, coord: i64) -> bool {
+        coord >= self.start && coord <= self.end()
+    }
+
+    /// Number of chunks along this dimension.
+    pub fn chunk_count(&self) -> u64 {
+        self.length.div_ceil(self.chunk_len)
+    }
+}
+
+/// Schema of an n-dimensional array: dimensions plus named f64 attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySchema {
+    pub name: String,
+    pub dims: Vec<Dimension>,
+    pub attrs: Vec<String>,
+}
+
+impl ArraySchema {
+    pub fn new(name: impl Into<String>, dims: Vec<Dimension>, attrs: Vec<String>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(BigDawgError::SchemaMismatch(
+                "array needs at least one dimension".into(),
+            ));
+        }
+        if attrs.is_empty() {
+            return Err(BigDawgError::SchemaMismatch(
+                "array needs at least one attribute".into(),
+            ));
+        }
+        for d in &dims {
+            if d.length == 0 {
+                return Err(BigDawgError::SchemaMismatch(format!(
+                    "dimension `{}` has zero length",
+                    d.name
+                )));
+            }
+        }
+        Ok(ArraySchema {
+            name: name.into(),
+            dims,
+            attrs,
+        })
+    }
+
+    /// Convenience: 1-d array `[0, len)` with one attribute.
+    pub fn vector(name: impl Into<String>, attr: impl Into<String>, len: u64, chunk: u64) -> Self {
+        ArraySchema::new(
+            name,
+            vec![Dimension::new("i", 0, len, chunk)],
+            vec![attr.into()],
+        )
+        .expect("non-empty dims and attrs")
+    }
+
+    /// Convenience: 2-d row-major matrix with one attribute.
+    pub fn matrix(
+        name: impl Into<String>,
+        attr: impl Into<String>,
+        rows: u64,
+        cols: u64,
+        chunk_rows: u64,
+        chunk_cols: u64,
+    ) -> Self {
+        ArraySchema::new(
+            name,
+            vec![
+                Dimension::new("row", 0, rows, chunk_rows),
+                Dimension::new("col", 0, cols, chunk_cols),
+            ],
+            vec![attr.into()],
+        )
+        .expect("non-empty dims and attrs")
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("attribute `{name}`")))
+    }
+
+    pub fn dim_index(&self, name: &str) -> Result<usize> {
+        self.dims
+            .iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("dimension `{name}`")))
+    }
+
+    /// Total logical cell count (product of dimension lengths).
+    pub fn cell_count(&self) -> u64 {
+        self.dims.iter().map(|d| d.length).product()
+    }
+
+    /// Validate that a coordinate vector lies inside the array box.
+    pub fn check_coords(&self, coords: &[i64]) -> Result<()> {
+        if coords.len() != self.dims.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "expected {} coordinates, got {}",
+                self.dims.len(),
+                coords.len()
+            )));
+        }
+        for (c, d) in coords.iter().zip(&self.dims) {
+            if !d.contains(*c) {
+                return Err(BigDawgError::Execution(format!(
+                    "coordinate {c} outside dimension `{}` [{}, {}]",
+                    d.name,
+                    d.start,
+                    d.end()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_bounds() {
+        let d = Dimension::new("t", 10, 100, 32);
+        assert_eq!(d.end(), 109);
+        assert!(d.contains(10) && d.contains(109));
+        assert!(!d.contains(9) && !d.contains(110));
+        assert_eq!(d.chunk_count(), 4); // ceil(100/32)
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(ArraySchema::new("a", vec![], vec!["v".into()]).is_err());
+        assert!(
+            ArraySchema::new("a", vec![Dimension::unchunked("i", 4)], vec![]).is_err()
+        );
+        assert!(ArraySchema::new(
+            "a",
+            vec![Dimension::new("i", 0, 0, 1)],
+            vec!["v".into()]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn coord_checks() {
+        let s = ArraySchema::matrix("m", "v", 3, 4, 2, 2);
+        assert!(s.check_coords(&[2, 3]).is_ok());
+        assert!(s.check_coords(&[3, 0]).is_err());
+        assert!(s.check_coords(&[0]).is_err());
+        assert_eq!(s.cell_count(), 12);
+    }
+
+    #[test]
+    fn zero_chunk_len_clamped() {
+        let d = Dimension::new("i", 0, 10, 0);
+        assert_eq!(d.chunk_len, 1);
+    }
+}

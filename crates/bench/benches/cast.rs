@@ -1,0 +1,34 @@
+//! E4 bench — CAST transports: file-based CSV vs parallel binary
+//! (paper §2.1).
+
+use bigdawg_common::{Batch, DataType, Schema, Value};
+use bigdawg_core::cast::ship;
+use bigdawg_core::Transport;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn waveform_batch(rows: usize) -> Batch {
+    let schema = Schema::from_pairs(&[("i", DataType::Int), ("v", DataType::Float)]);
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| vec![Value::Int(i as i64), Value::Float((i as f64 * 0.01).sin())])
+        .collect();
+    Batch::new(schema, data).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_cast");
+    g.sample_size(20);
+    for rows in [10_000usize, 100_000] {
+        let batch = waveform_batch(rows);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("file_csv", rows), &batch, |b, batch| {
+            b.iter(|| ship(batch, Transport::File).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("binary_parallel", rows), &batch, |b, batch| {
+            b.iter(|| ship(batch, Transport::Binary).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E10 bench — tight (tile-native) vs loose (export → external kernel →
+//! import) linear algebra on the TileDB stand-in (paper §2.4).
+
+use bigdawg_tiledb::compute::{export_cells, import_cells, tile_matmul};
+use bigdawg_tiledb::{TileDb, TileSchema};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn dense(name: &str, n: u64) -> TileDb {
+    let mut db =
+        TileDb::new(TileSchema::new(name, vec![n, n], vec![32.min(n), 32.min(n)]).unwrap());
+    let buf: Vec<f64> = (0..(n * n) as usize).map(|i| ((i * 7) % 13) as f64).collect();
+    db.write_dense(&buf).unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 128u64;
+    let a = dense("a", n);
+    let b = dense("b", n);
+    let mut g = c.benchmark_group("e10_coupling");
+    g.sample_size(10);
+    g.bench_function("tight_tile_matmul", |bch| {
+        bch.iter(|| tile_matmul(&a, &b).unwrap())
+    });
+    g.bench_function("loose_export_compute_import", |bch| {
+        bch.iter(|| {
+            let fa = export_cells(&a).unwrap();
+            let fb = export_cells(&b).unwrap();
+            let p =
+                bigdawg_array::ops::dense_matmul(n as usize, n as usize, &fa, n as usize, &fb);
+            import_cells(
+                TileSchema::new("p", vec![n, n], vec![32, 32]).unwrap(),
+                &p,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E1 bench — specialized engines vs the one-size-fits-all relational
+//! engine, per workload class (paper §4).
+
+use bigdawg_bench::experiments::onesize;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_polystore_vs_onesize");
+    g.sample_size(10);
+    g.bench_function("all_workloads_4k", |b| {
+        b.iter(|| onesize::run(4_000, 2_000).expect("E1 runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

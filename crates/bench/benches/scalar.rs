@@ -1,0 +1,59 @@
+//! E7 bench — ScalaR tile fetches: cold compute vs prefetched cache hits
+//! (paper §1.1).
+
+use bigdawg_scalar::{Prefetcher, TileId, TileServer};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn points(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| (((i * 37) % 1000) as f64, ((i * 61) % 1000) as f64))
+        .collect()
+}
+
+fn session() -> Vec<TileId> {
+    let mut moves = vec![TileId { level: 0, tx: 0, ty: 0 }];
+    for tx in 0..4 {
+        moves.push(TileId { level: 2, tx, ty: 1 });
+    }
+    for ty in 1..4 {
+        moves.push(TileId { level: 2, tx: 3, ty });
+    }
+    moves
+}
+
+fn bench(c: &mut Criterion) {
+    let pts = points(100_000);
+    let moves = session();
+    let mut g = c.benchmark_group("e7_scalar");
+    g.sample_size(10);
+    g.bench_function("session_cold", |b| {
+        b.iter_with_setup(
+            || TileServer::new(pts.clone(), 16, 4, 64).unwrap(),
+            |mut s| {
+                for &m in &moves {
+                    s.fetch(m).unwrap();
+                }
+                s
+            },
+        )
+    });
+    g.bench_function("session_prefetched", |b| {
+        b.iter_with_setup(
+            || {
+                TileServer::new(pts.clone(), 16, 4, 64)
+                    .unwrap()
+                    .with_prefetcher(Prefetcher::new(6))
+            },
+            |mut s| {
+                for &m in &moves {
+                    s.fetch(m).unwrap();
+                }
+                s
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6 bench — Searchlight: synopsis speculate+validate vs direct scan
+//! (paper §2.2).
+
+use bigdawg_mimic::{AnomalyEvent, WaveformGen};
+use bigdawg_searchlight::{search_direct, search_with_synopsis, Synopsis, WindowQuery};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn signal(samples: usize) -> Vec<f64> {
+    let events = vec![
+        AnomalyEvent {
+            start: (samples / 4) as u64,
+            end: (samples / 4 + 600) as u64,
+        },
+        AnomalyEvent {
+            start: (3 * samples / 4) as u64,
+            end: (3 * samples / 4 + 600) as u64,
+        },
+    ];
+    let wave = WaveformGen::new(11, 3, 125.0, events);
+    (0..samples).map(|i| wave.sample(i as u64)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let samples = 500_000usize;
+    let data = signal(samples);
+    let synopsis = Synopsis::build(&data, 128).unwrap();
+    let query = WindowQuery::spike(125, 2.5);
+    let mut g = c.benchmark_group("e6_searchlight");
+    g.throughput(Throughput::Elements(samples as u64));
+    g.sample_size(10);
+    g.bench_function("direct_scan", |b| {
+        b.iter(|| search_direct(&data, &query).unwrap())
+    });
+    g.bench_function("synopsis_speculate_validate", |b| {
+        b.iter(|| search_with_synopsis(&data, &synopsis, &query).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E5/F2 bench — SeeDB strategies over the flat admissions table
+//! (paper §2.2, Figure 2).
+
+use bigdawg_relational::Database;
+use bigdawg_seedb::{SeeDb, Strategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn admissions_db(rows_per_race: usize) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE admissions_flat (race TEXT, sex TEXT, diagnosis TEXT, stay_days FLOAT, age INT)")
+        .unwrap();
+    let races = ["white", "black", "asian", "hispanic"];
+    let mut values = Vec::new();
+    for (ri, race) in races.iter().enumerate() {
+        for i in 0..rows_per_race {
+            let sepsis_stay = 9.0 - 1.5 * ri as f64 + (i % 3) as f64 * 0.1;
+            let other_stay = 3.0 + 1.5 * ri as f64 + (i % 3) as f64 * 0.1;
+            let sex = if i % 2 == 0 { "f" } else { "m" };
+            values.push(format!(
+                "('{race}', '{sex}', 'sepsis', {sepsis_stay}, {})",
+                40 + i % 40
+            ));
+            values.push(format!(
+                "('{race}', '{sex}', 'cardiac', {other_stay}, {})",
+                40 + i % 40
+            ));
+        }
+    }
+    db.execute(&format!("INSERT INTO admissions_flat VALUES {}", values.join(",")))
+        .unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_seedb");
+    g.sample_size(10);
+    let seedb = SeeDb::new(&["race", "sex"], &["stay_days", "age"]);
+    g.bench_function("exhaustive", |b| {
+        b.iter_with_setup(
+            || admissions_db(200),
+            |mut db| {
+                seedb
+                    .recommend(
+                        &mut db,
+                        "admissions_flat",
+                        "diagnosis = 'sepsis'",
+                        3,
+                        Strategy::Exhaustive,
+                    )
+                    .unwrap()
+            },
+        )
+    });
+    g.bench_function("shared_sampled_pruned", |b| {
+        b.iter_with_setup(
+            || admissions_db(200),
+            |mut db| {
+                seedb
+                    .recommend(
+                        &mut db,
+                        "admissions_flat",
+                        "diagnosis = 'sepsis'",
+                        3,
+                        Strategy::SharedSampled {
+                            phases: 10,
+                            slack: 1.0,
+                        },
+                    )
+                    .unwrap()
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

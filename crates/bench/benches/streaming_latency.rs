@@ -1,0 +1,62 @@
+//! E3 bench — per-tuple ingest latency through the S-Store stand-in with a
+//! sliding window and an alert trigger (paper §1.2/§2.3).
+
+use bigdawg_common::{DataType, Schema, Value};
+use bigdawg_stream::{Engine, WindowSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn engine() -> Engine {
+    let mut e = Engine::new(false);
+    e.create_stream(
+        "vitals",
+        Schema::from_pairs(&[("ts", DataType::Timestamp), ("hr", DataType::Float)]),
+        "ts",
+        2_000,
+    )
+    .unwrap();
+    e.create_window("vitals", "w", "hr", WindowSpec::sliding(125, 25))
+        .unwrap();
+    e.create_table(
+        "alerts",
+        Schema::from_pairs(&[("ts", DataType::Timestamp), ("max", DataType::Float)]),
+    )
+    .unwrap();
+    e.register_proc(
+        "alert",
+        Box::new(|ctx, args| {
+            let max = args[5].as_f64()?;
+            if max > 2.5 {
+                let ts = ctx.event_ts;
+                ctx.insert("alerts", vec![Value::Timestamp(ts), Value::Float(max)])?;
+            }
+            Ok(())
+        }),
+    );
+    e.on_window("vitals", "w", "alert").unwrap();
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_streaming");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("tuple_at_a_time_ingest_10k", |b| {
+        b.iter_with_setup(engine, |mut e| {
+            for i in 0..n {
+                e.ingest(
+                    "vitals",
+                    vec![
+                        Value::Timestamp(i as i64 * 8),
+                        Value::Float((i as f64 * 0.05).sin()),
+                    ],
+                )
+                .unwrap();
+            }
+            e
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E2 bench — Tupleware executors: compiled vs interpreted vs the Hadoop
+//! codeline (paper §2.5).
+
+use bigdawg_tupleware::{run_compiled, run_hadoop_style, run_interpreted, Pipeline, Reducer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(2, Reducer::SumColumn(1))
+        .filter(|t| t[0].is_finite() && t[0].abs() < 1.0e6)
+        .map(|t| t[1] = (t[0] - 60.0) / 40.0)
+        .filter(|t| t[1].abs() <= 3.0)
+        .map(|t| t[1] = t[1] * t[1])
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = 100_000usize;
+    let mut data = Vec::with_capacity(rows * 2);
+    for i in 0..rows {
+        data.push(40.0 + (i % 100) as f64);
+        data.push(0.0);
+    }
+    let p = pipeline();
+    let mut g = c.benchmark_group("e2_tupleware");
+    g.throughput(Throughput::Elements(rows as u64));
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("compiled", rows), &data, |b, d| {
+        b.iter(|| run_compiled(&p, d))
+    });
+    g.bench_with_input(BenchmarkId::new("interpreted", rows), &data, |b, d| {
+        b.iter(|| run_interpreted(&p, d))
+    });
+    g.bench_with_input(BenchmarkId::new("hadoop_style", rows), &data, |b, d| {
+        b.iter(|| run_hadoop_style(&p, d))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

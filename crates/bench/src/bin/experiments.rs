@@ -1,0 +1,88 @@
+//! The experiment harness: regenerates every figure and quantitative claim
+//! of the BigDAWG demo paper.
+//!
+//! ```text
+//! experiments            # run everything at default scale
+//! experiments fig1 e3    # run a subset
+//! experiments --quick    # reduced scale (CI-friendly)
+//! ```
+
+use bigdawg_bench::experiments::*;
+use bigdawg_bench::setup::{demo_polystore, DemoConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.contains(&id);
+
+    let config = if quick {
+        DemoConfig::tiny()
+    } else {
+        DemoConfig::default()
+    };
+    let scale = if quick { 1 } else { 10 };
+
+    println!("BigDAWG polystore reproduction — experiment harness");
+    println!(
+        "(scale: {}; see DESIGN.md for the experiment index and EXPERIMENTS.md for analysis)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let demo = demo_polystore(config).expect("demo federation builds");
+
+    if want("fig1") {
+        println!("{}", fig::fig1(&demo));
+    }
+    if want("fig2") {
+        let (table, top) = fig::fig2(&demo, 3);
+        println!("{table}");
+        if let Some(best) = top.first() {
+            println!("winning view rendered (target vs reference):\n{best}");
+        }
+    }
+    if want("e1") {
+        let results = onesize::run(4_000 * scale, 2_000 * scale).expect("E1 runs");
+        println!("{}", onesize::table(&results));
+    }
+    if want("e2") {
+        let r = tupleware_exp::run(200_000 * scale);
+        println!("{}", tupleware_exp::table(&r));
+    }
+    if want("e3") {
+        let r = streaming::run(20_000 * scale).expect("E3 runs");
+        println!("{}", streaming::table(&r));
+    }
+    if want("e4") {
+        let r = cast_exp::run(&demo).expect("E4 runs");
+        println!("{}", cast_exp::table(&r));
+    }
+    if want("e5") {
+        let r = seedb_exp::run(&demo, 3).expect("E5 runs");
+        println!("{}", seedb_exp::table(&r));
+    }
+    if want("e6") {
+        let r = searchlight_exp::run(100_000 * scale).expect("E6 runs");
+        println!("{}", searchlight_exp::table(&r));
+    }
+    if want("e7") {
+        let r = scalar_exp::run(&demo).expect("E7 runs");
+        println!("{}", scalar_exp::table(&r));
+    }
+    if want("e8") {
+        let r = migration::run(20_000 * scale).expect("E8 runs");
+        println!("{}", migration::table(&r));
+    }
+    if want("e9") {
+        let r = anomaly_exp::run(50_000 * scale as u64).expect("E9 runs");
+        println!("{}", anomaly_exp::table(&r));
+    }
+    if want("e10") {
+        let r = coupling::run(if quick { 96 } else { 256 }).expect("E10 runs");
+        println!("{}", coupling::table(&r));
+    }
+}

@@ -1,0 +1,113 @@
+//! F1 — the Figure 1 architecture matrix; F2 — the Figure 2 SeeDB finding.
+
+use crate::experiments::Table;
+use crate::setup::Demo;
+use bigdawg_core::shims::RelationalShim;
+use bigdawg_seedb::{ScoredView, SeeDb, Strategy};
+
+/// F1: the island × engine connectivity matrix of Figure 1. A language
+/// island reaches its home-kind engines *directly* and every other engine
+/// *via CAST*; each degenerate island wraps exactly its engine.
+pub fn fig1(demo: &Demo) -> Table {
+    let bd = &demo.bd;
+    let engines = bd.engine_names();
+    let mut headers = vec!["island".to_string()];
+    headers.extend(engines.iter().map(|e| e.to_string()));
+    let mut t = Table {
+        title: "Figure 1 — islands over engines (direct / CAST / –)".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    let home_kind = |island: &str| match island {
+        "relational" => Some(bigdawg_core::EngineKind::Relational),
+        "array" => Some(bigdawg_core::EngineKind::Array),
+        "text" => Some(bigdawg_core::EngineKind::KeyValue),
+        _ => None,
+    };
+    for island in ["relational", "array", "text", "d4m", "myria"] {
+        let mut row = vec![island.to_string()];
+        for engine in &engines {
+            let kind = bd.kind_of(engine).expect("engine exists");
+            let cell = match home_kind(island) {
+                Some(k) if k == kind => "direct",
+                Some(_) => "CAST",
+                // the multi-system islands read any engine through shims
+                None => "shim",
+            };
+            row.push(cell.to_string());
+        }
+        t.rows.push(row);
+    }
+    for engine in &engines {
+        let mut row = vec![format!("degenerate:{engine}")];
+        for other in &engines {
+            row.push(if engine == other { "native" } else { "–" }.to_string());
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// F2: run SeeDB over the flat admissions table with the `sepsis` target
+/// and return the winning views (the top one is the race × stay-length
+/// reversal the paper shows).
+pub fn fig2(demo: &Demo, k: usize) -> (Table, Vec<ScoredView>) {
+    let bd = &demo.bd;
+    let mut shim = bd.engine("postgres").expect("postgres exists").lock();
+    let rel = shim
+        .as_any_mut()
+        .downcast_mut::<RelationalShim>()
+        .expect("postgres is relational");
+    let seedb = SeeDb::new(&["race", "sex"], &["stay_days", "age"]);
+    let report = seedb
+        .recommend(
+            rel.db_mut(),
+            "admissions_flat",
+            "diagnosis = 'sepsis'",
+            k,
+            Strategy::SharedSampled {
+                phases: 10,
+                slack: 2.0,
+            },
+        )
+        .expect("seedb runs");
+    let mut t = Table::new(
+        "Figure 2 — SeeDB: most deviating views for the sepsis subpopulation",
+        &["rank", "view", "utility (EMD)"],
+    );
+    for (i, v) in report.top.iter().enumerate() {
+        t.row(&[
+            (i + 1).to_string(),
+            v.spec.to_string(),
+            format!("{:.4}", v.utility),
+        ]);
+    }
+    (t, report.top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{demo_polystore, DemoConfig};
+
+    #[test]
+    fn fig1_matrix_covers_all_islands_and_engines() {
+        let demo = demo_polystore(DemoConfig::tiny()).unwrap();
+        let t = fig1(&demo);
+        assert_eq!(t.rows.len(), 5 + 6);
+        assert_eq!(t.headers.len(), 1 + 6);
+    }
+
+    #[test]
+    fn fig2_finds_the_planted_reversal() {
+        let demo = demo_polystore(DemoConfig::tiny()).unwrap();
+        let (_, top) = fig2(&demo, 3);
+        assert_eq!(top[0].spec.dimension, "race");
+        assert_eq!(top[0].spec.measure, "stay_days");
+        // the reversal: white's target bar above hispanic's, reference below
+        let white = top[0].bars.iter().find(|(l, _, _)| l == "white").unwrap();
+        let hispanic = top[0].bars.iter().find(|(l, _, _)| l == "hispanic").unwrap();
+        assert!(white.1 > hispanic.1);
+        assert!(white.2 < hispanic.2);
+    }
+}

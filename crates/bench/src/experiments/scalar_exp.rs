@@ -1,0 +1,117 @@
+//! E7 — §1.1 Browsing: ScalaR's prefetching turns pan/zoom misses into
+//! cache hits, which is what makes "interactive response times" possible.
+
+use crate::experiments::Table;
+use crate::setup::Demo;
+use bigdawg_common::Result;
+use bigdawg_scalar::{Prefetcher, SessionStats, TileId, TileServer};
+
+#[derive(Debug, Clone)]
+pub struct ScalarResult {
+    pub cold: SessionStats,
+    pub prefetched: SessionStats,
+}
+
+/// A deterministic pan-then-zoom session over the patient age × stay
+/// scatter (the "icon for each group of patients" top view, then drilling
+/// down).
+fn session() -> Vec<TileId> {
+    let mut moves = vec![TileId { level: 0, tx: 0, ty: 0 }];
+    // zoom to level 2 and pan east along a row
+    for tx in 0..4 {
+        moves.push(TileId { level: 2, tx, ty: 1 });
+    }
+    // pan south
+    for ty in 1..4 {
+        moves.push(TileId { level: 2, tx: 3, ty });
+    }
+    // zoom into a hot tile's children
+    let hot = TileId { level: 2, tx: 3, ty: 3 };
+    moves.extend(hot.children());
+    // pan back west
+    for tx in (0..3).rev() {
+        moves.push(TileId { level: 2, tx, ty: 3 });
+    }
+    moves
+}
+
+fn points(demo: &Demo) -> Vec<(f64, f64)> {
+    demo.data
+        .patients
+        .iter()
+        .zip(&demo.data.admissions)
+        .map(|(p, a)| (p.age as f64, a.stay_days))
+        .collect()
+}
+
+pub fn run(demo: &Demo) -> Result<ScalarResult> {
+    let pts = points(demo);
+    let moves = session();
+
+    let mut cold = TileServer::new(pts.clone(), 16, 4, 64)?;
+    for &m in &moves {
+        cold.fetch(m)?;
+    }
+
+    let mut warm = TileServer::new(pts, 16, 4, 64)?.with_prefetcher(Prefetcher::new(6));
+    for &m in &moves {
+        warm.fetch(m)?;
+    }
+    Ok(ScalarResult {
+        cold: cold.stats(),
+        prefetched: warm.stats(),
+    })
+}
+
+pub fn table(r: &ScalarResult) -> Table {
+    let mut t = Table::new(
+        "E7 — ScalaR browsing: prefetch vs cold cache (§1.1)",
+        &[
+            "mode",
+            "fetches",
+            "hits",
+            "hit rate",
+            "user-visible points scanned",
+            "background points scanned",
+        ],
+    );
+    for (name, s) in [("cold", r.cold), ("prefetching", r.prefetched)] {
+        t.row(&[
+            name.to_string(),
+            s.user_fetches.to_string(),
+            s.hits.to_string(),
+            format!("{:.0}%", s.hit_rate() * 100.0),
+            s.user_points_scanned.to_string(),
+            s.prefetch_points_scanned.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{demo_polystore, DemoConfig};
+
+    #[test]
+    fn prefetching_raises_hit_rate() {
+        let demo = demo_polystore(DemoConfig::tiny()).unwrap();
+        let r = run(&demo).unwrap();
+        assert!(r.cold.hits <= 1, "cold session repeats at most one tile");
+        assert!(
+            r.prefetched.hit_rate() > r.cold.hit_rate() + 0.3,
+            "prefetch must add hits: {:.2} vs {:.2}",
+            r.prefetched.hit_rate(),
+            r.cold.hit_rate()
+        );
+        assert!(
+            r.prefetched.hit_rate() > 0.5,
+            "prefetch hit rate {:.2}",
+            r.prefetched.hit_rate()
+        );
+        assert!(
+            r.prefetched.user_points_scanned < r.cold.user_points_scanned,
+            "user-visible work must shrink"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! E6 — §2.2: Searchlight's synopsis speculation + validation vs a direct
+//! scan.
+
+use crate::experiments::{fmt_dur, fmt_ratio, Table};
+use bigdawg_common::Result;
+use bigdawg_mimic::WaveformGen;
+use bigdawg_searchlight::{search_direct, search_with_synopsis, Synopsis, WindowQuery};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct SearchlightResult {
+    pub samples: usize,
+    pub matches: usize,
+    pub direct_time: Duration,
+    pub direct_touched: u64,
+    pub synopsis_time: Duration,
+    pub synopsis_touched: u64,
+    pub synopsis_build: Duration,
+}
+
+pub fn run(samples: usize) -> Result<SearchlightResult> {
+    // waveform with two planted high-energy episodes (the "interesting"
+    // regions the analyst hunts for)
+    let events = vec![
+        bigdawg_mimic::AnomalyEvent {
+            start: (samples / 4) as u64,
+            end: (samples / 4 + 600) as u64,
+        },
+        bigdawg_mimic::AnomalyEvent {
+            start: (3 * samples / 4) as u64,
+            end: (3 * samples / 4 + 600) as u64,
+        },
+    ];
+    let wave = WaveformGen::new(11, 3, 125.0, events);
+    let data: Vec<f64> = (0..samples).map(|i| wave.sample(i as u64)).collect();
+    // "find the one-second windows containing a high-amplitude spike" —
+    // normal rhythm peaks ≈ 1.6, the planted episodes peak ≈ 4.5
+    let query = WindowQuery::spike(125, 2.5);
+
+    let t0 = Instant::now();
+    let direct = search_direct(&data, &query)?;
+    let direct_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let synopsis = Synopsis::build(&data, 128)?;
+    let synopsis_build = t0.elapsed();
+    let t0 = Instant::now();
+    let spec = search_with_synopsis(&data, &synopsis, &query)?;
+    let synopsis_time = t0.elapsed();
+
+    assert_eq!(direct.matches, spec.matches, "strategies must agree");
+    Ok(SearchlightResult {
+        samples,
+        matches: direct.matches.len(),
+        direct_time,
+        direct_touched: direct.samples_touched,
+        synopsis_time,
+        synopsis_touched: spec.samples_touched,
+        synopsis_build,
+    })
+}
+
+pub fn table(r: &SearchlightResult) -> Table {
+    let mut t = Table::new(
+        "E6 — Searchlight: synopsis speculate+validate vs direct scan (§2.2)",
+        &["strategy", "time", "samples touched", "matches"],
+    );
+    t.row(&[
+        "direct scan".into(),
+        fmt_dur(r.direct_time),
+        r.direct_touched.to_string(),
+        r.matches.to_string(),
+    ]);
+    t.row(&[
+        format!("synopsis (+build {})", fmt_dur(r.synopsis_build)),
+        fmt_dur(r.synopsis_time),
+        r.synopsis_touched.to_string(),
+        r.matches.to_string(),
+    ]);
+    t.row(&[
+        format!("speedup {}", fmt_ratio(r.direct_time, r.synopsis_time)),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synopsis_prunes_most_of_the_signal() {
+        let r = run(100_000).unwrap();
+        assert!(r.matches > 0, "episodes must match");
+        assert!(
+            r.synopsis_touched * 10 < r.direct_touched,
+            "synopsis {} vs direct {}",
+            r.synopsis_touched,
+            r.direct_touched
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! E5 — §2.2: SeeDB's sampling + pruning vs exhaustive view enumeration.
+
+use crate::experiments::{fmt_dur, fmt_ratio, Table};
+use crate::setup::Demo;
+use bigdawg_common::Result;
+use bigdawg_core::shims::RelationalShim;
+use bigdawg_seedb::{SeeDb, SeeDbReport, Strategy};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct SeeDbResult {
+    pub exhaustive: SeeDbReport,
+    pub exhaustive_time: Duration,
+    pub shared: SeeDbReport,
+    pub shared_time: Duration,
+}
+
+pub fn run(demo: &Demo, k: usize) -> Result<SeeDbResult> {
+    let bd = &demo.bd;
+    let mut shim = bd.engine("postgres")?.lock();
+    let rel = shim
+        .as_any_mut()
+        .downcast_mut::<RelationalShim>()
+        .expect("postgres is relational");
+    let seedb = SeeDb::new(&["race", "sex"], &["stay_days", "age"]);
+
+    let t0 = Instant::now();
+    let exhaustive = seedb.recommend(
+        rel.db_mut(),
+        "admissions_flat",
+        "diagnosis = 'sepsis'",
+        k,
+        Strategy::Exhaustive,
+    )?;
+    let exhaustive_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let shared = seedb.recommend(
+        rel.db_mut(),
+        "admissions_flat",
+        "diagnosis = 'sepsis'",
+        k,
+        Strategy::SharedSampled {
+            phases: 10,
+            slack: 1.0,
+        },
+    )?;
+    let shared_time = t0.elapsed();
+    Ok(SeeDbResult {
+        exhaustive,
+        exhaustive_time,
+        shared,
+        shared_time,
+    })
+}
+
+pub fn table(r: &SeeDbResult) -> Table {
+    let mut t = Table::new(
+        "E5 — SeeDB: exhaustive vs shared-scan + sampling + pruning (§2.2)",
+        &["strategy", "time", "views pruned", "top view", "utility"],
+    );
+    t.row(&[
+        "exhaustive".into(),
+        fmt_dur(r.exhaustive_time),
+        "0".into(),
+        r.exhaustive.top[0].spec.to_string(),
+        format!("{:.4}", r.exhaustive.top[0].utility),
+    ]);
+    t.row(&[
+        "shared + pruned".into(),
+        fmt_dur(r.shared_time),
+        r.shared.views_pruned.to_string(),
+        r.shared.top[0].spec.to_string(),
+        format!("{:.4}", r.shared.top[0].utility),
+    ]);
+    t.row(&[
+        format!("speedup {}", fmt_ratio(r.exhaustive_time, r.shared_time)),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{demo_polystore, DemoConfig};
+
+    #[test]
+    fn strategies_agree_on_winner() {
+        let demo = demo_polystore(DemoConfig::tiny()).unwrap();
+        let r = run(&demo, 2).unwrap();
+        assert_eq!(r.exhaustive.top[0].spec, r.shared.top[0].spec);
+        assert_eq!(r.exhaustive.top[0].spec.dimension, "race");
+    }
+}

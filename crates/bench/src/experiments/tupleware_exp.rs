@@ -1,0 +1,109 @@
+//! E2 — §2.5: Tupleware is "nearly two orders of magnitude faster than the
+//! standard Hadoop codeline, and dramatically outperforms Spark."
+
+use crate::experiments::{fmt_dur, fmt_ratio, Table};
+use bigdawg_tupleware::{
+    optimize, run_compiled, run_hadoop_style, run_interpreted, Pipeline, Reducer, UdfStats,
+};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct TupleResult {
+    pub rows: usize,
+    pub compiled: Duration,
+    pub interpreted: Duration,
+    pub hadoop: Duration,
+    /// Estimated per-tuple cost before/after the UDF-statistics optimizer.
+    pub est_before: f64,
+    pub est_after: f64,
+}
+
+/// The demo's analytical UDF pipeline: sanity filter → normalize → clamp →
+/// square → sum (a z-score energy).
+fn pipeline() -> Pipeline {
+    Pipeline::new(2, Reducer::SumColumn(1))
+        .filter(|t| t[0].is_finite() && t[0].abs() < 1.0e6)
+        .map(|t| t[1] = (t[0] - 60.0) / 40.0)
+        .filter(|t| t[1].abs() <= 3.0)
+        .map(|t| t[1] = t[1] * t[1])
+}
+
+pub fn run(rows: usize) -> TupleResult {
+    let mut data = Vec::with_capacity(rows * 2);
+    for i in 0..rows {
+        data.push(40.0 + (i % 100) as f64);
+        data.push(0.0);
+    }
+    let p = pipeline();
+
+    let t0 = Instant::now();
+    let a = run_compiled(&p, &data);
+    let compiled = t0.elapsed();
+
+    let t0 = Instant::now();
+    let b = run_interpreted(&p, &data);
+    let interpreted = t0.elapsed();
+
+    let t0 = Instant::now();
+    let c = run_hadoop_style(&p, &data);
+    let hadoop = t0.elapsed();
+
+    assert!((a - b).abs() < 1e-6 && (a - c).abs() < 1e-6, "modes agree");
+
+    // UDF-statistics optimization estimate: two adjacent commuting filters
+    // (expensive/permissive first as submitted, cheap/selective first after)
+    let opt_pipe = Pipeline::new(2, Reducer::Count)
+        .filter(|t| (t[0].sin() * t[0].cos()).abs() < 2.0)
+        .filter(|t| t[0] < 90.0);
+    let stats = vec![UdfStats::new(40.0, 0.999), UdfStats::new(1.0, 0.5)];
+    let (_, est_before, est_after) = optimize(&opt_pipe, &stats);
+
+    TupleResult {
+        rows,
+        compiled,
+        interpreted,
+        hadoop,
+        est_before,
+        est_after,
+    }
+}
+
+pub fn table(r: &TupleResult) -> Table {
+    let mut t = Table::new(
+        "E2 — Tupleware: compiled vs interpreted vs Hadoop codeline (§2.5)",
+        &["mode", "time", "vs compiled"],
+    );
+    t.row(&["compiled (fused)".into(), fmt_dur(r.compiled), "1.0×".into()]);
+    t.row(&[
+        "interpreted (Spark-style)".into(),
+        fmt_dur(r.interpreted),
+        fmt_ratio(r.interpreted, r.compiled),
+    ]);
+    t.row(&[
+        "Hadoop codeline (spill between stages)".into(),
+        fmt_dur(r.hadoop),
+        fmt_ratio(r.hadoop, r.compiled),
+    ]);
+    t.row(&[
+        format!("optimizer est. cost/tuple {:.1} → {:.1}", r.est_before, r.est_after),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiled_is_much_faster() {
+        let r = run(200_000);
+        let vs_interp = r.interpreted.as_secs_f64() / r.compiled.as_secs_f64();
+        let vs_hadoop = r.hadoop.as_secs_f64() / r.compiled.as_secs_f64();
+        assert!(vs_interp > 5.0, "interpreted ratio {vs_interp}");
+        assert!(vs_hadoop > 15.0, "hadoop ratio {vs_hadoop}");
+        assert!(vs_hadoop > vs_interp, "spilling must cost extra");
+        assert!(r.est_after < r.est_before);
+    }
+}

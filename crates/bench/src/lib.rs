@@ -1,0 +1,14 @@
+//! Benchmark support: the MIMIC demo federation builder and the experiment
+//! implementations behind both the `experiments` binary and the Criterion
+//! benches.
+//!
+//! Every table/figure/claim of the paper maps to one function in
+//! [`experiments`] (see DESIGN.md's experiment index); [`setup`] builds the
+//! federation of §3 — patients in Postgres, historical waveforms in SciDB,
+//! live vitals in S-Store, notes in Accumulo, waveform tiles in TileDB, and
+//! a numeric vitals dataset in Tupleware.
+
+pub mod experiments;
+pub mod setup;
+
+pub use setup::{demo_polystore, DemoConfig};

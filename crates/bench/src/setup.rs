@@ -1,0 +1,258 @@
+//! Build the §3 demo federation from synthetic MIMIC II data.
+
+use bigdawg_common::{DataType, Result, Row, Schema, Value};
+use bigdawg_core::shims::{ArrayShim, KvShim, RelationalShim, StreamShim, TileShim, TupleShim};
+use bigdawg_core::BigDawg;
+use bigdawg_array::Array;
+use bigdawg_mimic::{generate, plant_anomalies, AnomalyEvent, MimicConfig, MimicData, WaveformGen};
+use bigdawg_stream::{Engine, WindowSpec};
+use bigdawg_tiledb::{TileDb, TileSchema};
+
+/// Scale knobs for the demo federation.
+#[derive(Debug, Clone)]
+pub struct DemoConfig {
+    pub seed: u64,
+    pub patients: usize,
+    /// Patients with historical waveforms in the array engine.
+    pub waveform_patients: u64,
+    /// Samples of historical waveform per patient (125 Hz).
+    pub waveform_samples: usize,
+    /// Planted arrhythmias per monitored patient.
+    pub anomalies_per_patient: usize,
+}
+
+impl Default for DemoConfig {
+    fn default() -> Self {
+        DemoConfig {
+            seed: 42,
+            patients: 2000,
+            waveform_patients: 4,
+            waveform_samples: 100_000,
+            anomalies_per_patient: 5,
+        }
+    }
+}
+
+impl DemoConfig {
+    /// A small configuration for integration tests.
+    pub fn tiny() -> Self {
+        DemoConfig {
+            seed: 42,
+            patients: 200,
+            waveform_patients: 2,
+            waveform_samples: 4_000,
+            anomalies_per_patient: 2,
+        }
+    }
+}
+
+/// Everything the experiments need back from setup.
+pub struct Demo {
+    pub bd: BigDawg,
+    pub data: MimicData,
+    /// Ground-truth anomaly events per monitored patient.
+    pub anomalies: Vec<(u64, Vec<AnomalyEvent>)>,
+    pub config: DemoConfig,
+}
+
+/// Schema of the live vitals stream.
+pub fn vitals_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("ts", DataType::Timestamp),
+        ("patient_id", DataType::Int),
+        ("hr", DataType::Float),
+    ])
+}
+
+/// Build the federated demo: six engines, MIMIC data partitioned across
+/// them exactly as §3 describes.
+pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
+    let mimic_cfg = MimicConfig {
+        seed: config.seed,
+        patients: config.patients,
+        ..MimicConfig::default()
+    };
+    let data = generate(&mimic_cfg);
+    let mut bd = BigDawg::new();
+
+    // --- Postgres: patient metadata -------------------------------------
+    let mut pg = RelationalShim::new("postgres");
+    pg.load_table("patients", data.patients_batch())?;
+    pg.load_table("admissions", data.admissions_batch())?;
+    pg.load_table("prescriptions", data.prescriptions_batch())?;
+    pg.load_table("labs", data.labs_batch())?;
+    // flat view for SeeDB (race/diagnosis/stay joined)
+    pg.load_table("admissions_flat", admissions_flat(&data))?;
+    bd.add_engine(Box::new(pg));
+
+    // --- SciDB: historical waveforms -------------------------------------
+    let mut scidb = ArrayShim::new("scidb");
+    let mut anomalies = Vec::new();
+    for pid in 0..config.waveform_patients {
+        let events = plant_anomalies(
+            config.seed,
+            pid,
+            config.waveform_samples as u64,
+            config.anomalies_per_patient,
+            500,
+            2_000,
+        );
+        let wave = WaveformGen::new(config.seed, pid, 125.0, events.clone());
+        let samples = wave.window(0, config.waveform_samples);
+        scidb.store(
+            format!("waveform_{pid}"),
+            Array::from_vector(format!("waveform_{pid}"), "v", &samples, 4096),
+        );
+        anomalies.push((pid, events));
+    }
+    bd.add_engine(Box::new(scidb));
+
+    // --- S-Store: live vitals with window alerts -------------------------
+    let mut engine = Engine::new(false);
+    engine.create_stream("vitals", vitals_schema(), "ts", 10_000)?;
+    engine.create_window("vitals", "w_hr", "hr", WindowSpec::sliding(125, 25))?;
+    engine.create_table(
+        "alerts",
+        Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("kind", DataType::Text),
+            ("value", DataType::Float),
+        ]),
+    )?;
+    engine.register_proc(
+        "hr_alert",
+        Box::new(|ctx, args| {
+            // args: [window, count, sum, mean, min, max]
+            let max = args[5].as_f64()?;
+            if max > 2.5 {
+                let ts = ctx.event_ts;
+                ctx.insert(
+                    "alerts",
+                    vec![
+                        Value::Timestamp(ts),
+                        Value::Text("waveform_anomaly".into()),
+                        Value::Float(max),
+                    ],
+                )?;
+            }
+            Ok(())
+        }),
+    );
+    engine.on_window("vitals", "w_hr", "hr_alert")?;
+    bd.add_engine(Box::new(StreamShim::new("sstore", engine)));
+
+    // --- Accumulo: clinical notes ----------------------------------------
+    let mut kv = KvShim::new("accumulo");
+    for n in &data.notes {
+        kv.index_document(n.id, &format!("p{}", n.patient_id), n.ts, &n.body);
+    }
+    bd.add_engine(Box::new(kv));
+
+    // --- TileDB: waveform matrix (patients × regridded samples) ----------
+    let mut tiledb = TileShim::new("tiledb");
+    let cols = 256u64;
+    let mut matrix = TileDb::new(TileSchema::new(
+        "waveform_tiles",
+        vec![config.waveform_patients.max(1), cols],
+        vec![config.waveform_patients.max(1).min(4), 64],
+    )?);
+    let mut cells = Vec::new();
+    for (pid, events) in &anomalies {
+        let wave = WaveformGen::new(config.seed, *pid, 125.0, events.clone());
+        let step = (config.waveform_samples as u64 / cols).max(1);
+        for c in 0..cols {
+            cells.push((vec![*pid as i64, c as i64], wave.sample(c * step)));
+        }
+    }
+    if !cells.is_empty() {
+        matrix.write(&cells)?;
+    }
+    tiledb.store("waveform_tiles", matrix);
+    bd.add_engine(Box::new(tiledb));
+
+    // --- Tupleware: dense numeric vitals dataset --------------------------
+    let mut tw = TupleShim::new("tupleware");
+    let mut dense = Vec::with_capacity(config.patients * 2);
+    for (p, a) in data.patients.iter().zip(&data.admissions) {
+        dense.push(p.age as f64);
+        dense.push(a.stay_days);
+    }
+    tw.store("age_stay", 2, dense)?;
+    bd.add_engine(Box::new(tw));
+
+    bd.refresh_catalog();
+    Ok(Demo {
+        bd,
+        data,
+        anomalies,
+        config,
+    })
+}
+
+/// One row per admission with patient demographics attached (SeeDB input).
+fn admissions_flat(data: &MimicData) -> bigdawg_common::Batch {
+    let schema = Schema::from_pairs(&[
+        ("patient_id", DataType::Int),
+        ("race", DataType::Text),
+        ("sex", DataType::Text),
+        ("age", DataType::Int),
+        ("diagnosis", DataType::Text),
+        ("stay_days", DataType::Float),
+    ]);
+    let rows: Vec<Row> = data
+        .admissions
+        .iter()
+        .map(|a| {
+            let p = &data.patients[a.patient_id as usize];
+            vec![
+                Value::Int(p.id as i64),
+                Value::Text(p.race.into()),
+                Value::Text(p.sex.into()),
+                Value::Int(p.age),
+                Value::Text(a.diagnosis.into()),
+                Value::Float(a.stay_days),
+            ]
+        })
+        .collect();
+    bigdawg_common::Batch::new(schema, rows).expect("schema matches construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_builds_and_catalogs_everything() {
+        let demo = demo_polystore(DemoConfig::tiny()).unwrap();
+        let bd = &demo.bd;
+        assert_eq!(bd.engine_names().len(), 6);
+        assert_eq!(bd.locate("patients").unwrap(), "postgres");
+        assert_eq!(bd.locate("waveform_0").unwrap(), "scidb");
+        assert_eq!(bd.locate("vitals").unwrap(), "sstore");
+        assert_eq!(bd.locate("notes").unwrap(), "accumulo");
+        assert_eq!(bd.locate("waveform_tiles").unwrap(), "tiledb");
+        assert_eq!(bd.locate("age_stay").unwrap(), "tupleware");
+        assert_eq!(bd.island_names().len(), 11); // 5 language + 6 degenerate
+    }
+
+    #[test]
+    fn demo_queries_run_end_to_end() {
+        let demo = demo_polystore(DemoConfig::tiny()).unwrap();
+        let bd = &demo.bd;
+        let b = bd
+            .execute("RELATIONAL(SELECT COUNT(*) AS n FROM patients)")
+            .unwrap();
+        assert_eq!(b.rows()[0][0], Value::Int(200));
+        let b = bd
+            .execute("ARRAY(aggregate(waveform_0, count, v))")
+            .unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(4000.0));
+        let b = bd.execute("TEXT(owners_min(\"very sick\", 3))").unwrap();
+        assert!(!b.is_empty(), "some patient has ≥3 very-sick notes");
+        let b = bd
+            .execute("TUPLEWARE(run compiled count(c0) from age_stay where c0 >= 70)")
+            .unwrap();
+        let n = b.rows()[0][0].as_f64().unwrap();
+        assert!(n > 0.0 && n < 200.0);
+    }
+}

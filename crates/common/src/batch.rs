@@ -1,0 +1,249 @@
+//! Tabular interchange format: rows and schema-carrying batches.
+//!
+//! A [`Batch`] is what islands return to clients and what CAST ships between
+//! engines. It is intentionally simple — a row-major `Vec<Row>` plus a
+//! [`Schema`] — because it is a *wire* format, not a storage format; each
+//! engine re-encodes into its own layout on arrival.
+
+use crate::error::{BigDawgError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// One tuple.
+pub type Row = Vec<Value>;
+
+/// A schema plus rows. The invariant `row.len() == schema.len()` is enforced
+/// on every mutation path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Batch {
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Batch {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build a batch, validating row arity against the schema.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.len() {
+                return Err(BigDawgError::SchemaMismatch(format!(
+                    "row {i} has {} values, schema has {} columns",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(Batch { schema, rows })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one row, checking arity.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Consume the batch, yielding its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Split into `(schema, rows)` without cloning.
+    pub fn into_parts(self) -> (Schema, Vec<Row>) {
+        (self.schema, self.rows)
+    }
+
+    /// The values of one column, cloned. Handy for analytics ingestion.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let i = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+
+    /// The values of one column as f64, erroring on non-numeric entries and
+    /// skipping NULLs.
+    pub fn column_f64(&self, name: &str) -> Result<Vec<f64>> {
+        let i = self.schema.index_of(name)?;
+        self.rows
+            .iter()
+            .filter(|r| !r[i].is_null())
+            .map(|r| r[i].as_f64())
+            .collect()
+    }
+
+    /// Project to the named columns (order preserved as given).
+    pub fn project(&self, names: &[&str]) -> Result<Batch> {
+        let indices: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<_>>()?;
+        let schema = self.schema.project(&indices);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Batch { schema, rows })
+    }
+
+    /// Concatenate another batch (must be union-compatible).
+    pub fn extend(&mut self, other: Batch) -> Result<()> {
+        self.schema.check_union_compatible(other.schema())?;
+        self.rows.extend(other.rows);
+        Ok(())
+    }
+
+    /// Sort rows by the named column, ascending (NULLs first; total order).
+    pub fn sort_by_column(&mut self, name: &str) -> Result<()> {
+        let i = self.schema.index_of(name)?;
+        self.rows.sort_by(|a, b| a[i].cmp(&b[i]));
+        Ok(())
+    }
+}
+
+impl fmt::Display for Batch {
+    /// Render as an aligned ASCII table — used by examples and the
+    /// experiment harness to show query results like the demo UI would.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers = self.schema.names();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        write_sep(f)?;
+        write!(f, "|")?;
+        for (h, w) in headers.iter().zip(&widths) {
+            write!(f, " {h:<w$} |")?;
+        }
+        writeln!(f)?;
+        write_sep(f)?;
+        for row in &rendered {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        write_sep(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn patients() -> Batch {
+        let schema = Schema::new(vec![
+            Field::required("id", DataType::Int),
+            Field::new("age", DataType::Int),
+        ]);
+        Batch::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(70)],
+                vec![Value::Int(2), Value::Null],
+                vec![Value::Int(3), Value::Int(54)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_checked_on_new_and_push() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        assert!(Batch::new(schema.clone(), vec![vec![]]).is_err());
+        let mut b = Batch::empty(schema);
+        assert!(b.push(vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert!(b.push(vec![Value::Int(1)]).is_ok());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn column_extraction_skips_nulls_for_f64() {
+        let b = patients();
+        assert_eq!(b.column_f64("age").unwrap(), vec![70.0, 54.0]);
+        assert_eq!(b.column("age").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn project_by_name() {
+        let b = patients().project(&["age", "id"]).unwrap();
+        assert_eq!(b.schema().names(), vec!["age", "id"]);
+        assert_eq!(b.rows()[0], vec![Value::Int(70), Value::Int(1)]);
+        assert!(patients().project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn extend_requires_compatibility() {
+        let mut b = patients();
+        let other = Batch::new(
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]),
+            vec![vec![Value::Int(9), Value::Int(9)]],
+        )
+        .unwrap();
+        b.extend(other).unwrap();
+        assert_eq!(b.len(), 4);
+        let bad = Batch::empty(Schema::from_pairs(&[("only", DataType::Text)]));
+        assert!(b.extend(bad).is_err());
+    }
+
+    #[test]
+    fn sort_nulls_first() {
+        let mut b = patients();
+        b.sort_by_column("age").unwrap();
+        assert!(b.rows()[0][1].is_null());
+        assert_eq!(b.rows()[1][1], Value::Int(54));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let out = patients().to_string();
+        assert!(out.contains("| id | age  |"), "got:\n{out}");
+        assert!(out.contains("NULL"));
+    }
+}

@@ -1,0 +1,125 @@
+//! The federation-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across every BigDAWG crate.
+pub type Result<T> = std::result::Result<T, BigDawgError>;
+
+/// Errors surfaced by any engine, island, or polystore component.
+///
+/// The variants are deliberately coarse: the polystore must be able to report
+/// an error from *any* of its heterogeneous backends without leaking
+/// engine-specific types across the federation boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BigDawgError {
+    /// A query string failed to parse (island language, SQL dialect, AFL
+    /// dialect, keyword query, ...). Carries a human-readable reason.
+    Parse(String),
+    /// An identifier (table, array, stream, island, engine, column) did not
+    /// resolve against the relevant catalog.
+    NotFound(String),
+    /// Two schemas/shapes were incompatible (wrong arity, wrong dimensions,
+    /// mismatched field names).
+    SchemaMismatch(String),
+    /// A value had the wrong type for an operation (e.g. `Text + Int`).
+    TypeError(String),
+    /// The operation is valid in principle but this island/engine does not
+    /// support it (an island exposes only the *intersection* of its engines'
+    /// capabilities — §2.1 of the paper).
+    Unsupported(String),
+    /// A runtime failure inside an engine during execution.
+    Execution(String),
+    /// A CAST between engines failed (serialization, shape conversion...).
+    Cast(String),
+    /// A transaction aborted (S-Store stand-in).
+    TxAborted(String),
+    /// A constraint-programming model was infeasible or malformed.
+    Infeasible(String),
+    /// An invariant that should be unreachable was violated; indicates a bug.
+    Internal(String),
+}
+
+impl BigDawgError {
+    /// Short machine-readable category name (stable across messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BigDawgError::Parse(_) => "parse",
+            BigDawgError::NotFound(_) => "not_found",
+            BigDawgError::SchemaMismatch(_) => "schema_mismatch",
+            BigDawgError::TypeError(_) => "type_error",
+            BigDawgError::Unsupported(_) => "unsupported",
+            BigDawgError::Execution(_) => "execution",
+            BigDawgError::Cast(_) => "cast",
+            BigDawgError::TxAborted(_) => "tx_aborted",
+            BigDawgError::Infeasible(_) => "infeasible",
+            BigDawgError::Internal(_) => "internal",
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            BigDawgError::Parse(m)
+            | BigDawgError::NotFound(m)
+            | BigDawgError::SchemaMismatch(m)
+            | BigDawgError::TypeError(m)
+            | BigDawgError::Unsupported(m)
+            | BigDawgError::Execution(m)
+            | BigDawgError::Cast(m)
+            | BigDawgError::TxAborted(m)
+            | BigDawgError::Infeasible(m)
+            | BigDawgError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for BigDawgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for BigDawgError {}
+
+/// Build a [`BigDawgError::Parse`] with `format!` semantics.
+#[macro_export]
+macro_rules! parse_err {
+    ($($arg:tt)*) => { $crate::error::BigDawgError::Parse(format!($($arg)*)) };
+}
+
+/// Build a [`BigDawgError::Execution`] with `format!` semantics.
+#[macro_export]
+macro_rules! exec_err {
+    ($($arg:tt)*) => { $crate::error::BigDawgError::Execution(format!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = BigDawgError::NotFound("table `mimic.patients`".into());
+        assert_eq!(e.to_string(), "not_found: table `mimic.patients`");
+    }
+
+    #[test]
+    fn kind_is_stable() {
+        assert_eq!(BigDawgError::Parse("x".into()).kind(), "parse");
+        assert_eq!(BigDawgError::Cast("x".into()).kind(), "cast");
+        assert_eq!(BigDawgError::TxAborted("x".into()).kind(), "tx_aborted");
+    }
+
+    #[test]
+    fn macros_format() {
+        let e = parse_err!("unexpected token `{}` at {}", ")", 7);
+        assert_eq!(e, BigDawgError::Parse("unexpected token `)` at 7".into()));
+        let e = exec_err!("division by zero");
+        assert_eq!(e.kind(), "execution");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(BigDawgError::Internal("bug".into()));
+        assert!(e.to_string().contains("bug"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared primitives for the BigDAWG polystore reproduction.
+//!
+//! Every engine in the federation (relational, array, stream, key-value,
+//! TileDB, Tupleware) speaks a different *data model*, but they exchange data
+//! through a small common vocabulary defined here:
+//!
+//! * [`Value`] — a dynamically typed scalar (the unit CAST moves around),
+//! * [`DataType`] / [`Schema`] — type metadata for rows and array cells,
+//! * [`Row`] / [`Batch`] — the tabular interchange format used by islands,
+//! * [`BigDawgError`] — the error type shared across the federation.
+//!
+//! Nothing in this crate knows about any particular engine; it is the bottom
+//! of the dependency graph.
+
+pub mod batch;
+pub mod error;
+pub mod schema;
+pub mod value;
+
+pub use batch::{Batch, Row};
+pub use error::{BigDawgError, Result};
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};

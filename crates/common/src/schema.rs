@@ -1,0 +1,218 @@
+//! Schemas describe the shape of tabular data exchanged between engines.
+
+use crate::error::{BigDawgError, Result};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable field — the common case for federated data.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL field.
+    pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered list of [`Field`]s.
+///
+/// Lookup is linear: federated schemas are narrow (tens of columns), so a
+/// hash index would cost more to maintain than it saves.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Build a schema of nullable fields from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column named `name` (case-sensitive, then
+    /// case-insensitive fallback to be forgiving across island dialects).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.name == name) {
+            return Ok(i);
+        }
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| BigDawgError::NotFound(format!("column `{name}`")))
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    pub fn field_named(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Concatenate two schemas (used by joins). Duplicate names on the right
+    /// side are disambiguated with a `right.` prefix, mirroring what the
+    /// relational island does for `JOIN` output.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let name = if self.index_of(&f.name).is_ok() {
+                format!("right.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field {
+                name,
+                data_type: f.data_type,
+                nullable: f.nullable,
+            });
+        }
+        Schema { fields }
+    }
+
+    /// Keep only the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Check that another schema is compatible for UNION/CAST: same arity and
+    /// pairwise-unifiable types (names may differ).
+    pub fn check_union_compatible(&self, other: &Schema) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "arity {} vs {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        for (a, b) in self.fields.iter().zip(other.fields.iter()) {
+            if a.data_type.unify(b.data_type).is_none() {
+                return Err(BigDawgError::SchemaMismatch(format!(
+                    "column `{}`: {} vs {}",
+                    a.name, a.data_type, b.data_type
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+            if !field.nullable {
+                write!(f, " not null")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("patient_id", DataType::Int),
+            ("name", DataType::Text),
+            ("age", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn index_of_exact_and_ci() {
+        let s = sample();
+        assert_eq!(s.index_of("age").unwrap(), 2);
+        assert_eq!(s.index_of("AGE").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn join_disambiguates_duplicates() {
+        let left = sample();
+        let right = Schema::from_pairs(&[("patient_id", DataType::Int), ("drug", DataType::Text)]);
+        let joined = left.join(&right);
+        assert_eq!(
+            joined.names(),
+            vec!["patient_id", "name", "age", "right.patient_id", "drug"]
+        );
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["age", "patient_id"]);
+    }
+
+    #[test]
+    fn union_compat() {
+        let a = Schema::from_pairs(&[("x", DataType::Int)]);
+        let b = Schema::from_pairs(&[("y", DataType::Float)]);
+        let c = Schema::from_pairs(&[("y", DataType::Text)]);
+        assert!(a.check_union_compatible(&b).is_ok());
+        assert!(a.check_union_compatible(&c).is_err());
+        let d = Schema::from_pairs(&[("x", DataType::Int), ("z", DataType::Int)]);
+        assert!(a.check_union_compatible(&d).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::new(vec![
+            Field::required("id", DataType::Int),
+            Field::new("note", DataType::Text),
+        ]);
+        assert_eq!(s.to_string(), "(id: int not null, note: text)");
+    }
+}

@@ -1,0 +1,528 @@
+//! Dynamically typed scalar values — the interchange currency of the
+//! federation.
+//!
+//! Every engine stores data its own way (packed f64 chunks in the array
+//! engine, sorted byte keys in the KV store, row vectors in the relational
+//! engine), but whenever data crosses an engine boundary through a CAST, or
+//! is returned to a client through an island, it is expressed as [`Value`]s.
+
+use crate::error::{BigDawgError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a [`Value`]. Islands use this for schema checking; CAST uses
+/// it to pick a wire representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// The type of `Value::Null` when no better type is known.
+    Null,
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Milliseconds since the epoch. Kept distinct from `Int` so islands can
+    /// type-check window specifications.
+    Timestamp,
+}
+
+impl DataType {
+    /// Whether a value of this type can be used in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Timestamp)
+    }
+
+    /// The common type two operands coerce to for arithmetic/comparison, if
+    /// any. Int and Float coerce to Float; Timestamp behaves as Int.
+    pub fn unify(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Null, b) => Some(b),
+            (a, Null) => Some(a),
+            (Int, Float) | (Float, Int) => Some(Float),
+            (Int, Timestamp) | (Timestamp, Int) => Some(Int),
+            (Float, Timestamp) | (Timestamp, Float) => Some(Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Null => "null",
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Timestamp => "timestamp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar.
+///
+/// `Value` implements a *total* order (`Ord`): `Null` sorts first, floats use
+/// IEEE `total_cmp`, and cross-type numeric comparisons coerce Int↔Float.
+/// Comparing non-coercible types (e.g. `Bool` vs `Text`) falls back to a
+/// stable order on the type tag so sorting never panics; engines that need
+/// strict typing check types *before* sorting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Runtime type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Text(_) => DataType::Text,
+            Value::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as f64 (Int, Float, Timestamp, and Bool as 0/1).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Timestamp(t) => Ok(*t as f64),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            other => Err(BigDawgError::TypeError(format!(
+                "expected numeric value, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Integer view; floats must be integral.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Timestamp(t) => Ok(*t),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i64),
+            other => Err(BigDawgError::TypeError(format!(
+                "expected integer value, got {other:?}"
+            ))),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(BigDawgError::TypeError(format!(
+                "expected bool, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(BigDawgError::TypeError(format!(
+                "expected text, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// SQL-style three-valued-logic-free addition: `Null + x = Null`.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "add", |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "subtract", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "multiply", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Division always yields Float (matching the islands' dialect), and
+    /// divides by zero produce an execution error rather than `inf`.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let d = other.as_f64()?;
+        if d == 0.0 {
+            return Err(BigDawgError::Execution("division by zero".into()));
+        }
+        Ok(Value::Float(self.as_f64()? / d))
+    }
+
+    /// Remainder over integers.
+    pub fn rem(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let d = other.as_i64()?;
+        if d == 0 {
+            return Err(BigDawgError::Execution("modulo by zero".into()));
+        }
+        Ok(Value::Int(self.as_i64()?.rem_euclid(d)))
+    }
+
+    fn numeric_binop(
+        &self,
+        other: &Value,
+        op: &str,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        float_op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => int_op(*a, *b).map(Value::Int).ok_or_else(|| {
+                BigDawgError::Execution(format!("integer overflow in {op}({a}, {b})"))
+            }),
+            (Value::Timestamp(a), Value::Int(b)) | (Value::Int(a), Value::Timestamp(b)) => {
+                int_op(*a, *b).map(Value::Timestamp).ok_or_else(|| {
+                    BigDawgError::Execution(format!("timestamp overflow in {op}"))
+                })
+            }
+            (a, b) if a.data_type().is_numeric() && b.data_type().is_numeric() => {
+                Ok(Value::Float(float_op(a.as_f64()?, b.as_f64()?)))
+            }
+            (a, b) => Err(BigDawgError::TypeError(format!(
+                "cannot {op} {} and {}",
+                a.data_type(),
+                b.data_type()
+            ))),
+        }
+    }
+
+    /// Attempt to reinterpret this value as `target`. This is the scalar leg
+    /// of the polystore CAST operator: lossless where possible, erroring
+    /// where not (`Text("abc")` → Int fails; `Text("42")` → Int succeeds).
+    pub fn cast_to(&self, target: DataType) -> Result<Value> {
+        use DataType as T;
+        let fail = |v: &Value| {
+            Err(BigDawgError::Cast(format!(
+                "cannot cast {v:?} to {target}"
+            )))
+        };
+        match (self, target) {
+            (v, t) if v.data_type() == t => Ok(v.clone()),
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(i), T::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Int(i), T::Timestamp) => Ok(Value::Timestamp(*i)),
+            (Value::Int(i), T::Bool) => Ok(Value::Bool(*i != 0)),
+            (Value::Int(i), T::Text) => Ok(Value::Text(i.to_string())),
+            (Value::Float(f), T::Int) if f.fract() == 0.0 && f.is_finite() => {
+                Ok(Value::Int(*f as i64))
+            }
+            (Value::Float(f), T::Text) => Ok(Value::Text(format!("{f}"))),
+            (Value::Timestamp(t), T::Int) => Ok(Value::Int(*t)),
+            (Value::Timestamp(t), T::Float) => Ok(Value::Float(*t as f64)),
+            (Value::Timestamp(t), T::Text) => Ok(Value::Text(t.to_string())),
+            (Value::Bool(b), T::Int) => Ok(Value::Int(*b as i64)),
+            (Value::Bool(b), T::Text) => Ok(Value::Text(b.to_string())),
+            (Value::Text(s), T::Int) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| fail(self)),
+            (Value::Text(s), T::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .or_else(|_| fail(self)),
+            (Value::Text(s), T::Bool) => match s.trim() {
+                "true" | "t" | "1" => Ok(Value::Bool(true)),
+                "false" | "f" | "0" => Ok(Value::Bool(false)),
+                _ => fail(self),
+            },
+            (Value::Text(s), T::Timestamp) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Timestamp)
+                .or_else(|_| fail(self)),
+            _ => fail(self),
+        }
+    }
+
+    /// A hashable proxy for grouping (f64 is hashed by bit pattern; NaNs are
+    /// canonicalized so all NaNs group together).
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(i) => GroupKey::Int(*i),
+            Value::Float(f) => {
+                let bits = if f.is_nan() {
+                    f64::NAN.to_bits()
+                } else if *f == 0.0 {
+                    0f64.to_bits() // +0.0 and -0.0 group together
+                } else {
+                    f.to_bits()
+                };
+                GroupKey::Float(bits)
+            }
+            Value::Text(s) => GroupKey::Text(s.clone()),
+            Value::Timestamp(t) => GroupKey::Timestamp(*t),
+        }
+    }
+}
+
+/// Hashable grouping proxy for [`Value`]; see [`Value::group_key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Text(String),
+    Timestamp(i64),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Cross-type numerics coerce through f64.
+            (a, b) if a.data_type().is_numeric() && b.data_type().is_numeric() => {
+                let (x, y) = (
+                    a.as_f64().unwrap_or(f64::NAN),
+                    b.as_f64().unwrap_or(f64::NAN),
+                );
+                x.total_cmp(&y)
+            }
+            // Fall back to the type-tag order so `sort` is total.
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 3,
+        Value::Timestamp(_) => 4,
+        Value::Text(_) => 5,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_int() {
+        let a = Value::Int(40);
+        let b = Value::Int(2);
+        assert_eq!(a.add(&b).unwrap(), Value::Int(42));
+        assert_eq!(a.sub(&b).unwrap(), Value::Int(38));
+        assert_eq!(a.mul(&b).unwrap(), Value::Int(80));
+        assert_eq!(a.div(&b).unwrap(), Value::Float(20.0));
+        assert_eq!(a.rem(&b).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn arithmetic_mixed_coerces_to_float() {
+        let a = Value::Int(3);
+        let b = Value::Float(0.5);
+        assert_eq!(a.add(&b).unwrap(), Value::Float(3.5));
+        assert_eq!(b.mul(&a).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn arithmetic_null_propagates() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).div(&Value::Null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Value::Int(1).div(&Value::Int(0)).unwrap_err();
+        assert_eq!(e.kind(), "execution");
+        let e = Value::Int(1).rem(&Value::Int(0)).unwrap_err();
+        assert_eq!(e.kind(), "execution");
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let e = Value::Int(i64::MAX).add(&Value::Int(1)).unwrap_err();
+        assert_eq!(e.kind(), "execution");
+    }
+
+    #[test]
+    fn type_error_on_text_arithmetic() {
+        let e = Value::Text("a".into()).add(&Value::Int(1)).unwrap_err();
+        assert_eq!(e.kind(), "type_error");
+    }
+
+    #[test]
+    fn ordering_nulls_first_and_total() {
+        let mut vs = vec![
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Int(1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn nan_total_order() {
+        let mut vs = vec![Value::Float(f64::NAN), Value::Float(1.0)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Float(1.0));
+    }
+
+    #[test]
+    fn cast_roundtrips() {
+        assert_eq!(
+            Value::Int(42).cast_to(DataType::Text).unwrap(),
+            Value::Text("42".into())
+        );
+        assert_eq!(
+            Value::Text("42".into()).cast_to(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::Float(2.0).cast_to(DataType::Int).unwrap(),
+            Value::Int(2)
+        );
+        assert!(Value::Float(2.5).cast_to(DataType::Int).is_err());
+        assert!(Value::Text("abc".into()).cast_to(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn cast_null_is_polymorphic() {
+        for t in [DataType::Int, DataType::Text, DataType::Bool] {
+            assert_eq!(Value::Null.cast_to(t).unwrap(), Value::Null);
+        }
+    }
+
+    #[test]
+    fn group_key_zero_and_nan_canonicalization() {
+        assert_eq!(
+            Value::Float(0.0).group_key(),
+            Value::Float(-0.0).group_key()
+        );
+        assert_eq!(
+            Value::Float(f64::NAN).group_key(),
+            Value::Float(-f64::NAN).group_key()
+        );
+    }
+
+    #[test]
+    fn unify_rules() {
+        assert_eq!(
+            DataType::Int.unify(DataType::Float),
+            Some(DataType::Float)
+        );
+        assert_eq!(DataType::Null.unify(DataType::Text), Some(DataType::Text));
+        assert_eq!(DataType::Bool.unify(DataType::Int), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Timestamp(5).to_string(), "@5");
+        assert_eq!(Value::Text("hi".into()).to_string(), "hi");
+    }
+}

@@ -1,0 +1,388 @@
+//! The CAST operator: moving data between engines.
+//!
+//! §2.1: "BigDAWG also relies on a CAST operator to move data between
+//! engines … we are investigating techniques to make cross-database CASTs
+//! more efficient than file-based import/export. For maximum performance,
+//! each system needs an access method that knows how to read binary data in
+//! parallel directly from another engine."
+//!
+//! Two transports implement that comparison (experiment E4):
+//!
+//! * [`Transport::File`] — the baseline: serialize the batch to CSV text
+//!   and parse it back (what `COPY TO`/`COPY FROM` across engines does);
+//! * [`Transport::Binary`] — the optimized path: the compact binary row
+//!   codec (shared with the stream engine's command log), encoded and
+//!   decoded **in parallel** across row partitions.
+
+use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_stream::recovery::{read_value, write_value};
+use std::time::{Duration, Instant};
+
+/// How CAST ships rows between engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// CSV text export/import (the paper's "file-based import/export").
+    File,
+    /// Parallel binary encode/decode.
+    Binary,
+}
+
+/// Measured result of one CAST.
+#[derive(Debug, Clone)]
+pub struct CastReport {
+    pub rows: usize,
+    pub wire_bytes: usize,
+    pub encode: Duration,
+    pub decode: Duration,
+    pub transport: Transport,
+}
+
+impl CastReport {
+    pub fn total(&self) -> Duration {
+        self.encode + self.decode
+    }
+}
+
+/// Ship a batch through the chosen transport, returning the reconstructed
+/// batch plus measurements. This is the data-plane of CAST; the engine
+/// egress/ingress (get_table/put_table) happens in `BigDawg::cast_object`.
+pub fn ship(batch: &Batch, transport: Transport) -> Result<(Batch, CastReport)> {
+    match transport {
+        Transport::File => ship_csv(batch),
+        Transport::Binary => ship_binary(batch),
+    }
+}
+
+// ---- CSV (file-based) path -------------------------------------------------
+
+fn ship_csv(batch: &Batch) -> Result<(Batch, CastReport)> {
+    let t0 = Instant::now();
+    let text = to_csv(batch);
+    let encode = t0.elapsed();
+    let t1 = Instant::now();
+    let out = from_csv(&text, batch.schema())?;
+    let decode = t1.elapsed();
+    let report = CastReport {
+        rows: batch.len(),
+        wire_bytes: text.len(),
+        encode,
+        decode,
+        transport: Transport::File,
+    };
+    Ok((out, report))
+}
+
+/// CSV with minimal quoting (quotes around fields containing `,`/`"`/newline,
+/// embedded quotes doubled). Header row carries column names and types.
+pub fn to_csv(batch: &Batch) -> String {
+    let mut out = String::new();
+    let schema = batch.schema();
+    for (i, f) in schema.fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", f.name, f.data_type));
+    }
+    out.push('\n');
+    for row in batch.rows() {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Null => {}
+                Value::Text(s) => {
+                    if s.contains(',') || s.contains('"') || s.contains('\n') {
+                        out.push('"');
+                        out.push_str(&s.replace('"', "\"\""));
+                        out.push('"');
+                    } else {
+                        out.push_str(s);
+                    }
+                }
+                Value::Float(f) => out.push_str(&format!("{f:?}")), // keeps precision
+                Value::Timestamp(t) => out.push_str(&t.to_string()),
+                other => out.push_str(&other.to_string()),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV produced by [`to_csv`] back into a batch with `schema` types.
+/// Quote-aware across newlines (RFC-4180 style), so quoted fields may
+/// contain record separators.
+pub fn from_csv(text: &str, schema: &Schema) -> Result<Batch> {
+    let records = split_csv_records(text)?;
+    let mut it = records.into_iter();
+    let _header = it
+        .next()
+        .ok_or_else(|| BigDawgError::Cast("empty CSV payload".into()))?;
+    let mut rows = Vec::new();
+    for fields in it {
+        if fields.len() != schema.len() {
+            return Err(BigDawgError::Cast(format!(
+                "CSV row has {} fields, schema has {}",
+                fields.len(),
+                schema.len()
+            )));
+        }
+        let row: Row = fields
+            .into_iter()
+            .zip(schema.fields())
+            .map(|(text, f)| parse_csv_value(&text, f.data_type))
+            .collect::<Result<_>>()?;
+        rows.push(row);
+    }
+    Batch::new(schema.clone(), rows)
+}
+
+/// Split a CSV payload into records of fields, honoring quoting. A field
+/// that was quoted is marked non-null even when empty by the presence of
+/// quotes; since `to_csv` never quotes empty fields, empty = NULL here.
+fn split_csv_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                '\n' => {
+                    fields.push(std::mem::take(&mut cur));
+                    records.push(std::mem::take(&mut fields));
+                }
+                '\r' => {}
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(BigDawgError::Cast("unterminated CSV quote".into()));
+    }
+    if !cur.is_empty() || !fields.is_empty() {
+        fields.push(cur);
+        records.push(fields);
+    }
+    Ok(records)
+}
+
+fn parse_csv_value(text: &str, ty: DataType) -> Result<Value> {
+    if text.is_empty() {
+        return Ok(Value::Null);
+    }
+    let parsed = match ty {
+        DataType::Text | DataType::Null => return Ok(infer_text(text)),
+        other => Value::Text(text.to_string()).cast_to(other),
+    };
+    parsed.map_err(|_| BigDawgError::Cast(format!("cannot parse `{text}` as {ty}")))
+}
+
+/// For untyped (Null) columns, re-infer a scalar type the way a file
+/// importer would.
+fn infer_text(text: &str) -> Value {
+    if let Ok(i) = text.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match text {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Text(text.to_string()),
+    }
+}
+
+// ---- binary parallel path ---------------------------------------------------
+
+/// Number of parallel encode/decode partitions.
+fn partitions() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+}
+
+fn ship_binary(batch: &Batch) -> Result<(Batch, CastReport)> {
+    let t0 = Instant::now();
+    let parts = encode_binary(batch);
+    let encode = t0.elapsed();
+    let wire_bytes: usize = parts.iter().map(Vec::len).sum();
+    let t1 = Instant::now();
+    let out = decode_binary(&parts, batch.schema())?;
+    let decode = t1.elapsed();
+    let report = CastReport {
+        rows: batch.len(),
+        wire_bytes,
+        encode,
+        decode,
+        transport: Transport::Binary,
+    };
+    Ok((out, report))
+}
+
+/// Encode rows into per-partition binary buffers, in parallel.
+pub fn encode_binary(batch: &Batch) -> Vec<Vec<u8>> {
+    let rows = batch.rows();
+    let n_parts = partitions().max(1);
+    let chunk = rows.len().div_ceil(n_parts).max(1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = rows
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let mut buf = Vec::with_capacity(part.len() * 16);
+                    buf.extend_from_slice(&(part.len() as u64).to_le_bytes());
+                    for row in part {
+                        for v in row {
+                            write_value(&mut buf, v);
+                        }
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("encoder panicked")).collect()
+    })
+}
+
+/// Decode per-partition buffers back into a batch, in parallel.
+pub fn decode_binary(parts: &[Vec<u8>], schema: &Schema) -> Result<Batch> {
+    let width = schema.len();
+    let decoded: Vec<Result<Vec<Row>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|buf| {
+                s.spawn(move || -> Result<Vec<Row>> {
+                    if buf.len() < 8 {
+                        return Err(BigDawgError::Cast("truncated binary partition".into()));
+                    }
+                    let n = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+                    let mut pos = 8;
+                    let mut rows = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let mut row = Vec::with_capacity(width);
+                        for _ in 0..width {
+                            let (v, used) = read_value(&buf[pos..])?;
+                            pos += used;
+                            row.push(v);
+                        }
+                        rows.push(row);
+                    }
+                    Ok(rows)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("decoder panicked"))
+            .collect()
+    });
+    let mut rows = Vec::new();
+    for part in decoded {
+        rows.extend(part?);
+    }
+    Batch::new(schema.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::Field;
+
+    fn batch() -> Batch {
+        let schema = Schema::new(vec![
+            Field::required("id", DataType::Int),
+            Field::new("name", DataType::Text),
+            Field::new("hr", DataType::Float),
+            Field::new("ok", DataType::Bool),
+            Field::new("ts", DataType::Timestamp),
+        ]);
+        let rows = (0..500)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Text(format!("patient, \"{i}\"\n-x"))
+                    },
+                    Value::Float(i as f64 * 0.31),
+                    Value::Bool(i % 2 == 0),
+                    Value::Timestamp(1_420_000_000_000 + i),
+                ]
+            })
+            .collect();
+        Batch::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quoting() {
+        let b = batch();
+        let (back, report) = ship(&b, Transport::File).unwrap();
+        assert_eq!(back.rows(), b.rows(), "commas, quotes, and newlines survive");
+        assert_eq!(report.rows, 500);
+        assert!(report.wire_bytes > 0);
+    }
+
+    #[test]
+    fn binary_roundtrip_exact() {
+        let b = batch();
+        let (back, report) = ship(&b, Transport::Binary).unwrap();
+        assert_eq!(back.rows(), b.rows());
+        assert_eq!(report.transport, Transport::Binary);
+    }
+
+    #[test]
+    fn csv_precision_preserved_for_floats() {
+        let schema = Schema::from_pairs(&[("x", DataType::Float)]);
+        let b = Batch::new(
+            schema.clone(),
+            vec![vec![Value::Float(std::f64::consts::PI)], vec![Value::Float(1e-300)]],
+        )
+        .unwrap();
+        let back = from_csv(&to_csv(&b), &schema).unwrap();
+        assert_eq!(back.rows(), b.rows());
+    }
+
+    #[test]
+    fn csv_null_roundtrip() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Text)]);
+        let b = Batch::new(
+            schema.clone(),
+            vec![vec![Value::Null, Value::Text("x".into())]],
+        )
+        .unwrap();
+        let back = from_csv(&to_csv(&b), &schema).unwrap();
+        assert!(back.rows()[0][0].is_null());
+    }
+
+    #[test]
+    fn corrupt_binary_detected() {
+        let b = batch();
+        let mut parts = encode_binary(&b);
+        parts[0].truncate(10);
+        assert!(decode_binary(&parts, b.schema()).is_err());
+    }
+
+    #[test]
+    fn csv_field_count_mismatch_detected() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        assert!(from_csv("a:int,b:int\n1,2,3\n", &schema).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! The federation catalog: which object lives on which engine.
+//!
+//! Location transparency (§2.1: "application programmers do not need to
+//! understand the details about the underlying database(s) that will
+//! execute their queries") is implemented by islands consulting this
+//! catalog and CASTing objects toward the executing engine when needed.
+
+use bigdawg_common::{BigDawgError, Result};
+use std::collections::BTreeMap;
+
+/// What kind of object an entry is (informational; engines own the actual
+/// representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    Table,
+    Array,
+    Stream,
+    Corpus,
+    Dataset,
+}
+
+impl std::fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ObjectKind::Table => "table",
+            ObjectKind::Array => "array",
+            ObjectKind::Stream => "stream",
+            ObjectKind::Corpus => "corpus",
+            ObjectKind::Dataset => "dataset",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectEntry {
+    pub engine: String,
+    pub kind: ObjectKind,
+}
+
+/// Object → engine mapping.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    objects: BTreeMap<String, ObjectEntry>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&mut self, object: &str, engine: &str, kind: ObjectKind) {
+        self.objects.insert(
+            object.to_string(),
+            ObjectEntry {
+                engine: engine.to_string(),
+                kind,
+            },
+        );
+    }
+
+    pub fn unregister(&mut self, object: &str) -> Option<ObjectEntry> {
+        self.objects.remove(object)
+    }
+
+    /// Engine holding `object`.
+    pub fn locate(&self, object: &str) -> Result<&ObjectEntry> {
+        self.objects
+            .get(object)
+            .ok_or_else(|| BigDawgError::NotFound(format!("object `{object}` in catalog")))
+    }
+
+    pub fn contains(&self, object: &str) -> bool {
+        self.objects.contains_key(object)
+    }
+
+    /// Record that an object moved (monitor-driven migration).
+    pub fn relocate(&mut self, object: &str, new_engine: &str) -> Result<()> {
+        let entry = self
+            .objects
+            .get_mut(object)
+            .ok_or_else(|| BigDawgError::NotFound(format!("object `{object}` in catalog")))?;
+        entry.engine = new_engine.to_string();
+        Ok(())
+    }
+
+    /// All (object, entry) pairs, sorted by object name.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &ObjectEntry)> {
+        self.objects.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_locate_relocate() {
+        let mut c = Catalog::new();
+        c.register("patients", "postgres", ObjectKind::Table);
+        c.register("waveforms", "scidb", ObjectKind::Array);
+        assert_eq!(c.locate("patients").unwrap().engine, "postgres");
+        assert!(c.locate("ghost").is_err());
+        c.relocate("waveforms", "tiledb").unwrap();
+        assert_eq!(c.locate("waveforms").unwrap().engine, "tiledb");
+        assert!(c.relocate("ghost", "x").is_err());
+        assert_eq!(c.len(), 2);
+        assert!(c.contains("patients"));
+        let names: Vec<&str> = c.entries().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["patients", "waveforms"]);
+        assert!(c.unregister("patients").is_some());
+        assert!(c.unregister("patients").is_none());
+    }
+}

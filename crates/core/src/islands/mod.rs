@@ -1,0 +1,62 @@
+//! Islands of information (§2.1).
+//!
+//! Each island pairs a query language and data model with shims to its
+//! member engines. The reference implementation exposes:
+//!
+//! * [`relational`] — SQL with location transparency (auto-CAST of remote
+//!   tables toward the relational engine);
+//! * [`array`] — the AFL dialect with the same transparency toward the
+//!   array engine;
+//! * [`text`] — keyword/boolean/phrase search over the KV engine;
+//! * [`d4m`] and [`myria`] — the two multi-system islands of §2.1.1;
+//! * **degenerate islands** — one per engine, named after it, passing the
+//!   engine's full native language through untouched (§2.1: "these islands
+//!   have the full functionality of a single storage engine").
+
+pub mod array;
+pub mod d4m;
+pub mod myria;
+pub mod relational;
+pub mod text;
+
+use crate::polystore::BigDawg;
+use bigdawg_common::{BigDawgError, Batch, Result};
+
+/// Route a query body to an island by SCOPE name (case-insensitive).
+/// Unknown names fall back to a degenerate island when an engine with that
+/// name exists.
+pub fn dispatch(bd: &BigDawg, island: &str, body: &str) -> Result<Batch> {
+    match island.to_ascii_uppercase().as_str() {
+        "RELATIONAL" => relational::execute(bd, body),
+        "ARRAY" => array::execute(bd, body),
+        "TEXT" => text::execute(bd, body),
+        "D4M" => d4m::execute(bd, body),
+        "MYRIA" => myria::execute(bd, body),
+        _ => {
+            // degenerate island: engine name, case preserved then lowered
+            let engine = island.to_ascii_lowercase();
+            if bd.engine_names().iter().any(|e| *e == engine) {
+                let out = bd.engine(&engine)?.lock().execute_native(body);
+                bd.refresh_catalog(); // native DDL may have created objects
+                out
+            } else {
+                Err(BigDawgError::NotFound(format!(
+                    "island or engine `{island}`"
+                )))
+            }
+        }
+    }
+}
+
+/// All island names this federation currently exposes (Figure 1): the five
+/// language islands plus one degenerate island per engine.
+pub fn island_names(bd: &BigDawg) -> Vec<String> {
+    let mut names: Vec<String> = ["relational", "array", "text", "d4m", "myria"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for e in bd.engine_names() {
+        names.push(format!("degenerate:{e}"));
+    }
+    names
+}

@@ -1,0 +1,38 @@
+//! The BigDAWG polystore core (paper §2, Figure 1).
+//!
+//! This crate federates every engine in the workspace behind **islands of
+//! information**, each with "a query language, data model, and a set of
+//! connectors or shims for interacting with the underlying storage
+//! engines" (§2.1):
+//!
+//! * [`shim`] / [`shims`] — the connector abstraction and its per-engine
+//!   implementations (relational, array, stream, key-value, TileDB,
+//!   Tupleware);
+//! * [`catalog`] — which data object lives on which engine;
+//! * [`cast`] — the CAST operator: moving objects/intermediates between
+//!   engines over a file-based (CSV) or binary parallel transport (§2.1's
+//!   "more efficient than file-based import/export");
+//! * [`islands`] — the relational, array, and text islands, the D4M and
+//!   Myria multi-system islands (§2.1.1), and degenerate islands exposing
+//!   each engine's full native language;
+//! * [`scope`] — the SCOPE/CAST query language:
+//!   `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)`;
+//! * [`monitor`] — the cross-system monitor that re-executes workload
+//!   samples on multiple engines, learns which engine excels at which
+//!   query class, and migrates objects as workloads shift;
+//! * [`polystore`] — [`polystore::BigDawg`], the top-level façade tying it
+//!   all together.
+
+pub mod cast;
+pub mod catalog;
+pub mod islands;
+pub mod monitor;
+pub mod polystore;
+pub mod scope;
+pub mod shim;
+pub mod shims;
+
+pub use cast::Transport;
+pub use catalog::{Catalog, ObjectKind};
+pub use polystore::BigDawg;
+pub use shim::{Capability, EngineKind, Shim};

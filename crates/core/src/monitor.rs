@@ -1,0 +1,456 @@
+//! The cross-system monitor (§2.1): learns which engine suits each object's
+//! workload and migrates objects as workloads shift.
+//!
+//! "We are investigating cross-system monitoring that will migrate data
+//! objects between storage engines as query workloads change. … For
+//! example, if the majority of the queries accessing MIMIC II's waveforms
+//! use linear algebra, this data would naturally be migrated to an array
+//! store."
+//!
+//! The monitor records one [`Event`] per island query (object, query class,
+//! engine, latency). [`Monitor::recommend`] inspects each object's recent
+//! dominant class and proposes a migration when the current engine's kind
+//! does not match the class's preferred kind. [`probe`] implements the
+//! paper's "re-execute portions of a query workload on multiple engines"
+//! idea: it runs a canned representative query per class on every candidate
+//! engine and reports measured latencies.
+
+use crate::cast::Transport;
+use crate::polystore::BigDawg;
+use crate::shim::EngineKind;
+use bigdawg_common::{BigDawgError, Result};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Classified query shapes the monitor distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    SqlFilter,
+    Aggregate,
+    Join,
+    LinearAlgebra,
+    WindowedAggregate,
+    TextSearch,
+    StreamIngest,
+}
+
+impl QueryClass {
+    /// Which engine kind serves this class best (the monitor's prior; the
+    /// probe refines it with measurements).
+    pub fn preferred_kind(self) -> EngineKind {
+        match self {
+            QueryClass::SqlFilter | QueryClass::Aggregate | QueryClass::Join => {
+                EngineKind::Relational
+            }
+            QueryClass::LinearAlgebra | QueryClass::WindowedAggregate => EngineKind::Array,
+            QueryClass::TextSearch => EngineKind::KeyValue,
+            QueryClass::StreamIngest => EngineKind::Streaming,
+        }
+    }
+}
+
+/// One recorded query execution.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub object: String,
+    pub class: QueryClass,
+    pub engine: String,
+    pub latency: Duration,
+}
+
+/// Per-object workload summary.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStats {
+    pub total_queries: usize,
+    pub by_class: HashMap<QueryClass, usize>,
+}
+
+impl ObjectStats {
+    /// The most frequent class, if any queries were recorded.
+    pub fn dominant_class(&self) -> Option<QueryClass> {
+        self.by_class
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(c, _)| *c)
+    }
+}
+
+/// A migration proposal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    pub object: String,
+    pub from_engine: String,
+    pub to_engine: String,
+    pub dominant_class: QueryClass,
+}
+
+/// The workload monitor. Keeps a sliding window of recent events so that
+/// *shifts* in the workload change the recommendation (old history ages
+/// out).
+#[derive(Debug)]
+pub struct Monitor {
+    events: VecDeque<Event>,
+    window: usize,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Monitor {
+    pub fn new() -> Self {
+        Monitor {
+            events: VecDeque::new(),
+            window: 256,
+        }
+    }
+
+    /// Use a custom sliding-window length.
+    pub fn with_window(window: usize) -> Self {
+        Monitor {
+            events: VecDeque::new(),
+            window: window.max(1),
+        }
+    }
+
+    pub fn record(&mut self, object: &str, class: QueryClass, engine: &str, latency: Duration) {
+        self.events.push_back(Event {
+            object: object.to_string(),
+            class,
+            engine: engine.to_string(),
+            latency,
+        });
+        while self.events.len() > self.window {
+            self.events.pop_front();
+        }
+    }
+
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Workload summary for one object over the window.
+    pub fn object_stats(&self, object: &str) -> ObjectStats {
+        let mut stats = ObjectStats::default();
+        for e in &self.events {
+            if e.object == object {
+                stats.total_queries += 1;
+                *stats.by_class.entry(e.class).or_default() += 1;
+            }
+        }
+        stats
+    }
+
+    /// Mean recorded latency for (object, engine), if measured.
+    pub fn mean_latency(&self, object: &str, engine: &str) -> Option<Duration> {
+        let samples: Vec<Duration> = self
+            .events
+            .iter()
+            .filter(|e| e.object == object && e.engine == engine)
+            .map(|e| e.latency)
+            .collect();
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().sum::<Duration>() / samples.len() as u32)
+    }
+
+    /// Propose migrations: objects whose dominant recent class prefers a
+    /// different engine kind than the one they live on.
+    pub fn recommend(&self, bd: &BigDawg) -> Vec<Recommendation> {
+        let mut objects: Vec<String> = Vec::new();
+        for e in &self.events {
+            if !objects.contains(&e.object) {
+                objects.push(e.object.clone());
+            }
+        }
+        let mut out = Vec::new();
+        for object in objects {
+            let stats = self.object_stats(&object);
+            let Some(dominant) = stats.dominant_class() else {
+                continue;
+            };
+            // Corpus and stream objects are bound to their engines: text
+            // loses its index anywhere else, and live streams cannot be
+            // dropped from the ingestion path.
+            match bd.catalog().read().locate(&object) {
+                Ok(entry)
+                    if matches!(
+                        entry.kind,
+                        crate::catalog::ObjectKind::Corpus | crate::catalog::ObjectKind::Stream
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => continue,
+                _ => {}
+            }
+            let Ok(current) = bd.locate(&object) else {
+                continue;
+            };
+            let Ok(current_kind) = bd.kind_of(&current) else {
+                continue;
+            };
+            let preferred = dominant.preferred_kind();
+            if current_kind == preferred {
+                continue;
+            }
+            let Ok(target) = bd.engine_of_kind(preferred) else {
+                continue;
+            };
+            out.push(Recommendation {
+                object,
+                from_engine: current,
+                to_engine: target,
+                dominant_class: dominant,
+            });
+        }
+        out
+    }
+
+    /// Act on every recommendation (binary transport). Returns the applied
+    /// migrations.
+    pub fn apply_recommendations(&self, bd: &BigDawg) -> Vec<Recommendation> {
+        let recs = self.recommend(bd);
+        let mut applied = Vec::new();
+        for rec in recs {
+            if bd
+                .migrate_object(&rec.object, &rec.to_engine, Transport::Binary)
+                .is_ok()
+            {
+                applied.push(rec);
+            }
+        }
+        applied
+    }
+}
+
+/// Measured probe result: latency of a representative query per engine.
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    pub engine: String,
+    pub latency: Duration,
+}
+
+/// Re-execute a representative query of `class` over `object` on every
+/// engine kind that can host it (relational and array in this
+/// implementation), returning measured latencies sorted fastest-first.
+/// Temporary copies are cleaned up.
+pub fn probe(bd: &BigDawg, object: &str, class: QueryClass) -> Result<Vec<ProbeResult>> {
+    let home = bd.locate(object)?;
+    // column names from the exported schema (CAST conventions keep them)
+    let batch = bd.engine(&home)?.lock().get_table(object)?;
+    let names = batch.schema().names();
+    if names.len() < 2 {
+        return Err(BigDawgError::Execution(
+            "probe needs an object with at least two columns".into(),
+        ));
+    }
+    let dim = names[0].to_string();
+    let val = names[names.len() - 1].to_string();
+    drop(batch);
+
+    let mut results = Vec::new();
+    for kind in [EngineKind::Relational, EngineKind::Array] {
+        let Ok(engine) = bd.engine_of_kind(kind) else {
+            continue;
+        };
+        // place a copy on the engine (or use the object directly at home)
+        let (target_obj, is_temp) = if engine == home {
+            (object.to_string(), false)
+        } else {
+            let tmp = bd.temp_name();
+            bd.cast_object(object, &engine, &tmp, Transport::Binary)?;
+            (tmp, true)
+        };
+        let query = probe_query(kind, class, &target_obj, &dim, &val)?;
+        let island = match kind {
+            EngineKind::Relational => "RELATIONAL",
+            _ => "ARRAY",
+        };
+        let started = std::time::Instant::now();
+        let outcome = bd.island_execute(island, &query);
+        let latency = started.elapsed();
+        if is_temp {
+            let _ = bd.drop_object(&target_obj);
+        }
+        outcome?;
+        results.push(ProbeResult { engine, latency });
+    }
+    results.sort_by_key(|r| r.latency);
+    Ok(results)
+}
+
+fn probe_query(
+    kind: EngineKind,
+    class: QueryClass,
+    object: &str,
+    dim: &str,
+    val: &str,
+) -> Result<String> {
+    let q = match (kind, class) {
+        (EngineKind::Relational, QueryClass::SqlFilter) => {
+            format!("SELECT COUNT(*) FROM {object} WHERE {val} > 0")
+        }
+        (EngineKind::Relational, QueryClass::Aggregate) => {
+            format!("SELECT AVG({val}) FROM {object}")
+        }
+        (EngineKind::Relational, QueryClass::WindowedAggregate) => {
+            format!("SELECT {dim} % 32, AVG({val}) FROM {object} GROUP BY {dim} % 32")
+        }
+        (EngineKind::Relational, QueryClass::LinearAlgebra) => {
+            format!("SELECT SUM({val} * {val}) FROM {object}")
+        }
+        (EngineKind::Array, QueryClass::SqlFilter) => {
+            format!("aggregate(filter({object}, {val} > 0), count, {val})")
+        }
+        (EngineKind::Array, QueryClass::Aggregate) => {
+            format!("aggregate({object}, avg, {val})")
+        }
+        (EngineKind::Array, QueryClass::WindowedAggregate) => {
+            format!("aggregate(regrid({object}, 32, avg), count, {val})")
+        }
+        (EngineKind::Array, QueryClass::LinearAlgebra) => {
+            format!("aggregate(apply({object}, __sq, {val} * {val}), sum, __sq)")
+        }
+        (kind, class) => {
+            return Err(BigDawgError::Unsupported(format!(
+                "no probe query for {class:?} on a {kind} engine"
+            )))
+        }
+    };
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shims::{ArrayShim, RelationalShim};
+    use bigdawg_array::Array;
+
+    fn federation() -> BigDawg {
+        let mut bd = BigDawg::new();
+        let mut pg = RelationalShim::new("postgres");
+        pg.db_mut()
+            .execute("CREATE TABLE wave_rel (i INT, v FLOAT)")
+            .unwrap();
+        let values: Vec<String> = (0..256)
+            .map(|i| format!("({i}, {}.5)", i % 17))
+            .collect();
+        pg.db_mut()
+            .execute(&format!("INSERT INTO wave_rel VALUES {}", values.join(", ")))
+            .unwrap();
+        bd.add_engine(Box::new(pg));
+        let mut scidb = ArrayShim::new("scidb");
+        scidb.store(
+            "other",
+            Array::from_vector("other", "v", &[1.0, 2.0], 2),
+        );
+        bd.add_engine(Box::new(scidb));
+        bd
+    }
+
+    #[test]
+    fn sliding_window_ages_out() {
+        let mut m = Monitor::with_window(3);
+        for i in 0..5 {
+            m.record(
+                "obj",
+                if i < 4 {
+                    QueryClass::SqlFilter
+                } else {
+                    QueryClass::LinearAlgebra
+                },
+                "postgres",
+                Duration::from_micros(10),
+            );
+        }
+        assert_eq!(m.len(), 3);
+        let stats = m.object_stats("obj");
+        assert_eq!(stats.total_queries, 3);
+    }
+
+    #[test]
+    fn recommendation_on_workload_shift() {
+        let bd = federation();
+        let mut m = Monitor::with_window(16);
+        // phase 1: SQL filters — no recommendation (already relational)
+        for _ in 0..8 {
+            m.record(
+                "wave_rel",
+                QueryClass::SqlFilter,
+                "postgres",
+                Duration::from_micros(50),
+            );
+        }
+        assert!(m.recommend(&bd).is_empty());
+        // phase 2: the workload shifts to linear algebra
+        for _ in 0..12 {
+            m.record(
+                "wave_rel",
+                QueryClass::LinearAlgebra,
+                "postgres",
+                Duration::from_micros(900),
+            );
+        }
+        let recs = m.recommend(&bd);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].object, "wave_rel");
+        assert_eq!(recs[0].to_engine, "scidb");
+        assert_eq!(recs[0].dominant_class, QueryClass::LinearAlgebra);
+    }
+
+    #[test]
+    fn apply_recommendation_migrates() {
+        let bd = federation();
+        {
+            let mut m = bd.monitor().lock();
+            for _ in 0..10 {
+                m.record(
+                    "wave_rel",
+                    QueryClass::LinearAlgebra,
+                    "postgres",
+                    Duration::from_micros(900),
+                );
+            }
+        }
+        let applied = bd.monitor().lock().apply_recommendations(&bd);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(bd.locate("wave_rel").unwrap(), "scidb");
+        // the array side can now run the workload natively
+        let b = bd
+            .execute("ARRAY(aggregate(wave_rel, count, v))")
+            .unwrap();
+        assert_eq!(b.rows()[0][0], bigdawg_common::Value::Float(256.0));
+    }
+
+    #[test]
+    fn probe_measures_both_engines() {
+        let bd = federation();
+        let results = probe(&bd, "wave_rel", QueryClass::LinearAlgebra).unwrap();
+        assert_eq!(results.len(), 2);
+        let engines: Vec<&str> = results.iter().map(|r| r.engine.as_str()).collect();
+        assert!(engines.contains(&"postgres") && engines.contains(&"scidb"));
+        // temp copies cleaned
+        assert_eq!(bd.catalog().read().len(), 2);
+    }
+
+    #[test]
+    fn mean_latency_aggregates() {
+        let mut m = Monitor::new();
+        m.record("o", QueryClass::SqlFilter, "e", Duration::from_micros(10));
+        m.record("o", QueryClass::SqlFilter, "e", Duration::from_micros(30));
+        assert_eq!(m.mean_latency("o", "e"), Some(Duration::from_micros(20)));
+        assert_eq!(m.mean_latency("o", "other"), None);
+    }
+}

@@ -1,0 +1,353 @@
+//! The polystore façade: engines + catalog + islands + monitor.
+
+use crate::cast::{ship, CastReport, Transport};
+use crate::catalog::{Catalog, ObjectKind};
+use crate::islands;
+use crate::monitor::Monitor;
+use crate::scope;
+use crate::shim::{EngineKind, Shim};
+use bigdawg_common::{BigDawgError, Batch, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The BigDAWG federation.
+///
+/// ```
+/// use bigdawg_core::{BigDawg, shims::RelationalShim};
+///
+/// let mut bd = BigDawg::new();
+/// bd.add_engine(Box::new(RelationalShim::new("postgres")));
+/// bd.execute("POSTGRES(CREATE TABLE t (x INT))").unwrap();
+/// bd.execute("POSTGRES(INSERT INTO t VALUES (1), (2))").unwrap();
+/// let rows = bd.execute("RELATIONAL(SELECT COUNT(*) AS n FROM t)").unwrap();
+/// assert_eq!(rows.rows()[0][0], bigdawg_common::Value::Int(2));
+/// ```
+pub struct BigDawg {
+    engines: BTreeMap<String, Mutex<Box<dyn Shim>>>,
+    catalog: RwLock<Catalog>,
+    monitor: Mutex<Monitor>,
+    temp_counter: AtomicU64,
+}
+
+impl Default for BigDawg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BigDawg {
+    pub fn new() -> Self {
+        BigDawg {
+            engines: BTreeMap::new(),
+            catalog: RwLock::new(Catalog::new()),
+            monitor: Mutex::new(Monitor::new()),
+            temp_counter: AtomicU64::new(0),
+        }
+    }
+
+    // ---- engines -----------------------------------------------------------
+
+    /// Register an engine. Objects it already holds are cataloged.
+    pub fn add_engine(&mut self, shim: Box<dyn Shim>) {
+        let name = shim.engine_name().to_string();
+        let kind = shim.kind();
+        {
+            let mut cat = self.catalog.write();
+            for obj in shim.object_names() {
+                cat.register(&obj, &name, default_kind(kind));
+            }
+        }
+        self.engines.insert(name, Mutex::new(shim));
+    }
+
+    pub fn engine(&self, name: &str) -> Result<&Mutex<Box<dyn Shim>>> {
+        self.engines
+            .get(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("engine `{name}`")))
+    }
+
+    pub fn engine_names(&self) -> Vec<&str> {
+        self.engines.keys().map(String::as_str).collect()
+    }
+
+    /// First engine of the given kind (the island's default backend).
+    pub fn engine_of_kind(&self, kind: EngineKind) -> Result<String> {
+        self.engines
+            .iter()
+            .find(|(_, e)| e.lock().kind() == kind)
+            .map(|(n, _)| n.clone())
+            .ok_or_else(|| {
+                BigDawgError::NotFound(format!("an engine of kind `{kind}` in the federation"))
+            })
+    }
+
+    pub fn kind_of(&self, engine: &str) -> Result<EngineKind> {
+        Ok(self.engine(engine)?.lock().kind())
+    }
+
+    // ---- catalog -----------------------------------------------------------
+
+    pub fn catalog(&self) -> &RwLock<Catalog> {
+        &self.catalog
+    }
+
+    /// Register (or refresh) an object's location.
+    pub fn register_object(&self, object: &str, engine: &str, kind: ObjectKind) -> Result<()> {
+        if !self.engines.contains_key(engine) {
+            return Err(BigDawgError::NotFound(format!("engine `{engine}`")));
+        }
+        self.catalog.write().register(object, engine, kind);
+        Ok(())
+    }
+
+    /// Re-scan all shims and register any objects the catalog is missing
+    /// (native queries may create objects behind the catalog's back).
+    pub fn refresh_catalog(&self) {
+        let mut cat = self.catalog.write();
+        for (name, shim) in &self.engines {
+            let shim = shim.lock();
+            for obj in shim.object_names() {
+                if !cat.contains(&obj) {
+                    cat.register(&obj, name, default_kind(shim.kind()));
+                }
+            }
+        }
+    }
+
+    /// Which engine holds `object`.
+    pub fn locate(&self, object: &str) -> Result<String> {
+        Ok(self.catalog.read().locate(object)?.engine.clone())
+    }
+
+    // ---- CAST ---------------------------------------------------------------
+
+    /// Generate a unique temp object name.
+    pub fn temp_name(&self) -> String {
+        format!("__cast_{}", self.temp_counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Move a copy of `object` to `to_engine` under `new_name`.
+    pub fn cast_object(
+        &self,
+        object: &str,
+        to_engine: &str,
+        new_name: &str,
+        transport: Transport,
+    ) -> Result<CastReport> {
+        let from_engine = self.locate(object)?;
+        let batch = self.engine(&from_engine)?.lock().get_table(object)?;
+        let (shipped, report) = ship(&batch, transport)?;
+        self.engine(to_engine)?.lock().put_table(new_name, shipped)?;
+        self.catalog.write().register(
+            new_name,
+            to_engine,
+            default_kind(self.kind_of(to_engine)?),
+        );
+        Ok(report)
+    }
+
+    /// Materialize an intermediate result batch on an engine (used by
+    /// SCOPE for nested CAST subqueries).
+    pub fn materialize(
+        &self,
+        batch: Batch,
+        to_engine: &str,
+        name: &str,
+        transport: Transport,
+    ) -> Result<CastReport> {
+        let (shipped, report) = ship(&batch, transport)?;
+        self.engine(to_engine)?.lock().put_table(name, shipped)?;
+        self.catalog.write().register(
+            name,
+            to_engine,
+            default_kind(self.kind_of(to_engine)?),
+        );
+        Ok(report)
+    }
+
+    /// Drop an object everywhere (engine + catalog). Temp cleanup path.
+    pub fn drop_object(&self, object: &str) -> Result<()> {
+        let engine = self.locate(object)?;
+        self.engine(&engine)?.lock().drop_object(object)?;
+        self.catalog.write().unregister(object);
+        Ok(())
+    }
+
+    /// Migrate `object` to another engine (monitor-driven): cast + drop the
+    /// original + catalog relocate. The object keeps its name.
+    pub fn migrate_object(
+        &self,
+        object: &str,
+        to_engine: &str,
+        transport: Transport,
+    ) -> Result<CastReport> {
+        let from_engine = self.locate(object)?;
+        if from_engine == to_engine {
+            return Err(BigDawgError::Execution(format!(
+                "object `{object}` already lives on `{to_engine}`"
+            )));
+        }
+        let batch = self.engine(&from_engine)?.lock().get_table(object)?;
+        let (shipped, report) = ship(&batch, transport)?;
+        self.engine(to_engine)?.lock().put_table(object, shipped)?;
+        // Drop the source copy; streams refuse drops, which fails migration.
+        self.engine(&from_engine)?.lock().drop_object(object)?;
+        self.catalog.write().relocate(object, to_engine)?;
+        Ok(report)
+    }
+
+    // ---- queries ------------------------------------------------------------
+
+    /// Execute a SCOPE/CAST query: `ISLAND( body with optional CAST(...) )`.
+    pub fn execute(&self, query: &str) -> Result<Batch> {
+        scope::execute(self, query)
+    }
+
+    /// Execute a query on a named island directly (already-rewritten body).
+    pub fn island_execute(&self, island: &str, body: &str) -> Result<Batch> {
+        islands::dispatch(self, island, body)
+    }
+
+    /// The islands this federation exposes (Figure 1).
+    pub fn island_names(&self) -> Vec<String> {
+        islands::island_names(self)
+    }
+
+    // ---- monitor --------------------------------------------------------------
+
+    pub fn monitor(&self) -> &Mutex<Monitor> {
+        &self.monitor
+    }
+}
+
+fn default_kind(kind: EngineKind) -> ObjectKind {
+    match kind {
+        EngineKind::Relational => ObjectKind::Table,
+        EngineKind::Array | EngineKind::TileStore => ObjectKind::Array,
+        EngineKind::Streaming => ObjectKind::Stream,
+        EngineKind::KeyValue => ObjectKind::Corpus,
+        EngineKind::Compute => ObjectKind::Dataset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shims::{ArrayShim, RelationalShim};
+    use bigdawg_array::Array;
+    use bigdawg_common::Value;
+
+    fn federation() -> BigDawg {
+        let mut bd = BigDawg::new();
+        let mut pg = RelationalShim::new("postgres");
+        pg.db_mut()
+            .execute("CREATE TABLE patients (id INT, age INT)")
+            .unwrap();
+        pg.db_mut()
+            .execute("INSERT INTO patients VALUES (1, 70), (2, 50)")
+            .unwrap();
+        bd.add_engine(Box::new(pg));
+        let mut scidb = ArrayShim::new("scidb");
+        scidb.store(
+            "wave",
+            Array::from_vector("wave", "v", &[1.0, 2.0, 3.0, 4.0], 2),
+        );
+        bd.add_engine(Box::new(scidb));
+        bd
+    }
+
+    #[test]
+    fn engines_and_catalog_autoregister() {
+        let bd = federation();
+        assert_eq!(bd.engine_names(), vec!["postgres", "scidb"]);
+        assert_eq!(bd.locate("patients").unwrap(), "postgres");
+        assert_eq!(bd.locate("wave").unwrap(), "scidb");
+        assert_eq!(
+            bd.engine_of_kind(EngineKind::Array).unwrap(),
+            "scidb".to_string()
+        );
+        assert!(bd.engine_of_kind(EngineKind::Streaming).is_err());
+    }
+
+    #[test]
+    fn cast_object_between_engines() {
+        let bd = federation();
+        let report = bd
+            .cast_object("wave", "postgres", "wave_rel", Transport::Binary)
+            .unwrap();
+        assert_eq!(report.rows, 4);
+        assert_eq!(bd.locate("wave_rel").unwrap(), "postgres");
+        let b = bd
+            .engine("postgres")
+            .unwrap()
+            .lock()
+            .get_table("wave_rel")
+            .unwrap();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.schema().names(), vec!["i", "v"]);
+    }
+
+    #[test]
+    fn migrate_relocates_and_drops_source() {
+        let bd = federation();
+        bd.migrate_object("patients", "scidb", Transport::Binary)
+            .unwrap();
+        assert_eq!(bd.locate("patients").unwrap(), "scidb");
+        assert!(bd
+            .engine("postgres")
+            .unwrap()
+            .lock()
+            .get_table("patients")
+            .is_err());
+        let arr_batch = bd
+            .engine("scidb")
+            .unwrap()
+            .lock()
+            .get_table("patients")
+            .unwrap();
+        assert_eq!(arr_batch.len(), 2);
+        // migrating to the same engine is rejected
+        assert!(bd
+            .migrate_object("patients", "scidb", Transport::Binary)
+            .is_err());
+    }
+
+    #[test]
+    fn drop_object_cleans_catalog() {
+        let bd = federation();
+        bd.cast_object("wave", "postgres", "tmp", Transport::File)
+            .unwrap();
+        bd.drop_object("tmp").unwrap();
+        assert!(bd.locate("tmp").is_err());
+    }
+
+    #[test]
+    fn refresh_catalog_sees_native_objects() {
+        let bd = federation();
+        bd.engine("postgres")
+            .unwrap()
+            .lock()
+            .execute_native("CREATE TABLE sneaky (x INT)")
+            .unwrap();
+        assert!(bd.locate("sneaky").is_err());
+        bd.refresh_catalog();
+        assert_eq!(bd.locate("sneaky").unwrap(), "postgres");
+    }
+
+    #[test]
+    fn temp_names_unique() {
+        let bd = federation();
+        assert_ne!(bd.temp_name(), bd.temp_name());
+    }
+
+    #[test]
+    fn doc_example_holds() {
+        let mut bd = BigDawg::new();
+        bd.add_engine(Box::new(RelationalShim::new("postgres")));
+        bd.execute("POSTGRES(CREATE TABLE t (x INT))").unwrap();
+        bd.execute("POSTGRES(INSERT INTO t VALUES (1), (2))").unwrap();
+        let rows = bd.execute("RELATIONAL(SELECT COUNT(*) AS n FROM t)").unwrap();
+        assert_eq!(rows.rows()[0][0], Value::Int(2));
+    }
+}

@@ -1,0 +1,317 @@
+//! The SCOPE/CAST query language (§2.1).
+//!
+//! "To specify the island for which a subquery is intended, the user
+//! indicates a SCOPE specification. A cross-island query will have multiple
+//! scopes … BigDAWG also relies on a CAST operator to move data between
+//! engines. For example a user may issue a relational query on an array A
+//! via the query: `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)`."
+//!
+//! Execution strategy: the body of a scope is scanned for `CAST(inner,
+//! target)` terms. Each `inner` is either a bare object name (moved with
+//! [`crate::cast`]) or a nested scope query (executed recursively and its
+//! result materialized on the target engine). The CAST term is replaced by
+//! the materialized temporary's name, and the rewritten body is handed to
+//! the island. Temporaries are dropped afterwards.
+
+use crate::cast::Transport;
+use crate::polystore::BigDawg;
+use crate::shim::EngineKind;
+use bigdawg_common::{parse_err, BigDawgError, Batch, Result};
+
+/// Execute a full SCOPE query: `ISLAND( body )`.
+pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
+    let (island, body) = parse_scope(query)?;
+    let mut temps = Vec::new();
+    let result = (|| {
+        let rewritten = rewrite_casts(bd, &body, &mut temps)?;
+        bd.island_execute(&island, &rewritten)
+    })();
+    for tmp in &temps {
+        let _ = bd.drop_object(tmp);
+    }
+    result
+}
+
+/// Split `ISLAND( body )` into the island name and body.
+pub fn parse_scope(query: &str) -> Result<(String, String)> {
+    let q = query.trim();
+    let open = q
+        .find('(')
+        .ok_or_else(|| parse_err!("expected `ISLAND( query )`, got `{q}`"))?;
+    let island = q[..open].trim();
+    if island.is_empty() || !island.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(parse_err!("bad island name `{island}`"));
+    }
+    let rest = &q[open..];
+    let body = balanced(rest)?;
+    let after = &rest[body.len() + 2..];
+    if !after.trim().is_empty() {
+        return Err(parse_err!("trailing text after scope: `{}`", after.trim()));
+    }
+    Ok((island.to_string(), body.to_string()))
+}
+
+/// Given text starting with `(`, return the content of the balanced group.
+fn balanced(text: &str) -> Result<&str> {
+    debug_assert!(text.starts_with('('));
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\'' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&text[1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(parse_err!("unbalanced parentheses"))
+}
+
+/// Replace every `CAST(inner, target)` in `body` with a temp object name,
+/// materializing the data on the target engine.
+fn rewrite_casts(bd: &BigDawg, body: &str, temps: &mut Vec<String>) -> Result<String> {
+    let mut out = String::with_capacity(body.len());
+    let mut rest = body;
+    loop {
+        match find_cast(rest) {
+            None => {
+                out.push_str(rest);
+                return Ok(out);
+            }
+            Some(start) => {
+                out.push_str(&rest[..start]);
+                let after_kw = &rest[start + 4..]; // past "CAST"
+                let after_kw_trim = after_kw.trim_start();
+                let inner_full = balanced(after_kw_trim)?;
+                let consumed = start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
+                let (inner, target) = split_cast_args(inner_full)?;
+                let engine = resolve_target(bd, &target)?;
+                let tmp = bd.temp_name();
+                if let Some((island, _)) = try_scope(&inner) {
+                    // nested scope query: run it, materialize the result
+                    let _ = island;
+                    let batch = execute(bd, &inner)?;
+                    bd.materialize(batch, &engine, &tmp, Transport::Binary)?;
+                } else {
+                    let object = inner.trim();
+                    if bd.locate(object).is_err() {
+                        return Err(BigDawgError::NotFound(format!(
+                            "CAST source `{object}` (not an object or nested scope query)"
+                        )));
+                    }
+                    bd.cast_object(object, &engine, &tmp, Transport::Binary)?;
+                }
+                temps.push(tmp.clone());
+                out.push_str(&tmp);
+                rest = &rest[consumed..];
+            }
+        }
+    }
+}
+
+/// Find the next `CAST(` keyword (case-insensitive, word-bounded) outside
+/// string literals. Returns the byte offset of `C`.
+fn find_cast(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i + 4 <= bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\'' {
+            in_str = !in_str;
+            i += 1;
+            continue;
+        }
+        if !in_str && text[i..].len() >= 4 && text[i..i + 4].eq_ignore_ascii_case("cast") {
+            let before_ok = i == 0
+                || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let after = text[i + 4..].trim_start();
+            if before_ok && after.starts_with('(') {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Split `inner, target` at the last top-level comma.
+fn split_cast_args(text: &str) -> Result<(String, String)> {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut last_comma = None;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\'' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => last_comma = Some(i),
+            _ => {}
+        }
+    }
+    let comma =
+        last_comma.ok_or_else(|| parse_err!("CAST needs two arguments: CAST(inner, target)"))?;
+    Ok((
+        text[..comma].trim().to_string(),
+        text[comma + 1..].trim().to_string(),
+    ))
+}
+
+/// Is `text` of the form `IDENT( ... )`? Returns (ident, body).
+fn try_scope(text: &str) -> Option<(String, String)> {
+    let t = text.trim();
+    let open = t.find('(')?;
+    let ident = t[..open].trim();
+    if ident.is_empty() || !ident.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    let body = balanced(&t[open..]).ok()?;
+    let after = &t[open + body.len() + 2..];
+    after.trim().is_empty().then(|| (ident.to_string(), body.to_string()))
+}
+
+/// Resolve a CAST target: a model name (`relation`, `array`, `text`,
+/// `tile`, `dataset`, `stream`) or an explicit engine name.
+fn resolve_target(bd: &BigDawg, target: &str) -> Result<String> {
+    let t = target.trim().to_ascii_lowercase();
+    let kind = match t.as_str() {
+        "relation" | "relational" | "table" => Some(EngineKind::Relational),
+        "array" => Some(EngineKind::Array),
+        "text" | "corpus" => Some(EngineKind::KeyValue),
+        "tile" | "tiles" => Some(EngineKind::TileStore),
+        "dataset" => Some(EngineKind::Compute),
+        "stream" => Some(EngineKind::Streaming),
+        _ => None,
+    };
+    match kind {
+        Some(k) => bd.engine_of_kind(k),
+        None => {
+            if bd.engine_names().iter().any(|e| *e == t) {
+                Ok(t)
+            } else {
+                Err(BigDawgError::NotFound(format!(
+                    "CAST target `{target}` (not a model name or engine)"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shims::{ArrayShim, KvShim, RelationalShim};
+    use bigdawg_array::Array;
+    use bigdawg_common::Value;
+
+    fn federation() -> BigDawg {
+        let mut bd = BigDawg::new();
+        let mut pg = RelationalShim::new("postgres");
+        pg.db_mut()
+            .execute("CREATE TABLE patients (id INT, age INT)")
+            .unwrap();
+        pg.db_mut()
+            .execute("INSERT INTO patients VALUES (1, 70), (2, 50), (3, 81)")
+            .unwrap();
+        bd.add_engine(Box::new(pg));
+        let mut scidb = ArrayShim::new("scidb");
+        scidb.store(
+            "a",
+            Array::from_vector("a", "v", &[3.0, 6.0, 9.0, 12.0], 2),
+        );
+        bd.add_engine(Box::new(scidb));
+        let mut kv = KvShim::new("accumulo");
+        kv.index_document(1, "p1", 0, "very sick");
+        bd.add_engine(Box::new(kv));
+        bd
+    }
+
+    #[test]
+    fn paper_example_relational_query_on_array() {
+        let bd = federation();
+        // the exact query form from §2.1
+        let b = bd
+            .execute("RELATIONAL(SELECT * FROM CAST(a, relation) WHERE v > 5)")
+            .unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.schema().names(), vec!["i", "v"]);
+        // temporaries cleaned
+        assert_eq!(bd.catalog().read().len(), 3);
+    }
+
+    #[test]
+    fn nested_scope_inside_cast() {
+        let bd = federation();
+        // run an array aggregate, cast its (1-row) result to a relation,
+        // and select from it
+        let b = bd
+            .execute(
+                "RELATIONAL(SELECT * FROM CAST(ARRAY(filter(a, v > 3)), relation) ORDER BY v)",
+            )
+            .unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.rows()[0][1], Value::Float(6.0));
+    }
+
+    #[test]
+    fn degenerate_island_passthrough() {
+        let bd = federation();
+        let b = bd.execute("SCIDB(aggregate(a, sum, v))").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(30.0));
+        let b = bd.execute("ACCUMULO(count())").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn cast_into_named_engine() {
+        let bd = federation();
+        let b = bd
+            .execute("ARRAY(aggregate(CAST(patients, scidb), avg, age))")
+            .unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(67.0));
+    }
+
+    #[test]
+    fn string_literals_shield_cast_keyword() {
+        let bd = federation();
+        let mut pg = bd.engine("postgres").unwrap().lock();
+        pg.execute_native("CREATE TABLE notes2 (body TEXT)").unwrap();
+        pg.execute_native("INSERT INTO notes2 VALUES ('cast(a, b) is not a cast')")
+            .unwrap();
+        drop(pg);
+        bd.refresh_catalog();
+        let b = bd
+            .execute("RELATIONAL(SELECT body FROM notes2 WHERE body LIKE '%cast%')")
+            .unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        let bd = federation();
+        assert!(bd.execute("NOPE(SELECT 1)").is_err());
+        assert!(bd.execute("RELATIONAL(SELECT * FROM CAST(ghost, relation))").is_err());
+        assert!(bd.execute("RELATIONAL(SELECT 1").is_err());
+        assert!(bd
+            .execute("RELATIONAL(SELECT * FROM CAST(a, warp_drive))")
+            .is_err());
+        assert!(bd.execute("no_parens_at_all").is_err());
+    }
+
+    #[test]
+    fn scope_parse_shapes() {
+        assert_eq!(
+            parse_scope("ARRAY(scan(a))").unwrap(),
+            ("ARRAY".to_string(), "scan(a)".to_string())
+        );
+        assert!(parse_scope("ARRAY(scan(a)) trailing").is_err());
+        // parens inside string literals don't confuse the parser
+        let (_, body) = parse_scope("RELATIONAL(SELECT ')(' FROM t)").unwrap();
+        assert_eq!(body, "SELECT ')(' FROM t");
+    }
+}

@@ -1,0 +1,81 @@
+//! The shim abstraction: how islands talk to storage engines.
+//!
+//! A shim exposes three things (§2.1): the engine's *capabilities* (so an
+//! island can compute the intersection it offers), a tabular import/export
+//! surface (what CAST moves), and the engine's *native* query language
+//! (what a degenerate island passes through).
+
+use bigdawg_common::{Batch, Result};
+use std::any::Any;
+
+/// Which family an engine belongs to (Figure 1's boxes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    Relational,
+    Array,
+    Streaming,
+    KeyValue,
+    TileStore,
+    Compute,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EngineKind::Relational => "relational",
+            EngineKind::Array => "array",
+            EngineKind::Streaming => "streaming",
+            EngineKind::KeyValue => "key-value",
+            EngineKind::TileStore => "tile-store",
+            EngineKind::Compute => "compute",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A coarse capability an engine may offer. Islands expose the
+/// *intersection* of their member engines' capabilities (§2.1); the
+/// monitor uses capabilities to know where an object may migrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    SqlFilter,
+    Aggregate,
+    Join,
+    LinearAlgebra,
+    WindowedAggregate,
+    TextSearch,
+    StreamIngest,
+    Transactions,
+}
+
+/// A connector to one storage engine.
+pub trait Shim: Send {
+    /// Unique engine name in the federation (e.g. `"postgres"`).
+    fn engine_name(&self) -> &str;
+
+    fn kind(&self) -> EngineKind;
+
+    fn capabilities(&self) -> Vec<Capability>;
+
+    /// Names of the data objects this engine currently holds.
+    fn object_names(&self) -> Vec<String>;
+
+    /// Export an object as rows (the CAST egress path).
+    fn get_table(&self, object: &str) -> Result<Batch>;
+
+    /// Import rows as a new object (the CAST ingress path). Conventions
+    /// for non-relational engines are documented on each shim.
+    fn put_table(&mut self, object: &str, batch: Batch) -> Result<()>;
+
+    /// Drop an object (used when the monitor migrates data away).
+    fn drop_object(&mut self, object: &str) -> Result<()>;
+
+    /// Execute a query in the engine's native language — the degenerate
+    /// island path, offering "the full functionality of a single storage
+    /// engine" (§2.1).
+    fn execute_native(&mut self, query: &str) -> Result<Batch>;
+
+    /// Downcast support for islands that need engine-specific fast paths.
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

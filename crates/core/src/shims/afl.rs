@@ -1,0 +1,383 @@
+//! The array island's query dialect — a small AFL (SciDB's Array Functional
+//! Language) lookalike.
+//!
+//! Grammar (operators nest freely where an array is expected):
+//!
+//! ```text
+//! query      := array-expr | aggregate(array-expr, AGG, attr)
+//! array-expr := NAME
+//!             | scan(array-expr)
+//!             | subarray(array-expr, lo…, hi…)          -- n lows then n highs
+//!             | filter(array-expr, <predicate>)          -- over dims + attrs
+//!             | apply(array-expr, new_attr, <expression>)
+//!             | project(array-expr, attr…)
+//!             | regrid(array-expr, factor…, AGG)
+//!             | window(array-expr, left, right, AGG)     -- per-dimension widths
+//!             | transpose(array-expr)
+//!             | matmul(array-expr, array-expr)
+//! ```
+//!
+//! Predicates/expressions reuse the relational expression language, with
+//! dimensions and attributes visible as columns. A whole-array query
+//! returns one row per cell (dims then attrs); `aggregate` returns one row.
+
+use crate::shims::array::{array_to_batch, ArrayShim};
+use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Schema, Value};
+use bigdawg_array::ops;
+use bigdawg_array::{AggKind, Array};
+use bigdawg_relational::sql::parser::parse_expr;
+
+/// Execute an AFL query against the shim's arrays.
+pub fn execute(shim: &ArrayShim, query: &str) -> Result<Batch> {
+    let query = query.trim();
+    if let Some(args) = op_args(query, "aggregate")? {
+        let parts = split_args(&args);
+        if parts.len() != 3 {
+            return Err(parse_err!("aggregate(array, agg, attr) takes 3 arguments"));
+        }
+        let agg = parse_agg(&parts[1])?;
+        let attr = parts[2].trim();
+        let name = format!("{}_{}", parts[1].trim(), attr);
+
+        // Fusion: `aggregate(apply(X, attr, expr), agg, attr)` streams the
+        // expression straight into the accumulator instead of materializing
+        // the derived array (the array engine's operator fusion).
+        let v = if let Some(fused) = try_fused_aggregate(shim, &parts[0], agg, attr)? {
+            fused
+        } else {
+            let arr = eval_array(shim, &parts[0])?;
+            ops::aggregate(&arr, agg, attr)?
+        };
+        return Batch::new(
+            Schema::from_pairs(&[(name.as_str(), DataType::Float)]),
+            vec![vec![v.map_or(Value::Null, Value::Float)]],
+        );
+    }
+    let arr = eval_array(shim, query)?;
+    Ok(array_to_batch(&arr))
+}
+
+/// Evaluate an array-valued expression.
+pub fn eval_array(shim: &ArrayShim, text: &str) -> Result<Array> {
+    let text = text.trim();
+    if let Some(args) = op_args(text, "scan")? {
+        return eval_array(shim, &args);
+    }
+    if let Some(args) = op_args(text, "subarray")? {
+        let parts = split_args(&args);
+        let arr = eval_array(shim, &parts[0])?;
+        let nd = arr.schema().ndim();
+        if parts.len() != 1 + 2 * nd {
+            return Err(parse_err!(
+                "subarray over a {nd}-d array needs {} bounds, got {}",
+                2 * nd,
+                parts.len() - 1
+            ));
+        }
+        let nums: Vec<i64> = parts[1..]
+            .iter()
+            .map(|p| parse_i64(p))
+            .collect::<Result<_>>()?;
+        return ops::subarray(&arr, &nums[..nd], &nums[nd..]);
+    }
+    if let Some(args) = op_args(text, "filter")? {
+        let parts = split_args(&args);
+        if parts.len() != 2 {
+            return Err(parse_err!("filter(array, predicate) takes 2 arguments"));
+        }
+        let arr = eval_array(shim, &parts[0])?;
+        let expr = parse_expr(&parts[1])?;
+        let schema = cell_schema(&arr);
+        return Ok(ops::filter(&arr, move |coords, vals| {
+            expr.matches(&schema, &cell_row(coords, vals)).unwrap_or(false)
+        }));
+    }
+    if let Some(args) = op_args(text, "apply")? {
+        let parts = split_args(&args);
+        if parts.len() != 3 {
+            return Err(parse_err!("apply(array, name, expr) takes 3 arguments"));
+        }
+        let arr = eval_array(shim, &parts[0])?;
+        let new_attr = parts[1].trim().to_string();
+        let expr = parse_expr(&parts[2])?;
+        let schema = cell_schema(&arr);
+        return ops::apply(&arr, &new_attr, move |coords, vals| {
+            expr.eval(&schema, &cell_row(coords, vals))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN)
+        });
+    }
+    if let Some(args) = op_args(text, "project")? {
+        let parts = split_args(&args);
+        let arr = eval_array(shim, &parts[0])?;
+        let attrs: Vec<&str> = parts[1..].iter().map(|s| s.trim()).collect();
+        return ops::project(&arr, &attrs);
+    }
+    if let Some(args) = op_args(text, "regrid")? {
+        let parts = split_args(&args);
+        let arr = eval_array(shim, &parts[0])?;
+        let nd = arr.schema().ndim();
+        if parts.len() != 2 + nd {
+            return Err(parse_err!(
+                "regrid over a {nd}-d array needs {nd} factors plus an aggregate"
+            ));
+        }
+        let factors: Vec<u64> = parts[1..1 + nd]
+            .iter()
+            .map(|p| parse_i64(p).map(|v| v.max(0) as u64))
+            .collect::<Result<_>>()?;
+        let agg = parse_agg(&parts[1 + nd])?;
+        return ops::regrid(&arr, &factors, agg);
+    }
+    if let Some(args) = op_args(text, "window")? {
+        let parts = split_args(&args);
+        if parts.len() != 4 {
+            return Err(parse_err!("window(array, left, right, agg) takes 4 arguments"));
+        }
+        let arr = eval_array(shim, &parts[0])?;
+        let nd = arr.schema().ndim();
+        let left = parse_i64(&parts[1])?.max(0) as u64;
+        let right = parse_i64(&parts[2])?.max(0) as u64;
+        let agg = parse_agg(&parts[3])?;
+        return ops::window(&arr, &vec![left; nd], &vec![right; nd], agg);
+    }
+    if let Some(args) = op_args(text, "transpose")? {
+        return ops::transpose(&eval_array(shim, &args)?);
+    }
+    if let Some(args) = op_args(text, "matmul")? {
+        let parts = split_args(&args);
+        if parts.len() != 2 {
+            return Err(parse_err!("matmul(a, b) takes 2 arguments"));
+        }
+        let a = eval_array(shim, &parts[0])?;
+        let b = eval_array(shim, &parts[1])?;
+        let a_attr = a.schema().attrs[0].clone();
+        let b_attr = b.schema().attrs[0].clone();
+        return ops::matmul(&a, &a_attr, &b, &b_attr);
+    }
+    // bare name
+    if text.chars().all(|c| c.is_alphanumeric() || c == '_') && !text.is_empty() {
+        return shim.array(text).cloned();
+    }
+    Err(parse_err!("unrecognized AFL expression: `{text}`"))
+}
+
+/// If `text` is `apply(inner, attr, expr)` with `attr` the aggregated
+/// attribute, run the fused streaming aggregate and return its value.
+fn try_fused_aggregate(
+    shim: &ArrayShim,
+    text: &str,
+    agg: bigdawg_array::AggKind,
+    attr: &str,
+) -> Result<Option<Option<f64>>> {
+    let Some(args) = op_args(text.trim(), "apply")? else {
+        return Ok(None);
+    };
+    let parts = split_args(&args);
+    if parts.len() != 3 || parts[1].trim() != attr {
+        return Ok(None);
+    }
+    let arr = eval_array(shim, &parts[0])?;
+    let expr = parse_expr(&parts[2])?;
+    let schema = cell_schema(&arr);
+    // Reusable row buffer: Int/Float values are inline, so refilling it per
+    // cell allocates nothing.
+    let nd = arr.schema().ndim();
+    let na = arr.schema().attrs.len();
+    let mut row: Vec<Value> = vec![Value::Null; nd + na];
+    let result = ops::aggregate_map(&arr, agg, |coords, vals| {
+        for (i, c) in coords.iter().enumerate() {
+            row[i] = Value::Int(*c);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            row[nd + i] = Value::Float(*v);
+        }
+        expr.eval(&schema, &row)
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::NAN)
+    });
+    Ok(Some(result))
+}
+
+/// Schema exposing a cell to the expression language: dims as Int columns,
+/// attrs as Float columns.
+fn cell_schema(arr: &Array) -> Schema {
+    let s = arr.schema();
+    let mut pairs: Vec<(&str, DataType)> = s
+        .dims
+        .iter()
+        .map(|d| (d.name.as_str(), DataType::Int))
+        .collect();
+    for a in &s.attrs {
+        pairs.push((a.as_str(), DataType::Float));
+    }
+    Schema::from_pairs(&pairs)
+}
+
+fn cell_row(coords: &[i64], vals: &[f64]) -> Vec<Value> {
+    let mut row: Vec<Value> = coords.iter().map(|&c| Value::Int(c)).collect();
+    row.extend(vals.iter().map(|&v| Value::Float(v)));
+    row
+}
+
+fn parse_agg(text: &str) -> Result<AggKind> {
+    AggKind::by_name(text.trim())
+        .ok_or_else(|| BigDawgError::Parse(format!("unknown aggregate `{}`", text.trim())))
+}
+
+fn parse_i64(text: &str) -> Result<i64> {
+    text.trim()
+        .parse()
+        .map_err(|_| BigDawgError::Parse(format!("expected integer, got `{}`", text.trim())))
+}
+
+/// If `text` is `op(...)` (whole string), return the inside of the parens.
+fn op_args(text: &str, op: &str) -> Result<Option<String>> {
+    let t = text.trim();
+    let Some(rest) = t.strip_prefix(op) else {
+        return Ok(None);
+    };
+    let rest = rest.trim_start();
+    if !rest.starts_with('(') {
+        return Ok(None);
+    }
+    if !rest.ends_with(')') {
+        return Err(parse_err!("unbalanced parentheses in `{t}`"));
+    }
+    // check the parens wrapping the remainder are balanced as a unit
+    let inner = &rest[1..rest.len() - 1];
+    let mut depth = 0i32;
+    for c in inner.chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Ok(None); // the closing paren belongs elsewhere
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(parse_err!("unbalanced parentheses in `{t}`"));
+    }
+    Ok(Some(inner.to_string()))
+}
+
+/// Split a comma-separated argument list at depth 0.
+fn split_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in args.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shim() -> ArrayShim {
+        let mut s = ArrayShim::new("scidb");
+        let wave: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        s.store("wave", Array::from_vector("wave", "v", &wave, 16));
+        let m = Array::build(
+            bigdawg_array::ArraySchema::matrix("m", "v", 3, 3, 3, 3),
+            |c| vec![if c[0] == c[1] { 2.0 } else { 0.0 }],
+        )
+        .unwrap();
+        s.store("eye2", m);
+        s
+    }
+
+    #[test]
+    fn scan_and_bare_name_agree() {
+        let s = shim();
+        let a = execute(&s, "wave").unwrap();
+        let b = execute(&s, "scan(wave)").unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn aggregate_query() {
+        let s = shim();
+        let b = execute(&s, "aggregate(wave, max, v)").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(99.0));
+        assert_eq!(b.schema().names(), vec!["max_v"]);
+    }
+
+    #[test]
+    fn nested_operators() {
+        let s = shim();
+        // mean of a 10-cell regrid of the filtered upper half
+        let b = execute(
+            &s,
+            "aggregate(regrid(filter(wave, v >= 50), 10, avg), count, v)",
+        )
+        .unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(5.0));
+    }
+
+    #[test]
+    fn filter_on_dimension() {
+        let s = shim();
+        let b = execute(&s, "filter(wave, i < 5 AND v > 2)").unwrap();
+        assert_eq!(b.len(), 2); // i = 3, 4
+    }
+
+    #[test]
+    fn subarray_window_apply() {
+        let s = shim();
+        let b = execute(&s, "subarray(wave, 10, 19)").unwrap();
+        assert_eq!(b.len(), 10);
+        let b = execute(&s, "aggregate(window(wave, 1, 1, avg), min, v)").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(0.5));
+        let b = execute(&s, "apply(wave, dbl, v * 2)").unwrap();
+        assert_eq!(b.schema().names(), vec!["i", "v", "dbl"]);
+        assert_eq!(b.rows()[99][2], Value::Float(198.0));
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let s = shim();
+        let b = execute(&s, "matmul(eye2, transpose(eye2))").unwrap();
+        // (2I)(2I)ᵀ = 4I
+        let diag: Vec<&Vec<Value>> = b
+            .rows()
+            .iter()
+            .filter(|r| r[0] == r[1])
+            .collect();
+        assert!(diag.iter().all(|r| r[2] == Value::Float(4.0)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = shim();
+        assert!(execute(&s, "frobnicate(wave)").is_err());
+        assert!(execute(&s, "subarray(wave, 1)").is_err());
+        assert!(execute(&s, "aggregate(wave, median, v)").is_err());
+        assert!(execute(&s, "filter(wave").is_err());
+        assert!(execute(&s, "ghost").is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! The SciDB shim.
+
+use crate::shim::{Capability, EngineKind, Shim};
+use crate::shims::afl;
+use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_array::{Array, ArraySchema, Dimension};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Default chunk length for arrays created by CAST imports.
+const IMPORT_CHUNK: u64 = 1024;
+
+/// Shim over the chunked array engine. Native language: the AFL dialect in
+/// [`afl`] (`aggregate(window(wave, 2, 2, avg), max, v)` …).
+///
+/// CAST conventions: `get_table` exports cells as one row per cell, with
+/// dimension columns first (Int) then attribute columns (Float).
+/// `put_table` expects the same shape: leading Int/Timestamp columns are
+/// dimensions (≥ 1), trailing Float columns are attributes (≥ 1).
+pub struct ArrayShim {
+    name: String,
+    arrays: BTreeMap<String, Array>,
+}
+
+impl ArrayShim {
+    pub fn new(name: impl Into<String>) -> Self {
+        ArrayShim {
+            name: name.into(),
+            arrays: BTreeMap::new(),
+        }
+    }
+
+    pub fn store(&mut self, name: impl Into<String>, array: Array) {
+        self.arrays.insert(name.into(), array);
+    }
+
+    pub fn array(&self, name: &str) -> Result<&Array> {
+        self.arrays
+            .get(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("array `{name}`")))
+    }
+
+    /// All stored arrays (name → array), for browsing tools.
+    pub fn arrays(&self) -> &BTreeMap<String, Array> {
+        &self.arrays
+    }
+}
+
+/// Export an array's cells as a batch (dims then attrs).
+pub fn array_to_batch(a: &Array) -> Batch {
+    let s = a.schema();
+    let mut pairs: Vec<(&str, DataType)> = s
+        .dims
+        .iter()
+        .map(|d| (d.name.as_str(), DataType::Int))
+        .collect();
+    for attr in &s.attrs {
+        pairs.push((attr.as_str(), DataType::Float));
+    }
+    let schema = Schema::from_pairs(&pairs);
+    let rows: Vec<Row> = a
+        .iter_cells()
+        .map(|(coords, vals)| {
+            let mut row: Row = coords.into_iter().map(Value::Int).collect();
+            row.extend(vals.into_iter().map(Value::Float));
+            row
+        })
+        .collect();
+    Batch::new(schema, rows).expect("schema matches construction")
+}
+
+/// Import a batch as an array per the CAST convention.
+pub fn batch_to_array(name: &str, batch: &Batch) -> Result<Array> {
+    let schema = batch.schema();
+    if schema.is_empty() {
+        return Err(BigDawgError::SchemaMismatch(
+            "cannot build an array from a zero-column batch".into(),
+        ));
+    }
+    // Leading Int/Timestamp columns are dimensions; the rest are attributes.
+    let mut n_dims = 0;
+    for f in schema.fields() {
+        // Infer from declared type first, falling back to first row.
+        match f.data_type {
+            DataType::Int | DataType::Timestamp => n_dims += 1,
+            DataType::Null => {
+                // untyped (derived) column: inspect first row
+                let idx = n_dims;
+                match batch.rows().first().map(|r| r[idx].data_type()) {
+                    Some(DataType::Int) | Some(DataType::Timestamp) => n_dims += 1,
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    // An all-integer table still imports: its last column becomes the
+    // (float) attribute — `CAST(patients, array)` must work for any numeric
+    // relation.
+    if n_dims == schema.len() && n_dims > 1 {
+        n_dims -= 1;
+    }
+    // Attribute columns: every numeric column after the dimensions.
+    // Non-numeric columns (names, notes) are dropped by the cast — arrays
+    // hold numbers; the relational copy keeps the text.
+    let is_numeric = |i: usize| {
+        let declared = schema.field(i).data_type;
+        if declared.is_numeric() || declared == DataType::Float {
+            return true;
+        }
+        declared == DataType::Null
+            && batch
+                .rows()
+                .first()
+                .is_some_and(|r| r[i].data_type().is_numeric() || r[i].data_type() == DataType::Float)
+    };
+    let attr_cols: Vec<usize> = (n_dims..schema.len()).filter(|&i| is_numeric(i)).collect();
+    if n_dims == 0 || attr_cols.is_empty() {
+        return Err(BigDawgError::Cast(format!(
+            "array import needs leading integer dimension column(s) and at least \
+             one numeric attribute column; got schema {schema}"
+        )));
+    }
+    // Coordinate ranges.
+    let mut lows = vec![i64::MAX; n_dims];
+    let mut highs = vec![i64::MIN; n_dims];
+    for row in batch.rows() {
+        for d in 0..n_dims {
+            let c = row[d].as_i64()?;
+            lows[d] = lows[d].min(c);
+            highs[d] = highs[d].max(c);
+        }
+    }
+    if batch.is_empty() {
+        lows = vec![0; n_dims];
+        highs = vec![0; n_dims];
+    }
+    let dims: Vec<Dimension> = (0..n_dims)
+        .map(|d| {
+            let len = (highs[d] - lows[d] + 1) as u64;
+            Dimension::new(
+                schema.field(d).name.clone(),
+                lows[d],
+                len,
+                IMPORT_CHUNK.min(len.max(1)),
+            )
+        })
+        .collect();
+    let attrs: Vec<String> = attr_cols
+        .iter()
+        .map(|&i| schema.field(i).name.clone())
+        .collect();
+    let mut arr = Array::new(ArraySchema::new(name, dims, attrs)?);
+    for row in batch.rows() {
+        let coords: Vec<i64> = row[..n_dims]
+            .iter()
+            .map(Value::as_i64)
+            .collect::<Result<_>>()?;
+        let vals: Vec<f64> = attr_cols
+            .iter()
+            .map(|&i| row[i].as_f64())
+            .collect::<Result<_>>()?;
+        arr.set(&coords, &vals)?;
+    }
+    Ok(arr)
+}
+
+impl Shim for ArrayShim {
+    fn engine_name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Array
+    }
+
+    fn capabilities(&self) -> Vec<Capability> {
+        vec![
+            Capability::Aggregate,
+            Capability::LinearAlgebra,
+            Capability::WindowedAggregate,
+        ]
+    }
+
+    fn object_names(&self) -> Vec<String> {
+        self.arrays.keys().cloned().collect()
+    }
+
+    fn get_table(&self, object: &str) -> Result<Batch> {
+        Ok(array_to_batch(self.array(object)?))
+    }
+
+    fn put_table(&mut self, object: &str, batch: Batch) -> Result<()> {
+        let arr = batch_to_array(object, &batch)?;
+        self.arrays.insert(object.to_string(), arr);
+        Ok(())
+    }
+
+    fn drop_object(&mut self, object: &str) -> Result<()> {
+        self.arrays
+            .remove(object)
+            .map(|_| ())
+            .ok_or_else(|| BigDawgError::NotFound(format!("array `{object}`")))
+    }
+
+    fn execute_native(&mut self, query: &str) -> Result<Batch> {
+        afl::execute(self, query)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for ArrayShim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ArrayShim({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_conventions_roundtrip() {
+        let wave: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut shim = ArrayShim::new("scidb");
+        shim.store("wave", Array::from_vector("wave", "v", &wave, 16));
+        let batch = shim.get_table("wave").unwrap();
+        assert_eq!(batch.schema().names(), vec!["i", "v"]);
+        assert_eq!(batch.len(), 100);
+        // import it back under a new name
+        shim.put_table("wave2", batch).unwrap();
+        let a2 = shim.array("wave2").unwrap();
+        assert_eq!(a2.to_vector("v").unwrap(), wave);
+    }
+
+    #[test]
+    fn import_2d_with_timestamp_dim() {
+        let schema = Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("patient", DataType::Int),
+            ("hr", DataType::Float),
+        ]);
+        let rows = vec![
+            vec![Value::Timestamp(100), Value::Int(1), Value::Float(70.0)],
+            vec![Value::Timestamp(101), Value::Int(1), Value::Float(71.0)],
+            vec![Value::Timestamp(100), Value::Int(2), Value::Float(65.0)],
+        ];
+        let mut shim = ArrayShim::new("scidb");
+        shim.put_table("vitals", Batch::new(schema, rows).unwrap())
+            .unwrap();
+        let a = shim.array("vitals").unwrap();
+        assert_eq!(a.schema().ndim(), 2);
+        assert_eq!(a.get_attr(&[101, 1], "hr").unwrap(), Some(71.0));
+        assert_eq!(a.cell_count(), 3);
+    }
+
+    #[test]
+    fn import_rejects_all_text() {
+        let schema = Schema::from_pairs(&[("name", DataType::Text)]);
+        let batch = Batch::new(schema, vec![vec![Value::Text("x".into())]]).unwrap();
+        let mut shim = ArrayShim::new("scidb");
+        let err = shim.put_table("bad", batch).unwrap_err();
+        assert_eq!(err.kind(), "cast");
+    }
+
+    #[test]
+    fn drop_object_works() {
+        let mut shim = ArrayShim::new("scidb");
+        shim.store("a", Array::from_vector("a", "v", &[1.0], 1));
+        assert!(shim.drop_object("a").is_ok());
+        assert!(shim.drop_object("a").is_err());
+    }
+}

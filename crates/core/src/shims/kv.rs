@@ -1,0 +1,270 @@
+//! The Accumulo shim.
+
+use crate::shim::{Capability, EngineKind, Shim};
+use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_kv::{TextIndex, TextQuery};
+use std::any::Any;
+
+/// Shim over the sorted KV store + inverted text index.
+///
+/// The shim manages one corpus object (default `"notes"`). CAST
+/// conventions: `get_table` exports `(doc_id, owner, ts, body)`;
+/// `put_table` expects a batch with a text `body` column, an owner column
+/// named `owner` or `patient_id`, and optional `id`/`ts` columns.
+///
+/// Native commands:
+///
+/// ```text
+/// search(<text query>)          -- matching doc ids
+/// docs(<text query>)            -- (doc_id, owner, body)
+/// owners_min(<text query>, n)   -- owners with ≥ n matching docs
+/// get(<doc id>)                 -- one document body
+/// count()                       -- corpus size
+/// ```
+pub struct KvShim {
+    name: String,
+    index: TextIndex,
+    /// (doc_id, owner, ts, body) retained for export.
+    docs: Vec<(u64, String, i64, String)>,
+    corpus_object: String,
+}
+
+impl KvShim {
+    pub fn new(name: impl Into<String>) -> Self {
+        KvShim {
+            name: name.into(),
+            index: TextIndex::new(),
+            docs: Vec::new(),
+            corpus_object: "notes".to_string(),
+        }
+    }
+
+    pub fn index(&self) -> &TextIndex {
+        &self.index
+    }
+
+    /// Index one document.
+    pub fn index_document(&mut self, doc: u64, owner: &str, ts: i64, body: &str) {
+        self.index.index_document(doc, owner, ts, body);
+        self.docs.push((doc, owner.to_string(), ts, body.to_string()));
+    }
+
+    fn docs_batch(&self, ids: Option<&std::collections::BTreeSet<u64>>) -> Batch {
+        let schema = Schema::from_pairs(&[
+            ("doc_id", DataType::Int),
+            ("owner", DataType::Text),
+            ("ts", DataType::Timestamp),
+            ("body", DataType::Text),
+        ]);
+        let rows: Vec<Row> = self
+            .docs
+            .iter()
+            .filter(|(id, _, _, _)| ids.is_none_or(|s| s.contains(id)))
+            .map(|(id, owner, ts, body)| {
+                vec![
+                    Value::Int(*id as i64),
+                    Value::Text(owner.clone()),
+                    Value::Timestamp(*ts),
+                    Value::Text(body.clone()),
+                ]
+            })
+            .collect();
+        Batch::new(schema, rows).expect("schema matches construction")
+    }
+}
+
+impl Shim for KvShim {
+    fn engine_name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::KeyValue
+    }
+
+    fn capabilities(&self) -> Vec<Capability> {
+        vec![Capability::TextSearch]
+    }
+
+    fn object_names(&self) -> Vec<String> {
+        vec![self.corpus_object.clone()]
+    }
+
+    fn get_table(&self, object: &str) -> Result<Batch> {
+        if object != self.corpus_object {
+            return Err(BigDawgError::NotFound(format!("kv object `{object}`")));
+        }
+        Ok(self.docs_batch(None))
+    }
+
+    fn put_table(&mut self, object: &str, batch: Batch) -> Result<()> {
+        let schema = batch.schema();
+        let body_col = schema.index_of("body")?;
+        let owner_col = schema
+            .index_of("owner")
+            .or_else(|_| schema.index_of("patient_id"))?;
+        let id_col = schema.index_of("id").or_else(|_| schema.index_of("doc_id")).ok();
+        let ts_col = schema.index_of("ts").ok();
+        for (i, row) in batch.rows().iter().enumerate() {
+            let id = match id_col {
+                Some(c) => row[c].as_i64()? as u64,
+                None => (self.docs.len() + i) as u64,
+            };
+            let owner = row[owner_col].to_string();
+            let ts = match ts_col {
+                Some(c) => row[c].as_i64().unwrap_or(0),
+                None => 0,
+            };
+            let body = row[body_col].as_str()?.to_string();
+            self.index_document(id, &owner, ts, &body);
+        }
+        self.corpus_object = object.to_string();
+        Ok(())
+    }
+
+    fn drop_object(&mut self, object: &str) -> Result<()> {
+        if object != self.corpus_object {
+            return Err(BigDawgError::NotFound(format!("kv object `{object}`")));
+        }
+        self.index = TextIndex::new();
+        self.docs.clear();
+        Ok(())
+    }
+
+    fn execute_native(&mut self, query: &str) -> Result<Batch> {
+        let q = query.trim();
+        if let Some(args) = strip_call(q, "search") {
+            let hits = self.index.query(args)?;
+            let schema = Schema::from_pairs(&[("doc_id", DataType::Int)]);
+            let rows = hits
+                .into_iter()
+                .map(|d| vec![Value::Int(d as i64)])
+                .collect();
+            return Batch::new(schema, rows);
+        }
+        if let Some(args) = strip_call(q, "docs") {
+            let hits = self.index.query(args)?;
+            return Ok(self.docs_batch(Some(&hits)));
+        }
+        if let Some(args) = strip_call(q, "owners_min") {
+            let (qtext, n) = args
+                .rsplit_once(',')
+                .ok_or_else(|| parse_err!("owners_min(query, n)"))?;
+            let n: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| parse_err!("bad min count `{}`", n.trim()))?;
+            let tq = TextQuery::parse(qtext)?;
+            let owners = self.index.owners_with_min_docs(&tq, n);
+            let schema =
+                Schema::from_pairs(&[("owner", DataType::Text), ("matches", DataType::Int)]);
+            let rows = owners
+                .into_iter()
+                .map(|(o, c)| vec![Value::Text(o), Value::Int(c as i64)])
+                .collect();
+            return Batch::new(schema, rows);
+        }
+        if let Some(args) = strip_call(q, "get") {
+            let id: u64 = args
+                .trim()
+                .parse()
+                .map_err(|_| parse_err!("bad doc id `{}`", args.trim()))?;
+            let body = self
+                .index
+                .document(id)
+                .ok_or_else(|| BigDawgError::NotFound(format!("document {id}")))?;
+            let schema = Schema::from_pairs(&[("body", DataType::Text)]);
+            return Batch::new(schema, vec![vec![Value::Text(body)]]);
+        }
+        if strip_call(q, "count").is_some() {
+            let schema = Schema::from_pairs(&[("docs", DataType::Int)]);
+            return Batch::new(
+                schema,
+                vec![vec![Value::Int(self.index.doc_count() as i64)]],
+            );
+        }
+        Err(parse_err!("unknown kv command: `{q}`"))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn strip_call<'a>(text: &'a str, op: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(op)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+impl std::fmt::Debug for KvShim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KvShim({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shim() -> KvShim {
+        let mut s = KvShim::new("accumulo");
+        s.index_document(1, "p1", 10, "patient very sick, started heparin");
+        s.index_document(2, "p1", 11, "still very sick today");
+        s.index_document(3, "p2", 12, "doing well");
+        s
+    }
+
+    #[test]
+    fn search_and_docs() {
+        let mut s = shim();
+        let hits = s.execute_native("search(\"very sick\")").unwrap();
+        assert_eq!(hits.len(), 2);
+        let docs = s.execute_native("docs(heparin)").unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs.rows()[0][1], Value::Text("p1".into()));
+    }
+
+    #[test]
+    fn owners_min_demo_query() {
+        let mut s = shim();
+        let b = s.execute_native("owners_min(\"very sick\", 2)").unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.rows()[0][0], Value::Text("p1".into()));
+        assert_eq!(b.rows()[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let s = shim();
+        let exported = s.get_table("notes").unwrap();
+        assert_eq!(exported.len(), 3);
+        let mut s2 = KvShim::new("accumulo2");
+        s2.put_table("notes", exported).unwrap();
+        assert_eq!(s2.index().doc_count(), 3);
+        let hits = s2.index().query("heparin").unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn get_and_count() {
+        let mut s = shim();
+        let b = s.execute_native("get(3)").unwrap();
+        assert!(b.rows()[0][0].to_string().contains("well"));
+        let b = s.execute_native("count()").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Int(3));
+        assert!(s.execute_native("get(99)").is_err());
+    }
+
+    #[test]
+    fn put_table_requires_body() {
+        let mut s = KvShim::new("a");
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let batch = Batch::new(schema, vec![vec![Value::Int(1)]]).unwrap();
+        assert!(s.put_table("notes", batch).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Per-engine shim implementations.
+//!
+//! | shim | engine crate | plays the role of |
+//! |---|---|---|
+//! | [`relational::RelationalShim`] | `bigdawg-relational` | PostgreSQL |
+//! | [`array::ArrayShim`] | `bigdawg-array` | SciDB |
+//! | [`stream::StreamShim`] | `bigdawg-stream` | S-Store |
+//! | [`kv::KvShim`] | `bigdawg-kv` | Apache Accumulo |
+//! | [`tile::TileShim`] | `bigdawg-tiledb` | TileDB |
+//! | [`tupleware::TupleShim`] | `bigdawg-tupleware` | Tupleware |
+
+pub mod afl;
+pub mod array;
+pub mod kv;
+pub mod relational;
+pub mod stream;
+pub mod tile;
+pub mod tupleware;
+
+pub use array::ArrayShim;
+pub use kv::KvShim;
+pub use relational::RelationalShim;
+pub use stream::StreamShim;
+pub use tile::TileShim;
+pub use tupleware::TupleShim;

@@ -1,0 +1,295 @@
+//! The S-Store shim.
+
+use crate::shim::{Capability, EngineKind, Shim};
+use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Schema, Value};
+use bigdawg_stream::Engine;
+use std::any::Any;
+
+/// Shim over the transactional stream engine.
+///
+/// Objects are streams and state tables (state tables are exported under
+/// their own names; both appear in `object_names`). Native commands:
+///
+/// ```text
+/// snapshot(<stream>)              -- current time-varying contents
+/// table(<state table>)            -- state table contents
+/// window_stats(<stream>, <win>)   -- one-row aggregate snapshot
+/// ingest(<stream>, v1, v2, …)     -- push one tuple (CSV fields)
+/// drain(<stream>, <watermark>)    -- age out tuples older than watermark
+/// watermark()                     -- current event-time watermark
+/// ```
+///
+/// `drain` is how §3's hand-off ("data ages out of S-Store and is loaded
+/// into SciDB") runs through the polystore: the drained batch is CAST into
+/// the array engine.
+pub struct StreamShim {
+    name: String,
+    engine: Engine,
+}
+
+impl StreamShim {
+    pub fn new(name: impl Into<String>, engine: Engine) -> Self {
+        StreamShim {
+            name: name.into(),
+            engine,
+        }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+}
+
+impl Shim for StreamShim {
+    fn engine_name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Streaming
+    }
+
+    fn capabilities(&self) -> Vec<Capability> {
+        vec![
+            Capability::StreamIngest,
+            Capability::WindowedAggregate,
+            Capability::Transactions,
+        ]
+    }
+
+    fn object_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .engine
+            .stream_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        names.extend(self.engine.table_names().into_iter().map(String::from));
+        names.sort();
+        names
+    }
+
+    fn get_table(&self, object: &str) -> Result<Batch> {
+        if let Ok(s) = self.engine.stream(object) {
+            return Ok(s.snapshot());
+        }
+        Ok(self.engine.table(object)?.snapshot())
+    }
+
+    fn put_table(&mut self, object: &str, batch: Batch) -> Result<()> {
+        // Imports become state tables (streams must be declared with a
+        // timestamp column and retention by the application).
+        let (schema, rows) = batch.into_parts();
+        if self.engine.table(object).is_err() {
+            self.engine.create_table(object, schema)?;
+        }
+        for row in rows {
+            // state tables are reachable transactionally; here we import
+            // directly as a bulk load
+            self.engine
+                .table(object)
+                .expect("created above")
+                .schema()
+                .len()
+                .eq(&row.len())
+                .then_some(())
+                .ok_or_else(|| {
+                    BigDawgError::SchemaMismatch(format!(
+                        "row arity mismatch importing into `{object}`"
+                    ))
+                })?;
+            self.bulk_insert(object, row)?;
+        }
+        Ok(())
+    }
+
+    fn drop_object(&mut self, object: &str) -> Result<()> {
+        Err(BigDawgError::Unsupported(format!(
+            "stream engine objects cannot be dropped (`{object}`); drain them instead"
+        )))
+    }
+
+    fn execute_native(&mut self, query: &str) -> Result<Batch> {
+        let q = query.trim();
+        if let Some(args) = strip_call(q, "snapshot") {
+            return Ok(self.engine.stream(args.trim())?.snapshot());
+        }
+        if let Some(args) = strip_call(q, "table") {
+            return Ok(self.engine.table(args.trim())?.snapshot());
+        }
+        if let Some(args) = strip_call(q, "window_stats") {
+            let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+            if parts.len() != 2 {
+                return Err(parse_err!("window_stats(stream, window) takes 2 arguments"));
+            }
+            let stats = self.engine.stream(parts[0])?.window_stats(parts[1])?;
+            let schema = Schema::from_pairs(&[
+                ("count", DataType::Int),
+                ("sum", DataType::Float),
+                ("mean", DataType::Float),
+                ("min", DataType::Float),
+                ("max", DataType::Float),
+            ]);
+            return Batch::new(
+                schema,
+                vec![vec![
+                    Value::Int(stats.count as i64),
+                    Value::Float(stats.sum),
+                    Value::Float(stats.mean),
+                    Value::Float(stats.min),
+                    Value::Float(stats.max),
+                ]],
+            );
+        }
+        if let Some(args) = strip_call(q, "ingest") {
+            let (stream, rest) = args
+                .split_once(',')
+                .ok_or_else(|| parse_err!("ingest(stream, v1, …)"))?;
+            let stream = stream.trim();
+            let schema = self.engine.stream(stream)?.schema().clone();
+            let frame = bigdawg_stream::ingest::decode_frame(
+                &format!("{stream},{}", rest.trim()),
+                |_| Ok(schema.clone()),
+            )?;
+            self.engine.ingest(stream, frame.row)?;
+            return one_cell("ingested", Value::Int(1));
+        }
+        if let Some(args) = strip_call(q, "drain") {
+            let (stream, wm) = args
+                .split_once(',')
+                .ok_or_else(|| parse_err!("drain(stream, watermark)"))?;
+            let stream = stream.trim();
+            let wm: i64 = wm
+                .trim()
+                .parse()
+                .map_err(|_| parse_err!("bad watermark `{}`", wm.trim()))?;
+            let schema = self.engine.stream(stream)?.schema().clone();
+            let rows = self.engine.drain_aged(stream, wm)?;
+            return Batch::new(schema, rows);
+        }
+        if strip_call(q, "watermark").is_some() {
+            return one_cell("watermark", Value::Timestamp(self.engine.watermark()));
+        }
+        Err(parse_err!("unknown stream command: `{q}`"))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl StreamShim {
+    /// Insert into a state table through a one-off transaction, keeping
+    /// bulk loads on the same serialized path as procedures.
+    fn bulk_insert(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let proc_name = "__bulk_insert";
+        // Register once.
+        if self.engine.proc_stats(proc_name).invocations == 0
+            && self.engine.table(table).is_ok()
+        {
+            // idempotent: re-registering overwrites the same body
+        }
+        let tbl = table.to_string();
+        self.engine.register_proc(
+            proc_name,
+            Box::new(move |ctx, args| ctx.insert(&tbl, args.to_vec())),
+        );
+        self.engine.invoke(proc_name, &row)
+    }
+}
+
+fn one_cell(name: &str, v: Value) -> Result<Batch> {
+    Batch::new(
+        Schema::from_pairs(&[(name, DataType::Null)]),
+        vec![vec![v]],
+    )
+}
+
+fn strip_call<'a>(text: &'a str, op: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(op)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+impl std::fmt::Debug for StreamShim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StreamShim({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_stream::WindowSpec;
+
+    fn shim() -> StreamShim {
+        let mut e = Engine::new(false);
+        let schema = Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("patient_id", DataType::Int),
+            ("hr", DataType::Float),
+        ]);
+        e.create_stream("vitals", schema, "ts", 1000).unwrap();
+        e.create_window("vitals", "w", "hr", WindowSpec::sliding(4, 1))
+            .unwrap();
+        StreamShim::new("sstore", e)
+    }
+
+    #[test]
+    fn ingest_snapshot_window() {
+        let mut s = shim();
+        for i in 0..6 {
+            s.execute_native(&format!("ingest(vitals, {i}, 7, {}.0)", 60 + i))
+                .unwrap();
+        }
+        let snap = s.execute_native("snapshot(vitals)").unwrap();
+        assert_eq!(snap.len(), 6);
+        let stats = s.execute_native("window_stats(vitals, w)").unwrap();
+        assert_eq!(stats.rows()[0][0], Value::Int(4));
+        assert_eq!(stats.rows()[0][4], Value::Float(65.0)); // max of last 4
+        let wm = s.execute_native("watermark()").unwrap();
+        assert_eq!(wm.rows()[0][0], Value::Timestamp(5));
+    }
+
+    #[test]
+    fn drain_returns_aged_rows() {
+        let mut s = shim();
+        for i in 0..10 {
+            s.execute_native(&format!("ingest(vitals, {i}, 7, 60.0)"))
+                .unwrap();
+        }
+        let aged = s.execute_native("drain(vitals, 5)").unwrap();
+        assert_eq!(aged.len(), 5);
+        assert_eq!(s.get_table("vitals").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn put_table_creates_state_table() {
+        let mut s = shim();
+        let schema = Schema::from_pairs(&[("patient_id", DataType::Int), ("risk", DataType::Int)]);
+        let batch = Batch::new(
+            schema,
+            vec![vec![Value::Int(7), Value::Int(2)]],
+        )
+        .unwrap();
+        s.put_table("risk_classes", batch).unwrap();
+        let back = s.get_table("risk_classes").unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(s.object_names().contains(&"risk_classes".to_string()));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut s = shim();
+        assert!(s.execute_native("explode(vitals)").is_err());
+        assert!(s.drop_object("vitals").is_err());
+    }
+}

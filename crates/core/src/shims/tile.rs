@@ -1,0 +1,303 @@
+//! The TileDB shim.
+
+use crate::shim::{Capability, EngineKind, Shim};
+use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_tiledb::compute::{tile_matmul, tile_sum};
+use bigdawg_tiledb::{TileDb, TileSchema};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Shim over the tile-based array store. CAST conventions mirror the array
+/// shim (leading Int dimension columns, one trailing Float attribute named
+/// `v`), except coordinates must be non-negative (TileDB domains start at
+/// 0).
+///
+/// Native commands:
+///
+/// ```text
+/// get(<name>, c0, c1, …)
+/// region(<name>, lo…, hi…)
+/// sum(<name>)                    -- tile-native aggregate
+/// consolidate(<name>)
+/// matmul(<a>, <b>, <out>)        -- tile-native kernel, stores <out>
+/// fragments(<name>)
+/// ```
+pub struct TileShim {
+    name: String,
+    arrays: BTreeMap<String, TileDb>,
+}
+
+impl TileShim {
+    pub fn new(name: impl Into<String>) -> Self {
+        TileShim {
+            name: name.into(),
+            arrays: BTreeMap::new(),
+        }
+    }
+
+    pub fn store(&mut self, name: impl Into<String>, db: TileDb) {
+        self.arrays.insert(name.into(), db);
+    }
+
+    pub fn array(&self, name: &str) -> Result<&TileDb> {
+        self.arrays
+            .get(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("tile array `{name}`")))
+    }
+
+    fn array_mut(&mut self, name: &str) -> Result<&mut TileDb> {
+        self.arrays
+            .get_mut(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("tile array `{name}`")))
+    }
+}
+
+impl Shim for TileShim {
+    fn engine_name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::TileStore
+    }
+
+    fn capabilities(&self) -> Vec<Capability> {
+        vec![Capability::LinearAlgebra, Capability::Aggregate]
+    }
+
+    fn object_names(&self) -> Vec<String> {
+        self.arrays.keys().cloned().collect()
+    }
+
+    fn get_table(&self, object: &str) -> Result<Batch> {
+        let db = self.array(object)?;
+        let dims = &db.schema().dims;
+        let high: Vec<i64> = dims.iter().map(|&d| d as i64 - 1).collect();
+        let low = vec![0i64; dims.len()];
+        let cells = db.read_region(&low, &high)?;
+        let mut pairs: Vec<(String, DataType)> = (0..dims.len())
+            .map(|d| (format!("d{d}"), DataType::Int))
+            .collect();
+        pairs.push(("v".to_string(), DataType::Float));
+        let schema = Schema::from_pairs(
+            &pairs
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Row> = cells
+            .into_iter()
+            .map(|(coords, v)| {
+                let mut row: Row = coords.into_iter().map(Value::Int).collect();
+                row.push(Value::Float(v));
+                row
+            })
+            .collect();
+        Batch::new(schema, rows)
+    }
+
+    fn put_table(&mut self, object: &str, batch: Batch) -> Result<()> {
+        let schema = batch.schema();
+        if schema.len() < 2 {
+            return Err(BigDawgError::Cast(
+                "tile import needs dimension column(s) plus a value column".into(),
+            ));
+        }
+        let n_dims = schema.len() - 1;
+        let mut highs = vec![0i64; n_dims];
+        for row in batch.rows() {
+            for d in 0..n_dims {
+                let c = row[d].as_i64()?;
+                if c < 0 {
+                    return Err(BigDawgError::Cast(format!(
+                        "TileDB domains start at 0; got coordinate {c}"
+                    )));
+                }
+                highs[d] = highs[d].max(c);
+            }
+        }
+        let dims: Vec<u64> = highs.iter().map(|&h| (h + 1) as u64).collect();
+        let extents: Vec<u64> = dims.iter().map(|&d| d.min(256)).collect();
+        let mut db = TileDb::new(TileSchema::new(object, dims, extents)?);
+        let cells: Vec<(Vec<i64>, f64)> = batch
+            .rows()
+            .iter()
+            .map(|row| {
+                let coords: Vec<i64> = row[..n_dims]
+                    .iter()
+                    .map(Value::as_i64)
+                    .collect::<Result<_>>()?;
+                Ok((coords, row[n_dims].as_f64()?))
+            })
+            .collect::<Result<_>>()?;
+        if !cells.is_empty() {
+            db.write(&cells)?;
+        }
+        self.arrays.insert(object.to_string(), db);
+        Ok(())
+    }
+
+    fn drop_object(&mut self, object: &str) -> Result<()> {
+        self.arrays
+            .remove(object)
+            .map(|_| ())
+            .ok_or_else(|| BigDawgError::NotFound(format!("tile array `{object}`")))
+    }
+
+    fn execute_native(&mut self, query: &str) -> Result<Batch> {
+        let q = query.trim();
+        if let Some(args) = strip_call(q, "get") {
+            let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+            let db = self.array(parts[0])?;
+            let coords: Vec<i64> = parts[1..]
+                .iter()
+                .map(|p| p.parse().map_err(|_| parse_err!("bad coordinate `{p}`")))
+                .collect::<Result<_>>()?;
+            let v = db.get(&coords)?;
+            return one_cell("v", v.map_or(Value::Null, Value::Float));
+        }
+        if let Some(args) = strip_call(q, "region") {
+            let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+            let db = self.array(parts[0])?;
+            let nd = db.schema().ndim();
+            if parts.len() != 1 + 2 * nd {
+                return Err(parse_err!("region(name, lo…, hi…) needs {} bounds", 2 * nd));
+            }
+            let nums: Vec<i64> = parts[1..]
+                .iter()
+                .map(|p| p.parse().map_err(|_| parse_err!("bad bound `{p}`")))
+                .collect::<Result<_>>()?;
+            let cells = db.read_region(&nums[..nd], &nums[nd..])?;
+            let mut pairs: Vec<(String, DataType)> =
+                (0..nd).map(|d| (format!("d{d}"), DataType::Int)).collect();
+            pairs.push(("v".into(), DataType::Float));
+            let schema = Schema::from_pairs(
+                &pairs
+                    .iter()
+                    .map(|(n, t)| (n.as_str(), *t))
+                    .collect::<Vec<_>>(),
+            );
+            let rows: Vec<Row> = cells
+                .into_iter()
+                .map(|(c, v)| {
+                    let mut row: Row = c.into_iter().map(Value::Int).collect();
+                    row.push(Value::Float(v));
+                    row
+                })
+                .collect();
+            return Batch::new(schema, rows);
+        }
+        if let Some(args) = strip_call(q, "sum") {
+            let name = args.trim();
+            self.array_mut(name)?.consolidate()?;
+            let v = tile_sum(self.array(name)?)?;
+            return one_cell("sum", Value::Float(v));
+        }
+        if let Some(args) = strip_call(q, "consolidate") {
+            self.array_mut(args.trim())?.consolidate()?;
+            return one_cell("ok", Value::Bool(true));
+        }
+        if let Some(args) = strip_call(q, "fragments") {
+            let n = self.array(args.trim())?.fragment_count();
+            return one_cell("fragments", Value::Int(n as i64));
+        }
+        if let Some(args) = strip_call(q, "matmul") {
+            let parts: Vec<&str> = args.split(',').map(str::trim).collect();
+            if parts.len() != 3 {
+                return Err(parse_err!("matmul(a, b, out) takes 3 arguments"));
+            }
+            self.array_mut(parts[0])?.consolidate()?;
+            self.array_mut(parts[1])?.consolidate()?;
+            let out = tile_matmul(self.array(parts[0])?, self.array(parts[1])?)?;
+            let dims = out.schema().dims.clone();
+            self.arrays.insert(parts[2].to_string(), out);
+            let schema = Schema::from_pairs(&[("rows", DataType::Int), ("cols", DataType::Int)]);
+            return Batch::new(
+                schema,
+                vec![vec![Value::Int(dims[0] as i64), Value::Int(dims[1] as i64)]],
+            );
+        }
+        Err(parse_err!("unknown tile command: `{q}`"))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn one_cell(name: &str, v: Value) -> Result<Batch> {
+    Batch::new(Schema::from_pairs(&[(name, DataType::Null)]), vec![vec![v]])
+}
+
+fn strip_call<'a>(text: &'a str, op: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(op)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+impl std::fmt::Debug for TileShim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TileShim({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shim() -> TileShim {
+        let mut s = TileShim::new("tiledb");
+        let mut db = TileDb::new(TileSchema::new("m", vec![4, 4], vec![2, 2]).unwrap());
+        db.write_dense(&(0..16).map(|i| i as f64).collect::<Vec<_>>())
+            .unwrap();
+        s.store("m", db);
+        s
+    }
+
+    #[test]
+    fn native_commands() {
+        let mut s = shim();
+        let b = s.execute_native("get(m, 1, 2)").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(6.0));
+        let b = s.execute_native("sum(m)").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(120.0));
+        let b = s.execute_native("region(m, 0, 0, 1, 1)").unwrap();
+        assert_eq!(b.len(), 4);
+        let b = s.execute_native("fragments(m)").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn native_matmul_stores_result() {
+        let mut s = shim();
+        let b = s.execute_native("matmul(m, m, m2)").unwrap();
+        assert_eq!(b.rows()[0], vec![Value::Int(4), Value::Int(4)]);
+        assert!(s.array("m2").is_ok());
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let s = shim();
+        let batch = s.get_table("m").unwrap();
+        assert_eq!(batch.len(), 16);
+        let mut s2 = TileShim::new("t2");
+        s2.put_table("m", batch).unwrap();
+        assert_eq!(s2.array("m").unwrap().get(&[3, 3]).unwrap(), Some(15.0));
+    }
+
+    #[test]
+    fn negative_coords_rejected_on_import() {
+        let mut s = TileShim::new("t");
+        let schema = Schema::from_pairs(&[("d0", DataType::Int), ("v", DataType::Float)]);
+        let batch = Batch::new(
+            schema,
+            vec![vec![Value::Int(-1), Value::Float(1.0)]],
+        )
+        .unwrap();
+        assert!(s.put_table("bad", batch).is_err());
+    }
+}

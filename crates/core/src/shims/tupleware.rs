@@ -1,0 +1,356 @@
+//! The Tupleware shim.
+
+use crate::shim::{Capability, EngineKind, Shim};
+use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_tupleware::{run_compiled, run_hadoop_style, run_interpreted, Pipeline, Reducer};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Shim over the compiled-UDF engine. Datasets are dense numeric tables.
+///
+/// Native query form:
+///
+/// ```text
+/// run <compiled|interpreted|hadoop> <sum|count|max>(c<i>) from <dataset>
+///     [where c<j> <op> <literal>]
+/// ```
+///
+/// e.g. `run compiled sum(c1) from vitals where c1 > 100`.
+pub struct TupleShim {
+    name: String,
+    /// dataset → (arity, row-major values)
+    datasets: BTreeMap<String, (usize, Vec<f64>)>,
+}
+
+impl TupleShim {
+    pub fn new(name: impl Into<String>) -> Self {
+        TupleShim {
+            name: name.into(),
+            datasets: BTreeMap::new(),
+        }
+    }
+
+    pub fn store(&mut self, name: impl Into<String>, arity: usize, data: Vec<f64>) -> Result<()> {
+        if arity == 0 || data.len() % arity != 0 {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "dataset length {} not divisible by arity {arity}",
+                data.len()
+            )));
+        }
+        self.datasets.insert(name.into(), (arity, data));
+        Ok(())
+    }
+
+    pub fn dataset(&self, name: &str) -> Result<(usize, &[f64])> {
+        self.datasets
+            .get(name)
+            .map(|(a, d)| (*a, d.as_slice()))
+            .ok_or_else(|| BigDawgError::NotFound(format!("dataset `{name}`")))
+    }
+}
+
+impl Shim for TupleShim {
+    fn engine_name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Compute
+    }
+
+    fn capabilities(&self) -> Vec<Capability> {
+        vec![Capability::Aggregate]
+    }
+
+    fn object_names(&self) -> Vec<String> {
+        self.datasets.keys().cloned().collect()
+    }
+
+    fn get_table(&self, object: &str) -> Result<Batch> {
+        let (arity, data) = self.dataset(object)?;
+        let names: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
+        let schema = Schema::from_pairs(
+            &names
+                .iter()
+                .map(|n| (n.as_str(), DataType::Float))
+                .collect::<Vec<_>>(),
+        );
+        let rows: Vec<Row> = data
+            .chunks_exact(arity)
+            .map(|chunk| chunk.iter().map(|&v| Value::Float(v)).collect())
+            .collect();
+        Batch::new(schema, rows)
+    }
+
+    fn put_table(&mut self, object: &str, batch: Batch) -> Result<()> {
+        let arity = batch.schema().len();
+        if arity == 0 {
+            return Err(BigDawgError::Cast("empty schema for dataset import".into()));
+        }
+        let mut data = Vec::with_capacity(batch.len() * arity);
+        for row in batch.rows() {
+            for v in row {
+                data.push(v.as_f64().map_err(|_| {
+                    BigDawgError::Cast("Tupleware datasets are numeric-only".into())
+                })?);
+            }
+        }
+        self.store(object, arity, data)
+    }
+
+    fn drop_object(&mut self, object: &str) -> Result<()> {
+        self.datasets
+            .remove(object)
+            .map(|_| ())
+            .ok_or_else(|| BigDawgError::NotFound(format!("dataset `{object}`")))
+    }
+
+    fn execute_native(&mut self, query: &str) -> Result<Batch> {
+        let (mode, reducer, col, dataset, predicate) = parse_query(query)?;
+        let (arity, data) = self.dataset(&dataset)?;
+        if col >= arity {
+            return Err(parse_err!("column c{col} out of range (arity {arity})"));
+        }
+        let mut p = Pipeline::new(arity, map_reducer(&reducer, col));
+        if let Some((pcol, op, lit)) = predicate {
+            if pcol >= arity {
+                return Err(parse_err!("column c{pcol} out of range (arity {arity})"));
+            }
+            // Encode the predicate column/op/literal into the leading tuple
+            // slots is not possible with fn pointers, so dispatch over a
+            // small closed set of predicate shapes instead.
+            p = push_filter(p, pcol, op, lit)?;
+        }
+        let result = match mode.as_str() {
+            "compiled" => run_compiled(&p, data),
+            "interpreted" => run_interpreted(&p, data),
+            "hadoop" => run_hadoop_style(&p, data),
+            other => return Err(parse_err!("unknown mode `{other}`")),
+        };
+        Batch::new(
+            Schema::from_pairs(&[("result", DataType::Float)]),
+            vec![vec![Value::Float(result)]],
+        )
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn map_reducer(reducer: &str, col: usize) -> Reducer {
+    match reducer {
+        "sum" => Reducer::SumColumn(col),
+        "max" => Reducer::MaxColumn(col),
+        _ => Reducer::Count,
+    }
+}
+
+/// Predicate dispatch: `Pipeline` stages are plain `fn` pointers (so the
+/// compiled executor stays monomorphic), which rules out capturing
+/// closures. The shim therefore supports thresholds against a fixed grid of
+/// (column ≤ 3, operator) pairs by scaling: the literal is folded into a
+/// map stage that shifts the column, then a static zero-comparison filter.
+fn push_filter(p: Pipeline, col: usize, op: String, lit: f64) -> Result<Pipeline> {
+    // map: t[col] -= lit (via a per-column static fn), filter vs 0, then undo.
+    let (shift, unshift): (fn(&mut [f64]), fn(&mut [f64])) = match col {
+        0 => (|t| t[0] -= SHIFT.with(|s| s.get()), |t| t[0] += SHIFT.with(|s| s.get())),
+        1 => (|t| t[1] -= SHIFT.with(|s| s.get()), |t| t[1] += SHIFT.with(|s| s.get())),
+        2 => (|t| t[2] -= SHIFT.with(|s| s.get()), |t| t[2] += SHIFT.with(|s| s.get())),
+        3 => (|t| t[3] -= SHIFT.with(|s| s.get()), |t| t[3] += SHIFT.with(|s| s.get())),
+        other => {
+            return Err(parse_err!(
+                "native predicates support columns c0..c3, got c{other}"
+            ))
+        }
+    };
+    SHIFT.with(|s| s.set(lit));
+    let filter: fn(&[f64]) -> bool = match (op.as_str(), col) {
+        (">", 0) => |t| t[0] > 0.0,
+        (">", 1) => |t| t[1] > 0.0,
+        (">", 2) => |t| t[2] > 0.0,
+        (">", 3) => |t| t[3] > 0.0,
+        ("<", 0) => |t| t[0] < 0.0,
+        ("<", 1) => |t| t[1] < 0.0,
+        ("<", 2) => |t| t[2] < 0.0,
+        ("<", 3) => |t| t[3] < 0.0,
+        (">=", 0) => |t| t[0] >= 0.0,
+        (">=", 1) => |t| t[1] >= 0.0,
+        (">=", 2) => |t| t[2] >= 0.0,
+        (">=", 3) => |t| t[3] >= 0.0,
+        ("<=", 0) => |t| t[0] <= 0.0,
+        ("<=", 1) => |t| t[1] <= 0.0,
+        ("<=", 2) => |t| t[2] <= 0.0,
+        ("<=", 3) => |t| t[3] <= 0.0,
+        (other, _) => return Err(parse_err!("unknown operator `{other}`")),
+    };
+    let mut p = p;
+    p.stages.insert(0, bigdawg_tupleware::Udf::Map(shift));
+    p.stages.insert(1, bigdawg_tupleware::Udf::Filter(filter));
+    p.stages.insert(2, bigdawg_tupleware::Udf::Map(unshift));
+    Ok(p)
+}
+
+thread_local! {
+    static SHIFT: std::cell::Cell<f64> = const { std::cell::Cell::new(0.0) };
+}
+
+type ParsedQuery = (String, String, usize, String, Option<(usize, String, f64)>);
+
+fn parse_query(query: &str) -> Result<ParsedQuery> {
+    // run <mode> <reducer>(c<i>) from <dataset> [where c<j> <op> <lit>]
+    let mut toks = query.split_whitespace();
+    if toks.next() != Some("run") {
+        return Err(parse_err!("queries start with `run`"));
+    }
+    let mode = toks
+        .next()
+        .ok_or_else(|| parse_err!("missing mode"))?
+        .to_string();
+    let call = toks.next().ok_or_else(|| parse_err!("missing reducer"))?;
+    let (reducer, col) = parse_call(call)?;
+    if toks.next() != Some("from") {
+        return Err(parse_err!("expected `from`"));
+    }
+    let dataset = toks
+        .next()
+        .ok_or_else(|| parse_err!("missing dataset"))?
+        .to_string();
+    let predicate = match toks.next() {
+        None => None,
+        Some("where") => {
+            let c = toks.next().ok_or_else(|| parse_err!("missing column"))?;
+            let col = c
+                .strip_prefix('c')
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| parse_err!("bad column `{c}`"))?;
+            let op = toks
+                .next()
+                .ok_or_else(|| parse_err!("missing operator"))?
+                .to_string();
+            let lit: f64 = toks
+                .next()
+                .ok_or_else(|| parse_err!("missing literal"))?
+                .parse()
+                .map_err(|_| parse_err!("bad literal"))?;
+            Some((col, op, lit))
+        }
+        Some(other) => return Err(parse_err!("unexpected token `{other}`")),
+    };
+    if toks.next().is_some() {
+        return Err(parse_err!("trailing tokens in query"));
+    }
+    Ok((mode, reducer, col, dataset, predicate))
+}
+
+fn parse_call(call: &str) -> Result<(String, usize)> {
+    let open = call
+        .find('(')
+        .ok_or_else(|| parse_err!("reducer must be like sum(c0)"))?;
+    let reducer = call[..open].to_string();
+    if !matches!(reducer.as_str(), "sum" | "count" | "max") {
+        return Err(parse_err!("unknown reducer `{reducer}`"));
+    }
+    let inner = call[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| parse_err!("missing `)`"))?;
+    let col = inner
+        .trim()
+        .strip_prefix('c')
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| parse_err!("bad column `{inner}`"))?;
+    Ok((reducer, col))
+}
+
+impl std::fmt::Debug for TupleShim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TupleShim({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shim() -> TupleShim {
+        let mut s = TupleShim::new("tupleware");
+        // 100 rows of (i, i*2)
+        let mut data = Vec::new();
+        for i in 0..100 {
+            data.push(i as f64);
+            data.push(i as f64 * 2.0);
+        }
+        s.store("pairs", 2, data).unwrap();
+        s
+    }
+
+    #[test]
+    fn modes_agree() {
+        let mut s = shim();
+        let q = "run compiled sum(c1) from pairs where c0 >= 50";
+        let a = s.execute_native(q).unwrap().rows()[0][0].clone();
+        let b = s
+            .execute_native("run interpreted sum(c1) from pairs where c0 >= 50")
+            .unwrap()
+            .rows()[0][0]
+            .clone();
+        let c = s
+            .execute_native("run hadoop sum(c1) from pairs where c0 >= 50")
+            .unwrap()
+            .rows()[0][0]
+            .clone();
+        let expected: f64 = (50..100).map(|i| i as f64 * 2.0).sum();
+        assert_eq!(a, Value::Float(expected));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn count_and_max() {
+        let mut s = shim();
+        let b = s
+            .execute_native("run compiled count(c0) from pairs where c1 < 20")
+            .unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(10.0));
+        let b = s.execute_native("run compiled max(c1) from pairs").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Float(198.0));
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let s = shim();
+        let batch = s.get_table("pairs").unwrap();
+        assert_eq!(batch.len(), 100);
+        let mut s2 = TupleShim::new("t2");
+        s2.put_table("pairs", batch).unwrap();
+        let (arity, data) = s2.dataset("pairs").unwrap();
+        assert_eq!(arity, 2);
+        assert_eq!(data.len(), 200);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut s = shim();
+        assert!(s.execute_native("sum(c0) from pairs").is_err());
+        assert!(s.execute_native("run warp sum(c0) from pairs").is_err());
+        assert!(s.execute_native("run compiled median(c0) from pairs").is_err());
+        assert!(s
+            .execute_native("run compiled sum(c9) from pairs")
+            .is_err());
+        assert!(s
+            .execute_native("run compiled sum(c0) from ghost")
+            .is_err());
+    }
+
+    #[test]
+    fn numeric_only_import() {
+        let mut s = TupleShim::new("t");
+        let schema = Schema::from_pairs(&[("x", DataType::Text)]);
+        let batch = Batch::new(schema, vec![vec![Value::Text("a".into())]]).unwrap();
+        assert!(s.put_table("bad", batch).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Associative-array algebra: element-wise operations and semiring matrix
+//! multiplication.
+//!
+//! D4M generalizes linear algebra over key spaces: `A + B` unions entries
+//! (summing overlaps), `A .* B` intersects them, and `A * B` is a matrix
+//! multiply whose (+, ×) pair can be swapped for other semirings — MaxPlus
+//! and MinPlus turn the same multiply into graph path operators, which is
+//! how D4M does graph analytics on adjacency arrays.
+
+use crate::assoc::AssocArray;
+use std::collections::BTreeMap;
+
+/// The (⊕, ⊗) pair used by [`matmul`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semiring {
+    /// Ordinary linear algebra: ⊕ = +, ⊗ = ×.
+    PlusTimes,
+    /// ⊕ = max, ⊗ = + (longest/heaviest path accumulation).
+    MaxPlus,
+    /// ⊕ = min, ⊗ = + (shortest path relaxation).
+    MinPlus,
+}
+
+impl Semiring {
+    fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            Semiring::PlusTimes => a * b,
+            Semiring::MaxPlus | Semiring::MinPlus => a + b,
+        }
+    }
+
+    fn reduce(self, acc: Option<f64>, x: f64) -> f64 {
+        match (self, acc) {
+            (Semiring::PlusTimes, None) => x,
+            (Semiring::PlusTimes, Some(a)) => a + x,
+            (Semiring::MaxPlus, None) => x,
+            (Semiring::MaxPlus, Some(a)) => a.max(x),
+            (Semiring::MinPlus, None) => x,
+            (Semiring::MinPlus, Some(a)) => a.min(x),
+        }
+    }
+}
+
+/// `A + B`: union of entries, overlapping positions summed.
+pub fn plus(a: &AssocArray, b: &AssocArray) -> AssocArray {
+    let mut out = a.clone();
+    for (r, c, v) in b.triples() {
+        let cur = out.get(r, c);
+        out.set(r.to_string(), c.to_string(), cur + v);
+    }
+    out
+}
+
+/// `A .* B`: element-wise product — only positions present in both survive
+/// (intersection semantics; D4M uses this as a keyed join).
+pub fn times(a: &AssocArray, b: &AssocArray) -> AssocArray {
+    let mut out = AssocArray::new();
+    for (r, c, v) in a.triples() {
+        let w = b.get(r, c);
+        if w != 0.0 {
+            out.set(r.to_string(), c.to_string(), v * w);
+        }
+    }
+    out
+}
+
+/// `A'`: swap rows and columns.
+pub fn transpose(a: &AssocArray) -> AssocArray {
+    let mut out = AssocArray::new();
+    for (r, c, v) in a.triples() {
+        out.set(c.to_string(), r.to_string(), v);
+    }
+    out
+}
+
+/// `A ⊕.⊗ B`: matrix multiply over the chosen semiring. The inner
+/// (contracted) key space is `A`'s columns matched against `B`'s rows.
+pub fn matmul(a: &AssocArray, b: &AssocArray, semiring: Semiring) -> AssocArray {
+    // Group B by row key for the contraction.
+    let mut b_rows: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+    for (r, c, v) in b.triples() {
+        b_rows.entry(r).or_default().push((c, v));
+    }
+    let mut acc: BTreeMap<(String, String), Option<f64>> = BTreeMap::new();
+    for (ar, ac, av) in a.triples() {
+        if let Some(brow) = b_rows.get(ac) {
+            for &(bc, bv) in brow {
+                let cell = acc.entry((ar.to_string(), bc.to_string())).or_insert(None);
+                *cell = Some(semiring.reduce(*cell, semiring.combine(av, bv)));
+            }
+        }
+    }
+    let mut out = AssocArray::new();
+    for ((r, c), v) in acc {
+        if let Some(v) = v {
+            out.set(r, c, v);
+        }
+    }
+    out
+}
+
+/// Correlation of entities by shared attributes: `A' * A` — the D4M idiom
+/// for "which terms co-occur" / "which patients share drugs".
+pub fn correlate(a: &AssocArray) -> AssocArray {
+    matmul(&transpose(a), a, Semiring::PlusTimes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_term() -> AssocArray {
+        AssocArray::from_triples(vec![
+            ("doc1", "sick", 1.0),
+            ("doc1", "heparin", 1.0),
+            ("doc2", "sick", 1.0),
+            ("doc3", "well", 1.0),
+        ])
+    }
+
+    #[test]
+    fn plus_unions_and_sums() {
+        let a = AssocArray::from_triples(vec![("r", "x", 1.0), ("r", "y", 2.0)]);
+        let b = AssocArray::from_triples(vec![("r", "y", 3.0), ("s", "z", 4.0)]);
+        let sum = plus(&a, &b);
+        assert_eq!(sum.get("r", "x"), 1.0);
+        assert_eq!(sum.get("r", "y"), 5.0);
+        assert_eq!(sum.get("s", "z"), 4.0);
+        assert_eq!(sum.nnz(), 3);
+    }
+
+    #[test]
+    fn times_intersects() {
+        let a = AssocArray::from_triples(vec![("r", "x", 2.0), ("r", "y", 2.0)]);
+        let b = AssocArray::from_triples(vec![("r", "y", 3.0), ("s", "z", 4.0)]);
+        let prod = times(&a, &b);
+        assert_eq!(prod.nnz(), 1);
+        assert_eq!(prod.get("r", "y"), 6.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = doc_term();
+        assert_eq!(transpose(&transpose(&a)), a);
+        assert_eq!(transpose(&a).get("sick", "doc2"), 1.0);
+    }
+
+    #[test]
+    fn matmul_plus_times_counts_cooccurrence() {
+        // A' * A: term-term co-occurrence counts
+        let co = correlate(&doc_term());
+        assert_eq!(co.get("sick", "sick"), 2.0); // in doc1 and doc2
+        assert_eq!(co.get("sick", "heparin"), 1.0); // together in doc1
+        assert_eq!(co.get("sick", "well"), 0.0); // never together
+        assert_eq!(co.get("heparin", "sick"), 1.0); // symmetric
+    }
+
+    #[test]
+    fn matmul_min_plus_is_shortest_path_step() {
+        // adjacency with edge weights; one MinPlus multiply = one relaxation
+        let g = AssocArray::from_triples(vec![
+            ("a", "b", 1.0),
+            ("b", "c", 2.0),
+            ("a", "c", 10.0),
+        ]);
+        let two_hop = matmul(&g, &g, Semiring::MinPlus);
+        // a→b→c costs 3, beating nothing (direct a→c isn't in g·g since it
+        // needs exactly 2 hops)
+        assert_eq!(two_hop.get("a", "c"), 3.0);
+    }
+
+    #[test]
+    fn matmul_max_plus() {
+        let g = AssocArray::from_triples(vec![
+            ("a", "b", 1.0),
+            ("b", "c", 2.0),
+            ("a", "x", 5.0),
+            ("x", "c", 1.0),
+        ]);
+        let two_hop = matmul(&g, &g, Semiring::MaxPlus);
+        // heaviest 2-hop a→c: via x = 6 beats via b = 3
+        assert_eq!(two_hop.get("a", "c"), 6.0);
+    }
+
+    #[test]
+    fn matmul_empty_when_keys_disjoint() {
+        let a = AssocArray::from_triples(vec![("r", "k1", 1.0)]);
+        let b = AssocArray::from_triples(vec![("k2", "c", 1.0)]);
+        assert!(matmul(&a, &b, Semiring::PlusTimes).is_empty());
+    }
+}

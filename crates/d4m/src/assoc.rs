@@ -1,0 +1,269 @@
+//! The associative array container.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+/// An associative array: `(row key, column key) → value`, keys sorted
+/// lexicographically. Zero values are never stored (D4M treats 0 as
+/// "absent", which is what makes its algebra sparse).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AssocArray {
+    /// row → (col → value)
+    data: BTreeMap<String, BTreeMap<String, f64>>,
+    nnz: usize,
+}
+
+impl AssocArray {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(row, col, value)` triples; duplicate positions sum
+    /// (D4M's constructor semantics, which makes building a term-document
+    /// matrix from a token stream a one-liner).
+    pub fn from_triples<R, C>(triples: impl IntoIterator<Item = (R, C, f64)>) -> Self
+    where
+        R: Into<String>,
+        C: Into<String>,
+    {
+        let mut a = AssocArray::new();
+        for (r, c, v) in triples {
+            let (r, c) = (r.into(), c.into());
+            let cur = a.get(&r, &c);
+            a.set(r, c, cur + v);
+        }
+        a
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nnz == 0
+    }
+
+    /// Value at `(row, col)`; absent entries read as 0.
+    pub fn get(&self, row: &str, col: &str) -> f64 {
+        self.data
+            .get(row)
+            .and_then(|cols| cols.get(col))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Set a value; setting 0 removes the entry.
+    pub fn set(&mut self, row: impl Into<String>, col: impl Into<String>, v: f64) {
+        let (row, col) = (row.into(), col.into());
+        if v == 0.0 {
+            if let Some(cols) = self.data.get_mut(&row) {
+                if cols.remove(&col).is_some() {
+                    self.nnz -= 1;
+                }
+                if cols.is_empty() {
+                    self.data.remove(&row);
+                }
+            }
+            return;
+        }
+        let cols = self.data.entry(row).or_default();
+        if cols.insert(col, v).is_none() {
+            self.nnz += 1;
+        }
+    }
+
+    /// All row keys, sorted.
+    pub fn row_keys(&self) -> Vec<&str> {
+        self.data.keys().map(String::as_str).collect()
+    }
+
+    /// All column keys, sorted.
+    pub fn col_keys(&self) -> Vec<&str> {
+        let mut cols: BTreeSet<&str> = BTreeSet::new();
+        for c in self.data.values() {
+            cols.extend(c.keys().map(String::as_str));
+        }
+        cols.into_iter().collect()
+    }
+
+    /// Iterate `(row, col, value)` triples in row-major key order.
+    pub fn triples(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.data.iter().flat_map(|(r, cols)| {
+            cols.iter().map(move |(c, &v)| (r.as_str(), c.as_str(), v))
+        })
+    }
+
+    /// D4M subsref by explicit key lists: `A(rows, cols)`. Empty list means
+    /// "all keys" (D4M's `:`).
+    pub fn subsref(&self, rows: &[&str], cols: &[&str]) -> AssocArray {
+        let mut out = AssocArray::new();
+        for (r, c, v) in self.triples() {
+            if (rows.is_empty() || rows.contains(&r)) && (cols.is_empty() || cols.contains(&c)) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Subsref by row-key range (`A("p01:p49", :)` in D4M notation).
+    pub fn row_range(&self, low: &str, high: &str) -> AssocArray {
+        let mut out = AssocArray::new();
+        for (r, cols) in self
+            .data
+            .range::<str, _>((Bound::Included(low), Bound::Included(high)))
+        {
+            for (c, &v) in cols {
+                out.set(r.clone(), c.clone(), v);
+            }
+        }
+        out
+    }
+
+    /// Subsref by column-key prefix (`A(:, "drug|*")`), the D4M idiom for
+    /// typed columns packed into one key space.
+    pub fn col_prefix(&self, prefix: &str) -> AssocArray {
+        let mut out = AssocArray::new();
+        for (r, c, v) in self.triples() {
+            if c.starts_with(prefix) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Keep entries whose value satisfies the predicate (`A > 3` etc.).
+    pub fn filter_values(&self, pred: impl Fn(f64) -> bool) -> AssocArray {
+        let mut out = AssocArray::new();
+        for (r, c, v) in self.triples() {
+            if pred(v) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Per-row sum (D4M's `sum(A, 2)`), as a single-column assoc array.
+    pub fn row_sums(&self) -> AssocArray {
+        let mut out = AssocArray::new();
+        for (r, cols) in &self.data {
+            out.set(r.clone(), "sum", cols.values().sum::<f64>());
+        }
+        out
+    }
+
+    /// Per-column sum (`sum(A, 1)`), as a single-row assoc array.
+    pub fn col_sums(&self) -> AssocArray {
+        let mut out = AssocArray::new();
+        for (_, c, v) in self.triples() {
+            let cur = out.get("sum", c);
+            out.set("sum", c.to_string(), cur + v);
+        }
+        out
+    }
+
+    /// Top-k entries by value, descending (ties by key).
+    pub fn top_k(&self, k: usize) -> Vec<(String, String, f64)> {
+        let mut all: Vec<(String, String, f64)> = self
+            .triples()
+            .map(|(r, c, v)| (r.to_string(), c.to_string(), v))
+            .collect();
+        all.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (&a.0, &a.1).cmp(&(&b.0, &b.1))));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term_doc() -> AssocArray {
+        // documents × terms (a tiny corpus matrix)
+        AssocArray::from_triples(vec![
+            ("doc1", "term|sick", 2.0),
+            ("doc1", "term|heparin", 1.0),
+            ("doc2", "term|sick", 1.0),
+            ("doc2", "term|well", 3.0),
+            ("doc3", "meta|patient", 7.0),
+        ])
+    }
+
+    #[test]
+    fn triples_constructor_sums_duplicates() {
+        let a = AssocArray::from_triples(vec![("r", "c", 1.0), ("r", "c", 2.0)]);
+        assert_eq!(a.get("r", "c"), 3.0);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn zero_is_absence() {
+        let mut a = term_doc();
+        assert_eq!(a.nnz(), 5);
+        a.set("doc1", "term|sick", 0.0);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get("doc1", "term|sick"), 0.0);
+        // setting zero where nothing exists is a no-op
+        a.set("docX", "c", 0.0);
+        assert_eq!(a.nnz(), 4);
+        assert!(!a.row_keys().contains(&"docX"));
+    }
+
+    #[test]
+    fn key_enumeration_sorted() {
+        let a = term_doc();
+        assert_eq!(a.row_keys(), vec!["doc1", "doc2", "doc3"]);
+        assert_eq!(
+            a.col_keys(),
+            vec!["meta|patient", "term|heparin", "term|sick", "term|well"]
+        );
+    }
+
+    #[test]
+    fn subsref_lists_and_empty_means_all() {
+        let a = term_doc();
+        let sub = a.subsref(&["doc1", "doc2"], &["term|sick"]);
+        assert_eq!(sub.nnz(), 2);
+        let all_rows = a.subsref(&[], &["term|sick"]);
+        assert_eq!(all_rows.nnz(), 2);
+        let everything = a.subsref(&[], &[]);
+        assert_eq!(everything, a);
+    }
+
+    #[test]
+    fn row_range_inclusive() {
+        let a = term_doc();
+        let sub = a.row_range("doc1", "doc2");
+        assert_eq!(sub.row_keys(), vec!["doc1", "doc2"]);
+        assert_eq!(sub.nnz(), 4);
+    }
+
+    #[test]
+    fn col_prefix_selects_typed_columns() {
+        let a = term_doc();
+        let terms = a.col_prefix("term|");
+        assert_eq!(terms.nnz(), 4);
+        assert!(terms.col_keys().iter().all(|c| c.starts_with("term|")));
+    }
+
+    #[test]
+    fn filter_and_sums() {
+        let a = term_doc();
+        let heavy = a.filter_values(|v| v >= 2.0);
+        assert_eq!(heavy.nnz(), 3);
+        let rs = a.row_sums();
+        assert_eq!(rs.get("doc1", "sum"), 3.0);
+        assert_eq!(rs.get("doc2", "sum"), 4.0);
+        let cs = a.col_sums();
+        assert_eq!(cs.get("sum", "term|sick"), 3.0);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let a = term_doc();
+        let top = a.top_k(2);
+        assert_eq!(top[0].2, 7.0);
+        assert_eq!(top[1].2, 3.0);
+        assert_eq!(a.top_k(100).len(), 5);
+    }
+}

@@ -1,0 +1,22 @@
+//! D4M associative arrays — one of BigDAWG's two cross-system islands
+//! (paper §2.1.1).
+//!
+//! D4M's data model, the **associative array**, "unifies multiple storage
+//! abstractions, including spreadsheets, matrices, and graphs": a mapping
+//! from pairs of *string* keys to numeric values, with linear algebra
+//! defined over it. Its query language "includes filtering, subsetting,
+//! and linear algebra operations", and it shims to Accumulo, SciDB, and
+//! Postgres — those shims live in `bigdawg-core`; this crate is the data
+//! model and algebra itself.
+//!
+//! * [`assoc::AssocArray`] — the container (sorted string keys → f64);
+//! * [`algebra`] — element-wise `plus`/`times` (union/intersection
+//!   semantics), semiring matrix multiply, transpose;
+//! * subsetting — row/column selection by key list, prefix, or range
+//!   (D4M's `A(r, c)` subsref).
+
+pub mod algebra;
+pub mod assoc;
+
+pub use algebra::Semiring;
+pub use assoc::AssocArray;

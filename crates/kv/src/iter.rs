@@ -1,0 +1,152 @@
+//! Server-side scan iterators.
+//!
+//! Accumulo lets clients attach an *iterator stack* to a scan so filtering
+//! and version-resolution run next to the data instead of shipping every
+//! entry to the client. The same idea here: a [`ScanIterator`] is a small
+//! pipeline applied inside `KvStore::scan_with`.
+
+use crate::key::Key;
+
+/// One stage of a server-side iterator stack.
+pub enum Stage {
+    /// Keep entries whose column family matches.
+    FamilyFilter(Vec<Vec<u8>>),
+    /// Keep only the newest `n` versions of each cell (Accumulo's
+    /// VersioningIterator; relies on scan order putting newest first).
+    Versioning(usize),
+    /// Keep entries whose value satisfies the predicate.
+    ValueFilter(Box<dyn Fn(&[u8]) -> bool + Send + Sync>),
+    /// Keep entries whose key satisfies the predicate.
+    KeyFilter(Box<dyn Fn(&Key) -> bool + Send + Sync>),
+}
+
+/// An ordered stack of stages applied to a scan.
+#[derive(Default)]
+pub struct ScanIterator {
+    stages: Vec<Stage>,
+}
+
+impl ScanIterator {
+    pub fn new() -> Self {
+        ScanIterator { stages: Vec::new() }
+    }
+
+    pub fn family(mut self, families: &[&str]) -> Self {
+        self.stages.push(Stage::FamilyFilter(
+            families.iter().map(|f| f.as_bytes().to_vec()).collect(),
+        ));
+        self
+    }
+
+    pub fn latest_versions(mut self, n: usize) -> Self {
+        self.stages.push(Stage::Versioning(n.max(1)));
+        self
+    }
+
+    pub fn value_filter(mut self, f: impl Fn(&[u8]) -> bool + Send + Sync + 'static) -> Self {
+        self.stages.push(Stage::ValueFilter(Box::new(f)));
+        self
+    }
+
+    pub fn key_filter(mut self, f: impl Fn(&Key) -> bool + Send + Sync + 'static) -> Self {
+        self.stages.push(Stage::KeyFilter(Box::new(f)));
+        self
+    }
+
+    /// Apply the stack to a sorted entry stream.
+    pub fn run<'a>(&self, entries: impl Iterator<Item = (&'a Key, &'a [u8])>) -> Vec<(Key, Vec<u8>)> {
+        let mut out: Vec<(Key, Vec<u8>)> = entries.map(|(k, v)| (k.clone(), v.to_vec())).collect();
+        for stage in &self.stages {
+            out = match stage {
+                Stage::FamilyFilter(fams) => out
+                    .into_iter()
+                    .filter(|(k, _)| fams.iter().any(|f| *f == k.family))
+                    .collect(),
+                Stage::Versioning(n) => {
+                    let mut kept: Vec<(Key, Vec<u8>)> = Vec::with_capacity(out.len());
+                    let mut run_len = 0usize;
+                    for (k, v) in out {
+                        match kept.last() {
+                            Some((prev, _)) if prev.same_cell(&k) => {
+                                run_len += 1;
+                                if run_len < *n {
+                                    kept.push((k, v));
+                                }
+                            }
+                            _ => {
+                                run_len = 0;
+                                kept.push((k, v));
+                            }
+                        }
+                    }
+                    kept
+                }
+                Stage::ValueFilter(f) => out.into_iter().filter(|(_, v)| f(v)).collect(),
+                Stage::KeyFilter(f) => out.into_iter().filter(|(k, _)| f(k)).collect(),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KvStore;
+    use std::ops::Bound;
+
+    fn store() -> KvStore {
+        let mut kv = KvStore::new(1000);
+        kv.put_str("p1", "meta", "age", 0, "70");
+        kv.put_str("p1", "note", "body", 3, "v3");
+        kv.put_str("p1", "note", "body", 2, "v2");
+        kv.put_str("p1", "note", "body", 1, "v1");
+        kv.put_str("p2", "note", "body", 1, "fine");
+        kv
+    }
+
+    #[test]
+    fn family_filter() {
+        let kv = store();
+        let out = kv.scan_with(
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanIterator::new().family(&["note"]),
+        );
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|(k, _)| k.family_str() == "note"));
+    }
+
+    #[test]
+    fn versioning_keeps_newest() {
+        let kv = store();
+        let out = kv.scan_with(
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanIterator::new().family(&["note"]).latest_versions(1),
+        );
+        // p1 note:body collapses to v3; p2 keeps its single version
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, b"v3".to_vec());
+        // two versions
+        let out = kv.scan_with(
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanIterator::new().family(&["note"]).latest_versions(2),
+        );
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn value_and_key_filters_compose() {
+        let kv = store();
+        let out = kv.scan_with(
+            Bound::Unbounded,
+            Bound::Unbounded,
+            ScanIterator::new()
+                .key_filter(|k| k.row_str() == "p1")
+                .value_filter(|v| v.starts_with(b"v")),
+        );
+        assert_eq!(out.len(), 3);
+    }
+}

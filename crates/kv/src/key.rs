@@ -1,0 +1,130 @@
+//! Accumulo-style keys.
+
+use std::fmt;
+
+/// A sorted-store key: `(row, column family, column qualifier, timestamp)`.
+///
+/// Ordering matches Accumulo: lexicographic on row, then family, then
+/// qualifier, then **descending** timestamp (so the newest version of a cell
+/// scans first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Key {
+    pub row: Vec<u8>,
+    pub family: Vec<u8>,
+    pub qualifier: Vec<u8>,
+    pub timestamp: i64,
+}
+
+impl Key {
+    pub fn new(
+        row: impl Into<Vec<u8>>,
+        family: impl Into<Vec<u8>>,
+        qualifier: impl Into<Vec<u8>>,
+        timestamp: i64,
+    ) -> Self {
+        Key {
+            row: row.into(),
+            family: family.into(),
+            qualifier: qualifier.into(),
+            timestamp,
+        }
+    }
+
+    /// String-typed convenience constructor.
+    pub fn of(row: &str, family: &str, qualifier: &str, timestamp: i64) -> Self {
+        Key::new(row.as_bytes().to_vec(), family.as_bytes().to_vec(), qualifier.as_bytes().to_vec(), timestamp)
+    }
+
+    pub fn row_str(&self) -> String {
+        String::from_utf8_lossy(&self.row).into_owned()
+    }
+
+    pub fn family_str(&self) -> String {
+        String::from_utf8_lossy(&self.family).into_owned()
+    }
+
+    pub fn qualifier_str(&self) -> String {
+        String::from_utf8_lossy(&self.qualifier).into_owned()
+    }
+
+    /// The smallest possible key with this row (used for range scans).
+    pub fn row_start(row: impl Into<Vec<u8>>) -> Self {
+        Key {
+            row: row.into(),
+            family: Vec::new(),
+            qualifier: Vec::new(),
+            timestamp: i64::MAX,
+        }
+    }
+
+    /// Whether this key's cell position (ignoring timestamp) equals another's.
+    pub fn same_cell(&self, other: &Key) -> bool {
+        self.row == other.row && self.family == other.family && self.qualifier == other.qualifier
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.row
+            .cmp(&other.row)
+            .then_with(|| self.family.cmp(&other.family))
+            .then_with(|| self.qualifier.cmp(&other.qualifier))
+            // newest first
+            .then_with(|| other.timestamp.cmp(&self.timestamp))
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} @{}",
+            self.row_str(),
+            self.family_str(),
+            self.qualifier_str(),
+            self.timestamp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_row_family_qualifier() {
+        let a = Key::of("p1", "note", "body", 0);
+        let b = Key::of("p1", "note", "title", 0);
+        let c = Key::of("p2", "meta", "age", 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn newest_timestamp_first() {
+        let newer = Key::of("p1", "note", "body", 100);
+        let older = Key::of("p1", "note", "body", 50);
+        assert!(newer < older, "descending timestamp order");
+        assert!(newer.same_cell(&older));
+    }
+
+    #[test]
+    fn row_start_precedes_all_cells() {
+        let start = Key::row_start("p1".as_bytes().to_vec());
+        let cell = Key::of("p1", "a", "b", 5);
+        assert!(start < cell);
+        let prev_row = Key::of("p0", "z", "z", 0);
+        assert!(prev_row < start);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let k = Key::of("p1", "note", "body", 7);
+        assert_eq!(k.to_string(), "p1 note:body @7");
+    }
+}

@@ -1,0 +1,26 @@
+//! A sorted key-value store with tablets and an inverted text index — the
+//! Apache Accumulo stand-in (paper §1.1: Accumulo stores the MIMIC II text
+//! data — doctor's and nurse's notes).
+//!
+//! The data model follows Accumulo:
+//!
+//! * a [`Key`] is `(row, column family, column qualifier, timestamp)` and
+//!   keys are totally ordered;
+//! * entries live in range-partitioned **tablets** that split automatically
+//!   when they grow past a threshold ([`store::KvStore`]);
+//! * scans take ranges and stack **server-side iterators** (filters,
+//!   versioning) that run inside the scan ([`iter`]);
+//! * the **text index** ([`text::TextIndex`]) is the classic
+//!   Accumulo/Wikisearch sharded document-index pattern: term postings with
+//!   positions, supporting boolean and phrase queries — this is what powers
+//!   the demo's Text Analysis screen ("patients with at least three
+//!   doctor's reports saying 'very sick'").
+
+pub mod iter;
+pub mod key;
+pub mod store;
+pub mod text;
+
+pub use key::Key;
+pub use store::KvStore;
+pub use text::{TextIndex, TextQuery};

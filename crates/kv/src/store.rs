@@ -1,0 +1,235 @@
+//! The tablet-structured sorted store.
+
+use crate::iter::ScanIterator;
+use crate::key::Key;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// One contiguous shard of the key space.
+#[derive(Debug, Default)]
+struct Tablet {
+    entries: BTreeMap<Key, Vec<u8>>,
+}
+
+/// A sorted key-value store, range-partitioned into tablets that split when
+/// they exceed `split_threshold` entries (Accumulo's tablet model, scaled to
+/// a single process).
+#[derive(Debug)]
+pub struct KvStore {
+    /// Tablets ordered by their key range; `splits[i]` is the first key of
+    /// `tablets[i + 1]`.
+    tablets: Vec<Tablet>,
+    splits: Vec<Key>,
+    split_threshold: usize,
+    len: usize,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new(100_000)
+    }
+}
+
+impl KvStore {
+    pub fn new(split_threshold: usize) -> Self {
+        KvStore {
+            tablets: vec![Tablet::default()],
+            splits: Vec::new(),
+            split_threshold: split_threshold.max(2),
+            len: 0,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of tablets currently backing the store.
+    pub fn tablet_count(&self) -> usize {
+        self.tablets.len()
+    }
+
+    /// Index of the tablet whose range covers `key`.
+    fn tablet_for(&self, key: &Key) -> usize {
+        // splits are sorted; the tablet is the partition point.
+        self.splits.partition_point(|s| s <= key)
+    }
+
+    /// Insert or overwrite an entry.
+    pub fn put(&mut self, key: Key, value: Vec<u8>) {
+        let t = self.tablet_for(&key);
+        let tablet = &mut self.tablets[t];
+        if tablet.entries.insert(key, value).is_none() {
+            self.len += 1;
+        }
+        if tablet.entries.len() > self.split_threshold {
+            self.split_tablet(t);
+        }
+    }
+
+    /// String-typed convenience: `put`.
+    pub fn put_str(&mut self, row: &str, family: &str, qualifier: &str, ts: i64, value: &str) {
+        self.put(Key::of(row, family, qualifier, ts), value.as_bytes().to_vec());
+    }
+
+    /// Exact-key read.
+    pub fn get(&self, key: &Key) -> Option<&[u8]> {
+        self.tablets[self.tablet_for(key)]
+            .entries
+            .get(key)
+            .map(Vec::as_slice)
+    }
+
+    /// Delete an entry; returns whether it existed.
+    pub fn delete(&mut self, key: &Key) -> bool {
+        let t = self.tablet_for(key);
+        let existed = self.tablets[t].entries.remove(key).is_some();
+        if existed {
+            self.len -= 1;
+        }
+        existed
+    }
+
+    fn split_tablet(&mut self, t: usize) {
+        let tablet = &mut self.tablets[t];
+        let mid = tablet.entries.len() / 2;
+        let split_key = tablet
+            .entries
+            .keys()
+            .nth(mid)
+            .expect("tablet over threshold is non-empty")
+            .clone();
+        let upper = tablet.entries.split_off(&split_key);
+        self.tablets.insert(t + 1, Tablet { entries: upper });
+        self.splits.insert(t, split_key);
+    }
+
+    /// Scan `[low, high)` in key order across tablets, through an optional
+    /// server-side iterator stack.
+    pub fn scan<'a>(
+        &'a self,
+        low: Bound<&'a Key>,
+        high: Bound<&'a Key>,
+    ) -> impl Iterator<Item = (&'a Key, &'a [u8])> + 'a {
+        // Determine the tablet range the scan touches.
+        self.tablets.iter().flat_map(move |t| {
+            t.entries
+                .range::<Key, _>((low, high))
+                .map(|(k, v)| (k, v.as_slice()))
+        })
+    }
+
+    /// Scan every cell of one row (Accumulo's most common access pattern).
+    pub fn scan_row<'a>(&'a self, row: &str) -> impl Iterator<Item = (&'a Key, &'a [u8])> + 'a {
+        let row_bytes = row.as_bytes().to_vec();
+        self.tablets.iter().flat_map(move |t| {
+            let start = Key::row_start(row_bytes.clone());
+            t.entries
+                .range(start..)
+                .take_while({
+                    let row_bytes = row_bytes.clone();
+                    move |(k, _)| k.row == row_bytes
+                })
+                .map(|(k, v)| (k, v.as_slice()))
+        })
+    }
+
+    /// Full scan through a server-side iterator stack.
+    pub fn scan_with<'a>(
+        &'a self,
+        low: Bound<&'a Key>,
+        high: Bound<&'a Key>,
+        iterator: ScanIterator,
+    ) -> Vec<(Key, Vec<u8>)> {
+        iterator.run(self.scan(low, high))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts_key(i: usize) -> Key {
+        Key::of(&format!("row{i:05}"), "f", "q", 0)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvStore::new(100);
+        kv.put_str("p1", "note", "body", 1, "very sick");
+        assert_eq!(kv.get(&Key::of("p1", "note", "body", 1)), Some("very sick".as_bytes()));
+        assert_eq!(kv.get(&Key::of("p1", "note", "body", 2)), None);
+        assert!(kv.delete(&Key::of("p1", "note", "body", 1)));
+        assert!(!kv.delete(&Key::of("p1", "note", "body", 1)));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut kv = KvStore::new(100);
+        kv.put_str("p1", "f", "q", 1, "a");
+        kv.put_str("p1", "f", "q", 1, "b");
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get(&Key::of("p1", "f", "q", 1)), Some("b".as_bytes()));
+    }
+
+    #[test]
+    fn tablets_split_and_stay_sorted() {
+        let mut kv = KvStore::new(10);
+        for i in 0..100 {
+            kv.put(ts_key(i), vec![i as u8]);
+        }
+        assert!(kv.tablet_count() > 1, "store should have split");
+        assert_eq!(kv.len(), 100);
+        // all keys still retrievable
+        for i in 0..100 {
+            assert_eq!(kv.get(&ts_key(i)), Some(&[i as u8][..]), "key {i}");
+        }
+        // full scan in order
+        let keys: Vec<Key> = kv
+            .scan(Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(keys.len(), 100);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "scan must be sorted");
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut kv = KvStore::new(10);
+        for i in 0..50 {
+            kv.put(ts_key(i), vec![]);
+        }
+        let lo = ts_key(10);
+        let hi = ts_key(20);
+        let n = kv
+            .scan(Bound::Included(&lo), Bound::Excluded(&hi))
+            .count();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn scan_row_collects_all_cells() {
+        let mut kv = KvStore::new(4);
+        kv.put_str("p1", "meta", "age", 0, "70");
+        kv.put_str("p1", "note", "body", 3, "newest");
+        kv.put_str("p1", "note", "body", 1, "oldest");
+        kv.put_str("p2", "meta", "age", 0, "50");
+        for i in 0..20 {
+            kv.put_str(&format!("q{i}"), "x", "y", 0, "pad"); // force splits
+        }
+        let cells: Vec<(Key, String)> = kv
+            .scan_row("p1")
+            .map(|(k, v)| (k.clone(), String::from_utf8_lossy(v).into_owned()))
+            .collect();
+        assert_eq!(cells.len(), 3);
+        // versions of note:body come newest-first
+        assert_eq!(cells[1].1, "newest");
+        assert_eq!(cells[2].1, "oldest");
+    }
+}

@@ -1,0 +1,448 @@
+//! The inverted text index over the KV store — the Accumulo
+//! document-partitioned indexing pattern that powers the demo's Text
+//! Analysis screen (§1.1): *"find me the patients that have at least three
+//! doctor's reports saying 'very sick' and are taking a particular drug"*.
+//!
+//! Documents (clinical notes) are stored in the KV store under
+//! `row = doc id, family = "doc"`; the index itself is also KV-resident
+//! under `family = "term"` postings, plus an in-memory positional map for
+//! phrase queries.
+
+use crate::key::Key;
+use crate::store::KvStore;
+use bigdawg_common::{BigDawgError, Result};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of an indexed document.
+pub type DocId = u64;
+
+/// A boolean/phrase query over the index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextQuery {
+    /// Single term match.
+    Term(String),
+    /// Exact phrase (consecutive positions).
+    Phrase(Vec<String>),
+    And(Vec<TextQuery>),
+    Or(Vec<TextQuery>),
+    /// Matches documents that do NOT match the inner query (applied against
+    /// the full corpus).
+    Not(Box<TextQuery>),
+}
+
+impl TextQuery {
+    /// Parse a tiny query language: `term`, `"a phrase"`, `AND`/`OR`
+    /// connectives (left-associative, AND binds tighter), `NOT term`.
+    pub fn parse(input: &str) -> Result<TextQuery> {
+        let tokens = tokenize_query(input)?;
+        let mut pos = 0;
+        let q = parse_or(&tokens, &mut pos)?;
+        if pos != tokens.len() {
+            return Err(BigDawgError::Parse(format!(
+                "unexpected trailing token `{:?}`",
+                tokens[pos]
+            )));
+        }
+        Ok(q)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum QTok {
+    Word(String),
+    Phrase(Vec<String>),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+}
+
+fn tokenize_query(input: &str) -> Result<Vec<QTok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '(' {
+            out.push(QTok::LParen);
+            i += 1;
+        } else if c == ')' {
+            out.push(QTok::RParen);
+            i += 1;
+        } else if c == '"' {
+            let mut words = Vec::new();
+            let mut cur = String::new();
+            i += 1;
+            loop {
+                match chars.get(i) {
+                    None => return Err(BigDawgError::Parse("unterminated phrase".into())),
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&ch) if ch.is_whitespace() => {
+                        if !cur.is_empty() {
+                            words.push(normalize(&cur));
+                            cur.clear();
+                        }
+                        i += 1;
+                    }
+                    Some(&ch) => {
+                        cur.push(ch);
+                        i += 1;
+                    }
+                }
+            }
+            if !cur.is_empty() {
+                words.push(normalize(&cur));
+            }
+            if words.is_empty() {
+                return Err(BigDawgError::Parse("empty phrase".into()));
+            }
+            out.push(QTok::Phrase(words));
+        } else {
+            let start = i;
+            while i < chars.len() && !chars[i].is_whitespace() && chars[i] != '(' && chars[i] != ')'
+            {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            match word.to_ascii_uppercase().as_str() {
+                "AND" => out.push(QTok::And),
+                "OR" => out.push(QTok::Or),
+                "NOT" => out.push(QTok::Not),
+                _ => out.push(QTok::Word(normalize(&word))),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_or(tokens: &[QTok], pos: &mut usize) -> Result<TextQuery> {
+    let mut parts = vec![parse_and(tokens, pos)?];
+    while tokens.get(*pos) == Some(&QTok::Or) {
+        *pos += 1;
+        parts.push(parse_and(tokens, pos)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("one part")
+    } else {
+        TextQuery::Or(parts)
+    })
+}
+
+fn parse_and(tokens: &[QTok], pos: &mut usize) -> Result<TextQuery> {
+    let mut parts = vec![parse_atom(tokens, pos)?];
+    while tokens.get(*pos) == Some(&QTok::And) {
+        *pos += 1;
+        parts.push(parse_atom(tokens, pos)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().expect("one part")
+    } else {
+        TextQuery::And(parts)
+    })
+}
+
+fn parse_atom(tokens: &[QTok], pos: &mut usize) -> Result<TextQuery> {
+    match tokens.get(*pos) {
+        Some(QTok::Not) => {
+            *pos += 1;
+            Ok(TextQuery::Not(Box::new(parse_atom(tokens, pos)?)))
+        }
+        Some(QTok::Word(w)) => {
+            *pos += 1;
+            Ok(TextQuery::Term(w.clone()))
+        }
+        Some(QTok::Phrase(ws)) => {
+            *pos += 1;
+            Ok(if ws.len() == 1 {
+                TextQuery::Term(ws[0].clone())
+            } else {
+                TextQuery::Phrase(ws.clone())
+            })
+        }
+        Some(QTok::LParen) => {
+            *pos += 1;
+            let q = parse_or(tokens, pos)?;
+            if tokens.get(*pos) != Some(&QTok::RParen) {
+                return Err(BigDawgError::Parse("expected `)`".into()));
+            }
+            *pos += 1;
+            Ok(q)
+        }
+        other => Err(BigDawgError::Parse(format!(
+            "expected term, phrase, NOT, or `(`, found {other:?}"
+        ))),
+    }
+}
+
+/// Lowercase and strip non-alphanumerics (the tokenizer used both at index
+/// and at query time, so they always agree).
+fn normalize(word: &str) -> String {
+    word.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect()
+}
+
+/// Tokenize a document body into normalized terms with positions.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(normalize)
+        .collect()
+}
+
+/// The inverted index: postings with positions, plus a document store in the
+/// underlying [`KvStore`] and a per-document owner (patient) mapping so the
+/// demo query "≥ N notes per patient" is a single grouped lookup.
+pub struct TextIndex {
+    store: KvStore,
+    /// term → doc → positions
+    postings: BTreeMap<String, BTreeMap<DocId, Vec<u32>>>,
+    /// every indexed doc → owning entity (patient id)
+    owners: HashMap<DocId, String>,
+    all_docs: BTreeSet<DocId>,
+}
+
+impl Default for TextIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextIndex {
+    pub fn new() -> Self {
+        TextIndex {
+            store: KvStore::new(100_000),
+            postings: BTreeMap::new(),
+            owners: HashMap::new(),
+            all_docs: BTreeSet::new(),
+        }
+    }
+
+    /// Index a document. `owner` is the entity the demo groups by (patient).
+    pub fn index_document(&mut self, doc: DocId, owner: &str, ts: i64, body: &str) {
+        self.store.put(
+            Key::of(&format!("doc{doc:012}"), "doc", "body", ts),
+            body.as_bytes().to_vec(),
+        );
+        self.store.put(
+            Key::of(&format!("doc{doc:012}"), "doc", "owner", ts),
+            owner.as_bytes().to_vec(),
+        );
+        for (pos, term) in tokenize(body).into_iter().enumerate() {
+            self.postings
+                .entry(term)
+                .or_default()
+                .entry(doc)
+                .or_default()
+                .push(pos as u32);
+        }
+        self.owners.insert(doc, owner.to_string());
+        self.all_docs.insert(doc);
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.all_docs.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Retrieve a document body.
+    pub fn document(&self, doc: DocId) -> Option<String> {
+        let row = format!("doc{doc:012}");
+        self.store
+            .scan_row(&row)
+            .find(|(k, _)| k.qualifier_str() == "body")
+            .map(|(_, v)| String::from_utf8_lossy(v).into_owned())
+    }
+
+    /// Evaluate a query, returning matching doc ids.
+    pub fn search(&self, q: &TextQuery) -> BTreeSet<DocId> {
+        match q {
+            TextQuery::Term(t) => self
+                .postings
+                .get(t)
+                .map(|m| m.keys().copied().collect())
+                .unwrap_or_default(),
+            TextQuery::Phrase(words) => self.phrase_match(words),
+            TextQuery::And(parts) => {
+                let mut sets = parts.iter().map(|p| self.search(p));
+                let Some(mut acc) = sets.next() else {
+                    return BTreeSet::new();
+                };
+                for s in sets {
+                    acc = acc.intersection(&s).copied().collect();
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+            TextQuery::Or(parts) => {
+                let mut acc = BTreeSet::new();
+                for p in parts {
+                    acc.extend(self.search(p));
+                }
+                acc
+            }
+            TextQuery::Not(inner) => {
+                let hits = self.search(inner);
+                self.all_docs.difference(&hits).copied().collect()
+            }
+        }
+    }
+
+    fn phrase_match(&self, words: &[String]) -> BTreeSet<DocId> {
+        let Some(first) = words.first() else {
+            return BTreeSet::new();
+        };
+        let Some(first_postings) = self.postings.get(first) else {
+            return BTreeSet::new();
+        };
+        let mut out = BTreeSet::new();
+        'docs: for (&doc, first_positions) in first_postings {
+            // All later words must appear at offset i from some start.
+            let rest: Vec<&Vec<u32>> = match words[1..]
+                .iter()
+                .map(|w| self.postings.get(w).and_then(|m| m.get(&doc)))
+                .collect::<Option<Vec<_>>>()
+            {
+                Some(r) => r,
+                None => continue 'docs,
+            };
+            for &start in first_positions {
+                if rest
+                    .iter()
+                    .enumerate()
+                    .all(|(i, ps)| ps.binary_search(&(start + i as u32 + 1)).is_ok())
+                {
+                    out.insert(doc);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The demo's marquee query: owners (patients) with at least
+    /// `min_docs` distinct matching documents. Returns `(owner, count)`
+    /// sorted by descending count.
+    pub fn owners_with_min_docs(&self, q: &TextQuery, min_docs: usize) -> Vec<(String, usize)> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for doc in self.search(q) {
+            if let Some(owner) = self.owners.get(&doc) {
+                *counts.entry(owner).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|(_, n)| *n >= min_docs)
+            .map(|(o, n)| (o.to_string(), n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Parse-and-search convenience.
+    pub fn query(&self, text: &str) -> Result<BTreeSet<DocId>> {
+        Ok(self.search(&TextQuery::parse(text)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> TextIndex {
+        let mut ix = TextIndex::new();
+        ix.index_document(1, "p1", 0, "Patient is very sick today, started heparin.");
+        ix.index_document(2, "p1", 1, "Still very sick; heparin continued.");
+        ix.index_document(3, "p1", 2, "Very sick again this morning.");
+        ix.index_document(4, "p2", 0, "Recovering well, sick leave recommended.");
+        ix.index_document(5, "p2", 1, "Very good progress, not sick.");
+        ix.index_document(6, "p3", 0, "Very sick. Aspirin administered.");
+        ix
+    }
+
+    #[test]
+    fn term_search() {
+        let ix = corpus();
+        let hits = ix.query("heparin").unwrap();
+        assert_eq!(hits, BTreeSet::from([1, 2]));
+        assert!(ix.query("warfarin").unwrap().is_empty());
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let ix = corpus();
+        let hits = ix.query("\"very sick\"").unwrap();
+        // doc 5 has "very" and "sick" but not adjacent
+        assert_eq!(hits, BTreeSet::from([1, 2, 3, 6]));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let ix = corpus();
+        let hits = ix.query("\"very sick\" AND heparin").unwrap();
+        assert_eq!(hits, BTreeSet::from([1, 2]));
+        let hits = ix.query("heparin OR aspirin").unwrap();
+        assert_eq!(hits, BTreeSet::from([1, 2, 6]));
+        let hits = ix.query("sick AND NOT very").unwrap();
+        assert_eq!(hits, BTreeSet::from([4]));
+        let hits = ix.query("(heparin OR aspirin) AND \"very sick\"").unwrap();
+        assert_eq!(hits, BTreeSet::from([1, 2, 6]));
+    }
+
+    #[test]
+    fn owners_with_min_docs_demo_query() {
+        let ix = corpus();
+        // "at least three doctor's reports saying 'very sick'"
+        let q = TextQuery::parse("\"very sick\"").unwrap();
+        let owners = ix.owners_with_min_docs(&q, 3);
+        assert_eq!(owners, vec![("p1".to_string(), 3)]);
+        let owners = ix.owners_with_min_docs(&q, 1);
+        assert_eq!(owners.len(), 2);
+        assert_eq!(owners[0].0, "p1");
+    }
+
+    #[test]
+    fn document_retrieval() {
+        let ix = corpus();
+        assert!(ix.document(1).unwrap().contains("heparin"));
+        assert!(ix.document(99).is_none());
+        assert_eq!(ix.doc_count(), 6);
+        assert!(ix.term_count() > 10);
+    }
+
+    #[test]
+    fn tokenizer_normalizes() {
+        assert_eq!(tokenize("Very, SICK!"), vec!["very", "sick"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn query_parse_errors() {
+        assert!(TextQuery::parse("\"unterminated").is_err());
+        assert!(TextQuery::parse("(a OR b").is_err());
+        assert!(TextQuery::parse("a AND").is_err());
+        assert!(TextQuery::parse("a b)").is_err());
+    }
+
+    #[test]
+    fn single_word_phrase_is_term() {
+        assert_eq!(
+            TextQuery::parse("\"sick\"").unwrap(),
+            TextQuery::Term("sick".into())
+        );
+    }
+}

@@ -1,0 +1,489 @@
+//! The structured synthetic MIMIC II generator.
+
+use bigdawg_common::{Batch, DataType, Field, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters. Defaults give a laptop-scale dataset with every
+/// planted phenomenon present.
+#[derive(Debug, Clone)]
+pub struct MimicConfig {
+    pub seed: u64,
+    pub patients: usize,
+    /// Notes per patient (scaled by how sick the patient is).
+    pub base_notes_per_patient: usize,
+    /// Prescriptions per patient upper bound.
+    pub max_prescriptions: usize,
+    /// Labs per patient.
+    pub labs_per_patient: usize,
+}
+
+impl Default for MimicConfig {
+    fn default() -> Self {
+        MimicConfig {
+            seed: 0xB16DA36,
+            patients: 2000,
+            base_notes_per_patient: 3,
+            max_prescriptions: 4,
+            labs_per_patient: 5,
+        }
+    }
+}
+
+pub const RACES: [&str; 4] = ["white", "black", "asian", "hispanic"];
+pub const DIAGNOSES: [&str; 4] = ["cardiac", "sepsis", "trauma", "renal"];
+pub const DRUGS: [&str; 8] = [
+    "heparin",
+    "aspirin",
+    "insulin",
+    "warfarin",
+    "metoprolol",
+    "furosemide",
+    "vancomycin",
+    "dopamine",
+];
+pub const LAB_TESTS: [&str; 5] = ["lactate", "creatinine", "wbc", "hemoglobin", "troponin"];
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Patient {
+    pub id: u64,
+    pub name: String,
+    pub age: i64,
+    pub sex: &'static str,
+    pub race: &'static str,
+    /// 0 = stable … 2 = high risk (drives alerting and note tone).
+    pub risk_class: i64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    pub id: u64,
+    pub patient_id: u64,
+    pub diagnosis: &'static str,
+    pub admit_ts: i64,
+    pub stay_days: f64,
+    pub survived: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Note {
+    pub id: u64,
+    pub patient_id: u64,
+    pub ts: i64,
+    pub author: String,
+    pub body: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prescription {
+    pub id: u64,
+    pub patient_id: u64,
+    pub drug: &'static str,
+    pub dose_mg: f64,
+    pub ts: i64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabResult {
+    pub id: u64,
+    pub patient_id: u64,
+    pub test: &'static str,
+    pub value: f64,
+    pub ts: i64,
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone)]
+pub struct MimicData {
+    pub patients: Vec<Patient>,
+    pub admissions: Vec<Admission>,
+    pub notes: Vec<Note>,
+    pub prescriptions: Vec<Prescription>,
+    pub labs: Vec<LabResult>,
+}
+
+/// Mean stay (days) by race — the *global* trend. Within `sepsis`
+/// admissions the ordering is reversed (Figure 2's planted phenomenon).
+fn base_stay(race: &str, diagnosis: &str) -> f64 {
+    let rank = RACES.iter().position(|r| *r == race).expect("known race") as f64;
+    if diagnosis == "sepsis" {
+        // reversed trend: later-ranked races stay *shorter*
+        9.0 - 1.5 * rank
+    } else {
+        3.0 + 1.5 * rank
+    }
+}
+
+const FIRST_NAMES: [&str; 12] = [
+    "alice", "bruno", "carla", "diego", "elena", "farid", "grace", "hugo", "ines", "jonas",
+    "kira", "luis",
+];
+const LAST_NAMES: [&str; 10] = [
+    "almeida", "brooks", "chen", "duarte", "evans", "fujita", "garcia", "haddad", "ivanov",
+    "jones",
+];
+
+/// Generate the dataset deterministically from `config.seed`.
+pub fn generate(config: &MimicConfig) -> MimicData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut patients = Vec::with_capacity(config.patients);
+    let mut admissions = Vec::with_capacity(config.patients);
+    let mut notes = Vec::new();
+    let mut prescriptions = Vec::new();
+    let mut labs = Vec::new();
+    let mut note_id = 0u64;
+    let mut rx_id = 0u64;
+    let mut lab_id = 0u64;
+
+    for pid in 0..config.patients as u64 {
+        let race = RACES[rng.gen_range(0..RACES.len())];
+        let diagnosis = DIAGNOSES[rng.gen_range(0..DIAGNOSES.len())];
+        let age = rng.gen_range(18..95);
+        let risk_class = match age {
+            a if a >= 75 => 2,
+            a if a >= 55 => rng.gen_range(1..=2),
+            _ => rng.gen_range(0..=1),
+        };
+        let name = format!(
+            "{} {}",
+            FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+            LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+        );
+        patients.push(Patient {
+            id: pid,
+            name,
+            age,
+            sex: if rng.gen_bool(0.5) { "f" } else { "m" },
+            race,
+            risk_class,
+        });
+
+        let admit_ts = 1_420_000_000_000 + rng.gen_range(0..31_536_000_000i64); // ~2015
+        let stay_days =
+            (base_stay(race, diagnosis) + rng.gen_range(-1.0..1.0) + risk_class as f64 * 0.5)
+                .max(0.25);
+        admissions.push(Admission {
+            id: pid,
+            patient_id: pid,
+            diagnosis,
+            admit_ts,
+            stay_days,
+            survived: rng.gen_bool(0.93 - 0.05 * risk_class as f64),
+        });
+
+        // Notes: sicker (longer-stay) patients accrue more, and more of
+        // them say "very sick" — the text workload's planted correlation.
+        let n_notes = config.base_notes_per_patient + (stay_days / 3.0) as usize;
+        for _ in 0..n_notes {
+            let very_sick = rng.gen_bool((0.1 + stay_days / 20.0).min(0.9));
+            let drug = DRUGS[rng.gen_range(0..DRUGS.len())];
+            let body = note_body(&mut rng, very_sick, drug, diagnosis);
+            notes.push(Note {
+                id: note_id,
+                patient_id: pid,
+                ts: admit_ts + rng.gen_range(0..86_400_000 * (stay_days.ceil() as i64).max(1)),
+                author: format!("dr. {}", LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]),
+                body,
+            });
+            note_id += 1;
+        }
+
+        // Prescriptions: diagnosis-correlated drug choices.
+        let n_rx = rng.gen_range(1..=config.max_prescriptions);
+        let preferred: &[&'static str] = match diagnosis {
+            "cardiac" => &["heparin", "aspirin", "metoprolol"],
+            "sepsis" => &["vancomycin", "dopamine"],
+            "renal" => &["furosemide"],
+            _ => &["aspirin", "insulin"],
+        };
+        for _ in 0..n_rx {
+            let drug = if rng.gen_bool(0.7) {
+                preferred.choose(&mut rng).copied().expect("non-empty")
+            } else {
+                DRUGS[rng.gen_range(0..DRUGS.len())]
+            };
+            prescriptions.push(Prescription {
+                id: rx_id,
+                patient_id: pid,
+                drug,
+                dose_mg: rng.gen_range(1.0..500.0),
+                ts: admit_ts + rng.gen_range(0..43_200_000),
+            });
+            rx_id += 1;
+        }
+
+        for _ in 0..config.labs_per_patient {
+            let test = LAB_TESTS[rng.gen_range(0..LAB_TESTS.len())];
+            labs.push(LabResult {
+                id: lab_id,
+                patient_id: pid,
+                test,
+                value: rng.gen_range(0.1..300.0),
+                ts: admit_ts + rng.gen_range(0..86_400_000),
+            });
+            lab_id += 1;
+        }
+    }
+
+    MimicData {
+        patients,
+        admissions,
+        notes,
+        prescriptions,
+        labs,
+    }
+}
+
+fn note_body(rng: &mut StdRng, very_sick: bool, drug: &str, diagnosis: &str) -> String {
+    let openings = [
+        "Patient seen on morning rounds.",
+        "Overnight events reviewed.",
+        "Family meeting held today.",
+        "Consult service following.",
+    ];
+    let stable = [
+        "Vitals stable, tolerating diet.",
+        "Recovering well, plan to step down.",
+        "Afebrile, hemodynamically stable.",
+    ];
+    let sick = [
+        "Patient remains very sick, escalating support.",
+        "Very sick overnight; pressors titrated.",
+        "Condition worsening, patient very sick and guarded.",
+    ];
+    let mid = if very_sick {
+        sick[rng.gen_range(0..sick.len())]
+    } else {
+        stable[rng.gen_range(0..stable.len())]
+    };
+    format!(
+        "{} {} Continuing {} for {} management.",
+        openings[rng.gen_range(0..openings.len())],
+        mid,
+        drug,
+        diagnosis
+    )
+}
+
+impl MimicData {
+    /// Patients as a relational batch (the Postgres-resident slice).
+    pub fn patients_batch(&self) -> Batch {
+        let schema = Schema::new(vec![
+            Field::required("id", DataType::Int),
+            Field::new("name", DataType::Text),
+            Field::new("age", DataType::Int),
+            Field::new("sex", DataType::Text),
+            Field::new("race", DataType::Text),
+            Field::new("risk_class", DataType::Int),
+        ]);
+        let rows: Vec<Row> = self
+            .patients
+            .iter()
+            .map(|p| {
+                vec![
+                    Value::Int(p.id as i64),
+                    Value::Text(p.name.clone()),
+                    Value::Int(p.age),
+                    Value::Text(p.sex.into()),
+                    Value::Text(p.race.into()),
+                    Value::Int(p.risk_class),
+                ]
+            })
+            .collect();
+        Batch::new(schema, rows).expect("schema matches construction")
+    }
+
+    /// Admissions as a relational batch.
+    pub fn admissions_batch(&self) -> Batch {
+        let schema = Schema::new(vec![
+            Field::required("id", DataType::Int),
+            Field::required("patient_id", DataType::Int),
+            Field::new("diagnosis", DataType::Text),
+            Field::new("admit_ts", DataType::Timestamp),
+            Field::new("stay_days", DataType::Float),
+            Field::new("survived", DataType::Bool),
+        ]);
+        let rows: Vec<Row> = self
+            .admissions
+            .iter()
+            .map(|a| {
+                vec![
+                    Value::Int(a.id as i64),
+                    Value::Int(a.patient_id as i64),
+                    Value::Text(a.diagnosis.into()),
+                    Value::Timestamp(a.admit_ts),
+                    Value::Float(a.stay_days),
+                    Value::Bool(a.survived),
+                ]
+            })
+            .collect();
+        Batch::new(schema, rows).expect("schema matches construction")
+    }
+
+    /// Prescriptions as a relational batch.
+    pub fn prescriptions_batch(&self) -> Batch {
+        let schema = Schema::new(vec![
+            Field::required("id", DataType::Int),
+            Field::required("patient_id", DataType::Int),
+            Field::new("drug", DataType::Text),
+            Field::new("dose_mg", DataType::Float),
+            Field::new("ts", DataType::Timestamp),
+        ]);
+        let rows: Vec<Row> = self
+            .prescriptions
+            .iter()
+            .map(|r| {
+                vec![
+                    Value::Int(r.id as i64),
+                    Value::Int(r.patient_id as i64),
+                    Value::Text(r.drug.into()),
+                    Value::Float(r.dose_mg),
+                    Value::Timestamp(r.ts),
+                ]
+            })
+            .collect();
+        Batch::new(schema, rows).expect("schema matches construction")
+    }
+
+    /// Labs as a relational batch.
+    pub fn labs_batch(&self) -> Batch {
+        let schema = Schema::new(vec![
+            Field::required("id", DataType::Int),
+            Field::required("patient_id", DataType::Int),
+            Field::new("test", DataType::Text),
+            Field::new("value", DataType::Float),
+            Field::new("ts", DataType::Timestamp),
+        ]);
+        let rows: Vec<Row> = self
+            .labs
+            .iter()
+            .map(|l| {
+                vec![
+                    Value::Int(l.id as i64),
+                    Value::Int(l.patient_id as i64),
+                    Value::Text(l.test.into()),
+                    Value::Float(l.value),
+                    Value::Timestamp(l.ts),
+                ]
+            })
+            .collect();
+        Batch::new(schema, rows).expect("schema matches construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MimicData {
+        generate(&MimicConfig {
+            patients: 400,
+            ..MimicConfig::default()
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&MimicConfig {
+            patients: 50,
+            ..MimicConfig::default()
+        });
+        let b = generate(&MimicConfig {
+            patients: 50,
+            ..MimicConfig::default()
+        });
+        assert_eq!(a.patients, b.patients);
+        assert_eq!(a.notes, b.notes);
+        assert_eq!(a.prescriptions, b.prescriptions);
+    }
+
+    #[test]
+    fn figure2_reversal_planted() {
+        let d = small();
+        let mean_stay = |diag_filter: &dyn Fn(&str) -> bool, race: &str| -> f64 {
+            let stays: Vec<f64> = d
+                .admissions
+                .iter()
+                .zip(&d.patients)
+                .filter(|(a, p)| diag_filter(a.diagnosis) && p.race == race)
+                .map(|(a, _)| a.stay_days)
+                .collect();
+            stays.iter().sum::<f64>() / stays.len() as f64
+        };
+        // global non-sepsis trend: white < hispanic
+        let w_rest = mean_stay(&|d| d != "sepsis", "white");
+        let h_rest = mean_stay(&|d| d != "sepsis", "hispanic");
+        assert!(w_rest < h_rest, "rest: white {w_rest} vs hispanic {h_rest}");
+        // sepsis subpopulation reverses
+        let w_sep = mean_stay(&|d| d == "sepsis", "white");
+        let h_sep = mean_stay(&|d| d == "sepsis", "hispanic");
+        assert!(w_sep > h_sep, "sepsis: white {w_sep} vs hispanic {h_sep}");
+    }
+
+    #[test]
+    fn very_sick_notes_correlate_with_stay() {
+        let d = small();
+        let mut long_sick = 0usize;
+        let mut long_total = 0usize;
+        let mut short_sick = 0usize;
+        let mut short_total = 0usize;
+        for n in &d.notes {
+            let stay = d.admissions[n.patient_id as usize].stay_days;
+            let is_sick = n.body.contains("very sick");
+            if stay > 7.0 {
+                long_total += 1;
+                long_sick += is_sick as usize;
+            } else if stay < 3.0 {
+                short_total += 1;
+                short_sick += is_sick as usize;
+            }
+        }
+        let long_rate = long_sick as f64 / long_total as f64;
+        let short_rate = short_sick as f64 / short_total as f64;
+        assert!(
+            long_rate > short_rate + 0.1,
+            "long {long_rate} vs short {short_rate}"
+        );
+    }
+
+    #[test]
+    fn diagnosis_drug_correlation() {
+        let d = small();
+        let mut sepsis_vanco = 0;
+        let mut sepsis_total = 0;
+        for rx in &d.prescriptions {
+            if d.admissions[rx.patient_id as usize].diagnosis == "sepsis" {
+                sepsis_total += 1;
+                if rx.drug == "vancomycin" || rx.drug == "dopamine" {
+                    sepsis_vanco += 1;
+                }
+            }
+        }
+        assert!(
+            sepsis_vanco as f64 / sepsis_total as f64 > 0.5,
+            "sepsis patients should mostly get sepsis drugs"
+        );
+    }
+
+    #[test]
+    fn batches_well_formed() {
+        let d = generate(&MimicConfig {
+            patients: 20,
+            ..MimicConfig::default()
+        });
+        assert_eq!(d.patients_batch().len(), 20);
+        assert_eq!(d.admissions_batch().len(), 20);
+        assert!(!d.prescriptions_batch().is_empty());
+        assert!(!d.labs_batch().is_empty());
+        assert_eq!(d.patients_batch().schema().names()[4], "race");
+    }
+
+    #[test]
+    fn stays_positive_and_bounded() {
+        let d = small();
+        for a in &d.admissions {
+            assert!(a.stay_days >= 0.25 && a.stay_days < 30.0, "{}", a.stay_days);
+        }
+    }
+}

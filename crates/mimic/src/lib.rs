@@ -1,0 +1,27 @@
+//! Seeded synthetic MIMIC II — the data substitution for the demo's
+//! dataset (paper §1.1).
+//!
+//! The real MIMIC II is an access-gated PhysioNet dataset (~26 000 ICU
+//! admissions, 125 Hz bedside waveforms, notes, labs, prescriptions). The
+//! demo exercises its *shapes*, not its clinical content, so this crate
+//! generates a deterministic synthetic equivalent with the phenomena the
+//! demo's screens need planted at known ground truth:
+//!
+//! * **patients/admissions** with demographics and stay lengths, including
+//!   the **Figure 2 reversal**: globally, mean stay ordering across races
+//!   follows one trend; within the `sepsis` diagnosis subpopulation the
+//!   trend reverses — the relationship SeeDB must surface;
+//! * **waveforms** ([`waveform::WaveformGen`]): 125 Hz ECG-like signals
+//!   with planted arrhythmia intervals (ground truth for experiment E9's
+//!   precision/recall);
+//! * **notes** with controlled phrase frequencies (`"very sick"` counts
+//!   correlate with stay length) for the Text Analysis screen;
+//! * **prescriptions and labs** for cross-engine joins.
+//!
+//! Everything is a pure function of [`MimicConfig::seed`].
+
+pub mod gen;
+pub mod waveform;
+
+pub use gen::{generate, Admission, LabResult, MimicConfig, MimicData, Note, Patient, Prescription};
+pub use waveform::{plant_anomalies, AnomalyEvent, WaveformGen};

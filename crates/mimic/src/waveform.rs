@@ -1,0 +1,207 @@
+//! Synthetic 125 Hz bedside waveforms with planted arrhythmias.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A planted anomaly: a closed interval of sample indices during which the
+/// waveform departs from the patient's normal rhythm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyEvent {
+    pub start: u64,
+    pub end: u64,
+}
+
+impl AnomalyEvent {
+    pub fn contains(&self, sample: u64) -> bool {
+        sample >= self.start && sample <= self.end
+    }
+
+    pub fn len(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Deterministic per-patient waveform generator.
+///
+/// The normal signal is a heart-rate fundamental plus two harmonics, a slow
+/// respiratory modulation, and white noise. Inside an anomaly interval the
+/// fundamental doubles in frequency and triples in amplitude (a crude but
+/// spectrally distinct "arrhythmia").
+#[derive(Debug, Clone)]
+pub struct WaveformGen {
+    pub patient: u64,
+    pub sample_rate: f64,
+    heart_hz: f64,
+    noise_amp: f64,
+    noise_seed: u64,
+    anomalies: Vec<AnomalyEvent>,
+}
+
+impl WaveformGen {
+    /// Build a generator. `seed` couples with `patient` so each patient has
+    /// a stable personal rhythm; `anomalies` are the planted events.
+    pub fn new(seed: u64, patient: u64, sample_rate: f64, anomalies: Vec<AnomalyEvent>) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ patient.wrapping_mul(0x9E3779B97F4A7C15));
+        let heart_hz = rng.gen_range(0.9..1.6); // 54–96 bpm
+        let noise_amp = rng.gen_range(0.02..0.06);
+        WaveformGen {
+            patient,
+            sample_rate,
+            heart_hz,
+            noise_amp,
+            noise_seed: rng.gen(),
+            anomalies,
+        }
+    }
+
+    /// The patient's resting heart rate in Hz.
+    pub fn heart_hz(&self) -> f64 {
+        self.heart_hz
+    }
+
+    pub fn anomalies(&self) -> &[AnomalyEvent] {
+        &self.anomalies
+    }
+
+    /// Whether a sample index falls inside a planted anomaly.
+    pub fn is_anomalous_at(&self, sample: u64) -> bool {
+        self.anomalies.iter().any(|a| a.contains(sample))
+    }
+
+    /// Value of sample `i`. Pure function of (generator, i) — windows can
+    /// be regenerated anywhere in the federation without storing them.
+    pub fn sample(&self, i: u64) -> f64 {
+        let t = i as f64 / self.sample_rate;
+        let (hz, amp) = if self.is_anomalous_at(i) {
+            (self.heart_hz * 2.0, 3.0)
+        } else {
+            (self.heart_hz, 1.0)
+        };
+        let w = 2.0 * std::f64::consts::PI;
+        let cardiac = amp
+            * ((w * hz * t).sin()
+                + 0.35 * (w * 2.0 * hz * t).sin()
+                + 0.12 * (w * 3.0 * hz * t).sin());
+        let breathing = 0.15 * (w * 0.25 * t).sin();
+        cardiac + breathing + self.noise(i)
+    }
+
+    /// Deterministic per-sample noise (hash-based so sampling is O(1) and
+    /// order-independent).
+    fn noise(&self, i: u64) -> f64 {
+        let mut z = self.noise_seed ^ i.wrapping_mul(0xD1B54A32D192ED03);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (unit - 0.5) * 2.0 * self.noise_amp
+    }
+
+    /// Generate a contiguous window `[start, start + len)`.
+    pub fn window(&self, start: u64, len: usize) -> Vec<f64> {
+        (start..start + len as u64).map(|i| self.sample(i)).collect()
+    }
+}
+
+/// Plant `count` anomalies of `len` samples each, spread deterministically
+/// over `[0, total_samples)`, at least `gap` samples apart.
+pub fn plant_anomalies(
+    seed: u64,
+    patient: u64,
+    total_samples: u64,
+    count: usize,
+    len: u64,
+    gap: u64,
+) -> Vec<AnomalyEvent> {
+    let mut rng = StdRng::seed_from_u64(seed ^ patient.rotate_left(17));
+    let mut events: Vec<AnomalyEvent> = Vec::new();
+    let mut attempts = 0;
+    while events.len() < count && attempts < count * 50 {
+        attempts += 1;
+        if total_samples <= len + 1 {
+            break;
+        }
+        let start = rng.gen_range(0..total_samples - len);
+        let ev = AnomalyEvent {
+            start,
+            end: start + len - 1,
+        };
+        if events
+            .iter()
+            .all(|e| ev.start > e.end + gap || e.start > ev.end + gap)
+        {
+            events.push(ev);
+        }
+    }
+    events.sort_by_key(|e| e.start);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_patient() {
+        let a = WaveformGen::new(1, 7, 125.0, vec![]);
+        let b = WaveformGen::new(1, 7, 125.0, vec![]);
+        let c = WaveformGen::new(1, 8, 125.0, vec![]);
+        assert_eq!(a.window(0, 100), b.window(0, 100));
+        assert_ne!(a.window(0, 100), c.window(0, 100));
+        assert_ne!(a.heart_hz(), c.heart_hz());
+    }
+
+    #[test]
+    fn sampling_is_order_independent() {
+        let g = WaveformGen::new(3, 1, 125.0, vec![]);
+        let w = g.window(500, 10);
+        assert_eq!(g.sample(505), w[5]);
+    }
+
+    #[test]
+    fn anomaly_changes_signal() {
+        let ev = AnomalyEvent { start: 1000, end: 1499 };
+        let g = WaveformGen::new(2, 5, 125.0, vec![ev]);
+        let normal = g.window(0, 500);
+        let abnormal = g.window(1000, 500);
+        let energy = |w: &[f64]| w.iter().map(|x| x * x).sum::<f64>();
+        assert!(
+            energy(&abnormal) > 4.0 * energy(&normal),
+            "anomaly must carry far more energy"
+        );
+        assert!(g.is_anomalous_at(1200));
+        assert!(!g.is_anomalous_at(999));
+    }
+
+    #[test]
+    fn plant_respects_gap_and_count() {
+        let events = plant_anomalies(9, 3, 1_000_000, 10, 500, 2000);
+        assert_eq!(events.len(), 10);
+        for w in events.windows(2) {
+            assert!(w[1].start > w[0].end + 2000, "events too close: {w:?}");
+        }
+        for e in &events {
+            assert_eq!(e.len(), 500);
+            assert!(e.end < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn plant_on_tiny_signal_degrades_gracefully() {
+        let events = plant_anomalies(1, 1, 100, 5, 200, 10);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn heart_rate_in_physiological_band() {
+        for p in 0..50 {
+            let g = WaveformGen::new(42, p, 125.0, vec![]);
+            let bpm = g.heart_hz() * 60.0;
+            assert!((54.0..=96.0).contains(&bpm), "bpm {bpm}");
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The Myria executor: relational algebra over shims, with semi-naive
+//! fixpoint iteration.
+
+use crate::plan::RaPlan;
+use bigdawg_common::value::GroupKey;
+use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_relational::exec as rel_exec;
+use bigdawg_relational::expr::AggFunc;
+use std::collections::{HashMap, HashSet};
+
+/// The shim abstraction: Myria plans scan tables by name; a provider maps
+/// names to batches, whatever engine they live in. `bigdawg-core` implements
+/// this over the whole federation.
+pub trait TableProvider {
+    fn scan_table(&self, name: &str) -> Result<Batch>;
+
+    /// Row-count estimate for optimizer decisions, if cheaply available.
+    fn estimated_rows(&self, name: &str) -> Option<usize> {
+        let _ = name;
+        None
+    }
+}
+
+/// A provider backed by a plain map — used by tests and by islands that
+/// pre-materialize their inputs.
+#[derive(Debug, Default)]
+pub struct MapProvider {
+    tables: HashMap<String, Batch>,
+}
+
+impl MapProvider {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, batch: Batch) {
+        self.tables.insert(name.into(), batch);
+    }
+}
+
+impl TableProvider for MapProvider {
+    fn scan_table(&self, name: &str) -> Result<Batch> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BigDawgError::NotFound(format!("table `{name}`")))
+    }
+
+    fn estimated_rows(&self, name: &str) -> Option<usize> {
+        self.tables.get(name).map(Batch::len)
+    }
+}
+
+/// Execute a plan against a provider.
+pub fn execute(provider: &dyn TableProvider, plan: &RaPlan) -> Result<Batch> {
+    exec_inner(provider, plan, None)
+}
+
+fn exec_inner(
+    provider: &dyn TableProvider,
+    plan: &RaPlan,
+    iter_input: Option<&Batch>,
+) -> Result<Batch> {
+    match plan {
+        RaPlan::Scan(name) => provider.scan_table(name),
+        RaPlan::IterInput => iter_input.cloned().ok_or_else(|| {
+            BigDawgError::Execution("IterInput used outside an Iterate body".into())
+        }),
+        RaPlan::Filter { input, predicate } => {
+            let batch = exec_inner(provider, input, iter_input)?;
+            let (schema, rows) = batch.into_parts();
+            let mut kept = Vec::new();
+            for row in rows {
+                if predicate.matches(&schema, &row)? {
+                    kept.push(row);
+                }
+            }
+            Batch::new(schema, kept)
+        }
+        RaPlan::Project { input, columns } => {
+            let batch = exec_inner(provider, input, iter_input)?;
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            batch.project(&names)
+        }
+        RaPlan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let lb = exec_inner(provider, left, iter_input)?;
+            let rb = exec_inner(provider, right, iter_input)?;
+            hash_join(&lb, &rb, left_col, right_col)
+        }
+        RaPlan::Union { left, right } => {
+            let mut lb = exec_inner(provider, left, iter_input)?;
+            let rb = exec_inner(provider, right, iter_input)?;
+            lb.extend(rb)?;
+            Ok(dedup(lb))
+        }
+        RaPlan::Aggregate {
+            input,
+            group_by,
+            func,
+            arg,
+        } => {
+            let batch = exec_inner(provider, input, iter_input)?;
+            aggregate(&batch, group_by, *func, arg.as_deref())
+        }
+        RaPlan::Iterate {
+            init,
+            body,
+            max_iters,
+        } => {
+            // Semi-naive fixpoint: the body sees only the newest frontier.
+            let init_batch = exec_inner(provider, init, iter_input)?;
+            let schema = init_batch.schema().clone();
+            let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
+            let mut all_rows: Vec<Row> = Vec::new();
+            let mut frontier = dedup(init_batch);
+            for row in frontier.rows() {
+                seen.insert(row_key(row));
+                all_rows.push(row.clone());
+            }
+            for _ in 0..*max_iters {
+                if frontier.is_empty() {
+                    break;
+                }
+                let derived = exec_inner(provider, body, Some(&frontier))?;
+                schema.check_union_compatible(derived.schema())?;
+                let mut fresh: Vec<Row> = Vec::new();
+                for row in derived.into_rows() {
+                    if seen.insert(row_key(&row)) {
+                        fresh.push(row);
+                    }
+                }
+                if fresh.is_empty() {
+                    break;
+                }
+                all_rows.extend(fresh.iter().cloned());
+                frontier = Batch::new(schema.clone(), fresh)?;
+            }
+            Batch::new(schema, all_rows)
+        }
+    }
+}
+
+fn row_key(row: &[Value]) -> Vec<GroupKey> {
+    row.iter().map(Value::group_key).collect()
+}
+
+fn dedup(batch: Batch) -> Batch {
+    let (schema, rows) = batch.into_parts();
+    let mut seen = HashSet::with_capacity(rows.len());
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if seen.insert(row_key(&row)) {
+            out.push(row);
+        }
+    }
+    Batch::new(schema, out).expect("schema unchanged")
+}
+
+fn hash_join(left: &Batch, right: &Batch, left_col: &str, right_col: &str) -> Result<Batch> {
+    let lc = left.schema().index_of(left_col)?;
+    let rc = right.schema().index_of(right_col)?;
+    let out_schema = left.schema().join(right.schema());
+    let mut built: HashMap<GroupKey, Vec<&Row>> = HashMap::new();
+    for row in right.rows() {
+        if row[rc].is_null() {
+            continue;
+        }
+        built.entry(row[rc].group_key()).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    for lrow in left.rows() {
+        if lrow[lc].is_null() {
+            continue;
+        }
+        if let Some(matches) = built.get(&lrow[lc].group_key()) {
+            for rrow in matches {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Batch::new(out_schema, out)
+}
+
+fn aggregate(batch: &Batch, group_by: &[String], func: AggFunc, arg: Option<&str>) -> Result<Batch> {
+    let schema = batch.schema();
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<_>>()?;
+    let arg_idx = arg.map(|a| schema.index_of(a)).transpose()?;
+    if arg_idx.is_none() && func != AggFunc::Count {
+        return Err(BigDawgError::Parse(format!(
+            "aggregate {func} requires a column argument"
+        )));
+    }
+
+    struct St {
+        key_vals: Row,
+        n: i64,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+        mean: f64,
+        m2: f64,
+    }
+    let mut groups: HashMap<Vec<GroupKey>, St> = HashMap::new();
+    if group_idx.is_empty() {
+        groups.insert(
+            vec![],
+            St {
+                key_vals: vec![],
+                n: 0,
+                sum: 0.0,
+                min: None,
+                max: None,
+                mean: 0.0,
+                m2: 0.0,
+            },
+        );
+    }
+    for row in batch.rows() {
+        let key_vals: Row = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let key: Vec<GroupKey> = key_vals.iter().map(Value::group_key).collect();
+        let st = groups.entry(key).or_insert_with(|| St {
+            key_vals,
+            n: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+            mean: 0.0,
+            m2: 0.0,
+        });
+        let v = match arg_idx {
+            None => Value::Int(1),
+            Some(i) => row[i].clone(),
+        };
+        if arg_idx.is_some() && v.is_null() {
+            continue;
+        }
+        st.n += 1;
+        if let Ok(x) = v.as_f64() {
+            st.sum += x;
+            let d = x - st.mean;
+            st.mean += d / st.n as f64;
+            st.m2 += d * (x - st.mean);
+        }
+        if st.min.as_ref().is_none_or(|m| &v < m) {
+            st.min = Some(v.clone());
+        }
+        if st.max.as_ref().is_none_or(|m| &v > m) {
+            st.max = Some(v);
+        }
+    }
+
+    let agg_name = format!("{func}");
+    let mut pairs: Vec<(&str, DataType)> = group_by
+        .iter()
+        .map(|g| (g.as_str(), DataType::Null))
+        .collect();
+    pairs.push((agg_name.as_str(), DataType::Null));
+    let out_schema = Schema::from_pairs(&pairs);
+    let mut out_rows: Vec<Row> = Vec::with_capacity(groups.len());
+    for (_, st) in groups {
+        let agg_val = match func {
+            AggFunc::Count => Value::Int(st.n),
+            AggFunc::Sum => {
+                if st.n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(st.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if st.n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(st.sum / st.n as f64)
+                }
+            }
+            AggFunc::Min => st.min.unwrap_or(Value::Null),
+            AggFunc::Max => st.max.unwrap_or(Value::Null),
+            AggFunc::Stddev => {
+                if st.n < 2 {
+                    Value::Null
+                } else {
+                    Value::Float((st.m2 / (st.n - 1) as f64).sqrt())
+                }
+            }
+        };
+        let mut row = st.key_vals;
+        row.push(agg_val);
+        out_rows.push(row);
+    }
+    out_rows.sort_by(|a, b| {
+        a[..group_by.len()]
+            .iter()
+            .zip(&b[..group_by.len()])
+            .map(|(x, y)| x.cmp(y))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let _ = rel_exec::execute; // shared executor entry kept visible for shims
+    Batch::new(out_schema, out_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_relational::Expr;
+
+    fn edges() -> Batch {
+        let schema = Schema::from_pairs(&[("src", DataType::Text), ("dst", DataType::Text)]);
+        Batch::new(
+            schema,
+            vec![
+                vec![Value::Text("icu".into()), Value::Text("ward".into())],
+                vec![Value::Text("ward".into()), Value::Text("rehab".into())],
+                vec![Value::Text("rehab".into()), Value::Text("home".into())],
+                vec![Value::Text("er".into()), Value::Text("icu".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn provider() -> MapProvider {
+        let mut p = MapProvider::new();
+        p.insert("transfers", edges());
+        p
+    }
+
+    #[test]
+    fn filter_project() {
+        let p = provider();
+        let plan = RaPlan::scan("transfers")
+            .filter(Expr::eq(Expr::col("src"), Expr::lit("icu")))
+            .project(&["dst"]);
+        let out = execute(&p, &plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Text("ward".into()));
+    }
+
+    #[test]
+    fn join_composes() {
+        let p = provider();
+        // two-hop transfers
+        let plan = RaPlan::scan("transfers").join(RaPlan::scan("transfers"), "dst", "src");
+        let out = execute(&p, &plan).unwrap();
+        assert_eq!(out.len(), 3); // icu→ward→rehab, ward→rehab→home, er→icu→ward
+    }
+
+    #[test]
+    fn transitive_closure_via_iterate() {
+        let p = provider();
+        // reach(x,y) := edge(x,y) ∪ reach(x,z) ⋈ edge(z,y)
+        let body = RaPlan::IterInput
+            .join(RaPlan::scan("transfers"), "dst", "src")
+            .project(&["src", "right.dst"]);
+        // project renames: after join, columns are src,dst,right.src,right.dst
+        let plan = RaPlan::iterate(RaPlan::scan("transfers"), body, 10);
+        let out = execute(&p, &plan).unwrap();
+        // closure of the 4-edge chain er→icu→ward→rehab→home:
+        // er reaches 4, icu 3, ward 2, rehab 1 = 10 pairs
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn iterate_respects_max_iters() {
+        let p = provider();
+        let body = RaPlan::IterInput
+            .join(RaPlan::scan("transfers"), "dst", "src")
+            .project(&["src", "right.dst"]);
+        let plan = RaPlan::iterate(RaPlan::scan("transfers"), body, 1);
+        let out = execute(&p, &plan).unwrap();
+        // base 4 + one round of 2-hops (3 fresh) = 7
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn iter_input_outside_loop_errors() {
+        let p = provider();
+        let err = execute(&p, &RaPlan::IterInput).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+    }
+
+    #[test]
+    fn union_dedups() {
+        let p = provider();
+        let plan = RaPlan::scan("transfers").union(RaPlan::scan("transfers"));
+        let out = execute(&p, &plan).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn aggregate_grouped_and_global() {
+        let p = provider();
+        let plan = RaPlan::scan("transfers").aggregate(&["src"], AggFunc::Count, None);
+        let out = execute(&p, &plan).unwrap();
+        assert_eq!(out.len(), 4);
+        let plan = RaPlan::scan("transfers").aggregate(&[], AggFunc::Count, None);
+        let out = execute(&p, &plan).unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int(4));
+        // sum requires an argument
+        let bad = RaPlan::scan("transfers").aggregate(&[], AggFunc::Sum, None);
+        assert!(execute(&p, &bad).is_err());
+    }
+
+    #[test]
+    fn missing_table() {
+        let p = provider();
+        assert!(execute(&p, &RaPlan::scan("ghost")).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! The Myria island — BigDAWG's second cross-system island (paper §2.1.1).
+//!
+//! Myria "has adopted a programming model of relational algebra extended
+//! with iteration … and includes a sophisticated optimizer to efficiently
+//! process its query language". Its shims reach SciDB and Postgres.
+//!
+//! This crate reproduces the programming model:
+//!
+//! * [`plan::RaPlan`] — relational algebra (scan/filter/project/join/
+//!   union/aggregate) plus [`plan::RaPlan::Iterate`], a fixpoint loop whose
+//!   body references the loop state via [`plan::RaPlan::IterInput`];
+//! * [`exec`] — a semi-naive fixpoint executor over any
+//!   [`exec::TableProvider`] (the shim abstraction: `bigdawg-core` plugs
+//!   the relational, array, and KV engines in here);
+//! * [`optimizer`] — rule-based rewrites: filter fusion, filter pushdown
+//!   through projections and joins, and statistics-based join input
+//!   ordering.
+//!
+//! Predicates reuse `bigdawg_relational::Expr`, so the same expression
+//! language works across both islands.
+
+pub mod exec;
+pub mod optimizer;
+pub mod plan;
+
+pub use exec::{execute, MapProvider, TableProvider};
+pub use optimizer::optimize;
+pub use plan::RaPlan;

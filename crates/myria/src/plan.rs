@@ -1,0 +1,164 @@
+//! Relational algebra plans with iteration.
+
+use bigdawg_relational::expr::{AggFunc, Expr};
+
+/// A Myria query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaPlan {
+    /// Scan a named table from the provider (a shim to some engine).
+    Scan(String),
+    /// Inside an [`RaPlan::Iterate`] body: the current iteration's input
+    /// (the frontier of newly derived tuples, semi-naive evaluation).
+    IterInput,
+    Filter {
+        input: Box<RaPlan>,
+        predicate: Expr,
+    },
+    /// Project to named columns (in order).
+    Project {
+        input: Box<RaPlan>,
+        columns: Vec<String>,
+    },
+    /// Equi-join on one column pair.
+    Join {
+        left: Box<RaPlan>,
+        right: Box<RaPlan>,
+        left_col: String,
+        right_col: String,
+    },
+    /// Set union (distinct); inputs must be union-compatible.
+    Union {
+        left: Box<RaPlan>,
+        right: Box<RaPlan>,
+    },
+    /// Hash aggregation over optional group keys.
+    Aggregate {
+        input: Box<RaPlan>,
+        group_by: Vec<String>,
+        func: AggFunc,
+        /// Aggregated column; `None` = COUNT(*).
+        arg: Option<String>,
+    },
+    /// Fixpoint iteration: start from `init`, repeatedly run `body` with
+    /// [`RaPlan::IterInput`] bound to the newest frontier, accumulate
+    /// distinct results, stop when the frontier is empty or after
+    /// `max_iters` rounds. This is Myria's hallmark "relational algebra
+    /// extended with iteration".
+    Iterate {
+        init: Box<RaPlan>,
+        body: Box<RaPlan>,
+        max_iters: usize,
+    },
+}
+
+impl RaPlan {
+    pub fn scan(name: impl Into<String>) -> RaPlan {
+        RaPlan::Scan(name.into())
+    }
+
+    pub fn filter(self, predicate: Expr) -> RaPlan {
+        RaPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    pub fn project(self, columns: &[&str]) -> RaPlan {
+        RaPlan::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn join(self, right: RaPlan, left_col: &str, right_col: &str) -> RaPlan {
+        RaPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_col: left_col.to_string(),
+            right_col: right_col.to_string(),
+        }
+    }
+
+    pub fn union(self, right: RaPlan) -> RaPlan {
+        RaPlan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn aggregate(self, group_by: &[&str], func: AggFunc, arg: Option<&str>) -> RaPlan {
+        RaPlan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|s| s.to_string()).collect(),
+            func,
+            arg: arg.map(String::from),
+        }
+    }
+
+    pub fn iterate(init: RaPlan, body: RaPlan, max_iters: usize) -> RaPlan {
+        RaPlan::Iterate {
+            init: Box::new(init),
+            body: Box::new(body),
+            max_iters,
+        }
+    }
+
+    /// Names of all tables this plan scans.
+    pub fn scanned_tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let RaPlan::Scan(name) = p {
+                out.push(name.as_str());
+            }
+        });
+        out
+    }
+
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a RaPlan)) {
+        f(self);
+        match self {
+            RaPlan::Scan(_) | RaPlan::IterInput => {}
+            RaPlan::Filter { input, .. }
+            | RaPlan::Project { input, .. }
+            | RaPlan::Aggregate { input, .. } => input.visit(f),
+            RaPlan::Join { left, right, .. } | RaPlan::Union { left, right } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            RaPlan::Iterate { init, body, .. } => {
+                init.visit(f);
+                body.visit(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_relational::Expr;
+
+    #[test]
+    fn builders_compose() {
+        let p = RaPlan::scan("transfers")
+            .filter(Expr::eq(Expr::col("kind"), Expr::lit("icu")))
+            .project(&["src", "dst"]);
+        match &p {
+            RaPlan::Project { columns, .. } => assert_eq!(columns, &["src", "dst"]),
+            other => panic!("wrong plan {other:?}"),
+        }
+        assert_eq!(p.scanned_tables(), vec!["transfers"]);
+    }
+
+    #[test]
+    fn scanned_tables_covers_iterate() {
+        let p = RaPlan::iterate(
+            RaPlan::scan("edges"),
+            RaPlan::IterInput.join(RaPlan::scan("edges"), "dst", "src"),
+            10,
+        );
+        let mut tables = p.scanned_tables();
+        tables.sort_unstable();
+        assert_eq!(tables, vec!["edges", "edges"]);
+    }
+}

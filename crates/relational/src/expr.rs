@@ -1,0 +1,738 @@
+//! Scalar expression AST and evaluator.
+//!
+//! Expressions are shared by the SQL front-end, the planner (predicate
+//! pushdown, index-sargability analysis), and the executor. They are also
+//! reused by the Myria island, which compiles its relational-algebra plans to
+//! the same executor.
+
+use bigdawg_common::{BigDawgError, Result, Row, Schema, Value};
+use std::fmt;
+
+/// Binary operators in increasing-precedence tiers (handled by the parser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    /// SQL `LIKE` with `%` and `_` wildcards.
+    Like,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Like => "LIKE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scalar functions available in every island dialect that compiles to this
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    Abs,
+    Lower,
+    Upper,
+    Length,
+    /// First non-null argument.
+    Coalesce,
+    Sqrt,
+    Floor,
+    Ceil,
+    Round,
+}
+
+impl ScalarFn {
+    pub fn by_name(name: &str) -> Option<ScalarFn> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "ABS" => ScalarFn::Abs,
+            "LOWER" => ScalarFn::Lower,
+            "UPPER" => ScalarFn::Upper,
+            "LENGTH" => ScalarFn::Length,
+            "COALESCE" => ScalarFn::Coalesce,
+            "SQRT" => ScalarFn::Sqrt,
+            "FLOOR" => ScalarFn::Floor,
+            "CEIL" => ScalarFn::Ceil,
+            "ROUND" => ScalarFn::Round,
+            _ => return None,
+        })
+    }
+}
+
+/// Aggregate functions (used inside `SELECT`/`HAVING`; lowered to dedicated
+/// plan nodes by the planner — evaluating one in scalar context is an error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Sample standard deviation (Welford).
+    Stddev,
+}
+
+impl AggFunc {
+    pub fn by_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "STDDEV" => AggFunc::Stddev,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Stddev => "stddev",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression evaluated against one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, resolved by name at evaluation time.
+    Column(String),
+    Literal(Value),
+    /// An aggregate call. Only valid inside `SELECT`/`HAVING`; the planner
+    /// rewrites these into aggregate plan nodes before execution.
+    Aggregate {
+        func: AggFunc,
+        /// `None` encodes `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Call {
+        func: ScalarFn,
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, left, right)
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::And, left, right)
+    }
+
+    /// Evaluate against a row described by `schema`.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Column(name) => {
+                let i = schema.index_of(name)?;
+                Ok(row[i].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Aggregate { func, .. } => Err(BigDawgError::Internal(format!(
+                "aggregate {func} evaluated in scalar context (planner bug)"
+            ))),
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(schema, row)?;
+                // Short-circuit AND/OR with SQL three-valued logic.
+                match op {
+                    BinOp::And => {
+                        return eval_and(&l, || right.eval(schema, row));
+                    }
+                    BinOp::Or => {
+                        return eval_or(&l, || right.eval(schema, row));
+                    }
+                    _ => {}
+                }
+                let r = right.eval(schema, row)?;
+                eval_binop(*op, &l, &r)
+            }
+            Expr::Not(inner) => match inner.eval(schema, row)? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Bool(!v.as_bool()?)),
+            },
+            Expr::Neg(inner) => match inner.eval(schema, row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                v => Err(BigDawgError::TypeError(format!(
+                    "cannot negate {}",
+                    v.data_type()
+                ))),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(schema, row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(schema, row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut found = false;
+                for item in list {
+                    let iv = item.eval(schema, row)?;
+                    if !iv.is_null() && iv == v {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(schema, row)?;
+                let lo = low.eval(schema, row)?;
+                let hi = high.eval(schema, row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let inside = v >= lo && v <= hi;
+                Ok(Value::Bool(inside != *negated))
+            }
+            Expr::Call { func, args } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(schema, row))
+                    .collect::<Result<_>>()?;
+                eval_scalar_fn(*func, &vals)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: NULL counts as false (SQL WHERE semantics).
+    pub fn matches(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        match self.eval(schema, row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            v => Err(BigDawgError::TypeError(format!(
+                "predicate evaluated to non-boolean {}",
+                v.data_type()
+            ))),
+        }
+    }
+
+    /// All column names referenced by this expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |c| out.push(c));
+        out
+    }
+
+    /// Whether any aggregate call appears in this expression tree.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            Expr::Call { args, .. } => args.iter().any(Expr::contains_aggregate),
+        }
+    }
+
+    fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expr::Column(c) => f(c),
+            Expr::Literal(_) => {}
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit_columns(f);
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.visit_columns(f),
+            Expr::IsNull { expr, .. } => expr.visit_columns(f),
+            Expr::InList { expr, list, .. } => {
+                expr.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit_columns(f);
+                low.visit_columns(f);
+                high.visit_columns(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+        }
+    }
+
+    /// Split a conjunctive predicate into its AND-ed factors.
+    pub fn conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from factors; `None` if empty.
+    pub fn conjoin(mut factors: Vec<Expr>) -> Option<Expr> {
+        let first = if factors.is_empty() {
+            return None;
+        } else {
+            factors.remove(0)
+        };
+        Some(factors.into_iter().fold(first, Expr::and))
+    }
+}
+
+fn eval_and(left: &Value, right: impl FnOnce() -> Result<Value>) -> Result<Value> {
+    // SQL 3VL: false AND x = false; null AND true = null.
+    match left {
+        Value::Bool(false) => Ok(Value::Bool(false)),
+        Value::Bool(true) => match right()? {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::Bool(v.as_bool()?)),
+        },
+        Value::Null => match right()? {
+            Value::Bool(false) => Ok(Value::Bool(false)),
+            Value::Null | Value::Bool(true) => Ok(Value::Null),
+            v => Err(type_err_bool(&v)),
+        },
+        v => Err(type_err_bool(v)),
+    }
+}
+
+fn eval_or(left: &Value, right: impl FnOnce() -> Result<Value>) -> Result<Value> {
+    match left {
+        Value::Bool(true) => Ok(Value::Bool(true)),
+        Value::Bool(false) => match right()? {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::Bool(v.as_bool()?)),
+        },
+        Value::Null => match right()? {
+            Value::Bool(true) => Ok(Value::Bool(true)),
+            Value::Null | Value::Bool(false) => Ok(Value::Null),
+            v => Err(type_err_bool(&v)),
+        },
+        v => Err(type_err_bool(v)),
+    }
+}
+
+fn type_err_bool(v: &Value) -> BigDawgError {
+    BigDawgError::TypeError(format!("expected boolean operand, got {}", v.data_type()))
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Add => l.add(r),
+        Sub => l.sub(r),
+        Mul => l.mul(r),
+        Div => l.div(r),
+        Mod => l.rem(r),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.cmp(r);
+            let b = match op {
+                Eq => ord.is_eq(),
+                NotEq => !ord.is_eq(),
+                Lt => ord.is_lt(),
+                LtEq => ord.is_le(),
+                Gt => ord.is_gt(),
+                GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Like => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(like_match(l.as_str()?, r.as_str()?)))
+        }
+        And | Or => unreachable!("handled by eval with short-circuit"),
+    }
+}
+
+/// SQL LIKE: `%` matches any run, `_` matches one char. Iterative
+/// backtracking over the last `%` (classic glob algorithm, O(n·m) worst
+/// case, linear in practice).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn eval_scalar_fn(func: ScalarFn, args: &[Value]) -> Result<Value> {
+    let arity_err = |want: usize| {
+        Err(BigDawgError::TypeError(format!(
+            "{func:?} expects {want} argument(s), got {}",
+            args.len()
+        )))
+    };
+    match func {
+        ScalarFn::Coalesce => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        ScalarFn::Abs => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                v => Err(BigDawgError::TypeError(format!(
+                    "ABS expects a number, got {}",
+                    v.data_type()
+                ))),
+            }
+        }
+        ScalarFn::Lower | ScalarFn::Upper => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(if func == ScalarFn::Lower {
+                    s.to_lowercase()
+                } else {
+                    s.to_uppercase()
+                })),
+                v => Err(BigDawgError::TypeError(format!(
+                    "{func:?} expects text, got {}",
+                    v.data_type()
+                ))),
+            }
+        }
+        ScalarFn::Length => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+                v => Err(BigDawgError::TypeError(format!(
+                    "LENGTH expects text, got {}",
+                    v.data_type()
+                ))),
+            }
+        }
+        ScalarFn::Sqrt | ScalarFn::Floor | ScalarFn::Ceil | ScalarFn::Round => {
+            if args.len() != 1 {
+                return arity_err(1);
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let x = args[0].as_f64()?;
+            let out = match func {
+                ScalarFn::Sqrt => {
+                    if x < 0.0 {
+                        return Err(BigDawgError::Execution(format!("SQRT({x}) of negative")));
+                    }
+                    x.sqrt()
+                }
+                ScalarFn::Floor => x.floor(),
+                ScalarFn::Ceil => x.ceil(),
+                ScalarFn::Round => x.round(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("age", DataType::Int),
+            ("name", DataType::Text),
+            ("weight", DataType::Float),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![
+            Value::Int(70),
+            Value::Text("alice".into()),
+            Value::Float(62.5),
+        ]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let e = Expr::binary(BinOp::Gt, Expr::col("age"), Expr::lit(65));
+        assert_eq!(e.eval(&schema(), &row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic_precedence_semantics() {
+        // age + weight * 2
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::col("age"),
+            Expr::binary(BinOp::Mul, Expr::col("weight"), Expr::lit(2)),
+        );
+        assert_eq!(e.eval(&schema(), &row()).unwrap(), Value::Float(195.0));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let s = Schema::from_pairs(&[("x", DataType::Int)]);
+        let null_row = vec![Value::Null];
+        // NULL AND false = false
+        let e = Expr::and(
+            Expr::eq(Expr::col("x"), Expr::lit(1)),
+            Expr::lit(false),
+        );
+        assert_eq!(e.eval(&s, &null_row).unwrap(), Value::Bool(false));
+        // NULL OR true = true
+        let e = Expr::binary(
+            BinOp::Or,
+            Expr::eq(Expr::col("x"), Expr::lit(1)),
+            Expr::lit(true),
+        );
+        assert_eq!(e.eval(&s, &null_row).unwrap(), Value::Bool(true));
+        // NULL AND true = NULL, and matches() treats it as false
+        let e = Expr::and(Expr::eq(Expr::col("x"), Expr::lit(1)), Expr::lit(true));
+        assert_eq!(e.eval(&s, &null_row).unwrap(), Value::Null);
+        assert!(!e.matches(&s, &null_row).unwrap());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("very sick patient", "%very sick%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("aaab", "%ab"));
+        assert!(like_match("a%b", "a%b")); // % in text matched by literal path via wildcard
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let s = schema();
+        let r = row();
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("age")),
+            list: vec![Expr::lit(60), Expr::lit(70)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(true));
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("weight")),
+            low: Box::new(Expr::lit(60.0)),
+            high: Box::new(Expr::lit(65.0)),
+            negated: true,
+        };
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let s = Schema::from_pairs(&[("x", DataType::Int)]);
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("x")),
+            negated: false,
+        };
+        assert_eq!(e.eval(&s, &vec![Value::Null]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            e.eval(&s, &vec![Value::Int(1)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let s = schema();
+        let r = row();
+        let upper = Expr::Call {
+            func: ScalarFn::Upper,
+            args: vec![Expr::col("name")],
+        };
+        assert_eq!(
+            upper.eval(&s, &r).unwrap(),
+            Value::Text("ALICE".into())
+        );
+        let coalesce = Expr::Call {
+            func: ScalarFn::Coalesce,
+            args: vec![Expr::lit(Value::Null), Expr::lit(5)],
+        };
+        assert_eq!(coalesce.eval(&s, &r).unwrap(), Value::Int(5));
+        let sqrt_neg = Expr::Call {
+            func: ScalarFn::Sqrt,
+            args: vec![Expr::lit(-1.0)],
+        };
+        assert!(sqrt_neg.eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn conjunct_split_and_rebuild() {
+        let e = Expr::and(
+            Expr::and(
+                Expr::eq(Expr::col("a"), Expr::lit(1)),
+                Expr::eq(Expr::col("b"), Expr::lit(2)),
+            ),
+            Expr::eq(Expr::col("c"), Expr::lit(3)),
+        );
+        let parts = e.clone().conjuncts();
+        assert_eq!(parts.len(), 3);
+        let rebuilt = Expr::conjoin(parts).unwrap();
+        // Same factors, association may differ; check columns set.
+        let mut cols = rebuilt.columns();
+        cols.sort_unstable();
+        assert_eq!(cols, vec!["a", "b", "c"]);
+        assert!(Expr::conjoin(vec![]).is_none());
+    }
+
+    #[test]
+    fn columns_collects_all_refs() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("x")),
+            low: Box::new(Expr::col("y")),
+            high: Box::new(Expr::lit(3)),
+            negated: false,
+        };
+        assert_eq!(e.columns(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn negation() {
+        let s = schema();
+        let e = Expr::Neg(Box::new(Expr::col("age")));
+        assert_eq!(e.eval(&s, &row()).unwrap(), Value::Int(-70));
+        let e = Expr::Not(Box::new(Expr::lit(true)));
+        assert_eq!(e.eval(&s, &row()).unwrap(), Value::Bool(false));
+    }
+}

@@ -1,0 +1,34 @@
+//! A row-store relational engine — the PostgreSQL stand-in of the BigDAWG
+//! reproduction (paper §1.1: Postgres stores the MIMIC II patient metadata).
+//!
+//! The engine is embedded (no server): a [`Database`] owns heap
+//! [`table::Table`]s and B-tree [`index::Index`]es, accepts a SQL subset
+//! through [`Database::execute`], and returns
+//! [`bigdawg_common::Batch`]es.
+//!
+//! Pipeline: [`sql`] (lexer + parser) → [`planner`] (AST → logical plan with
+//! predicate pushdown and index selection) → [`exec`] (materialized
+//! execution).
+//!
+//! Supported SQL: `CREATE TABLE`, `CREATE INDEX`, `INSERT`, `UPDATE`,
+//! `DELETE`, and `SELECT` with joins, `WHERE`, `GROUP BY`/`HAVING`,
+//! `ORDER BY`, `LIMIT`, `DISTINCT`, and the aggregate functions
+//! `COUNT/SUM/AVG/MIN/MAX/STDDEV`.
+//!
+//! This crate is also the *"one size fits all"* baseline for experiment E1:
+//! the polystore benches store waveforms, text, and streams in here to show
+//! what the paper's §4 claim (specialized engines win by 1–2 orders of
+//! magnitude) looks like.
+
+pub mod db;
+pub mod exec;
+pub mod expr;
+pub mod index;
+pub mod plan;
+pub mod planner;
+pub mod sql;
+pub mod table;
+
+pub use db::Database;
+pub use expr::Expr;
+pub use table::Table;

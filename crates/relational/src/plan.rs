@@ -1,0 +1,174 @@
+//! Logical/physical query plans.
+//!
+//! The planner lowers a SQL AST into this tree; the executor walks it. There
+//! is no separate physical plan: the tree already fixes physical choices
+//! (index probe vs full scan, hash join vs nested loop).
+
+use crate::expr::{AggFunc, Expr};
+use bigdawg_common::{Batch, Value};
+use std::ops::Bound;
+
+/// How a scan locates its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Walk every live row.
+    FullScan,
+    /// Probe a secondary index for one key.
+    IndexEq { index: String, key: Value },
+    /// Probe a secondary index for a key range.
+    IndexRange {
+        index: String,
+        low: Bound<Value>,
+        high: Bound<Value>,
+    },
+}
+
+/// One aggregate to compute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// `None` = `COUNT(*)`.
+    pub arg: Option<Expr>,
+    pub distinct: bool,
+}
+
+/// A query plan node. Children are boxed; the tree is small.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a base table. `qualifier` renames output columns to
+    /// `qualifier.column` so multi-table queries can disambiguate.
+    /// `predicate` is the residual filter applied after `access`.
+    Scan {
+        table: String,
+        qualifier: Option<String>,
+        access: Access,
+        predicate: Option<Expr>,
+    },
+    /// Literal rows (used for `SELECT <exprs>` without FROM).
+    Values(Batch),
+    Filter {
+        input: Box<Plan>,
+        predicate: Expr,
+    },
+    /// Inner join. `equi` pairs are (left column, right column) resolved
+    /// against the child schemas; executed as a hash join. `residual` is
+    /// evaluated against the concatenated row. With no equi pairs this
+    /// degrades to a filtered nested-loop (cross) join.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        equi: Vec<(String, String)>,
+        residual: Option<Expr>,
+    },
+    /// Hash aggregation. Output schema = group columns then agg columns,
+    /// with the given names.
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<(AggSpec, String)>,
+        having: Option<Expr>,
+    },
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<(Expr, String)>,
+    },
+    Distinct {
+        input: Box<Plan>,
+    },
+    Sort {
+        input: Box<Plan>,
+        /// (key expression, descending?)
+        keys: Vec<(Expr, bool)>,
+    },
+    Limit {
+        input: Box<Plan>,
+        n: usize,
+    },
+}
+
+impl Plan {
+    /// Render the plan as an indented tree — `EXPLAIN` output, also used in
+    /// planner tests to pin physical choices (e.g. that an index is used).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan {
+                table,
+                access,
+                predicate,
+                ..
+            } => {
+                let acc = match access {
+                    Access::FullScan => "full".to_string(),
+                    Access::IndexEq { index, key } => format!("index {index} = {key}"),
+                    Access::IndexRange { index, .. } => format!("index {index} range"),
+                };
+                out.push_str(&format!("{pad}Scan {table} [{acc}]"));
+                if predicate.is_some() {
+                    out.push_str(" filter");
+                }
+                out.push('\n');
+            }
+            Plan::Values(b) => out.push_str(&format!("{pad}Values ({} rows)\n", b.len())),
+            Plan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Join {
+                left,
+                right,
+                equi,
+                residual,
+            } => {
+                let kind = if equi.is_empty() {
+                    "NestedLoopJoin"
+                } else {
+                    "HashJoin"
+                };
+                out.push_str(&format!("{pad}{kind} on {equi:?}"));
+                if residual.is_some() {
+                    out.push_str(" residual");
+                }
+                out.push('\n');
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate groups={} aggs={}\n",
+                    group_by.len(),
+                    aggs.len()
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project {names:?}\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+}

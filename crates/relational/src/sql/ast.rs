@@ -1,0 +1,108 @@
+//! SQL statement AST.
+
+use crate::expr::Expr;
+use bigdawg_common::DataType;
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        /// `IF NOT EXISTS`
+        if_not_exists: bool,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    Insert {
+        table: String,
+        /// Explicit column list, if given.
+        columns: Option<Vec<String>>,
+        /// One expression row per `VALUES` tuple (literals/arithmetic only —
+        /// they are evaluated against an empty row).
+        rows: Vec<Vec<Expr>>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    Select(SelectStatement),
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+/// One `JOIN ... ON ...` clause (inner joins only — the island exposes the
+/// intersection of engine capabilities, §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+/// An item in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// An expression with an optional `AS` alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<Join>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+impl SelectStatement {
+    /// True if this query aggregates (explicit GROUP BY or any aggregate in
+    /// the select list / HAVING).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.having.is_some()
+            || self.items.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Star => false,
+            })
+    }
+}

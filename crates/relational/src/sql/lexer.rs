@@ -1,0 +1,289 @@
+//! SQL tokenizer.
+
+use bigdawg_common::{parse_err, Result};
+use std::fmt;
+
+/// One lexical token. Keywords are recognized by the parser from `Ident`
+/// (case-insensitively) so user identifiers that merely *contain* keyword
+/// characters lex fine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Symbol(sym) => {
+                let s = match sym {
+                    Symbol::LParen => "(",
+                    Symbol::RParen => ")",
+                    Symbol::Comma => ",",
+                    Symbol::Dot => ".",
+                    Symbol::Star => "*",
+                    Symbol::Plus => "+",
+                    Symbol::Minus => "-",
+                    Symbol::Slash => "/",
+                    Symbol::Percent => "%",
+                    Symbol::Eq => "=",
+                    Symbol::NotEq => "<>",
+                    Symbol::Lt => "<",
+                    Symbol::LtEq => "<=",
+                    Symbol::Gt => ">",
+                    Symbol::GtEq => ">=",
+                    Symbol::Semicolon => ";",
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Symbol(Symbol::Dot));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Symbol::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Symbol(Symbol::Minus));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Symbol::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Symbol(Symbol::Percent));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Symbol(Symbol::Semicolon));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::Symbol(Symbol::NotEq));
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Symbol(Symbol::NotEq));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(Symbol::LtEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(Symbol::GtEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(parse_err!("unterminated string literal")),
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'+') || chars.get(j) == Some(&'-') {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|c| c.is_ascii_digit()) {
+                        is_float = true;
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|e| {
+                        parse_err!("bad float literal `{text}`: {e}")
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|e| {
+                        parse_err!("bad integer literal `{text}`: {e}")
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(parse_err!("unexpected character `{other}`")),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 1.5;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Symbol(Symbol::GtEq)));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert_eq!(*toks.last().unwrap(), Token::Symbol(Symbol::Semicolon));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n+ 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn neq_variants() {
+        assert_eq!(
+            tokenize("a <> b").unwrap()[1],
+            Token::Symbol(Symbol::NotEq)
+        );
+        assert_eq!(
+            tokenize("a != b").unwrap()[1],
+            Token::Symbol(Symbol::NotEq)
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(tokenize("1e3").unwrap(), vec![Token::Float(1000.0)]);
+        assert_eq!(tokenize("2.5e-1").unwrap(), vec![Token::Float(0.25)]);
+        // `e` not followed by digits is an identifier boundary, not a float
+        let toks = tokenize("1 east").unwrap();
+        assert_eq!(toks[0], Token::Int(1));
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(tokenize("SELECT @x").is_err());
+    }
+}

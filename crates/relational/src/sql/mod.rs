@@ -1,0 +1,13 @@
+//! The SQL front-end: lexer, AST, and recursive-descent parser.
+//!
+//! The dialect is the subset the BigDAWG relational island needs (§2.1 of the
+//! paper): DDL (`CREATE TABLE`, `CREATE INDEX`, `DROP TABLE`), DML
+//! (`INSERT`, `UPDATE`, `DELETE`), and `SELECT` with joins, grouping,
+//! `HAVING`, ordering, `DISTINCT`, and `LIMIT`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{OrderKey, SelectItem, SelectStatement, Statement, TableRef};
+pub use parser::parse;

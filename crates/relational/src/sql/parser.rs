@@ -1,0 +1,807 @@
+//! Recursive-descent SQL parser.
+
+use crate::expr::{AggFunc, BinOp, Expr, ScalarFn};
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Symbol, Token};
+use bigdawg_common::{parse_err, BigDawgError, DataType, Result, Value};
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(Symbol::Semicolon);
+    if !p.at_end() {
+        return Err(parse_err!("trailing tokens after statement: `{}`", p.peek_desc()));
+    }
+    Ok(stmt)
+}
+
+/// Parse just an expression (used by island dialects that embed predicates,
+/// e.g. the array island's `filter(...)`).
+pub fn parse_expr(text: &str) -> Result<Expr> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(parse_err!("trailing tokens after expression: `{}`", p.peek_desc()));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        self.peek().map_or("<eof>".into(), |t| t.to_string())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// If the next token is the keyword `kw` (case-insensitive), consume it.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(parse_err!("expected `{kw}`, found `{}`", self.peek_desc()))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if self.peek() == Some(&Token::Symbol(sym)) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(parse_err!(
+                "expected `{}`, found `{}`",
+                Token::Symbol(sym),
+                self.peek_desc()
+            ))
+        }
+    }
+
+    /// Consume an identifier that is not a reserved clause keyword.
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) if !is_reserved(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(parse_err!("expected identifier, found `{}`", self.peek_desc())),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("INDEX") {
+                return self.create_index();
+            }
+            return Err(parse_err!("expected TABLE or INDEX after CREATE"));
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let if_exists = if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case("SELECT") {
+                return Ok(Statement::Select(self.select()?));
+            }
+        }
+        Err(parse_err!("expected a statement, found `{}`", self.peek_desc()))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            let mut nullable = true;
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                nullable = false;
+            } else {
+                self.eat_kw("NULL");
+            }
+            columns.push(ColumnDef {
+                name: col,
+                data_type: ty,
+                nullable,
+            });
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Ok(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" => Ok(DataType::Float),
+            "TEXT" | "VARCHAR" | "STRING" => Ok(DataType::Text),
+            "BOOL" | "BOOLEAN" => Ok(DataType::Bool),
+            "TIMESTAMP" => Ok(DataType::Timestamp),
+            other => Err(parse_err!("unknown type `{other}`")),
+        }
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let column = self.ident()?;
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat_symbol(Symbol::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat_symbol(Symbol::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Symbol::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat_symbol(Symbol::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol(Symbol::Eq)?;
+            assignments.push((col, self.expr()?));
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn select(&mut self) -> Result<SelectStatement> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat_symbol(Symbol::Comma) {
+            items.push(self.select_item()?);
+        }
+        let mut from = None;
+        let mut joins = Vec::new();
+        if self.eat_kw("FROM") {
+            from = Some(self.table_ref()?);
+            loop {
+                let inner = self.eat_kw("INNER");
+                if self.eat_kw("JOIN") {
+                    let table = self.table_ref()?;
+                    self.expect_kw("ON")?;
+                    let on = self.expr()?;
+                    joins.push(Join { table, on });
+                } else if inner {
+                    return Err(parse_err!("expected JOIN after INNER"));
+                } else {
+                    break;
+                }
+            }
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_symbol(Symbol::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(parse_err!(
+                        "LIMIT expects a non-negative integer, found `{:?}`",
+                        other
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            distinct,
+            items,
+            from,
+            joins,
+            predicate,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol(Symbol::Star) {
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            // Implicit alias: `SELECT age yrs` — but not clause keywords.
+            if !is_reserved(s) {
+                Some(self.ident()?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            if !is_reserved(s) {
+                Some(self.ident()?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // ----- expressions (precedence climbing) ------------------------------
+
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] LIKE / IN / BETWEEN
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("LIKE") {
+            let pattern = self.additive()?;
+            let like = Expr::binary(BinOp::Like, left, pattern);
+            return Ok(if negated {
+                Expr::Not(Box::new(like))
+            } else {
+                like
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_symbol(Symbol::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_symbol(Symbol::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(parse_err!("expected LIKE, IN, or BETWEEN after NOT"));
+        }
+        // comparison operators
+        let op = match self.peek() {
+            Some(Token::Symbol(Symbol::Eq)) => Some(BinOp::Eq),
+            Some(Token::Symbol(Symbol::NotEq)) => Some(BinOp::NotEq),
+            Some(Token::Symbol(Symbol::Lt)) => Some(BinOp::Lt),
+            Some(Token::Symbol(Symbol::LtEq)) => Some(BinOp::LtEq),
+            Some(Token::Symbol(Symbol::Gt)) => Some(BinOp::Gt),
+            Some(Token::Symbol(Symbol::GtEq)) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Plus)) => BinOp::Add,
+                Some(Token::Symbol(Symbol::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Symbol::Star)) => BinOp::Mul,
+                Some(Token::Symbol(Symbol::Slash)) => BinOp::Div,
+                Some(Token::Symbol(Symbol::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol(Symbol::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat_symbol(Symbol::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::lit(i))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::lit(f))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::lit(s))
+            }
+            Some(Token::Symbol(Symbol::LParen)) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::lit(true));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::lit(false));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if is_reserved(&name) {
+                    return Err(parse_err!("unexpected keyword `{name}` in expression"));
+                }
+                self.pos += 1;
+                // function call?
+                if self.eat_symbol(Symbol::LParen) {
+                    return self.call(&name);
+                }
+                // qualified column `t.col`?
+                if self.eat_symbol(Symbol::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column(format!("{name}.{col}")));
+                }
+                Ok(Expr::Column(name))
+            }
+            other => Err(parse_err!("unexpected token in expression: `{other:?}`")),
+        }
+    }
+
+    /// Parse the argument list of `name(`. Aggregates and scalar functions
+    /// share this path; `COUNT(*)` and `DISTINCT` are aggregate-only.
+    fn call(&mut self, name: &str) -> Result<Expr> {
+        if let Some(agg) = AggFunc::by_name(name) {
+            if self.eat_symbol(Symbol::Star) {
+                self.expect_symbol(Symbol::RParen)?;
+                if agg != AggFunc::Count {
+                    return Err(parse_err!("`*` argument only valid for COUNT"));
+                }
+                return Ok(Expr::Aggregate {
+                    func: agg,
+                    arg: None,
+                    distinct: false,
+                });
+            }
+            let distinct = self.eat_kw("DISTINCT");
+            let arg = self.expr()?;
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(Expr::Aggregate {
+                func: agg,
+                arg: Some(Box::new(arg)),
+                distinct,
+            });
+        }
+        let func = ScalarFn::by_name(name)
+            .ok_or_else(|| BigDawgError::Parse(format!("unknown function `{name}`")))?;
+        let mut args = Vec::new();
+        if !self.eat_symbol(Symbol::RParen) {
+            args.push(self.expr()?);
+            while self.eat_symbol(Symbol::Comma) {
+                args.push(self.expr()?);
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+        Ok(Expr::Call { func, args })
+    }
+}
+
+/// Clause keywords that terminate identifier positions. Keeping this list
+/// tight lets column names like `count` or `value` still parse as idents
+/// where unambiguous.
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
+        "ON", "AND", "OR", "NOT", "AS", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "CREATE", "TABLE", "INDEX", "DROP", "DISTINCT", "LIKE", "IN", "BETWEEN", "IS", "NULL",
+        "ASC", "DESC", "UNION",
+    ];
+    RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let stmt = parse(
+            "CREATE TABLE patients (id INT NOT NULL, name TEXT, age INT, weight FLOAT)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable { name, columns, .. } => {
+                assert_eq!(name, "patients");
+                assert_eq!(columns.len(), 4);
+                assert!(!columns[0].nullable);
+                assert!(columns[1].nullable);
+                assert_eq!(columns[3].data_type, DataType::Float);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_multirow() {
+        let stmt =
+            parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match stmt {
+            Statement::Insert { columns, rows, .. } => {
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_full_clause_set() {
+        let stmt = parse(
+            "SELECT race, COUNT(*) AS n, AVG(stay_days) FROM admissions \
+             WHERE age > 60 AND race <> 'unknown' \
+             GROUP BY race HAVING COUNT(*) > 5 \
+             ORDER BY n DESC LIMIT 10",
+        )
+        .unwrap();
+        let sel = match stmt {
+            Statement::Select(s) => s,
+            other => panic!("wrong statement: {other:?}"),
+        };
+        assert_eq!(sel.items.len(), 3);
+        assert!(sel.is_aggregate());
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 1);
+        assert!(sel.order_by[0].desc);
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn parse_join_with_aliases() {
+        let stmt = parse(
+            "SELECT p.name, r.drug FROM patients p JOIN prescriptions r ON p.id = r.patient_id",
+        )
+        .unwrap();
+        let sel = match stmt {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert_eq!(sel.from.as_ref().unwrap().alias.as_deref(), Some("p"));
+        assert_eq!(sel.joins.len(), 1);
+        assert_eq!(sel.joins[0].table.alias.as_deref(), Some("r"));
+    }
+
+    #[test]
+    fn parse_count_star_and_distinct() {
+        let stmt = parse("SELECT COUNT(*), COUNT(DISTINCT drug) FROM rx").unwrap();
+        let sel = match stmt {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        match &sel.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Aggregate { func, arg, .. },
+                ..
+            } => {
+                assert_eq!(*func, AggFunc::Count);
+                assert!(arg.is_none());
+            }
+            other => panic!("wrong item {other:?}"),
+        }
+        match &sel.items[1] {
+            SelectItem::Expr {
+                expr: Expr::Aggregate { distinct, .. },
+                ..
+            } => assert!(distinct),
+            other => panic!("wrong item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_predicates() {
+        let e = parse_expr("age NOT BETWEEN 10 AND 20 OR name LIKE 'al%'").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let e = parse_expr("x IS NOT NULL").unwrap();
+        assert_eq!(
+            e,
+            Expr::IsNull {
+                expr: Box::new(Expr::col("x")),
+                negated: true
+            }
+        );
+    }
+
+    #[test]
+    fn precedence_mul_before_add_before_cmp() {
+        let e = parse_expr("1 + 2 * 3 = 7").unwrap();
+        let schema = bigdawg_common::Schema::default();
+        assert_eq!(e.eval(&schema, &vec![]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        match stmt {
+            Statement::Update { assignments, .. } => assert_eq!(assignments.len(), 2),
+            _ => unreachable!(),
+        }
+        let stmt = parse("DELETE FROM t WHERE a < 0").unwrap();
+        match stmt {
+            Statement::Delete { predicate, .. } => assert!(predicate.is_some()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn star_only_for_count() {
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT 1 FROM t garbage garbage").is_err());
+        // (a single implicit alias is legal, two extra idents are not)
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(parse("SELECT FROBNICATE(x) FROM t").is_err());
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let e = parse_expr("p.id = r.patient_id").unwrap();
+        match e {
+            Expr::Binary { left, right, .. } => {
+                assert_eq!(*left, Expr::Column("p.id".into()));
+                assert_eq!(*right, Expr::Column("r.patient_id".into()));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Heap table storage with tombstoned slots and stable row ids.
+
+use bigdawg_common::{BigDawgError, Result, Row, Schema, Value};
+
+/// Stable identifier of a row slot within one table.
+pub type RowId = usize;
+
+/// A heap table: rows live in slots, deletion leaves a tombstone so row ids
+/// stay stable for the secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    slots: Vec<Option<Row>>,
+    live: usize,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Validate a row against the schema: arity, NOT NULL, and type (with
+    /// numeric coercion — `Int` literals are accepted into `Float` columns).
+    fn check_row(&self, row: &mut Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "table `{}` expects {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (i, v) in row.iter_mut().enumerate() {
+            let field = self.schema.field(i);
+            if v.is_null() {
+                if !field.nullable {
+                    return Err(BigDawgError::SchemaMismatch(format!(
+                        "column `{}` of `{}` is NOT NULL",
+                        field.name, self.name
+                    )));
+                }
+                continue;
+            }
+            if v.data_type() != field.data_type {
+                *v = v.cast_to(field.data_type).map_err(|_| {
+                    BigDawgError::TypeError(format!(
+                        "column `{}` of `{}` expects {}, got {}",
+                        field.name,
+                        self.name,
+                        field.data_type,
+                        v.data_type()
+                    ))
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row, returning its id.
+    pub fn insert(&mut self, mut row: Row) -> Result<RowId> {
+        self.check_row(&mut row)?;
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id).and_then(|s| s.as_ref())
+    }
+
+    /// Delete a row; returns the old row if it was live.
+    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+        let slot = self.slots.get_mut(id)?;
+        let old = slot.take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Replace a live row in place; returns the old row.
+    pub fn update(&mut self, id: RowId, mut row: Row) -> Result<Row> {
+        self.check_row(&mut row)?;
+        match self.slots.get_mut(id) {
+            Some(slot @ Some(_)) => Ok(slot.replace(row).expect("checked live")),
+            _ => Err(BigDawgError::NotFound(format!(
+                "row {id} in table `{}`",
+                self.name
+            ))),
+        }
+    }
+
+    /// Iterate live rows with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
+    }
+
+    /// Clone all live rows (scan).
+    pub fn scan(&self) -> Vec<Row> {
+        self.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Value of `col` in row `id`, if live.
+    pub fn value_at(&self, id: RowId, col: usize) -> Option<&Value> {
+        self.get(id).map(|r| &r[col])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::{DataType, Field};
+
+    fn table() -> Table {
+        Table::new(
+            "patients",
+            Schema::new(vec![
+                Field::required("id", DataType::Int),
+                Field::new("age", DataType::Int),
+                Field::new("weight", DataType::Float),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::Int(1), Value::Int(70), Value::Float(62.0)])
+            .unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::Int(70));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Null, Value::Int(70), Value::Null])
+            .unwrap_err();
+        assert_eq!(err.kind(), "schema_mismatch");
+    }
+
+    #[test]
+    fn numeric_coercion_into_float_column() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::Int(1), Value::Int(70), Value::Int(62)])
+            .unwrap();
+        assert_eq!(t.get(id).unwrap()[2], Value::Float(62.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(vec![
+                Value::Int(1),
+                Value::Text("old".into()),
+                Value::Null,
+            ])
+            .unwrap_err();
+        assert_eq!(err.kind(), "type_error");
+    }
+
+    #[test]
+    fn delete_leaves_stable_ids() {
+        let mut t = table();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Int(70), Value::Null])
+            .unwrap();
+        let b = t
+            .insert(vec![Value::Int(2), Value::Int(60), Value::Null])
+            .unwrap();
+        assert!(t.delete(a).is_some());
+        assert!(t.delete(a).is_none(), "double delete is a no-op");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b).unwrap()[0], Value::Int(2));
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn update_replaces_live_row_only() {
+        let mut t = table();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Int(70), Value::Null])
+            .unwrap();
+        let old = t
+            .update(a, vec![Value::Int(1), Value::Int(71), Value::Null])
+            .unwrap();
+        assert_eq!(old[1], Value::Int(70));
+        assert_eq!(t.get(a).unwrap()[1], Value::Int(71));
+        t.delete(a);
+        assert!(t
+            .update(a, vec![Value::Int(1), Value::Int(72), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+}

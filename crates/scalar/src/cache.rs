@@ -1,0 +1,96 @@
+//! A small LRU cache for tiles.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// LRU via a monotone clock: O(1) lookup, O(capacity) eviction scan —
+/// plenty for tile-cache sizes (tens to hundreds of entries).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+
+    /// Get, refreshing recency.
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(k).map(|(stamp, v)| {
+            *stamp = clock;
+            &*v
+        })
+    }
+
+    /// Insert, evicting the least-recently used entry when full.
+    pub fn put(&mut self, k: K, v: V) {
+        self.clock += 1;
+        if !self.map.contains_key(&k) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(k, (self.clock, v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a
+        c.put("c", 3); // evicts b
+        assert!(c.contains(&"a"));
+        assert!(!c.contains(&"b"));
+        assert!(c.contains(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let mut c = LruCache::new(0);
+        c.put("a", 1);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! ScalaR — the demo's Browsing interface (paper §1.1, §1.2).
+//!
+//! "This is a pan/zoom interface whereby a user may browse through the
+//! entire MIMIC II dataset, drilling down on demand … it will efficiently
+//! display a top-level view (an icon for each group of the 26,000 patients)
+//! and flexibly enable users to probe the data at different levels of
+//! granularity. To provide interactive response times, this component,
+//! ScalaR, **prefetches data in anticipation of user movements**."
+//!
+//! * [`pyramid::TileServer`] — an aggregation pyramid over a 2-d point set
+//!   (e.g. patient age × stay length): level `l` splits the domain into
+//!   `2^l × 2^l` tiles, each a small count grid ("detail on demand" — the
+//!   server computes a tile from base data only when asked);
+//! * an LRU tile cache ([`cache`]);
+//! * [`prefetch::Prefetcher`] — predicts the user's next tiles from their
+//!   recent movement (pan momentum + zoom-in children) and warms the cache.
+
+pub mod cache;
+pub mod prefetch;
+pub mod pyramid;
+
+pub use cache::LruCache;
+pub use prefetch::Prefetcher;
+pub use pyramid::{FetchKind, SessionStats, Tile, TileId, TileServer};

@@ -1,0 +1,131 @@
+//! Movement-predicting prefetch.
+//!
+//! ScalaR's interactivity comes from anticipating the user: after each
+//! fetch the prefetcher predicts where the user will look next and warms
+//! those tiles. Two signals:
+//!
+//! * **pan momentum** — if the user moved (+1, 0) between the last two
+//!   fetches at the same level, they will probably continue; prefetch the
+//!   next tiles along that direction (and its diagonal neighbors);
+//! * **zoom-in children** — browsing is drill-down-heavy ("detail on
+//!   demand"), so the current tile's four children are always candidates.
+
+use crate::pyramid::TileId;
+
+/// The prediction engine. Stateless apart from the last observed tile.
+#[derive(Debug, Clone)]
+pub struct Prefetcher {
+    /// Max tiles to prefetch per user fetch.
+    pub budget: usize,
+    /// Predict children of the current tile (zoom-in anticipation).
+    pub zoom_children: bool,
+    last: Option<TileId>,
+}
+
+impl Prefetcher {
+    pub fn new(budget: usize) -> Self {
+        Prefetcher {
+            budget,
+            zoom_children: true,
+            last: None,
+        }
+    }
+
+    /// Record a user fetch and return the predicted next tiles, best first,
+    /// truncated to the budget.
+    pub fn observe_and_predict(&mut self, id: TileId, max_level: u32) -> Vec<TileId> {
+        let mut out: Vec<TileId> = Vec::new();
+        let tiles = TileId::tiles_per_axis(id.level) as i64;
+
+        if let Some(prev) = self.last {
+            if prev.level == id.level {
+                let dx = id.tx as i64 - prev.tx as i64;
+                let dy = id.ty as i64 - prev.ty as i64;
+                if (dx != 0 || dy != 0) && dx.abs() <= 1 && dy.abs() <= 1 {
+                    // continue the pan: next two tiles along the motion
+                    for step in 1..=2i64 {
+                        let nx = id.tx as i64 + dx * step;
+                        let ny = id.ty as i64 + dy * step;
+                        if (0..tiles).contains(&nx) && (0..tiles).contains(&ny) {
+                            out.push(TileId {
+                                level: id.level,
+                                tx: nx as u32,
+                                ty: ny as u32,
+                            });
+                        }
+                    }
+                    // lateral neighbors of the next tile (imprecise pans)
+                    let (px, py) = (id.tx as i64 + dx, id.ty as i64 + dy);
+                    for (ox, oy) in [(dy, dx), (-dy, -dx)] {
+                        let (nx, ny) = (px + ox, py + oy);
+                        if (0..tiles).contains(&nx) && (0..tiles).contains(&ny) {
+                            out.push(TileId {
+                                level: id.level,
+                                tx: nx as u32,
+                                ty: ny as u32,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if self.zoom_children && id.level < max_level {
+            out.extend(id.children());
+        }
+        out.dedup();
+        out.truncate(self.budget);
+        self.last = Some(id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fetch_predicts_children_only() {
+        let mut p = Prefetcher::new(8);
+        let preds = p.observe_and_predict(TileId { level: 1, tx: 0, ty: 0 }, 4);
+        assert_eq!(preds.len(), 4);
+        assert!(preds.iter().all(|t| t.level == 2));
+    }
+
+    #[test]
+    fn pan_momentum_predicts_ahead() {
+        let mut p = Prefetcher::new(3);
+        p.observe_and_predict(TileId { level: 3, tx: 2, ty: 4 }, 5);
+        let preds = p.observe_and_predict(TileId { level: 3, tx: 3, ty: 4 }, 5);
+        // moving +x: first predictions continue along +x
+        assert_eq!(preds[0], TileId { level: 3, tx: 4, ty: 4 });
+        assert_eq!(preds[1], TileId { level: 3, tx: 5, ty: 4 });
+        assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn predictions_respect_grid_bounds() {
+        let mut p = Prefetcher::new(8);
+        p.observe_and_predict(TileId { level: 1, tx: 0, ty: 0 }, 1);
+        let preds = p.observe_and_predict(TileId { level: 1, tx: 1, ty: 0 }, 1);
+        // level 1 grid is 2×2 and max_level 1: no out-of-grid or deeper tiles
+        assert!(preds
+            .iter()
+            .all(|t| t.level == 1 && t.tx < 2 && t.ty < 2));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut p = Prefetcher::new(2);
+        let preds = p.observe_and_predict(TileId { level: 0, tx: 0, ty: 0 }, 5);
+        assert!(preds.len() <= 2);
+    }
+
+    #[test]
+    fn zoom_jump_resets_momentum() {
+        let mut p = Prefetcher::new(8);
+        p.observe_and_predict(TileId { level: 2, tx: 1, ty: 1 }, 5);
+        // jump to a different level: no pan prediction, only children
+        let preds = p.observe_and_predict(TileId { level: 3, tx: 2, ty: 2 }, 5);
+        assert!(preds.iter().all(|t| t.level == 4));
+    }
+}

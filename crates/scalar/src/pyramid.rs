@@ -1,0 +1,306 @@
+//! The aggregation pyramid and tile server.
+
+use crate::cache::LruCache;
+use crate::prefetch::Prefetcher;
+use bigdawg_common::{BigDawgError, Result};
+
+/// Identifies one tile: zoom level plus tile coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileId {
+    pub level: u32,
+    pub tx: u32,
+    pub ty: u32,
+}
+
+impl TileId {
+    /// Number of tiles along each axis at this level.
+    pub fn tiles_per_axis(level: u32) -> u32 {
+        1 << level
+    }
+
+    /// The four children of this tile one level deeper.
+    pub fn children(&self) -> [TileId; 4] {
+        let (l, x, y) = (self.level + 1, self.tx * 2, self.ty * 2);
+        [
+            TileId { level: l, tx: x, ty: y },
+            TileId { level: l, tx: x + 1, ty: y },
+            TileId { level: l, tx: x, ty: y + 1 },
+            TileId { level: l, tx: x + 1, ty: y + 1 },
+        ]
+    }
+}
+
+/// A rendered tile: a `bins × bins` count grid over the tile's region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    pub id: TileId,
+    pub bins: usize,
+    /// Row-major counts.
+    pub counts: Vec<u64>,
+    /// Total points inside the tile.
+    pub total: u64,
+}
+
+impl Tile {
+    /// ASCII rendering for terminal demos (density ramp ` .:-=+*#%@`).
+    pub fn render(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for row in self.counts.chunks(self.bins) {
+            for &c in row {
+                let idx = ((c as f64 / max as f64) * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Whether a fetch was served from cache or computed from base data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    Hit,
+    Miss,
+}
+
+/// Session metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    pub user_fetches: u64,
+    pub hits: u64,
+    pub misses: u64,
+    /// Base-data points scanned on behalf of user-visible fetches.
+    pub user_points_scanned: u64,
+    /// Base-data points scanned by background prefetching.
+    pub prefetch_points_scanned: u64,
+    pub tiles_prefetched: u64,
+}
+
+impl SessionStats {
+    pub fn hit_rate(&self) -> f64 {
+        if self.user_fetches == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.user_fetches as f64
+    }
+}
+
+/// The detail-on-demand tile server over a 2-d point set.
+pub struct TileServer {
+    points: Vec<(f64, f64)>,
+    domain: (f64, f64, f64, f64), // (min_x, min_y, max_x, max_y)
+    bins: usize,
+    max_level: u32,
+    cache: LruCache<TileId, Tile>,
+    prefetcher: Option<Prefetcher>,
+    stats: SessionStats,
+}
+
+impl TileServer {
+    /// Build a server over `points`. `max_level` bounds zoom depth;
+    /// `cache_capacity` is in tiles.
+    pub fn new(
+        points: Vec<(f64, f64)>,
+        bins: usize,
+        max_level: u32,
+        cache_capacity: usize,
+    ) -> Result<Self> {
+        if points.is_empty() {
+            return Err(BigDawgError::Execution("no points to browse".into()));
+        }
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &points {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        // widen degenerate axes so binning never divides by zero
+        if max_x == min_x {
+            max_x = min_x + 1.0;
+        }
+        if max_y == min_y {
+            max_y = min_y + 1.0;
+        }
+        Ok(TileServer {
+            points,
+            domain: (min_x, min_y, max_x, max_y),
+            bins: bins.clamp(2, 256),
+            max_level,
+            cache: LruCache::new(cache_capacity),
+            prefetcher: None,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Attach a prefetcher.
+    pub fn with_prefetcher(mut self, p: Prefetcher) -> Self {
+        self.prefetcher = Some(p);
+        self
+    }
+
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    fn check_id(&self, id: TileId) -> Result<()> {
+        if id.level > self.max_level {
+            return Err(BigDawgError::Execution(format!(
+                "level {} beyond max {}",
+                id.level, self.max_level
+            )));
+        }
+        let n = TileId::tiles_per_axis(id.level);
+        if id.tx >= n || id.ty >= n {
+            return Err(BigDawgError::Execution(format!(
+                "tile ({}, {}) outside level {} grid of {n}×{n}",
+                id.tx, id.ty, id.level
+            )));
+        }
+        Ok(())
+    }
+
+    /// Compute a tile from base data (the expensive path). Returns the tile
+    /// and the number of points scanned.
+    fn compute(&self, id: TileId) -> (Tile, u64) {
+        let n = TileId::tiles_per_axis(id.level) as f64;
+        let (min_x, min_y, max_x, max_y) = self.domain;
+        let w = (max_x - min_x) / n;
+        let h = (max_y - min_y) / n;
+        let x0 = min_x + id.tx as f64 * w;
+        let y0 = min_y + id.ty as f64 * h;
+        let mut counts = vec![0u64; self.bins * self.bins];
+        let mut total = 0u64;
+        for &(x, y) in &self.points {
+            if x < x0 || x >= x0 + w || y < y0 || y >= y0 + h {
+                // points exactly on the global max edge belong to the last tile
+                let on_x_edge = x == max_x && id.tx as f64 == n - 1.0 && y >= y0 && y < y0 + h;
+                let on_y_edge = y == max_y && id.ty as f64 == n - 1.0 && x >= x0 && x < x0 + w;
+                if !(on_x_edge || on_y_edge) {
+                    continue;
+                }
+            }
+            let bx = (((x - x0) / w) * self.bins as f64) as usize;
+            let by = (((y - y0) / h) * self.bins as f64) as usize;
+            counts[by.min(self.bins - 1) * self.bins + bx.min(self.bins - 1)] += 1;
+            total += 1;
+        }
+        (
+            Tile {
+                id,
+                bins: self.bins,
+                counts,
+                total,
+            },
+            self.points.len() as u64,
+        )
+    }
+
+    /// A user-visible fetch: serve from cache or compute, then let the
+    /// prefetcher warm the cache for predicted next moves.
+    pub fn fetch(&mut self, id: TileId) -> Result<(Tile, FetchKind)> {
+        self.check_id(id)?;
+        self.stats.user_fetches += 1;
+        let kind = if let Some(t) = self.cache.get(&id) {
+            self.stats.hits += 1;
+            let tile = t.clone();
+            (tile, FetchKind::Hit)
+        } else {
+            self.stats.misses += 1;
+            let (tile, scanned) = self.compute(id);
+            self.stats.user_points_scanned += scanned;
+            self.cache.put(id, tile.clone());
+            (tile, FetchKind::Miss)
+        };
+
+        // Background prefetch of predicted tiles.
+        if let Some(p) = self.prefetcher.as_mut() {
+            let predictions = p.observe_and_predict(id, self.max_level);
+            for pid in predictions {
+                if self.check_id(pid).is_err() || self.cache.contains(&pid) {
+                    continue;
+                }
+                let (tile, scanned) = self.compute(pid);
+                self.stats.prefetch_points_scanned += scanned;
+                self.stats.tiles_prefetched += 1;
+                self.cache.put(pid, tile);
+            }
+        }
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_points(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| (((i * 37) % 100) as f64, ((i * 61) % 100) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn level0_tile_counts_everything() {
+        let mut s = TileServer::new(uniform_points(1000), 8, 4, 16).unwrap();
+        let (tile, kind) = s.fetch(TileId { level: 0, tx: 0, ty: 0 }).unwrap();
+        assert_eq!(kind, FetchKind::Miss);
+        assert_eq!(tile.total, 1000);
+        assert_eq!(tile.counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let mut s = TileServer::new(uniform_points(2000), 8, 4, 64).unwrap();
+        let root = TileId { level: 0, tx: 0, ty: 0 };
+        let (parent, _) = s.fetch(root).unwrap();
+        let child_total: u64 = root
+            .children()
+            .iter()
+            .map(|&c| s.fetch(c).unwrap().0.total)
+            .sum();
+        assert_eq!(parent.total, child_total);
+    }
+
+    #[test]
+    fn cache_hit_on_refetch() {
+        let mut s = TileServer::new(uniform_points(500), 8, 3, 8).unwrap();
+        let id = TileId { level: 1, tx: 1, ty: 0 };
+        assert_eq!(s.fetch(id).unwrap().1, FetchKind::Miss);
+        assert_eq!(s.fetch(id).unwrap().1, FetchKind::Hit);
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert_eq!(st.user_points_scanned, 500);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut s = TileServer::new(uniform_points(10), 8, 2, 8).unwrap();
+        assert!(s.fetch(TileId { level: 3, tx: 0, ty: 0 }).is_err());
+        assert!(s.fetch(TileId { level: 1, tx: 2, ty: 0 }).is_err());
+        assert!(TileServer::new(vec![], 8, 2, 8).is_err());
+    }
+
+    #[test]
+    fn render_produces_grid() {
+        let mut s = TileServer::new(uniform_points(300), 4, 2, 8).unwrap();
+        let (tile, _) = s.fetch(TileId { level: 0, tx: 0, ty: 0 }).unwrap();
+        let art = tile.render();
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.lines().all(|l| l.chars().count() == 4));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let mut s = TileServer::new(vec![(5.0, 5.0)], 4, 2, 8).unwrap();
+        let (tile, _) = s.fetch(TileId { level: 0, tx: 0, ty: 0 }).unwrap();
+        assert_eq!(tile.total, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Searchlight — BigDAWG's second data-exploration system (paper §2.2).
+//!
+//! "Searchlight enables data- and search-intensive applications by uniquely
+//! integrating the ability of DBMSs to store and query data at scale paired
+//! with the rich expressiveness and efficiency of modern CP solvers. …
+//! Searchlight first speculatively searches for solutions in main-memory
+//! over **synopsis** structures and then validates the candidate results
+//! efficiently on the actual data."
+//!
+//! The exploration task reproduced here is Searchlight's canonical one:
+//! find all fixed-length windows of a (waveform) array whose aggregates
+//! satisfy constraints — e.g. *mean in [a, b] and max below c*.
+//!
+//! * [`synopsis::Synopsis`] — per-block (sum, min, max) grid over the
+//!   signal; any window's aggregates can be *bounded* from the blocks it
+//!   overlaps without touching the raw data;
+//! * [`solver`] — the CP search: interval propagation over the window-start
+//!   variable prunes whole block ranges whose bounds prove infeasible
+//!   (speculation), then survivors are validated exactly on the data;
+//!   [`solver::search_direct`] is the full-scan baseline.
+
+pub mod solver;
+pub mod synopsis;
+
+pub use solver::{search_direct, search_with_synopsis, SearchReport, WindowQuery};
+pub use synopsis::Synopsis;

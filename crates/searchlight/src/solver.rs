@@ -1,0 +1,343 @@
+//! The CP search: speculate on the synopsis, validate on the data.
+
+use crate::synopsis::Synopsis;
+use bigdawg_common::{BigDawgError, Result};
+
+/// The constraint model: find every window start `s` such that the window
+/// `[s, s+len)` satisfies all enabled constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowQuery {
+    pub len: usize,
+    /// Window mean must fall inside (inclusive).
+    pub mean_range: Option<(f64, f64)>,
+    /// Window max must be < this.
+    pub max_below: Option<f64>,
+    /// Window min must be > this.
+    pub min_above: Option<f64>,
+    /// Window max must be > this (spike detection — the synopsis prunes
+    /// this constraint hardest: flat blocks prove no spike exists).
+    pub max_above: Option<f64>,
+}
+
+impl WindowQuery {
+    pub fn mean_in(len: usize, lo: f64, hi: f64) -> Self {
+        WindowQuery {
+            len,
+            mean_range: Some((lo, hi)),
+            max_below: None,
+            min_above: None,
+            max_above: None,
+        }
+    }
+
+    /// Find windows containing a value above `c`.
+    pub fn spike(len: usize, c: f64) -> Self {
+        WindowQuery {
+            len,
+            mean_range: None,
+            max_below: None,
+            min_above: None,
+            max_above: Some(c),
+        }
+    }
+
+    pub fn with_max_below(mut self, c: f64) -> Self {
+        self.max_below = Some(c);
+        self
+    }
+
+    pub fn with_min_above(mut self, c: f64) -> Self {
+        self.min_above = Some(c);
+        self
+    }
+
+    pub fn with_max_above(mut self, c: f64) -> Self {
+        self.max_above = Some(c);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.len == 0 {
+            return Err(BigDawgError::Infeasible("window length 0".into()));
+        }
+        if let Some((lo, hi)) = self.mean_range {
+            if lo > hi {
+                return Err(BigDawgError::Infeasible(format!(
+                    "empty mean range [{lo}, {hi}]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact check of one window.
+    fn holds(&self, window: &[f64]) -> bool {
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in window {
+            sum += x;
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let mean = sum / window.len() as f64;
+        if let Some((lo, hi)) = self.mean_range {
+            if mean < lo || mean > hi {
+                return false;
+            }
+        }
+        if let Some(c) = self.max_below {
+            if max >= c {
+                return false;
+            }
+        }
+        if let Some(c) = self.min_above {
+            if min <= c {
+                return false;
+            }
+        }
+        if let Some(c) = self.max_above {
+            if max <= c {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Can any window within bounds satisfy the constraints? (Sound, may
+    /// overestimate.)
+    fn feasible(&self, b: &crate::synopsis::WindowBounds) -> bool {
+        if let Some((lo, hi)) = self.mean_range {
+            if b.mean_upper < lo || b.mean_lower > hi {
+                return false;
+            }
+        }
+        if let Some(c) = self.max_below {
+            // the window's max could still be < c only if its lower
+            // bound... we know window max ≤ max_upper; max could be small.
+            // Infeasible only when even the *smallest possible* max ≥ c —
+            // the smallest possible max is ≥ min_lower, too weak to prune.
+            // But when min_lower ≥ c the window surely has a value ≥ c:
+            if b.min_lower >= c {
+                return false;
+            }
+        }
+        if let Some(c) = self.min_above {
+            if b.max_upper <= c {
+                return false;
+            }
+        }
+        if let Some(c) = self.max_above {
+            // no value in the window can exceed c when the bound says so
+            if b.max_upper <= c {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Search outcome with work accounting.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Matching window start positions, ascending.
+    pub matches: Vec<usize>,
+    /// Candidate windows that reached exact validation.
+    pub validated: usize,
+    /// Raw samples touched (exact work metric).
+    pub samples_touched: u64,
+}
+
+/// Baseline: exact evaluation of every window position via a sliding
+/// aggregate scan.
+pub fn search_direct(data: &[f64], query: &WindowQuery) -> Result<SearchReport> {
+    query.validate()?;
+    if data.len() < query.len {
+        return Ok(SearchReport {
+            matches: Vec::new(),
+            validated: 0,
+            samples_touched: data.len() as u64,
+        });
+    }
+    let mut matches = Vec::new();
+    let mut touched = 0u64;
+    for start in 0..=(data.len() - query.len) {
+        let w = &data[start..start + query.len];
+        touched += query.len as u64;
+        if query.holds(w) {
+            matches.push(start);
+        }
+    }
+    Ok(SearchReport {
+        matches,
+        validated: data.len() - query.len + 1,
+        samples_touched: touched,
+    })
+}
+
+/// Searchlight's two-phase strategy:
+///
+/// 1. **Speculate** — divide the start-variable domain into block-aligned
+///    intervals; for each interval, bound the aggregates of *every* window
+///    starting there using the synopsis (constraint propagation on the
+///    interval). Intervals proven infeasible are pruned without touching
+///    the data; feasible intervals are split until block granularity.
+/// 2. **Validate** — exactly check each surviving candidate start on the
+///    real data.
+pub fn search_with_synopsis(
+    data: &[f64],
+    synopsis: &Synopsis,
+    query: &WindowQuery,
+) -> Result<SearchReport> {
+    query.validate()?;
+    if synopsis.len() != data.len() {
+        return Err(BigDawgError::Execution(format!(
+            "synopsis covers {} samples, data has {}",
+            synopsis.len(),
+            data.len()
+        )));
+    }
+    if data.len() < query.len {
+        return Ok(SearchReport {
+            matches: Vec::new(),
+            validated: 0,
+            samples_touched: 0,
+        });
+    }
+    let max_start = data.len() - query.len;
+    let block = synopsis.block_len();
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut touched = 0u64;
+
+    // Phase 1: speculate over block-aligned start intervals. For the
+    // interval of starts [s0, s1], every covered window lies inside
+    // [s0, s1 + len), so the span's min/max bounds apply to all of them.
+    // The span's *mean* bounds do NOT bound a sub-window's mean (a short
+    // window can sit entirely on a spike the span average dilutes), so the
+    // interval check relaxes the mean bounds to [span min, span max];
+    // the per-start refinement below then uses exact window bounds.
+    let mut interval_start = 0usize;
+    while interval_start <= max_start {
+        let interval_end = (interval_start + block - 1).min(max_start);
+        let span = interval_end - interval_start + query.len;
+        let span_bounds = synopsis.window_bounds(interval_start, span);
+        let bounds = crate::synopsis::WindowBounds {
+            mean_lower: span_bounds.min_lower,
+            mean_upper: span_bounds.max_upper,
+            ..span_bounds
+        };
+        if query.feasible(&bounds) {
+            // Split to individual starts, re-propagating per start with the
+            // tighter per-window span before validation.
+            for s in interval_start..=interval_end {
+                let wb = synopsis.window_bounds(s, query.len);
+                if query.feasible(&wb) {
+                    candidates.push(s);
+                }
+            }
+        }
+        interval_start = interval_end + 1;
+    }
+
+    // Phase 2: validate candidates on the actual data.
+    let mut matches = Vec::new();
+    for &s in &candidates {
+        touched += query.len as u64;
+        if query.holds(&data[s..s + query.len]) {
+            matches.push(s);
+        }
+    }
+    Ok(SearchReport {
+        matches,
+        validated: candidates.len(),
+        samples_touched: touched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mostly-flat signal with two raised plateaus.
+    fn signal() -> Vec<f64> {
+        let mut d = vec![1.0; 2000];
+        for x in d.iter_mut().take(320).skip(300) {
+            *x = 10.0;
+        }
+        for x in d.iter_mut().take(1520).skip(1500) {
+            *x = 10.0;
+        }
+        d
+    }
+
+    #[test]
+    fn direct_and_synopsis_agree() {
+        let d = signal();
+        let syn = Synopsis::build(&d, 32).unwrap();
+        let q = WindowQuery::mean_in(20, 5.0, 10.0);
+        let a = search_direct(&d, &q).unwrap();
+        let b = search_with_synopsis(&d, &syn, &q).unwrap();
+        assert_eq!(a.matches, b.matches);
+        assert!(!a.matches.is_empty(), "plateaus must match");
+    }
+
+    #[test]
+    fn synopsis_touches_far_fewer_samples() {
+        let d = signal();
+        let syn = Synopsis::build(&d, 32).unwrap();
+        let q = WindowQuery::mean_in(20, 5.0, 10.0);
+        let a = search_direct(&d, &q).unwrap();
+        let b = search_with_synopsis(&d, &syn, &q).unwrap();
+        assert!(
+            b.samples_touched * 5 < a.samples_touched,
+            "synopsis {} vs direct {}",
+            b.samples_touched,
+            a.samples_touched
+        );
+        assert!(b.validated < a.validated / 5);
+    }
+
+    #[test]
+    fn max_and_min_constraints() {
+        let d = signal();
+        let syn = Synopsis::build(&d, 32).unwrap();
+        // flat windows only: max < 2
+        let q = WindowQuery::mean_in(20, 0.0, 2.0).with_max_below(2.0);
+        let a = search_direct(&d, &q).unwrap();
+        let b = search_with_synopsis(&d, &syn, &q).unwrap();
+        assert_eq!(a.matches, b.matches);
+        // every matched window avoids the plateaus entirely
+        for &s in &b.matches {
+            assert!(d[s..s + 20].iter().all(|&x| x < 2.0));
+        }
+        // min > 0.5 keeps everything (signal ≥ 1)
+        let q = WindowQuery::mean_in(20, 0.0, 100.0).with_min_above(0.5);
+        let b = search_with_synopsis(&d, &syn, &q).unwrap();
+        assert_eq!(b.matches.len(), d.len() - 20 + 1);
+    }
+
+    #[test]
+    fn no_matches_when_infeasible_everywhere() {
+        let d = signal();
+        let syn = Synopsis::build(&d, 32).unwrap();
+        let q = WindowQuery::mean_in(20, 100.0, 200.0);
+        let b = search_with_synopsis(&d, &syn, &q).unwrap();
+        assert!(b.matches.is_empty());
+        assert_eq!(b.samples_touched, 0, "pruned without touching data");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let d = signal();
+        let syn = Synopsis::build(&d, 32).unwrap();
+        assert!(search_direct(&d, &WindowQuery::mean_in(0, 0.0, 1.0)).is_err());
+        assert!(search_with_synopsis(&d, &syn, &WindowQuery::mean_in(5, 3.0, 1.0)).is_err());
+        // window longer than data
+        let q = WindowQuery::mean_in(5000, 0.0, 10.0);
+        assert!(search_direct(&d, &q).unwrap().matches.is_empty());
+        assert!(search_with_synopsis(&d, &syn, &q).unwrap().matches.is_empty());
+        // mismatched synopsis
+        let other = Synopsis::build(&d[..100], 8).unwrap();
+        assert!(search_with_synopsis(&d, &other, &WindowQuery::mean_in(5, 0.0, 1.0)).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Block-aggregate synopsis structures.
+
+use bigdawg_common::{BigDawgError, Result};
+
+/// Per-block aggregates over a 1-d signal. Block `b` covers samples
+/// `[b·block_len, (b+1)·block_len)`.
+#[derive(Debug, Clone)]
+pub struct Synopsis {
+    block_len: usize,
+    n: usize,
+    sums: Vec<f64>,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Synopsis {
+    /// Build a synopsis with the given block length.
+    pub fn build(data: &[f64], block_len: usize) -> Result<Synopsis> {
+        if block_len == 0 {
+            return Err(BigDawgError::Execution("synopsis block length 0".into()));
+        }
+        let n_blocks = data.len().div_ceil(block_len);
+        let mut sums = vec![0.0; n_blocks];
+        let mut mins = vec![f64::INFINITY; n_blocks];
+        let mut maxs = vec![f64::NEG_INFINITY; n_blocks];
+        for (i, &x) in data.iter().enumerate() {
+            let b = i / block_len;
+            sums[b] += x;
+            mins[b] = mins[b].min(x);
+            maxs[b] = maxs[b].max(x);
+        }
+        Ok(Synopsis {
+            block_len,
+            n: data.len(),
+            sums,
+            mins,
+            maxs,
+        })
+    }
+
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Memory footprint in bytes (for reporting the synopsis' tiny size).
+    pub fn footprint_bytes(&self) -> usize {
+        self.sums.len() * 8 * 3
+    }
+
+    /// Bounds on the aggregates of any window `[start, start+len)`:
+    /// `(min_lower, max_upper, mean_lower, mean_upper)`.
+    ///
+    /// The bounds come from the blocks the window *overlaps*: the window's
+    /// min is ≥ … no — the window's min is **≥ nothing useful** from block
+    /// minima (a window inside a block may miss the block's min), but the
+    /// window's min is **≤ block max** etc. The sound bounds are:
+    ///
+    /// * window max ≤ max(block maxes of overlapped blocks);
+    /// * window min ≥ min(block mins of overlapped blocks);
+    /// * window mean ∈ [min(block mins), max(block maxes)] and, tighter,
+    ///   within bounds derived from block sums for fully covered blocks
+    ///   plus extremal assumptions for the partial edge blocks.
+    pub fn window_bounds(&self, start: usize, len: usize) -> WindowBounds {
+        let end = (start + len).min(self.n);
+        let first = start / self.block_len;
+        let last = (end - 1) / self.block_len;
+        let mut min_lo = f64::INFINITY;
+        let mut max_hi = f64::NEG_INFINITY;
+        for b in first..=last {
+            min_lo = min_lo.min(self.mins[b]);
+            max_hi = max_hi.max(self.maxs[b]);
+        }
+        // Mean bounds: exact sums for fully covered blocks; partial blocks
+        // contribute between (covered · block_min) and (covered · block_max).
+        let mut sum_lo = 0.0;
+        let mut sum_hi = 0.0;
+        for b in first..=last {
+            let b_start = b * self.block_len;
+            let b_end = ((b + 1) * self.block_len).min(self.n);
+            let ov_start = start.max(b_start);
+            let ov_end = end.min(b_end);
+            let covered = ov_end.saturating_sub(ov_start);
+            if covered == b_end - b_start {
+                sum_lo += self.sums[b];
+                sum_hi += self.sums[b];
+            } else {
+                sum_lo += covered as f64 * self.mins[b];
+                sum_hi += covered as f64 * self.maxs[b];
+            }
+        }
+        let w = (end - start).max(1) as f64;
+        WindowBounds {
+            min_lower: min_lo,
+            max_upper: max_hi,
+            mean_lower: sum_lo / w,
+            mean_upper: sum_hi / w,
+        }
+    }
+}
+
+/// Sound bounds on a window's aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowBounds {
+    /// The window's minimum is ≥ this.
+    pub min_lower: f64,
+    /// The window's maximum is ≤ this.
+    pub max_upper: f64,
+    /// The window's mean is ≥ this.
+    pub mean_lower: f64,
+    /// The window's mean is ≤ this.
+    pub mean_upper: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<f64> {
+        (0..100).map(|i| (i % 10) as f64).collect()
+    }
+
+    #[test]
+    fn build_shapes() {
+        let s = Synopsis::build(&data(), 16).unwrap();
+        assert_eq!(s.block_count(), 7);
+        assert_eq!(s.len(), 100);
+        assert!(s.footprint_bytes() < 100 * 8, "synopsis smaller than data");
+        assert!(Synopsis::build(&data(), 0).is_err());
+    }
+
+    #[test]
+    fn bounds_are_sound_for_many_windows() {
+        let d = data();
+        let s = Synopsis::build(&d, 8).unwrap();
+        for start in 0..90 {
+            let len = 10;
+            let w = &d[start..start + len];
+            let true_min = w.iter().cloned().fold(f64::INFINITY, f64::min);
+            let true_max = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let true_mean = w.iter().sum::<f64>() / len as f64;
+            let b = s.window_bounds(start, len);
+            assert!(b.min_lower <= true_min + 1e-12, "start {start}");
+            assert!(b.max_upper >= true_max - 1e-12, "start {start}");
+            assert!(b.mean_lower <= true_mean + 1e-12, "start {start}");
+            assert!(b.mean_upper >= true_mean - 1e-12, "start {start}");
+        }
+    }
+
+    #[test]
+    fn full_block_windows_have_exact_mean_bounds() {
+        let d = data();
+        let s = Synopsis::build(&d, 10).unwrap();
+        // window aligned exactly to one block
+        let b = s.window_bounds(20, 10);
+        let true_mean = 4.5;
+        assert!((b.mean_lower - true_mean).abs() < 1e-12);
+        assert!((b.mean_upper - true_mean).abs() < 1e-12);
+    }
+}

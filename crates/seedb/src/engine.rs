@@ -1,0 +1,455 @@
+//! View enumeration, deviation scoring, and the two execution strategies.
+
+use crate::view::{AggOp, ScoredView, ViewSpec};
+use bigdawg_analytics::stats::emd;
+use bigdawg_common::{BigDawgError, Result, Value};
+use bigdawg_relational::sql::parser::parse_expr;
+use bigdawg_relational::Database;
+use std::collections::BTreeMap;
+
+/// Execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// One pair of full GROUP BY queries per candidate view.
+    Exhaustive,
+    /// One shared scan computing every view simultaneously, evaluated in
+    /// `phases` rounds over a growing prefix sample; views whose utility
+    /// upper bound cannot reach the current top-k are pruned between
+    /// rounds. Survivors are re-scored exactly on the full data.
+    SharedSampled {
+        phases: usize,
+        /// Confidence-interval half-width scale (larger = prune less).
+        slack: f64,
+    },
+}
+
+/// Execution report: what ran and how much work it did.
+#[derive(Debug, Clone)]
+pub struct SeeDbReport {
+    pub views_considered: usize,
+    pub views_pruned: usize,
+    /// Row-group aggregations performed (the work metric: one update of one
+    /// view's accumulator for one row).
+    pub accumulator_updates: u64,
+    pub top: Vec<ScoredView>,
+}
+
+/// The SeeDB engine over one relational table.
+pub struct SeeDb {
+    /// Categorical attributes to group by.
+    pub dimensions: Vec<String>,
+    /// Numeric attributes to aggregate.
+    pub measures: Vec<String>,
+    /// Aggregates to try.
+    pub aggs: Vec<AggOp>,
+}
+
+impl SeeDb {
+    pub fn new(dimensions: &[&str], measures: &[&str]) -> Self {
+        SeeDb {
+            dimensions: dimensions.iter().map(|s| s.to_string()).collect(),
+            measures: measures.iter().map(|s| s.to_string()).collect(),
+            aggs: AggOp::all().to_vec(),
+        }
+    }
+
+    /// All candidate views (dimension × measure × aggregate).
+    pub fn candidate_views(&self) -> Vec<ViewSpec> {
+        let mut out = Vec::new();
+        for d in &self.dimensions {
+            for m in &self.measures {
+                for a in &self.aggs {
+                    out.push(ViewSpec {
+                        dimension: d.clone(),
+                        measure: m.clone(),
+                        agg: *a,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Recommend the `k` most interesting views of the subpopulation
+    /// selected by `target_predicate` (a SQL boolean expression over
+    /// `table`), compared against the rest of the table.
+    ///
+    /// Views grouped by an attribute the predicate itself references are
+    /// excluded: their deviation is a tautology of the selection (a
+    /// `diagnosis = 'sepsis'` target trivially deviates on `diagnosis`),
+    /// not an insight.
+    pub fn recommend(
+        &self,
+        db: &mut Database,
+        table: &str,
+        target_predicate: &str,
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<SeeDbReport> {
+        let pred_cols: Vec<String> = parse_expr(target_predicate)?
+            .columns()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let candidates: Vec<ViewSpec> = self
+            .candidate_views()
+            .into_iter()
+            .filter(|v| !pred_cols.contains(&v.dimension))
+            .collect();
+        match strategy {
+            Strategy::Exhaustive => self.run_exhaustive(db, table, target_predicate, k, candidates),
+            Strategy::SharedSampled { phases, slack } => {
+                self.run_shared(db, table, target_predicate, k, candidates, phases, slack)
+            }
+        }
+    }
+
+    fn run_exhaustive(
+        &self,
+        db: &mut Database,
+        table: &str,
+        predicate: &str,
+        k: usize,
+        candidates: Vec<ViewSpec>,
+    ) -> Result<SeeDbReport> {
+        let mut scored = Vec::new();
+        let mut updates = 0u64;
+        for spec in &candidates {
+            let q = |pred_wrap: &str| {
+                format!(
+                    "SELECT {d}, {a}({m}) AS agg_val FROM {table} WHERE {pred_wrap} GROUP BY {d}",
+                    d = spec.dimension,
+                    a = spec.agg.sql_name(),
+                    m = spec.measure,
+                )
+            };
+            let target = db.query(&q(predicate))?;
+            let reference = db.query(&q(&format!("NOT ({predicate})")))?;
+            updates += (target.len() + reference.len()) as u64;
+            // merge group labels
+            let mut merged: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+            for row in target.rows() {
+                let label = row[0].to_string();
+                merged.entry(label).or_default().0 = row[1].as_f64().unwrap_or(0.0);
+            }
+            for row in reference.rows() {
+                let label = row[0].to_string();
+                merged.entry(label).or_default().1 = row[1].as_f64().unwrap_or(0.0);
+            }
+            scored.push(score_view(spec.clone(), merged));
+        }
+        scored.sort_by(|a, b| b.utility.total_cmp(&a.utility));
+        scored.truncate(k);
+        Ok(SeeDbReport {
+            views_considered: candidates.len(),
+            views_pruned: 0,
+            accumulator_updates: updates,
+            top: scored,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_shared(
+        &self,
+        db: &mut Database,
+        table: &str,
+        predicate: &str,
+        k: usize,
+        candidates: Vec<ViewSpec>,
+        phases: usize,
+        slack: f64,
+    ) -> Result<SeeDbReport> {
+        // One scan: pull only the columns we need, plus predicate columns.
+        let pred = parse_expr(predicate)?;
+        let t = db.table(table)?;
+        let schema = t.schema().clone();
+        let rows = t.scan();
+        let n = rows.len();
+        if n == 0 {
+            return Err(BigDawgError::Execution(format!("table `{table}` is empty")));
+        }
+
+        // Accumulator per view: group → (target sum/count, reference
+        // sum/count).
+        #[derive(Default, Clone)]
+        struct Acc {
+            groups: BTreeMap<String, [f64; 4]>, // [t_sum, t_n, r_sum, r_n]
+        }
+        let mut accs: Vec<Acc> = vec![Acc::default(); candidates.len()];
+        let mut alive: Vec<bool> = vec![true; candidates.len()];
+        let mut updates = 0u64;
+        let dim_idx: Vec<usize> = candidates
+            .iter()
+            .map(|c| schema.index_of(&c.dimension))
+            .collect::<Result<_>>()?;
+        let measure_idx: Vec<usize> = candidates
+            .iter()
+            .map(|c| schema.index_of(&c.measure))
+            .collect::<Result<_>>()?;
+
+        let phases = phases.max(1);
+        let phase_len = n.div_ceil(phases);
+        let mut processed;
+        let mut pruned = 0usize;
+        for phase in 0..phases {
+            let lo = phase * phase_len;
+            let hi = ((phase + 1) * phase_len).min(n);
+            for row in &rows[lo..hi] {
+                let is_target = pred.matches(&schema, row)?;
+                for (vi, spec) in candidates.iter().enumerate() {
+                    if !alive[vi] {
+                        continue;
+                    }
+                    let label = row[dim_idx[vi]].to_string();
+                    let value = match &row[measure_idx[vi]] {
+                        Value::Null => continue,
+                        v => v.as_f64().unwrap_or(0.0),
+                    };
+                    let cell = accs[vi].groups.entry(label).or_default();
+                    let base = if is_target { 0 } else { 2 };
+                    match spec.agg {
+                        AggOp::Count => {
+                            cell[base] += 1.0;
+                            cell[base + 1] += 1.0;
+                        }
+                        AggOp::Sum | AggOp::Avg => {
+                            cell[base] += value;
+                            cell[base + 1] += 1.0;
+                        }
+                    }
+                    updates += 1;
+                }
+            }
+            processed = hi;
+            if phase + 1 == phases || processed == n {
+                break;
+            }
+            // Interim utilities + confidence pruning.
+            let mut interim: Vec<(usize, f64)> = Vec::new();
+            for (vi, spec) in candidates.iter().enumerate() {
+                if alive[vi] {
+                    interim.push((vi, utility_of(spec, &accs[vi].groups)));
+                }
+            }
+            if interim.len() <= k {
+                continue;
+            }
+            interim.sort_by(|a, b| b.1.total_cmp(&a.1));
+            // Hoeffding-flavoured half-width: shrinks as the sample grows.
+            let eps = slack * (1.0 / (processed as f64)).sqrt();
+            let kth_lower = interim[k - 1].1 - eps;
+            for &(vi, u) in &interim[k..] {
+                if u + eps < kth_lower {
+                    alive[vi] = false;
+                    pruned += 1;
+                }
+            }
+        }
+
+        // Final exact scores for survivors (full data already processed when
+        // the loop ran to completion; accumulators are exact for survivors).
+        let mut scored: Vec<ScoredView> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(vi, _)| alive[*vi])
+            .map(|(vi, spec)| {
+                let merged = finalize_groups(spec, &accs[vi].groups);
+                score_view(spec.clone(), merged)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.utility.total_cmp(&a.utility));
+        scored.truncate(k);
+        Ok(SeeDbReport {
+            views_considered: candidates.len(),
+            views_pruned: pruned,
+            accumulator_updates: updates,
+            top: scored,
+        })
+    }
+}
+
+fn finalize_groups(
+    spec: &ViewSpec,
+    groups: &BTreeMap<String, [f64; 4]>,
+) -> BTreeMap<String, (f64, f64)> {
+    groups
+        .iter()
+        .map(|(label, cell)| {
+            let (t, r) = match spec.agg {
+                AggOp::Count | AggOp::Sum => (cell[0], cell[2]),
+                AggOp::Avg => (
+                    if cell[1] > 0.0 { cell[0] / cell[1] } else { 0.0 },
+                    if cell[3] > 0.0 { cell[2] / cell[3] } else { 0.0 },
+                ),
+            };
+            (label.clone(), (t, r))
+        })
+        .collect()
+}
+
+fn utility_of(spec: &ViewSpec, groups: &BTreeMap<String, [f64; 4]>) -> f64 {
+    let merged = finalize_groups(spec, groups);
+    deviation(&merged)
+}
+
+/// Deviation-based utility: EMD between the normalized target and
+/// reference distributions over the view's groups.
+fn deviation(merged: &BTreeMap<String, (f64, f64)>) -> f64 {
+    let t_total: f64 = merged.values().map(|(t, _)| t.abs()).sum();
+    let r_total: f64 = merged.values().map(|(_, r)| r.abs()).sum();
+    if t_total <= 0.0 || r_total <= 0.0 {
+        return 0.0;
+    }
+    let p: Vec<f64> = merged.values().map(|(t, _)| t.abs() / t_total).collect();
+    let q: Vec<f64> = merged.values().map(|(_, r)| r.abs() / r_total).collect();
+    emd(&p, &q)
+}
+
+fn score_view(spec: ViewSpec, merged: BTreeMap<String, (f64, f64)>) -> ScoredView {
+    let utility = deviation(&merged);
+    let bars = merged
+        .into_iter()
+        .map(|(label, (t, r))| (label, t, r))
+        .collect();
+    ScoredView {
+        spec,
+        utility,
+        bars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a table where AVG(stay) by race reverses between sepsis and
+    /// the rest, while other views are flat — the Figure 2 setup.
+    fn figure2_db() -> Database {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE admissions (race TEXT, diagnosis TEXT, stay_days FLOAT, age INT)",
+        )
+        .unwrap();
+        let races = ["white", "black", "asian", "hispanic"];
+        let mut values = Vec::new();
+        for (ri, race) in races.iter().enumerate() {
+            for i in 0..40 {
+                // sepsis: stay decreases with race rank; others: increases
+                let sepsis_stay = 9.0 - 1.5 * ri as f64 + (i % 3) as f64 * 0.1;
+                let other_stay = 3.0 + 1.5 * ri as f64 + (i % 3) as f64 * 0.1;
+                values.push(format!("('{race}', 'sepsis', {sepsis_stay}, {})", 50 + i % 5));
+                values.push(format!("('{race}', 'cardiac', {other_stay}, {})", 50 + i % 5));
+                values.push(format!("('{race}', 'trauma', {other_stay}, {})", 50 + i % 5));
+            }
+        }
+        db.execute(&format!(
+            "INSERT INTO admissions VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn exhaustive_finds_race_stay_reversal() {
+        let mut db = figure2_db();
+        let seedb = SeeDb::new(&["race", "diagnosis"], &["stay_days", "age"]);
+        let report = seedb
+            .recommend(
+                &mut db,
+                "admissions",
+                "diagnosis = 'sepsis'",
+                3,
+                Strategy::Exhaustive,
+            )
+            .unwrap();
+        let best = &report.top[0];
+        assert_eq!(best.spec.dimension, "race");
+        assert_eq!(best.spec.measure, "stay_days");
+        assert!(best.utility > 0.1, "utility {}", best.utility);
+        // the bars actually reverse
+        let white = best.bars.iter().find(|(l, _, _)| l == "white").unwrap();
+        let hispanic = best.bars.iter().find(|(l, _, _)| l == "hispanic").unwrap();
+        assert!(white.1 > hispanic.1, "target: white stays longer");
+        assert!(white.2 < hispanic.2, "reference: white stays shorter");
+    }
+
+    #[test]
+    fn shared_sampled_agrees_with_exhaustive_on_winner() {
+        let mut db = figure2_db();
+        let seedb = SeeDb::new(&["race", "diagnosis"], &["stay_days", "age"]);
+        let ex = seedb
+            .recommend(
+                &mut db,
+                "admissions",
+                "diagnosis = 'sepsis'",
+                1,
+                Strategy::Exhaustive,
+            )
+            .unwrap();
+        let sh = seedb
+            .recommend(
+                &mut db,
+                "admissions",
+                "diagnosis = 'sepsis'",
+                1,
+                Strategy::SharedSampled {
+                    phases: 5,
+                    slack: 2.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(ex.top[0].spec, sh.top[0].spec);
+        assert!(
+            (ex.top[0].utility - sh.top[0].utility).abs() < 0.05,
+            "exhaustive {} vs shared {}",
+            ex.top[0].utility,
+            sh.top[0].utility
+        );
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let mut db = figure2_db();
+        let seedb = SeeDb::new(&["race", "diagnosis"], &["stay_days", "age"]);
+        let report = seedb
+            .recommend(
+                &mut db,
+                "admissions",
+                "diagnosis = 'sepsis'",
+                1,
+                Strategy::SharedSampled {
+                    phases: 8,
+                    slack: 0.5,
+                },
+            )
+            .unwrap();
+        assert!(report.views_pruned > 0, "some views must be pruned");
+        assert_eq!(report.views_considered, 6); // (2-1) dims × 2 measures × 3 aggs
+    }
+
+    #[test]
+    fn empty_table_errors() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a TEXT, b FLOAT)").unwrap();
+        let seedb = SeeDb::new(&["a"], &["b"]);
+        assert!(seedb
+            .recommend(
+                &mut db,
+                "t",
+                "a = 'x'",
+                1,
+                Strategy::SharedSampled {
+                    phases: 2,
+                    slack: 1.0
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn candidate_enumeration() {
+        let seedb = SeeDb::new(&["a", "b", "c"], &["x", "y"]);
+        assert_eq!(seedb.candidate_views().len(), 18);
+    }
+}

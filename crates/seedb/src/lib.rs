@@ -1,0 +1,28 @@
+//! SeeDB — BigDAWG's first exploratory-analysis system (paper §2.2,
+//! Figure 2).
+//!
+//! "SeeDB computes SQL aggregates with a GROUP BY clause over the search
+//! space of all possible combinations of attributes. To provide reasonable
+//! response times over massive datasets, SeeDB uses sampling and pruning to
+//! identify a candidate set of visualizations that are then computed over
+//! the full dataset. … it selects visualizations that show users unusual or
+//! interesting aspects of their query results" via a **deviation-based
+//! utility**.
+//!
+//! * [`view::ViewSpec`] — one candidate visualization: `(dimension,
+//!   measure, aggregate)`;
+//! * [`engine::SeeDb`] — enumeration over a table's attribute combinations,
+//!   utility = earth mover's distance between the target subpopulation's
+//!   normalized aggregate distribution and the reference population's;
+//! * two executors: [`engine::Strategy::Exhaustive`] (one full GROUP BY
+//!   query pair per view, through the relational engine) and
+//!   [`engine::Strategy::SharedSampled`] (one shared scan computing *all*
+//!   views at once, in phases over a growing sample, with
+//!   confidence-interval pruning between phases — the SeeDB paper's
+//!   combined optimizations).
+
+pub mod engine;
+pub mod view;
+
+pub use engine::{SeeDb, SeeDbReport, Strategy};
+pub use view::{AggOp, ScoredView, ViewSpec};

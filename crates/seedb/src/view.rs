@@ -1,0 +1,83 @@
+//! Candidate visualizations and their scores.
+
+use std::fmt;
+
+/// Aggregates SeeDB enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    Count,
+    Sum,
+    Avg,
+}
+
+impl AggOp {
+    pub fn all() -> [AggOp; 3] {
+        [AggOp::Count, AggOp::Sum, AggOp::Avg]
+    }
+
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            AggOp::Count => "COUNT",
+            AggOp::Sum => "SUM",
+            AggOp::Avg => "AVG",
+        }
+    }
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// One candidate visualization: `SELECT dimension, agg(measure) … GROUP BY
+/// dimension`, rendered as a bar chart in the demo UI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewSpec {
+    pub dimension: String,
+    pub measure: String,
+    pub agg: AggOp,
+}
+
+impl fmt::Display for ViewSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) by {}", self.agg, self.measure, self.dimension)
+    }
+}
+
+/// A view with its deviation utility and the two distributions behind it
+/// (so the demo can actually draw the bars of Figure 2).
+#[derive(Debug, Clone)]
+pub struct ScoredView {
+    pub spec: ViewSpec,
+    /// Earth mover's distance between target and reference distributions.
+    pub utility: f64,
+    /// (group label, target value, reference value), ordered by label.
+    pub bars: Vec<(String, f64, f64)>,
+}
+
+impl fmt::Display for ScoredView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}  (utility {:.4})", self.spec, self.utility)?;
+        for (label, t, r) in &self.bars {
+            writeln!(f, "  {label:<12} target {t:>10.3}  reference {r:>10.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let spec = ViewSpec {
+            dimension: "race".into(),
+            measure: "stay_days".into(),
+            agg: AggOp::Avg,
+        };
+        assert_eq!(spec.to_string(), "AVG(stay_days) by race");
+        assert_eq!(AggOp::all().len(), 3);
+    }
+}

@@ -1,0 +1,649 @@
+//! The stream engine: streams, state tables, stored procedures, triggers,
+//! and the tuple-at-a-time vs micro-batch executors.
+//!
+//! Execution model (S-Store): a *workflow* is a DAG of stored procedures
+//! connected by streams. Every trigger firing runs one procedure as one
+//! transaction on the single-threaded partition executor. Exactly-once is
+//! inherited from serial execution + input logging.
+
+use crate::recovery::{CommandLog, LogRecord};
+use crate::stream_table::StreamTable;
+use crate::tx::{PendingWrite, StateTable, TxContext};
+use crate::window::{WindowSpec, WindowStats};
+use bigdawg_common::{BigDawgError, Batch, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// A stored procedure body. Receives a transaction context and the
+/// triggering arguments (for stream triggers: the tuple; for window
+/// triggers: `[window_name, count, sum, mean, min, max]`; for direct
+/// invocations: caller-supplied args).
+pub type ProcFn = Box<dyn Fn(&mut TxContext, &[Value]) -> Result<()> + Send + Sync>;
+
+/// Per-procedure execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    pub invocations: u64,
+    pub commits: u64,
+    pub aborts: u64,
+}
+
+/// The S-Store stand-in engine.
+pub struct Engine {
+    streams: HashMap<String, StreamTable>,
+    tables: HashMap<String, StateTable>,
+    procs: HashMap<String, ProcFn>,
+    /// stream → procedures run per appended tuple.
+    tuple_triggers: HashMap<String, Vec<String>>,
+    /// (stream, window) → procedures run per window firing.
+    window_triggers: HashMap<(String, String), Vec<String>>,
+    log: CommandLog,
+    stats: HashMap<String, ProcStats>,
+    /// Event-time watermark: max timestamp ingested so far.
+    watermark: i64,
+    /// True while replaying the command log (suppresses re-logging).
+    replaying: bool,
+}
+
+impl Engine {
+    /// `logging` enables the command log (recovery support).
+    pub fn new(logging: bool) -> Self {
+        Engine {
+            streams: HashMap::new(),
+            tables: HashMap::new(),
+            procs: HashMap::new(),
+            tuple_triggers: HashMap::new(),
+            window_triggers: HashMap::new(),
+            log: CommandLog::new(logging),
+            stats: HashMap::new(),
+            watermark: i64::MIN,
+            replaying: false,
+        }
+    }
+
+    // ---- registration ------------------------------------------------------
+
+    pub fn create_stream(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        ts_column: &str,
+        retention: usize,
+    ) -> Result<()> {
+        if self.streams.contains_key(name) {
+            return Err(BigDawgError::Execution(format!(
+                "stream `{name}` already exists"
+            )));
+        }
+        self.streams.insert(
+            name.to_string(),
+            StreamTable::new(name, schema, ts_column, retention)?,
+        );
+        Ok(())
+    }
+
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(BigDawgError::Execution(format!(
+                "table `{name}` already exists"
+            )));
+        }
+        self.tables
+            .insert(name.to_string(), StateTable::new(name, schema));
+        Ok(())
+    }
+
+    /// Attach a sliding window to a stream column.
+    pub fn create_window(
+        &mut self,
+        stream: &str,
+        window_name: &str,
+        column: &str,
+        spec: WindowSpec,
+    ) -> Result<()> {
+        self.streams
+            .get_mut(stream)
+            .ok_or_else(|| BigDawgError::NotFound(format!("stream `{stream}`")))?
+            .attach_window(window_name, column, spec)
+    }
+
+    pub fn register_proc(&mut self, name: &str, body: ProcFn) {
+        self.procs.insert(name.to_string(), body);
+        self.stats.entry(name.to_string()).or_default();
+    }
+
+    /// Run `proc` for every tuple appended to `stream`.
+    pub fn on_tuple(&mut self, stream: &str, proc: &str) -> Result<()> {
+        self.check_refs(stream, proc)?;
+        self.tuple_triggers
+            .entry(stream.to_string())
+            .or_default()
+            .push(proc.to_string());
+        Ok(())
+    }
+
+    /// Run `proc` every time `window` on `stream` fires.
+    pub fn on_window(&mut self, stream: &str, window: &str, proc: &str) -> Result<()> {
+        self.check_refs(stream, proc)?;
+        self.window_triggers
+            .entry((stream.to_string(), window.to_string()))
+            .or_default()
+            .push(proc.to_string());
+        Ok(())
+    }
+
+    fn check_refs(&self, stream: &str, proc: &str) -> Result<()> {
+        if !self.streams.contains_key(stream) {
+            return Err(BigDawgError::NotFound(format!("stream `{stream}`")));
+        }
+        if !self.procs.contains_key(proc) {
+            return Err(BigDawgError::NotFound(format!("procedure `{proc}`")));
+        }
+        Ok(())
+    }
+
+    // ---- reads -------------------------------------------------------------
+
+    pub fn stream(&self, name: &str) -> Result<&StreamTable> {
+        self.streams
+            .get(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("stream `{name}`")))
+    }
+
+    pub fn stream_mut(&mut self, name: &str) -> Result<&mut StreamTable> {
+        self.streams
+            .get_mut(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("stream `{name}`")))
+    }
+
+    pub fn table(&self, name: &str) -> Result<&StateTable> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("state table `{name}`")))
+    }
+
+    pub fn stream_names(&self) -> Vec<&str> {
+        self.streams.keys().map(String::as_str).collect()
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    pub fn proc_stats(&self, proc: &str) -> ProcStats {
+        self.stats.get(proc).copied().unwrap_or_default()
+    }
+
+    /// Event-time watermark (max ingested timestamp).
+    pub fn watermark(&self) -> i64 {
+        self.watermark
+    }
+
+    pub fn command_log(&self) -> &CommandLog {
+        &self.log
+    }
+
+    // ---- execution ----------------------------------------------------------
+
+    /// Ingest one tuple into a stream, running the trigger cascade. This is
+    /// the tuple-at-a-time path whose end-to-end latency experiment E3
+    /// measures.
+    pub fn ingest(&mut self, stream: &str, row: Row) -> Result<()> {
+        if !self.replaying {
+            self.log.append(LogRecord::Ingest {
+                stream: stream.to_string(),
+                row: row.clone(),
+            });
+        }
+        let st = self
+            .streams
+            .get_mut(stream)
+            .ok_or_else(|| BigDawgError::NotFound(format!("stream `{stream}`")))?;
+        let ts_preview = st.latest_ts();
+        let firings = st.append(row.clone())?;
+        let ts = st.latest_ts().or(ts_preview).unwrap_or(0);
+        self.watermark = self.watermark.max(ts);
+
+        // Tuple-level triggers: one transaction per (tuple, proc).
+        if let Some(procs) = self.tuple_triggers.get(stream).cloned() {
+            for p in procs {
+                self.run_tx(&p, &row, ts)?;
+            }
+        }
+        // Window-level triggers.
+        for (wname, stats) in firings {
+            let key = (stream.to_string(), wname.clone());
+            if let Some(procs) = self.window_triggers.get(&key).cloned() {
+                let args = window_args(&wname, &stats);
+                for p in procs {
+                    self.run_tx(&p, &args, ts)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Invoke a procedure directly (an OLTP-style request).
+    pub fn invoke(&mut self, proc: &str, args: &[Value]) -> Result<()> {
+        if !self.replaying {
+            self.log.append(LogRecord::Invoke {
+                proc: proc.to_string(),
+                args: args.to_vec(),
+            });
+        }
+        let ts = self.watermark;
+        self.run_tx(proc, args, ts)
+    }
+
+    /// Run one procedure as one transaction; apply writes on success and
+    /// cascade emissions. Aborts roll back silently (only stats record
+    /// them) unless the error is not a `TxAborted`.
+    fn run_tx(&mut self, proc: &str, args: &[Value], event_ts: i64) -> Result<()> {
+        let body = self
+            .procs
+            .get(proc)
+            .ok_or_else(|| BigDawgError::NotFound(format!("procedure `{proc}`")))?;
+        let streams = &self.streams;
+        let snap = |name: &str| -> Result<Batch> {
+            streams
+                .get(name)
+                .map(StreamTable::snapshot)
+                .ok_or_else(|| BigDawgError::NotFound(format!("stream `{name}`")))
+        };
+        let mut ctx = TxContext::new(&self.tables, &snap, event_ts);
+        let outcome = body(&mut ctx, args);
+        let stats = self.stats.entry(proc.to_string()).or_default();
+        stats.invocations += 1;
+        match outcome {
+            Ok(()) => {
+                stats.commits += 1;
+                let writes = ctx.into_writes();
+                self.apply(writes, event_ts)
+            }
+            Err(BigDawgError::TxAborted(_)) => {
+                stats.aborts += 1;
+                Ok(()) // clean abort: buffered writes dropped
+            }
+            Err(e) => {
+                stats.aborts += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Apply a committed transaction's writes; emissions recurse into the
+    /// downstream trigger cascade (each downstream firing is its own tx).
+    fn apply(&mut self, writes: Vec<PendingWrite>, event_ts: i64) -> Result<()> {
+        for w in writes {
+            match w {
+                PendingWrite::TableInsert { table, row } => {
+                    self.tables
+                        .get_mut(&table)
+                        .ok_or_else(|| BigDawgError::NotFound(format!("state table `{table}`")))?
+                        .insert(row)?;
+                }
+                PendingWrite::TableUpdate {
+                    table,
+                    column,
+                    key,
+                    row,
+                } => {
+                    self.tables
+                        .get_mut(&table)
+                        .ok_or_else(|| BigDawgError::NotFound(format!("state table `{table}`")))?
+                        .update_where(&column, &key, row)?;
+                }
+                PendingWrite::StreamEmit { stream, row } => {
+                    // Emissions from committed transactions feed downstream
+                    // streams exactly like external ingests, but are not
+                    // re-logged (they are re-derived on replay).
+                    let was_replaying = self.replaying;
+                    self.replaying = true;
+                    let r = self.ingest(&stream, row);
+                    self.replaying = was_replaying;
+                    r?;
+                }
+            }
+        }
+        let _ = event_ts;
+        Ok(())
+    }
+
+    /// Age out tuples older than `watermark` from a stream — the S-Store →
+    /// array-engine hand-off of §3 ("data ages out of S-Store and is loaded
+    /// into SciDB").
+    pub fn drain_aged(&mut self, stream: &str, watermark: i64) -> Result<Vec<Row>> {
+        Ok(self.stream_mut(stream)?.drain_older_than(watermark))
+    }
+
+    /// Replay a command log into this (freshly registered) engine.
+    pub fn replay(&mut self, log: &CommandLog) -> Result<()> {
+        self.replaying = true;
+        let result = (|| {
+            for rec in log.records() {
+                match rec {
+                    LogRecord::Ingest { stream, row } => self.ingest(stream, row.clone())?,
+                    LogRecord::Invoke { proc, args } => {
+                        let ts = self.watermark;
+                        self.run_tx(proc, args, ts)?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.replaying = false;
+        result
+    }
+}
+
+fn window_args(wname: &str, stats: &WindowStats) -> Vec<Value> {
+    vec![
+        Value::Text(wname.to_string()),
+        Value::Int(stats.count as i64),
+        Value::Float(stats.sum),
+        Value::Float(stats.mean),
+        Value::Float(stats.min),
+        Value::Float(stats.max),
+    ]
+}
+
+/// Spark-Streaming-style micro-batch front-end used as the E3 baseline: it
+/// buffers arriving tuples and releases them to the engine only when event
+/// time crosses a batch boundary. Per-tuple added latency is therefore up to
+/// one `batch_interval` — which is why the paper says micro-batching cannot
+/// deliver tens-of-milliseconds alerts (§1.2).
+pub struct MicroBatchExecutor {
+    batch_interval: i64,
+    buffer: Vec<(String, Row, i64)>,
+    /// End of the current batch window (event time).
+    batch_end: Option<i64>,
+    /// Accumulated per-tuple release latencies (event-time ms).
+    latencies: Vec<i64>,
+}
+
+impl MicroBatchExecutor {
+    pub fn new(batch_interval: i64) -> Self {
+        assert!(batch_interval > 0);
+        MicroBatchExecutor {
+            batch_interval,
+            buffer: Vec::new(),
+            batch_end: None,
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Offer a tuple with event timestamp `ts`; flushes the buffered batch
+    /// through `engine` first if `ts` crosses the batch boundary.
+    pub fn offer(&mut self, engine: &mut Engine, stream: &str, ts: i64, row: Row) -> Result<()> {
+        let end = *self
+            .batch_end
+            .get_or_insert(ts - ts.rem_euclid(self.batch_interval) + self.batch_interval);
+        if ts >= end {
+            self.flush(engine)?;
+            self.batch_end = Some(ts - ts.rem_euclid(self.batch_interval) + self.batch_interval);
+        }
+        self.buffer.push((stream.to_string(), row, ts));
+        Ok(())
+    }
+
+    /// Release all buffered tuples. Latency per tuple = release time (the
+    /// batch boundary, or the max buffered ts for a final manual flush)
+    /// minus arrival time.
+    pub fn flush(&mut self, engine: &mut Engine) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let release_ts = self
+            .batch_end
+            .unwrap_or_else(|| self.buffer.iter().map(|(_, _, t)| *t).max().unwrap_or(0));
+        for (stream, row, ts) in std::mem::take(&mut self.buffer) {
+            self.latencies.push((release_ts - ts).max(0));
+            engine.ingest(&stream, row)?;
+        }
+        Ok(())
+    }
+
+    /// Per-tuple event-time latencies accumulated so far.
+    pub fn latencies(&self) -> &[i64] {
+        &self.latencies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::DataType;
+
+    fn vitals_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("patient_id", DataType::Int),
+            ("hr", DataType::Float),
+        ])
+    }
+
+    fn alert_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("patient_id", DataType::Int),
+            ("kind", DataType::Text),
+            ("value", DataType::Float),
+        ])
+    }
+
+    /// Engine with: vitals stream, window of 4 (slide 4), alerts table, and
+    /// a window-trigger that alerts when mean HR > 100.
+    fn alerting_engine(logging: bool) -> Engine {
+        let mut e = Engine::new(logging);
+        e.create_stream("vitals", vitals_schema(), "ts", 1000).unwrap();
+        e.create_table("alerts", alert_schema()).unwrap();
+        e.create_window("vitals", "w_hr", "hr", WindowSpec::tumbling(4))
+            .unwrap();
+        e.register_proc(
+            "check_hr",
+            Box::new(|ctx, args| {
+                // args: [window, count, sum, mean, min, max]
+                let mean = args[3].as_f64()?;
+                if mean > 100.0 {
+                    let ts = ctx.event_ts;
+                    ctx.insert(
+                        "alerts",
+                        vec![
+                            Value::Timestamp(ts),
+                            Value::Int(0),
+                            Value::Text("tachycardia".into()),
+                            Value::Float(mean),
+                        ],
+                    )?;
+                }
+                Ok(())
+            }),
+        );
+        e.on_window("vitals", "w_hr", "check_hr").unwrap();
+        e
+    }
+
+    fn beat(ts: i64, hr: f64) -> Row {
+        vec![Value::Timestamp(ts), Value::Int(0), Value::Float(hr)]
+    }
+
+    #[test]
+    fn window_trigger_fires_alert() {
+        let mut e = alerting_engine(false);
+        for i in 0..4 {
+            e.ingest("vitals", beat(i, 80.0)).unwrap();
+        }
+        assert_eq!(e.table("alerts").unwrap().len(), 0);
+        for i in 4..8 {
+            e.ingest("vitals", beat(i, 120.0)).unwrap();
+        }
+        let alerts = e.table("alerts").unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts.rows()[0][3], Value::Float(120.0));
+        assert_eq!(e.proc_stats("check_hr").invocations, 2);
+        assert_eq!(e.proc_stats("check_hr").commits, 2);
+    }
+
+    #[test]
+    fn tuple_trigger_cascade_via_emission() {
+        let mut e = Engine::new(false);
+        e.create_stream("raw", vitals_schema(), "ts", 100).unwrap();
+        e.create_stream("filtered", vitals_schema(), "ts", 100).unwrap();
+        e.create_table("alerts", alert_schema()).unwrap();
+        // stage 1: forward suspicious tuples downstream
+        e.register_proc(
+            "filter_hr",
+            Box::new(|ctx, args| {
+                let hr = args[2].as_f64()?;
+                if hr > 100.0 {
+                    ctx.emit("filtered", args.to_vec());
+                }
+                Ok(())
+            }),
+        );
+        // stage 2: alert on everything downstream
+        e.register_proc(
+            "alert",
+            Box::new(|ctx, args| {
+                ctx.insert(
+                    "alerts",
+                    vec![
+                        args[0].clone(),
+                        args[1].clone(),
+                        Value::Text("spike".into()),
+                        args[2].clone(),
+                    ],
+                )
+            }),
+        );
+        e.on_tuple("raw", "filter_hr").unwrap();
+        e.on_tuple("filtered", "alert").unwrap();
+        e.ingest("raw", beat(1, 80.0)).unwrap();
+        e.ingest("raw", beat(2, 140.0)).unwrap();
+        assert_eq!(e.table("alerts").unwrap().len(), 1);
+        assert_eq!(e.stream("filtered").unwrap().len(), 1);
+        assert_eq!(e.stream("raw").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn aborted_tx_leaves_no_writes() {
+        let mut e = Engine::new(false);
+        e.create_stream("raw", vitals_schema(), "ts", 100).unwrap();
+        e.create_table("alerts", alert_schema()).unwrap();
+        e.register_proc(
+            "flaky",
+            Box::new(|ctx, args| {
+                ctx.insert(
+                    "alerts",
+                    vec![
+                        args[0].clone(),
+                        args[1].clone(),
+                        Value::Text("x".into()),
+                        args[2].clone(),
+                    ],
+                )?;
+                ctx.abort("validation failed")
+            }),
+        );
+        e.on_tuple("raw", "flaky").unwrap();
+        e.ingest("raw", beat(1, 80.0)).unwrap();
+        assert_eq!(e.table("alerts").unwrap().len(), 0, "abort rolled back");
+        let s = e.proc_stats("flaky");
+        assert_eq!((s.invocations, s.commits, s.aborts), (1, 0, 1));
+    }
+
+    #[test]
+    fn recovery_replays_to_same_state() {
+        let mut e = alerting_engine(true);
+        for i in 0..8 {
+            e.ingest("vitals", beat(i, if i < 4 { 80.0 } else { 130.0 }))
+                .unwrap();
+        }
+        assert_eq!(e.table("alerts").unwrap().len(), 1);
+        let log_bytes = e.command_log().to_bytes();
+
+        // "crash": build a fresh engine, re-register, replay.
+        let mut e2 = alerting_engine(false);
+        let log = CommandLog::from_bytes(&log_bytes).unwrap();
+        e2.replay(&log).unwrap();
+        assert_eq!(e2.table("alerts").unwrap().len(), 1);
+        assert_eq!(
+            e2.table("alerts").unwrap().rows(),
+            e.table("alerts").unwrap().rows()
+        );
+        assert_eq!(e2.stream("vitals").unwrap().len(), 8);
+        assert_eq!(e2.watermark(), 7);
+    }
+
+    #[test]
+    fn drain_aged_moves_history() {
+        let mut e = alerting_engine(false);
+        for i in 0..10 {
+            e.ingest("vitals", beat(i, 80.0)).unwrap();
+        }
+        let aged = e.drain_aged("vitals", 6).unwrap();
+        assert_eq!(aged.len(), 6);
+        assert_eq!(e.stream("vitals").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn micro_batch_latency_at_least_interval_shaped() {
+        let mut e = alerting_engine(false);
+        let mut mb = MicroBatchExecutor::new(1000); // 1 s batches
+        // 125 Hz for 2.5 simulated seconds
+        for i in 0..312 {
+            let ts = i * 8;
+            mb.offer(&mut e, "vitals", ts, beat(ts, 80.0)).unwrap();
+        }
+        mb.flush(&mut e).unwrap();
+        let lats = mb.latencies();
+        assert_eq!(lats.len(), 312);
+        let mean = lats.iter().sum::<i64>() as f64 / lats.len() as f64;
+        // mean buffering delay of a uniform arrival in a 1 s batch ≈ 500 ms
+        assert!(mean > 300.0, "mean latency {mean} should be hundreds of ms");
+        let max = lats.iter().max().copied().unwrap();
+        assert!(max >= 900, "max {max} should approach the interval");
+        // everything did reach the engine
+        assert_eq!(e.stream("vitals").unwrap().appended(), 312);
+    }
+
+    #[test]
+    fn direct_invocation_is_logged_and_replayed() {
+        let mut e = Engine::new(true);
+        e.create_table("alerts", alert_schema()).unwrap();
+        e.register_proc(
+            "manual",
+            Box::new(|ctx, args| {
+                ctx.insert(
+                    "alerts",
+                    vec![
+                        Value::Timestamp(0),
+                        args[0].clone(),
+                        Value::Text("manual".into()),
+                        Value::Float(0.0),
+                    ],
+                )
+            }),
+        );
+        e.invoke("manual", &[Value::Int(9)]).unwrap();
+        assert_eq!(e.table("alerts").unwrap().len(), 1);
+
+        let mut e2 = Engine::new(false);
+        e2.create_table("alerts", alert_schema()).unwrap();
+        e2.register_proc(
+            "manual",
+            Box::new(|ctx, args| {
+                ctx.insert(
+                    "alerts",
+                    vec![
+                        Value::Timestamp(0),
+                        args[0].clone(),
+                        Value::Text("manual".into()),
+                        Value::Float(0.0),
+                    ],
+                )
+            }),
+        );
+        e2.replay(e.command_log()).unwrap();
+        assert_eq!(e2.table("alerts").unwrap().len(), 1);
+    }
+}

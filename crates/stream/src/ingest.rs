@@ -1,0 +1,183 @@
+//! The ingestion module: a wire-format decoder plus a concurrent queue.
+//!
+//! S-Store "absorbs data feeds directly from a TCP/IP connection" (§2.5).
+//! Here the transport is a crossbeam channel (producer threads play the
+//! bedside devices), and the wire format is a CSV-ish text frame
+//! `stream,ts,field,...` — enough to exercise a real decode path without an
+//! actual socket.
+
+use crate::engine::Engine;
+use bigdawg_common::{parse_err, DataType, Result, Row, Schema, Value};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+/// A decoded ingest frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub stream: String,
+    pub row: Row,
+}
+
+/// Parse a text frame `stream,v1,v2,...` against the stream's schema.
+pub fn decode_frame(line: &str, schema_of: impl Fn(&str) -> Result<Schema>) -> Result<Frame> {
+    let mut parts = line.trim().split(',');
+    let stream = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| parse_err!("empty ingest frame"))?
+        .to_string();
+    let schema = schema_of(&stream)?;
+    let fields: Vec<&str> = parts.collect();
+    if fields.len() != schema.len() {
+        return Err(parse_err!(
+            "frame for `{stream}` has {} fields, schema has {}",
+            fields.len(),
+            schema.len()
+        ));
+    }
+    let row: Row = fields
+        .iter()
+        .zip(schema.fields())
+        .map(|(text, field)| {
+            let t = text.trim();
+            if t.is_empty() {
+                return Ok(Value::Null);
+            }
+            Value::Text(t.to_string()).cast_to(match field.data_type {
+                DataType::Null => DataType::Text,
+                other => other,
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(Frame { stream, row })
+}
+
+/// A multi-producer ingest queue in front of the engine.
+pub struct IngestQueue {
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+}
+
+impl Default for IngestQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IngestQueue {
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        IngestQueue { tx, rx }
+    }
+
+    /// A cloneable producer handle (one per simulated device/socket).
+    pub fn producer(&self) -> Sender<Frame> {
+        self.tx.clone()
+    }
+
+    /// Push a frame from this thread.
+    pub fn push(&self, frame: Frame) {
+        self.tx.send(frame).expect("queue receiver alive");
+    }
+
+    /// Number of queued frames.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// Drain everything currently queued into the engine (the partition
+    /// executor's poll loop). Returns tuples ingested.
+    pub fn drain_into(&self, engine: &mut Engine) -> Result<usize> {
+        let mut n = 0;
+        loop {
+            match self.rx.try_recv() {
+                Ok(frame) => {
+                    engine.ingest(&frame.stream, frame.row)?;
+                    n += 1;
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return Ok(n),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowSpec;
+
+    fn vitals_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("patient_id", DataType::Int),
+            ("hr", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn decode_valid_frame() {
+        let f = decode_frame("vitals,17,4,71.5", |s| {
+            assert_eq!(s, "vitals");
+            Ok(vitals_schema())
+        })
+        .unwrap();
+        assert_eq!(f.stream, "vitals");
+        assert_eq!(
+            f.row,
+            vec![Value::Timestamp(17), Value::Int(4), Value::Float(71.5)]
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_frames() {
+        let schema_of = |_: &str| Ok(vitals_schema());
+        assert!(decode_frame("", schema_of).is_err());
+        assert!(decode_frame("vitals,1,2", schema_of).is_err()); // arity
+        assert!(decode_frame("vitals,xx,4,71.5", schema_of).is_err()); // bad ts
+    }
+
+    #[test]
+    fn decode_empty_field_is_null() {
+        let f = decode_frame("vitals,17,,71.5", |_| Ok(vitals_schema())).unwrap();
+        assert_eq!(f.row[1], Value::Null);
+    }
+
+    #[test]
+    fn multi_producer_drain() {
+        let mut e = Engine::new(false);
+        e.create_stream("vitals", vitals_schema(), "ts", 100).unwrap();
+        e.create_window("vitals", "w", "hr", WindowSpec::tumbling(5))
+            .unwrap();
+        let q = IngestQueue::new();
+        let handles: Vec<_> = (0..4)
+            .map(|dev| {
+                let p = q.producer();
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let ts = dev * 1000 + i;
+                        p.send(Frame {
+                            stream: "vitals".into(),
+                            row: vec![
+                                Value::Timestamp(ts),
+                                Value::Int(dev),
+                                Value::Float(60.0 + i as f64),
+                            ],
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.len(), 100);
+        let n = q.drain_into(&mut e).unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(e.stream("vitals").unwrap().appended(), 100);
+        assert!(q.is_empty());
+    }
+}

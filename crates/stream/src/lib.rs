@@ -1,0 +1,39 @@
+//! A transactional stream processing engine — the S-Store stand-in
+//! (paper §2.3, §2.5).
+//!
+//! S-Store is built on H-Store and extends it with:
+//!
+//! 1. **streams and sliding windows represented as time-varying tables** —
+//!    here a [`stream_table::StreamTable`] whose visible contents are the
+//!    current window ([`window`]);
+//! 2. **an ingestion module absorbing data feeds directly from a TCP/IP
+//!    connection** — here [`ingest::IngestQueue`], a crossbeam channel fed
+//!    by producer threads (the MIMIC bedside-device simulator), drained by
+//!    the engine;
+//! 3. **a lightweight recovery scheme** — here [`recovery::CommandLog`]:
+//!    input tuples are logged, and recovery replays them through the
+//!    deterministic stored procedures (upstream-backup style).
+//!
+//! Transactions follow the H-Store model: a single-threaded partition
+//! executor runs stored procedures serially, so isolation is trivial and
+//! atomicity comes from an undo log ([`tx`]).
+//!
+//! The engine is driven by **event time**: every tuple carries a timestamp,
+//! and both the tuple-at-a-time executor and the micro-batch comparison
+//! executor ([`engine::MicroBatchExecutor`]) account latency in event time.
+//! That keeps experiment E3 (tens-of-ms alerts vs ≥ batch-interval latency,
+//! §1.2) deterministic and fast to run.
+
+pub mod engine;
+pub mod ingest;
+pub mod recovery;
+pub mod stream_table;
+pub mod tx;
+pub mod window;
+
+pub use engine::{Engine, MicroBatchExecutor, ProcStats};
+pub use ingest::IngestQueue;
+pub use recovery::CommandLog;
+pub use stream_table::StreamTable;
+pub use tx::TxContext;
+pub use window::{SlidingWindow, WindowSpec};

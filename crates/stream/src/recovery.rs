@@ -1,0 +1,296 @@
+//! Lightweight recovery: an input command log.
+//!
+//! S-Store's recovery logs *inputs*, not state mutations: stored procedures
+//! are deterministic, so replaying the logged input stream through the same
+//! procedure graph rebuilds all state (upstream backup). The log encodes
+//! rows in a compact binary format so the polystore's binary CAST path can
+//! also reuse it.
+
+use bigdawg_common::{BigDawgError, Result, Row, Value};
+
+/// One logged command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A tuple ingested into a stream.
+    Ingest { stream: String, row: Row },
+    /// A directly invoked procedure.
+    Invoke { proc: String, args: Vec<Value> },
+}
+
+/// In-memory command log with binary serialization.
+#[derive(Debug, Default)]
+pub struct CommandLog {
+    records: Vec<LogRecord>,
+    enabled: bool,
+}
+
+impl CommandLog {
+    pub fn new(enabled: bool) -> Self {
+        CommandLog {
+            records: Vec::new(),
+            enabled,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn append(&mut self, rec: LogRecord) {
+        if self.enabled {
+            self.records.push(rec);
+        }
+    }
+
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Truncate everything (after a checkpoint has been taken downstream).
+    pub fn truncate(&mut self) {
+        self.records.clear();
+    }
+
+    /// Serialize the whole log.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_u64(&mut out, self.records.len() as u64);
+        for rec in &self.records {
+            match rec {
+                LogRecord::Ingest { stream, row } => {
+                    out.push(0);
+                    write_str(&mut out, stream);
+                    write_row(&mut out, row);
+                }
+                LogRecord::Invoke { proc, args } => {
+                    out.push(1);
+                    write_str(&mut out, proc);
+                    write_row(&mut out, args);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialize a log previously produced by [`CommandLog::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<CommandLog> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let n = cur.read_u64()? as usize;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = cur.read_u8()?;
+            match tag {
+                0 => records.push(LogRecord::Ingest {
+                    stream: cur.read_str()?,
+                    row: cur.read_row()?,
+                }),
+                1 => records.push(LogRecord::Invoke {
+                    proc: cur.read_str()?,
+                    args: cur.read_row()?,
+                }),
+                other => {
+                    return Err(BigDawgError::Execution(format!(
+                        "corrupt command log: unknown record tag {other}"
+                    )))
+                }
+            }
+        }
+        Ok(CommandLog {
+            records,
+            enabled: true,
+        })
+    }
+}
+
+// ---- compact binary row encoding (shared with the binary CAST path) -------
+
+pub(crate) fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode one value: a 1-byte type tag plus a fixed/length-prefixed payload.
+pub fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(4);
+            write_str(out, s);
+        }
+        Value::Timestamp(t) => {
+            out.push(5);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+}
+
+pub(crate) fn write_row(out: &mut Vec<u8>, row: &[Value]) {
+    write_u64(out, row.len() as u64);
+    for v in row {
+        write_value(out, v);
+    }
+}
+
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(BigDawgError::Execution(
+                "corrupt command log: truncated record".into(),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn read_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn read_str(&mut self) -> Result<String> {
+        let n = self.read_u64()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| BigDawgError::Execution("corrupt command log: bad utf8".into()))
+    }
+
+    pub(crate) fn read_value(&mut self) -> Result<Value> {
+        Ok(match self.read_u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.read_u8()? != 0),
+            2 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            3 => Value::Float(f64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            4 => Value::Text(self.read_str()?),
+            5 => Value::Timestamp(i64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            t => {
+                return Err(BigDawgError::Execution(format!(
+                    "corrupt command log: unknown value tag {t}"
+                )))
+            }
+        })
+    }
+
+    pub(crate) fn read_row(&mut self) -> Result<Row> {
+        let n = self.read_u64()? as usize;
+        (0..n).map(|_| self.read_value()).collect()
+    }
+}
+
+/// Decode one value from a buffer (pairs with [`write_value`]); returns the
+/// value and bytes consumed. Used by the polystore's binary CAST.
+pub fn read_value(buf: &[u8]) -> Result<(Value, usize)> {
+    let mut cur = Cursor::new(buf);
+    let v = cur.read_value()?;
+    Ok((v, cur.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> CommandLog {
+        let mut log = CommandLog::new(true);
+        log.append(LogRecord::Ingest {
+            stream: "vitals".into(),
+            row: vec![
+                Value::Timestamp(17),
+                Value::Int(4),
+                Value::Float(71.5),
+                Value::Text("ok".into()),
+                Value::Null,
+                Value::Bool(true),
+            ],
+        });
+        log.append(LogRecord::Invoke {
+            proc: "classify".into(),
+            args: vec![Value::Int(4)],
+        });
+        log
+    }
+
+    #[test]
+    fn roundtrip_all_value_types() {
+        let log = sample_log();
+        let bytes = log.to_bytes();
+        let back = CommandLog::from_bytes(&bytes).unwrap();
+        assert_eq!(back.records(), log.records());
+    }
+
+    #[test]
+    fn disabled_log_discards() {
+        let mut log = CommandLog::new(false);
+        log.append(LogRecord::Invoke {
+            proc: "p".into(),
+            args: vec![],
+        });
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn corrupt_log_rejected() {
+        let log = sample_log();
+        let mut bytes = log.to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(CommandLog::from_bytes(&bytes).is_err());
+        // unknown tag
+        let mut bytes = log.to_bytes();
+        bytes[8] = 9; // first record tag
+        assert!(CommandLog::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn value_roundtrip_helper() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &Value::Float(2.5));
+        write_value(&mut buf, &Value::Text("x".into()));
+        let (v1, used) = read_value(&buf).unwrap();
+        assert_eq!(v1, Value::Float(2.5));
+        let (v2, _) = read_value(&buf[used..]).unwrap();
+        assert_eq!(v2, Value::Text("x".into()));
+    }
+
+    #[test]
+    fn truncate_after_checkpoint() {
+        let mut log = sample_log();
+        assert_eq!(log.len(), 2);
+        log.truncate();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Streams as time-varying tables.
+//!
+//! In S-Store a stream *is* a table whose contents change as tuples age
+//! through it. A [`StreamTable`] couples an append log (bounded retention)
+//! with per-attribute sliding windows, and exposes the current contents as
+//! a `bigdawg_common::Batch` so islands can query it like any other table.
+
+use crate::window::{SlidingWindow, WindowSpec, WindowStats};
+use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema};
+use std::collections::VecDeque;
+
+/// A time-varying table: schema'd rows with bounded retention plus attached
+/// windows over one numeric column each.
+#[derive(Debug)]
+pub struct StreamTable {
+    name: String,
+    schema: Schema,
+    /// Index of the timestamp column.
+    ts_col: usize,
+    /// Recent rows, oldest first; bounded by `retention`.
+    rows: VecDeque<(i64, Row)>,
+    retention: usize,
+    /// Attached windows: (window name, source column index, window).
+    windows: Vec<(String, usize, SlidingWindow)>,
+    /// Total tuples ever appended.
+    appended: u64,
+}
+
+impl StreamTable {
+    /// Create a stream table. `ts_column` must exist and be Int/Timestamp.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        ts_column: &str,
+        retention: usize,
+    ) -> Result<Self> {
+        let ts_col = schema.index_of(ts_column)?;
+        let ty = schema.field(ts_col).data_type;
+        if !matches!(ty, DataType::Int | DataType::Timestamp) {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "timestamp column `{ts_column}` must be int/timestamp, is {ty}"
+            )));
+        }
+        Ok(StreamTable {
+            name: name.into(),
+            schema,
+            ts_col,
+            rows: VecDeque::new(),
+            retention: retention.max(1),
+            windows: Vec::new(),
+            appended: 0,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Attach a sliding window over a numeric column.
+    pub fn attach_window(
+        &mut self,
+        window_name: impl Into<String>,
+        column: &str,
+        spec: WindowSpec,
+    ) -> Result<()> {
+        let col = self.schema.index_of(column)?;
+        self.windows
+            .push((window_name.into(), col, SlidingWindow::new(spec)));
+        Ok(())
+    }
+
+    /// Append a row. Returns the window firings it triggered:
+    /// `(window name, stats)` pairs.
+    pub fn append(&mut self, row: Row) -> Result<Vec<(String, WindowStats)>> {
+        if row.len() != self.schema.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "stream `{}` expects {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        let ts = row[self.ts_col].as_i64()?;
+        let mut firings = Vec::new();
+        for (wname, col, w) in &mut self.windows {
+            let v = row[*col].as_f64()?;
+            if let Some(stats) = w.push(ts, v) {
+                firings.push((wname.clone(), stats));
+            }
+        }
+        self.rows.push_back((ts, row));
+        while self.rows.len() > self.retention {
+            self.rows.pop_front();
+        }
+        self.appended += 1;
+        Ok(firings)
+    }
+
+    /// Rows that have aged past a window's reach and can move to the
+    /// historical store (the S-Store → SciDB hand-off of §3). Removes and
+    /// returns all retained rows older than `watermark`.
+    pub fn drain_older_than(&mut self, watermark: i64) -> Vec<Row> {
+        let mut out = Vec::new();
+        while let Some((ts, _)) = self.rows.front() {
+            if *ts < watermark {
+                out.push(self.rows.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Current contents as a queryable batch (the "time-varying table").
+    pub fn snapshot(&self) -> Batch {
+        let rows: Vec<Row> = self.rows.iter().map(|(_, r)| r.clone()).collect();
+        Batch::new(self.schema.clone(), rows).expect("rows validated on append")
+    }
+
+    /// Stats snapshot of a named window.
+    pub fn window_stats(&self, window_name: &str) -> Result<WindowStats> {
+        self.windows
+            .iter()
+            .find(|(n, _, _)| n == window_name)
+            .map(|(_, _, w)| w.stats())
+            .ok_or_else(|| BigDawgError::NotFound(format!("window `{window_name}`")))
+    }
+
+    /// Contents of a named window as (ts, value) pairs.
+    pub fn window_contents(&self, window_name: &str) -> Result<Vec<(i64, f64)>> {
+        self.windows
+            .iter()
+            .find(|(n, _, _)| n == window_name)
+            .map(|(_, _, w)| w.contents().collect())
+            .ok_or_else(|| BigDawgError::NotFound(format!("window `{window_name}`")))
+    }
+
+    /// Event timestamp of the newest appended row.
+    pub fn latest_ts(&self) -> Option<i64> {
+        self.rows.back().map(|(ts, _)| *ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::Value;
+
+    fn vitals_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("patient_id", DataType::Int),
+            ("hr", DataType::Float),
+        ])
+    }
+
+    fn row(ts: i64, pid: i64, hr: f64) -> Row {
+        vec![Value::Timestamp(ts), Value::Int(pid), Value::Float(hr)]
+    }
+
+    #[test]
+    fn append_and_snapshot() {
+        let mut st = StreamTable::new("vitals", vitals_schema(), "ts", 100).unwrap();
+        st.append(row(1, 7, 72.0)).unwrap();
+        st.append(row(2, 7, 75.0)).unwrap();
+        let snap = st.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.rows()[1][2], Value::Float(75.0));
+        assert_eq!(st.appended(), 2);
+    }
+
+    #[test]
+    fn retention_bounds_memory() {
+        let mut st = StreamTable::new("v", vitals_schema(), "ts", 3).unwrap();
+        for i in 0..10 {
+            st.append(row(i, 1, i as f64)).unwrap();
+        }
+        assert_eq!(st.len(), 3);
+        assert_eq!(st.snapshot().rows()[0][0], Value::Timestamp(7));
+        assert_eq!(st.appended(), 10);
+    }
+
+    #[test]
+    fn window_firing_through_append() {
+        let mut st = StreamTable::new("v", vitals_schema(), "ts", 100).unwrap();
+        st.attach_window("w_hr", "hr", WindowSpec::tumbling(3)).unwrap();
+        assert!(st.append(row(1, 1, 60.0)).unwrap().is_empty());
+        assert!(st.append(row(2, 1, 70.0)).unwrap().is_empty());
+        let firings = st.append(row(3, 1, 80.0)).unwrap();
+        assert_eq!(firings.len(), 1);
+        assert_eq!(firings[0].0, "w_hr");
+        assert_eq!(firings[0].1.mean, 70.0);
+        assert_eq!(st.window_stats("w_hr").unwrap().max, 80.0);
+    }
+
+    #[test]
+    fn drain_older_than_watermark() {
+        let mut st = StreamTable::new("v", vitals_schema(), "ts", 100).unwrap();
+        for i in 0..5 {
+            st.append(row(i, 1, i as f64)).unwrap();
+        }
+        let aged = st.drain_older_than(3);
+        assert_eq!(aged.len(), 3);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.latest_ts(), Some(4));
+    }
+
+    #[test]
+    fn bad_ts_column_rejected() {
+        let schema = Schema::from_pairs(&[("name", DataType::Text)]);
+        assert!(StreamTable::new("s", schema, "name", 10).is_err());
+        let schema = vitals_schema();
+        assert!(StreamTable::new("s", schema, "missing", 10).is_err());
+    }
+
+    #[test]
+    fn unknown_window_errors() {
+        let st = StreamTable::new("v", vitals_schema(), "ts", 10).unwrap();
+        assert!(st.window_stats("nope").is_err());
+        assert!(st.window_contents("nope").is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Transactions over engine state.
+//!
+//! S-Store inherits H-Store's partition model: one single-threaded executor
+//! per partition runs transactions *serially*, so isolation is free and
+//! atomicity only needs deferred writes. A [`TxContext`] buffers table
+//! writes and stream emissions; the engine applies them on commit and drops
+//! them on abort. Reads observe committed state (no read-your-writes —
+//! stored procedures in the demo never need it).
+
+use bigdawg_common::{BigDawgError, Batch, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// A plain state table (not time-varying): reference waveform statistics,
+/// alert logs, patient risk classes.
+#[derive(Debug, Clone)]
+pub struct StateTable {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl StateTable {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        StateTable {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "table `{}` expects {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn snapshot(&self) -> Batch {
+        Batch::new(self.schema.clone(), self.rows.clone()).expect("validated on insert")
+    }
+
+    /// First row where `column == key` (point lookup used by procedures).
+    pub fn lookup(&self, column: &str, key: &Value) -> Result<Option<&Row>> {
+        let c = self.schema.index_of(column)?;
+        Ok(self.rows.iter().find(|r| &r[c] == key))
+    }
+
+    /// Replace rows where `column == key`; returns how many matched.
+    pub fn update_where(&mut self, column: &str, key: &Value, new_row: Row) -> Result<usize> {
+        if new_row.len() != self.schema.len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "table `{}` expects {} columns",
+                self.name,
+                self.schema.len()
+            )));
+        }
+        let c = self.schema.index_of(column)?;
+        let mut n = 0;
+        for r in &mut self.rows {
+            if r[c] == *key {
+                *r = new_row.clone();
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// A buffered write produced by a stored procedure.
+#[derive(Debug, Clone)]
+pub enum PendingWrite {
+    TableInsert { table: String, row: Row },
+    TableUpdate { table: String, column: String, key: Value, row: Row },
+    StreamEmit { stream: String, row: Row },
+}
+
+/// Transaction context handed to stored procedures.
+///
+/// Reads go straight to committed state; writes are buffered into
+/// [`PendingWrite`]s that the engine applies atomically on commit.
+pub struct TxContext<'a> {
+    tables: &'a HashMap<String, StateTable>,
+    stream_snapshots: &'a dyn Fn(&str) -> Result<Batch>,
+    writes: Vec<PendingWrite>,
+    /// Event-time of the triggering tuple (what "now" means inside the SP).
+    pub event_ts: i64,
+}
+
+impl<'a> TxContext<'a> {
+    pub(crate) fn new(
+        tables: &'a HashMap<String, StateTable>,
+        stream_snapshots: &'a dyn Fn(&str) -> Result<Batch>,
+        event_ts: i64,
+    ) -> Self {
+        TxContext {
+            tables,
+            stream_snapshots,
+            writes: Vec::new(),
+            event_ts,
+        }
+    }
+
+    /// Read a state table.
+    pub fn table(&self, name: &str) -> Result<&StateTable> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| BigDawgError::NotFound(format!("state table `{name}`")))
+    }
+
+    /// Read a stream's current time-varying contents.
+    pub fn stream_snapshot(&self, name: &str) -> Result<Batch> {
+        (self.stream_snapshots)(name)
+    }
+
+    /// Buffer an insert into a state table.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        // Validate arity now so the error aborts the transaction, not commit.
+        let t = self.table(table)?;
+        if row.len() != t.schema().len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "table `{table}` expects {} columns, got {}",
+                t.schema().len(),
+                row.len()
+            )));
+        }
+        self.writes.push(PendingWrite::TableInsert {
+            table: table.to_string(),
+            row,
+        });
+        Ok(())
+    }
+
+    /// Buffer an update of rows where `column == key`.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        column: &str,
+        key: Value,
+        row: Row,
+    ) -> Result<()> {
+        let t = self.table(table)?;
+        t.schema().index_of(column)?;
+        if row.len() != t.schema().len() {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "table `{table}` expects {} columns",
+                t.schema().len()
+            )));
+        }
+        self.writes.push(PendingWrite::TableUpdate {
+            table: table.to_string(),
+            column: column.to_string(),
+            key,
+            row,
+        });
+        Ok(())
+    }
+
+    /// Buffer an emission into a downstream stream (drives the workflow
+    /// graph: committed emissions trigger the stream's subscribed
+    /// procedures, each in its own transaction — S-Store's dataflow of
+    /// transactions).
+    pub fn emit(&mut self, stream: &str, row: Row) {
+        self.writes.push(PendingWrite::StreamEmit {
+            stream: stream.to_string(),
+            row,
+        });
+    }
+
+    /// Abort the transaction with a reason.
+    pub fn abort<T>(&self, reason: impl Into<String>) -> Result<T> {
+        Err(BigDawgError::TxAborted(reason.into()))
+    }
+
+    pub(crate) fn into_writes(self) -> Vec<PendingWrite> {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::DataType;
+
+    fn alerts_schema() -> Schema {
+        Schema::from_pairs(&[("ts", DataType::Timestamp), ("msg", DataType::Text)])
+    }
+
+    #[test]
+    fn state_table_crud() {
+        let mut t = StateTable::new("refs", alerts_schema());
+        t.insert(vec![Value::Timestamp(1), Value::Text("a".into())])
+            .unwrap();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert_eq!(t.len(), 1);
+        let found = t.lookup("msg", &Value::Text("a".into())).unwrap();
+        assert!(found.is_some());
+        let n = t
+            .update_where(
+                "msg",
+                &Value::Text("a".into()),
+                vec![Value::Timestamp(2), Value::Text("b".into())],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(t.lookup("msg", &Value::Text("a".into())).unwrap().is_none());
+    }
+
+    #[test]
+    fn tx_buffers_writes_and_validates_eagerly() {
+        let mut tables = HashMap::new();
+        tables.insert("alerts".to_string(), StateTable::new("alerts", alerts_schema()));
+        let snap = |_: &str| -> Result<Batch> {
+            Err(BigDawgError::NotFound("no streams".into()))
+        };
+        let mut ctx = TxContext::new(&tables, &snap, 42);
+        assert_eq!(ctx.event_ts, 42);
+        ctx.insert(
+            "alerts",
+            vec![Value::Timestamp(42), Value::Text("hi".into())],
+        )
+        .unwrap();
+        // arity error surfaces inside the tx, not at commit
+        assert!(ctx.insert("alerts", vec![Value::Int(1)]).is_err());
+        assert!(ctx.insert("missing", vec![]).is_err());
+        ctx.emit("out", vec![Value::Int(1)]);
+        let writes = ctx.into_writes();
+        assert_eq!(writes.len(), 2);
+        // committed state untouched until engine applies
+        assert_eq!(tables["alerts"].len(), 0);
+    }
+
+    #[test]
+    fn abort_helper_produces_tx_error() {
+        let tables = HashMap::new();
+        let snap = |_: &str| -> Result<Batch> { Err(BigDawgError::NotFound("x".into())) };
+        let ctx = TxContext::new(&tables, &snap, 0);
+        let r: Result<()> = ctx.abort("bad reading");
+        assert_eq!(r.unwrap_err().kind(), "tx_aborted");
+    }
+}

@@ -1,0 +1,237 @@
+//! Sliding windows with O(1) incremental aggregates.
+//!
+//! Alerts in the demo fire on windowed aggregates of 125 Hz waveforms
+//! (§2.3: "a trigger on a windowed aggregate from a heart monitor"), so the
+//! window must absorb hundreds of updates per second per patient. Sum/count
+//! are maintained incrementally and min/max with monotonic deques, giving
+//! amortized O(1) per tuple instead of O(window) rescans.
+
+use std::collections::VecDeque;
+
+/// Window shape: tuple-count based (`size` tuples, advancing by `slide`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Number of tuples in a full window.
+    pub size: usize,
+    /// How many new tuples arrive between firings.
+    pub slide: usize,
+}
+
+impl WindowSpec {
+    pub fn tumbling(size: usize) -> Self {
+        WindowSpec { size, slide: size }
+    }
+
+    pub fn sliding(size: usize, slide: usize) -> Self {
+        WindowSpec { size, slide }
+    }
+}
+
+/// Aggregate snapshot of the current window contents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    pub count: usize,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// A sliding window over a stream of `(timestamp, value)` pairs.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    spec: WindowSpec,
+    buf: VecDeque<(i64, f64)>,
+    sum: f64,
+    /// Monotonically decreasing values (front = current min candidates).
+    min_deque: VecDeque<(u64, f64)>,
+    /// Monotonically increasing values (front = current max candidates).
+    max_deque: VecDeque<(u64, f64)>,
+    /// Sequence number of the next pushed tuple.
+    next_seq: u64,
+    /// Sequence number of the oldest tuple still in the window.
+    first_seq: u64,
+    /// Tuples since the last firing.
+    since_fire: usize,
+}
+
+impl SlidingWindow {
+    pub fn new(spec: WindowSpec) -> Self {
+        assert!(spec.size > 0 && spec.slide > 0, "degenerate window spec");
+        SlidingWindow {
+            spec,
+            buf: VecDeque::with_capacity(spec.size + 1),
+            sum: 0.0,
+            min_deque: VecDeque::new(),
+            max_deque: VecDeque::new(),
+            next_seq: 0,
+            first_seq: 0,
+            since_fire: 0,
+        }
+    }
+
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Push a tuple. Returns `Some(stats)` when the window *fires*: it is
+    /// full and `slide` tuples have arrived since the last firing (the first
+    /// firing happens when the window first fills).
+    pub fn push(&mut self, ts: i64, value: f64) -> Option<WindowStats> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buf.push_back((ts, value));
+        self.sum += value;
+        while self.min_deque.back().is_some_and(|&(_, v)| v >= value) {
+            self.min_deque.pop_back();
+        }
+        self.min_deque.push_back((seq, value));
+        while self.max_deque.back().is_some_and(|&(_, v)| v <= value) {
+            self.max_deque.pop_back();
+        }
+        self.max_deque.push_back((seq, value));
+
+        // Evict past the window size.
+        while self.buf.len() > self.spec.size {
+            let (_, old) = self.buf.pop_front().expect("non-empty");
+            self.sum -= old;
+            if self.min_deque.front().is_some_and(|&(s, _)| s == self.first_seq) {
+                self.min_deque.pop_front();
+            }
+            if self.max_deque.front().is_some_and(|&(s, _)| s == self.first_seq) {
+                self.max_deque.pop_front();
+            }
+            self.first_seq += 1;
+        }
+
+        self.since_fire += 1;
+        if self.buf.len() == self.spec.size && self.since_fire >= self.spec.slide {
+            self.since_fire = 0;
+            Some(self.stats())
+        } else {
+            None
+        }
+    }
+
+    /// Current aggregate snapshot (any fill level).
+    pub fn stats(&self) -> WindowStats {
+        let count = self.buf.len();
+        WindowStats {
+            count,
+            sum: self.sum,
+            mean: if count == 0 { f64::NAN } else { self.sum / count as f64 },
+            min: self.min_deque.front().map_or(f64::NAN, |&(_, v)| v),
+            max: self.max_deque.front().map_or(f64::NAN, |&(_, v)| v),
+        }
+    }
+
+    /// The window contents as `(timestamp, value)` pairs, oldest first —
+    /// this is the "time-varying table" view queried by the polystore.
+    pub fn contents(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Event timestamp of the newest tuple.
+    pub fn latest_ts(&self) -> Option<i64> {
+        self.buf.back().map(|&(ts, _)| ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_fires_on_fill() {
+        let mut w = SlidingWindow::new(WindowSpec::tumbling(3));
+        assert!(w.push(0, 1.0).is_none());
+        assert!(w.push(1, 2.0).is_none());
+        let s = w.push(2, 3.0).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 6.0);
+        assert_eq!(s.mean, 2.0);
+        // next firing only after 3 more
+        assert!(w.push(3, 4.0).is_none());
+        assert!(w.push(4, 5.0).is_none());
+        let s = w.push(5, 6.0).unwrap();
+        assert_eq!(s.sum, 15.0);
+    }
+
+    #[test]
+    fn sliding_fires_every_slide() {
+        let mut w = SlidingWindow::new(WindowSpec::sliding(4, 2));
+        let mut fires = 0;
+        for i in 0..10 {
+            if w.push(i, i as f64).is_some() {
+                fires += 1;
+            }
+        }
+        // fills at i=3, then fires at 5, 7, 9
+        assert_eq!(fires, 4);
+    }
+
+    #[test]
+    fn min_max_track_evictions() {
+        let mut w = SlidingWindow::new(WindowSpec::sliding(3, 1));
+        w.push(0, 5.0);
+        w.push(1, 1.0);
+        w.push(2, 3.0);
+        assert_eq!(w.stats().min, 1.0);
+        assert_eq!(w.stats().max, 5.0);
+        w.push(3, 2.0); // evicts 5.0
+        assert_eq!(w.stats().max, 3.0);
+        w.push(4, 0.5); // evicts 1.0
+        assert_eq!(w.stats().min, 0.5);
+        w.push(5, 9.0); // evicts 3.0
+        let s = w.stats();
+        assert_eq!((s.min, s.max), (0.5, 9.0));
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn min_max_against_naive_reference() {
+        // Randomized cross-check of the monotonic deques.
+        let mut w = SlidingWindow::new(WindowSpec::sliding(7, 1));
+        let mut xs: Vec<f64> = Vec::new();
+        let mut state = 0x12345u64;
+        for i in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((state >> 33) % 1000) as f64 / 10.0;
+            xs.push(v);
+            w.push(i, v);
+            let lo = xs.len().saturating_sub(7);
+            let slice = &xs[lo..];
+            let naive_min = slice.iter().cloned().fold(f64::INFINITY, f64::min);
+            let naive_max = slice.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(w.stats().min, naive_min, "at i={i}");
+            assert_eq!(w.stats().max, naive_max, "at i={i}");
+        }
+    }
+
+    #[test]
+    fn contents_ordered_oldest_first() {
+        let mut w = SlidingWindow::new(WindowSpec::sliding(2, 1));
+        w.push(10, 1.0);
+        w.push(11, 2.0);
+        w.push(12, 3.0);
+        let c: Vec<_> = w.contents().collect();
+        assert_eq!(c, vec![(11, 2.0), (12, 3.0)]);
+        assert_eq!(w.latest_ts(), Some(12));
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let w = SlidingWindow::new(WindowSpec::tumbling(4));
+        let s = w.stats();
+        assert!(s.mean.is_nan() && s.min.is_nan() && s.max.is_nan());
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Tile-native computation — the §2.4 tight-coupling story.
+//!
+//! The paper argues that a DBMS loosely coupled to a linear-algebra package
+//! pays a heavy conversion tax: the two sides disagree on tile sizes and
+//! formats, so data is exported, transformed, and re-imported around every
+//! kernel call. TileDB's answer is to make the tile the unit of computation
+//! too: kernels here stream over tiles *in place*.
+//!
+//! Experiment E10 compares:
+//!
+//! * **tight**: [`tile_sum`], [`tile_matmul`] operating directly on tile
+//!   buffers;
+//! * **loose**: [`export_cells`] → compute on the flat copy → [`import_cells`]
+//!   (the "convert data back and forth between their respective formats"
+//!   path the paper complains about).
+
+use crate::db::TileDb;
+use crate::tile::{Tile, TileSchema};
+use bigdawg_common::{BigDawgError, Result};
+
+/// Tight-coupled whole-array sum: streams tiles without materializing the
+/// array. Later fragments shadow earlier ones, so for exactness this only
+/// supports single-fragment (consolidated) arrays — consolidate first.
+pub fn tile_sum(db: &TileDb) -> Result<f64> {
+    require_consolidated(db)?;
+    let mut sum = 0.0;
+    for frag in db.fragments() {
+        for tile in frag.dense.values() {
+            if let Tile::Dense { data, .. } = tile {
+                sum += data.values().iter().filter(|v| !v.is_nan()).sum::<f64>();
+            }
+        }
+        for tile in &frag.sparse {
+            if let Tile::Sparse { cells, .. } = tile {
+                sum += cells.iter().map(|(_, v)| v).sum::<f64>();
+            }
+        }
+    }
+    Ok(sum)
+}
+
+/// Tight-coupled dense matmul over consolidated 2-d arrays: multiplies
+/// tile-by-tile (block algorithm), reading each tile buffer exactly once
+/// and writing the product as one dense fragment.
+pub fn tile_matmul(a: &TileDb, b: &TileDb) -> Result<TileDb> {
+    require_consolidated(a)?;
+    require_consolidated(b)?;
+    require_dense(a)?;
+    require_dense(b)?;
+    let (sa, sb) = (a.schema(), b.schema());
+    if sa.ndim() != 2 || sb.ndim() != 2 {
+        return Err(BigDawgError::SchemaMismatch("matmul needs 2-d arrays".into()));
+    }
+    if sa.dims[1] != sb.dims[0] {
+        return Err(BigDawgError::SchemaMismatch(format!(
+            "matmul shape mismatch {:?} · {:?}",
+            sa.dims, sb.dims
+        )));
+    }
+    let (m, k, n) = (sa.dims[0] as usize, sa.dims[1] as usize, sb.dims[1] as usize);
+    // Materialize per-tile buffers lazily into the output accumulator. The
+    // "tight" win is that tiles come straight out of storage in blocks that
+    // match the compute blocking.
+    let mut out = vec![0.0f64; m * n];
+    let a_frag = &a.fragments()[0];
+    let b_frag = &b.fragments()[0];
+    for (atc, atile) in &a_frag.dense {
+        let Tile::Dense { data: adata, .. } = atile else { continue };
+        let abuf = adata.values();
+        let (a_i0, a_k0) = (
+            (atc[0] * sa.tile_extents[0]) as usize,
+            (atc[1] * sa.tile_extents[1]) as usize,
+        );
+        let (a_ie, a_ke) = (sa.tile_extents[0] as usize, sa.tile_extents[1] as usize);
+        for (btc, btile) in &b_frag.dense {
+            // Only blocks sharing the contraction range multiply.
+            if btc[0] * sb.tile_extents[0] >= (a_k0 + a_ke) as u64
+                || (btc[0] + 1) * sb.tile_extents[0] <= a_k0 as u64
+            {
+                continue;
+            }
+            let Tile::Dense { data: bdata, .. } = btile else { continue };
+            let bbuf = bdata.values();
+            let (b_k0, b_j0) = (
+                (btc[0] * sb.tile_extents[0]) as usize,
+                (btc[1] * sb.tile_extents[1]) as usize,
+            );
+            let (b_ke, b_je) = (sb.tile_extents[0] as usize, sb.tile_extents[1] as usize);
+            let k_lo = a_k0.max(b_k0);
+            let k_hi = (a_k0 + a_ke).min(b_k0 + b_ke).min(k);
+            for i in a_i0..(a_i0 + a_ie).min(m) {
+                for kk in k_lo..k_hi {
+                    let av = abuf[(i - a_i0) * a_ke + (kk - a_k0)];
+                    if av.is_nan() || av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bbuf[(kk - b_k0) * b_je..];
+                    for j in b_j0..(b_j0 + b_je).min(n) {
+                        let bv = brow[j - b_j0];
+                        if !bv.is_nan() {
+                            out[i * n + j] += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut result = TileDb::new(TileSchema::new(
+        format!("matmul({},{})", sa.name, sb.name),
+        vec![m as u64, n as u64],
+        vec![sa.tile_extents[0].min(m as u64), sb.tile_extents[1].min(n as u64)],
+    )?);
+    result.write_dense(&out)?;
+    Ok(result)
+}
+
+/// Loose-coupling leg 1: export the array into the "external package's"
+/// flat row-major format (a full copy + layout conversion).
+pub fn export_cells(db: &TileDb) -> Result<Vec<f64>> {
+    let dims = &db.schema().dims;
+    let total: u64 = dims.iter().product();
+    let mut flat = vec![0.0f64; total as usize];
+    let high: Vec<i64> = dims.iter().map(|&d| d as i64 - 1).collect();
+    let low = vec![0i64; dims.len()];
+    for (coords, v) in db.read_region(&low, &high)? {
+        let mut idx = 0usize;
+        for (c, d) in coords.iter().zip(dims) {
+            idx = idx * (*d as usize) + *c as usize;
+        }
+        flat[idx] = v;
+    }
+    Ok(flat)
+}
+
+/// Loose-coupling leg 2: import a flat buffer back as a fresh array (the
+/// copy back after the external kernel ran).
+pub fn import_cells(schema: TileSchema, flat: &[f64]) -> Result<TileDb> {
+    let mut db = TileDb::new(schema);
+    db.write_dense(flat)?;
+    Ok(db)
+}
+
+fn require_consolidated(db: &TileDb) -> Result<()> {
+    if db.fragment_count() > 1 {
+        return Err(BigDawgError::Execution(
+            "tile kernels need a consolidated array (call consolidate() first)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Matmul additionally requires fully dense tile-aligned inputs: cells that
+/// spilled into sparse tiles (partial edge tiles) would silently be skipped
+/// by the dense block loop, so refuse them instead.
+fn require_dense(db: &TileDb) -> Result<()> {
+    if db.fragments().iter().any(|f| !f.sparse.is_empty()) {
+        return Err(BigDawgError::Execution(
+            "tile matmul needs dense tile-aligned arrays (choose tile extents \
+             that divide the dimensions)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_db(name: &str, rows: u64, cols: u64, f: impl Fn(usize) -> f64) -> TileDb {
+        let mut db = TileDb::new(TileSchema::new(name, vec![rows, cols], vec![4, 4]).unwrap());
+        let buf: Vec<f64> = (0..(rows * cols) as usize).map(f).collect();
+        db.write_dense(&buf).unwrap();
+        db
+    }
+
+    #[test]
+    fn tile_sum_matches_flat_sum() {
+        let db = dense_db("a", 8, 8, |i| i as f64);
+        assert_eq!(tile_sum(&db).unwrap(), (0..64).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn tile_sum_requires_consolidation() {
+        let mut db = dense_db("a", 8, 8, |i| i as f64);
+        db.write(&[(vec![0, 0], 5.0)]).unwrap();
+        assert!(tile_sum(&db).is_err());
+        db.consolidate().unwrap();
+        let s = tile_sum(&db).unwrap();
+        assert_eq!(s, (0..64).sum::<usize>() as f64 + 5.0);
+    }
+
+    #[test]
+    fn tile_matmul_matches_reference() {
+        let a = dense_db("a", 8, 8, |i| (i % 7) as f64);
+        let b = dense_db("b", 8, 8, |i| (i % 5) as f64);
+        let tight = tile_matmul(&a, &b).unwrap();
+
+        // reference through the loose path
+        let fa = export_cells(&a).unwrap();
+        let fb = export_cells(&b).unwrap();
+        let mut reference = vec![0.0; 64];
+        for i in 0..8 {
+            for k in 0..8 {
+                for j in 0..8 {
+                    reference[i * 8 + j] += fa[i * 8 + k] * fb[k * 8 + j];
+                }
+            }
+        }
+        assert_eq!(export_cells(&tight).unwrap(), reference);
+    }
+
+    #[test]
+    fn tile_matmul_rectangular() {
+        let a = dense_db("a", 4, 8, |i| i as f64);
+        let b = dense_db("b", 8, 4, |i| (i as f64) * 0.5);
+        let p = tile_matmul(&a, &b).unwrap();
+        assert_eq!(p.schema().dims, vec![4, 4]);
+        let fa = export_cells(&a).unwrap();
+        let fb = export_cells(&b).unwrap();
+        let mut reference = vec![0.0; 16];
+        for i in 0..4 {
+            for k in 0..8 {
+                for j in 0..4 {
+                    reference[i * 4 + j] += fa[i * 8 + k] * fb[k * 4 + j];
+                }
+            }
+        }
+        assert_eq!(export_cells(&p).unwrap(), reference);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = dense_db("a", 4, 8, |_| 1.0);
+        let b = dense_db("b", 4, 4, |_| 1.0);
+        assert!(tile_matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let db = dense_db("a", 8, 8, |i| (i * 3) as f64);
+        let flat = export_cells(&db).unwrap();
+        let back = import_cells(db.schema().clone(), &flat).unwrap();
+        assert_eq!(export_cells(&back).unwrap(), flat);
+    }
+}

@@ -1,0 +1,204 @@
+//! The TileDB array: schema + fragment list + reads + consolidation.
+
+use crate::fragment::Fragment;
+use crate::tile::TileSchema;
+use bigdawg_common::{BigDawgError, Result};
+
+/// A TileDB-style array.
+#[derive(Debug)]
+pub struct TileDb {
+    schema: TileSchema,
+    fragments: Vec<Fragment>,
+    next_fragment_id: u64,
+}
+
+impl TileDb {
+    pub fn new(schema: TileSchema) -> Self {
+        TileDb {
+            schema,
+            fragments: Vec::new(),
+            next_fragment_id: 1,
+        }
+    }
+
+    pub fn schema(&self) -> &TileSchema {
+        &self.schema
+    }
+
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Total tiles across fragments.
+    pub fn tile_count(&self) -> usize {
+        self.fragments.iter().map(Fragment::tile_count).sum()
+    }
+
+    /// Write a batch of cells as one new immutable fragment.
+    pub fn write(&mut self, cells: &[(Vec<i64>, f64)]) -> Result<u64> {
+        if cells.is_empty() {
+            return Err(BigDawgError::Execution("empty write batch".into()));
+        }
+        let id = self.next_fragment_id;
+        self.fragments
+            .push(Fragment::from_writes(id, &self.schema, cells)?);
+        self.next_fragment_id += 1;
+        Ok(id)
+    }
+
+    /// Dense-write helper: fill the whole domain of a 1-d or 2-d array from
+    /// a row-major buffer.
+    pub fn write_dense(&mut self, buf: &[f64]) -> Result<u64> {
+        let expected: u64 = self.schema.dims.iter().product();
+        if buf.len() as u64 != expected {
+            return Err(BigDawgError::SchemaMismatch(format!(
+                "dense write needs {expected} cells, got {}",
+                buf.len()
+            )));
+        }
+        let mut cells = Vec::with_capacity(buf.len());
+        match self.schema.ndim() {
+            1 => {
+                for (i, v) in buf.iter().enumerate() {
+                    cells.push((vec![i as i64], *v));
+                }
+            }
+            2 => {
+                let cols = self.schema.dims[1] as usize;
+                for (i, v) in buf.iter().enumerate() {
+                    cells.push((vec![(i / cols) as i64, (i % cols) as i64], *v));
+                }
+            }
+            n => {
+                return Err(BigDawgError::Unsupported(format!(
+                    "write_dense supports 1-d/2-d arrays, got {n}-d"
+                )))
+            }
+        }
+        self.write(&cells)
+    }
+
+    /// Read one cell, resolving across fragments (newest wins).
+    pub fn get(&self, coords: &[i64]) -> Result<Option<f64>> {
+        if !self.schema.in_domain(coords) {
+            return Err(BigDawgError::Execution(format!(
+                "read at {coords:?} outside domain"
+            )));
+        }
+        for frag in self.fragments.iter().rev() {
+            if let Some(v) = frag.get(&self.schema, coords) {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Read a rectangular region `[low, high]` inclusive; returns present
+    /// cells with newest-fragment resolution.
+    pub fn read_region(&self, low: &[i64], high: &[i64]) -> Result<Vec<(Vec<i64>, f64)>> {
+        if !self.schema.in_domain(low) || !self.schema.in_domain(high) {
+            return Err(BigDawgError::Execution("region outside domain".into()));
+        }
+        use std::collections::BTreeMap;
+        let mut resolved: BTreeMap<Vec<i64>, f64> = BTreeMap::new();
+        // Older fragments first; later inserts overwrite.
+        for frag in &self.fragments {
+            for (coords, v) in frag.cells(&self.schema) {
+                if coords
+                    .iter()
+                    .zip(low.iter().zip(high))
+                    .all(|(c, (l, h))| c >= l && c <= h)
+                {
+                    resolved.insert(coords, v);
+                }
+            }
+        }
+        Ok(resolved.into_iter().collect())
+    }
+
+    /// Merge all fragments into one (TileDB's consolidation). Read
+    /// performance recovers and dropped/overwritten cells are garbage
+    /// collected.
+    pub fn consolidate(&mut self) -> Result<()> {
+        if self.fragments.len() <= 1 {
+            return Ok(());
+        }
+        let dims = self.schema.dims.clone();
+        let high: Vec<i64> = dims.iter().map(|&d| d as i64 - 1).collect();
+        let low = vec![0i64; dims.len()];
+        let cells = self.read_region(&low, &high)?;
+        let id = self.next_fragment_id;
+        self.next_fragment_id += 1;
+        let merged = Fragment::from_writes(id, &self.schema, &cells)?;
+        self.fragments = vec![merged];
+        Ok(())
+    }
+
+    /// Iterate all fragments (tile-native kernels use this to stream tiles).
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TileDb {
+        TileDb::new(TileSchema::new("a", vec![8, 8], vec![4, 4]).unwrap())
+    }
+
+    #[test]
+    fn later_fragment_wins() {
+        let mut t = db();
+        t.write(&[(vec![1, 1], 1.0), (vec![2, 2], 2.0)]).unwrap();
+        t.write(&[(vec![1, 1], 10.0)]).unwrap();
+        assert_eq!(t.get(&[1, 1]).unwrap(), Some(10.0));
+        assert_eq!(t.get(&[2, 2]).unwrap(), Some(2.0));
+        assert_eq!(t.get(&[3, 3]).unwrap(), None);
+        assert_eq!(t.fragment_count(), 2);
+    }
+
+    #[test]
+    fn region_read_merges() {
+        let mut t = db();
+        t.write(&[(vec![0, 0], 1.0), (vec![0, 1], 2.0), (vec![5, 5], 9.0)])
+            .unwrap();
+        t.write(&[(vec![0, 1], 20.0)]).unwrap();
+        let cells = t.read_region(&[0, 0], &[1, 1]).unwrap();
+        assert_eq!(cells, vec![(vec![0, 0], 1.0), (vec![0, 1], 20.0)]);
+    }
+
+    #[test]
+    fn consolidation_preserves_merged_view() {
+        let mut t = db();
+        t.write(&[(vec![1, 1], 1.0)]).unwrap();
+        t.write(&[(vec![1, 1], 2.0), (vec![3, 3], 3.0)]).unwrap();
+        t.write(&[(vec![7, 7], 7.0)]).unwrap();
+        let before = t.read_region(&[0, 0], &[7, 7]).unwrap();
+        t.consolidate().unwrap();
+        assert_eq!(t.fragment_count(), 1);
+        let after = t.read_region(&[0, 0], &[7, 7]).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(t.get(&[1, 1]).unwrap(), Some(2.0));
+    }
+
+    #[test]
+    fn write_dense_2d() {
+        let mut t = db();
+        let buf: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        t.write_dense(&buf).unwrap();
+        assert_eq!(t.get(&[3, 5]).unwrap(), Some(29.0));
+        // one full fragment with 4 dense tiles
+        assert_eq!(t.fragments()[0].dense.len(), 4);
+        assert!(t.write_dense(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn domain_errors() {
+        let mut t = db();
+        assert!(t.write(&[]).is_err());
+        assert!(t.get(&[8, 0]).is_err());
+        assert!(t.read_region(&[0, 0], &[8, 8]).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Immutable write fragments.
+//!
+//! TileDB never updates in place: each write batch becomes a new immutable
+//! fragment, and reads resolve cells across fragments with
+//! *later-fragment-wins* semantics. Consolidation merges fragments back
+//! into one.
+
+use crate::tile::{Tile, TileSchema};
+use bigdawg_common::{BigDawgError, Result};
+use std::collections::BTreeMap;
+
+/// One immutable write batch.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Monotonically increasing id; higher = newer.
+    pub id: u64,
+    /// Dense tiles keyed by tile grid coordinate.
+    pub dense: BTreeMap<Vec<u64>, Tile>,
+    /// Sparse tiles in write order.
+    pub sparse: Vec<Tile>,
+}
+
+impl Fragment {
+    /// Build a fragment from a batch of cell writes. Cells that fill entire
+    /// tiles are laid out densely; leftovers go to sparse tiles of at most
+    /// `schema.sparse_capacity` cells.
+    pub fn from_writes(
+        id: u64,
+        schema: &TileSchema,
+        writes: &[(Vec<i64>, f64)],
+    ) -> Result<Fragment> {
+        for (coords, _) in writes {
+            if !schema.in_domain(coords) {
+                return Err(BigDawgError::Execution(format!(
+                    "write at {coords:?} outside domain {:?}",
+                    schema.dims
+                )));
+            }
+        }
+        // Group writes by dense tile.
+        let mut per_tile: BTreeMap<Vec<u64>, Vec<(Vec<i64>, f64)>> = BTreeMap::new();
+        for (coords, v) in writes {
+            per_tile
+                .entry(schema.tile_coord(coords))
+                .or_default()
+                .push((coords.clone(), *v));
+        }
+        let mut dense = BTreeMap::new();
+        let mut leftovers: Vec<(Vec<i64>, f64)> = Vec::new();
+        let tile_cells = schema.tile_cells();
+        for (tc, cells) in per_tile {
+            if cells.len() == tile_cells {
+                // Full tile: dense layout.
+                let mut data = vec![f64::NAN; tile_cells];
+                for (coords, v) in &cells {
+                    data[schema.tile_offset(coords)] = *v;
+                }
+                dense.insert(tc.clone(), Tile::dense(tc, data));
+            } else {
+                leftovers.extend(cells);
+            }
+        }
+        leftovers.sort_by(|a, b| a.0.cmp(&b.0));
+        let sparse = leftovers
+            .chunks(schema.sparse_capacity.max(1))
+            .map(|chunk| Tile::sparse(chunk.to_vec()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Fragment { id, dense, sparse })
+    }
+
+    /// Read one cell from this fragment, if present.
+    pub fn get(&self, schema: &TileSchema, coords: &[i64]) -> Option<f64> {
+        let tc = schema.tile_coord(coords);
+        if let Some(Tile::Dense { data, .. }) = self.dense.get(&tc) {
+            let v = data.values()[schema.tile_offset(coords)];
+            if !v.is_nan() {
+                return Some(v);
+            }
+        }
+        for tile in &self.sparse {
+            if let Tile::Sparse { mbr, cells } = tile {
+                if !mbr.intersects(coords, coords) {
+                    continue;
+                }
+                if let Ok(i) = cells.binary_search_by(|(c, _)| c.as_slice().cmp(coords)) {
+                    return Some(cells[i].1);
+                }
+            }
+        }
+        None
+    }
+
+    /// All cells in this fragment as (coords, value).
+    pub fn cells(&self, schema: &TileSchema) -> Vec<(Vec<i64>, f64)> {
+        let mut out = Vec::new();
+        for (tc, tile) in &self.dense {
+            if let Tile::Dense { data, .. } = tile {
+                let vals = data.values();
+                for (off, v) in vals.iter().enumerate() {
+                    if v.is_nan() {
+                        continue;
+                    }
+                    out.push((offset_to_coords(schema, tc, off), *v));
+                }
+            }
+        }
+        for tile in &self.sparse {
+            if let Tile::Sparse { cells, .. } = tile {
+                out.extend(cells.iter().cloned());
+            }
+        }
+        out
+    }
+
+    pub fn tile_count(&self) -> usize {
+        self.dense.len() + self.sparse.len()
+    }
+}
+
+/// Convert a (tile coordinate, in-tile offset) back to global coordinates.
+pub(crate) fn offset_to_coords(schema: &TileSchema, tile_coord: &[u64], offset: usize) -> Vec<i64> {
+    let nd = schema.ndim();
+    let mut coords = vec![0i64; nd];
+    let mut rem = offset;
+    for d in (0..nd).rev() {
+        let e = schema.tile_extents[d] as usize;
+        coords[d] = (tile_coord[d] * schema.tile_extents[d]) as i64 + (rem % e) as i64;
+        rem /= e;
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TileSchema {
+        TileSchema::new("a", vec![8, 8], vec![4, 4]).unwrap()
+    }
+
+    #[test]
+    fn full_tile_goes_dense_partial_goes_sparse() {
+        let s = schema();
+        let mut writes = Vec::new();
+        // fill tile (0,0) completely
+        for i in 0..4 {
+            for j in 0..4 {
+                writes.push((vec![i, j], (i * 4 + j) as f64));
+            }
+        }
+        // a couple of cells in tile (1,1)
+        writes.push((vec![5, 5], 100.0));
+        writes.push((vec![6, 6], 200.0));
+        let f = Fragment::from_writes(1, &s, &writes).unwrap();
+        assert_eq!(f.dense.len(), 1);
+        assert_eq!(f.sparse.len(), 1);
+        assert_eq!(f.get(&s, &[2, 3]), Some(11.0));
+        assert_eq!(f.get(&s, &[5, 5]), Some(100.0));
+        assert_eq!(f.get(&s, &[7, 7]), None);
+        assert_eq!(f.cells(&s).len(), 18);
+    }
+
+    #[test]
+    fn out_of_domain_write_rejected() {
+        let s = schema();
+        assert!(Fragment::from_writes(1, &s, &[(vec![8, 0], 1.0)]).is_err());
+        assert!(Fragment::from_writes(1, &s, &[(vec![-1, 0], 1.0)]).is_err());
+    }
+
+    #[test]
+    fn sparse_capacity_splits_tiles() {
+        let mut s = schema();
+        s.sparse_capacity = 2;
+        let writes: Vec<(Vec<i64>, f64)> =
+            (0..5).map(|i| (vec![i, 0], i as f64)).collect();
+        let f = Fragment::from_writes(1, &s, &writes).unwrap();
+        assert_eq!(f.sparse.len(), 3); // 2 + 2 + 1
+        for i in 0..5 {
+            assert_eq!(f.get(&s, &[i, 0]), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn offset_coords_roundtrip() {
+        let s = schema();
+        for i in 0..8 {
+            for j in 0..8 {
+                let coords = vec![i, j];
+                let tc = s.tile_coord(&coords);
+                let off = s.tile_offset(&coords);
+                assert_eq!(offset_to_coords(&s, &tc, off), coords);
+            }
+        }
+    }
+}

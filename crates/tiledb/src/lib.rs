@@ -1,0 +1,27 @@
+//! A tile-based array storage engine — the TileDB stand-in (paper §2.5).
+//!
+//! TileDB's central idea: the **tile** is the fundamental unit of both
+//! storage *and computation*, and it can be optimized for dense or sparse
+//! data. This crate reproduces the architecture:
+//!
+//! * [`tile::Tile`] — dense tiles (fixed extents, RLE-compressible) and
+//!   sparse tiles (coordinate lists bounded by an MBR with a capacity);
+//! * [`fragment::Fragment`] — immutable write batches, as in TileDB; a
+//!   write never mutates existing data, and reads merge fragments with
+//!   later-fragment-wins semantics;
+//! * [`db::TileDb`] — the array: schema, fragment list, region reads,
+//!   consolidation;
+//! * [`compute`] — *tile-native kernels* (per-tile aggregate and matmul)
+//!   that operate on tile buffers in place. Experiment E10 compares these
+//!   tight-coupled kernels against the loose coupling the paper complains
+//!   about in §2.4 (export to an external linear-algebra package's format,
+//!   compute, re-import).
+
+pub mod compute;
+pub mod db;
+pub mod fragment;
+pub mod rle;
+pub mod tile;
+
+pub use db::TileDb;
+pub use tile::{Tile, TileSchema};

@@ -1,0 +1,88 @@
+//! Run-length encoding for dense tile payloads.
+//!
+//! Waveform tiles are flat for long stretches (leads disconnected, baseline
+//! segments), which is exactly what RLE exploits. The format is a sequence
+//! of `(count: u32, value: f64)` pairs, little-endian.
+
+/// Compress a buffer of f64 samples.
+pub fn compress(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let v = data[i];
+        let mut run = 1u32;
+        while i + (run as usize) < data.len()
+            && data[i + run as usize].to_bits() == v.to_bits()
+            && run < u32::MAX
+        {
+            run += 1;
+        }
+        out.extend_from_slice(&run.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+        i += run as usize;
+    }
+    out
+}
+
+/// Decompress; inverse of [`compress`].
+pub fn decompress(bytes: &[u8]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 12 <= bytes.len() {
+        let run = u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+        let v = f64::from_le_bytes(bytes[i + 4..i + 12].try_into().expect("8 bytes"));
+        out.extend(std::iter::repeat(v).take(run as usize));
+        i += 12;
+    }
+    out
+}
+
+/// Compression ratio achieved on `data` (uncompressed bytes / compressed).
+pub fn ratio(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    (data.len() * 8) as f64 / compress(data).len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_runs() {
+        let data = vec![0.0, 0.0, 0.0, 1.5, 1.5, -2.0, 0.0];
+        assert_eq!(decompress(&compress(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        assert_eq!(decompress(&compress(&[])), Vec::<f64>::new());
+        assert_eq!(decompress(&compress(&[3.25])), vec![3.25]);
+    }
+
+    #[test]
+    fn nan_preserved_bitwise() {
+        let data = vec![f64::NAN, f64::NAN, 1.0];
+        let back = decompress(&compress(&data));
+        assert!(back[0].is_nan() && back[1].is_nan());
+        assert_eq!(back[2], 1.0);
+    }
+
+    #[test]
+    fn flat_data_compresses_well() {
+        let data = vec![0.0; 10_000];
+        assert!(ratio(&data) > 1000.0);
+        // noisy data doesn't
+        let noisy: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        assert!(ratio(&noisy) < 1.0, "RLE pays overhead on noise");
+    }
+
+    #[test]
+    fn negative_zero_distinct_from_zero() {
+        let data = vec![0.0, -0.0, 0.0];
+        let back = decompress(&compress(&data));
+        assert_eq!(back[0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(back[1].to_bits(), (-0.0f64).to_bits());
+    }
+}

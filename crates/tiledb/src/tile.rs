@@ -1,0 +1,269 @@
+//! Tiles: the fundamental unit of storage and computation.
+
+use crate::rle;
+use bigdawg_common::{BigDawgError, Result};
+
+/// Schema of a TileDB array: dimension lengths, tile extents per dimension
+/// (dense layout), and the per-tile cell capacity for sparse tiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileSchema {
+    pub name: String,
+    /// Length of each dimension (origin 0).
+    pub dims: Vec<u64>,
+    /// Dense tile extent along each dimension.
+    pub tile_extents: Vec<u64>,
+    /// Max cells per sparse tile before it is closed.
+    pub sparse_capacity: usize,
+}
+
+impl TileSchema {
+    pub fn new(name: impl Into<String>, dims: Vec<u64>, tile_extents: Vec<u64>) -> Result<Self> {
+        if dims.is_empty() || dims.len() != tile_extents.len() {
+            return Err(BigDawgError::SchemaMismatch(
+                "dims and tile_extents must be non-empty and equal length".into(),
+            ));
+        }
+        if dims.iter().any(|&d| d == 0) || tile_extents.iter().any(|&e| e == 0) {
+            return Err(BigDawgError::SchemaMismatch(
+                "zero-length dimension or tile extent".into(),
+            ));
+        }
+        Ok(TileSchema {
+            name: name.into(),
+            dims,
+            tile_extents,
+            sparse_capacity: 1024,
+        })
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn in_domain(&self, coords: &[i64]) -> bool {
+        coords.len() == self.dims.len()
+            && coords
+                .iter()
+                .zip(&self.dims)
+                .all(|(&c, &d)| c >= 0 && (c as u64) < d)
+    }
+
+    /// Number of cells in one dense tile.
+    pub fn tile_cells(&self) -> usize {
+        self.tile_extents.iter().map(|&e| e as usize).product()
+    }
+
+    /// Which dense tile a coordinate falls in.
+    pub fn tile_coord(&self, coords: &[i64]) -> Vec<u64> {
+        coords
+            .iter()
+            .zip(&self.tile_extents)
+            .map(|(&c, &e)| c as u64 / e)
+            .collect()
+    }
+
+    /// Row-major offset of a coordinate within its dense tile.
+    pub fn tile_offset(&self, coords: &[i64]) -> usize {
+        let mut off = 0usize;
+        for (&c, &e) in coords.iter().zip(&self.tile_extents) {
+            off = off * e as usize + (c as u64 % e) as usize;
+        }
+        off
+    }
+}
+
+/// Minimum bounding rectangle of a sparse tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mbr {
+    pub low: Vec<i64>,
+    pub high: Vec<i64>,
+}
+
+impl Mbr {
+    pub fn of(coords: &[Vec<i64>]) -> Option<Mbr> {
+        let first = coords.first()?;
+        let mut low = first.clone();
+        let mut high = first.clone();
+        for c in coords.iter().skip(1) {
+            for d in 0..c.len() {
+                low[d] = low[d].min(c[d]);
+                high[d] = high[d].max(c[d]);
+            }
+        }
+        Some(Mbr { low, high })
+    }
+
+    pub fn intersects(&self, low: &[i64], high: &[i64]) -> bool {
+        self.low
+            .iter()
+            .zip(&self.high)
+            .zip(low.iter().zip(high))
+            .all(|((&ml, &mh), (&ql, &qh))| ml <= qh && mh >= ql)
+    }
+}
+
+/// A tile: dense (fixed extents, optionally RLE-compressed at rest) or
+/// sparse (coordinate list with an MBR).
+#[derive(Debug, Clone)]
+pub enum Tile {
+    Dense {
+        /// Tile grid position.
+        tile_coord: Vec<u64>,
+        /// Row-major payload of `tile_cells` values; empty cells are NaN.
+        data: TilePayload,
+    },
+    Sparse {
+        mbr: Mbr,
+        /// Sorted by coordinate (row-major order).
+        cells: Vec<(Vec<i64>, f64)>,
+    },
+}
+
+/// Dense payload, either raw or RLE-compressed.
+#[derive(Debug, Clone)]
+pub enum TilePayload {
+    Raw(Vec<f64>),
+    Rle(Vec<u8>),
+}
+
+impl TilePayload {
+    /// Materialize the payload as raw samples.
+    pub fn values(&self) -> Vec<f64> {
+        match self {
+            TilePayload::Raw(v) => v.clone(),
+            TilePayload::Rle(bytes) => rle::decompress(bytes),
+        }
+    }
+
+    /// Size at rest, in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            TilePayload::Raw(v) => v.len() * 8,
+            TilePayload::Rle(bytes) => bytes.len(),
+        }
+    }
+}
+
+impl Tile {
+    /// Build a dense tile, compressing with RLE when it helps.
+    pub fn dense(tile_coord: Vec<u64>, data: Vec<f64>) -> Tile {
+        let compressed = rle::compress(&data);
+        let payload = if compressed.len() < data.len() * 8 {
+            TilePayload::Rle(compressed)
+        } else {
+            TilePayload::Raw(data)
+        };
+        Tile::Dense {
+            tile_coord,
+            data: payload,
+        }
+    }
+
+    /// Build a sparse tile from unsorted cells.
+    pub fn sparse(mut cells: Vec<(Vec<i64>, f64)>) -> Result<Tile> {
+        if cells.is_empty() {
+            return Err(BigDawgError::Execution("empty sparse tile".into()));
+        }
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        let mbr = Mbr::of(&cells.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>())
+            .expect("non-empty");
+        Ok(Tile::Sparse { mbr, cells })
+    }
+
+    pub fn cell_count(&self, schema: &TileSchema) -> usize {
+        match self {
+            Tile::Dense { data, .. } => data
+                .values()
+                .iter()
+                .filter(|v| !v.is_nan())
+                .count()
+                .min(schema.tile_cells()),
+            Tile::Sparse { cells, .. } => cells.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TileSchema {
+        TileSchema::new("a", vec![100, 100], vec![10, 10]).unwrap()
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(TileSchema::new("a", vec![], vec![]).is_err());
+        assert!(TileSchema::new("a", vec![10], vec![10, 10]).is_err());
+        assert!(TileSchema::new("a", vec![0], vec![1]).is_err());
+    }
+
+    #[test]
+    fn tile_coord_and_offset() {
+        let s = schema();
+        assert_eq!(s.tile_coord(&[25, 37]), vec![2, 3]);
+        assert_eq!(s.tile_offset(&[25, 37]), 5 * 10 + 7);
+        assert_eq!(s.tile_cells(), 100);
+        assert!(s.in_domain(&[99, 99]));
+        assert!(!s.in_domain(&[100, 0]));
+        assert!(!s.in_domain(&[-1, 0]));
+    }
+
+    #[test]
+    fn dense_tile_auto_compresses_flat_data() {
+        let flat = Tile::dense(vec![0, 0], vec![1.0; 100]);
+        match &flat {
+            Tile::Dense {
+                data: TilePayload::Rle(_),
+                ..
+            } => {}
+            other => panic!("flat tile should be RLE: {other:?}"),
+        }
+        let noisy = Tile::dense(vec![0, 0], (0..100).map(|i| i as f64).collect());
+        match &noisy {
+            Tile::Dense {
+                data: TilePayload::Raw(_),
+                ..
+            } => {}
+            other => panic!("noisy tile should stay raw: {other:?}"),
+        }
+        // payloads roundtrip
+        if let Tile::Dense { data, .. } = &flat {
+            assert_eq!(data.values(), vec![1.0; 100]);
+            assert!(data.stored_bytes() < 100 * 8);
+        }
+    }
+
+    #[test]
+    fn sparse_tile_mbr_and_order() {
+        let t = Tile::sparse(vec![
+            (vec![5, 5], 1.0),
+            (vec![1, 9], 2.0),
+            (vec![3, 2], 3.0),
+        ])
+        .unwrap();
+        match &t {
+            Tile::Sparse { mbr, cells } => {
+                assert_eq!(mbr.low, vec![1, 2]);
+                assert_eq!(mbr.high, vec![5, 9]);
+                assert_eq!(cells[0].0, vec![1, 9]);
+                assert!(mbr.intersects(&[0, 0], &[1, 9]));
+                assert!(!mbr.intersects(&[6, 0], &[9, 9]));
+            }
+            _ => unreachable!(),
+        }
+        assert!(Tile::sparse(vec![]).is_err());
+    }
+
+    #[test]
+    fn cell_counts() {
+        let s = schema();
+        let mut data = vec![f64::NAN; 100];
+        data[3] = 1.0;
+        data[7] = 2.0;
+        let t = Tile::dense(vec![0, 0], data);
+        assert_eq!(t.cell_count(&s), 2);
+        let t = Tile::sparse(vec![(vec![1, 1], 5.0)]).unwrap();
+        assert_eq!(t.cell_count(&s), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! The three executors: compiled (fused), interpreted (operator-at-a-time),
+//! and Hadoop-style (operator-at-a-time + serialized stage boundaries).
+
+use crate::pipeline::{Pipeline, Reducer, Udf};
+
+/// The Tupleware path: one fused pass over the data, no intermediates, no
+/// dynamic dispatch inside the loop beyond a branch on the (tiny) stage
+/// list. rustc monomorphizes and inlines this the way Tupleware's LLVM
+/// pipeline compiles UDF graphs.
+pub fn run_compiled(p: &Pipeline, data: &[f64]) -> f64 {
+    let arity = p.arity.max(1);
+    let mut acc_sum = 0.0f64;
+    let mut acc_count = 0u64;
+    let mut acc_max = f64::NEG_INFINITY;
+    let mut tuple = vec![0.0f64; arity];
+    'rows: for row in data.chunks_exact(arity) {
+        tuple.copy_from_slice(row);
+        for stage in &p.stages {
+            match stage {
+                Udf::Map(f) => f(&mut tuple),
+                Udf::Filter(f) => {
+                    if !f(&tuple) {
+                        continue 'rows;
+                    }
+                }
+            }
+        }
+        match p.reducer {
+            Reducer::SumColumn(c) => acc_sum += tuple[c],
+            Reducer::Count => acc_count += 1,
+            Reducer::MaxColumn(c) => acc_max = acc_max.max(tuple[c]),
+        }
+    }
+    match p.reducer {
+        Reducer::SumColumn(_) => acc_sum,
+        Reducer::Count => acc_count as f64,
+        Reducer::MaxColumn(_) => acc_max,
+    }
+}
+
+/// Boxed dynamic value — what interpreted frameworks shuttle between
+/// operators.
+#[derive(Clone, Debug, PartialEq)]
+enum DynVal {
+    Num(f64),
+}
+
+/// The interpreted path (Spark-style scheduling of one operator at a time):
+/// every stage reads a materialized `Vec<Vec<DynVal>>`, applies a boxed
+/// closure per tuple, and materializes its full output before the next
+/// stage starts.
+pub fn run_interpreted(p: &Pipeline, data: &[f64]) -> f64 {
+    let arity = p.arity.max(1);
+    let mut current: Vec<Vec<DynVal>> = data
+        .chunks_exact(arity)
+        .map(|row| row.iter().map(|&v| DynVal::Num(v)).collect())
+        .collect();
+    for stage in &p.stages {
+        let op: Box<dyn Fn(Vec<DynVal>) -> Option<Vec<DynVal>>> = match *stage {
+            Udf::Map(f) => Box::new(move |tuple: Vec<DynVal>| {
+                let mut buf: Vec<f64> = tuple
+                    .iter()
+                    .map(|v| {
+                        let DynVal::Num(x) = v;
+                        *x
+                    })
+                    .collect();
+                f(&mut buf);
+                Some(buf.into_iter().map(DynVal::Num).collect())
+            }),
+            Udf::Filter(f) => Box::new(move |tuple: Vec<DynVal>| {
+                let buf: Vec<f64> = tuple
+                    .iter()
+                    .map(|v| {
+                        let DynVal::Num(x) = v;
+                        *x
+                    })
+                    .collect();
+                f(&buf).then_some(tuple)
+            }),
+        };
+        current = current.into_iter().filter_map(|t| op(t)).collect();
+    }
+    reduce_dyn(&p.reducer, &current)
+}
+
+/// The "standard Hadoop codeline": interpreted execution where each stage
+/// boundary serializes its output to a text representation and parses it
+/// back (the map→shuffle→reduce spill to HDFS).
+pub fn run_hadoop_style(p: &Pipeline, data: &[f64]) -> f64 {
+    let arity = p.arity.max(1);
+    let mut current: Vec<Vec<DynVal>> = data
+        .chunks_exact(arity)
+        .map(|row| row.iter().map(|&v| DynVal::Num(v)).collect())
+        .collect();
+    for stage in &p.stages {
+        // run the stage (same dynamic machinery as interpreted)
+        current = match *stage {
+            Udf::Map(f) => current
+                .into_iter()
+                .map(|tuple| {
+                    let mut buf: Vec<f64> = tuple
+                        .iter()
+                        .map(|v| {
+                            let DynVal::Num(x) = v;
+                            *x
+                        })
+                        .collect();
+                    f(&mut buf);
+                    buf.into_iter().map(DynVal::Num).collect()
+                })
+                .collect(),
+            Udf::Filter(f) => current
+                .into_iter()
+                .filter(|tuple| {
+                    let buf: Vec<f64> = tuple
+                        .iter()
+                        .map(|v| {
+                            let DynVal::Num(x) = v;
+                            *x
+                        })
+                        .collect();
+                    f(&buf)
+                })
+                .collect(),
+        };
+        // spill: serialize to the wire format and parse it back
+        let spilled = serialize_stage(&current);
+        current = deserialize_stage(&spilled);
+    }
+    reduce_dyn(&p.reducer, &current)
+}
+
+fn reduce_dyn(reducer: &Reducer, rows: &[Vec<DynVal>]) -> f64 {
+    match reducer {
+        Reducer::Count => rows.len() as f64,
+        Reducer::SumColumn(c) => rows
+            .iter()
+            .map(|t| {
+                let DynVal::Num(x) = t[*c];
+                x
+            })
+            .sum(),
+        Reducer::MaxColumn(c) => rows
+            .iter()
+            .map(|t| {
+                let DynVal::Num(x) = t[*c];
+                x
+            })
+            .fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+fn serialize_stage(rows: &[Vec<DynVal>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            let DynVal::Num(x) = v;
+            out.push_str(&format!("{x:?}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn deserialize_stage(text: &str) -> Vec<Vec<DynVal>> {
+    text.lines()
+        .map(|line| {
+            line.split('\t')
+                .map(|f| DynVal::Num(f.parse().expect("round-tripped float")))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+
+    /// The bench pipeline: normalize, clamp outliers away, score, sum.
+    fn pipeline() -> Pipeline {
+        Pipeline::new(2, Reducer::SumColumn(1))
+            .filter(|t| t[0].is_finite() && t[0].abs() < 1.0e6)
+            .map(|t| t[1] = (t[0] - 60.0) / 40.0)
+            .filter(|t| t[1].abs() <= 3.0)
+            .map(|t| t[1] = t[1] * t[1])
+    }
+
+    fn data(n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            out.push(40.0 + (i % 100) as f64); // hr-ish
+            out.push(0.0);
+        }
+        out
+    }
+
+    #[test]
+    fn all_three_executors_agree() {
+        let p = pipeline();
+        let d = data(1000);
+        let a = run_compiled(&p, &d);
+        let b = run_interpreted(&p, &d);
+        let c = run_hadoop_style(&p, &d);
+        assert!((a - b).abs() < 1e-9, "compiled {a} vs interpreted {b}");
+        assert!((a - c).abs() < 1e-9, "compiled {a} vs hadoop {c}");
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn count_and_max_reducers() {
+        let d = data(100);
+        let count = Pipeline::new(2, Reducer::Count).filter(|t| t[0] >= 90.0);
+        assert_eq!(run_compiled(&count, &d), 50.0);
+        assert_eq!(run_interpreted(&count, &d), 50.0);
+        let max = Pipeline::new(2, Reducer::MaxColumn(0));
+        assert_eq!(run_compiled(&max, &d), 139.0);
+        assert_eq!(run_hadoop_style(&max, &d), 139.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = pipeline();
+        assert_eq!(run_compiled(&p, &[]), 0.0);
+        assert_eq!(run_interpreted(&p, &[]), 0.0);
+        assert_eq!(run_hadoop_style(&p, &[]), 0.0);
+    }
+
+    #[test]
+    fn filter_everything() {
+        let p = Pipeline::new(1, Reducer::Count).filter(|_| false);
+        let d: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        assert_eq!(run_compiled(&p, &d), 0.0);
+        assert_eq!(run_hadoop_style(&p, &d), 0.0);
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_precision() {
+        let rows = vec![vec![DynVal::Num(std::f64::consts::PI)], vec![DynVal::Num(-0.0)]];
+        let back = deserialize_stage(&serialize_stage(&rows));
+        assert_eq!(back, rows);
+    }
+}

@@ -1,0 +1,33 @@
+//! A compiled UDF-pipeline engine — the Tupleware stand-in (paper §2.5).
+//!
+//! Tupleware "offers a Map-Reduce style interface … compiles functions
+//! aggressively into distributed programs to avoid any unnecessary runtime
+//! overhead", takes UDF statistics into account for low-level optimization,
+//! and is "nearly two orders of magnitude faster than the standard Hadoop
+//! codeline".
+//!
+//! This crate reproduces that spectrum with three executors for one
+//! [`pipeline::Pipeline`] specification:
+//!
+//! * [`exec::run_compiled`] — the Tupleware path: the whole pipeline is
+//!   fused into a single monomorphized pass (rustc plays the role of
+//!   Tupleware's LLVM backend), no boxing, no intermediates;
+//! * [`exec::run_interpreted`] — the Spark-style path: operator-at-a-time
+//!   with dynamic dispatch and a materialized intermediate per stage;
+//! * [`exec::run_hadoop_style`] — the "standard Hadoop codeline": like
+//!   interpreted, but every stage boundary additionally serializes the
+//!   intermediate to bytes and parses it back (the HDFS spill between map
+//!   and reduce).
+//!
+//! [`stats`] implements the UDF-statistics optimizer: given estimated cost
+//! and selectivity per UDF, it reorders commuting filter stages so cheap,
+//! selective filters run first — the optimization the paper says neither a
+//! traditional query optimizer nor a compiler can do alone.
+
+pub mod exec;
+pub mod pipeline;
+pub mod stats;
+
+pub use exec::{run_compiled, run_hadoop_style, run_interpreted};
+pub use pipeline::{Pipeline, Reducer, Udf};
+pub use stats::{optimize, UdfStats};

@@ -1,0 +1,85 @@
+//! Pipeline specifications: UDFs over numeric tuples.
+//!
+//! Tuples are fixed-arity `f64` records (Tupleware's sweet spot is exactly
+//! this kind of dense numeric analytics). A pipeline is a sequence of
+//! map/filter stages closed by a reducer.
+
+/// A user-defined function over a tuple. Function pointers keep the
+/// specification `Copy` and let the compiled executor stay monomorphic.
+#[derive(Clone, Copy)]
+pub enum Udf {
+    /// Transform the tuple in place.
+    Map(fn(&mut [f64])),
+    /// Keep tuples where the predicate holds.
+    Filter(fn(&[f64]) -> bool),
+}
+
+impl std::fmt::Debug for Udf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Udf::Map(_) => f.write_str("Map(<udf>)"),
+            Udf::Filter(_) => f.write_str("Filter(<udf>)"),
+        }
+    }
+}
+
+/// Terminal reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reducer {
+    /// Sum of one column.
+    SumColumn(usize),
+    /// Count of surviving tuples.
+    Count,
+    /// Max of one column.
+    MaxColumn(usize),
+}
+
+/// A Map-Reduce style pipeline over `arity`-wide tuples.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    pub arity: usize,
+    pub stages: Vec<Udf>,
+    pub reducer: Reducer,
+}
+
+impl Pipeline {
+    pub fn new(arity: usize, reducer: Reducer) -> Self {
+        Pipeline {
+            arity,
+            stages: Vec::new(),
+            reducer,
+        }
+    }
+
+    pub fn map(mut self, f: fn(&mut [f64])) -> Self {
+        self.stages.push(Udf::Map(f));
+        self
+    }
+
+    pub fn filter(mut self, f: fn(&[f64]) -> bool) -> Self {
+        self.stages.push(Udf::Filter(f));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_stages() {
+        let p = Pipeline::new(2, Reducer::Count)
+            .filter(|t| t[0] > 0.0)
+            .map(|t| t[1] *= 2.0);
+        assert_eq!(p.stages.len(), 2);
+        assert!(matches!(p.stages[0], Udf::Filter(_)));
+        assert!(matches!(p.stages[1], Udf::Map(_)));
+        assert_eq!(p.reducer, Reducer::Count);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let p = Pipeline::new(1, Reducer::SumColumn(0)).map(|t| t[0] += 1.0);
+        assert!(format!("{p:?}").contains("Map"));
+    }
+}

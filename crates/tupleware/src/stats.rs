@@ -1,0 +1,159 @@
+//! UDF-statistics-driven optimization.
+//!
+//! Tupleware's pitch (§2.5): by knowing each UDF's predicted cost (CPU
+//! cycles) and behaviour, the system can make low-level ordering decisions
+//! that neither a relational optimizer (which treats UDFs as black boxes)
+//! nor a compiler (which cannot reason about selectivity) can make alone.
+//!
+//! The concrete optimization here: adjacent **filter** stages commute, so
+//! they are reordered by the classic `cost / (1 - selectivity)` rank —
+//! cheap, highly selective filters first. Maps act as barriers (a filter
+//! cannot move across a map that might change the columns it reads).
+
+use crate::pipeline::{Pipeline, Udf};
+
+/// Per-UDF statistics, as profiled or estimated by the submitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UdfStats {
+    /// Predicted cost per tuple (arbitrary cycle units).
+    pub cost: f64,
+    /// For filters: fraction of tuples that *pass* (1.0 for maps).
+    pub selectivity: f64,
+}
+
+impl UdfStats {
+    pub fn new(cost: f64, selectivity: f64) -> Self {
+        UdfStats {
+            cost: cost.max(0.0),
+            selectivity: selectivity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Rank for the least-cost-first ordering of commuting predicates
+    /// (Hellerstein's predicate migration rank). Lower rank runs first.
+    fn rank(&self) -> f64 {
+        let drop_rate = 1.0 - self.selectivity;
+        if drop_rate <= 0.0 {
+            f64::INFINITY // filters that drop nothing go last
+        } else {
+            self.cost / drop_rate
+        }
+    }
+}
+
+/// Reorder commuting filter runs by rank. `stats` must parallel
+/// `pipeline.stages`. Returns the optimized pipeline and the estimated cost
+/// per input tuple before and after (for reporting).
+pub fn optimize(pipeline: &Pipeline, stats: &[UdfStats]) -> (Pipeline, f64, f64) {
+    assert_eq!(
+        pipeline.stages.len(),
+        stats.len(),
+        "one UdfStats per stage"
+    );
+    let before = estimated_cost(&pipeline.stages, stats);
+
+    let mut new_stages: Vec<(Udf, UdfStats)> = Vec::with_capacity(pipeline.stages.len());
+    let mut run: Vec<(Udf, UdfStats)> = Vec::new();
+    let flush = |run: &mut Vec<(Udf, UdfStats)>, out: &mut Vec<(Udf, UdfStats)>| {
+        run.sort_by(|a, b| a.1.rank().total_cmp(&b.1.rank()));
+        out.append(run);
+    };
+    for (stage, st) in pipeline.stages.iter().zip(stats) {
+        match stage {
+            Udf::Filter(_) => run.push((*stage, *st)),
+            Udf::Map(_) => {
+                flush(&mut run, &mut new_stages);
+                new_stages.push((*stage, *st));
+            }
+        }
+    }
+    flush(&mut run, &mut new_stages);
+
+    let stages: Vec<Udf> = new_stages.iter().map(|(s, _)| *s).collect();
+    let new_stats: Vec<UdfStats> = new_stages.iter().map(|(_, st)| *st).collect();
+    let after = estimated_cost(&stages, &new_stats);
+    (
+        Pipeline {
+            arity: pipeline.arity,
+            stages,
+            reducer: pipeline.reducer,
+        },
+        before,
+        after,
+    )
+}
+
+/// Expected cost per input tuple: each stage pays its cost on the fraction
+/// of tuples surviving the stages before it.
+pub fn estimated_cost(stages: &[Udf], stats: &[UdfStats]) -> f64 {
+    let mut surviving = 1.0;
+    let mut cost = 0.0;
+    for (stage, st) in stages.iter().zip(stats) {
+        cost += surviving * st.cost;
+        if matches!(stage, Udf::Filter(_)) {
+            surviving *= st.selectivity;
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, Reducer};
+    use crate::run_compiled;
+
+    #[test]
+    fn selective_cheap_filter_moves_first() {
+        // expensive non-selective filter, then cheap selective filter
+        let p = Pipeline::new(1, Reducer::Count)
+            .filter(|t| t[0].sin().abs() < 2.0) // expensive, passes all
+            .filter(|t| t[0] < 10.0); // cheap, selective
+        let stats = vec![UdfStats::new(100.0, 0.99), UdfStats::new(1.0, 0.1)];
+        let (opt, before, after) = optimize(&p, &stats);
+        assert!(after < before, "optimizer must reduce estimated cost");
+        // cheap selective filter now first
+        let d: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        assert_eq!(run_compiled(&opt, &d), run_compiled(&p, &d));
+        assert!(matches!(opt.stages[0], Udf::Filter(_)));
+    }
+
+    #[test]
+    fn maps_are_barriers() {
+        let p = Pipeline::new(1, Reducer::Count)
+            .filter(|t| t[0] > 0.0)
+            .map(|t| t[0] = -t[0])
+            .filter(|t| t[0] > -5.0);
+        let stats = vec![
+            UdfStats::new(50.0, 0.9),
+            UdfStats::new(1.0, 1.0),
+            UdfStats::new(1.0, 0.01),
+        ];
+        let (opt, _, _) = optimize(&p, &stats);
+        // the post-map filter must not cross the map
+        assert!(matches!(opt.stages[0], Udf::Filter(_)));
+        assert!(matches!(opt.stages[1], Udf::Map(_)));
+        assert!(matches!(opt.stages[2], Udf::Filter(_)));
+        let d: Vec<f64> = (-10..10).map(|x| x as f64).collect();
+        assert_eq!(run_compiled(&opt, &d), run_compiled(&p, &d));
+    }
+
+    #[test]
+    fn estimated_cost_accounts_for_selectivity() {
+        let stages = vec![
+            Udf::Filter(|t: &[f64]| t[0] > 0.0),
+            Udf::Filter(|t: &[f64]| t[0] > 1.0),
+        ];
+        let stats = vec![UdfStats::new(10.0, 0.5), UdfStats::new(10.0, 0.5)];
+        // 10 + 0.5*10 = 15
+        assert_eq!(estimated_cost(&stages, &stats), 15.0);
+    }
+
+    #[test]
+    fn stats_clamping() {
+        let s = UdfStats::new(-5.0, 3.0);
+        assert_eq!(s.cost, 0.0);
+        assert_eq!(s.selectivity, 1.0);
+        assert_eq!(s.rank(), f64::INFINITY);
+    }
+}

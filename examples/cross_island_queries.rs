@@ -1,0 +1,88 @@
+//! A tour of every island over one federation: SCOPE/CAST, degenerate
+//! islands, D4M associative algebra, Myria iteration, and monitor-driven
+//! migration (§2.1).
+//!
+//! ```text
+//! cargo run --example cross_island_queries
+//! ```
+
+use bigdawg::core::monitor::QueryClass;
+use bigdawg::core::shims::{ArrayShim, KvShim, RelationalShim};
+use bigdawg::core::{BigDawg, Transport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave_native",
+        bigdawg::array::Array::from_vector(
+            "wave_native",
+            "v",
+            &(0..32).map(|i| (i as f64 * 0.3).sin()).collect::<Vec<_>>(),
+            16,
+        ),
+    );
+    bd.add_engine(Box::new(scidb));
+    let mut kv = KvShim::new("accumulo");
+    kv.index_document(1, "p1", 0, "icu transfer, patient very sick");
+    kv.index_document(2, "p1", 1, "ward transfer, improving");
+    kv.index_document(3, "p2", 0, "very sick on arrival to icu");
+    bd.add_engine(Box::new(kv));
+
+    bd.execute("POSTGRES(CREATE TABLE transfers (src TEXT, dst TEXT))")?;
+    bd.execute(
+        "POSTGRES(INSERT INTO transfers VALUES \
+         ('er','icu'), ('icu','ward'), ('ward','rehab'), ('rehab','home'))",
+    )?;
+    bd.execute("POSTGRES(CREATE TABLE readings (i INT, v FLOAT))")?;
+    let values: Vec<String> = (0..64).map(|i| format!("({i}, {}.0)", i % 9)).collect();
+    bd.execute(&format!(
+        "POSTGRES(INSERT INTO readings VALUES {})",
+        values.join(", ")
+    ))?;
+
+    println!("— SCOPE + CAST: SQL over an intermediate built by the array island");
+    let b = bd.execute(
+        "RELATIONAL(SELECT COUNT(*) AS loud FROM CAST(ARRAY(filter(readings, v > 5)), relation))",
+    )?;
+    println!("{b}");
+
+    println!("— Degenerate islands: native languages pass through untouched");
+    let b = bd.execute("SCIDB(aggregate(wave_native, max, v))")?;
+    println!("SCIDB max: {}", b.rows()[0][0]);
+    let b = bd.execute("ACCUMULO(search(\"very sick\" AND icu))")?;
+    println!("ACCUMULO hits: {} docs", b.len());
+
+    println!("\n— D4M: associative arrays over the notes corpus");
+    let b = bd.execute("D4M(topk(correlate(assoc(notes)), 3))")?;
+    println!("{b}");
+
+    println!("— Myria: transitive closure of ward transfers (RA + iteration)");
+    let b = bd.execute("MYRIA(closure(transfers, src, dst, 10) |> filter(src = 'er'))")?;
+    println!("{b}");
+
+    println!("— Monitor: the readings workload shifts to linear algebra…");
+    {
+        let mut m = bd.monitor().lock();
+        for _ in 0..10 {
+            m.record(
+                "readings",
+                QueryClass::LinearAlgebra,
+                "postgres",
+                std::time::Duration::from_millis(5),
+            );
+        }
+    }
+    for rec in bd.monitor().lock().recommend(&bd) {
+        println!(
+            "  recommend: move `{}` {} → {} (dominant class {:?})",
+            rec.object, rec.from_engine, rec.to_engine, rec.dominant_class
+        );
+        bd.migrate_object(&rec.object, &rec.to_engine, Transport::Binary)?;
+    }
+    println!("  `readings` now lives on: {}", bd.locate("readings")?);
+    let b = bd.execute("ARRAY(aggregate(readings, sum, v))")?;
+    println!("  array-native sum after migration: {}", b.rows()[0][0]);
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! The five demo interfaces of §1.1, one query each, against the full
+//! MIMIC federation: Browsing (ScalaR), Exploratory Analysis (SeeDB),
+//! Complex Analytics, Text Analysis, and a D4M/Myria cross-island tour.
+//!
+//! ```text
+//! cargo run --release --example hospital_dashboard
+//! ```
+
+use bigdawg::scalar::{Prefetcher, TileId, TileServer};
+use bigdawg_bench::setup::{demo_polystore, DemoConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let demo = demo_polystore(DemoConfig {
+        patients: 1000,
+        waveform_samples: 20_000,
+        ..DemoConfig::default()
+    })?;
+    let bd = &demo.bd;
+
+    println!("# islands available: {:?}\n", bd.island_names());
+
+    // --- Browsing (ScalaR): density view of age × stay -------------------
+    println!("## Browsing — patient cohort density (age × stay days)");
+    let points: Vec<(f64, f64)> = demo
+        .data
+        .patients
+        .iter()
+        .zip(&demo.data.admissions)
+        .map(|(p, a)| (p.age as f64, a.stay_days))
+        .collect();
+    let mut tiles = TileServer::new(points, 24, 4, 64)?.with_prefetcher(Prefetcher::new(6));
+    let (tile, _) = tiles.fetch(TileId { level: 0, tx: 0, ty: 0 })?;
+    println!("{}", tile.render());
+
+    // --- Exploratory Analysis (SeeDB) ------------------------------------
+    println!("## Exploratory Analysis — 'tell me something interesting about sepsis patients'");
+    let (table, _) = bigdawg_bench::experiments::fig::fig2(&demo, 2);
+    println!("{table}");
+
+    // --- Complex Analytics: SQL + array analytics side by side -----------
+    println!("## Complex Analytics");
+    let b = bd.execute(
+        "RELATIONAL(SELECT race, COUNT(*) AS n, AVG(stay_days) AS stay \
+         FROM admissions_flat GROUP BY race ORDER BY stay DESC)",
+    )?;
+    println!("{b}");
+    let b = bd.execute("ARRAY(aggregate(window(waveform_0, 62, 62, avg), max, v))")?;
+    println!("peak 1-second moving average of waveform_0:\n{b}");
+
+    // --- Text Analysis -----------------------------------------------------
+    println!("## Text Analysis — patients with ≥ 3 notes saying \"very sick\"");
+    let b = bd.execute("TEXT(owners_min(\"very sick\", 3))")?;
+    println!("{} patients flagged; first rows:", b.len());
+    for row in b.rows().iter().take(5) {
+        println!("  {} ({} notes)", row[0], row[1]);
+    }
+
+    // --- Cross-island tour: D4M and Myria ---------------------------------
+    println!("\n## D4M — top co-occurring note terms");
+    let b = bd.execute("D4M(topk(correlate(assoc(notes)), 5))")?;
+    println!("{b}");
+
+    println!("## Myria — drugs prescribed to long-stay patients (federated join)");
+    let b = bd.execute(
+        "MYRIA(scan(prescriptions) |> join(scan(admissions) |> filter(stay_days > 8.0), \
+         patient_id, patient_id) |> agg(drug; count) )",
+    )?;
+    println!("{b}");
+    Ok(())
+}

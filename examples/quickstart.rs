@@ -1,0 +1,48 @@
+//! Quickstart: build a tiny federation and run the paper's marquee query —
+//! a relational SELECT over an array that lives in the array engine
+//! (§2.1: `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)`).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bigdawg::array::Array;
+use bigdawg::core::shims::{ArrayShim, RelationalShim};
+use bigdawg::core::BigDawg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A federation with two engines: "postgres" and "scidb".
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "A",
+        Array::from_vector("A", "v", &[2.0, 4.0, 6.0, 8.0, 10.0], 4),
+    );
+    bd.add_engine(Box::new(scidb));
+
+    // 2. Native DDL/DML through the degenerate Postgres island.
+    bd.execute("POSTGRES(CREATE TABLE patients (id INT, name TEXT, age INT))")?;
+    bd.execute(
+        "POSTGRES(INSERT INTO patients VALUES \
+         (1, 'alice', 71), (2, 'bob', 54), (3, 'carol', 82))",
+    )?;
+
+    // 3. The paper's SCOPE/CAST query: SQL over the array.
+    let result = bd.execute("RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)")?;
+    println!("RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5):");
+    println!("{result}");
+
+    // 4. The reverse direction: array aggregation over the SQL table —
+    //    location transparency means no CAST is even needed in the text.
+    let result = bd.execute("ARRAY(aggregate(patients, avg, age))")?;
+    println!("ARRAY(aggregate(patients, avg, age)):");
+    println!("{result}");
+
+    // 5. The catalog knows where everything lives.
+    println!("catalog:");
+    for (object, entry) in bd.catalog().read().entries() {
+        println!("  {object:<10} -> {} ({})", entry.engine, entry.kind);
+    }
+    Ok(())
+}

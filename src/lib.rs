@@ -1,0 +1,30 @@
+//! # BigDAWG polystore — façade crate
+//!
+//! This crate re-exports every component of the BigDAWG reproduction so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`core`] — the polystore itself: islands, SCOPE/CAST, catalog, monitor.
+//! * Engines: [`relational`] (Postgres stand-in), [`array`] (SciDB),
+//!   [`stream`] (S-Store), [`kv`] (Accumulo), [`tiledb`], [`tupleware`].
+//! * Islands with their own data models: [`d4m`], [`myria`].
+//! * Services: [`seedb`], [`searchlight`], [`scalar`], [`analytics`].
+//! * Data: [`mimic`] — the synthetic MIMIC II generator.
+//!
+//! See `DESIGN.md` for the mapping from paper sections to modules and
+//! `EXPERIMENTS.md` for the reproduced claims.
+
+pub use bigdawg_analytics as analytics;
+pub use bigdawg_array as array;
+pub use bigdawg_common as common;
+pub use bigdawg_core as core;
+pub use bigdawg_d4m as d4m;
+pub use bigdawg_kv as kv;
+pub use bigdawg_mimic as mimic;
+pub use bigdawg_myria as myria;
+pub use bigdawg_relational as relational;
+pub use bigdawg_scalar as scalar;
+pub use bigdawg_searchlight as searchlight;
+pub use bigdawg_seedb as seedb;
+pub use bigdawg_stream as stream;
+pub use bigdawg_tiledb as tiledb;
+pub use bigdawg_tupleware as tupleware;

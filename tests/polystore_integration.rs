@@ -1,0 +1,181 @@
+//! End-to-end integration tests over the full MIMIC demo federation: every
+//! island, CAST in both transports, the §3 stream → array hand-off, and
+//! monitor-driven migration, all in one process.
+
+use bigdawg::common::Value;
+use bigdawg::core::shims::StreamShim;
+use bigdawg::core::Transport;
+use bigdawg_bench::setup::{demo_polystore, Demo, DemoConfig};
+
+fn demo() -> Demo {
+    demo_polystore(DemoConfig::tiny()).expect("demo builds")
+}
+
+#[test]
+fn every_island_answers_a_query() {
+    let d = demo();
+    let bd = &d.bd;
+    // relational island
+    let b = bd
+        .execute("RELATIONAL(SELECT COUNT(*) AS n FROM patients)")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Int(200));
+    // array island
+    let b = bd
+        .execute("ARRAY(aggregate(waveform_0, count, v))")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Float(4000.0));
+    // text island
+    let b = bd.execute("TEXT(search(\"very sick\"))").unwrap();
+    assert!(!b.is_empty());
+    // d4m island
+    let b = bd.execute("D4M(rowsum(assoc(prescriptions)))").unwrap();
+    assert!(!b.is_empty());
+    // myria island
+    let b = bd
+        .execute("MYRIA(scan(admissions) |> agg(diagnosis; count))")
+        .unwrap();
+    assert_eq!(b.len(), 4);
+    // degenerate islands
+    let b = bd.execute("ACCUMULO(count())").unwrap();
+    assert!(b.rows()[0][0].as_i64().unwrap() > 100);
+    let b = bd
+        .execute("TILEDB(get(waveform_tiles, 0, 0))")
+        .unwrap();
+    assert!(!b.rows()[0][0].is_null());
+    let b = bd
+        .execute("TUPLEWARE(run compiled max(c1) from age_stay)")
+        .unwrap();
+    assert!(b.rows()[0][0].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn paper_scope_cast_query_end_to_end() {
+    let d = demo();
+    let b = d
+        .bd
+        .execute("RELATIONAL(SELECT COUNT(*) AS spikes FROM CAST(waveform_0, relation) WHERE v > 2.5)")
+        .unwrap();
+    let spikes = b.rows()[0][0].as_i64().unwrap();
+    assert!(spikes > 0, "planted anomalies exceed 2.5 amplitude");
+    // cleanup of temporaries happened
+    assert!(d
+        .bd
+        .catalog()
+        .read()
+        .entries()
+        .all(|(name, _)| !name.starts_with("__cast")));
+}
+
+#[test]
+fn both_cast_transports_agree() {
+    let d = demo();
+    let bd = &d.bd;
+    let r1 = bd
+        .cast_object("waveform_0", "postgres", "w_file", Transport::File)
+        .unwrap();
+    let r2 = bd
+        .cast_object("waveform_0", "postgres", "w_bin", Transport::Binary)
+        .unwrap();
+    assert_eq!(r1.rows, r2.rows);
+    let a = bd
+        .execute("POSTGRES(SELECT SUM(v) FROM w_file)")
+        .unwrap();
+    let b = bd.execute("POSTGRES(SELECT SUM(v) FROM w_bin)").unwrap();
+    let (x, y) = (
+        a.rows()[0][0].as_f64().unwrap(),
+        b.rows()[0][0].as_f64().unwrap(),
+    );
+    assert!((x - y).abs() < 1e-9, "file {x} vs binary {y}");
+}
+
+#[test]
+fn stream_to_array_handoff_of_section3() {
+    let d = demo();
+    let bd = &d.bd;
+    // live waveform enters S-Store (amplitudes below the alert threshold)
+    for i in 0..500 {
+        bd.execute(&format!(
+            "SSTORE(ingest(vitals, {i}, 3, {}))",
+            (i % 7) as f64 * 0.1
+        ))
+        .unwrap();
+    }
+    // alerts table exists and windows fired (max never exceeds 2.5 here, so
+    // the stream processed without alerts — the pipeline is alive)
+    let alerts = bd.execute("SSTORE(table(alerts))").unwrap();
+    assert_eq!(alerts.len(), 0);
+    // data ages out of S-Store …
+    let aged = bd.execute("SSTORE(drain(vitals, 400))").unwrap();
+    assert_eq!(aged.len(), 400);
+    // … and is loaded into SciDB through the polystore
+    {
+        let mut scidb = bd.engine("scidb").unwrap().lock();
+        scidb.put_table("vitals_history", aged).unwrap();
+    }
+    bd.refresh_catalog();
+    let b = bd
+        .execute("ARRAY(aggregate(vitals_history, count, hr))")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Float(400.0));
+}
+
+#[test]
+fn monitor_migrates_on_workload_shift_end_to_end() {
+    let d = demo();
+    let bd = &d.bd;
+    // make a relational copy of a waveform (starting in the wrong engine)
+    bd.cast_object("waveform_1", "postgres", "wave_rel", Transport::Binary)
+        .unwrap();
+    {
+        let mut m = bd.monitor().lock();
+        for _ in 0..20 {
+            m.record(
+                "wave_rel",
+                bigdawg::core::monitor::QueryClass::WindowedAggregate,
+                "postgres",
+                std::time::Duration::from_millis(2),
+            );
+        }
+    }
+    let applied = bd.monitor().lock().apply_recommendations(bd);
+    assert_eq!(applied.len(), 1);
+    assert_eq!(bd.locate("wave_rel").unwrap(), "scidb");
+    let b = bd
+        .execute("ARRAY(aggregate(regrid(wave_rel, 25, avg), count, v))")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Float(160.0)); // 4000 / 25
+}
+
+#[test]
+fn streaming_alerts_fire_against_planted_anomalies() {
+    let d = demo();
+    let bd = &d.bd;
+    let (pid, events) = &d.anomalies[0];
+    let wave = bigdawg::mimic::WaveformGen::new(d.config.seed, *pid, 125.0, events.clone());
+    {
+        let mut shim = bd.engine("sstore").unwrap().lock();
+        let stream = shim
+            .as_any_mut()
+            .downcast_mut::<StreamShim>()
+            .expect("sstore shim");
+        for i in 0..d.config.waveform_samples as u64 {
+            stream
+                .engine_mut()
+                .ingest(
+                    "vitals",
+                    vec![
+                        Value::Timestamp(i as i64),
+                        Value::Int(*pid as i64),
+                        Value::Float(wave.sample(i)),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    let alerts = bd.execute("SSTORE(table(alerts))").unwrap();
+    assert!(
+        !alerts.is_empty(),
+        "planted arrhythmias must raise window alerts"
+    );
+}

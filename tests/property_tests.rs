@@ -1,0 +1,162 @@
+//! Property-based tests on cross-crate invariants: CAST transports are
+//! lossless, engine answers agree across data models, window aggregates
+//! match naive recomputation, and the D4M algebra obeys its laws.
+
+use bigdawg::common::{Batch, DataType, Schema, Value};
+use bigdawg::core::cast::{decode_binary, encode_binary, from_csv, to_csv};
+use bigdawg::d4m::algebra::{matmul, plus, times, transpose, Semiring};
+use bigdawg::d4m::AssocArray;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // finite floats only: CSV text roundtrips NaN as a string
+        (-1e15f64..1e15).prop_map(Value::Float),
+        "[a-z ,\"\n]{0,24}".prop_map(Value::Text),
+        any::<i64>().prop_map(Value::Timestamp),
+    ]
+}
+
+fn arb_batch() -> impl Strategy<Value = Batch> {
+    (1usize..5).prop_flat_map(|width| {
+        let schema = Schema::from_pairs(
+            &(0..width)
+                .map(|i| (format!("c{i}"), DataType::Null))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        );
+        proptest::collection::vec(
+            proptest::collection::vec(arb_value(), width..=width),
+            0..40,
+        )
+        .prop_map(move |rows| Batch::new(schema.clone(), rows).expect("arity fixed"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary CAST is lossless for every value type.
+    #[test]
+    fn binary_cast_roundtrip(batch in arb_batch()) {
+        let parts = encode_binary(&batch);
+        let back = decode_binary(&parts, batch.schema()).expect("decodes");
+        prop_assert_eq!(back.rows(), batch.rows());
+    }
+
+    /// CSV CAST is lossless up to NULL/empty-text conflation (documented:
+    /// `to_csv` writes NULL and "" identically). Empty strings are excluded
+    /// by construction here, so roundtrips must be exact — including
+    /// embedded commas, quotes, and newlines.
+    #[test]
+    fn csv_cast_roundtrip(batch in arb_batch()) {
+        // Text columns in this batch are non-empty or the value is Null —
+        // filter empties to match the documented conflation.
+        let ok = batch.rows().iter().all(|r| {
+            r.iter().all(|v| !matches!(v, Value::Text(s) if s.is_empty()))
+        });
+        prop_assume!(ok);
+        let text = to_csv(&batch);
+        let back = from_csv(&text, batch.schema()).expect("parses");
+        prop_assert_eq!(back.rows(), batch.rows());
+    }
+
+    /// The relational engine and the array engine agree on numeric
+    /// aggregates of the same data.
+    #[test]
+    fn engines_agree_on_sum(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        // array engine
+        let arr = bigdawg::array::Array::from_vector("w", "v", &values, 16);
+        let arr_sum = bigdawg::array::ops::aggregate(
+            &arr, bigdawg::array::AggKind::Sum, "v").unwrap().unwrap();
+        // relational engine
+        let mut db = bigdawg::relational::Database::new();
+        db.execute("CREATE TABLE w (i INT, v FLOAT)").unwrap();
+        let stmt: Vec<String> = values.iter().enumerate()
+            .map(|(i, v)| format!("({i}, {v})"))
+            .collect();
+        db.execute(&format!("INSERT INTO w VALUES {}", stmt.join(","))).unwrap();
+        let b = db.query("SELECT SUM(v) FROM w").unwrap();
+        let sql_sum = b.rows()[0][0].as_f64().unwrap();
+        let tol = 1e-9 * values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!((arr_sum - sql_sum).abs() <= tol, "{arr_sum} vs {sql_sum}");
+    }
+
+    /// Sliding-window aggregates match naive recomputation at every step.
+    #[test]
+    fn window_stats_match_naive(values in proptest::collection::vec(-1e3f64..1e3, 1..120),
+                                size in 1usize..16) {
+        let mut w = bigdawg::stream::SlidingWindow::new(
+            bigdawg::stream::WindowSpec::sliding(size, 1));
+        for (i, &v) in values.iter().enumerate() {
+            w.push(i as i64, v);
+            let lo = (i + 1).saturating_sub(size);
+            let slice = &values[lo..=i];
+            let stats = w.stats();
+            let naive_sum: f64 = slice.iter().sum();
+            prop_assert!((stats.sum - naive_sum).abs() < 1e-6);
+            prop_assert_eq!(stats.min, slice.iter().cloned().fold(f64::INFINITY, f64::min));
+            prop_assert_eq!(stats.max, slice.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+            prop_assert_eq!(stats.count, slice.len());
+        }
+    }
+
+    /// D4M algebra laws: plus commutes, transpose is an involution, and
+    /// element-wise times is intersection-bounded.
+    #[test]
+    fn d4m_algebra_laws(
+        triples in proptest::collection::vec(
+            ("[a-d]", "[x-z]", -100f64..100.0).prop_map(|(r, c, v)| (r, c, v)),
+            0..20,
+        )
+    ) {
+        let a = AssocArray::from_triples(triples.clone());
+        let b = AssocArray::from_triples(triples.iter().rev().cloned().collect::<Vec<_>>());
+        // commutativity of plus
+        prop_assert_eq!(plus(&a, &b), plus(&b, &a));
+        // transpose involution
+        prop_assert_eq!(transpose(&transpose(&a)), a.clone());
+        // times is supported only where both have entries
+        let t = times(&a, &b);
+        prop_assert!(t.nnz() <= a.nnz().min(b.nnz()));
+        // (A·B)ᵀ = Bᵀ·Aᵀ over the PlusTimes semiring
+        let ab_t = transpose(&matmul(&a, &b, Semiring::PlusTimes));
+        let bt_at = matmul(&transpose(&b), &transpose(&a), Semiring::PlusTimes);
+        for (r, c, v) in ab_t.triples() {
+            prop_assert!((v - bt_at.get(r, c)).abs() < 1e-9);
+        }
+    }
+
+    /// RLE tile compression is lossless on arbitrary (finite) waveforms.
+    #[test]
+    fn rle_roundtrip(values in proptest::collection::vec(-1e9f64..1e9, 0..300)) {
+        let bytes = bigdawg::tiledb::rle::compress(&values);
+        prop_assert_eq!(bigdawg::tiledb::rle::decompress(&bytes), values);
+    }
+
+    /// FFT→IFFT returns the (padded) original signal.
+    #[test]
+    fn fft_roundtrip(values in proptest::collection::vec(-1e3f64..1e3, 1..128)) {
+        let spec = bigdawg::analytics::fft(&values);
+        let back = bigdawg::analytics::ifft(&spec).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!((a - b.re).abs() < 1e-6);
+        }
+    }
+
+    /// SQL LIKE agrees with a reference implementation built on contains /
+    /// starts_with for simple patterns.
+    #[test]
+    fn like_simple_patterns(text in "[ab ]{0,16}", needle in "[ab]{1,4}") {
+        let like = bigdawg::relational::expr::like_match(
+            &text, &format!("%{needle}%"));
+        prop_assert_eq!(like, text.contains(&needle));
+        let like = bigdawg::relational::expr::like_match(&text, &format!("{needle}%"));
+        prop_assert_eq!(like, text.starts_with(&needle));
+    }
+}
