@@ -22,11 +22,7 @@ pub fn fft_of_array(a: &Array, attr: &str) -> Result<Array> {
 }
 
 /// OLS where predictors and response are attributes of one array's cells.
-pub fn regression_over_array(
-    a: &Array,
-    x_attrs: &[&str],
-    y_attr: &str,
-) -> Result<RegressionModel> {
+pub fn regression_over_array(a: &Array, x_attrs: &[&str], y_attr: &str) -> Result<RegressionModel> {
     let s = a.schema();
     let xi: Vec<usize> = x_attrs
         .iter()
@@ -111,8 +107,7 @@ mod tests {
         .unwrap();
         let r = pca_over_matrix(&a, "v", 1).unwrap();
         let c = &r.components[0];
-        let cosine =
-            (c[0] * 1.0 + c[1] * 3.0).abs() / (10.0f64).sqrt();
+        let cosine = (c[0] * 1.0 + c[1] * 3.0).abs() / (10.0f64).sqrt();
         assert!(cosine > 0.999);
         // a derived attribute via apply() keeps the bridge composable
         let b = apply(&a, "scaled", |_, v| v[0] * 2.0).unwrap();

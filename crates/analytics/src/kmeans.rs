@@ -37,7 +37,13 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Cluster row-major data (`n` rows × `d` columns) into `k` clusters.
-pub fn kmeans(data: &[f64], d: usize, k: usize, seed: u64, max_iters: usize) -> Result<KMeansResult> {
+pub fn kmeans(
+    data: &[f64],
+    d: usize,
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+) -> Result<KMeansResult> {
     if d == 0 || data.len() % d != 0 {
         return Err(BigDawgError::SchemaMismatch(format!(
             "data length {} not divisible by dimension {d}",
@@ -46,9 +52,7 @@ pub fn kmeans(data: &[f64], d: usize, k: usize, seed: u64, max_iters: usize) -> 
     }
     let n = data.len() / d;
     if k == 0 || k > n {
-        return Err(BigDawgError::Execution(format!(
-            "k={k} must be in 1..={n}"
-        )));
+        return Err(BigDawgError::Execution(format!("k={k} must be in 1..={n}")));
     }
     let row = |i: usize| &data[i * d..(i + 1) * d];
     let mut rng = SplitMix(seed);
@@ -75,8 +79,9 @@ pub fn kmeans(data: &[f64], d: usize, k: usize, seed: u64, max_iters: usize) -> 
             pick
         };
         centroids.push(row(next).to_vec());
-        for i in 0..n {
-            dists[i] = dists[i].min(sq_dist(row(i), centroids.last().expect("pushed")));
+        let newest = centroids.last().expect("pushed").clone();
+        for (i, d) in dists.iter_mut().enumerate() {
+            *d = d.min(sq_dist(row(i), &newest));
         }
     }
 
@@ -86,15 +91,15 @@ pub fn kmeans(data: &[f64], d: usize, k: usize, seed: u64, max_iters: usize) -> 
     for it in 0..max_iters.max(1) {
         iterations = it + 1;
         let mut changed = false;
-        for i in 0..n {
+        for (i, assignment) in assignments.iter_mut().enumerate() {
             let (best, _) = centroids
                 .iter()
                 .enumerate()
                 .map(|(c, cent)| (c, sq_dist(row(i), cent)))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("k >= 1");
-            if assignments[i] != best {
-                assignments[i] = best;
+            if *assignment != best {
+                *assignment = best;
                 changed = true;
             }
         }

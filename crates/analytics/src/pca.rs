@@ -73,7 +73,13 @@ pub fn pca(data: &[f64], d: usize, k: usize) -> Result<PcaResult> {
     for comp in 0..k {
         // deterministic start vector, orthogonal-ish to previous ones
         let mut v: Vec<f64> = (0..d)
-            .map(|i| if i == comp % d { 1.0 } else { 0.3 / (i + 1) as f64 })
+            .map(|i| {
+                if i == comp % d {
+                    1.0
+                } else {
+                    0.3 / (i + 1) as f64
+                }
+            })
             .collect();
         let mut eigenvalue = 0.0;
         for _ in 0..300 {

@@ -47,7 +47,7 @@ pub fn linear_regression(xs: &[f64], ys: &[f64], k: usize) -> Result<RegressionM
         )));
     }
     let p = k + 1; // + intercept
-    // Build XᵀX (p×p) and Xᵀy (p) in one pass.
+                   // Build XᵀX (p×p) and Xᵀy (p) in one pass.
     let mut xtx = vec![0.0f64; p * p];
     let mut xty = vec![0.0f64; p];
     let mut row_buf = vec![0.0f64; p];
@@ -139,7 +139,11 @@ mod tests {
             .map(|(i, x)| 5.0 - 0.5 * x + ((i * 2654435761) % 100) as f64 / 500.0 - 0.1)
             .collect();
         let m = linear_regression(&xs, &ys, 1).unwrap();
-        assert!((m.coefficients[0] + 0.5).abs() < 0.02, "slope {}", m.coefficients[0]);
+        assert!(
+            (m.coefficients[0] + 0.5).abs() < 0.02,
+            "slope {}",
+            m.coefficients[0]
+        );
         assert!(m.r_squared > 0.98);
     }
 

@@ -167,8 +167,7 @@ impl Array {
                     let clen = dims[d].chunk_len as usize;
                     let within = rem % clen;
                     rem /= clen;
-                    coords[d] =
-                        dims[d].start + (cc[d] * dims[d].chunk_len) as i64 + within as i64;
+                    coords[d] = dims[d].start + (cc[d] * dims[d].chunk_len) as i64 + within as i64;
                 }
                 for (a, v) in vals.iter_mut().enumerate() {
                     *v = chunk.attr_buffer(a)[off];

@@ -35,7 +35,11 @@ pub fn subarray(a: &Array, low: &[i64], high: &[i64]) -> Result<Array> {
     let schema = ArraySchema::new(format!("subarray({})", s.name), dims, s.attrs.clone())?;
     let mut out = Array::new(schema);
     for (coords, vals) in a.iter_cells() {
-        if coords.iter().zip(low.iter().zip(high)).all(|(c, (l, h))| c >= l && c <= h) {
+        if coords
+            .iter()
+            .zip(low.iter().zip(high))
+            .all(|(c, (l, h))| c >= l && c <= h)
+        {
             let new_coords: Vec<i64> = coords.iter().zip(low).map(|(c, l)| c - l).collect();
             out.set(&new_coords, &vals)?;
         }
@@ -111,7 +115,7 @@ pub fn regrid(a: &Array, factors: &[u64], agg: AggKind) -> Result<Array> {
             factors.len()
         )));
     }
-    if factors.iter().any(|&f| f == 0) {
+    if factors.contains(&0) {
         return Err(BigDawgError::Execution("regrid factor of zero".into()));
     }
     let dims: Vec<Dimension> = s
@@ -158,7 +162,10 @@ pub fn regrid(a: &Array, factors: &[u64], agg: AggKind) -> Result<Array> {
             block[d] = (rem % out_lens[d] as usize) as i64;
             rem /= out_lens[d] as usize;
         }
-        for (v, st) in vals.iter_mut().zip(&states[idx * n_attrs..(idx + 1) * n_attrs]) {
+        for (v, st) in vals
+            .iter_mut()
+            .zip(&states[idx * n_attrs..(idx + 1) * n_attrs])
+        {
             *v = st.finish().unwrap_or(f64::NAN);
         }
         out.set(&block, &vals)?;
@@ -364,7 +371,10 @@ mod tests {
         let a = wave(100);
         let s = subarray(&a, &[10], &[19]).unwrap();
         assert_eq!(s.schema().dims[0].length, 10);
-        assert_eq!(s.to_vector("v").unwrap(), (10..20).map(|x| x as f64).collect::<Vec<_>>());
+        assert_eq!(
+            s.to_vector("v").unwrap(),
+            (10..20).map(|x| x as f64).collect::<Vec<_>>()
+        );
         assert!(subarray(&a, &[20], &[10]).is_err());
     }
 

@@ -171,15 +171,10 @@ mod tests {
     #[test]
     fn schema_validation() {
         assert!(ArraySchema::new("a", vec![], vec!["v".into()]).is_err());
+        assert!(ArraySchema::new("a", vec![Dimension::unchunked("i", 4)], vec![]).is_err());
         assert!(
-            ArraySchema::new("a", vec![Dimension::unchunked("i", 4)], vec![]).is_err()
+            ArraySchema::new("a", vec![Dimension::new("i", 0, 0, 1)], vec!["v".into()]).is_err()
         );
-        assert!(ArraySchema::new(
-            "a",
-            vec![Dimension::new("i", 0, 0, 1)],
-            vec!["v".into()]
-        )
-        .is_err());
     }
 
     #[test]

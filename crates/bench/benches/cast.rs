@@ -23,9 +23,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("file_csv", rows), &batch, |b, batch| {
             b.iter(|| ship(batch, Transport::File).unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("binary_parallel", rows), &batch, |b, batch| {
-            b.iter(|| ship(batch, Transport::Binary).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("binary_parallel", rows),
+            &batch,
+            |b, batch| b.iter(|| ship(batch, Transport::Binary).unwrap()),
+        );
     }
     g.finish();
 }

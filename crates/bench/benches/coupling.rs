@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn dense(name: &str, n: u64) -> TileDb {
     let mut db =
         TileDb::new(TileSchema::new(name, vec![n, n], vec![32.min(n), 32.min(n)]).unwrap());
-    let buf: Vec<f64> = (0..(n * n) as usize).map(|i| ((i * 7) % 13) as f64).collect();
+    let buf: Vec<f64> = (0..(n * n) as usize)
+        .map(|i| ((i * 7) % 13) as f64)
+        .collect();
     db.write_dense(&buf).unwrap();
     db
 }
@@ -26,13 +28,8 @@ fn bench(c: &mut Criterion) {
         bch.iter(|| {
             let fa = export_cells(&a).unwrap();
             let fb = export_cells(&b).unwrap();
-            let p =
-                bigdawg_array::ops::dense_matmul(n as usize, n as usize, &fa, n as usize, &fb);
-            import_cells(
-                TileSchema::new("p", vec![n, n], vec![32, 32]).unwrap(),
-                &p,
-            )
-            .unwrap()
+            let p = bigdawg_array::ops::dense_matmul(n as usize, n as usize, &fa, n as usize, &fb);
+            import_cells(TileSchema::new("p", vec![n, n], vec![32, 32]).unwrap(), &p).unwrap()
         })
     });
     g.finish();

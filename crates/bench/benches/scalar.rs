@@ -11,12 +11,24 @@ fn points(n: usize) -> Vec<(f64, f64)> {
 }
 
 fn session() -> Vec<TileId> {
-    let mut moves = vec![TileId { level: 0, tx: 0, ty: 0 }];
+    let mut moves = vec![TileId {
+        level: 0,
+        tx: 0,
+        ty: 0,
+    }];
     for tx in 0..4 {
-        moves.push(TileId { level: 2, tx, ty: 1 });
+        moves.push(TileId {
+            level: 2,
+            tx,
+            ty: 1,
+        });
     }
     for ty in 1..4 {
-        moves.push(TileId { level: 2, tx: 3, ty });
+        moves.push(TileId {
+            level: 2,
+            tx: 3,
+            ty,
+        });
     }
     moves
 }

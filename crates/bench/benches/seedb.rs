@@ -26,8 +26,11 @@ fn admissions_db(rows_per_race: usize) -> Database {
             ));
         }
     }
-    db.execute(&format!("INSERT INTO admissions_flat VALUES {}", values.join(",")))
-        .unwrap();
+    db.execute(&format!(
+        "INSERT INTO admissions_flat VALUES {}",
+        values.join(",")
+    ))
+    .unwrap();
     db
 }
 

@@ -48,9 +48,7 @@ pub fn run(samples: u64) -> Result<AnomalyResult> {
     // Learn the reference from a clean lead-in (regenerated, no anomalies).
     let clean = WaveformGen::new(seed, patient, 125.0, vec![]);
     let mut detector = AnomalyDetector::new(8.0);
-    let ref_windows: Vec<Vec<f64>> = (0..10)
-        .map(|k| clean.window(k * 125, 125))
-        .collect();
+    let ref_windows: Vec<Vec<f64>> = (0..10).map(|k| clean.window(k * 125, 125)).collect();
     let views: Vec<&[f64]> = ref_windows.iter().map(Vec::as_slice).collect();
     detector.learn_reference(patient, &views)?;
     let detector = Arc::new(detector);

@@ -50,7 +50,12 @@ pub fn table(results: &[CastResult]) -> Table {
     let mut t = Table::new(
         "E4 — CAST transports: file-based (CSV) vs parallel binary (§2.1)",
         &[
-            "object", "rows", "file total", "binary total", "speedup", "file bytes",
+            "object",
+            "rows",
+            "file total",
+            "binary total",
+            "speedup",
+            "file bytes",
             "binary bytes",
         ],
     );

@@ -21,7 +21,11 @@ pub struct CouplingResult {
 }
 
 fn dense(name: &str, n: u64, f: impl Fn(usize) -> f64) -> Result<TileDb> {
-    let mut db = TileDb::new(TileSchema::new(name, vec![n, n], vec![32.min(n), 32.min(n)])?);
+    let mut db = TileDb::new(TileSchema::new(
+        name,
+        vec![n, n],
+        vec![32.min(n), 32.min(n)],
+    )?);
     let buf: Vec<f64> = (0..(n * n) as usize).map(f).collect();
     db.write_dense(&buf)?;
     Ok(db)
@@ -83,7 +87,12 @@ pub fn run(n: u64) -> Result<CouplingResult> {
 pub fn table(r: &CouplingResult) -> Table {
     let mut t = Table::new(
         "E10 — TileDB: tight vs loose linear-algebra coupling (§2.4)",
-        &["kernel", "tight (tile-native)", "loose (export+compute+import)", "speedup"],
+        &[
+            "kernel",
+            "tight (tile-native)",
+            "loose (export+compute+import)",
+            "speedup",
+        ],
     );
     t.row(&[
         format!("matmul {0}×{0}", r.n),

@@ -106,7 +106,11 @@ mod tests {
         assert_eq!(top[0].spec.measure, "stay_days");
         // the reversal: white's target bar above hispanic's, reference below
         let white = top[0].bars.iter().find(|(l, _, _)| l == "white").unwrap();
-        let hispanic = top[0].bars.iter().find(|(l, _, _)| l == "hispanic").unwrap();
+        let hispanic = top[0]
+            .bars
+            .iter()
+            .find(|(l, _, _)| l == "hispanic")
+            .unwrap();
         assert!(white.1 > hispanic.1);
         assert!(white.2 < hispanic.2);
     }

@@ -62,7 +62,12 @@ pub fn run(samples: usize) -> Result<MigrationResult> {
     {
         let mut m = bd.monitor().lock();
         for _ in 0..30 {
-            m.record("waveform_hr", QueryClass::LinearAlgebra, &before_engine, before);
+            m.record(
+                "waveform_hr",
+                QueryClass::LinearAlgebra,
+                &before_engine,
+                before,
+            );
         }
     }
 

@@ -56,10 +56,7 @@ fn streaming_workload(samples: usize) -> Result<WorkloadResult> {
     engine.create_window("vitals", "w", "hr", WindowSpec::sliding(125, 25))?;
     let started = Instant::now();
     for (i, &v) in data.iter().enumerate() {
-        engine.ingest(
-            "vitals",
-            vec![Value::Timestamp(i as i64), Value::Float(v)],
-        )?;
+        engine.ingest("vitals", vec![Value::Timestamp(i as i64), Value::Float(v)])?;
     }
     let specialized = started.elapsed();
 
@@ -96,9 +93,8 @@ fn array_workload(samples: usize) -> Result<WorkloadResult> {
     // specialized: array engine
     let arr = bigdawg_array::Array::from_vector("w", "v", &data, 4096);
     let started = Instant::now();
-    let energy = bigdawg_array::ops::aggregate_map(&arr, bigdawg_array::AggKind::Sum, |_, v| {
-        v[0] * v[0]
-    });
+    let energy =
+        bigdawg_array::ops::aggregate_map(&arr, bigdawg_array::AggKind::Sum, |_, v| v[0] * v[0]);
     let smoothed = bigdawg_array::ops::regrid(&arr, &[25], bigdawg_array::AggKind::Avg)?;
     let specialized = started.elapsed();
 

@@ -16,21 +16,41 @@ pub struct ScalarResult {
 /// scatter (the "icon for each group of patients" top view, then drilling
 /// down).
 fn session() -> Vec<TileId> {
-    let mut moves = vec![TileId { level: 0, tx: 0, ty: 0 }];
+    let mut moves = vec![TileId {
+        level: 0,
+        tx: 0,
+        ty: 0,
+    }];
     // zoom to level 2 and pan east along a row
     for tx in 0..4 {
-        moves.push(TileId { level: 2, tx, ty: 1 });
+        moves.push(TileId {
+            level: 2,
+            tx,
+            ty: 1,
+        });
     }
     // pan south
     for ty in 1..4 {
-        moves.push(TileId { level: 2, tx: 3, ty });
+        moves.push(TileId {
+            level: 2,
+            tx: 3,
+            ty,
+        });
     }
     // zoom into a hot tile's children
-    let hot = TileId { level: 2, tx: 3, ty: 3 };
+    let hot = TileId {
+        level: 2,
+        tx: 3,
+        ty: 3,
+    };
     moves.extend(hot.children());
     // pan back west
     for tx in (0..3).rev() {
-        moves.push(TileId { level: 2, tx, ty: 3 });
+        moves.push(TileId {
+            level: 2,
+            tx,
+            ty: 3,
+        });
     }
     moves
 }

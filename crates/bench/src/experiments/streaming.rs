@@ -123,7 +123,11 @@ pub fn table(r: &StreamingResult) -> Table {
         format!("{} ms", r.mb_p50_ms),
         format!("{} ms", r.mb_p99_ms),
     ]);
-    t.row(&[format!("alerts fired: {}", r.alerts), String::new(), String::new()]);
+    t.row(&[
+        format!("alerts fired: {}", r.alerts),
+        String::new(),
+        String::new(),
+    ]);
     t
 }
 

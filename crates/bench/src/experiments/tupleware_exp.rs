@@ -73,7 +73,11 @@ pub fn table(r: &TupleResult) -> Table {
         "E2 — Tupleware: compiled vs interpreted vs Hadoop codeline (§2.5)",
         &["mode", "time", "vs compiled"],
     );
-    t.row(&["compiled (fused)".into(), fmt_dur(r.compiled), "1.0×".into()]);
+    t.row(&[
+        "compiled (fused)".into(),
+        fmt_dur(r.compiled),
+        "1.0×".into(),
+    ]);
     t.row(&[
         "interpreted (Spark-style)".into(),
         fmt_dur(r.interpreted),
@@ -85,7 +89,10 @@ pub fn table(r: &TupleResult) -> Table {
         fmt_ratio(r.hadoop, r.compiled),
     ]);
     t.row(&[
-        format!("optimizer est. cost/tuple {:.1} → {:.1}", r.est_before, r.est_after),
+        format!(
+            "optimizer est. cost/tuple {:.1} → {:.1}",
+            r.est_before, r.est_after
+        ),
         String::new(),
         String::new(),
     ]);

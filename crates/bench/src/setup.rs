@@ -1,9 +1,9 @@
 //! Build the §3 demo federation from synthetic MIMIC II data.
 
+use bigdawg_array::Array;
 use bigdawg_common::{DataType, Result, Row, Schema, Value};
 use bigdawg_core::shims::{ArrayShim, KvShim, RelationalShim, StreamShim, TileShim, TupleShim};
 use bigdawg_core::BigDawg;
-use bigdawg_array::Array;
 use bigdawg_mimic::{generate, plant_anomalies, AnomalyEvent, MimicConfig, MimicData, WaveformGen};
 use bigdawg_stream::{Engine, WindowSpec};
 use bigdawg_tiledb::{TileDb, TileSchema};
@@ -154,7 +154,7 @@ pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
     let mut matrix = TileDb::new(TileSchema::new(
         "waveform_tiles",
         vec![config.waveform_patients.max(1), cols],
-        vec![config.waveform_patients.max(1).min(4), 64],
+        vec![config.waveform_patients.clamp(1, 4), 64],
     )?);
     let mut cells = Vec::new();
     for (pid, events) in &anomalies {

@@ -2,11 +2,10 @@
 
 use crate::error::{BigDawgError, Result};
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named, typed column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub data_type: DataType,
@@ -37,7 +36,7 @@ impl Field {
 ///
 /// Lookup is linear: federated schemas are narrow (tens of columns), so a
 /// hash index would cost more to maintain than it saves.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -50,10 +49,7 @@ impl Schema {
     /// Build a schema of nullable fields from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
         Schema {
-            fields: pairs
-                .iter()
-                .map(|(n, t)| Field::new(*n, *t))
-                .collect(),
+            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
         }
     }
 

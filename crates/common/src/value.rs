@@ -7,13 +7,12 @@
 //! is returned to a client through an island, it is expressed as [`Value`]s.
 
 use crate::error::{BigDawgError, Result};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The type of a [`Value`]. Islands use this for schema checking; CAST uses
 /// it to pick a wire representation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// The type of `Value::Null` when no better type is known.
     Null,
@@ -72,7 +71,7 @@ impl fmt::Display for DataType {
 /// Comparing non-coercible types (e.g. `Bool` vs `Text`) falls back to a
 /// stable order on the type tag so sorting never panics; engines that need
 /// strict typing check types *before* sorting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
@@ -196,9 +195,9 @@ impl Value {
                 BigDawgError::Execution(format!("integer overflow in {op}({a}, {b})"))
             }),
             (Value::Timestamp(a), Value::Int(b)) | (Value::Int(a), Value::Timestamp(b)) => {
-                int_op(*a, *b).map(Value::Timestamp).ok_or_else(|| {
-                    BigDawgError::Execution(format!("timestamp overflow in {op}"))
-                })
+                int_op(*a, *b)
+                    .map(Value::Timestamp)
+                    .ok_or_else(|| BigDawgError::Execution(format!("timestamp overflow in {op}")))
             }
             (a, b) if a.data_type().is_numeric() && b.data_type().is_numeric() => {
                 Ok(Value::Float(float_op(a.as_f64()?, b.as_f64()?)))
@@ -216,11 +215,7 @@ impl Value {
     /// where not (`Text("abc")` → Int fails; `Text("42")` → Int succeeds).
     pub fn cast_to(&self, target: DataType) -> Result<Value> {
         use DataType as T;
-        let fail = |v: &Value| {
-            Err(BigDawgError::Cast(format!(
-                "cannot cast {v:?} to {target}"
-            )))
-        };
+        let fail = |v: &Value| Err(BigDawgError::Cast(format!("cannot cast {v:?} to {target}")));
         match (self, target) {
             (v, t) if v.data_type() == t => Ok(v.clone()),
             (Value::Null, _) => Ok(Value::Null),
@@ -441,21 +436,11 @@ mod tests {
 
     #[test]
     fn ordering_nulls_first_and_total() {
-        let mut vs = vec![
-            Value::Int(2),
-            Value::Null,
-            Value::Float(1.5),
-            Value::Int(1),
-        ];
+        let mut vs = vec![Value::Int(2), Value::Null, Value::Float(1.5), Value::Int(1)];
         vs.sort();
         assert_eq!(
             vs,
-            vec![
-                Value::Null,
-                Value::Int(1),
-                Value::Float(1.5),
-                Value::Int(2)
-            ]
+            vec![Value::Null, Value::Int(1), Value::Float(1.5), Value::Int(2)]
         );
     }
 
@@ -467,7 +452,7 @@ mod tests {
 
     #[test]
     fn nan_total_order() {
-        let mut vs = vec![Value::Float(f64::NAN), Value::Float(1.0)];
+        let mut vs = [Value::Float(f64::NAN), Value::Float(1.0)];
         vs.sort();
         assert_eq!(vs[0], Value::Float(1.0));
     }
@@ -511,10 +496,7 @@ mod tests {
 
     #[test]
     fn unify_rules() {
-        assert_eq!(
-            DataType::Int.unify(DataType::Float),
-            Some(DataType::Float)
-        );
+        assert_eq!(DataType::Int.unify(DataType::Float), Some(DataType::Float));
         assert_eq!(DataType::Null.unify(DataType::Text), Some(DataType::Text));
         assert_eq!(DataType::Bool.unify(DataType::Int), None);
     }

@@ -14,7 +14,7 @@
 //!   codec (shared with the stream engine's command log), encoded and
 //!   decoded **in parallel** across row partitions.
 
-use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, DataType, Result, Row, Schema, Value};
 use bigdawg_stream::recovery::{read_value, write_value};
 use std::time::{Duration, Instant};
 
@@ -257,7 +257,10 @@ pub fn encode_binary(batch: &Batch) -> Vec<Vec<u8>> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("encoder panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("encoder panicked"))
+            .collect()
     })
 }
 
@@ -335,7 +338,11 @@ mod tests {
     fn csv_roundtrip_with_quoting() {
         let b = batch();
         let (back, report) = ship(&b, Transport::File).unwrap();
-        assert_eq!(back.rows(), b.rows(), "commas, quotes, and newlines survive");
+        assert_eq!(
+            back.rows(),
+            b.rows(),
+            "commas, quotes, and newlines survive"
+        );
         assert_eq!(report.rows, 500);
         assert!(report.wire_bytes > 0);
     }
@@ -353,7 +360,10 @@ mod tests {
         let schema = Schema::from_pairs(&[("x", DataType::Float)]);
         let b = Batch::new(
             schema.clone(),
-            vec![vec![Value::Float(std::f64::consts::PI)], vec![Value::Float(1e-300)]],
+            vec![
+                vec![Value::Float(std::f64::consts::PI)],
+                vec![Value::Float(1e-300)],
+            ],
         )
         .unwrap();
         let back = from_csv(&to_csv(&b), &schema).unwrap();

@@ -5,14 +5,39 @@ use crate::monitor::QueryClass;
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
 use crate::shims::{afl, ArrayShim};
-use bigdawg_common::{BigDawgError, Batch, Result};
+use bigdawg_common::{Batch, BigDawgError, Result};
 use std::time::Instant;
 
 /// AFL operator names — identifiers that are never treated as objects.
 const AFL_KEYWORDS: &[&str] = &[
-    "scan", "subarray", "filter", "apply", "project", "regrid", "window", "transpose", "matmul",
-    "aggregate", "and", "or", "not", "between", "in", "like", "is", "null", "sum", "avg", "min",
-    "max", "count", "stddev", "mean", "std", "true", "false",
+    "scan",
+    "subarray",
+    "filter",
+    "apply",
+    "project",
+    "regrid",
+    "window",
+    "transpose",
+    "matmul",
+    "aggregate",
+    "and",
+    "or",
+    "not",
+    "between",
+    "in",
+    "like",
+    "is",
+    "null",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "count",
+    "stddev",
+    "mean",
+    "std",
+    "true",
+    "false",
 ];
 
 /// Execute an AFL query on the array island. Objects living on other
@@ -40,12 +65,9 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
     let started = Instant::now();
     let result = {
         let shim = bd.engine(&engine)?.lock();
-        let arr = shim
-            .as_any()
-            .downcast_ref::<ArrayShim>()
-            .ok_or_else(|| {
-                BigDawgError::Internal(format!("engine `{engine}` is not an ArrayShim"))
-            })?;
+        let arr = shim.as_any().downcast_ref::<ArrayShim>().ok_or_else(|| {
+            BigDawgError::Internal(format!("engine `{engine}` is not an ArrayShim"))
+        })?;
         afl::execute(arr, &rewritten)
     };
     if let Some(first) = identifiers(query)
@@ -83,9 +105,7 @@ fn identifiers(text: &str) -> Vec<String> {
         if c.is_alphanumeric() || c == '_' {
             cur.push(c);
         } else if !cur.is_empty() {
-            if !cur.chars().next().is_some_and(|c| c.is_ascii_digit())
-                && !out.contains(&cur)
-            {
+            if !cur.chars().next().is_some_and(|c| c.is_ascii_digit()) && !out.contains(&cur) {
                 out.push(cur.clone());
             }
             cur.clear();
@@ -137,7 +157,12 @@ mod tests {
         let mut scidb = ArrayShim::new("scidb");
         scidb.store(
             "wave",
-            Array::from_vector("wave", "v", &(0..64).map(|i| i as f64).collect::<Vec<_>>(), 16),
+            Array::from_vector(
+                "wave",
+                "v",
+                &(0..64).map(|i| i as f64).collect::<Vec<_>>(),
+                16,
+            ),
         );
         bd.add_engine(Box::new(scidb));
         bd

@@ -26,7 +26,7 @@ use crate::monitor::QueryClass;
 use crate::polystore::BigDawg;
 use crate::shim::Shim;
 use crate::shims::KvShim;
-use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{parse_err, Batch, BigDawgError, DataType, Result, Row, Schema, Value};
 use bigdawg_d4m::algebra::{self, Semiring};
 use bigdawg_d4m::AssocArray;
 use std::time::Instant;
@@ -313,7 +313,9 @@ mod tests {
         let sick2 = b
             .rows()
             .iter()
-            .find(|r| r[0] == Value::Text("doc00000001".into()) && r[1] == Value::Text("sick".into()))
+            .find(|r| {
+                r[0] == Value::Text("doc00000001".into()) && r[1] == Value::Text("sick".into())
+            })
             .unwrap();
         assert_eq!(sick2[2], Value::Float(2.0));
     }
@@ -348,11 +350,7 @@ mod tests {
         let b = execute(&bd, "times(assoc(rx), assoc(rx))").unwrap();
         assert_eq!(b.len(), 2);
         // rowsum over the matmul of notes-terms with its transpose
-        let b = execute(
-            &bd,
-            "rowsum(matmul(assoc(notes), transpose(assoc(notes))))",
-        )
-        .unwrap();
+        let b = execute(&bd, "rowsum(matmul(assoc(notes), transpose(assoc(notes))))").unwrap();
         assert!(!b.is_empty());
     }
 

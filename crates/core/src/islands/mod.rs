@@ -20,7 +20,7 @@ pub mod relational;
 pub mod text;
 
 use crate::polystore::BigDawg;
-use bigdawg_common::{BigDawgError, Batch, Result};
+use bigdawg_common::{Batch, BigDawgError, Result};
 
 /// Route a query body to an island by SCOPE name (case-insensitive).
 /// Unknown names fall back to a degenerate island when an engine with that

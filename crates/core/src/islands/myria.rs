@@ -21,7 +21,7 @@
 
 use crate::monitor::QueryClass;
 use crate::polystore::BigDawg;
-use bigdawg_common::{parse_err, BigDawgError, Batch, Result};
+use bigdawg_common::{parse_err, Batch, BigDawgError, Result};
 use bigdawg_myria::exec::TableProvider;
 use bigdawg_myria::{execute as myria_execute, optimize, RaPlan};
 use bigdawg_relational::expr::AggFunc;
@@ -218,7 +218,7 @@ fn rsplit_n_commas(args: &str, n: usize) -> Result<Vec<String>> {
     Ok(pieces)
 }
 
-fn call_args<'a>(text: &'a str, op: &str) -> Option<String> {
+fn call_args(text: &str, op: &str) -> Option<String> {
     let t = text.trim();
     let rest = t.strip_prefix(op)?.trim_start();
     let rest = rest.strip_prefix('(')?;
@@ -255,9 +255,7 @@ mod tests {
             .execute("CREATE TABLE transfers (src TEXT, dst TEXT)")
             .unwrap();
         pg.db_mut()
-            .execute(
-                "INSERT INTO transfers VALUES ('er','icu'), ('icu','ward'), ('ward','rehab')",
-            )
+            .execute("INSERT INTO transfers VALUES ('er','icu'), ('icu','ward'), ('ward','rehab')")
             .unwrap();
         bd.add_engine(Box::new(pg));
         bd
@@ -266,7 +264,11 @@ mod tests {
     #[test]
     fn scan_filter_project() {
         let bd = federation();
-        let b = execute(&bd, "scan(transfers) |> filter(src = 'icu') |> project(dst)").unwrap();
+        let b = execute(
+            &bd,
+            "scan(transfers) |> filter(src = 'icu') |> project(dst)",
+        )
+        .unwrap();
         assert_eq!(b.len(), 1);
         assert_eq!(b.rows()[0][0], Value::Text("ward".into()));
     }

@@ -9,7 +9,7 @@ use crate::monitor::QueryClass;
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
 use crate::shims::RelationalShim;
-use bigdawg_common::{BigDawgError, Batch, Result};
+use bigdawg_common::{Batch, BigDawgError, Result};
 use bigdawg_relational::db::QueryResult;
 use bigdawg_relational::sql::ast::Statement;
 use bigdawg_relational::sql::parse;

@@ -13,13 +13,7 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
     let started = Instant::now();
     let result = bd.engine(&engine)?.lock().execute_native(query);
     // The corpus object is the engine's only object; record against it.
-    if let Some(obj) = bd
-        .engine(&engine)?
-        .lock()
-        .object_names()
-        .first()
-        .cloned()
-    {
+    if let Some(obj) = bd.engine(&engine)?.lock().object_names().first().cloned() {
         bd.monitor()
             .lock()
             .record(&obj, QueryClass::TextSearch, &engine, started.elapsed());
@@ -43,10 +37,7 @@ mod tests {
         let b = execute(&bd, "search(\"very sick\" AND heparin)").unwrap();
         assert_eq!(b.len(), 1);
         assert_eq!(b.rows()[0][0], Value::Int(1));
-        assert_eq!(
-            bd.monitor().lock().object_stats("notes").total_queries,
-            1
-        );
+        assert_eq!(bd.monitor().lock().object_stats("notes").total_queries, 1);
     }
 
     #[test]

@@ -344,18 +344,16 @@ mod tests {
         pg.db_mut()
             .execute("CREATE TABLE wave_rel (i INT, v FLOAT)")
             .unwrap();
-        let values: Vec<String> = (0..256)
-            .map(|i| format!("({i}, {}.5)", i % 17))
-            .collect();
+        let values: Vec<String> = (0..256).map(|i| format!("({i}, {}.5)", i % 17)).collect();
         pg.db_mut()
-            .execute(&format!("INSERT INTO wave_rel VALUES {}", values.join(", ")))
+            .execute(&format!(
+                "INSERT INTO wave_rel VALUES {}",
+                values.join(", ")
+            ))
             .unwrap();
         bd.add_engine(Box::new(pg));
         let mut scidb = ArrayShim::new("scidb");
-        scidb.store(
-            "other",
-            Array::from_vector("other", "v", &[1.0, 2.0], 2),
-        );
+        scidb.store("other", Array::from_vector("other", "v", &[1.0, 2.0], 2));
         bd.add_engine(Box::new(scidb));
         bd
     }
@@ -428,9 +426,7 @@ mod tests {
         assert_eq!(applied.len(), 1);
         assert_eq!(bd.locate("wave_rel").unwrap(), "scidb");
         // the array side can now run the workload natively
-        let b = bd
-            .execute("ARRAY(aggregate(wave_rel, count, v))")
-            .unwrap();
+        let b = bd.execute("ARRAY(aggregate(wave_rel, count, v))").unwrap();
         assert_eq!(b.rows()[0][0], bigdawg_common::Value::Float(256.0));
     }
 

@@ -6,7 +6,7 @@ use crate::islands;
 use crate::monitor::Monitor;
 use crate::scope;
 use crate::shim::{EngineKind, Shim};
-use bigdawg_common::{BigDawgError, Batch, Result};
+use bigdawg_common::{Batch, BigDawgError, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -124,7 +124,10 @@ impl BigDawg {
 
     /// Generate a unique temp object name.
     pub fn temp_name(&self) -> String {
-        format!("__cast_{}", self.temp_counter.fetch_add(1, Ordering::Relaxed))
+        format!(
+            "__cast_{}",
+            self.temp_counter.fetch_add(1, Ordering::Relaxed)
+        )
     }
 
     /// Move a copy of `object` to `to_engine` under `new_name`.
@@ -138,12 +141,12 @@ impl BigDawg {
         let from_engine = self.locate(object)?;
         let batch = self.engine(&from_engine)?.lock().get_table(object)?;
         let (shipped, report) = ship(&batch, transport)?;
-        self.engine(to_engine)?.lock().put_table(new_name, shipped)?;
-        self.catalog.write().register(
-            new_name,
-            to_engine,
-            default_kind(self.kind_of(to_engine)?),
-        );
+        self.engine(to_engine)?
+            .lock()
+            .put_table(new_name, shipped)?;
+        self.catalog
+            .write()
+            .register(new_name, to_engine, default_kind(self.kind_of(to_engine)?));
         Ok(report)
     }
 
@@ -158,11 +161,9 @@ impl BigDawg {
     ) -> Result<CastReport> {
         let (shipped, report) = ship(&batch, transport)?;
         self.engine(to_engine)?.lock().put_table(name, shipped)?;
-        self.catalog.write().register(
-            name,
-            to_engine,
-            default_kind(self.kind_of(to_engine)?),
-        );
+        self.catalog
+            .write()
+            .register(name, to_engine, default_kind(self.kind_of(to_engine)?));
         Ok(report)
     }
 
@@ -346,8 +347,11 @@ mod tests {
         let mut bd = BigDawg::new();
         bd.add_engine(Box::new(RelationalShim::new("postgres")));
         bd.execute("POSTGRES(CREATE TABLE t (x INT))").unwrap();
-        bd.execute("POSTGRES(INSERT INTO t VALUES (1), (2))").unwrap();
-        let rows = bd.execute("RELATIONAL(SELECT COUNT(*) AS n FROM t)").unwrap();
+        bd.execute("POSTGRES(INSERT INTO t VALUES (1), (2))")
+            .unwrap();
+        let rows = bd
+            .execute("RELATIONAL(SELECT COUNT(*) AS n FROM t)")
+            .unwrap();
         assert_eq!(rows.rows()[0][0], Value::Int(2));
     }
 }

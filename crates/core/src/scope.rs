@@ -16,7 +16,7 @@
 use crate::cast::Transport;
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
-use bigdawg_common::{parse_err, BigDawgError, Batch, Result};
+use bigdawg_common::{parse_err, Batch, BigDawgError, Result};
 
 /// Execute a full SCOPE query: `ISLAND( body )`.
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
@@ -88,7 +88,8 @@ fn rewrite_casts(bd: &BigDawg, body: &str, temps: &mut Vec<String>) -> Result<St
                 let after_kw = &rest[start + 4..]; // past "CAST"
                 let after_kw_trim = after_kw.trim_start();
                 let inner_full = balanced(after_kw_trim)?;
-                let consumed = start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
+                let consumed =
+                    start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
                 let (inner, target) = split_cast_args(inner_full)?;
                 let engine = resolve_target(bd, &target)?;
                 let tmp = bd.temp_name();
@@ -128,8 +129,8 @@ fn find_cast(text: &str) -> Option<usize> {
             continue;
         }
         if !in_str && text[i..].len() >= 4 && text[i..i + 4].eq_ignore_ascii_case("cast") {
-            let before_ok = i == 0
-                || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            let before_ok =
+                i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
             let after = text[i + 4..].trim_start();
             if before_ok && after.starts_with('(') {
                 return Some(i);
@@ -172,7 +173,10 @@ fn try_scope(text: &str) -> Option<(String, String)> {
     }
     let body = balanced(&t[open..]).ok()?;
     let after = &t[open + body.len() + 2..];
-    after.trim().is_empty().then(|| (ident.to_string(), body.to_string()))
+    after
+        .trim()
+        .is_empty()
+        .then(|| (ident.to_string(), body.to_string()))
 }
 
 /// Resolve a CAST target: a model name (`relation`, `array`, `text`,
@@ -220,10 +224,7 @@ mod tests {
             .unwrap();
         bd.add_engine(Box::new(pg));
         let mut scidb = ArrayShim::new("scidb");
-        scidb.store(
-            "a",
-            Array::from_vector("a", "v", &[3.0, 6.0, 9.0, 12.0], 2),
-        );
+        scidb.store("a", Array::from_vector("a", "v", &[3.0, 6.0, 9.0, 12.0], 2));
         bd.add_engine(Box::new(scidb));
         let mut kv = KvShim::new("accumulo");
         kv.index_document(1, "p1", 0, "very sick");
@@ -250,9 +251,7 @@ mod tests {
         // run an array aggregate, cast its (1-row) result to a relation,
         // and select from it
         let b = bd
-            .execute(
-                "RELATIONAL(SELECT * FROM CAST(ARRAY(filter(a, v > 3)), relation) ORDER BY v)",
-            )
+            .execute("RELATIONAL(SELECT * FROM CAST(ARRAY(filter(a, v > 3)), relation) ORDER BY v)")
             .unwrap();
         assert_eq!(b.len(), 3);
         assert_eq!(b.rows()[0][1], Value::Float(6.0));
@@ -280,7 +279,8 @@ mod tests {
     fn string_literals_shield_cast_keyword() {
         let bd = federation();
         let mut pg = bd.engine("postgres").unwrap().lock();
-        pg.execute_native("CREATE TABLE notes2 (body TEXT)").unwrap();
+        pg.execute_native("CREATE TABLE notes2 (body TEXT)")
+            .unwrap();
         pg.execute_native("INSERT INTO notes2 VALUES ('cast(a, b) is not a cast')")
             .unwrap();
         drop(pg);
@@ -295,7 +295,9 @@ mod tests {
     fn errors() {
         let bd = federation();
         assert!(bd.execute("NOPE(SELECT 1)").is_err());
-        assert!(bd.execute("RELATIONAL(SELECT * FROM CAST(ghost, relation))").is_err());
+        assert!(bd
+            .execute("RELATIONAL(SELECT * FROM CAST(ghost, relation))")
+            .is_err());
         assert!(bd.execute("RELATIONAL(SELECT 1").is_err());
         assert!(bd
             .execute("RELATIONAL(SELECT * FROM CAST(a, warp_drive))")

@@ -22,9 +22,9 @@
 //! returns one row per cell (dims then attrs); `aggregate` returns one row.
 
 use crate::shims::array::{array_to_batch, ArrayShim};
-use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Schema, Value};
 use bigdawg_array::ops;
 use bigdawg_array::{AggKind, Array};
+use bigdawg_common::{parse_err, Batch, BigDawgError, DataType, Result, Schema, Value};
 use bigdawg_relational::sql::parser::parse_expr;
 
 /// Execute an AFL query against the shim's arrays.
@@ -65,6 +65,9 @@ pub fn eval_array(shim: &ArrayShim, text: &str) -> Result<Array> {
     }
     if let Some(args) = op_args(text, "subarray")? {
         let parts = split_args(&args);
+        if parts.is_empty() {
+            return Err(parse_err!("subarray(array, lo…, hi…) needs an array"));
+        }
         let arr = eval_array(shim, &parts[0])?;
         let nd = arr.schema().ndim();
         if parts.len() != 1 + 2 * nd {
@@ -89,7 +92,8 @@ pub fn eval_array(shim: &ArrayShim, text: &str) -> Result<Array> {
         let expr = parse_expr(&parts[1])?;
         let schema = cell_schema(&arr);
         return Ok(ops::filter(&arr, move |coords, vals| {
-            expr.matches(&schema, &cell_row(coords, vals)).unwrap_or(false)
+            expr.matches(&schema, &cell_row(coords, vals))
+                .unwrap_or(false)
         }));
     }
     if let Some(args) = op_args(text, "apply")? {
@@ -109,12 +113,20 @@ pub fn eval_array(shim: &ArrayShim, text: &str) -> Result<Array> {
     }
     if let Some(args) = op_args(text, "project")? {
         let parts = split_args(&args);
+        if parts.len() < 2 {
+            return Err(parse_err!(
+                "project(array, attr…) needs an array and attributes"
+            ));
+        }
         let arr = eval_array(shim, &parts[0])?;
         let attrs: Vec<&str> = parts[1..].iter().map(|s| s.trim()).collect();
         return ops::project(&arr, &attrs);
     }
     if let Some(args) = op_args(text, "regrid")? {
         let parts = split_args(&args);
+        if parts.is_empty() {
+            return Err(parse_err!("regrid(array, factor…, agg) needs an array"));
+        }
         let arr = eval_array(shim, &parts[0])?;
         let nd = arr.schema().ndim();
         if parts.len() != 2 + nd {
@@ -132,7 +144,9 @@ pub fn eval_array(shim: &ArrayShim, text: &str) -> Result<Array> {
     if let Some(args) = op_args(text, "window")? {
         let parts = split_args(&args);
         if parts.len() != 4 {
-            return Err(parse_err!("window(array, left, right, agg) takes 4 arguments"));
+            return Err(parse_err!(
+                "window(array, left, right, agg) takes 4 arguments"
+            ));
         }
         let arr = eval_array(shim, &parts[0])?;
         let nd = arr.schema().ndim();
@@ -363,11 +377,7 @@ mod tests {
         let s = shim();
         let b = execute(&s, "matmul(eye2, transpose(eye2))").unwrap();
         // (2I)(2I)ᵀ = 4I
-        let diag: Vec<&Vec<Value>> = b
-            .rows()
-            .iter()
-            .filter(|r| r[0] == r[1])
-            .collect();
+        let diag: Vec<&Vec<Value>> = b.rows().iter().filter(|r| r[0] == r[1]).collect();
         assert!(diag.iter().all(|r| r[2] == Value::Float(4.0)));
     }
 

@@ -2,8 +2,8 @@
 
 use crate::shim::{Capability, EngineKind, Shim};
 use crate::shims::afl;
-use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema, Value};
 use bigdawg_array::{Array, ArraySchema, Dimension};
+use bigdawg_common::{Batch, BigDawgError, DataType, Result, Row, Schema, Value};
 use std::any::Any;
 use std::collections::BTreeMap;
 
@@ -105,14 +105,14 @@ pub fn batch_to_array(name: &str, batch: &Batch) -> Result<Array> {
     // hold numbers; the relational copy keeps the text.
     let is_numeric = |i: usize| {
         let declared = schema.field(i).data_type;
-        if declared.is_numeric() || declared == DataType::Float {
+        if declared.is_numeric() {
             return true;
         }
         declared == DataType::Null
             && batch
                 .rows()
                 .first()
-                .is_some_and(|r| r[i].data_type().is_numeric() || r[i].data_type() == DataType::Float)
+                .is_some_and(|r| r[i].data_type().is_numeric())
     };
     let attr_cols: Vec<usize> = (n_dims..schema.len()).filter(|&i| is_numeric(i)).collect();
     if n_dims == 0 || attr_cols.is_empty() {

@@ -1,7 +1,7 @@
 //! The Accumulo shim.
 
 use crate::shim::{Capability, EngineKind, Shim};
-use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{parse_err, Batch, BigDawgError, DataType, Result, Row, Schema, Value};
 use bigdawg_kv::{TextIndex, TextQuery};
 use std::any::Any;
 
@@ -46,7 +46,8 @@ impl KvShim {
     /// Index one document.
     pub fn index_document(&mut self, doc: u64, owner: &str, ts: i64, body: &str) {
         self.index.index_document(doc, owner, ts, body);
-        self.docs.push((doc, owner.to_string(), ts, body.to_string()));
+        self.docs
+            .push((doc, owner.to_string(), ts, body.to_string()));
     }
 
     fn docs_batch(&self, ids: Option<&std::collections::BTreeSet<u64>>) -> Batch {
@@ -103,7 +104,10 @@ impl Shim for KvShim {
         let owner_col = schema
             .index_of("owner")
             .or_else(|_| schema.index_of("patient_id"))?;
-        let id_col = schema.index_of("id").or_else(|_| schema.index_of("doc_id")).ok();
+        let id_col = schema
+            .index_of("id")
+            .or_else(|_| schema.index_of("doc_id"))
+            .ok();
         let ts_col = schema.index_of("ts").ok();
         for (i, row) in batch.rows().iter().enumerate() {
             let id = match id_col {

@@ -59,7 +59,11 @@ impl Shim for RelationalShim {
     }
 
     fn object_names(&self) -> Vec<String> {
-        self.db.table_names().iter().map(|s| s.to_string()).collect()
+        self.db
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 
     fn get_table(&self, object: &str) -> Result<Batch> {
@@ -119,11 +123,7 @@ mod tests {
     fn get_put_roundtrip() {
         let mut s = RelationalShim::new("postgres");
         let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Text)]);
-        let batch = Batch::new(
-            schema,
-            vec![vec![Value::Int(1), Value::Text("x".into())]],
-        )
-        .unwrap();
+        let batch = Batch::new(schema, vec![vec![Value::Int(1), Value::Text("x".into())]]).unwrap();
         s.put_table("imported", batch.clone()).unwrap();
         let back = s.get_table("imported").unwrap();
         assert_eq!(back.rows(), batch.rows());
@@ -135,7 +135,9 @@ mod tests {
     fn dml_returns_affected() {
         let mut s = RelationalShim::new("pg");
         s.execute_native("CREATE TABLE t (x INT)").unwrap();
-        let b = s.execute_native("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let b = s
+            .execute_native("INSERT INTO t VALUES (1), (2), (3)")
+            .unwrap();
         assert_eq!(b.rows()[0][0], Value::Int(3));
     }
 }

@@ -1,7 +1,7 @@
 //! The S-Store shim.
 
 use crate::shim::{Capability, EngineKind, Shim};
-use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Schema, Value};
+use bigdawg_common::{parse_err, Batch, BigDawgError, DataType, Result, Schema, Value};
 use bigdawg_stream::Engine;
 use std::any::Any;
 
@@ -151,10 +151,10 @@ impl Shim for StreamShim {
                 .ok_or_else(|| parse_err!("ingest(stream, v1, …)"))?;
             let stream = stream.trim();
             let schema = self.engine.stream(stream)?.schema().clone();
-            let frame = bigdawg_stream::ingest::decode_frame(
-                &format!("{stream},{}", rest.trim()),
-                |_| Ok(schema.clone()),
-            )?;
+            let frame =
+                bigdawg_stream::ingest::decode_frame(&format!("{stream},{}", rest.trim()), |_| {
+                    Ok(schema.clone())
+                })?;
             self.engine.ingest(stream, frame.row)?;
             return one_cell("ingested", Value::Int(1));
         }
@@ -192,9 +192,7 @@ impl StreamShim {
     fn bulk_insert(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
         let proc_name = "__bulk_insert";
         // Register once.
-        if self.engine.proc_stats(proc_name).invocations == 0
-            && self.engine.table(table).is_ok()
-        {
+        if self.engine.proc_stats(proc_name).invocations == 0 && self.engine.table(table).is_ok() {
             // idempotent: re-registering overwrites the same body
         }
         let tbl = table.to_string();
@@ -207,10 +205,7 @@ impl StreamShim {
 }
 
 fn one_cell(name: &str, v: Value) -> Result<Batch> {
-    Batch::new(
-        Schema::from_pairs(&[(name, DataType::Null)]),
-        vec![vec![v]],
-    )
+    Batch::new(Schema::from_pairs(&[(name, DataType::Null)]), vec![vec![v]])
 }
 
 fn strip_call<'a>(text: &'a str, op: &str) -> Option<&'a str> {
@@ -275,11 +270,7 @@ mod tests {
     fn put_table_creates_state_table() {
         let mut s = shim();
         let schema = Schema::from_pairs(&[("patient_id", DataType::Int), ("risk", DataType::Int)]);
-        let batch = Batch::new(
-            schema,
-            vec![vec![Value::Int(7), Value::Int(2)]],
-        )
-        .unwrap();
+        let batch = Batch::new(schema, vec![vec![Value::Int(7), Value::Int(2)]]).unwrap();
         s.put_table("risk_classes", batch).unwrap();
         let back = s.get_table("risk_classes").unwrap();
         assert_eq!(back.len(), 1);

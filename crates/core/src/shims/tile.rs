@@ -1,7 +1,7 @@
 //! The TileDB shim.
 
 use crate::shim::{Capability, EngineKind, Shim};
-use bigdawg_common::{parse_err, BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{parse_err, Batch, BigDawgError, DataType, Result, Row, Schema, Value};
 use bigdawg_tiledb::compute::{tile_matmul, tile_sum};
 use bigdawg_tiledb::{TileDb, TileSchema};
 use std::any::Any;
@@ -293,11 +293,7 @@ mod tests {
     fn negative_coords_rejected_on_import() {
         let mut s = TileShim::new("t");
         let schema = Schema::from_pairs(&[("d0", DataType::Int), ("v", DataType::Float)]);
-        let batch = Batch::new(
-            schema,
-            vec![vec![Value::Int(-1), Value::Float(1.0)]],
-        )
-        .unwrap();
+        let batch = Batch::new(schema, vec![vec![Value::Int(-1), Value::Float(1.0)]]).unwrap();
         assert!(s.put_table("bad", batch).is_err());
     }
 }

@@ -1,0 +1,167 @@
+//! Every registered shim must reject malformed native/SCOPE query text with
+//! a *typed* [`BigDawgError`] — never a panic, and never the catch-all
+//! `internal` kind. The polystore executor unwraps shim results on the query
+//! path, so a panicking shim would take the whole federation down with it.
+
+use bigdawg_common::{Batch, DataType, Schema, Value};
+use bigdawg_core::shims::{
+    afl, ArrayShim, KvShim, RelationalShim, StreamShim, TileShim, TupleShim,
+};
+use bigdawg_core::Shim;
+use bigdawg_stream::Engine;
+
+/// Error kinds a shim may legitimately map bad query text onto.
+const TYPED_REJECTIONS: &[&str] = &[
+    "parse",
+    "not_found",
+    "unsupported",
+    "type_error",
+    "schema_mismatch",
+    "execution",
+];
+
+fn assert_rejects(shim: &mut dyn Shim, query: &str) {
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shim.execute_native(query)));
+    let outcome = result.unwrap_or_else(|_| {
+        panic!(
+            "shim `{}` panicked on malformed query {query:?}",
+            shim.engine_name()
+        )
+    });
+    match outcome {
+        Ok(batch) => panic!(
+            "shim `{}` accepted malformed query {query:?} ({} rows)",
+            shim.engine_name(),
+            batch.len()
+        ),
+        Err(e) => assert!(
+            TYPED_REJECTIONS.contains(&e.kind()),
+            "shim `{}` rejected {query:?} with untyped kind `{}`: {e}",
+            shim.engine_name(),
+            e.kind()
+        ),
+    }
+}
+
+/// Garbage every dialect must reject.
+const COMMON_GARBAGE: &[&str] = &[
+    "",
+    "   ",
+    "((((",
+    "frobnicate(x)",
+    "\u{0}\u{1}\u{2}",
+    "SELECT FROM WHERE",
+];
+
+fn tiny_batch() -> Batch {
+    let schema = Schema::from_pairs(&[("i", DataType::Int), ("v", DataType::Float)]);
+    let rows = (0..4)
+        .map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)])
+        .collect();
+    Batch::new(schema, rows).unwrap()
+}
+
+#[test]
+fn relational_shim_rejects_malformed_sql() {
+    let mut s = RelationalShim::new("postgres");
+    s.put_table("t", tiny_batch()).unwrap();
+    for q in COMMON_GARBAGE {
+        assert_rejects(&mut s, q);
+    }
+    assert_rejects(&mut s, "SELECT * FROM missing_table");
+    assert_rejects(&mut s, "SELECT nope FROM t");
+    assert_rejects(&mut s, "INSERT INTO t VALUES (1, 2.0"); // unbalanced
+}
+
+#[test]
+fn array_shim_rejects_malformed_afl() {
+    let mut s = ArrayShim::new("scidb");
+    s.put_table("a", tiny_batch()).unwrap();
+    for q in COMMON_GARBAGE {
+        assert_rejects(&mut s, q);
+    }
+    assert_rejects(&mut s, "aggregate(a)"); // arity
+    assert_rejects(&mut s, "aggregate(a, bogus_agg, v)");
+    assert_rejects(&mut s, "subarray(a, 0)"); // wrong bound count
+    assert_rejects(&mut s, "scan(missing_array)");
+    assert_rejects(&mut s, "matmul(a)"); // arity
+}
+
+#[test]
+fn afl_island_dialect_rejects_directly() {
+    // the afl module is the array island's entry point; exercise it without
+    // the Shim vtable so parse errors are attributable to the dialect itself
+    let shim = ArrayShim::new("scidb");
+    for q in ["window(x, 1)", "regrid()", "apply(a)", "filter(", "project"] {
+        let e = afl::execute(&shim, q).expect_err("malformed AFL must error");
+        assert!(
+            TYPED_REJECTIONS.contains(&e.kind()),
+            "afl rejected {q:?} with untyped kind `{}`",
+            e.kind()
+        );
+    }
+}
+
+#[test]
+fn kv_shim_rejects_malformed_scans() {
+    let mut s = KvShim::new("accumulo");
+    // KvShim's tabular ingress is document-shaped: (id, owner/patient_id, ts, body)
+    let docs = Batch::new(
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("patient_id", DataType::Int),
+            ("ts", DataType::Timestamp),
+            ("body", DataType::Text),
+        ]),
+        vec![vec![
+            Value::Int(1),
+            Value::Int(7),
+            Value::Timestamp(0),
+            Value::Text("patient very sick".into()),
+        ]],
+    )
+    .unwrap();
+    s.put_table("rows", docs).unwrap();
+    for q in COMMON_GARBAGE {
+        assert_rejects(&mut s, q);
+    }
+    assert_rejects(&mut s, "scan(missing_table)");
+    assert_rejects(&mut s, "owners_min(\"x\")"); // missing threshold arg
+}
+
+#[test]
+fn stream_shim_rejects_malformed_commands() {
+    let mut s = StreamShim::new("sstore", Engine::new(false));
+    for q in COMMON_GARBAGE {
+        assert_rejects(&mut s, q);
+    }
+    assert_rejects(&mut s, "table(no_such_table)");
+    assert_rejects(&mut s, "snapshot(no_such_stream)");
+    assert_rejects(&mut s, "ingest(vitals)"); // no row fields
+    assert_rejects(&mut s, "drain(no_such_stream, 10)");
+}
+
+#[test]
+fn tile_shim_rejects_malformed_gets() {
+    let mut s = TileShim::new("tiledb");
+    s.put_table("tiles", tiny_batch()).unwrap();
+    for q in COMMON_GARBAGE {
+        assert_rejects(&mut s, q);
+    }
+    assert_rejects(&mut s, "get(missing, 0, 0)");
+    assert_rejects(&mut s, "get(tiles, zero)"); // non-numeric coordinate
+    assert_rejects(&mut s, "get()");
+}
+
+#[test]
+fn tupleware_shim_rejects_malformed_jobs() {
+    let mut s = TupleShim::new("tupleware");
+    s.put_table("data", tiny_batch()).unwrap();
+    for q in COMMON_GARBAGE {
+        assert_rejects(&mut s, q);
+    }
+    assert_rejects(&mut s, "run compiled max(c9) from data"); // col out of range
+    assert_rejects(&mut s, "run compiled max(c0) from missing");
+    assert_rejects(&mut s, "run warp max(c0) from data"); // unknown mode
+}

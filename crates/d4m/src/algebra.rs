@@ -158,11 +158,7 @@ mod tests {
     #[test]
     fn matmul_min_plus_is_shortest_path_step() {
         // adjacency with edge weights; one MinPlus multiply = one relaxation
-        let g = AssocArray::from_triples(vec![
-            ("a", "b", 1.0),
-            ("b", "c", 2.0),
-            ("a", "c", 10.0),
-        ]);
+        let g = AssocArray::from_triples(vec![("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 10.0)]);
         let two_hop = matmul(&g, &g, Semiring::MinPlus);
         // a→b→c costs 3, beating nothing (direct a→c isn't in g·g since it
         // needs exactly 2 hops)

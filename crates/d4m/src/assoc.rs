@@ -89,9 +89,9 @@ impl AssocArray {
 
     /// Iterate `(row, col, value)` triples in row-major key order.
     pub fn triples(&self) -> impl Iterator<Item = (&str, &str, f64)> {
-        self.data.iter().flat_map(|(r, cols)| {
-            cols.iter().map(move |(c, &v)| (r.as_str(), c.as_str(), v))
-        })
+        self.data
+            .iter()
+            .flat_map(|(r, cols)| cols.iter().map(move |(c, &v)| (r.as_str(), c.as_str(), v)))
     }
 
     /// D4M subsref by explicit key lists: `A(rows, cols)`. Empty list means
@@ -168,7 +168,10 @@ impl AssocArray {
             .triples()
             .map(|(r, c, v)| (r.to_string(), c.to_string(), v))
             .collect();
-        all.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (&a.0, &a.1).cmp(&(&b.0, &b.1))));
+        all.sort_by(|a, b| {
+            b.2.total_cmp(&a.2)
+                .then_with(|| (&a.0, &a.1).cmp(&(&b.0, &b.1)))
+        });
         all.truncate(k);
         all
     }

@@ -7,6 +7,11 @@
 
 use crate::key::Key;
 
+/// Boxed value predicate used by [`Stage::ValueFilter`].
+pub type ValuePredicate = Box<dyn Fn(&[u8]) -> bool + Send + Sync>;
+/// Boxed key predicate used by [`Stage::KeyFilter`].
+pub type KeyPredicate = Box<dyn Fn(&Key) -> bool + Send + Sync>;
+
 /// One stage of a server-side iterator stack.
 pub enum Stage {
     /// Keep entries whose column family matches.
@@ -15,9 +20,9 @@ pub enum Stage {
     /// VersioningIterator; relies on scan order putting newest first).
     Versioning(usize),
     /// Keep entries whose value satisfies the predicate.
-    ValueFilter(Box<dyn Fn(&[u8]) -> bool + Send + Sync>),
+    ValueFilter(ValuePredicate),
     /// Keep entries whose key satisfies the predicate.
-    KeyFilter(Box<dyn Fn(&Key) -> bool + Send + Sync>),
+    KeyFilter(KeyPredicate),
 }
 
 /// An ordered stack of stages applied to a scan.
@@ -54,13 +59,16 @@ impl ScanIterator {
     }
 
     /// Apply the stack to a sorted entry stream.
-    pub fn run<'a>(&self, entries: impl Iterator<Item = (&'a Key, &'a [u8])>) -> Vec<(Key, Vec<u8>)> {
+    pub fn run<'a>(
+        &self,
+        entries: impl Iterator<Item = (&'a Key, &'a [u8])>,
+    ) -> Vec<(Key, Vec<u8>)> {
         let mut out: Vec<(Key, Vec<u8>)> = entries.map(|(k, v)| (k.clone(), v.to_vec())).collect();
         for stage in &self.stages {
             out = match stage {
                 Stage::FamilyFilter(fams) => out
                     .into_iter()
-                    .filter(|(k, _)| fams.iter().any(|f| *f == k.family))
+                    .filter(|(k, _)| fams.contains(&k.family))
                     .collect(),
                 Stage::Versioning(n) => {
                     let mut kept: Vec<(Key, Vec<u8>)> = Vec::with_capacity(out.len());

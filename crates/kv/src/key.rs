@@ -32,7 +32,12 @@ impl Key {
 
     /// String-typed convenience constructor.
     pub fn of(row: &str, family: &str, qualifier: &str, timestamp: i64) -> Self {
-        Key::new(row.as_bytes().to_vec(), family.as_bytes().to_vec(), qualifier.as_bytes().to_vec(), timestamp)
+        Key::new(
+            row.as_bytes().to_vec(),
+            family.as_bytes().to_vec(),
+            qualifier.as_bytes().to_vec(),
+            timestamp,
+        )
     }
 
     pub fn row_str(&self) -> String {

@@ -74,7 +74,10 @@ impl KvStore {
 
     /// String-typed convenience: `put`.
     pub fn put_str(&mut self, row: &str, family: &str, qualifier: &str, ts: i64, value: &str) {
-        self.put(Key::of(row, family, qualifier, ts), value.as_bytes().to_vec());
+        self.put(
+            Key::of(row, family, qualifier, ts),
+            value.as_bytes().to_vec(),
+        );
     }
 
     /// Exact-key read.
@@ -162,7 +165,10 @@ mod tests {
     fn put_get_delete() {
         let mut kv = KvStore::new(100);
         kv.put_str("p1", "note", "body", 1, "very sick");
-        assert_eq!(kv.get(&Key::of("p1", "note", "body", 1)), Some("very sick".as_bytes()));
+        assert_eq!(
+            kv.get(&Key::of("p1", "note", "body", 1)),
+            Some("very sick".as_bytes())
+        );
         assert_eq!(kv.get(&Key::of("p1", "note", "body", 2)), None);
         assert!(kv.delete(&Key::of("p1", "note", "body", 1)));
         assert!(!kv.delete(&Key::of("p1", "note", "body", 1)));
@@ -207,9 +213,7 @@ mod tests {
         }
         let lo = ts_key(10);
         let hi = ts_key(20);
-        let n = kv
-            .scan(Bound::Included(&lo), Bound::Excluded(&hi))
-            .count();
+        let n = kv.scan(Bound::Included(&lo), Bound::Excluded(&hi)).count();
         assert_eq!(n, 10);
     }
 

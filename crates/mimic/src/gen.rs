@@ -116,12 +116,11 @@ fn base_stay(race: &str, diagnosis: &str) -> f64 {
 }
 
 const FIRST_NAMES: [&str; 12] = [
-    "alice", "bruno", "carla", "diego", "elena", "farid", "grace", "hugo", "ines", "jonas",
-    "kira", "luis",
+    "alice", "bruno", "carla", "diego", "elena", "farid", "grace", "hugo", "ines", "jonas", "kira",
+    "luis",
 ];
 const LAST_NAMES: [&str; 10] = [
-    "almeida", "brooks", "chen", "duarte", "evans", "fujita", "garcia", "haddad", "ivanov",
-    "jones",
+    "almeida", "brooks", "chen", "duarte", "evans", "fujita", "garcia", "haddad", "ivanov", "jones",
 ];
 
 /// Generate the dataset deterministically from `config.seed`.
@@ -176,7 +175,7 @@ pub fn generate(config: &MimicConfig) -> MimicData {
         // them say "very sick" — the text workload's planted correlation.
         let n_notes = config.base_notes_per_patient + (stay_days / 3.0) as usize;
         for _ in 0..n_notes {
-            let very_sick = rng.gen_bool((0.1 + stay_days / 20.0).min(0.9));
+            let very_sick = rng.gen_bool((0.05 + stay_days / 12.0).min(0.9));
             let drug = DRUGS[rng.gen_range(0..DRUGS.len())];
             let body = note_body(&mut rng, very_sick, drug, diagnosis);
             notes.push(Note {

@@ -23,5 +23,7 @@
 pub mod gen;
 pub mod waveform;
 
-pub use gen::{generate, Admission, LabResult, MimicConfig, MimicData, Note, Patient, Prescription};
+pub use gen::{
+    generate, Admission, LabResult, MimicConfig, MimicData, Note, Patient, Prescription,
+};
 pub use waveform::{plant_anomalies, AnomalyEvent, WaveformGen};

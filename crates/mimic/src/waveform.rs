@@ -103,7 +103,9 @@ impl WaveformGen {
 
     /// Generate a contiguous window `[start, start + len)`.
     pub fn window(&self, start: u64, len: usize) -> Vec<f64> {
-        (start..start + len as u64).map(|i| self.sample(i)).collect()
+        (start..start + len as u64)
+            .map(|i| self.sample(i))
+            .collect()
     }
 }
 
@@ -164,7 +166,10 @@ mod tests {
 
     #[test]
     fn anomaly_changes_signal() {
-        let ev = AnomalyEvent { start: 1000, end: 1499 };
+        let ev = AnomalyEvent {
+            start: 1000,
+            end: 1499,
+        };
         let g = WaveformGen::new(2, 5, 125.0, vec![ev]);
         let normal = g.window(0, 500);
         let abnormal = g.window(1000, 500);

@@ -3,7 +3,7 @@
 
 use crate::plan::RaPlan;
 use bigdawg_common::value::GroupKey;
-use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, DataType, Result, Row, Schema, Value};
 use bigdawg_relational::exec as rel_exec;
 use bigdawg_relational::expr::AggFunc;
 use std::collections::{HashMap, HashSet};
@@ -188,7 +188,12 @@ fn hash_join(left: &Batch, right: &Batch, left_col: &str, right_col: &str) -> Re
     Batch::new(out_schema, out)
 }
 
-fn aggregate(batch: &Batch, group_by: &[String], func: AggFunc, arg: Option<&str>) -> Result<Batch> {
+fn aggregate(
+    batch: &Batch,
+    group_by: &[String],
+    func: AggFunc,
+    arg: Option<&str>,
+) -> Result<Batch> {
     let schema = batch.schema();
     let group_idx: Vec<usize> = group_by
         .iter()

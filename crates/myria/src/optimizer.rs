@@ -35,10 +35,7 @@ fn push_filters(plan: RaPlan) -> RaPlan {
                 let cols = predicate.columns();
                 if cols.iter().all(|c| columns.iter().any(|k| k == c)) {
                     RaPlan::Project {
-                        input: Box::new(push_filters(RaPlan::Filter {
-                            input,
-                            predicate,
-                        })),
+                        input: Box::new(push_filters(RaPlan::Filter { input, predicate })),
                         columns,
                     }
                 } else {
@@ -61,7 +58,8 @@ fn push_filters(plan: RaPlan) -> RaPlan {
                 let side_of = |side: &RaPlan| side_columns(side);
                 let lcols = side_of(&left);
                 let rcols = side_of(&right);
-                let all_left = !cols.is_empty() && cols.iter().all(|c| lcols.iter().any(|k| k == c));
+                let all_left =
+                    !cols.is_empty() && cols.iter().all(|c| lcols.iter().any(|k| k == c));
                 let all_right =
                     !cols.is_empty() && cols.iter().all(|c| rcols.iter().any(|k| k == c));
                 if all_left {
@@ -347,7 +345,10 @@ mod tests {
                         _ => false,
                     }
                 }
-                assert!(has_filter(left), "left side should carry the filter: {left:?}");
+                assert!(
+                    has_filter(left),
+                    "left side should carry the filter: {left:?}"
+                );
             }
             other => panic!("expected join at root, got {other:?}"),
         }

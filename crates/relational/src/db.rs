@@ -10,7 +10,7 @@ use crate::planner::{plan_select, resolve_expr};
 use crate::sql::ast::{ColumnDef, Statement};
 use crate::sql::parse;
 use crate::table::{RowId, Table};
-use bigdawg_common::{BigDawgError, Batch, Field, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, Field, Result, Row, Schema, Value};
 use std::collections::BTreeMap;
 
 /// Summary of a DML statement's effect.
@@ -65,7 +65,8 @@ impl Database {
                 "table `{name}` already exists"
             )));
         }
-        self.tables.insert(name.to_string(), Table::new(name, schema));
+        self.tables
+            .insert(name.to_string(), Table::new(name, schema));
         self.table_indexes.entry(name.to_string()).or_default();
         Ok(())
     }
@@ -225,12 +226,7 @@ impl Database {
             .transpose()?;
         let assignments: Vec<(usize, Expr)> = assignments
             .iter()
-            .map(|(col, e)| {
-                Ok((
-                    schema.index_of(col)?,
-                    resolve_expr(e.clone(), &schema)?,
-                ))
-            })
+            .map(|(col, e)| Ok((schema.index_of(col)?, resolve_expr(e.clone(), &schema)?)))
             .collect::<Result<_>>()?;
 
         // Compute new rows first (immutable pass), then apply.
@@ -525,7 +521,9 @@ mod tests {
         let mut db = seeded_db();
         db.execute("CREATE INDEX ix_age ON patients (age)").unwrap();
         db.execute("DELETE FROM patients WHERE age = 81").unwrap();
-        let b = db.query("SELECT COUNT(*) FROM patients WHERE age = 81").unwrap();
+        let b = db
+            .query("SELECT COUNT(*) FROM patients WHERE age = 81")
+            .unwrap();
         assert_eq!(b.rows()[0][0], Value::Int(0));
         db.execute("UPDATE patients SET age = 81 WHERE name = 'alice'")
             .unwrap();

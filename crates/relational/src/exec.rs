@@ -8,7 +8,7 @@ use crate::db::Database;
 use crate::expr::{AggFunc, Expr};
 use crate::plan::{Access, AggSpec, Plan};
 use bigdawg_common::value::GroupKey;
-use bigdawg_common::{BigDawgError, Batch, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, Result, Row, Schema, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 
@@ -252,12 +252,24 @@ fn join(
 /// Incremental aggregate state.
 enum Acc {
     Count(i64),
-    Sum { sum_f: f64, sum_i: i64, all_int: bool, seen: bool },
-    Avg { sum: f64, n: i64 },
+    Sum {
+        sum_f: f64,
+        sum_i: i64,
+        all_int: bool,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
     /// Welford's online variance.
-    Stddev { n: i64, mean: f64, m2: f64 },
+    Stddev {
+        n: i64,
+        mean: f64,
+        m2: f64,
+    },
 }
 
 impl Acc {

@@ -314,11 +314,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Call { args, .. } => args.iter().any(Expr::contains_aggregate),
         }
     }
@@ -611,10 +607,7 @@ mod tests {
         let s = Schema::from_pairs(&[("x", DataType::Int)]);
         let null_row = vec![Value::Null];
         // NULL AND false = false
-        let e = Expr::and(
-            Expr::eq(Expr::col("x"), Expr::lit(1)),
-            Expr::lit(false),
-        );
+        let e = Expr::and(Expr::eq(Expr::col("x"), Expr::lit(1)), Expr::lit(false));
         assert_eq!(e.eval(&s, &null_row).unwrap(), Value::Bool(false));
         // NULL OR true = true
         let e = Expr::binary(
@@ -681,10 +674,7 @@ mod tests {
             func: ScalarFn::Upper,
             args: vec![Expr::col("name")],
         };
-        assert_eq!(
-            upper.eval(&s, &r).unwrap(),
-            Value::Text("ALICE".into())
-        );
+        assert_eq!(upper.eval(&s, &r).unwrap(), Value::Text("ALICE".into()));
         let coalesce = Expr::Call {
             func: ScalarFn::Coalesce,
             args: vec![Expr::lit(Value::Null), Expr::lit(5)],

@@ -174,9 +174,6 @@ mod tests {
     fn keys_sorted() {
         let ix = index();
         let keys: Vec<_> = ix.keys().cloned().collect();
-        assert_eq!(
-            keys,
-            vec![Value::Int(54), Value::Int(70), Value::Int(91)]
-        );
+        assert_eq!(keys, vec![Value::Int(54), Value::Int(70), Value::Int(91)]);
     }
 }

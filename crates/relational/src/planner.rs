@@ -352,8 +352,7 @@ impl<'a> Planner<'a> {
             // Validate: every remaining column must exist in agg output.
             resolve_expr(rewritten, &agg_schema).map_err(|_| {
                 BigDawgError::Parse(
-                    "select list references a column that is neither grouped nor aggregated"
-                        .into(),
+                    "select list references a column that is neither grouped nor aggregated".into(),
                 )
             })
         };

@@ -209,13 +209,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = chars[start..i].iter().collect();
                 if is_float {
-                    tokens.push(Token::Float(text.parse().map_err(|e| {
-                        parse_err!("bad float literal `{text}`: {e}")
-                    })?));
+                    tokens.push(Token::Float(
+                        text.parse()
+                            .map_err(|e| parse_err!("bad float literal `{text}`: {e}"))?,
+                    ));
                 } else {
-                    tokens.push(Token::Int(text.parse().map_err(|e| {
-                        parse_err!("bad integer literal `{text}`: {e}")
-                    })?));
+                    tokens
+                        .push(Token::Int(text.parse().map_err(|e| {
+                            parse_err!("bad integer literal `{text}`: {e}")
+                        })?));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -263,14 +265,8 @@ mod tests {
 
     #[test]
     fn neq_variants() {
-        assert_eq!(
-            tokenize("a <> b").unwrap()[1],
-            Token::Symbol(Symbol::NotEq)
-        );
-        assert_eq!(
-            tokenize("a != b").unwrap()[1],
-            Token::Symbol(Symbol::NotEq)
-        );
+        assert_eq!(tokenize("a <> b").unwrap()[1], Token::Symbol(Symbol::NotEq));
+        assert_eq!(tokenize("a != b").unwrap()[1], Token::Symbol(Symbol::NotEq));
     }
 
     #[test]

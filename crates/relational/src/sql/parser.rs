@@ -12,7 +12,10 @@ pub fn parse(sql: &str) -> Result<Statement> {
     let stmt = p.statement()?;
     p.eat_symbol(Symbol::Semicolon);
     if !p.at_end() {
-        return Err(parse_err!("trailing tokens after statement: `{}`", p.peek_desc()));
+        return Err(parse_err!(
+            "trailing tokens after statement: `{}`",
+            p.peek_desc()
+        ));
     }
     Ok(stmt)
 }
@@ -24,7 +27,10 @@ pub fn parse_expr(text: &str) -> Result<Expr> {
     let mut p = Parser { tokens, pos: 0 };
     let e = p.expr()?;
     if !p.at_end() {
-        return Err(parse_err!("trailing tokens after expression: `{}`", p.peek_desc()));
+        return Err(parse_err!(
+            "trailing tokens after expression: `{}`",
+            p.peek_desc()
+        ));
     }
     Ok(e)
 }
@@ -102,7 +108,10 @@ impl Parser {
                 self.pos += 1;
                 Ok(s)
             }
-            _ => Err(parse_err!("expected identifier, found `{}`", self.peek_desc())),
+            _ => Err(parse_err!(
+                "expected identifier, found `{}`",
+                self.peek_desc()
+            )),
         }
     }
 
@@ -141,7 +150,10 @@ impl Parser {
                 return Ok(Statement::Select(self.select()?));
             }
         }
-        Err(parse_err!("expected a statement, found `{}`", self.peek_desc()))
+        Err(parse_err!(
+            "expected a statement, found `{}`",
+            self.peek_desc()
+        ))
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -647,10 +659,9 @@ mod tests {
 
     #[test]
     fn parse_create_table() {
-        let stmt = parse(
-            "CREATE TABLE patients (id INT NOT NULL, name TEXT, age INT, weight FLOAT)",
-        )
-        .unwrap();
+        let stmt =
+            parse("CREATE TABLE patients (id INT NOT NULL, name TEXT, age INT, weight FLOAT)")
+                .unwrap();
         match stmt {
             Statement::CreateTable { name, columns, .. } => {
                 assert_eq!(name, "patients");
@@ -665,8 +676,7 @@ mod tests {
 
     #[test]
     fn parse_insert_multirow() {
-        let stmt =
-            parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match stmt {
             Statement::Insert { columns, rows, .. } => {
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);

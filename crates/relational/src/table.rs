@@ -181,11 +181,7 @@ mod tests {
     fn type_mismatch_rejected() {
         let mut t = table();
         let err = t
-            .insert(vec![
-                Value::Int(1),
-                Value::Text("old".into()),
-                Value::Null,
-            ])
+            .insert(vec![Value::Int(1), Value::Text("old".into()), Value::Null])
             .unwrap_err();
         assert_eq!(err.kind(), "type_error");
     }

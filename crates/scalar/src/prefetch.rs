@@ -86,7 +86,14 @@ mod tests {
     #[test]
     fn first_fetch_predicts_children_only() {
         let mut p = Prefetcher::new(8);
-        let preds = p.observe_and_predict(TileId { level: 1, tx: 0, ty: 0 }, 4);
+        let preds = p.observe_and_predict(
+            TileId {
+                level: 1,
+                tx: 0,
+                ty: 0,
+            },
+            4,
+        );
         assert_eq!(preds.len(), 4);
         assert!(preds.iter().all(|t| t.level == 2));
     }
@@ -94,38 +101,99 @@ mod tests {
     #[test]
     fn pan_momentum_predicts_ahead() {
         let mut p = Prefetcher::new(3);
-        p.observe_and_predict(TileId { level: 3, tx: 2, ty: 4 }, 5);
-        let preds = p.observe_and_predict(TileId { level: 3, tx: 3, ty: 4 }, 5);
+        p.observe_and_predict(
+            TileId {
+                level: 3,
+                tx: 2,
+                ty: 4,
+            },
+            5,
+        );
+        let preds = p.observe_and_predict(
+            TileId {
+                level: 3,
+                tx: 3,
+                ty: 4,
+            },
+            5,
+        );
         // moving +x: first predictions continue along +x
-        assert_eq!(preds[0], TileId { level: 3, tx: 4, ty: 4 });
-        assert_eq!(preds[1], TileId { level: 3, tx: 5, ty: 4 });
+        assert_eq!(
+            preds[0],
+            TileId {
+                level: 3,
+                tx: 4,
+                ty: 4
+            }
+        );
+        assert_eq!(
+            preds[1],
+            TileId {
+                level: 3,
+                tx: 5,
+                ty: 4
+            }
+        );
         assert_eq!(preds.len(), 3);
     }
 
     #[test]
     fn predictions_respect_grid_bounds() {
         let mut p = Prefetcher::new(8);
-        p.observe_and_predict(TileId { level: 1, tx: 0, ty: 0 }, 1);
-        let preds = p.observe_and_predict(TileId { level: 1, tx: 1, ty: 0 }, 1);
+        p.observe_and_predict(
+            TileId {
+                level: 1,
+                tx: 0,
+                ty: 0,
+            },
+            1,
+        );
+        let preds = p.observe_and_predict(
+            TileId {
+                level: 1,
+                tx: 1,
+                ty: 0,
+            },
+            1,
+        );
         // level 1 grid is 2×2 and max_level 1: no out-of-grid or deeper tiles
-        assert!(preds
-            .iter()
-            .all(|t| t.level == 1 && t.tx < 2 && t.ty < 2));
+        assert!(preds.iter().all(|t| t.level == 1 && t.tx < 2 && t.ty < 2));
     }
 
     #[test]
     fn budget_respected() {
         let mut p = Prefetcher::new(2);
-        let preds = p.observe_and_predict(TileId { level: 0, tx: 0, ty: 0 }, 5);
+        let preds = p.observe_and_predict(
+            TileId {
+                level: 0,
+                tx: 0,
+                ty: 0,
+            },
+            5,
+        );
         assert!(preds.len() <= 2);
     }
 
     #[test]
     fn zoom_jump_resets_momentum() {
         let mut p = Prefetcher::new(8);
-        p.observe_and_predict(TileId { level: 2, tx: 1, ty: 1 }, 5);
+        p.observe_and_predict(
+            TileId {
+                level: 2,
+                tx: 1,
+                ty: 1,
+            },
+            5,
+        );
         // jump to a different level: no pan prediction, only children
-        let preds = p.observe_and_predict(TileId { level: 3, tx: 2, ty: 2 }, 5);
+        let preds = p.observe_and_predict(
+            TileId {
+                level: 3,
+                tx: 2,
+                ty: 2,
+            },
+            5,
+        );
         assert!(preds.iter().all(|t| t.level == 4));
     }
 }

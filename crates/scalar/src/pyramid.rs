@@ -22,10 +22,26 @@ impl TileId {
     pub fn children(&self) -> [TileId; 4] {
         let (l, x, y) = (self.level + 1, self.tx * 2, self.ty * 2);
         [
-            TileId { level: l, tx: x, ty: y },
-            TileId { level: l, tx: x + 1, ty: y },
-            TileId { level: l, tx: x, ty: y + 1 },
-            TileId { level: l, tx: x + 1, ty: y + 1 },
+            TileId {
+                level: l,
+                tx: x,
+                ty: y,
+            },
+            TileId {
+                level: l,
+                tx: x + 1,
+                ty: y,
+            },
+            TileId {
+                level: l,
+                tx: x,
+                ty: y + 1,
+            },
+            TileId {
+                level: l,
+                tx: x + 1,
+                ty: y + 1,
+            },
         ]
     }
 }
@@ -250,7 +266,13 @@ mod tests {
     #[test]
     fn level0_tile_counts_everything() {
         let mut s = TileServer::new(uniform_points(1000), 8, 4, 16).unwrap();
-        let (tile, kind) = s.fetch(TileId { level: 0, tx: 0, ty: 0 }).unwrap();
+        let (tile, kind) = s
+            .fetch(TileId {
+                level: 0,
+                tx: 0,
+                ty: 0,
+            })
+            .unwrap();
         assert_eq!(kind, FetchKind::Miss);
         assert_eq!(tile.total, 1000);
         assert_eq!(tile.counts.iter().sum::<u64>(), 1000);
@@ -259,7 +281,11 @@ mod tests {
     #[test]
     fn children_partition_parent() {
         let mut s = TileServer::new(uniform_points(2000), 8, 4, 64).unwrap();
-        let root = TileId { level: 0, tx: 0, ty: 0 };
+        let root = TileId {
+            level: 0,
+            tx: 0,
+            ty: 0,
+        };
         let (parent, _) = s.fetch(root).unwrap();
         let child_total: u64 = root
             .children()
@@ -272,7 +298,11 @@ mod tests {
     #[test]
     fn cache_hit_on_refetch() {
         let mut s = TileServer::new(uniform_points(500), 8, 3, 8).unwrap();
-        let id = TileId { level: 1, tx: 1, ty: 0 };
+        let id = TileId {
+            level: 1,
+            tx: 1,
+            ty: 0,
+        };
         assert_eq!(s.fetch(id).unwrap().1, FetchKind::Miss);
         assert_eq!(s.fetch(id).unwrap().1, FetchKind::Hit);
         let st = s.stats();
@@ -283,15 +313,33 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut s = TileServer::new(uniform_points(10), 8, 2, 8).unwrap();
-        assert!(s.fetch(TileId { level: 3, tx: 0, ty: 0 }).is_err());
-        assert!(s.fetch(TileId { level: 1, tx: 2, ty: 0 }).is_err());
+        assert!(s
+            .fetch(TileId {
+                level: 3,
+                tx: 0,
+                ty: 0
+            })
+            .is_err());
+        assert!(s
+            .fetch(TileId {
+                level: 1,
+                tx: 2,
+                ty: 0
+            })
+            .is_err());
         assert!(TileServer::new(vec![], 8, 2, 8).is_err());
     }
 
     #[test]
     fn render_produces_grid() {
         let mut s = TileServer::new(uniform_points(300), 4, 2, 8).unwrap();
-        let (tile, _) = s.fetch(TileId { level: 0, tx: 0, ty: 0 }).unwrap();
+        let (tile, _) = s
+            .fetch(TileId {
+                level: 0,
+                tx: 0,
+                ty: 0,
+            })
+            .unwrap();
         let art = tile.render();
         assert_eq!(art.lines().count(), 4);
         assert!(art.lines().all(|l| l.chars().count() == 4));
@@ -300,7 +348,13 @@ mod tests {
     #[test]
     fn degenerate_single_point() {
         let mut s = TileServer::new(vec![(5.0, 5.0)], 4, 2, 8).unwrap();
-        let (tile, _) = s.fetch(TileId { level: 0, tx: 0, ty: 0 }).unwrap();
+        let (tile, _) = s
+            .fetch(TileId {
+                level: 0,
+                tx: 0,
+                ty: 0,
+            })
+            .unwrap();
         assert_eq!(tile.total, 1);
     }
 }

@@ -335,7 +335,10 @@ mod tests {
         // window longer than data
         let q = WindowQuery::mean_in(5000, 0.0, 10.0);
         assert!(search_direct(&d, &q).unwrap().matches.is_empty());
-        assert!(search_with_synopsis(&d, &syn, &q).unwrap().matches.is_empty());
+        assert!(search_with_synopsis(&d, &syn, &q)
+            .unwrap()
+            .matches
+            .is_empty());
         // mismatched synopsis
         let other = Synopsis::build(&d[..100], 8).unwrap();
         assert!(search_with_synopsis(&d, &other, &WindowQuery::mean_in(5, 0.0, 1.0)).is_err());

@@ -278,8 +278,16 @@ fn finalize_groups(
             let (t, r) = match spec.agg {
                 AggOp::Count | AggOp::Sum => (cell[0], cell[2]),
                 AggOp::Avg => (
-                    if cell[1] > 0.0 { cell[0] / cell[1] } else { 0.0 },
-                    if cell[3] > 0.0 { cell[2] / cell[3] } else { 0.0 },
+                    if cell[1] > 0.0 {
+                        cell[0] / cell[1]
+                    } else {
+                        0.0
+                    },
+                    if cell[3] > 0.0 {
+                        cell[2] / cell[3]
+                    } else {
+                        0.0
+                    },
                 ),
             };
             (label.clone(), (t, r))
@@ -326,10 +334,8 @@ mod tests {
     /// the rest, while other views are flat — the Figure 2 setup.
     fn figure2_db() -> Database {
         let mut db = Database::new();
-        db.execute(
-            "CREATE TABLE admissions (race TEXT, diagnosis TEXT, stay_days FLOAT, age INT)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE admissions (race TEXT, diagnosis TEXT, stay_days FLOAT, age INT)")
+            .unwrap();
         let races = ["white", "black", "asian", "hispanic"];
         let mut values = Vec::new();
         for (ri, race) in races.iter().enumerate() {
@@ -337,9 +343,18 @@ mod tests {
                 // sepsis: stay decreases with race rank; others: increases
                 let sepsis_stay = 9.0 - 1.5 * ri as f64 + (i % 3) as f64 * 0.1;
                 let other_stay = 3.0 + 1.5 * ri as f64 + (i % 3) as f64 * 0.1;
-                values.push(format!("('{race}', 'sepsis', {sepsis_stay}, {})", 50 + i % 5));
-                values.push(format!("('{race}', 'cardiac', {other_stay}, {})", 50 + i % 5));
-                values.push(format!("('{race}', 'trauma', {other_stay}, {})", 50 + i % 5));
+                values.push(format!(
+                    "('{race}', 'sepsis', {sepsis_stay}, {})",
+                    50 + i % 5
+                ));
+                values.push(format!(
+                    "('{race}', 'cardiac', {other_stay}, {})",
+                    50 + i % 5
+                ));
+                values.push(format!(
+                    "('{race}', 'trauma', {other_stay}, {})",
+                    50 + i % 5
+                ));
             }
         }
         db.execute(&format!(

@@ -10,7 +10,7 @@ use crate::recovery::{CommandLog, LogRecord};
 use crate::stream_table::StreamTable;
 use crate::tx::{PendingWrite, StateTable, TxContext};
 use crate::window::{WindowSpec, WindowStats};
-use bigdawg_common::{BigDawgError, Batch, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, Result, Row, Schema, Value};
 use std::collections::HashMap;
 
 /// A stored procedure body. Receives a transaction context and the
@@ -434,7 +434,8 @@ mod tests {
     /// a window-trigger that alerts when mean HR > 100.
     fn alerting_engine(logging: bool) -> Engine {
         let mut e = Engine::new(logging);
-        e.create_stream("vitals", vitals_schema(), "ts", 1000).unwrap();
+        e.create_stream("vitals", vitals_schema(), "ts", 1000)
+            .unwrap();
         e.create_table("alerts", alert_schema()).unwrap();
         e.create_window("vitals", "w_hr", "hr", WindowSpec::tumbling(4))
             .unwrap();
@@ -487,7 +488,8 @@ mod tests {
     fn tuple_trigger_cascade_via_emission() {
         let mut e = Engine::new(false);
         e.create_stream("raw", vitals_schema(), "ts", 100).unwrap();
-        e.create_stream("filtered", vitals_schema(), "ts", 100).unwrap();
+        e.create_stream("filtered", vitals_schema(), "ts", 100)
+            .unwrap();
         e.create_table("alerts", alert_schema()).unwrap();
         // stage 1: forward suspicious tuples downstream
         e.register_proc(
@@ -589,7 +591,7 @@ mod tests {
     fn micro_batch_latency_at_least_interval_shaped() {
         let mut e = alerting_engine(false);
         let mut mb = MicroBatchExecutor::new(1000); // 1 s batches
-        // 125 Hz for 2.5 simulated seconds
+                                                    // 125 Hz for 2.5 simulated seconds
         for i in 0..312 {
             let ts = i * 8;
             mb.offer(&mut e, "vitals", ts, beat(ts, 80.0)).unwrap();

@@ -148,7 +148,8 @@ mod tests {
     #[test]
     fn multi_producer_drain() {
         let mut e = Engine::new(false);
-        e.create_stream("vitals", vitals_schema(), "ts", 100).unwrap();
+        e.create_stream("vitals", vitals_schema(), "ts", 100)
+            .unwrap();
         e.create_window("vitals", "w", "hr", WindowSpec::tumbling(5))
             .unwrap();
         let q = IngestQueue::new();

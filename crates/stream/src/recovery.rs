@@ -181,7 +181,9 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn read_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     pub(crate) fn read_str(&mut self) -> Result<String> {

@@ -6,7 +6,7 @@
 //! a `bigdawg_common::Batch` so islands can query it like any other table.
 
 use crate::window::{SlidingWindow, WindowSpec, WindowStats};
-use bigdawg_common::{BigDawgError, Batch, DataType, Result, Row, Schema};
+use bigdawg_common::{Batch, BigDawgError, DataType, Result, Row, Schema};
 use std::collections::VecDeque;
 
 /// A time-varying table: schema'd rows with bounded retention plus attached
@@ -199,7 +199,8 @@ mod tests {
     #[test]
     fn window_firing_through_append() {
         let mut st = StreamTable::new("v", vitals_schema(), "ts", 100).unwrap();
-        st.attach_window("w_hr", "hr", WindowSpec::tumbling(3)).unwrap();
+        st.attach_window("w_hr", "hr", WindowSpec::tumbling(3))
+            .unwrap();
         assert!(st.append(row(1, 1, 60.0)).unwrap().is_empty());
         assert!(st.append(row(2, 1, 70.0)).unwrap().is_empty());
         let firings = st.append(row(3, 1, 80.0)).unwrap();

@@ -7,7 +7,7 @@
 //! them on abort. Reads observe committed state (no read-your-writes —
 //! stored procedures in the demo never need it).
 
-use bigdawg_common::{BigDawgError, Batch, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, Result, Row, Schema, Value};
 use std::collections::HashMap;
 
 /// A plain state table (not time-varying): reference waveform statistics,
@@ -95,9 +95,20 @@ impl StateTable {
 /// A buffered write produced by a stored procedure.
 #[derive(Debug, Clone)]
 pub enum PendingWrite {
-    TableInsert { table: String, row: Row },
-    TableUpdate { table: String, column: String, key: Value, row: Row },
-    StreamEmit { stream: String, row: Row },
+    TableInsert {
+        table: String,
+        row: Row,
+    },
+    TableUpdate {
+        table: String,
+        column: String,
+        key: Value,
+        row: Row,
+    },
+    StreamEmit {
+        stream: String,
+        row: Row,
+    },
 }
 
 /// Transaction context handed to stored procedures.
@@ -157,13 +168,7 @@ impl<'a> TxContext<'a> {
     }
 
     /// Buffer an update of rows where `column == key`.
-    pub fn update_where(
-        &mut self,
-        table: &str,
-        column: &str,
-        key: Value,
-        row: Row,
-    ) -> Result<()> {
+    pub fn update_where(&mut self, table: &str, column: &str, key: Value, row: Row) -> Result<()> {
         let t = self.table(table)?;
         t.schema().index_of(column)?;
         if row.len() != t.schema().len() {
@@ -234,10 +239,11 @@ mod tests {
     #[test]
     fn tx_buffers_writes_and_validates_eagerly() {
         let mut tables = HashMap::new();
-        tables.insert("alerts".to_string(), StateTable::new("alerts", alerts_schema()));
-        let snap = |_: &str| -> Result<Batch> {
-            Err(BigDawgError::NotFound("no streams".into()))
-        };
+        tables.insert(
+            "alerts".to_string(),
+            StateTable::new("alerts", alerts_schema()),
+        );
+        let snap = |_: &str| -> Result<Batch> { Err(BigDawgError::NotFound("no streams".into())) };
         let mut ctx = TxContext::new(&tables, &snap, 42);
         assert_eq!(ctx.event_ts, 42);
         ctx.insert(

@@ -103,10 +103,18 @@ impl SlidingWindow {
         while self.buf.len() > self.spec.size {
             let (_, old) = self.buf.pop_front().expect("non-empty");
             self.sum -= old;
-            if self.min_deque.front().is_some_and(|&(s, _)| s == self.first_seq) {
+            if self
+                .min_deque
+                .front()
+                .is_some_and(|&(s, _)| s == self.first_seq)
+            {
                 self.min_deque.pop_front();
             }
-            if self.max_deque.front().is_some_and(|&(s, _)| s == self.first_seq) {
+            if self
+                .max_deque
+                .front()
+                .is_some_and(|&(s, _)| s == self.first_seq)
+            {
                 self.max_deque.pop_front();
             }
             self.first_seq += 1;
@@ -127,7 +135,11 @@ impl SlidingWindow {
         WindowStats {
             count,
             sum: self.sum,
-            mean: if count == 0 { f64::NAN } else { self.sum / count as f64 },
+            mean: if count == 0 {
+                f64::NAN
+            } else {
+                self.sum / count as f64
+            },
             min: self.min_deque.front().map_or(f64::NAN, |&(_, v)| v),
             max: self.max_deque.front().map_or(f64::NAN, |&(_, v)| v),
         }
@@ -203,7 +215,9 @@ mod tests {
         let mut xs: Vec<f64> = Vec::new();
         let mut state = 0x12345u64;
         for i in 0..500 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((state >> 33) % 1000) as f64 / 10.0;
             xs.push(v);
             w.push(i, v);

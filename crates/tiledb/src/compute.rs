@@ -49,7 +49,9 @@ pub fn tile_matmul(a: &TileDb, b: &TileDb) -> Result<TileDb> {
     require_dense(b)?;
     let (sa, sb) = (a.schema(), b.schema());
     if sa.ndim() != 2 || sb.ndim() != 2 {
-        return Err(BigDawgError::SchemaMismatch("matmul needs 2-d arrays".into()));
+        return Err(BigDawgError::SchemaMismatch(
+            "matmul needs 2-d arrays".into(),
+        ));
     }
     if sa.dims[1] != sb.dims[0] {
         return Err(BigDawgError::SchemaMismatch(format!(
@@ -57,7 +59,11 @@ pub fn tile_matmul(a: &TileDb, b: &TileDb) -> Result<TileDb> {
             sa.dims, sb.dims
         )));
     }
-    let (m, k, n) = (sa.dims[0] as usize, sa.dims[1] as usize, sb.dims[1] as usize);
+    let (m, k, n) = (
+        sa.dims[0] as usize,
+        sa.dims[1] as usize,
+        sb.dims[1] as usize,
+    );
     // Materialize per-tile buffers lazily into the output accumulator. The
     // "tight" win is that tiles come straight out of storage in blocks that
     // match the compute blocking.
@@ -65,7 +71,9 @@ pub fn tile_matmul(a: &TileDb, b: &TileDb) -> Result<TileDb> {
     let a_frag = &a.fragments()[0];
     let b_frag = &b.fragments()[0];
     for (atc, atile) in &a_frag.dense {
-        let Tile::Dense { data: adata, .. } = atile else { continue };
+        let Tile::Dense { data: adata, .. } = atile else {
+            continue;
+        };
         let abuf = adata.values();
         let (a_i0, a_k0) = (
             (atc[0] * sa.tile_extents[0]) as usize,
@@ -79,7 +87,9 @@ pub fn tile_matmul(a: &TileDb, b: &TileDb) -> Result<TileDb> {
             {
                 continue;
             }
-            let Tile::Dense { data: bdata, .. } = btile else { continue };
+            let Tile::Dense { data: bdata, .. } = btile else {
+                continue;
+            };
             let bbuf = bdata.values();
             let (b_k0, b_j0) = (
                 (btc[0] * sb.tile_extents[0]) as usize,
@@ -108,7 +118,10 @@ pub fn tile_matmul(a: &TileDb, b: &TileDb) -> Result<TileDb> {
     let mut result = TileDb::new(TileSchema::new(
         format!("matmul({},{})", sa.name, sb.name),
         vec![m as u64, n as u64],
-        vec![sa.tile_extents[0].min(m as u64), sb.tile_extents[1].min(n as u64)],
+        vec![
+            sa.tile_extents[0].min(m as u64),
+            sb.tile_extents[1].min(n as u64),
+        ],
     )?);
     result.write_dense(&out)?;
     Ok(result)

@@ -171,8 +171,7 @@ mod tests {
     fn sparse_capacity_splits_tiles() {
         let mut s = schema();
         s.sparse_capacity = 2;
-        let writes: Vec<(Vec<i64>, f64)> =
-            (0..5).map(|i| (vec![i, 0], i as f64)).collect();
+        let writes: Vec<(Vec<i64>, f64)> = (0..5).map(|i| (vec![i, 0], i as f64)).collect();
         let f = Fragment::from_writes(1, &s, &writes).unwrap();
         assert_eq!(f.sparse.len(), 3); // 2 + 2 + 1
         for i in 0..5 {

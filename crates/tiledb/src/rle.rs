@@ -31,7 +31,7 @@ pub fn decompress(bytes: &[u8]) -> Vec<f64> {
     while i + 12 <= bytes.len() {
         let run = u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
         let v = f64::from_le_bytes(bytes[i + 4..i + 12].try_into().expect("8 bytes"));
-        out.extend(std::iter::repeat(v).take(run as usize));
+        out.extend(std::iter::repeat_n(v, run as usize));
         i += 12;
     }
     out

@@ -23,7 +23,7 @@ impl TileSchema {
                 "dims and tile_extents must be non-empty and equal length".into(),
             ));
         }
-        if dims.iter().any(|&d| d == 0) || tile_extents.iter().any(|&e| e == 0) {
+        if dims.contains(&0) || tile_extents.contains(&0) {
             return Err(BigDawgError::SchemaMismatch(
                 "zero-length dimension or tile extent".into(),
             ));
@@ -165,8 +165,8 @@ impl Tile {
             return Err(BigDawgError::Execution("empty sparse tile".into()));
         }
         cells.sort_by(|a, b| a.0.cmp(&b.0));
-        let mbr = Mbr::of(&cells.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>())
-            .expect("non-empty");
+        let mbr =
+            Mbr::of(&cells.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>()).expect("non-empty");
         Ok(Tile::Sparse { mbr, cells })
     }
 

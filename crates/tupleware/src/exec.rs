@@ -79,7 +79,7 @@ pub fn run_interpreted(p: &Pipeline, data: &[f64]) -> f64 {
                 f(&buf).then_some(tuple)
             }),
         };
-        current = current.into_iter().filter_map(|t| op(t)).collect();
+        current = current.into_iter().filter_map(op).collect();
     }
     reduce_dyn(&p.reducer, &current)
 }
@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn serialization_roundtrip_preserves_precision() {
-        let rows = vec![vec![DynVal::Num(std::f64::consts::PI)], vec![DynVal::Num(-0.0)]];
+        let rows = vec![
+            vec![DynVal::Num(std::f64::consts::PI)],
+            vec![DynVal::Num(-0.0)],
+        ];
         let back = deserialize_stage(&serialize_stage(&rows));
         assert_eq!(back, rows);
     }

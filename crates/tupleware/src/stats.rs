@@ -45,11 +45,7 @@ impl UdfStats {
 /// `pipeline.stages`. Returns the optimized pipeline and the estimated cost
 /// per input tuple before and after (for reporting).
 pub fn optimize(pipeline: &Pipeline, stats: &[UdfStats]) -> (Pipeline, f64, f64) {
-    assert_eq!(
-        pipeline.stages.len(),
-        stats.len(),
-        "one UdfStats per stage"
-    );
+    assert_eq!(pipeline.stages.len(), stats.len(), "one UdfStats per stage");
     let before = estimated_cost(&pipeline.stages, stats);
 
     let mut new_stages: Vec<(Udf, UdfStats)> = Vec::with_capacity(pipeline.stages.len());

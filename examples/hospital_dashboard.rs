@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(p, a)| (p.age as f64, a.stay_days))
         .collect();
     let mut tiles = TileServer::new(points, 24, 4, 64)?.with_prefetcher(Prefetcher::new(6));
-    let (tile, _) = tiles.fetch(TileId { level: 0, tx: 0, ty: 0 })?;
+    let (tile, _) = tiles.fetch(TileId {
+        level: 0,
+        tx: 0,
+        ty: 0,
+    })?;
     println!("{}", tile.render());
 
     // --- Exploratory Analysis (SeeDB) ------------------------------------

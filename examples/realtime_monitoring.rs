@@ -11,8 +11,8 @@ use bigdawg::analytics::fft::dominant_frequency;
 use bigdawg::analytics::AnomalyDetector;
 use bigdawg::common::{DataType, Schema, Value};
 use bigdawg::mimic::{plant_anomalies, WaveformGen};
-use bigdawg::stream::{Engine, IngestQueue, WindowSpec};
 use bigdawg::stream::ingest::Frame;
+use bigdawg::stream::{Engine, IngestQueue, WindowSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 2026;
@@ -90,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §3: data ages out of S-Store into the array engine for history.
     let aged = engine.drain_aged("vitals", samples as i64 - 500)?;
-    println!("\naged {} samples out of S-Store into the array store", aged.len());
+    println!(
+        "\naged {} samples out of S-Store into the array store",
+        aged.len()
+    );
     let history: Vec<f64> = aged
         .iter()
         .map(|r| r[1].as_f64())
@@ -141,7 +144,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fresh.replay(engine.command_log())?;
         fresh.table("alerts")?.len()
     };
-    println!("\nafter crash + replay: {recovered_len} alerts reconstructed (same as before: {})",
-        alerts.len());
+    println!(
+        "\nafter crash + replay: {recovered_len} alerts reconstructed (same as before: {})",
+        alerts.len()
+    );
     Ok(())
 }

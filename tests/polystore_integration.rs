@@ -39,9 +39,7 @@ fn every_island_answers_a_query() {
     // degenerate islands
     let b = bd.execute("ACCUMULO(count())").unwrap();
     assert!(b.rows()[0][0].as_i64().unwrap() > 100);
-    let b = bd
-        .execute("TILEDB(get(waveform_tiles, 0, 0))")
-        .unwrap();
+    let b = bd.execute("TILEDB(get(waveform_tiles, 0, 0))").unwrap();
     assert!(!b.rows()[0][0].is_null());
     let b = bd
         .execute("TUPLEWARE(run compiled max(c1) from age_stay)")
@@ -52,9 +50,10 @@ fn every_island_answers_a_query() {
 #[test]
 fn paper_scope_cast_query_end_to_end() {
     let d = demo();
-    let b = d
-        .bd
-        .execute("RELATIONAL(SELECT COUNT(*) AS spikes FROM CAST(waveform_0, relation) WHERE v > 2.5)")
+    let b =
+        d.bd.execute(
+            "RELATIONAL(SELECT COUNT(*) AS spikes FROM CAST(waveform_0, relation) WHERE v > 2.5)",
+        )
         .unwrap();
     let spikes = b.rows()[0][0].as_i64().unwrap();
     assert!(spikes > 0, "planted anomalies exceed 2.5 amplitude");
@@ -78,9 +77,7 @@ fn both_cast_transports_agree() {
         .cast_object("waveform_0", "postgres", "w_bin", Transport::Binary)
         .unwrap();
     assert_eq!(r1.rows, r2.rows);
-    let a = bd
-        .execute("POSTGRES(SELECT SUM(v) FROM w_file)")
-        .unwrap();
+    let a = bd.execute("POSTGRES(SELECT SUM(v) FROM w_file)").unwrap();
     let b = bd.execute("POSTGRES(SELECT SUM(v) FROM w_bin)").unwrap();
     let (x, y) = (
         a.rows()[0][0].as_f64().unwrap(),

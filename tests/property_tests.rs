@@ -30,11 +30,8 @@ fn arb_batch() -> impl Strategy<Value = Batch> {
                 .map(|(n, t)| (n.as_str(), *t))
                 .collect::<Vec<_>>(),
         );
-        proptest::collection::vec(
-            proptest::collection::vec(arb_value(), width..=width),
-            0..40,
-        )
-        .prop_map(move |rows| Batch::new(schema.clone(), rows).expect("arity fixed"))
+        proptest::collection::vec(proptest::collection::vec(arb_value(), width..=width), 0..40)
+            .prop_map(move |rows| Batch::new(schema.clone(), rows).expect("arity fixed"))
     })
 }
 

@@ -1,0 +1,693 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace's property tests use:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! [`strategy::Just`], numeric-range and `&str`-pattern strategies, tuple
+//! strategies, [`collection::vec`], `any::<T>()`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//! and `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   failure message; it is not minimized.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   function's name (override with `PROPTEST_SEED=<u64>`), so CI runs are
+//!   reproducible.
+//! * **String patterns** support character classes (`[a-z ,"\n]`, with
+//!   ranges and literal members) and `{n}` / `{lo,hi}` / `?` / `*` / `+`
+//!   quantifiers — the subset regex-backed strategies are used for here.
+
+pub mod test_runner {
+    /// Per-test configuration (real proptest's `test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the case; it does not count.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    /// Deterministic xorshift64* generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed | 1, // xorshift must not start at 0
+            }
+        }
+
+        /// Seed from the test name (or `PROPTEST_SEED` if set) so every run
+        /// of a given test explores the same sequence.
+        pub fn deterministic(name: &str) -> Self {
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = seed.trim().parse::<u64>() {
+                    return TestRng::from_seed(seed);
+                }
+            }
+            // FNV-1a over the name
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform usize in [lo, hi] (inclusive).
+        pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            lo + (self.next_u64() % (hi as u64 - lo as u64 + 1)) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: `generate` takes `&self`, combinators require `Sized`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_inclusive(0, self.options.len() - 1);
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    self.start().wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            // rounding in the multiply can land exactly on `end`; keep half-open
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    // ---- string pattern strategies -------------------------------------
+
+    /// One parsed pattern atom: a set of candidate chars and a repetition.
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let mut choices = Vec::new();
+            match chars[i] {
+                '[' => {
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` range (a `-` not followed by `]`)
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            assert!(c <= hi, "bad char range {c}-{hi} in `{pattern}`");
+                            choices.extend(c..=hi);
+                            i += 3;
+                        } else {
+                            choices.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated `[` in pattern `{pattern}`");
+                    i += 1; // consume ']'
+                }
+                '\\' if i + 1 < chars.len() => {
+                    choices.push(chars[i + 1]);
+                    i += 2;
+                }
+                c => {
+                    choices.push(c);
+                    i += 1;
+                }
+            }
+            // optional quantifier
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .unwrap_or_else(|| panic!("unterminated `{{` in `{pattern}`"))
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("pattern {lo,hi}"),
+                                hi.trim().parse().expect("pattern {lo,hi}"),
+                            ),
+                            None => {
+                                let n: usize = body.trim().parse().expect("pattern {n}");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad quantifier in pattern `{pattern}`");
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    /// `&str` patterns are strategies producing matching `String`s.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let n = rng.usize_inclusive(atom.min, atom.max);
+                for _ in 0..n {
+                    let i = rng.usize_inclusive(0, atom.choices.len() - 1);
+                    out.push(atom.choices[i]);
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // bit-pattern floats, with NaN canonicalized away so roundtrip
+            // properties stay meaningful
+            let f = f64::from_bits(rng.next_u64());
+            if f.is_nan() {
+                0.0
+            } else {
+                f
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_inclusive(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// Assert within a proptest body; failure fails the case (no panic mid-run).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+}
+
+/// Inequality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Reject the current case (does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).saturating_add(1000),
+                    "proptest `{}`: too many rejected cases ({passed}/{} passed)",
+                    stringify!($name),
+                    config.cases,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => continue,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!("proptest `{}` failed: {msg}", stringify!($name)),
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_strategy_matches_class_and_quantifier() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..200 {
+            let s = "[a-c]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let t = "[xz ,\"\n]{0,4}".generate(&mut rng);
+            assert!(t.chars().all(|c| "xz ,\"\n".contains(c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_unions_stay_in_domain() {
+        let mut rng = TestRng::from_seed(7);
+        let u = prop_oneof![Just(0i64), (10i64..20).prop_map(|x| x)];
+        for _ in 0..200 {
+            let v = u.generate(&mut rng);
+            assert!(v == 0 || (10..20).contains(&v), "{v}");
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: generation, assume, assert.
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0i64..5, 1..10)) {
+            prop_assume!(!v.is_empty());
+            prop_assert!((1..10).contains(&v.len()));
+            prop_assert_eq!(v.iter().filter(|&&x| x >= 5).count(), 0);
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn tuples_and_flat_map(
+            (a, b) in (0i64..10, "[mn]{1,2}"),
+            w in (1usize..4).prop_flat_map(|n| crate::collection::vec(0i64..3, n..=n)),
+        ) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(!b.is_empty() && b.len() <= 2);
+            prop_assert!((1..4).contains(&w.len()));
+        }
+    }
+}
