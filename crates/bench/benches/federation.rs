@@ -1,0 +1,31 @@
+//! E11 bench — parallel scatter-gather vs serial CAST materialization on
+//! the 5-engine cross-island query (paper §2.2), with engines in-process
+//! and behind an emulated 2 ms network round-trip.
+
+use bigdawg_bench::experiments::federation::QUERY;
+use bigdawg_bench::setup::{demo_polystore, DemoConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_federation");
+    g.sample_size(10);
+    for (label, latency) in [
+        ("in_process", None),
+        ("wire_2ms", Some(Duration::from_millis(2))),
+    ] {
+        let mut cfg = DemoConfig::tiny();
+        cfg.engine_latency = latency;
+        let demo = demo_polystore(cfg).expect("demo builds");
+        g.bench_with_input(BenchmarkId::new("serial", label), &demo, |b, demo| {
+            b.iter(|| demo.bd.execute_serial(QUERY).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", label), &demo, |b, demo| {
+            b.iter(|| demo.bd.execute(QUERY).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

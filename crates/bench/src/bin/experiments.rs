@@ -33,7 +33,7 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
 
-    let demo = demo_polystore(config).expect("demo federation builds");
+    let demo = demo_polystore(config.clone()).expect("demo federation builds");
 
     if want("fig1") {
         println!("{}", fig::fig1(&demo));
@@ -84,5 +84,10 @@ fn main() {
     if want("e10") {
         let r = coupling::run(if quick { 96 } else { 256 }).expect("E10 runs");
         println!("{}", coupling::table(&r));
+    }
+    if want("e11") {
+        let wire = std::time::Duration::from_millis(if quick { 2 } else { 5 });
+        let r = federation::run(&config, wire).expect("E11 runs");
+        println!("{}", federation::table(&r));
     }
 }

@@ -1,0 +1,138 @@
+//! E11 — §2.2: the executor dispatches per-engine sub-plans concurrently;
+//! parallel scatter-gather vs the serial reference schedule.
+//!
+//! The workload is one cross-island query whose four CAST leaves push an
+//! aggregate down to four *different* engines (SciDB, TileDB, Tupleware,
+//! Accumulo) and gather the four one-row results with a join on the
+//! relational engine — five engines total. Leaves are independent, so the
+//! parallel executor overlaps them; the serial path pays them back to back.
+//!
+//! Engines here are in-process and answer in microseconds, which hides the
+//! cost the executor exists to overlap, so the experiment runs the same
+//! query twice: once in-process (expected: parity — there is nothing to
+//! hide) and once with every engine behind an emulated network round-trip
+//! ([`crate::setup::DemoConfig::engine_latency`]), the paper's actual
+//! deployment shape (expected: speedup approaching the leaf count).
+
+use crate::experiments::{fmt_dur, fmt_ratio, Table};
+use crate::setup::{demo_polystore, DemoConfig};
+use bigdawg_common::Result;
+use std::time::{Duration, Instant};
+
+/// The 5-engine cross-island query: four pushed-down aggregates, one
+/// relational gather.
+pub const QUERY: &str = "RELATIONAL(\
+    SELECT w.avg_v AS wave_avg, t.sum AS tile_sum, u.result AS stay_sum, n.docs AS note_docs \
+    FROM CAST(SCIDB(aggregate(waveform_0, avg, v)), relation) w \
+    JOIN CAST(TILEDB(sum(waveform_tiles)), relation) t ON 1 = 1 \
+    JOIN CAST(TUPLEWARE(run compiled sum(c1) from age_stay), relation) u ON 1 = 1 \
+    JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1)";
+
+/// Measured serial vs parallel times for one federation configuration.
+#[derive(Debug, Clone)]
+pub struct FederationResult {
+    /// Emulated per-request engine latency (`None` = in-process).
+    pub engine_latency: Option<Duration>,
+    /// Number of scatter leaves in the plan.
+    pub leaves: usize,
+    /// Median serial execution time.
+    pub serial: Duration,
+    /// Median parallel execution time.
+    pub parallel: Duration,
+}
+
+/// Run the comparison at `config` scale, in-process and with `wire` of
+/// emulated engine latency. Results of the two schedules are checked to
+/// match before anything is timed as correct.
+pub fn run(config: &DemoConfig, wire: Duration) -> Result<Vec<FederationResult>> {
+    let mut out = Vec::new();
+    for latency in [None, Some(wire)] {
+        let mut cfg = config.clone();
+        cfg.engine_latency = latency;
+        let demo = demo_polystore(cfg)?;
+        let bd = &demo.bd;
+
+        // correctness first: both schedules agree
+        let serial_rows = bd.execute_serial(QUERY)?;
+        let parallel_rows = bd.execute(QUERY)?;
+        assert_eq!(
+            serial_rows.rows(),
+            parallel_rows.rows(),
+            "parallel scatter-gather must not change results"
+        );
+        let leaves = bd.explain(QUERY)?.leaves.len();
+
+        let serial = median_time(5, || bd.execute_serial(QUERY).map(drop))?;
+        let parallel = median_time(5, || bd.execute(QUERY).map(drop))?;
+        out.push(FederationResult {
+            engine_latency: latency,
+            leaves,
+            serial,
+            parallel,
+        });
+    }
+    Ok(out)
+}
+
+/// Median wall-clock of `n` runs of `f`.
+fn median_time(n: usize, mut f: impl FnMut() -> Result<()>) -> Result<Duration> {
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        f()?;
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    Ok(times[n / 2])
+}
+
+/// Render the E11 table.
+pub fn table(results: &[FederationResult]) -> Table {
+    let mut t = Table::new(
+        "E11 — parallel scatter-gather vs serial CAST materialization (§2.2)",
+        &[
+            "engine wire latency",
+            "leaves",
+            "serial",
+            "parallel",
+            "speedup",
+        ],
+    );
+    for r in results {
+        let wire = match r.engine_latency {
+            None => "in-process".to_string(),
+            Some(d) => format!("{} / request", fmt_dur(d)),
+        };
+        t.row(&[
+            wire,
+            r.leaves.to_string(),
+            fmt_dur(r.serial),
+            fmt_dur(r.parallel),
+            fmt_ratio(r.serial, r.parallel),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_beats_serial_under_emulated_wire_latency() {
+        let results = run(&DemoConfig::tiny(), Duration::from_millis(4)).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].leaves, 4);
+        let remote = &results[1];
+        assert!(
+            remote.parallel < remote.serial,
+            "parallel {:?} must beat serial {:?} when leaves wait on the wire",
+            remote.parallel,
+            remote.serial
+        );
+        // 4 independent leaves at ≥4 ms each, overlapped: the serial
+        // schedule pays ≥16 ms of wire alone, the parallel one ≥4 ms
+        assert!(remote.serial >= Duration::from_millis(16));
+        assert!(remote.parallel < remote.serial - Duration::from_millis(4));
+    }
+}

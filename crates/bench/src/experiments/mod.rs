@@ -13,10 +13,12 @@
 //! | [`migration`] | E8 | §2.1: monitor-driven object migration |
 //! | [`anomaly_exp`] | E9 | §2.3: real-time arrhythmia alerting |
 //! | [`coupling`] | E10 | §2.4: tight vs loose linear-algebra coupling |
+//! | [`federation`] | E11 | §2.2: parallel scatter-gather vs serial executor |
 
 pub mod anomaly_exp;
 pub mod cast_exp;
 pub mod coupling;
+pub mod federation;
 pub mod fig;
 pub mod migration;
 pub mod onesize;

@@ -2,16 +2,21 @@
 
 use bigdawg_array::Array;
 use bigdawg_common::{DataType, Result, Row, Schema, Value};
-use bigdawg_core::shims::{ArrayShim, KvShim, RelationalShim, StreamShim, TileShim, TupleShim};
-use bigdawg_core::BigDawg;
+use bigdawg_core::shims::{
+    ArrayShim, KvShim, LatencyShim, RelationalShim, StreamShim, TileShim, TupleShim,
+};
+use bigdawg_core::{BigDawg, Shim};
 use bigdawg_mimic::{generate, plant_anomalies, AnomalyEvent, MimicConfig, MimicData, WaveformGen};
 use bigdawg_stream::{Engine, WindowSpec};
 use bigdawg_tiledb::{TileDb, TileSchema};
+use std::time::Duration;
 
 /// Scale knobs for the demo federation.
 #[derive(Debug, Clone)]
 pub struct DemoConfig {
+    /// Deterministic data-generation seed.
     pub seed: u64,
+    /// Number of synthetic patients.
     pub patients: usize,
     /// Patients with historical waveforms in the array engine.
     pub waveform_patients: u64,
@@ -19,6 +24,11 @@ pub struct DemoConfig {
     pub waveform_samples: usize,
     /// Planted arrhythmias per monitored patient.
     pub anomalies_per_patient: usize,
+    /// When set, every engine is wrapped in a
+    /// [`LatencyShim`] sleeping this long per remote request — emulating the
+    /// network round-trips of the paper's distributed deployment. `None`
+    /// (the default) keeps engines in-process and instantaneous.
+    pub engine_latency: Option<Duration>,
 }
 
 impl Default for DemoConfig {
@@ -29,6 +39,7 @@ impl Default for DemoConfig {
             waveform_patients: 4,
             waveform_samples: 100_000,
             anomalies_per_patient: 5,
+            engine_latency: None,
         }
     }
 }
@@ -42,7 +53,23 @@ impl DemoConfig {
             waveform_patients: 2,
             waveform_samples: 4_000,
             anomalies_per_patient: 2,
+            engine_latency: None,
         }
+    }
+
+    /// The same configuration with every engine behind an emulated network
+    /// round-trip of `delay` (see [`DemoConfig::engine_latency`]).
+    pub fn with_engine_latency(mut self, delay: Duration) -> Self {
+        self.engine_latency = Some(delay);
+        self
+    }
+}
+
+/// Wrap a shim in the configured emulated-network latency, if any.
+fn with_latency(shim: Box<dyn Shim>, latency: Option<Duration>) -> Box<dyn Shim> {
+    match latency {
+        Some(delay) => Box::new(LatencyShim::new(shim, delay)),
+        None => shim,
     }
 }
 
@@ -83,7 +110,7 @@ pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
     pg.load_table("labs", data.labs_batch())?;
     // flat view for SeeDB (race/diagnosis/stay joined)
     pg.load_table("admissions_flat", admissions_flat(&data))?;
-    bd.add_engine(Box::new(pg));
+    bd.add_engine(with_latency(Box::new(pg), config.engine_latency));
 
     // --- SciDB: historical waveforms -------------------------------------
     let mut scidb = ArrayShim::new("scidb");
@@ -105,7 +132,7 @@ pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
         );
         anomalies.push((pid, events));
     }
-    bd.add_engine(Box::new(scidb));
+    bd.add_engine(with_latency(Box::new(scidb), config.engine_latency));
 
     // --- S-Store: live vitals with window alerts -------------------------
     let mut engine = Engine::new(false);
@@ -139,14 +166,17 @@ pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
         }),
     );
     engine.on_window("vitals", "w_hr", "hr_alert")?;
-    bd.add_engine(Box::new(StreamShim::new("sstore", engine)));
+    bd.add_engine(with_latency(
+        Box::new(StreamShim::new("sstore", engine)),
+        config.engine_latency,
+    ));
 
     // --- Accumulo: clinical notes ----------------------------------------
     let mut kv = KvShim::new("accumulo");
     for n in &data.notes {
         kv.index_document(n.id, &format!("p{}", n.patient_id), n.ts, &n.body);
     }
-    bd.add_engine(Box::new(kv));
+    bd.add_engine(with_latency(Box::new(kv), config.engine_latency));
 
     // --- TileDB: waveform matrix (patients × regridded samples) ----------
     let mut tiledb = TileShim::new("tiledb");
@@ -168,7 +198,7 @@ pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
         matrix.write(&cells)?;
     }
     tiledb.store("waveform_tiles", matrix);
-    bd.add_engine(Box::new(tiledb));
+    bd.add_engine(with_latency(Box::new(tiledb), config.engine_latency));
 
     // --- Tupleware: dense numeric vitals dataset --------------------------
     let mut tw = TupleShim::new("tupleware");
@@ -178,7 +208,7 @@ pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
         dense.push(a.stay_days);
     }
     tw.store("age_stay", 2, dense)?;
-    bd.add_engine(Box::new(tw));
+    bd.add_engine(with_latency(Box::new(tw), config.engine_latency));
 
     bd.refresh_catalog();
     Ok(Demo {

@@ -6,8 +6,8 @@
 //! engine re-encodes into its own layout on arrival.
 
 use crate::error::{BigDawgError, Result};
-use crate::schema::Schema;
-use crate::value::Value;
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
 use std::fmt;
 
 /// One tuple.
@@ -44,18 +44,22 @@ impl Batch {
         Ok(Batch { schema, rows })
     }
 
+    /// The batch's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
+    /// The rows, in order.
     pub fn rows(&self) -> &[Row] {
         &self.rows
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
+    /// True when the batch has no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -127,6 +131,46 @@ impl Batch {
         let i = self.schema.index_of(name)?;
         self.rows.sort_by(|a, b| a[i].cmp(&b[i]));
         Ok(())
+    }
+
+    /// Narrow untyped (`DataType::Null`) columns to the common type of their
+    /// values, if the values agree on one. Island results sometimes carry
+    /// untyped columns (e.g. a degenerate island's single-cell answers);
+    /// strictly typed engines reject typed values under an untyped column,
+    /// so CAST narrows schemas before materializing. Columns whose values
+    /// disagree (or are all NULL) are left untyped.
+    pub fn narrow_types(self) -> Batch {
+        if !self
+            .schema
+            .fields()
+            .iter()
+            .any(|f| f.data_type == DataType::Null)
+        {
+            return self;
+        }
+        let (schema, rows) = self.into_parts();
+        let fields: Vec<Field> = schema
+            .fields()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let mut f = f.clone();
+                if f.data_type == DataType::Null {
+                    let narrowed = rows
+                        .iter()
+                        .map(|r| r[i].data_type())
+                        .try_fold(DataType::Null, |acc, t| acc.unify(t));
+                    if let Some(t) = narrowed {
+                        f.data_type = t;
+                    }
+                }
+                f
+            })
+            .collect();
+        Batch {
+            schema: Schema::new(fields),
+            rows,
+        }
     }
 }
 

@@ -12,6 +12,8 @@
 //! Nothing in this crate knows about any particular engine; it is the bottom
 //! of the dependency graph.
 
+#![deny(missing_docs)]
+
 pub mod batch;
 pub mod error;
 pub mod schema;

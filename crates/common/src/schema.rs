@@ -7,8 +7,11 @@ use std::fmt;
 /// A named, typed column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
+    /// Column name.
     pub name: String,
+    /// Column type.
     pub data_type: DataType,
+    /// Whether NULLs are allowed.
     pub nullable: bool,
 }
 
@@ -42,6 +45,7 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// A schema over the given fields, in order.
     pub fn new(fields: Vec<Field>) -> Self {
         Schema { fields }
     }
@@ -53,14 +57,17 @@ impl Schema {
         }
     }
 
+    /// The fields, in column order.
     pub fn fields(&self) -> &[Field] {
         &self.fields
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.fields.len()
     }
 
+    /// True when the schema has no columns.
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
     }
@@ -77,14 +84,17 @@ impl Schema {
             .ok_or_else(|| BigDawgError::NotFound(format!("column `{name}`")))
     }
 
+    /// The field at column index `i`.
     pub fn field(&self, i: usize) -> &Field {
         &self.fields[i]
     }
 
+    /// The field named `name` (same lookup rules as [`Schema::index_of`]).
     pub fn field_named(&self, name: &str) -> Result<&Field> {
         Ok(&self.fields[self.index_of(name)?])
     }
 
+    /// All column names, in order.
     pub fn names(&self) -> Vec<&str> {
         self.fields.iter().map(|f| f.name.as_str()).collect()
     }

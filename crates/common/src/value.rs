@@ -16,6 +16,7 @@ use std::fmt;
 pub enum DataType {
     /// The type of `Value::Null` when no better type is known.
     Null,
+    /// Boolean.
     Bool,
     /// 64-bit signed integer.
     Int,
@@ -73,11 +74,17 @@ impl fmt::Display for DataType {
 /// strict typing check types *before* sorting.
 #[derive(Debug, Clone)]
 pub enum Value {
+    /// SQL NULL / missing.
     Null,
+    /// Boolean.
     Bool(bool),
+    /// 64-bit signed integer.
     Int(i64),
+    /// 64-bit IEEE float.
     Float(f64),
+    /// UTF-8 string.
     Text(String),
+    /// Milliseconds since the epoch.
     Timestamp(i64),
 }
 
@@ -94,6 +101,7 @@ impl Value {
         }
     }
 
+    /// True for `Value::Null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -124,6 +132,7 @@ impl Value {
         }
     }
 
+    /// Boolean view; anything but `Bool` is a type error.
     pub fn as_bool(&self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
@@ -134,6 +143,7 @@ impl Value {
         }
     }
 
+    /// Text view; anything but `Text` is a type error.
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Text(s) => Ok(s),
@@ -149,10 +159,12 @@ impl Value {
         self.numeric_binop(other, "add", |a, b| a.checked_add(b), |a, b| a + b)
     }
 
+    /// Subtraction with the same NULL/overflow rules as [`Value::add`].
     pub fn sub(&self, other: &Value) -> Result<Value> {
         self.numeric_binop(other, "subtract", |a, b| a.checked_sub(b), |a, b| a - b)
     }
 
+    /// Multiplication with the same NULL/overflow rules as [`Value::add`].
     pub fn mul(&self, other: &Value) -> Result<Value> {
         self.numeric_binop(other, "multiply", |a, b| a.checked_mul(b), |a, b| a * b)
     }
@@ -282,11 +294,17 @@ impl Value {
 /// Hashable grouping proxy for [`Value`]; see [`Value::group_key`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GroupKey {
+    /// NULL groups together.
     Null,
+    /// Boolean key.
     Bool(bool),
+    /// Integer key.
     Int(i64),
+    /// Float key by IEEE bit pattern (NaNs group together).
     Float(u64),
+    /// Text key.
     Text(String),
+    /// Timestamp key.
     Timestamp(i64),
 }
 

@@ -19,7 +19,7 @@ use bigdawg_stream::recovery::{read_value, write_value};
 use std::time::{Duration, Instant};
 
 /// How CAST ships rows between engines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
     /// CSV text export/import (the paper's "file-based import/export").
     File,
@@ -30,16 +30,27 @@ pub enum Transport {
 /// Measured result of one CAST.
 #[derive(Debug, Clone)]
 pub struct CastReport {
+    /// Number of rows shipped.
     pub rows: usize,
+    /// Bytes that crossed the (in-process) wire.
     pub wire_bytes: usize,
+    /// Time spent serializing on the source side.
     pub encode: Duration,
+    /// Time the encoded payload spent in flight. Always zero for the
+    /// in-process transports implemented today; kept in the report (and in
+    /// [`CastReport::total`]) so EXPERIMENTS.md numbers stay comparable when
+    /// transports later become remote.
+    pub transfer: Duration,
+    /// Time spent deserializing on the target side.
     pub decode: Duration,
+    /// Which transport shipped the rows.
     pub transport: Transport,
 }
 
 impl CastReport {
+    /// End-to-end shipping time: encode + wire transfer + decode.
     pub fn total(&self) -> Duration {
-        self.encode + self.decode
+        self.encode + self.transfer + self.decode
     }
 }
 
@@ -66,6 +77,7 @@ fn ship_csv(batch: &Batch) -> Result<(Batch, CastReport)> {
         rows: batch.len(),
         wire_bytes: text.len(),
         encode,
+        transfer: Duration::ZERO,
         decode,
         transport: Transport::File,
     };
@@ -230,6 +242,7 @@ fn ship_binary(batch: &Batch) -> Result<(Batch, CastReport)> {
         rows: batch.len(),
         wire_bytes,
         encode,
+        transfer: Duration::ZERO,
         decode,
         transport: Transport::Binary,
     };

@@ -12,10 +12,15 @@ use std::collections::BTreeMap;
 /// representation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ObjectKind {
+    /// A relational table.
     Table,
+    /// An n-dimensional array.
     Array,
+    /// A live stream (bound to its ingestion engine).
     Stream,
+    /// A text corpus with its inverted index.
     Corpus,
+    /// A dense numeric dataset (Tupleware-style).
     Dataset,
 }
 
@@ -32,9 +37,12 @@ impl std::fmt::Display for ObjectKind {
     }
 }
 
+/// One catalog entry: where an object lives and what it is.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectEntry {
+    /// Engine currently holding the object.
     pub engine: String,
+    /// What kind of object it is.
     pub kind: ObjectKind,
 }
 
@@ -45,10 +53,12 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// An empty catalog.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Record (or overwrite) an object's location and kind.
     pub fn register(&mut self, object: &str, engine: &str, kind: ObjectKind) {
         self.objects.insert(
             object.to_string(),
@@ -59,6 +69,7 @@ impl Catalog {
         );
     }
 
+    /// Forget an object, returning its entry if it was cataloged.
     pub fn unregister(&mut self, object: &str) -> Option<ObjectEntry> {
         self.objects.remove(object)
     }
@@ -70,6 +81,7 @@ impl Catalog {
             .ok_or_else(|| BigDawgError::NotFound(format!("object `{object}` in catalog")))
     }
 
+    /// True if the object is cataloged.
     pub fn contains(&self, object: &str) -> bool {
         self.objects.contains_key(object)
     }
@@ -89,10 +101,12 @@ impl Catalog {
         self.objects.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Number of cataloged objects.
     pub fn len(&self) -> usize {
         self.objects.len()
     }
 
+    /// True when nothing is cataloged.
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
     }

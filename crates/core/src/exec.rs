@@ -1,0 +1,398 @@
+//! The parallel scatter-gather executor.
+//!
+//! §2.2 of the architecture companion describes the executor dispatching
+//! sub-plans to engines concurrently, and §2.1's CAST work argues "each
+//! system needs an access method that knows how to read binary data in
+//! parallel". The serial reference implementation in [`crate::scope`]
+//! materializes one CAST term at a time, so a cross-island query over four
+//! engines pays four round-trips back to back even though the engines are
+//! independent. This module runs the same plan as a two-level DAG:
+//!
+//! ```text
+//!              ┌────────────────────────────┐
+//!              │ gather: ISLAND( body with  │   barrier: runs once every
+//!              │   temps substituted )      │   leaf has materialized
+//!              └─────▲──────▲──────▲────────┘
+//!        ┌───────────┘      │      └───────────┐
+//!   ┌────┴─────┐      ┌─────┴────┐       ┌─────┴────┐
+//!   │ leaf 0   │      │ leaf 1   │  ...  │ leaf n   │   scatter: independent
+//!   │ CAST(a,…)│      │ CAST(    │       │ CAST(b,…)│   per-engine sub-plans,
+//!   │          │      │  SCOPE(…)│       │          │   run concurrently on a
+//!   └──────────┘      └──────────┘       └──────────┘   scoped worker pool
+//! ```
+//!
+//! Each leaf is one CAST term of the SCOPE body: either a named object
+//! shipped between engines, or a nested scope query executed (recursively
+//! through this executor, so sub-DAGs scatter too) and materialized on the
+//! target engine. Leaves touch *different* engine mutexes, so running them
+//! concurrently overlaps per-engine work and — in the paper's distributed
+//! deployment — network round-trips; the worker pool reuses the
+//! fixed-width scoped-thread pattern of [`crate::cast`]'s partitioned
+//! codec. The gather node then executes the rewritten body on its island.
+//!
+//! Plan choice is monitor-driven: the CAST transport for every leaf comes
+//! from [`crate::monitor::Monitor::preferred_transport`] (measured file vs
+//! binary history, binary on cold start), and islands pick their engine
+//! through [`crate::polystore::BigDawg::choose_engine_of_kind`] (cheapest
+//! by measured per-class latency when several engines qualify).
+
+use crate::cast::Transport;
+use crate::polystore::BigDawg;
+use crate::scope;
+use bigdawg_common::{Batch, BigDawgError, Result};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What produces the rows of one scatter leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafSource {
+    /// A named federation object: `CAST(obj, target)`.
+    Object(String),
+    /// A nested scope query: `CAST(ISLAND(body), target)`. Executed through
+    /// the scatter-gather executor itself, so its own CAST terms form a
+    /// sub-DAG that scatters in turn.
+    SubQuery(String),
+}
+
+/// One independent unit of scatter work: materialize a CAST term's rows as
+/// a temporary object on the target engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Leaf {
+    /// Where the rows come from.
+    pub source: LeafSource,
+    /// The engine the temporary lands on.
+    pub target_engine: String,
+    /// Name of the temporary object the gather body references.
+    pub temp: String,
+    /// Transport chosen by the monitor's cost model at plan time.
+    pub transport: Transport,
+}
+
+/// The plan DAG for one SCOPE query: scatter leaves plus the gather node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Island the gather body runs on.
+    pub island: String,
+    /// The body with every CAST term replaced by its leaf's temp name.
+    pub body: String,
+    /// Independent sub-plans; empty for a degenerate single-engine query.
+    pub leaves: Vec<Leaf>,
+}
+
+impl Plan {
+    /// True when the query needs no CAST — a single-island plan that runs
+    /// without scattering (and without spawning any threads).
+    pub fn is_degenerate(&self) -> bool {
+        self.leaves.is_empty()
+    }
+}
+
+impl fmt::Display for Plan {
+    /// Render the DAG the way `EXPLAIN` would: gather node first, then one
+    /// line per scatter leaf.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gather  {}( {} )", self.island, self.body)?;
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            let transport = match leaf.transport {
+                Transport::File => "file",
+                Transport::Binary => "binary",
+            };
+            let source = match &leaf.source {
+                LeafSource::Object(o) => format!("cast object `{o}`"),
+                LeafSource::SubQuery(q) => format!("sub-query {q}"),
+            };
+            writeln!(
+                f,
+                "  leaf {i}  {source} -> {} as {} [{transport}]",
+                leaf.target_engine, leaf.temp
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Execute a SCOPE query through the parallel scatter-gather executor.
+/// Semantics match [`scope::execute`]; only the schedule differs.
+pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
+    let (island, body) = scope::parse_scope(query)?;
+    let plan = plan(bd, &island, &body)?;
+    run(bd, &plan)
+}
+
+/// Decompose `body` into a [`Plan`]: one leaf per top-level CAST term, the
+/// rewritten body as the gather node. Nothing executes here — temp names
+/// are reserved and transports chosen, so the same plan can be displayed
+/// (`EXPLAIN`) or run.
+pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
+    let transport = bd.preferred_transport();
+    let mut leaves = Vec::new();
+    let mut out = String::with_capacity(body.len());
+    let mut rest = body;
+    while let Some(start) = scope::find_cast(rest) {
+        out.push_str(&rest[..start]);
+        let after_kw = &rest[start + 4..]; // past "CAST"
+        let after_kw_trim = after_kw.trim_start();
+        let inner_full = scope::balanced(after_kw_trim)?;
+        let consumed = start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
+        let (inner, target) = scope::split_cast_args(inner_full)?;
+        let target_engine = scope::resolve_target(bd, &target)?;
+        let source = if scope::try_scope(&inner).is_some() {
+            LeafSource::SubQuery(inner)
+        } else {
+            let object = inner.trim();
+            if bd.locate(object).is_err() {
+                return Err(BigDawgError::NotFound(format!(
+                    "CAST source `{object}` (not an object or nested scope query)"
+                )));
+            }
+            LeafSource::Object(object.to_string())
+        };
+        let temp = bd.temp_name();
+        out.push_str(&temp);
+        leaves.push(Leaf {
+            source,
+            target_engine,
+            temp,
+            transport,
+        });
+        rest = &rest[consumed..];
+    }
+    out.push_str(rest);
+    Ok(Plan {
+        island: island.to_string(),
+        body: out,
+        leaves,
+    })
+}
+
+/// Run a plan: scatter every leaf concurrently, then gather. Temporaries
+/// are dropped whether or not execution succeeds; a leaf failure surfaces
+/// after all in-flight leaves finish (not-yet-started leaves are skipped),
+/// so sibling sub-queries complete or fail on their own terms and no
+/// engine is left mid-operation.
+pub fn run(bd: &BigDawg, plan: &Plan) -> Result<Batch> {
+    let result =
+        scatter(bd, &plan.leaves).and_then(|()| bd.island_execute(&plan.island, &plan.body));
+    for leaf in &plan.leaves {
+        let _ = bd.drop_object(&leaf.temp);
+    }
+    result
+}
+
+/// Run a plan with the serial reference schedule: leaves one at a time, in
+/// plan order, stopping at the first failure — the exact semantics
+/// [`run`]'s scatter provides, minus the overlap. Shared with
+/// [`scope::execute`] so the two schedules can never parse or clean up a
+/// query differently.
+pub(crate) fn run_serial(bd: &BigDawg, plan: &Plan) -> Result<Batch> {
+    let result = plan
+        .leaves
+        .iter()
+        .try_for_each(|leaf| run_leaf(bd, leaf, Schedule::Serial))
+        .and_then(|()| bd.island_execute(&plan.island, &plan.body));
+    for leaf in &plan.leaves {
+        let _ = bd.drop_object(&leaf.temp);
+    }
+    result
+}
+
+/// Number of scatter workers. Wider than the CPU count on small machines:
+/// leaves spend their time inside per-engine locks and (in a distributed
+/// deployment) network waits, so concurrency pays even without parallelism.
+fn scatter_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(4, 16)
+}
+
+/// Materialize every leaf, independent leaves concurrently. The worker pool
+/// mirrors [`crate::cast`]'s partitioned codec: a fixed set of scoped
+/// threads pulling leaf indices from a shared counter.
+fn scatter(bd: &BigDawg, leaves: &[Leaf]) -> Result<()> {
+    match leaves.len() {
+        0 => Ok(()),
+        // degenerate scatter: no threads for a single leaf
+        1 => run_leaf(bd, &leaves[0], Schedule::Parallel),
+        n => {
+            let next = AtomicUsize::new(0);
+            let failure: Mutex<Option<BigDawgError>> = Mutex::new(None);
+            let failed = || failure.lock().unwrap_or_else(|p| p.into_inner()).is_some();
+            std::thread::scope(|s| {
+                for _ in 0..scatter_width().min(n) {
+                    s.spawn(|| loop {
+                        // after a failure, in-flight leaves finish (no
+                        // engine is left mid-operation) but not-yet-started
+                        // ones are skipped — their temps would be dropped
+                        // unused anyway
+                        if failed() {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(leaf) = leaves.get(i) else { break };
+                        if let Err(e) = run_leaf(bd, leaf, Schedule::Parallel) {
+                            let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
+                            slot.get_or_insert(e);
+                        }
+                    });
+                }
+            });
+            match failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        }
+    }
+}
+
+/// Which schedule a leaf's nested sub-query recurses into.
+#[derive(Clone, Copy)]
+enum Schedule {
+    Parallel,
+    Serial,
+}
+
+/// Execute one leaf: ship an object or run a nested scope query (a
+/// sub-DAG, recursively scattered — or recursively serial under the
+/// reference schedule) and materialize the result. The CAST measurement
+/// feeds the monitor's transport cost model.
+fn run_leaf(bd: &BigDawg, leaf: &Leaf, schedule: Schedule) -> Result<()> {
+    let report = match &leaf.source {
+        LeafSource::Object(object) => {
+            bd.cast_object(object, &leaf.target_engine, &leaf.temp, leaf.transport)?
+        }
+        LeafSource::SubQuery(query) => {
+            let batch = match schedule {
+                Schedule::Parallel => execute(bd, query)?,
+                Schedule::Serial => scope::execute(bd, query)?,
+            };
+            bd.materialize(batch, &leaf.target_engine, &leaf.temp, leaf.transport)?
+        }
+    };
+    bd.monitor().lock().record_cast(&report);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shims::{ArrayShim, KvShim, RelationalShim};
+    use bigdawg_array::Array;
+    use bigdawg_common::Value;
+
+    fn federation() -> BigDawg {
+        let mut bd = BigDawg::new();
+        let mut pg = RelationalShim::new("postgres");
+        pg.db_mut()
+            .execute("CREATE TABLE patients (id INT, age INT)")
+            .unwrap();
+        pg.db_mut()
+            .execute("INSERT INTO patients VALUES (1, 70), (2, 50), (3, 81)")
+            .unwrap();
+        bd.add_engine(Box::new(pg));
+        let mut scidb = ArrayShim::new("scidb");
+        scidb.store("a", Array::from_vector("a", "v", &[3.0, 6.0, 9.0, 12.0], 2));
+        bd.add_engine(Box::new(scidb));
+        let mut kv = KvShim::new("accumulo");
+        kv.index_document(1, "p1", 0, "very sick");
+        bd.add_engine(Box::new(kv));
+        bd
+    }
+
+    #[test]
+    fn plan_decomposes_casts_without_executing() {
+        let bd = federation();
+        let before = bd.catalog().read().len();
+        let p = plan(
+            &bd,
+            "RELATIONAL",
+            "SELECT * FROM CAST(a, relation) x JOIN CAST(ARRAY(filter(a, v > 3)), relation) y ON x.i = y.i",
+        )
+        .unwrap();
+        assert_eq!(p.leaves.len(), 2);
+        assert_eq!(p.leaves[0].source, LeafSource::Object("a".into()));
+        assert_eq!(
+            p.leaves[1].source,
+            LeafSource::SubQuery("ARRAY(filter(a, v > 3))".into())
+        );
+        assert!(p.body.contains(&p.leaves[0].temp));
+        assert!(p.body.contains(&p.leaves[1].temp));
+        assert!(!p.body.to_ascii_uppercase().contains("CAST("));
+        // planning materialized nothing
+        assert_eq!(bd.catalog().read().len(), before);
+        let rendered = p.to_string();
+        assert!(rendered.contains("gather") && rendered.contains("leaf 1"));
+    }
+
+    #[test]
+    fn degenerate_plan_has_no_leaves() {
+        let bd = federation();
+        let p = plan(&bd, "POSTGRES", "SELECT * FROM patients").unwrap();
+        assert!(p.is_degenerate());
+        assert_eq!(p.body, "SELECT * FROM patients");
+        let b = run(&bd, &p).unwrap();
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn parallel_matches_serial_semantics() {
+        let bd = federation();
+        let q = "RELATIONAL(SELECT * FROM CAST(a, relation) WHERE v > 5)";
+        let parallel = execute(&bd, q).unwrap();
+        let serial = scope::execute(&bd, q).unwrap();
+        assert_eq!(parallel.rows(), serial.rows());
+        // temporaries of both runs cleaned up
+        assert_eq!(bd.catalog().read().len(), 3);
+    }
+
+    #[test]
+    fn multi_leaf_scatter_gathers_across_three_engines() {
+        let bd = federation();
+        let b = execute(
+            &bd,
+            "RELATIONAL(SELECT p.id, x.v, n.docs FROM patients p \
+             JOIN CAST(a, relation) x ON p.id = x.i \
+             JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1 \
+             ORDER BY p.id)",
+        )
+        .unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.rows()[0][1], Value::Float(6.0));
+        assert_eq!(b.rows()[0][2], Value::Int(1));
+        assert_eq!(bd.catalog().read().len(), 3, "temps cleaned up");
+    }
+
+    #[test]
+    fn leaf_error_does_not_poison_other_engines() {
+        let bd = federation();
+        let err = execute(
+            &bd,
+            "RELATIONAL(SELECT * FROM CAST(a, relation) x \
+             JOIN CAST(ARRAY(filter(ghost, v > 0)), relation) y ON x.i = y.i)",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+        // every engine still answers, and no temps leaked
+        assert!(execute(&bd, "RELATIONAL(SELECT COUNT(*) FROM patients)").is_ok());
+        assert!(execute(&bd, "ARRAY(aggregate(a, sum, v))").is_ok());
+        assert!(execute(&bd, "ACCUMULO(count())").is_ok());
+        assert_eq!(bd.catalog().read().len(), 3);
+    }
+
+    #[test]
+    fn nested_subquery_scatters_recursively() {
+        let bd = federation();
+        // the ARRAY sub-query has its own CAST leaf (patients → scidb), so
+        // it forms a sub-DAG that scatters inside the outer leaf
+        let b = execute(
+            &bd,
+            "RELATIONAL(SELECT * FROM \
+             CAST(ARRAY(aggregate(CAST(patients, scidb), avg, age)), relation))",
+        )
+        .unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.rows()[0][0], Value::Float(67.0));
+        assert_eq!(bd.catalog().read().len(), 3, "all sub-DAG temps cleaned");
+    }
+}

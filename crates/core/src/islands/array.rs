@@ -1,6 +1,10 @@
 //! The array island: the AFL dialect over the whole federation.
+//!
+//! Location transparency mirrors the relational island: objects living on
+//! other engines are CAST toward the chosen array engine (monitor-preferred
+//! transport) first, and the monitor's cost model arbitrates when several
+//! array engines could evaluate the query.
 
-use crate::cast::Transport;
 use crate::monitor::QueryClass;
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
@@ -43,7 +47,9 @@ const AFL_KEYWORDS: &[&str] = &[
 /// Execute an AFL query on the array island. Objects living on other
 /// engines are CAST toward the array engine first (location transparency).
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
-    let engine = bd.engine_of_kind(EngineKind::Array)?;
+    let class = classify(query);
+    let engine = bd.choose_engine_of_kind(EngineKind::Array, class)?;
+    let transport = bd.preferred_transport();
     let mut rewritten = query.to_string();
     let mut temps = Vec::new();
     for ident in identifiers(query) {
@@ -55,13 +61,12 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
         };
         if location != engine {
             let tmp = bd.temp_name();
-            bd.cast_object(&ident, &engine, &tmp, Transport::Binary)?;
+            bd.cast_object(&ident, &engine, &tmp, transport)?;
             rewritten = replace_ident(&rewritten, &ident, &tmp);
             temps.push(tmp);
         }
     }
 
-    let class = classify(query);
     let started = Instant::now();
     let result = {
         let shim = bd.engine(&engine)?.lock();

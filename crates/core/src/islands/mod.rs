@@ -5,7 +5,7 @@
 //!
 //! * [`relational`] — SQL with location transparency (auto-CAST of remote
 //!   tables toward the relational engine);
-//! * [`array`] — the AFL dialect with the same transparency toward the
+//! * [`array`](mod@array) — the AFL dialect with the same transparency toward the
 //!   array engine;
 //! * [`text`] — keyword/boolean/phrase search over the KV engine;
 //! * [`d4m`] and [`myria`] — the two multi-system islands of §2.1.1;

@@ -1,10 +1,13 @@
 //! The relational island: SQL over the whole federation.
 //!
 //! Location transparency (§2.1): tables referenced by the query that do not
-//! live on the island's relational engine are CAST there (binary
-//! transport) under temporary names before execution, and cleaned up after.
+//! live on the island's relational engine are CAST there (over the
+//! monitor's preferred transport) under temporary names before execution,
+//! and cleaned up after. When the federation registers several relational
+//! engines, the monitor's cost model picks the one with the best measured
+//! history for the query's class — e.g. which engine hosts a cross-island
+//! join — falling back to the first on cold start.
 
-use crate::cast::Transport;
 use crate::monitor::QueryClass;
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
@@ -17,8 +20,14 @@ use std::time::Instant;
 
 /// Execute a SQL query on the relational island.
 pub fn execute(bd: &BigDawg, sql: &str) -> Result<Batch> {
-    let engine = bd.engine_of_kind(EngineKind::Relational)?;
     let mut stmt = parse(sql)?;
+    let class = match &stmt {
+        Statement::Select(sel) if sel.is_aggregate() => QueryClass::Aggregate,
+        Statement::Select(sel) if !sel.joins.is_empty() => QueryClass::Join,
+        _ => QueryClass::SqlFilter,
+    };
+    let engine = bd.choose_engine_of_kind(EngineKind::Relational, class)?;
+    let transport = bd.preferred_transport();
     let mut temps: Vec<String> = Vec::new();
 
     // Collect referenced tables (SELECT only; DML runs against local tables).
@@ -34,18 +43,12 @@ pub fn execute(bd: &BigDawg, sql: &str) -> Result<Batch> {
             let location = bd.locate(table)?;
             if location != engine {
                 let tmp = bd.temp_name();
-                bd.cast_object(table, &engine, &tmp, Transport::Binary)?;
+                bd.cast_object(table, &engine, &tmp, transport)?;
                 temps.push(tmp.clone());
                 *table = tmp;
             }
         }
     }
-
-    let class = match &stmt {
-        Statement::Select(sel) if sel.is_aggregate() => QueryClass::Aggregate,
-        Statement::Select(sel) if !sel.joins.is_empty() => QueryClass::Join,
-        _ => QueryClass::SqlFilter,
-    };
     let object = match &stmt {
         Statement::Select(sel) => sel.from.as_ref().map(|f| f.table.clone()),
         Statement::Insert { table, .. }
@@ -167,5 +170,54 @@ mod tests {
         let m = bd.monitor().lock();
         let stats = m.object_stats("patients");
         assert_eq!(stats.total_queries, 2);
+    }
+
+    #[test]
+    fn cost_model_picks_the_faster_relational_engine() {
+        use crate::monitor::QueryClass;
+        use std::time::Duration;
+
+        // two relational engines; `patients` lives on pg_a
+        let mut bd = BigDawg::new();
+        let mut pg_a = RelationalShim::new("pg_a");
+        pg_a.db_mut()
+            .execute("CREATE TABLE patients (id INT, age INT)")
+            .unwrap();
+        pg_a.db_mut()
+            .execute("INSERT INTO patients VALUES (1, 70)")
+            .unwrap();
+        bd.add_engine(Box::new(pg_a));
+        bd.add_engine(Box::new(RelationalShim::new("pg_b")));
+
+        // cold start: first engine of the kind by name
+        assert_eq!(
+            bd.choose_engine_of_kind(crate::shim::EngineKind::Relational, QueryClass::SqlFilter)
+                .unwrap(),
+            "pg_a"
+        );
+
+        // history says pg_b runs filters 10× faster → the island gathers
+        // there, casting `patients` over
+        {
+            let mut m = bd.monitor().lock();
+            for _ in 0..4 {
+                m.record(
+                    "patients",
+                    QueryClass::SqlFilter,
+                    "pg_a",
+                    Duration::from_millis(10),
+                );
+                m.record(
+                    "patients",
+                    QueryClass::SqlFilter,
+                    "pg_b",
+                    Duration::from_millis(1),
+                );
+            }
+        }
+        execute(&bd, "SELECT id FROM patients WHERE age > 60").unwrap();
+        let m = bd.monitor().lock();
+        let last = m.events().last().unwrap();
+        assert_eq!(last.engine, "pg_b", "probe side moved to the faster engine");
     }
 }

@@ -16,15 +16,24 @@
 //!   Myria multi-system islands (§2.1.1), and degenerate islands exposing
 //!   each engine's full native language;
 //! * [`scope`] — the SCOPE/CAST query language:
-//!   `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)`;
+//!   `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)` — and its
+//!   serial reference executor;
+//! * [`exec`] — the parallel scatter-gather executor: CAST terms become
+//!   independent per-engine sub-plans run concurrently on a scoped worker
+//!   pool, joined at the gather barrier;
 //! * [`monitor`] — the cross-system monitor that re-executes workload
 //!   samples on multiple engines, learns which engine excels at which
-//!   query class, and migrates objects as workloads shift;
+//!   query class, migrates objects as workloads shift, and serves as the
+//!   executor's cost model (per-engine/per-class latency histograms,
+//!   per-transport CAST statistics);
 //! * [`polystore`] — [`polystore::BigDawg`], the top-level façade tying it
 //!   all together.
 
+#![deny(missing_docs)]
+
 pub mod cast;
 pub mod catalog;
+pub mod exec;
 pub mod islands;
 pub mod monitor;
 pub mod polystore;
@@ -34,5 +43,6 @@ pub mod shims;
 
 pub use cast::Transport;
 pub use catalog::{Catalog, ObjectKind};
+pub use exec::Plan;
 pub use polystore::BigDawg;
 pub use shim::{Capability, EngineKind, Shim};

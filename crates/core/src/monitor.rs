@@ -14,8 +14,19 @@
 //! paper's "re-execute portions of a query workload on multiple engines"
 //! idea: it runs a canned representative query per class on every candidate
 //! engine and reports measured latencies.
+//!
+//! Beyond the passive record/recommend loop, the monitor is also the
+//! executor's **cost model** (§2.2: the monitor "collects performance data
+//! about the execution of queries … and uses it to choose among equivalent
+//! plans"). Every recorded event feeds a per-(engine, class)
+//! [`LatencyHistogram`]; every CAST feeds per-transport [`TransportStats`].
+//! [`Monitor::cheapest_engine`] and [`Monitor::preferred_transport`] turn
+//! that history into plan choices — which engine evaluates a sub-query when
+//! several could, and whether CAST ships rows over the file or binary
+//! transport. With no history (cold start) both fall back to sane defaults:
+//! the first capable engine and the binary transport.
 
-use crate::cast::Transport;
+use crate::cast::{CastReport, Transport};
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
 use bigdawg_common::{BigDawgError, Result};
@@ -25,12 +36,19 @@ use std::time::Duration;
 /// Classified query shapes the monitor distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryClass {
+    /// Selection/projection over rows.
     SqlFilter,
+    /// Whole-object aggregation (COUNT/SUM/AVG/…).
     Aggregate,
+    /// Multi-table joins.
     Join,
+    /// Matrix/vector math (matmul, transpose, dot products).
     LinearAlgebra,
+    /// Grouped or sliding-window aggregation.
     WindowedAggregate,
+    /// Keyword/boolean/phrase search.
     TextSearch,
+    /// Append-heavy live ingestion.
     StreamIngest,
 }
 
@@ -52,16 +70,22 @@ impl QueryClass {
 /// One recorded query execution.
 #[derive(Debug, Clone)]
 pub struct Event {
+    /// The data object the query touched.
     pub object: String,
+    /// The classified query shape.
     pub class: QueryClass,
+    /// The engine that executed it.
     pub engine: String,
+    /// Measured wall-clock execution time.
     pub latency: Duration,
 }
 
 /// Per-object workload summary.
 #[derive(Debug, Clone, Default)]
 pub struct ObjectStats {
+    /// Queries that touched the object inside the window.
     pub total_queries: usize,
+    /// Breakdown of those queries by class.
     pub by_class: HashMap<QueryClass, usize>,
 }
 
@@ -78,10 +102,112 @@ impl ObjectStats {
 /// A migration proposal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Recommendation {
+    /// The object to move.
     pub object: String,
+    /// Where it lives today.
     pub from_engine: String,
+    /// Where the dominant workload wants it.
     pub to_engine: String,
+    /// The query class that dominated the recent window.
     pub dominant_class: QueryClass,
+}
+
+/// Number of power-of-two microsecond buckets a [`LatencyHistogram`] keeps.
+/// Bucket `i` covers `[2^i, 2^(i+1))` µs; 40 buckets span sub-µs to ~12 days.
+const HIST_BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` microseconds, so the whole
+/// range from sub-microsecond shim calls to multi-second scans fits in a
+/// fixed 40-slot array with ~2× resolution — plenty for choosing between
+/// engines whose latencies differ by integer factors.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: Duration::ZERO,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Add one sample.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (micros.ilog2() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += latency;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean over all samples, if any were recorded.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            (self.sum.as_nanos() / self.count as u128) as u64,
+        ))
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// holding the q-th sample. `quantile(0.5)` is a median estimate,
+    /// `quantile(0.99)` a p99 estimate, both within the 2× bucket width.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Duration::from_micros(1u64 << (i + 1).min(63)));
+            }
+        }
+        None
+    }
+}
+
+/// Accumulated CAST measurements for one [`Transport`].
+///
+/// Transport cost scales with volume, so the comparable quantity is the
+/// per-row mean, not the per-cast mean — a 100-row CAST and a 100k-row CAST
+/// over the same transport otherwise look an order of magnitude apart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportStats {
+    /// Number of CASTs recorded.
+    pub casts: u64,
+    /// Total rows shipped across those CASTs.
+    pub rows: u64,
+    /// Total end-to-end time (encode + transfer + decode).
+    pub total: Duration,
+}
+
+impl TransportStats {
+    /// Mean shipping cost per row, if any rows were shipped.
+    pub fn per_row(&self) -> Option<Duration> {
+        if self.rows == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            (self.total.as_nanos() / self.rows as u128) as u64,
+        ))
+    }
 }
 
 /// The workload monitor. Keeps a sliding window of recent events so that
@@ -91,6 +217,10 @@ pub struct Recommendation {
 pub struct Monitor {
     events: VecDeque<Event>,
     window: usize,
+    /// Cost model: full-history latency distribution per (engine, class).
+    engine_class: HashMap<(String, QueryClass), LatencyHistogram>,
+    /// Cost model: accumulated CAST measurements per transport.
+    transports: HashMap<Transport, TransportStats>,
 }
 
 impl Default for Monitor {
@@ -100,11 +230,9 @@ impl Default for Monitor {
 }
 
 impl Monitor {
+    /// A monitor with the default 256-event sliding window.
     pub fn new() -> Self {
-        Monitor {
-            events: VecDeque::new(),
-            window: 256,
-        }
+        Self::with_window(256)
     }
 
     /// Use a custom sliding-window length.
@@ -112,10 +240,22 @@ impl Monitor {
         Monitor {
             events: VecDeque::new(),
             window: window.max(1),
+            engine_class: HashMap::new(),
+            transports: HashMap::new(),
         }
     }
 
+    /// Record one query execution. The event enters the sliding window
+    /// (driving migration recommendations) and its latency feeds the
+    /// per-(engine, class) histogram (driving plan choice). Histograms are
+    /// cumulative — unlike the window they never age out, because cost
+    /// estimates improve with every sample while placement must track the
+    /// *recent* workload.
     pub fn record(&mut self, object: &str, class: QueryClass, engine: &str, latency: Duration) {
+        self.engine_class
+            .entry((engine.to_string(), class))
+            .or_default()
+            .record(latency);
         self.events.push_back(Event {
             object: object.to_string(),
             class,
@@ -127,16 +267,78 @@ impl Monitor {
         }
     }
 
+    /// Record one CAST execution into the per-transport cost model.
+    pub fn record_cast(&mut self, report: &CastReport) {
+        let stats = self.transports.entry(report.transport).or_default();
+        stats.casts += 1;
+        stats.rows += report.rows as u64;
+        stats.total += report.total();
+    }
+
+    /// The recorded events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &Event> {
         self.events.iter()
     }
 
+    /// Number of events currently in the sliding window.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
+    /// True when no events have been recorded (or all have aged out).
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    // ---- cost model ---------------------------------------------------------
+
+    /// The latency histogram for one (engine, class) pair, if measured.
+    pub fn histogram(&self, engine: &str, class: QueryClass) -> Option<&LatencyHistogram> {
+        self.engine_class.get(&(engine.to_string(), class))
+    }
+
+    /// Estimated cost (mean measured latency) of running a `class` query on
+    /// `engine`. `None` when no history exists — the cold-start case.
+    pub fn engine_cost(&self, engine: &str, class: QueryClass) -> Option<Duration> {
+        self.histogram(engine, class)
+            .and_then(LatencyHistogram::mean)
+    }
+
+    /// Pick the cheapest engine for a `class` query among `candidates` by
+    /// measured history. Candidates without history are skipped; returns
+    /// `None` when *no* candidate has history, so callers fall back to a
+    /// default order (cold start must never pick blindly between measured
+    /// and unmeasured engines).
+    pub fn cheapest_engine(&self, candidates: &[String], class: QueryClass) -> Option<String> {
+        candidates
+            .iter()
+            .filter_map(|e| self.engine_cost(e, class).map(|c| (c, e)))
+            .min_by_key(|(cost, _)| *cost)
+            .map(|(_, e)| e.clone())
+    }
+
+    /// Accumulated CAST stats for one transport, if any were recorded.
+    pub fn transport_stats(&self, transport: Transport) -> Option<&TransportStats> {
+        self.transports.get(&transport)
+    }
+
+    /// Choose the CAST transport by measured history: the one with the lower
+    /// mean per-row shipping cost. Until *both* transports have history the
+    /// binary transport wins by default (it is the paper's optimized path,
+    /// and a one-sided measurement says nothing about the comparison).
+    pub fn preferred_transport(&self) -> Transport {
+        let file = self
+            .transports
+            .get(&Transport::File)
+            .and_then(TransportStats::per_row);
+        let binary = self
+            .transports
+            .get(&Transport::Binary)
+            .and_then(TransportStats::per_row);
+        match (file, binary) {
+            (Some(f), Some(b)) if f < b => Transport::File,
+            _ => Transport::Binary,
+        }
     }
 
     /// Workload summary for one object over the window.
@@ -238,7 +440,9 @@ impl Monitor {
 /// Measured probe result: latency of a representative query per engine.
 #[derive(Debug, Clone)]
 pub struct ProbeResult {
+    /// Engine the probe ran on.
     pub engine: String,
+    /// Measured latency of the representative query there.
     pub latency: Duration,
 }
 
@@ -448,5 +652,85 @@ mod tests {
         m.record("o", QueryClass::SqlFilter, "e", Duration::from_micros(30));
         assert_eq!(m.mean_latency("o", "e"), Some(Duration::from_micros(20)));
         assert_eq!(m.mean_latency("o", "other"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_mean_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for micros in [10u64, 12, 14, 900] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(Duration::from_micros(234)));
+        // 3 of 4 samples land in the [8,16) µs bucket → median ≤ 16 µs
+        assert_eq!(h.quantile(0.5), Some(Duration::from_micros(16)));
+        // the p99 bucket holds the 900 µs outlier: (512,1024] upper bound
+        assert_eq!(h.quantile(0.99), Some(Duration::from_micros(1024)));
+    }
+
+    #[test]
+    fn cost_model_cold_start_defaults() {
+        let m = Monitor::new();
+        assert_eq!(m.engine_cost("postgres", QueryClass::Join), None);
+        assert_eq!(
+            m.cheapest_engine(&["a".into(), "b".into()], QueryClass::Join),
+            None
+        );
+        // no CAST history → the optimized binary transport by default
+        assert_eq!(m.preferred_transport(), Transport::Binary);
+    }
+
+    #[test]
+    fn cheapest_engine_follows_measured_history() {
+        let mut m = Monitor::new();
+        for _ in 0..4 {
+            m.record("t", QueryClass::Join, "pg_slow", Duration::from_millis(9));
+            m.record("t", QueryClass::Join, "pg_fast", Duration::from_millis(2));
+        }
+        let candidates = vec!["pg_slow".to_string(), "pg_fast".to_string()];
+        assert_eq!(
+            m.cheapest_engine(&candidates, QueryClass::Join),
+            Some("pg_fast".to_string())
+        );
+        // a class with no history still reports cold start
+        assert_eq!(m.cheapest_engine(&candidates, QueryClass::TextSearch), None);
+    }
+
+    #[test]
+    fn preferred_transport_flips_with_history() {
+        let mut m = Monitor::new();
+        let report = |transport, rows, millis| CastReport {
+            rows,
+            wire_bytes: 0,
+            encode: Duration::from_millis(millis),
+            transfer: Duration::ZERO,
+            decode: Duration::ZERO,
+            transport,
+        };
+        // binary measured slower per row than file (e.g. tiny batches where
+        // thread spawn dominates) → the cost model switches to file
+        m.record_cast(&report(Transport::Binary, 100, 40));
+        m.record_cast(&report(Transport::File, 100, 4));
+        assert_eq!(m.preferred_transport(), Transport::File);
+        // heavier evidence the other way flips it back
+        m.record_cast(&report(Transport::File, 10, 400));
+        m.record_cast(&report(Transport::Binary, 100_000, 1));
+        assert_eq!(m.preferred_transport(), Transport::Binary);
+        let stats = m.transport_stats(Transport::File).unwrap();
+        assert_eq!(stats.casts, 2);
+        assert_eq!(stats.rows, 110);
+    }
+
+    #[test]
+    fn island_queries_feed_engine_histograms() {
+        let bd = federation();
+        bd.execute("RELATIONAL(SELECT COUNT(*) FROM wave_rel)")
+            .unwrap();
+        let m = bd.monitor().lock();
+        let h = m.histogram("postgres", QueryClass::Aggregate).unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(m.engine_cost("postgres", QueryClass::Aggregate).is_some());
     }
 }

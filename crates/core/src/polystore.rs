@@ -2,14 +2,22 @@
 
 use crate::cast::{ship, CastReport, Transport};
 use crate::catalog::{Catalog, ObjectKind};
+use crate::exec;
 use crate::islands;
-use crate::monitor::Monitor;
+use crate::monitor::{Monitor, QueryClass};
 use crate::scope;
 use crate::shim::{EngineKind, Shim};
 use bigdawg_common::{Batch, BigDawgError, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The federation is shared across scatter workers by reference, so it must
+/// stay `Send + Sync`; this fails to compile if a field ever regresses that.
+const _: fn() = || {
+    fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<BigDawg>();
+};
 
 /// The BigDAWG federation.
 ///
@@ -37,6 +45,7 @@ impl Default for BigDawg {
 }
 
 impl BigDawg {
+    /// An empty federation: no engines, an empty catalog, a fresh monitor.
     pub fn new() -> Self {
         BigDawg {
             engines: BTreeMap::new(),
@@ -61,12 +70,14 @@ impl BigDawg {
         self.engines.insert(name, Mutex::new(shim));
     }
 
+    /// The named engine's shim, behind its per-engine mutex.
     pub fn engine(&self, name: &str) -> Result<&Mutex<Box<dyn Shim>>> {
         self.engines
             .get(name)
             .ok_or_else(|| BigDawgError::NotFound(format!("engine `{name}`")))
     }
 
+    /// The registered engine names, sorted.
     pub fn engine_names(&self) -> Vec<&str> {
         self.engines.keys().map(String::as_str).collect()
     }
@@ -82,12 +93,45 @@ impl BigDawg {
             })
     }
 
+    /// All engines of the given kind, sorted by name (the registry is a
+    /// name-keyed map; registration order is not preserved).
+    pub fn engines_of_kind(&self, kind: EngineKind) -> Vec<String> {
+        self.engines
+            .iter()
+            .filter(|(_, e)| e.lock().kind() == kind)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Pick the engine that should evaluate a `class` query among the
+    /// engines of `kind` — the monitor-driven plan choice of §2.2. With one
+    /// candidate (or on cold start, when no candidate has measured history)
+    /// this falls back to the first engine of the kind by name, matching
+    /// [`BigDawg::engine_of_kind`]; with history, the engine with the
+    /// lowest mean measured latency for that query class wins.
+    pub fn choose_engine_of_kind(&self, kind: EngineKind, class: QueryClass) -> Result<String> {
+        let candidates = self.engines_of_kind(kind);
+        match candidates.len() {
+            0 => Err(BigDawgError::NotFound(format!(
+                "an engine of kind `{kind}` in the federation"
+            ))),
+            1 => Ok(candidates.into_iter().next().expect("one candidate")),
+            _ => Ok(self
+                .monitor
+                .lock()
+                .cheapest_engine(&candidates, class)
+                .unwrap_or_else(|| candidates.into_iter().next().expect("candidates checked"))),
+        }
+    }
+
+    /// The engine kind of a registered engine.
     pub fn kind_of(&self, engine: &str) -> Result<EngineKind> {
         Ok(self.engine(engine)?.lock().kind())
     }
 
     // ---- catalog -----------------------------------------------------------
 
+    /// The federation catalog (object → engine placement).
     pub fn catalog(&self) -> &RwLock<Catalog> {
         &self.catalog
     }
@@ -151,7 +195,9 @@ impl BigDawg {
     }
 
     /// Materialize an intermediate result batch on an engine (used by
-    /// SCOPE for nested CAST subqueries).
+    /// SCOPE for nested CAST subqueries). Untyped result columns are
+    /// narrowed to their value types first ([`Batch::narrow_types`]) so
+    /// strictly typed target engines accept them.
     pub fn materialize(
         &self,
         batch: Batch,
@@ -159,6 +205,7 @@ impl BigDawg {
         name: &str,
         transport: Transport,
     ) -> Result<CastReport> {
+        let batch = batch.narrow_types();
         let (shipped, report) = ship(&batch, transport)?;
         self.engine(to_engine)?.lock().put_table(name, shipped)?;
         self.catalog
@@ -201,8 +248,26 @@ impl BigDawg {
     // ---- queries ------------------------------------------------------------
 
     /// Execute a SCOPE/CAST query: `ISLAND( body with optional CAST(...) )`.
+    ///
+    /// CAST terms are materialized concurrently by the scatter-gather
+    /// executor ([`crate::exec`]); use [`BigDawg::execute_serial`] for the
+    /// one-at-a-time reference schedule.
     pub fn execute(&self, query: &str) -> Result<Batch> {
+        exec::execute(self, query)
+    }
+
+    /// Execute a SCOPE/CAST query materializing CAST terms serially — the
+    /// reference schedule the federation benchmark compares against.
+    pub fn execute_serial(&self, query: &str) -> Result<Batch> {
         scope::execute(self, query)
+    }
+
+    /// Decompose a SCOPE/CAST query into its scatter-gather [`exec::Plan`]
+    /// without running it — `EXPLAIN` for the federation. The plan's
+    /// `Display` impl renders the DAG.
+    pub fn explain(&self, query: &str) -> Result<exec::Plan> {
+        let (island, body) = scope::parse_scope(query)?;
+        exec::plan(self, &island, &body)
     }
 
     /// Execute a query on a named island directly (already-rewritten body).
@@ -217,8 +282,15 @@ impl BigDawg {
 
     // ---- monitor --------------------------------------------------------------
 
+    /// The federation's monitor (workload recorder + cost model).
     pub fn monitor(&self) -> &Mutex<Monitor> {
         &self.monitor
+    }
+
+    /// The CAST transport the monitor's cost model currently prefers
+    /// (binary until measured history says otherwise).
+    pub fn preferred_transport(&self) -> Transport {
+        self.monitor.lock().preferred_transport()
     }
 }
 

@@ -12,24 +12,25 @@
 //! result materialized on the target engine). The CAST term is replaced by
 //! the materialized temporary's name, and the rewritten body is handed to
 //! the island. Temporaries are dropped afterwards.
+//!
+//! [`execute`] here materializes CAST terms **serially**, one after the
+//! other — the reference schedule, kept as the baseline the federation
+//! benchmark compares against. Both schedules run the same
+//! [`crate::exec::Plan`] (one parser, one cleanup path); only the leaf
+//! schedule differs. [`BigDawg::execute`] routes through the parallel one.
 
-use crate::cast::Transport;
+use crate::exec;
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
 use bigdawg_common::{parse_err, Batch, BigDawgError, Result};
 
-/// Execute a full SCOPE query: `ISLAND( body )`.
+/// Execute a full SCOPE query `ISLAND( body )`, materializing CAST terms
+/// serially (see [`crate::exec::execute`] for the parallel schedule of the
+/// same plan).
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
     let (island, body) = parse_scope(query)?;
-    let mut temps = Vec::new();
-    let result = (|| {
-        let rewritten = rewrite_casts(bd, &body, &mut temps)?;
-        bd.island_execute(&island, &rewritten)
-    })();
-    for tmp in &temps {
-        let _ = bd.drop_object(tmp);
-    }
-    result
+    let plan = exec::plan(bd, &island, &body)?;
+    exec::run_serial(bd, &plan)
 }
 
 /// Split `ISLAND( body )` into the island name and body.
@@ -52,7 +53,7 @@ pub fn parse_scope(query: &str) -> Result<(String, String)> {
 }
 
 /// Given text starting with `(`, return the content of the balanced group.
-fn balanced(text: &str) -> Result<&str> {
+pub(crate) fn balanced(text: &str) -> Result<&str> {
     debug_assert!(text.starts_with('('));
     let mut depth = 0i32;
     let mut in_str = false;
@@ -72,52 +73,9 @@ fn balanced(text: &str) -> Result<&str> {
     Err(parse_err!("unbalanced parentheses"))
 }
 
-/// Replace every `CAST(inner, target)` in `body` with a temp object name,
-/// materializing the data on the target engine.
-fn rewrite_casts(bd: &BigDawg, body: &str, temps: &mut Vec<String>) -> Result<String> {
-    let mut out = String::with_capacity(body.len());
-    let mut rest = body;
-    loop {
-        match find_cast(rest) {
-            None => {
-                out.push_str(rest);
-                return Ok(out);
-            }
-            Some(start) => {
-                out.push_str(&rest[..start]);
-                let after_kw = &rest[start + 4..]; // past "CAST"
-                let after_kw_trim = after_kw.trim_start();
-                let inner_full = balanced(after_kw_trim)?;
-                let consumed =
-                    start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
-                let (inner, target) = split_cast_args(inner_full)?;
-                let engine = resolve_target(bd, &target)?;
-                let tmp = bd.temp_name();
-                if let Some((island, _)) = try_scope(&inner) {
-                    // nested scope query: run it, materialize the result
-                    let _ = island;
-                    let batch = execute(bd, &inner)?;
-                    bd.materialize(batch, &engine, &tmp, Transport::Binary)?;
-                } else {
-                    let object = inner.trim();
-                    if bd.locate(object).is_err() {
-                        return Err(BigDawgError::NotFound(format!(
-                            "CAST source `{object}` (not an object or nested scope query)"
-                        )));
-                    }
-                    bd.cast_object(object, &engine, &tmp, Transport::Binary)?;
-                }
-                temps.push(tmp.clone());
-                out.push_str(&tmp);
-                rest = &rest[consumed..];
-            }
-        }
-    }
-}
-
 /// Find the next `CAST(` keyword (case-insensitive, word-bounded) outside
 /// string literals. Returns the byte offset of `C`.
-fn find_cast(text: &str) -> Option<usize> {
+pub(crate) fn find_cast(text: &str) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut in_str = false;
     let mut i = 0;
@@ -142,7 +100,7 @@ fn find_cast(text: &str) -> Option<usize> {
 }
 
 /// Split `inner, target` at the last top-level comma.
-fn split_cast_args(text: &str) -> Result<(String, String)> {
+pub(crate) fn split_cast_args(text: &str) -> Result<(String, String)> {
     let mut depth = 0i32;
     let mut in_str = false;
     let mut last_comma = None;
@@ -164,7 +122,7 @@ fn split_cast_args(text: &str) -> Result<(String, String)> {
 }
 
 /// Is `text` of the form `IDENT( ... )`? Returns (ident, body).
-fn try_scope(text: &str) -> Option<(String, String)> {
+pub(crate) fn try_scope(text: &str) -> Option<(String, String)> {
     let t = text.trim();
     let open = t.find('(')?;
     let ident = t[..open].trim();
@@ -181,7 +139,7 @@ fn try_scope(text: &str) -> Option<(String, String)> {
 
 /// Resolve a CAST target: a model name (`relation`, `array`, `text`,
 /// `tile`, `dataset`, `stream`) or an explicit engine name.
-fn resolve_target(bd: &BigDawg, target: &str) -> Result<String> {
+pub(crate) fn resolve_target(bd: &BigDawg, target: &str) -> Result<String> {
     let t = target.trim().to_ascii_lowercase();
     let kind = match t.as_str() {
         "relation" | "relational" | "table" => Some(EngineKind::Relational),

@@ -11,11 +11,17 @@ use std::any::Any;
 /// Which family an engine belongs to (Figure 1's boxes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
+    /// Row-store SQL engines (Postgres).
     Relational,
+    /// N-dimensional array engines (SciDB).
     Array,
+    /// Stream-processing engines (S-Store).
     Streaming,
+    /// Sorted key-value stores with text indexing (Accumulo).
     KeyValue,
+    /// Fragment/tile array storage (TileDB).
     TileStore,
+    /// Compiled-UDF compute engines (Tupleware).
     Compute,
 }
 
@@ -38,13 +44,21 @@ impl std::fmt::Display for EngineKind {
 /// monitor uses capabilities to know where an object may migrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Capability {
+    /// Row selection/projection.
     SqlFilter,
+    /// Whole-object aggregation.
     Aggregate,
+    /// Multi-object joins.
     Join,
+    /// Matrix/vector math.
     LinearAlgebra,
+    /// Grouped or sliding-window aggregation.
     WindowedAggregate,
+    /// Keyword/boolean/phrase search.
     TextSearch,
+    /// Live append-heavy ingestion.
     StreamIngest,
+    /// ACID transactional updates.
     Transactions,
 }
 
@@ -53,8 +67,10 @@ pub trait Shim: Send {
     /// Unique engine name in the federation (e.g. `"postgres"`).
     fn engine_name(&self) -> &str;
 
+    /// Which engine family this shim connects to.
     fn kind(&self) -> EngineKind;
 
+    /// The coarse capabilities the engine offers.
     fn capabilities(&self) -> Vec<Capability>;
 
     /// Names of the data objects this engine currently holds.
@@ -77,5 +93,6 @@ pub trait Shim: Send {
 
     /// Downcast support for islands that need engine-specific fast paths.
     fn as_any(&self) -> &dyn Any;
+    /// Mutable counterpart of [`Shim::as_any`].
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }

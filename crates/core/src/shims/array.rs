@@ -23,6 +23,7 @@ pub struct ArrayShim {
 }
 
 impl ArrayShim {
+    /// A shim for an array engine named `name`, holding no arrays yet.
     pub fn new(name: impl Into<String>) -> Self {
         ArrayShim {
             name: name.into(),
@@ -30,10 +31,12 @@ impl ArrayShim {
         }
     }
 
+    /// Store (or replace) an array under `name`.
     pub fn store(&mut self, name: impl Into<String>, array: Array) {
         self.arrays.insert(name.into(), array);
     }
 
+    /// The stored array named `name`.
     pub fn array(&self, name: &str) -> Result<&Array> {
         self.arrays
             .get(name)

@@ -30,6 +30,7 @@ pub struct KvShim {
 }
 
 impl KvShim {
+    /// A shim for a KV engine named `name`, with an empty `notes` corpus.
     pub fn new(name: impl Into<String>) -> Self {
         KvShim {
             name: name.into(),
@@ -39,6 +40,7 @@ impl KvShim {
         }
     }
 
+    /// The underlying inverted text index.
     pub fn index(&self) -> &TextIndex {
         &self.index
     }

@@ -8,10 +8,14 @@
 //! | [`kv::KvShim`] | `bigdawg-kv` | Apache Accumulo |
 //! | [`tile::TileShim`] | `bigdawg-tiledb` | TileDB |
 //! | [`tupleware::TupleShim`] | `bigdawg-tupleware` | Tupleware |
+//!
+//! [`latency::LatencyShim`] wraps any of the above to emulate the network
+//! round-trips of the paper's distributed deployment.
 
 pub mod afl;
 pub mod array;
 pub mod kv;
+pub mod latency;
 pub mod relational;
 pub mod stream;
 pub mod tile;
@@ -19,6 +23,7 @@ pub mod tupleware;
 
 pub use array::ArrayShim;
 pub use kv::KvShim;
+pub use latency::LatencyShim;
 pub use relational::RelationalShim;
 pub use stream::StreamShim;
 pub use tile::TileShim;

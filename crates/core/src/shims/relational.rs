@@ -14,6 +14,7 @@ pub struct RelationalShim {
 }
 
 impl RelationalShim {
+    /// A shim for a relational engine named `name`, with an empty database.
     pub fn new(name: impl Into<String>) -> Self {
         RelationalShim {
             name: name.into(),
@@ -26,6 +27,7 @@ impl RelationalShim {
         &self.db
     }
 
+    /// Mutable counterpart of [`RelationalShim::db`].
     pub fn db_mut(&mut self) -> &mut Database {
         &mut self.db
     }

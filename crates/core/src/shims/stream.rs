@@ -28,6 +28,7 @@ pub struct StreamShim {
 }
 
 impl StreamShim {
+    /// Wrap a configured stream engine under the federation name `name`.
     pub fn new(name: impl Into<String>, engine: Engine) -> Self {
         StreamShim {
             name: name.into(),
@@ -35,10 +36,12 @@ impl StreamShim {
         }
     }
 
+    /// Direct access to the stream engine (windows, procs, ingestion).
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
 
+    /// Mutable counterpart of [`StreamShim::engine`].
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine
     }

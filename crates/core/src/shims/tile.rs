@@ -28,6 +28,7 @@ pub struct TileShim {
 }
 
 impl TileShim {
+    /// A shim for a tile-store engine named `name`, holding no arrays yet.
     pub fn new(name: impl Into<String>) -> Self {
         TileShim {
             name: name.into(),
@@ -35,10 +36,12 @@ impl TileShim {
         }
     }
 
+    /// Store (or replace) a tile array under `name`.
     pub fn store(&mut self, name: impl Into<String>, db: TileDb) {
         self.arrays.insert(name.into(), db);
     }
 
+    /// The stored tile array named `name`.
     pub fn array(&self, name: &str) -> Result<&TileDb> {
         self.arrays
             .get(name)

@@ -23,6 +23,7 @@ pub struct TupleShim {
 }
 
 impl TupleShim {
+    /// A shim for a compute engine named `name`, holding no datasets yet.
     pub fn new(name: impl Into<String>) -> Self {
         TupleShim {
             name: name.into(),
@@ -30,6 +31,7 @@ impl TupleShim {
         }
     }
 
+    /// Store a row-major dense dataset of the given arity under `name`.
     pub fn store(&mut self, name: impl Into<String>, arity: usize, data: Vec<f64>) -> Result<()> {
         if arity == 0 || data.len() % arity != 0 {
             return Err(BigDawgError::SchemaMismatch(format!(
@@ -41,6 +43,7 @@ impl TupleShim {
         Ok(())
     }
 
+    /// The stored dataset named `name`, as `(arity, row-major values)`.
     pub fn dataset(&self, name: &str) -> Result<(usize, &[f64])> {
         self.datasets
             .get(name)

@@ -1,0 +1,109 @@
+//! Concurrency tests for the scatter-gather executor: `BigDawg::execute`
+//! takes `&self`, so many client threads may drive the federation at once.
+//! Engines stay behind their per-engine mutexes, but unrelated sub-queries
+//! must not serialize — and a failing query on one thread must not poison
+//! any engine for the others.
+
+use bigdawg_array::Array;
+use bigdawg_common::Value;
+use bigdawg_core::shims::{ArrayShim, KvShim, RelationalShim};
+use bigdawg_core::BigDawg;
+
+fn federation() -> BigDawg {
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("postgres");
+    pg.db_mut()
+        .execute("CREATE TABLE patients (id INT, age INT)")
+        .unwrap();
+    pg.db_mut()
+        .execute("INSERT INTO patients VALUES (1, 70), (2, 50), (3, 81), (4, 64)")
+        .unwrap();
+    bd.add_engine(Box::new(pg));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        Array::from_vector(
+            "wave",
+            "v",
+            &(0..512).map(|i| (i % 13) as f64).collect::<Vec<_>>(),
+            64,
+        ),
+    );
+    bd.add_engine(Box::new(scidb));
+    let mut kv = KvShim::new("accumulo");
+    kv.index_document(1, "p1", 0, "very sick");
+    kv.index_document(2, "p2", 5, "recovering");
+    bd.add_engine(Box::new(kv));
+    bd
+}
+
+#[test]
+fn eight_threads_hammer_execute() {
+    let bd = federation();
+    // queries mix islands, engines, and cross-engine CASTs; every one has a
+    // stable expected answer, so racing threads must never observe each
+    // other's temporaries or partial state
+    let queries: &[(&str, Value)] = &[
+        (
+            "RELATIONAL(SELECT COUNT(*) AS n FROM patients WHERE age > 60)",
+            Value::Int(3),
+        ),
+        ("ARRAY(aggregate(wave, max, v))", Value::Float(12.0)),
+        (
+            "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v > 10)",
+            Value::Int(78),
+        ),
+        ("ARRAY(aggregate(CAST(patients, scidb), avg, age))", {
+            Value::Float(66.25)
+        }),
+        ("ACCUMULO(count())", Value::Int(2)),
+    ];
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let bd = &bd;
+            s.spawn(move || {
+                for i in 0..20 {
+                    let (q, expected) = &queries[(t + i) % queries.len()];
+                    let b = bd.execute(q).unwrap_or_else(|e| panic!("`{q}`: {e}"));
+                    assert_eq!(&b.rows()[0][0], expected, "query `{q}` on thread {t}");
+                }
+            });
+        }
+    });
+    // all temporaries cleaned: only the three base objects remain
+    assert_eq!(bd.catalog().read().len(), 3);
+}
+
+#[test]
+fn failing_thread_does_not_poison_the_federation() {
+    let bd = federation();
+    std::thread::scope(|s| {
+        // half the threads run a query that always fails mid-scatter …
+        for _ in 0..4 {
+            let bd = &bd;
+            s.spawn(move || {
+                for _ in 0..10 {
+                    assert!(bd
+                        .execute(
+                            "RELATIONAL(SELECT * FROM CAST(wave, relation) w \
+                             JOIN CAST(ghost, relation) g ON w.i = g.i)"
+                        )
+                        .is_err());
+                }
+            });
+        }
+        // … while the other half keep getting correct answers
+        for _ in 0..4 {
+            let bd = &bd;
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let b = bd
+                        .execute("RELATIONAL(SELECT COUNT(*) AS n FROM patients)")
+                        .unwrap();
+                    assert_eq!(b.rows()[0][0], Value::Int(4));
+                }
+            });
+        }
+    });
+    assert_eq!(bd.catalog().read().len(), 3, "no leaked temporaries");
+}

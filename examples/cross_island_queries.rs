@@ -48,6 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("{b}");
 
+    println!("— EXPLAIN: a multi-CAST query becomes a scatter-gather DAG");
+    let federated = "RELATIONAL(\
+        SELECT w.avg_v AS wave_avg, n.docs AS notes \
+        FROM CAST(SCIDB(aggregate(wave_native, avg, v)), relation) w \
+        JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1)";
+    print!("{}", bd.explain(federated)?);
+    let b = bd.execute(federated)?;
+    println!("{b}");
+
     println!("— Degenerate islands: native languages pass through untouched");
     let b = bd.execute("SCIDB(aggregate(wave_native, max, v))")?;
     println!("SCIDB max: {}", b.rows()[0][0]);

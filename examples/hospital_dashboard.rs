@@ -70,5 +70,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          patient_id, patient_id) |> agg(drug; count) )",
     )?;
     println!("{b}");
+
+    // --- Scatter-gather: one dashboard row from four engines at once ------
+    println!("## Scatter-gather — the dashboard header row, gathered from 4 engines");
+    let header = "RELATIONAL(\
+        SELECT w.avg_v AS wave_avg, t.sum AS tile_sum, u.result AS over70, n.docs AS notes \
+        FROM CAST(SCIDB(aggregate(waveform_0, avg, v)), relation) w \
+        JOIN CAST(TILEDB(sum(waveform_tiles)), relation) t ON 1 = 1 \
+        JOIN CAST(TUPLEWARE(run compiled count(c0) from age_stay where c0 >= 70), relation) u \
+          ON 1 = 1 \
+        JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1)";
+    let t0 = std::time::Instant::now();
+    let serial = bd.execute_serial(header)?;
+    let serial_t = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let parallel = bd.execute(header)?;
+    let parallel_t = t0.elapsed();
+    assert_eq!(serial.rows(), parallel.rows());
+    println!("{parallel}");
+    println!(
+        "serial CAST materialization: {serial_t:?}; parallel scatter-gather: {parallel_t:?} \
+         (in-process engines — add engine_latency to the DemoConfig to see the remote gap)"
+    );
     Ok(())
 }

@@ -28,9 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (1, 'alice', 71), (2, 'bob', 54), (3, 'carol', 82))",
     )?;
 
-    // 3. The paper's SCOPE/CAST query: SQL over the array.
-    let result = bd.execute("RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)")?;
-    println!("RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5):");
+    // 3. The paper's SCOPE/CAST query: SQL over the array. `explain` shows
+    //    the scatter-gather plan; `execute` runs it (CAST leaves scatter
+    //    concurrently, the rewritten body gathers on the island).
+    let query = "RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)";
+    println!("plan for {query}:");
+    print!("{}", bd.explain(query)?);
+    let result = bd.execute(query)?;
     println!("{result}");
 
     // 4. The reverse direction: array aggregation over the SQL table —

@@ -10,6 +10,7 @@
 use bigdawg::analytics::fft::dominant_frequency;
 use bigdawg::analytics::AnomalyDetector;
 use bigdawg::common::{DataType, Schema, Value};
+use bigdawg::core::monitor::LatencyHistogram;
 use bigdawg::mimic::{plant_anomalies, WaveformGen};
 use bigdawg::stream::ingest::Frame;
 use bigdawg::stream::{Engine, IngestQueue, WindowSpec};
@@ -69,15 +70,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     engine.on_window("vitals", "w", "compare_reference")?;
 
-    // Bedside device feeds frames through the ingestion queue.
+    // Bedside device feeds frames through the ingestion queue. Batch drain
+    // latencies go into the monitor's histogram type so the tail is visible
+    // the way the cost model sees it.
     let queue = IngestQueue::new();
+    let mut drain_hist = LatencyHistogram::default();
     for i in 0..samples {
         queue.push(Frame {
             stream: "vitals".into(),
             row: vec![Value::Timestamp(i as i64), Value::Float(wave.sample(i))],
         });
         if i % 1000 == 999 {
+            let t0 = std::time::Instant::now();
             queue.drain_into(&mut engine)?;
+            drain_hist.record(t0.elapsed());
         }
     }
     queue.drain_into(&mut engine)?;
@@ -87,6 +93,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for row in alerts.rows().iter().take(6) {
         println!("  t={} score={}", row[0], row[1]);
     }
+    println!(
+        "1000-sample drain latency over {} batches: mean {:?}, p50 ≤ {:?}, p99 ≤ {:?}",
+        drain_hist.count(),
+        drain_hist.mean().unwrap_or_default(),
+        drain_hist.quantile(0.5).unwrap_or_default(),
+        drain_hist.quantile(0.99).unwrap_or_default(),
+    );
 
     // §3: data ages out of S-Store into the array engine for history.
     let aged = engine.drain_aged("vitals", samples as i64 - 500)?;

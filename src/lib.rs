@@ -4,7 +4,7 @@
 //! examples and downstream users can depend on a single crate:
 //!
 //! * [`core`] — the polystore itself: islands, SCOPE/CAST, catalog, monitor.
-//! * Engines: [`relational`] (Postgres stand-in), [`array`] (SciDB),
+//! * Engines: [`relational`] (Postgres stand-in), [`array`](mod@array) (SciDB),
 //!   [`stream`] (S-Store), [`kv`] (Accumulo), [`tiledb`], [`tupleware`].
 //! * Islands with their own data models: [`d4m`], [`myria`].
 //! * Services: [`seedb`], [`searchlight`], [`scalar`], [`analytics`].
@@ -12,6 +12,12 @@
 //!
 //! See `DESIGN.md` for the mapping from paper sections to modules and
 //! `EXPERIMENTS.md` for the reproduced claims.
+
+// Compile README.md's code blocks as doc-tests so the quickstart snippet
+// can never drift from the API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 pub use bigdawg_analytics as analytics;
 pub use bigdawg_array as array;

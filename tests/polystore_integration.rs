@@ -1,6 +1,7 @@
 //! End-to-end integration tests over the full MIMIC demo federation: every
-//! island, CAST in both transports, the §3 stream → array hand-off, and
-//! monitor-driven migration, all in one process.
+//! island, CAST in both transports, parallel scatter-gather vs the serial
+//! schedule, the §3 stream → array hand-off, and monitor-driven migration,
+//! all in one process.
 
 use bigdawg::common::Value;
 use bigdawg::core::shims::StreamShim;
@@ -60,6 +61,47 @@ fn paper_scope_cast_query_end_to_end() {
     // cleanup of temporaries happened
     assert!(d
         .bd
+        .catalog()
+        .read()
+        .entries()
+        .all(|(name, _)| !name.starts_with("__cast")));
+}
+
+#[test]
+fn scatter_gather_federates_five_engines() {
+    let d = demo();
+    let bd = &d.bd;
+    // four pushed-down aggregates on four engines, gathered relationally —
+    // the E11 federation query
+    let q = "RELATIONAL(\
+        SELECT w.avg_v AS wave_avg, t.sum AS tile_sum, u.result AS stay_sum, n.docs AS note_docs \
+        FROM CAST(SCIDB(aggregate(waveform_0, avg, v)), relation) w \
+        JOIN CAST(TILEDB(sum(waveform_tiles)), relation) t ON 1 = 1 \
+        JOIN CAST(TUPLEWARE(run compiled sum(c1) from age_stay), relation) u ON 1 = 1 \
+        JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1)";
+    // the plan scatters four leaves to four different engines
+    let plan = bd.explain(q).unwrap();
+    assert_eq!(plan.leaves.len(), 4);
+    let engines: std::collections::BTreeSet<&str> = plan
+        .leaves
+        .iter()
+        .map(|l| l.target_engine.as_str())
+        .collect();
+    assert_eq!(
+        engines,
+        ["postgres"].into_iter().collect(),
+        "gather on postgres"
+    );
+    // parallel and serial schedules agree, and the row is fully populated
+    let parallel = bd.execute(q).unwrap();
+    let serial = bd.execute_serial(q).unwrap();
+    assert_eq!(parallel.rows(), serial.rows());
+    assert_eq!(parallel.len(), 1);
+    assert!(parallel.rows()[0].iter().all(|v| !v.is_null()));
+    // docs count is the Accumulo corpus size
+    assert!(parallel.rows()[0][3].as_i64().unwrap() > 100);
+    // no leaked temporaries
+    assert!(bd
         .catalog()
         .read()
         .entries()

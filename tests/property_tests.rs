@@ -156,4 +156,45 @@ proptest! {
         let like = bigdawg::relational::expr::like_match(&text, &format!("{needle}%"));
         prop_assert_eq!(like, text.starts_with(&needle));
     }
+
+    /// Schema narrowing never changes data, and every narrowed column's
+    /// type admits all of its values (so strictly typed engines accept the
+    /// batch after CAST materialization).
+    #[test]
+    fn narrow_types_is_sound(batch in arb_batch()) {
+        let narrowed = batch.clone().narrow_types();
+        prop_assert_eq!(narrowed.rows(), batch.rows());
+        for (i, f) in narrowed.schema().fields().iter().enumerate() {
+            for row in narrowed.rows() {
+                prop_assert!(
+                    f.data_type.unify(row[i].data_type()).is_some(),
+                    "column {} narrowed to {} but holds {}",
+                    f.name, f.data_type, row[i].data_type()
+                );
+            }
+        }
+    }
+
+    /// The parallel scatter-gather executor returns exactly what the serial
+    /// reference schedule returns, for any filter threshold over a
+    /// cross-engine CAST query.
+    #[test]
+    fn parallel_executor_matches_serial(
+        values in proptest::collection::vec(-100f64..100.0, 1..60),
+        threshold in -100f64..100.0,
+    ) {
+        let mut bd = bigdawg::core::BigDawg::new();
+        bd.add_engine(Box::new(bigdawg::core::shims::RelationalShim::new("postgres")));
+        let mut scidb = bigdawg::core::shims::ArrayShim::new("scidb");
+        scidb.store("w", bigdawg::array::Array::from_vector("w", "v", &values, 16));
+        bd.add_engine(Box::new(scidb));
+        let q = format!(
+            "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(w, relation) WHERE v > {threshold})"
+        );
+        let parallel = bd.execute(&q).expect("parallel run");
+        let serial = bd.execute_serial(&q).expect("serial run");
+        prop_assert_eq!(parallel.rows(), serial.rows());
+        let expected = values.iter().filter(|v| **v > threshold).count() as i64;
+        prop_assert_eq!(&parallel.rows()[0][0], &Value::Int(expected));
+    }
 }

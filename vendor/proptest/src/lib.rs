@@ -449,7 +449,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Inclusive element-count bounds for [`vec`].
+    /// Inclusive element-count bounds for [`vec`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         pub lo: usize,
