@@ -1,0 +1,41 @@
+//! E12 bench — the hot-object bundle on the 5-engine federation behind an
+//! emulated 2 ms wire: cold (every query re-ships four objects) vs
+//! converged (the migrator placed all four on the coordinator, CASTs
+//! elided). The gap is the wire the migrator erased.
+
+use bigdawg_bench::experiments::migration_convergence::{BUNDLE, HOT_OBJECTS};
+use bigdawg_bench::setup::hot_object_federation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_migration");
+    g.sample_size(10);
+
+    let cold = hot_object_federation(Some(Duration::from_millis(2))).expect("federation builds");
+    g.bench_function("bundle_cold_wire_2ms", |b| {
+        b.iter(|| {
+            for q in BUNDLE {
+                cold.execute(q).unwrap();
+            }
+        })
+    });
+
+    let converged =
+        hot_object_federation(Some(Duration::from_millis(2))).expect("federation builds");
+    for object in HOT_OBJECTS {
+        converged.replicate(object, "postgres").expect("replicate");
+    }
+    g.bench_function("bundle_converged_wire_2ms", |b| {
+        b.iter(|| {
+            for q in BUNDLE {
+                converged.execute(q).unwrap();
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

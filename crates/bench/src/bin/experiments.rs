@@ -90,4 +90,9 @@ fn main() {
         let r = federation::run(&config, wire).expect("E11 runs");
         println!("{}", federation::table(&r));
     }
+    if want("e12") {
+        let wire = std::time::Duration::from_millis(if quick { 2 } else { 5 });
+        let r = migration_convergence::run(wire, if quick { 5 } else { 8 }).expect("E12 runs");
+        println!("{}", migration_convergence::table(&r));
+    }
 }

@@ -1,0 +1,185 @@
+//! E12 — the migrator erases the wire: a repeated 5-engine hot-object
+//! workload behind an emulated network round-trip converges to near
+//! in-process latency once auto-migration kicks in.
+//!
+//! The workload is a bundle of four gather-side SQL queries, each casting
+//! one hot object from a different remote engine (SciDB ×2, TileDB,
+//! Tupleware) to the local relational coordinator. Cold, every iteration
+//! re-ships the same four objects over the same `wire`-millisecond wire.
+//! With auto-migration enabled, the monitor's demand counters cross the
+//! policy threshold after a few iterations, the migrator replicates the
+//! four objects onto the coordinator, the planner starts resolving the
+//! CAST terms to the co-located copies, and the round-trips disappear —
+//! the converged iteration latency approaches the in-process federation's.
+//!
+//! Correctness is asserted *while* migration is active: every iteration
+//! checks the parallel scatter-gather answers against the serial reference
+//! schedule and against the cold baseline.
+
+use crate::experiments::{fmt_dur, fmt_ratio, Table};
+use crate::setup::hot_object_federation;
+use bigdawg_common::{BigDawgError, Result};
+use bigdawg_core::{BigDawg, MigrationPolicy};
+use std::time::{Duration, Instant};
+
+/// The four hot-object queries: one CAST per remote engine, gathered on
+/// the local coordinator.
+pub const BUNDLE: [&str; 4] = [
+    "RELATIONAL(SELECT SUM(v) AS s FROM CAST(wave_a, relation))",
+    "RELATIONAL(SELECT SUM(v) AS s FROM CAST(wave_b, relation))",
+    "RELATIONAL(SELECT SUM(v) AS s FROM CAST(tiles, relation))",
+    "RELATIONAL(SELECT SUM(c1) AS s FROM CAST(dense, relation))",
+];
+
+/// The objects the bundle keeps shipping.
+pub const HOT_OBJECTS: [&str; 4] = ["wave_a", "wave_b", "tiles", "dense"];
+
+/// One timed iteration of the workload.
+#[derive(Debug, Clone)]
+pub struct IterationResult {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Wall-clock of the 4-query bundle (parallel schedule).
+    pub elapsed: Duration,
+    /// How many of the four hot objects were co-located with the
+    /// coordinator when the iteration started.
+    pub co_located: usize,
+}
+
+/// The full E12 measurement.
+#[derive(Debug, Clone)]
+pub struct ConvergenceResult {
+    /// Emulated per-request wire latency on the remote engines.
+    pub wire: Duration,
+    /// Per-iteration measurements, in order.
+    pub iterations: Vec<IterationResult>,
+    /// Bundle latency on an in-process federation (no wire at all) — the
+    /// floor the converged workload should approach.
+    pub in_process: Duration,
+}
+
+impl ConvergenceResult {
+    /// First (cold) iteration latency.
+    pub fn first(&self) -> Duration {
+        self.iterations
+            .first()
+            .map(|i| i.elapsed)
+            .unwrap_or_default()
+    }
+
+    /// Last (converged) iteration latency.
+    pub fn converged(&self) -> Duration {
+        self.iterations
+            .last()
+            .map(|i| i.elapsed)
+            .unwrap_or_default()
+    }
+}
+
+fn run_bundle(bd: &BigDawg) -> Result<Vec<bigdawg_common::Batch>> {
+    BUNDLE.iter().map(|q| bd.execute(q)).collect()
+}
+
+/// Run E12: `iterations` repetitions of the hot-object bundle behind
+/// `wire` of emulated engine latency, auto-migration on (replicate after 3
+/// demand ships). Each iteration's answers are checked against the cold
+/// baseline and against the serial schedule before its time counts.
+pub fn run(wire: Duration, iterations: usize) -> Result<ConvergenceResult> {
+    // the floor: the same bundle on an in-process federation
+    let local = hot_object_federation(None)?;
+    let t0 = Instant::now();
+    let baseline = run_bundle(&local)?;
+    let in_process = t0.elapsed();
+
+    let bd = hot_object_federation(Some(wire))?;
+    bd.set_auto_migrate(Some(MigrationPolicy::with_min_ships(3)));
+    let mut out = Vec::new();
+    for iteration in 1..=iterations {
+        let co_located = HOT_OBJECTS
+            .iter()
+            .filter(|o| bd.located_on(o, "postgres"))
+            .count();
+        let t0 = Instant::now();
+        let answers = run_bundle(&bd)?;
+        let elapsed = t0.elapsed();
+        // parity while migration is active: wire vs in-process, and
+        // parallel vs the serial reference schedule
+        for ((q, got), want) in BUNDLE.iter().zip(&answers).zip(&baseline) {
+            if got.rows() != want.rows() {
+                return Err(BigDawgError::Internal(format!(
+                    "E12 answer drifted under migration for `{q}`"
+                )));
+            }
+            let serial = bd.execute_serial(q)?;
+            if serial.rows() != want.rows() {
+                return Err(BigDawgError::Internal(format!(
+                    "E12 serial/parallel parity broke under migration for `{q}`"
+                )));
+            }
+        }
+        out.push(IterationResult {
+            iteration,
+            elapsed,
+            co_located,
+        });
+    }
+    Ok(ConvergenceResult {
+        wire,
+        iterations: out,
+        in_process,
+    })
+}
+
+/// Render the E12 table.
+pub fn table(r: &ConvergenceResult) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "E12 — auto-migration convergence: hot-object bundle behind a {} wire \
+             (in-process floor: {})",
+            fmt_dur(r.wire),
+            fmt_dur(r.in_process)
+        ),
+        &[
+            "iteration",
+            "co-located objects",
+            "bundle latency",
+            "vs cold",
+        ],
+    );
+    let first = r.first();
+    for it in &r.iterations {
+        t.row(&[
+            it.iteration.to_string(),
+            format!("{}/4", it.co_located),
+            fmt_dur(it.elapsed),
+            fmt_ratio(first, it.elapsed),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_at_least_twice_as_fast_behind_the_wire() {
+        let r = run(Duration::from_millis(5), 7).unwrap();
+        assert_eq!(r.iterations.len(), 7);
+        assert_eq!(r.iterations[0].co_located, 0, "cold start ships everything");
+        let last = r.iterations.last().unwrap();
+        assert_eq!(last.co_located, 4, "all four hot objects placed");
+        // the cold bundle pays 4 round-trips; converged pays none: ≥2× is
+        // the acceptance floor, in practice this is ≥5×
+        assert!(
+            last.elapsed * 2 <= r.first(),
+            "converged {:?} not ≥2× faster than cold {:?}",
+            last.elapsed,
+            r.first()
+        );
+        // co-location only grows
+        for w in r.iterations.windows(2) {
+            assert!(w[1].co_located >= w[0].co_located);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`anomaly_exp`] | E9 | §2.3: real-time arrhythmia alerting |
 //! | [`coupling`] | E10 | §2.4: tight vs loose linear-algebra coupling |
 //! | [`federation`] | E11 | §2.2: parallel scatter-gather vs serial executor |
+//! | [`migration_convergence`] | E12 | §2.1: auto-migration converges a hot workload to near in-process latency |
 
 pub mod anomaly_exp;
 pub mod cast_exp;
@@ -21,6 +22,7 @@ pub mod coupling;
 pub mod federation;
 pub mod fig;
 pub mod migration;
+pub mod migration_convergence;
 pub mod onesize;
 pub mod scalar_exp;
 pub mod searchlight_exp;

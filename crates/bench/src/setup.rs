@@ -219,6 +219,49 @@ pub fn demo_polystore(config: DemoConfig) -> Result<Demo> {
     })
 }
 
+/// Build the E12 hot-object federation: a *local* relational coordinator
+/// ("postgres", where cross-island queries gather) plus four remote
+/// engines — two SciDB stand-ins, TileDB, and Tupleware — each behind an
+/// emulated network round-trip of `wire` (none when `None`). Each remote
+/// engine holds one small hot object (`wave_a`, `wave_b`, `tiles`,
+/// `dense`, 256 cells each), so a repeated gather-side workload keeps
+/// shipping the same four objects over the same slow wire — exactly the
+/// pattern the migrator exists to erase.
+pub fn hot_object_federation(wire: Option<Duration>) -> Result<BigDawg> {
+    let mut bd = BigDawg::new();
+    // the coordinator is co-located with the client: no wire on postgres
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+
+    let samples: Vec<f64> = (0..256).map(|i| (i % 13) as f64).collect();
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store("wave_a", Array::from_vector("wave_a", "v", &samples, 32));
+    bd.add_engine(with_latency(Box::new(scidb), wire));
+
+    let mut scidb2 = ArrayShim::new("scidb2");
+    let samples_b: Vec<f64> = (0..256).map(|i| (i % 7) as f64).collect();
+    scidb2.store("wave_b", Array::from_vector("wave_b", "v", &samples_b, 32));
+    bd.add_engine(with_latency(Box::new(scidb2), wire));
+
+    let mut tiledb = TileShim::new("tiledb");
+    let mut tiles = TileDb::new(TileSchema::new("tiles", vec![16, 16], vec![8, 8])?);
+    let cells: Vec<(Vec<i64>, f64)> = (0..16i64)
+        .flat_map(|r| (0..16i64).map(move |c| (vec![r, c], (r * c) as f64)))
+        .collect();
+    tiles.write(&cells)?;
+    tiledb.store("tiles", tiles);
+    bd.add_engine(with_latency(Box::new(tiledb), wire));
+
+    let mut tw = TupleShim::new("tupleware");
+    let dense: Vec<f64> = (0..256)
+        .flat_map(|i| [i as f64, (i * 3 % 17) as f64])
+        .collect();
+    tw.store("dense", 2, dense)?;
+    bd.add_engine(with_latency(Box::new(tw), wire));
+
+    bd.refresh_catalog();
+    Ok(bd)
+}
+
 /// One row per admission with patient demographics attached (SeeDB input).
 fn admissions_flat(data: &MimicData) -> bigdawg_common::Batch {
     let schema = Schema::from_pairs(&[
@@ -263,6 +306,24 @@ mod tests {
         assert_eq!(bd.locate("waveform_tiles").unwrap(), "tiledb");
         assert_eq!(bd.locate("age_stay").unwrap(), "tupleware");
         assert_eq!(bd.island_names().len(), 11); // 5 language + 6 degenerate
+    }
+
+    #[test]
+    fn hot_object_federation_answers_from_every_engine() {
+        let bd = hot_object_federation(None).unwrap();
+        assert_eq!(bd.engine_names().len(), 5);
+        for (object, engine) in [
+            ("wave_a", "scidb"),
+            ("wave_b", "scidb2"),
+            ("tiles", "tiledb"),
+            ("dense", "tupleware"),
+        ] {
+            assert_eq!(bd.locate(object).unwrap(), engine);
+        }
+        let b = bd
+            .execute("RELATIONAL(SELECT SUM(v) AS s FROM CAST(wave_a, relation))")
+            .unwrap();
+        assert!(b.rows()[0][0].as_f64().unwrap() > 0.0);
     }
 
     #[test]

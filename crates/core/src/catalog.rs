@@ -1,9 +1,20 @@
-//! The federation catalog: which object lives on which engine.
+//! The federation catalog: which object lives on which engine(s).
 //!
 //! Location transparency (§2.1: "application programmers do not need to
 //! understand the details about the underlying database(s) that will
 //! execute their queries") is implemented by islands consulting this
 //! catalog and CASTing objects toward the executing engine when needed.
+//!
+//! Since the migrator landed, an object may live in **several places at
+//! once**: one *primary* engine (the authoritative copy, where writes go)
+//! plus any number of *replica* engines holding identical copies placed by
+//! [`crate::migrate`]. Every placement change — registration over a new
+//! engine, relocation, replica addition, replica invalidation — bumps the
+//! entry's **placement epoch**, a per-object version counter that only ever
+//! advances. Planners resolve an object to the best co-located copy at
+//! schedule time; writers invalidate replicas (see
+//! [`crate::polystore::BigDawg::note_write`]) so a stale copy is never
+//! served after a write.
 
 use bigdawg_common::{BigDawgError, Result};
 use std::collections::BTreeMap;
@@ -24,6 +35,15 @@ pub enum ObjectKind {
     Dataset,
 }
 
+impl ObjectKind {
+    /// True for kinds that are bound to their engine and must never be
+    /// migrated or replicated: text loses its inverted index anywhere else,
+    /// and live streams cannot leave the ingestion path.
+    pub fn is_pinned(self) -> bool {
+        matches!(self, ObjectKind::Corpus | ObjectKind::Stream)
+    }
+}
+
 impl std::fmt::Display for ObjectKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -37,16 +57,34 @@ impl std::fmt::Display for ObjectKind {
     }
 }
 
-/// One catalog entry: where an object lives and what it is.
+/// One catalog entry: where an object lives (primary + replicas), what it
+/// is, and the placement epoch versioning those locations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectEntry {
-    /// Engine currently holding the object.
+    /// Engine holding the authoritative copy (where writes are routed).
     pub engine: String,
     /// What kind of object it is.
     pub kind: ObjectKind,
+    /// Engines holding migrator-placed identical copies, in placement order.
+    pub replicas: Vec<String>,
+    /// Placement version: bumped on every relocation, replica addition, or
+    /// invalidation. Monotonically advancing for the life of the entry.
+    pub epoch: u64,
 }
 
-/// Object → engine mapping.
+impl ObjectEntry {
+    /// Every engine holding a copy, primary first.
+    pub fn locations(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.engine.as_str()).chain(self.replicas.iter().map(String::as_str))
+    }
+
+    /// True when `engine` holds a copy (primary or replica).
+    pub fn located_on(&self, engine: &str) -> bool {
+        self.engine == engine || self.replicas.iter().any(|r| r == engine)
+    }
+}
+
+/// Object → placement mapping.
 #[derive(Debug, Default)]
 pub struct Catalog {
     objects: BTreeMap<String, ObjectEntry>,
@@ -58,15 +96,35 @@ impl Catalog {
         Self::default()
     }
 
-    /// Record (or overwrite) an object's location and kind.
+    /// Record an object's location and kind. Re-registering an object on
+    /// the engine it already calls primary is a refresh: replicas and the
+    /// placement epoch are preserved (an engine reconnecting must not reset
+    /// placement history). Registering on a *different* engine is a
+    /// placement change: the primary moves, replicas are cleared, and the
+    /// epoch advances.
     pub fn register(&mut self, object: &str, engine: &str, kind: ObjectKind) {
-        self.objects.insert(
-            object.to_string(),
-            ObjectEntry {
-                engine: engine.to_string(),
-                kind,
-            },
-        );
+        match self.objects.get_mut(object) {
+            Some(entry) if entry.engine == engine => {
+                entry.kind = kind;
+            }
+            Some(entry) => {
+                entry.engine = engine.to_string();
+                entry.kind = kind;
+                entry.replicas.clear();
+                entry.epoch += 1;
+            }
+            None => {
+                self.objects.insert(
+                    object.to_string(),
+                    ObjectEntry {
+                        engine: engine.to_string(),
+                        kind,
+                        replicas: Vec::new(),
+                        epoch: 0,
+                    },
+                );
+            }
+        }
     }
 
     /// Forget an object, returning its entry if it was cataloged.
@@ -74,7 +132,7 @@ impl Catalog {
         self.objects.remove(object)
     }
 
-    /// Engine holding `object`.
+    /// The entry for `object` (primary engine in `.engine`).
     pub fn locate(&self, object: &str) -> Result<&ObjectEntry> {
         self.objects
             .get(object)
@@ -86,14 +144,61 @@ impl Catalog {
         self.objects.contains_key(object)
     }
 
-    /// Record that an object moved (monitor-driven migration).
-    pub fn relocate(&mut self, object: &str, new_engine: &str) -> Result<()> {
+    /// True when `engine` holds a copy of `object` (primary or replica).
+    pub fn located_on(&self, object: &str, engine: &str) -> bool {
+        self.objects
+            .get(object)
+            .is_some_and(|e| e.located_on(engine))
+    }
+
+    /// The placement epoch of `object`.
+    pub fn epoch(&self, object: &str) -> Result<u64> {
+        Ok(self.locate(object)?.epoch)
+    }
+
+    /// Record that an object's primary moved (monitor-driven migration).
+    /// The destination is removed from the replica set if it was one
+    /// (promotion); the epoch advances.
+    pub fn relocate(&mut self, object: &str, new_engine: &str) -> Result<u64> {
         let entry = self
             .objects
             .get_mut(object)
             .ok_or_else(|| BigDawgError::NotFound(format!("object `{object}` in catalog")))?;
+        entry.replicas.retain(|r| r != new_engine);
         entry.engine = new_engine.to_string();
-        Ok(())
+        entry.epoch += 1;
+        Ok(entry.epoch)
+    }
+
+    /// Record a migrator-placed replica of `object` on `engine`. A no-op
+    /// (epoch unchanged) when the engine already holds a copy. Returns the
+    /// entry's epoch.
+    pub fn add_replica(&mut self, object: &str, engine: &str) -> Result<u64> {
+        let entry = self
+            .objects
+            .get_mut(object)
+            .ok_or_else(|| BigDawgError::NotFound(format!("object `{object}` in catalog")))?;
+        if !entry.located_on(engine) {
+            entry.replicas.push(engine.to_string());
+            entry.epoch += 1;
+        }
+        Ok(entry.epoch)
+    }
+
+    /// Write-path invalidation: drop every replica of `object` from the
+    /// catalog and advance the epoch. The catalog forgets replicas *first*,
+    /// then the caller drops the stale engine copies, so no reader is ever
+    /// routed to a copy that predates a write. The epoch advances even when
+    /// no replicas existed — an in-flight migration that read the object
+    /// before the write uses the epoch to detect the interleaving and abort
+    /// rather than commit a placement holding pre-write data. Returns the
+    /// engines that held replicas.
+    pub fn invalidate(&mut self, object: &str) -> Vec<String> {
+        let Some(entry) = self.objects.get_mut(object) else {
+            return Vec::new();
+        };
+        entry.epoch += 1;
+        std::mem::take(&mut entry.replicas)
     }
 
     /// All (object, entry) pairs, sorted by object name.
@@ -132,5 +237,63 @@ mod tests {
         assert_eq!(names, vec!["patients", "waveforms"]);
         assert!(c.unregister("patients").is_some());
         assert!(c.unregister("patients").is_none());
+    }
+
+    #[test]
+    fn replicas_and_epochs_advance_monotonically() {
+        let mut c = Catalog::new();
+        c.register("t", "pg", ObjectKind::Table);
+        assert_eq!(c.epoch("t").unwrap(), 0);
+        assert!(c.located_on("t", "pg"));
+        assert!(!c.located_on("t", "scidb"));
+
+        // replica placement bumps the epoch once; re-adding is a no-op
+        assert_eq!(c.add_replica("t", "scidb").unwrap(), 1);
+        assert_eq!(c.add_replica("t", "scidb").unwrap(), 1);
+        assert!(c.located_on("t", "scidb"));
+        let locs: Vec<&str> = c.locate("t").unwrap().locations().collect();
+        assert_eq!(locs, vec!["pg", "scidb"]);
+
+        // invalidation clears replicas and advances the epoch
+        assert_eq!(c.invalidate("t"), vec!["scidb".to_string()]);
+        assert_eq!(c.epoch("t").unwrap(), 2);
+        // a write with no replicas still bumps (in-flight migrations detect
+        // the interleaving through the epoch)
+        assert!(c.invalidate("t").is_empty());
+        assert_eq!(c.epoch("t").unwrap(), 3);
+
+        // promotion: relocating onto a replica removes it from the set
+        c.add_replica("t", "scidb").unwrap();
+        assert_eq!(c.relocate("t", "scidb").unwrap(), 5);
+        let e = c.locate("t").unwrap();
+        assert_eq!(e.engine, "scidb");
+        assert!(e.replicas.is_empty());
+    }
+
+    #[test]
+    fn reregistration_preserves_placement_history() {
+        let mut c = Catalog::new();
+        c.register("t", "pg", ObjectKind::Table);
+        c.add_replica("t", "scidb").unwrap();
+        let epoch = c.epoch("t").unwrap();
+        // the same engine re-registering (reconnect / refresh) keeps
+        // replicas and the epoch
+        c.register("t", "pg", ObjectKind::Table);
+        assert_eq!(c.epoch("t").unwrap(), epoch);
+        assert!(c.located_on("t", "scidb"));
+        // a *different* engine claiming the object is a placement change
+        c.register("t", "tiledb", ObjectKind::Table);
+        assert_eq!(c.epoch("t").unwrap(), epoch + 1);
+        assert!(!c.located_on("t", "scidb"));
+        assert_eq!(c.locate("t").unwrap().engine, "tiledb");
+    }
+
+    #[test]
+    fn pinned_kinds() {
+        assert!(ObjectKind::Corpus.is_pinned());
+        assert!(ObjectKind::Stream.is_pinned());
+        assert!(!ObjectKind::Table.is_pinned());
+        assert!(!ObjectKind::Array.is_pinned());
+        assert!(!ObjectKind::Dataset.is_pinned());
     }
 }

@@ -69,15 +69,34 @@ pub struct Leaf {
     pub transport: Transport,
 }
 
+/// A placement choice the planner made for one CAST term: the object was
+/// already co-located with the CAST target (a migrator-placed replica or
+/// the primary itself), so the leaf — and its round-trip — was elided and
+/// the gather body references the object directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The object the CAST term named.
+    pub object: String,
+    /// The engine whose co-located copy serves it.
+    pub engine: String,
+    /// The placement epoch the choice was made at.
+    pub epoch: u64,
+}
+
 /// The plan DAG for one SCOPE query: scatter leaves plus the gather node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Plan {
     /// Island the gather body runs on.
     pub island: String,
-    /// The body with every CAST term replaced by its leaf's temp name.
+    /// The body with every CAST term replaced by its leaf's temp name (or
+    /// by the object's own name when the placement made the CAST
+    /// unnecessary).
     pub body: String,
     /// Independent sub-plans; empty for a degenerate single-engine query.
     pub leaves: Vec<Leaf>,
+    /// CAST terms resolved to co-located copies at plan time — the
+    /// migrator's payoff, shown by `EXPLAIN`.
+    pub placements: Vec<Resolution>,
 }
 
 impl Plan {
@@ -108,6 +127,13 @@ impl fmt::Display for Plan {
                 leaf.target_engine, leaf.temp
             )?;
         }
+        for p in &self.placements {
+            writeln!(
+                f,
+                "  placed  object `{}` co-located on {} (epoch {}) — cast elided",
+                p.object, p.engine, p.epoch
+            )?;
+        }
         Ok(())
     }
 }
@@ -124,9 +150,16 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
 /// rewritten body as the gather node. Nothing executes here — temp names
 /// are reserved and transports chosen, so the same plan can be displayed
 /// (`EXPLAIN`) or run.
+///
+/// Placement resolution happens at plan time: a CAST term naming an object
+/// the catalog already places on the target engine (its primary, or a
+/// migrator-placed replica) produces **no leaf at all** — the body
+/// references the co-located copy by name and the round-trip disappears.
+/// Those choices are recorded in [`Plan::placements`] for `EXPLAIN`.
 pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
     let transport = bd.preferred_transport();
     let mut leaves = Vec::new();
+    let mut placements = Vec::new();
     let mut out = String::with_capacity(body.len());
     let mut rest = body;
     while let Some(start) = scope::find_cast(rest) {
@@ -141,10 +174,21 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
             LeafSource::SubQuery(inner)
         } else {
             let object = inner.trim();
-            if bd.locate(object).is_err() {
+            let Ok(entry) = bd.placement(object) else {
                 return Err(BigDawgError::NotFound(format!(
                     "CAST source `{object}` (not an object or nested scope query)"
                 )));
+            };
+            if entry.located_on(&target_engine) {
+                // co-located copy: elide the leaf, reference it directly
+                out.push_str(object);
+                placements.push(Resolution {
+                    object: object.to_string(),
+                    engine: target_engine,
+                    epoch: entry.epoch,
+                });
+                rest = &rest[consumed..];
+                continue;
             }
             LeafSource::Object(object.to_string())
         };
@@ -163,6 +207,7 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
         island: island.to_string(),
         body: out,
         leaves,
+        placements,
     })
 }
 
@@ -378,6 +423,26 @@ mod tests {
         assert!(execute(&bd, "ARRAY(aggregate(a, sum, v))").is_ok());
         assert!(execute(&bd, "ACCUMULO(count())").is_ok());
         assert_eq!(bd.catalog().read().len(), 3);
+    }
+
+    #[test]
+    fn colocated_replica_elides_the_leaf() {
+        let bd = federation();
+        let q = "SELECT COUNT(*) AS n FROM CAST(a, relation) WHERE v > 3";
+        // without a co-located copy the term is a real leaf
+        assert_eq!(plan(&bd, "RELATIONAL", q).unwrap().leaves.len(), 1);
+        // replicate `a` onto the gather engine: the leaf disappears
+        bd.replicate_object("a", "postgres", Transport::Binary)
+            .unwrap();
+        let p = plan(&bd, "RELATIONAL", q).unwrap();
+        assert!(p.is_degenerate(), "no scatter work left");
+        assert_eq!(p.placements.len(), 1);
+        assert_eq!(p.placements[0].object, "a");
+        assert_eq!(p.placements[0].engine, "postgres");
+        assert!(p.body.contains("FROM a "), "body references the copy");
+        assert!(p.to_string().contains("cast elided"));
+        let b = run(&bd, &p).unwrap();
+        assert_eq!(b.rows()[0][0], Value::Int(3));
     }
 
     #[test]

@@ -46,22 +46,49 @@ const AFL_KEYWORDS: &[&str] = &[
 
 /// Execute an AFL query on the array island. Objects living on other
 /// engines are CAST toward the array engine first (location transparency).
+///
+/// Like the relational island, a *racy* `not_found` outcome is retried
+/// with placements re-resolved: a co-located copy may be invalidated by a
+/// concurrent write between resolve and read, and the retry reads the
+/// current placement instead of failing the query. Attempts that never
+/// depended on a placement (e.g. an unknown identifier) fail immediately.
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
+    super::retry_placement_races(|raced| execute_once(bd, query, raced))
+}
+
+fn execute_once(bd: &BigDawg, query: &str, placement_raced: &mut bool) -> Result<Batch> {
     let class = classify(query);
     let engine = bd.choose_engine_of_kind(EngineKind::Array, class)?;
     let transport = bd.preferred_transport();
     let mut rewritten = query.to_string();
-    let mut temps = Vec::new();
+    let mut temps: Vec<String> = Vec::new();
+    // true when some object resolved to a co-located copy read in place —
+    // a later not_found may then be an invalidation race, not a bad name
+    let mut read_in_place = false;
     for ident in identifiers(query) {
         if AFL_KEYWORDS.contains(&ident.to_ascii_lowercase().as_str()) {
             continue;
         }
-        let Ok(location) = bd.locate(&ident) else {
+        let Ok(entry) = bd.placement(&ident) else {
             continue; // attribute/dimension names are resolved by AFL itself
         };
-        if location != engine {
+        // a co-located copy (primary or migrator-placed replica) is read
+        // in place; only genuinely remote objects ship
+        if entry.located_on(&engine) {
+            read_in_place = true;
+        } else {
             let tmp = bd.temp_name();
-            bd.cast_object(&ident, &engine, &tmp, transport)?;
+            if let Err(e) = bd.cast_object(&ident, &engine, &tmp, transport) {
+                // a failing cast of a *resolved* object is racy; clean
+                // temps cast so far so a retried attempt leaks nothing
+                if matches!(e, BigDawgError::NotFound(_)) {
+                    *placement_raced = true;
+                }
+                for tmp in &temps {
+                    let _ = bd.drop_object(tmp);
+                }
+                return Err(e);
+            }
             rewritten = replace_ident(&rewritten, &ident, &tmp);
             temps.push(tmp);
         }
@@ -75,13 +102,20 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
         })?;
         afl::execute(arr, &rewritten)
     };
-    if let Some(first) = identifiers(query)
-        .into_iter()
-        .find(|i| bd.locate(i).is_ok())
-    {
-        bd.monitor()
-            .lock()
-            .record(&first, class, &engine, started.elapsed());
+    if read_in_place && matches!(result, Err(BigDawgError::NotFound(_))) {
+        *placement_raced = true;
+    }
+    if result.is_ok() {
+        // failed attempts must not feed the cost model: a fast NotFound
+        // would otherwise make a flaky engine look cheap
+        if let Some(first) = identifiers(query)
+            .into_iter()
+            .find(|i| bd.locate(i).is_ok())
+        {
+            bd.monitor()
+                .lock()
+                .record(&first, class, &engine, started.elapsed());
+        }
     }
     for tmp in temps {
         let _ = bd.drop_object(&tmp);

@@ -22,6 +22,27 @@ pub mod text;
 use crate::polystore::BigDawg;
 use bigdawg_common::{Batch, BigDawgError, Result};
 
+/// Run one island attempt up to three times, retrying only when the
+/// attempt reports a *placement race* — a co-located copy invalidated (or
+/// an object moved) between resolve and read. The attempt closure receives
+/// a flag it sets when its failure may be placement-raced; attempts that
+/// never depended on a placement fail immediately, so genuinely unknown
+/// names pay no retries. Shared by the relational and array islands so the
+/// retry bound and race classification cannot diverge.
+pub(crate) fn retry_placement_races(
+    mut attempt: impl FnMut(&mut bool) -> Result<Batch>,
+) -> Result<Batch> {
+    let mut last = None;
+    for _ in 0..3 {
+        let mut placement_raced = false;
+        match attempt(&mut placement_raced) {
+            Err(e) if placement_raced => last = Some(e),
+            other => return other,
+        }
+    }
+    Err(last.expect("loop exits early unless an attempt failed"))
+}
+
 /// Route a query body to an island by SCOPE name (case-insensitive).
 /// Unknown names fall back to a degenerate island when an engine with that
 /// name exists.

@@ -3,10 +3,17 @@
 //! Location transparency (§2.1): tables referenced by the query that do not
 //! live on the island's relational engine are CAST there (over the
 //! monitor's preferred transport) under temporary names before execution,
-//! and cleaned up after. When the federation registers several relational
+//! and cleaned up after. A migrator-placed replica on the island's engine
+//! counts as living there — the CAST is skipped and the co-located copy is
+//! read directly. When the federation registers several relational
 //! engines, the monitor's cost model picks the one with the best measured
 //! history for the query's class — e.g. which engine hosts a cross-island
 //! join — falling back to the first on cold start.
+//!
+//! Writes (INSERT/UPDATE/DELETE) are routed to the written table's
+//! *primary* engine and followed by replica invalidation
+//! ([`BigDawg::note_write`]), so a migrated-then-written object never
+//! serves stale replica data.
 
 use crate::monitor::QueryClass;
 use crate::polystore::BigDawg;
@@ -19,35 +26,108 @@ use bigdawg_relational::sql::parse;
 use std::time::Instant;
 
 /// Execute a SQL query on the relational island.
+///
+/// A *racy* `not_found` outcome is retried a bounded number of times with
+/// placements re-resolved: between resolving a co-located copy and reading
+/// it, a concurrent write invalidation (or migration) may have dropped
+/// that copy, and the retry simply resolves the current placement instead
+/// of failing the query. Only attempts whose failure can stem from a
+/// placement race retry (a co-located read, a cast of a resolved object, a
+/// write to a cataloged table); a genuinely unknown table fails on the
+/// first attempt without re-shipping anything. Failed attempts mutate
+/// nothing (a write that cannot resolve its table executes nothing), so
+/// retrying is safe.
 pub fn execute(bd: &BigDawg, sql: &str) -> Result<Batch> {
+    super::retry_placement_races(|raced| execute_once(bd, sql, raced))
+}
+
+/// One attempt. Sets `placement_raced` when a `not_found` failure may be
+/// explained by a placement changing between resolve and read — the
+/// caller's signal to re-resolve and retry.
+fn execute_once(bd: &BigDawg, sql: &str, placement_raced: &mut bool) -> Result<Batch> {
     let mut stmt = parse(sql)?;
     let class = match &stmt {
         Statement::Select(sel) if sel.is_aggregate() => QueryClass::Aggregate,
         Statement::Select(sel) if !sel.joins.is_empty() => QueryClass::Join,
         _ => QueryClass::SqlFilter,
     };
-    let engine = bd.choose_engine_of_kind(EngineKind::Relational, class)?;
+    let mut engine = bd.choose_engine_of_kind(EngineKind::Relational, class)?;
     let transport = bd.preferred_transport();
     let mut temps: Vec<String> = Vec::new();
 
-    // Collect referenced tables (SELECT only; DML runs against local tables).
-    if let Statement::Select(sel) = &mut stmt {
-        let mut refs: Vec<&mut String> = Vec::new();
-        if let Some(from) = sel.from.as_mut() {
-            refs.push(&mut from.table);
-        }
-        for j in &mut sel.joins {
-            refs.push(&mut j.table.table);
-        }
-        for table in refs {
-            let location = bd.locate(table)?;
-            if location != engine {
-                let tmp = bd.temp_name();
-                bd.cast_object(table, &engine, &tmp, transport)?;
-                temps.push(tmp.clone());
-                *table = tmp;
+    // Collect referenced tables (SELECT only; DML runs against its table's
+    // primary engine).
+    let mut written: Option<String> = None;
+    // true when some table resolved to a co-located copy read in place, or
+    // a write routed through the catalog — the cases where a later
+    // not_found can be a placement race rather than an unknown name
+    let mut placement_dependent = false;
+    match &mut stmt {
+        Statement::Select(sel) => {
+            let mut refs: Vec<&mut String> = Vec::new();
+            if let Some(from) = sel.from.as_mut() {
+                refs.push(&mut from.table);
+            }
+            for j in &mut sel.joins {
+                refs.push(&mut j.table.table);
+            }
+            for table in refs {
+                // a co-located copy (primary *or* migrator-placed replica)
+                // is read in place; only genuinely remote tables ship.
+                // A placement() miss is a genuinely unknown table — no
+                // retry; a failing cast of a *resolved* object is racy.
+                let outcome = bd.placement(table).and_then(|entry| {
+                    if entry.located_on(&engine) {
+                        placement_dependent = true;
+                    } else {
+                        let tmp = bd.temp_name();
+                        bd.cast_object(table, &engine, &tmp, transport)
+                            .map_err(|e| {
+                                if matches!(e, BigDawgError::NotFound(_)) {
+                                    *placement_raced = true;
+                                }
+                                e
+                            })?;
+                        temps.push(tmp.clone());
+                        *table = tmp;
+                    }
+                    Ok(())
+                });
+                if let Err(e) = outcome {
+                    // clean temps cast so far: a retried attempt leaks nothing
+                    for tmp in &temps {
+                        let _ = bd.drop_object(tmp);
+                    }
+                    return Err(e);
+                }
             }
         }
+        Statement::Insert { table, .. }
+        | Statement::Update { table, .. }
+        | Statement::Delete { table, .. } => {
+            // writes go to the authoritative copy: route to the primary
+            // engine when the table is cataloged on a relational engine. A
+            // cataloged primary on any *other* kind of engine rejects the
+            // write — executing it against a relational replica copy would
+            // acknowledge a row that the following invalidation deletes (a
+            // lost write), and the non-relational primary cannot take SQL
+            // DML at all.
+            if let Ok(entry) = bd.placement(table) {
+                if bd.kind_of(&entry.engine) == Ok(EngineKind::Relational) {
+                    engine = entry.engine;
+                    placement_dependent = true;
+                } else {
+                    return Err(BigDawgError::Unsupported(format!(
+                        "write to `{table}`: its primary copy lives on \
+                         non-relational engine `{}`; migrate it to a \
+                         relational engine first",
+                        entry.engine
+                    )));
+                }
+            }
+            written = Some(table.clone());
+        }
+        _ => {}
     }
     let object = match &stmt {
         Statement::Select(sel) => sel.from.as_ref().map(|f| f.table.clone()),
@@ -57,16 +137,18 @@ pub fn execute(bd: &BigDawg, sql: &str) -> Result<Batch> {
         _ => None,
     };
 
-    let started = Instant::now();
-    let result = {
-        let mut shim = bd.engine(&engine)?.lock();
+    // Engine copies the write made stale; dropped after the critical
+    // section.
+    let stale = std::cell::RefCell::new(Vec::new());
+    let run_on = |engine: &str, stmt: Statement| -> Result<Batch> {
+        let mut shim = bd.engine(engine)?.lock();
         let rel = shim
             .as_any_mut()
             .downcast_mut::<RelationalShim>()
             .ok_or_else(|| {
                 BigDawgError::Internal(format!("engine `{engine}` is not a RelationalShim"))
             })?;
-        match rel.db_mut().execute_statement(stmt)? {
+        let out = match rel.db_mut().execute_statement(stmt)? {
             QueryResult::Rows(b) => b,
             QueryResult::Affected(a) => Batch::new(
                 bigdawg_common::Schema::from_pairs(&[(
@@ -75,21 +157,62 @@ pub fn execute(bd: &BigDawg, sql: &str) -> Result<Batch> {
                 )]),
                 vec![vec![bigdawg_common::Value::Int(a.rows as i64)]],
             )?,
+        };
+        // Invalidate replicas while still holding the engine lock: a reader
+        // can only observe this write after the lock releases, and by then
+        // the catalog no longer routes anyone to a stale copy. (In-flight
+        // replications of pre-write data abort on the epoch bump.) The
+        // primary check is atomic with the invalidation: if a migration
+        // relocated the primary away while we executed, this copy is about
+        // to be dropped wholesale — acknowledging the write would lose it,
+        // so the attempt fails as a placement race and the retry re-routes
+        // to the new primary. (If instead the relocation commits *after*
+        // this epoch bump, its epoch CAS fails and the move aborts, leaving
+        // this engine primary — the write is safe either way.)
+        if let Some(table) = &written {
+            let mut cat = bd.catalog().write();
+            if let Ok(entry) = cat.locate(table) {
+                if entry.engine != engine {
+                    return Err(BigDawgError::NotFound(format!(
+                        "primary of `{table}` moved to `{}` during the write",
+                        entry.engine
+                    )));
+                }
+            }
+            *stale.borrow_mut() = cat.invalidate(table);
         }
+        Ok(out)
     };
-    if let Some(obj) = object {
-        // temp names map back to the original object for monitoring: use
-        // the first temp's source if the FROM was remote; recording the
-        // local name is fine for the monitor's purposes.
-        bd.monitor()
-            .lock()
-            .record(&obj, class, &engine, started.elapsed());
+
+    let started = Instant::now();
+    // a NotFound here after a placement-dependent resolve (a co-located
+    // read raced an invalidation, a routed write raced a move) aborts this
+    // attempt; [`execute`]'s outer retry re-resolves everything. Cleanup
+    // below runs either way, so a retried attempt leaks no temporaries.
+    let result = run_on(&engine, stmt);
+    if placement_dependent && matches!(result, Err(BigDawgError::NotFound(_))) {
+        *placement_raced = true;
+    }
+    if result.is_ok() {
+        if let Some(obj) = object {
+            // temp names map back to the original object for monitoring: use
+            // the first temp's source if the FROM was remote; recording the
+            // local name is fine for the monitor's purposes.
+            bd.monitor()
+                .lock()
+                .record(&obj, class, &engine, started.elapsed());
+        }
+        if let Some(table) = &written {
+            // cleanup half of write invalidation: drop the now-unreferenced
+            // stale copies and reset the table's demand counters
+            bd.drop_stale_copies(table, &stale.borrow());
+        }
     }
     bd.refresh_catalog();
     for tmp in temps {
         let _ = bd.drop_object(&tmp);
     }
-    Ok(result)
+    result
 }
 
 #[cfg(test)]
@@ -160,6 +283,25 @@ mod tests {
         let bd = federation();
         let b = execute(&bd, "INSERT INTO patients VALUES (4, 33)").unwrap();
         assert_eq!(b.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn write_to_table_with_non_relational_primary_is_rejected() {
+        use crate::cast::Transport;
+        let bd = federation();
+        // move `patients` to the array engine, leave a relational replica
+        bd.migrate_object("patients", "scidb", Transport::Binary)
+            .unwrap();
+        bd.replicate_object("patients", "postgres", Transport::Binary)
+            .unwrap();
+        // a write must NOT land on the replica copy (it would be
+        // acknowledged and then destroyed by invalidation — a lost write)
+        let err = execute(&bd, "INSERT INTO patients VALUES (9, 99)").unwrap_err();
+        assert_eq!(err.kind(), "unsupported");
+        // nothing was invalidated or lost: the replica still serves reads
+        assert!(bd.located_on("patients", "postgres"));
+        let b = execute(&bd, "SELECT COUNT(*) AS n FROM patients").unwrap();
+        assert_eq!(b.rows()[0][0], Value::Int(3));
     }
 
     #[test]

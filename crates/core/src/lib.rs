@@ -23,9 +23,13 @@
 //!   pool, joined at the gather barrier;
 //! * [`monitor`] — the cross-system monitor that re-executes workload
 //!   samples on multiple engines, learns which engine excels at which
-//!   query class, migrates objects as workloads shift, and serves as the
-//!   executor's cost model (per-engine/per-class latency histograms,
-//!   per-transport CAST statistics);
+//!   query class, serves as the executor's cost model (per-engine/per-class
+//!   latency histograms, per-transport CAST statistics), and counts
+//!   per-object demand ships for the migrator;
+//! * [`migrate`] — the migrator: turns the monitor's hot set into physical
+//!   placements (replicas and moves) versioned by catalog epochs, so
+//!   repeat workloads converge onto co-located copies and skip the CAST
+//!   round-trip entirely;
 //! * [`polystore`] — [`polystore::BigDawg`], the top-level façade tying it
 //!   all together.
 
@@ -35,6 +39,7 @@ pub mod cast;
 pub mod catalog;
 pub mod exec;
 pub mod islands;
+pub mod migrate;
 pub mod monitor;
 pub mod polystore;
 pub mod scope;
@@ -44,5 +49,6 @@ pub mod shims;
 pub use cast::Transport;
 pub use catalog::{Catalog, ObjectKind};
 pub use exec::Plan;
+pub use migrate::{MigrationPolicy, Migrator};
 pub use polystore::BigDawg;
 pub use shim::{Capability, EngineKind, Shim};

@@ -25,6 +25,16 @@
 //! several could, and whether CAST ships rows over the file or binary
 //! transport. With no history (cold start) both fall back to sane defaults:
 //! the first capable engine and the binary transport.
+//!
+//! Finally, the monitor feeds the **migrator** ([`crate::migrate`]): every
+//! demand-driven CAST of a named object records one *ship* —
+//! [`Monitor::record_ship`] — into per-object [`ShipStats`] counters.
+//! [`Monitor::hot_candidates`] turns those counters into the hot set: the
+//! objects repeatedly shipped toward the same engine, which the migrator
+//! replicates (or moves) there so future queries resolve to a co-located
+//! copy and skip the CAST round-trip entirely. Ship counters for an object
+//! are reset when a write invalidates its replicas ([`Monitor::reset_ships`])
+//! so demand must re-accumulate before the object is placed again.
 
 use crate::cast::{CastReport, Transport};
 use crate::polystore::BigDawg;
@@ -210,6 +220,41 @@ impl TransportStats {
     }
 }
 
+/// Per-object demand counters: how often an object was shipped (CAST by
+/// name) toward each engine. This is the migrator's hot-set signal — an
+/// object repeatedly shipped to the same target wants a copy there.
+#[derive(Debug, Clone, Default)]
+pub struct ShipStats {
+    /// Total demand ships of the object, across all targets.
+    pub total: u64,
+    /// Ships broken down by target engine.
+    pub by_target: HashMap<String, u64>,
+}
+
+impl ShipStats {
+    /// The engine this object is most often shipped to, with its count.
+    /// Ties break toward the lexicographically smallest engine name so the
+    /// hot set is deterministic.
+    pub fn hottest_target(&self) -> Option<(&str, u64)> {
+        self.by_target
+            .iter()
+            .max_by(|(an, ac), (bn, bc)| ac.cmp(bc).then(bn.cmp(an)))
+            .map(|(n, c)| (n.as_str(), *c))
+    }
+}
+
+/// One hot-set member: an object whose demand ships toward `target` crossed
+/// the migration threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotObject {
+    /// The repeatedly shipped object.
+    pub object: String,
+    /// The engine the demand keeps shipping it to.
+    pub target: String,
+    /// Number of ships recorded toward that engine.
+    pub ships: u64,
+}
+
 /// The workload monitor. Keeps a sliding window of recent events so that
 /// *shifts* in the workload change the recommendation (old history ages
 /// out).
@@ -221,6 +266,8 @@ pub struct Monitor {
     engine_class: HashMap<(String, QueryClass), LatencyHistogram>,
     /// Cost model: accumulated CAST measurements per transport.
     transports: HashMap<Transport, TransportStats>,
+    /// Migrator signal: per-object demand-ship counters.
+    ships: HashMap<String, ShipStats>,
 }
 
 impl Default for Monitor {
@@ -242,6 +289,7 @@ impl Monitor {
             window: window.max(1),
             engine_class: HashMap::new(),
             transports: HashMap::new(),
+            ships: HashMap::new(),
         }
     }
 
@@ -273,6 +321,59 @@ impl Monitor {
         stats.casts += 1;
         stats.rows += report.rows as u64;
         stats.total += report.total();
+    }
+
+    // ---- migrator signal ----------------------------------------------------
+
+    /// Record one demand ship: `object` was CAST by name toward `to_engine`
+    /// because a query needed it there. Called from the CAST data path, not
+    /// from the migrator's own copies (placement must react to *demand*,
+    /// not to itself).
+    pub fn record_ship(&mut self, object: &str, to_engine: &str) {
+        let stats = self.ships.entry(object.to_string()).or_default();
+        stats.total += 1;
+        *stats.by_target.entry(to_engine.to_string()).or_default() += 1;
+    }
+
+    /// The demand-ship counters for one object, if any ships were recorded.
+    pub fn ship_stats(&self, object: &str) -> Option<&ShipStats> {
+        self.ships.get(object)
+    }
+
+    /// Forget an object's demand counters. Called when a write invalidates
+    /// the object's replicas: demand must re-accumulate before the migrator
+    /// places the object again, preventing write-heavy objects from
+    /// thrashing between invalidation and re-replication.
+    pub fn reset_ships(&mut self, object: &str) {
+        self.ships.remove(object);
+    }
+
+    /// The hot set: every (object, target) pair whose demand ships reached
+    /// `min_ships`. Sorted hottest-first (then by name, so the migrator's
+    /// work order is deterministic).
+    pub fn hot_candidates(&self, min_ships: u64) -> Vec<HotObject> {
+        let mut out: Vec<HotObject> = self
+            .ships
+            .iter()
+            .flat_map(|(object, stats)| {
+                stats
+                    .by_target
+                    .iter()
+                    .filter(|(_, n)| **n >= min_ships.max(1))
+                    .map(|(target, n)| HotObject {
+                        object: object.clone(),
+                        target: target.clone(),
+                        ships: *n,
+                    })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.ships
+                .cmp(&a.ships)
+                .then_with(|| a.object.cmp(&b.object))
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        out
     }
 
     /// The recorded events, oldest first.
@@ -382,18 +483,11 @@ impl Monitor {
             let Some(dominant) = stats.dominant_class() else {
                 continue;
             };
-            // Corpus and stream objects are bound to their engines: text
-            // loses its index anywhere else, and live streams cannot be
-            // dropped from the ingestion path.
+            // Pinned kinds are bound to their engines: text loses its index
+            // anywhere else, and live streams cannot leave the ingestion
+            // path.
             match bd.catalog().read().locate(&object) {
-                Ok(entry)
-                    if matches!(
-                        entry.kind,
-                        crate::catalog::ObjectKind::Corpus | crate::catalog::ObjectKind::Stream
-                    ) =>
-                {
-                    continue;
-                }
+                Ok(entry) if entry.kind.is_pinned() => continue,
                 Err(_) => continue,
                 _ => {}
             }
@@ -474,7 +568,9 @@ pub fn probe(bd: &BigDawg, object: &str, class: QueryClass) -> Result<Vec<ProbeR
             (object.to_string(), false)
         } else {
             let tmp = bd.temp_name();
-            bd.cast_object(object, &engine, &tmp, Transport::Binary)?;
+            // quiet: a probe's measurement copy is not workload demand and
+            // must not feed the migrator's hot set
+            bd.cast_object_quiet(object, &engine, &tmp, Transport::Binary)?;
             (tmp, true)
         };
         let query = probe_query(kind, class, &target_obj, &dim, &val)?;
@@ -643,6 +739,10 @@ mod tests {
         assert!(engines.contains(&"postgres") && engines.contains(&"scidb"));
         // temp copies cleaned
         assert_eq!(bd.catalog().read().len(), 2);
+        // a probe's measurement copies are not workload demand: the
+        // migrator's hot set must stay empty
+        assert!(bd.monitor().lock().ship_stats("wave_rel").is_none());
+        assert!(bd.monitor().lock().hot_candidates(1).is_empty());
     }
 
     #[test]
@@ -721,6 +821,82 @@ mod tests {
         let stats = m.transport_stats(Transport::File).unwrap();
         assert_eq!(stats.casts, 2);
         assert_eq!(stats.rows, 110);
+    }
+
+    #[test]
+    fn ship_counters_feed_the_hot_set() {
+        let mut m = Monitor::new();
+        assert!(m.hot_candidates(1).is_empty());
+        for _ in 0..3 {
+            m.record_ship("wave", "postgres");
+        }
+        m.record_ship("wave", "tiledb");
+        m.record_ship("tiles", "postgres");
+        let stats = m.ship_stats("wave").unwrap();
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.hottest_target(), Some(("postgres", 3)));
+        // threshold filters; ordering is hottest-first then by name
+        let hot = m.hot_candidates(3);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].object, "wave");
+        assert_eq!(hot[0].target, "postgres");
+        assert_eq!(hot[0].ships, 3);
+        let all = m.hot_candidates(1);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].object, "wave");
+        // a write invalidation resets demand: the object leaves the hot set
+        m.reset_ships("wave");
+        assert!(m.ship_stats("wave").is_none());
+        assert_eq!(m.hot_candidates(3).len(), 0);
+    }
+
+    /// Re-registering an engine (reconnect after a restart) must not drop
+    /// the monitor's recorded history, and must not reset the catalog's
+    /// placement epochs or replica sets for the objects it holds.
+    #[test]
+    fn stats_survive_engine_reregistration() {
+        let mut bd = federation();
+        {
+            let mut m = bd.monitor().lock();
+            for _ in 0..6 {
+                m.record(
+                    "wave_rel",
+                    QueryClass::Aggregate,
+                    "postgres",
+                    Duration::from_micros(80),
+                );
+            }
+            m.record_ship("wave_rel", "scidb");
+        }
+        bd.catalog()
+            .write()
+            .add_replica("wave_rel", "scidb")
+            .unwrap();
+        let epoch_before = bd.catalog().read().epoch("wave_rel").unwrap();
+
+        // the engine reconnects: a fresh shim re-registers under the same
+        // name, re-announcing the same objects
+        let mut pg = RelationalShim::new("postgres");
+        pg.db_mut()
+            .execute("CREATE TABLE wave_rel (i INT, v FLOAT)")
+            .unwrap();
+        bd.add_engine(Box::new(pg));
+
+        let m = bd.monitor().lock();
+        let h = m.histogram("postgres", QueryClass::Aggregate).unwrap();
+        assert_eq!(h.count(), 6, "histograms survive re-registration");
+        assert_eq!(m.object_stats("wave_rel").total_queries, 6);
+        assert_eq!(m.ship_stats("wave_rel").unwrap().total, 1);
+        drop(m);
+        assert_eq!(
+            bd.catalog().read().epoch("wave_rel").unwrap(),
+            epoch_before,
+            "placement epoch survives re-registration"
+        );
+        assert!(
+            bd.catalog().read().located_on("wave_rel", "scidb"),
+            "replica set survives re-registration"
+        );
     }
 
     #[test]

@@ -1,16 +1,17 @@
-//! The polystore façade: engines + catalog + islands + monitor.
+//! The polystore façade: engines + catalog + islands + monitor + migrator.
 
 use crate::cast::{ship, CastReport, Transport};
-use crate::catalog::{Catalog, ObjectKind};
+use crate::catalog::{Catalog, ObjectEntry, ObjectKind};
 use crate::exec;
 use crate::islands;
+use crate::migrate::{MigrationPolicy, Migrator};
 use crate::monitor::{Monitor, QueryClass};
 use crate::scope;
 use crate::shim::{EngineKind, Shim};
 use bigdawg_common::{Batch, BigDawgError, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The federation is shared across scatter workers by reference, so it must
 /// stay `Send + Sync`; this fails to compile if a field ever regresses that.
@@ -36,6 +37,44 @@ pub struct BigDawg {
     catalog: RwLock<Catalog>,
     monitor: Mutex<Monitor>,
     temp_counter: AtomicU64,
+    /// When set, top-level queries are followed by a migrator cycle that
+    /// acts on the monitor's hot set (see [`BigDawg::set_auto_migrate`]).
+    auto_migrate: RwLock<Option<MigrationPolicy>>,
+    /// Ensures at most one auto-migration cycle runs at a time; concurrent
+    /// queries skip the cycle instead of queueing behind it.
+    migration_active: AtomicBool,
+    /// Objects with a placement (move/replica copy) currently in flight —
+    /// placements of the same object are mutually exclusive.
+    placements_in_flight: Mutex<std::collections::BTreeSet<String>>,
+    /// Untracked (engine, object) copies the catalog deliberately does not
+    /// reference — an undroppable migration source, or stale replicas whose
+    /// cleanup was skipped. `refresh_catalog` must never re-register these
+    /// (their contents can't be trusted); instead it reaps them when the
+    /// engine finally allows the drop.
+    orphans: Mutex<std::collections::BTreeSet<(String, String)>>,
+}
+
+/// Panic-safe release of a [`BigDawg::begin_placement`] mark: placements
+/// must never stay "in flight" past the operation, even if a shim panics
+/// mid-copy.
+struct PlacementGuard<'a> {
+    bd: &'a BigDawg,
+    object: String,
+}
+
+impl Drop for PlacementGuard<'_> {
+    fn drop(&mut self) {
+        self.bd.placements_in_flight.lock().remove(&self.object);
+    }
+}
+
+/// Panic-safe release of the auto-migration single-flight flag.
+struct CycleGuard<'a>(&'a AtomicBool);
+
+impl Drop for CycleGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
 }
 
 impl Default for BigDawg {
@@ -52,6 +91,10 @@ impl BigDawg {
             catalog: RwLock::new(Catalog::new()),
             monitor: Mutex::new(Monitor::new()),
             temp_counter: AtomicU64::new(0),
+            auto_migrate: RwLock::new(None),
+            migration_active: AtomicBool::new(false),
+            placements_in_flight: Mutex::new(std::collections::BTreeSet::new()),
+            orphans: Mutex::new(std::collections::BTreeSet::new()),
         }
     }
 
@@ -147,21 +190,72 @@ impl BigDawg {
 
     /// Re-scan all shims and register any objects the catalog is missing
     /// (native queries may create objects behind the catalog's back).
+    ///
+    /// Registration happens *while holding each engine's lock*: a
+    /// concurrent `drop_object` either already removed the copy (the scan
+    /// doesn't see it, and the entry is still cataloged until the deletion
+    /// unregisters it) or is blocked on the engine lock until this
+    /// registration lands, after which its unregister removes the entry —
+    /// so a half-deleted object can never be resurrected as a ghost.
+    /// Orphaned copies (see `orphans`) are reaped here, never re-registered.
     pub fn refresh_catalog(&self) {
-        let mut cat = self.catalog.write();
+        // reap orphans first: untracked copies (undroppable migration
+        // sources, skipped stale replicas) whose engines now allow the
+        // drop disappear before the scan can see them. Each reap holds the
+        // object's in-flight placement mark so it cannot race a placement
+        // that is about to legitimize a fresh copy under the same name.
+        let orphaned: Vec<(String, String)> = self.orphans.lock().iter().cloned().collect();
+        for (engine, object) in &orphaned {
+            let Ok(_in_flight) = self.begin_placement(object) else {
+                continue; // a placement is running; reap on a later refresh
+            };
+            if self.catalog.read().located_on(object, engine) {
+                // a placement re-legitimized this copy; it is tracked again
+                self.clear_orphan(engine, object);
+                continue;
+            }
+            match self.engine(engine).map(|e| e.lock().drop_object(object)) {
+                Ok(Err(e)) if !matches!(e, BigDawgError::NotFound(_)) => {} // still refusing
+                _ => self.clear_orphan(engine, object),
+            }
+        }
         for (name, shim) in &self.engines {
             let shim = shim.lock();
-            for obj in shim.object_names() {
-                if !cat.contains(&obj) {
-                    cat.register(&obj, name, default_kind(shim.kind()));
+            let kind = default_kind(shim.kind());
+            let names = shim.object_names();
+            let orphans = self.orphans.lock();
+            let mut cat = self.catalog.write();
+            for obj in names {
+                // orphaned copies must never be resurrected — their
+                // contents predate a move or a write
+                if !cat.contains(&obj) && !orphans.contains(&(name.clone(), obj.clone())) {
+                    cat.register(&obj, name, kind);
                 }
             }
         }
     }
 
-    /// Which engine holds `object`.
+    /// Which engine holds the authoritative (primary) copy of `object`.
     pub fn locate(&self, object: &str) -> Result<String> {
         Ok(self.catalog.read().locate(object)?.engine.clone())
+    }
+
+    /// The full placement of `object`: primary engine, replicas, kind, and
+    /// placement epoch, as one consistent snapshot.
+    pub fn placement(&self, object: &str) -> Result<ObjectEntry> {
+        Ok(self.catalog.read().locate(object)?.clone())
+    }
+
+    /// True when `engine` holds a copy of `object` (primary or replica) —
+    /// the planner's co-location test.
+    pub fn located_on(&self, object: &str, engine: &str) -> bool {
+        self.catalog.read().located_on(object, engine)
+    }
+
+    /// The placement epoch of `object` (advances on every migration,
+    /// replication, or write invalidation; never goes backwards).
+    pub fn placement_epoch(&self, object: &str) -> Result<u64> {
+        self.catalog.read().epoch(object)
     }
 
     // ---- CAST ---------------------------------------------------------------
@@ -175,6 +269,15 @@ impl BigDawg {
     }
 
     /// Move a copy of `object` to `to_engine` under `new_name`.
+    ///
+    /// The read side resolves through the catalog's placements: when a
+    /// migrator-placed replica already lives on `to_engine`, the copy is
+    /// local (no emulated/remote round-trip to the primary). A genuine
+    /// remote ship is recorded into the monitor's per-object demand
+    /// counters, feeding the migrator's hot set. Placement can change
+    /// underneath a racing query (a concurrent move drops the source copy
+    /// after this method resolved it); a not-found read re-resolves and
+    /// retries rather than failing the query.
     pub fn cast_object(
         &self,
         object: &str,
@@ -182,16 +285,64 @@ impl BigDawg {
         new_name: &str,
         transport: Transport,
     ) -> Result<CastReport> {
-        let from_engine = self.locate(object)?;
-        let batch = self.engine(&from_engine)?.lock().get_table(object)?;
-        let (shipped, report) = ship(&batch, transport)?;
-        self.engine(to_engine)?
-            .lock()
-            .put_table(new_name, shipped)?;
-        self.catalog
-            .write()
-            .register(new_name, to_engine, default_kind(self.kind_of(to_engine)?));
-        Ok(report)
+        self.cast_object_impl(object, to_engine, new_name, transport, true)
+    }
+
+    /// [`BigDawg::cast_object`] minus the demand recording — for the
+    /// monitor's own measurement copies (`probe`), which must not
+    /// masquerade as workload demand: placement reacts to queries, not to
+    /// the monitor measuring itself.
+    pub(crate) fn cast_object_quiet(
+        &self,
+        object: &str,
+        to_engine: &str,
+        new_name: &str,
+        transport: Transport,
+    ) -> Result<CastReport> {
+        self.cast_object_impl(object, to_engine, new_name, transport, false)
+    }
+
+    fn cast_object_impl(
+        &self,
+        object: &str,
+        to_engine: &str,
+        new_name: &str,
+        transport: Transport,
+        record_demand: bool,
+    ) -> Result<CastReport> {
+        let mut last = None;
+        for _ in 0..3 {
+            let entry = self.placement(object)?;
+            let source = if entry.located_on(to_engine) {
+                to_engine.to_string()
+            } else {
+                entry.engine.clone()
+            };
+            let batch = match self.engine(&source)?.lock().get_table(object) {
+                Ok(b) => b,
+                Err(e @ BigDawgError::NotFound(_)) => {
+                    // placement raced (the copy moved between resolve and
+                    // read): re-resolve against the current catalog
+                    last = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let (shipped, report) = ship(&batch, transport)?;
+            self.engine(to_engine)?
+                .lock()
+                .put_table(new_name, shipped)?;
+            // resolve the kind (an engine lock) before taking the catalog
+            // lock: the write path nests engine → catalog, so nesting
+            // catalog → engine here would form a lock-order cycle
+            let kind = default_kind(self.kind_of(to_engine)?);
+            self.catalog.write().register(new_name, to_engine, kind);
+            if record_demand && source != to_engine {
+                self.monitor.lock().record_ship(object, to_engine);
+            }
+            return Ok(report);
+        }
+        Err(last.expect("loop exits early unless a read failed"))
     }
 
     /// Materialize an intermediate result batch on an engine (used by
@@ -208,41 +359,365 @@ impl BigDawg {
         let batch = batch.narrow_types();
         let (shipped, report) = ship(&batch, transport)?;
         self.engine(to_engine)?.lock().put_table(name, shipped)?;
-        self.catalog
-            .write()
-            .register(name, to_engine, default_kind(self.kind_of(to_engine)?));
+        // kind first, catalog lock second (see cast_object on lock order)
+        let kind = default_kind(self.kind_of(to_engine)?);
+        self.catalog.write().register(name, to_engine, kind);
         Ok(report)
     }
 
-    /// Drop an object everywhere (engine + catalog). Temp cleanup path.
+    /// Drop an object everywhere: every copy the catalog tracks (primary
+    /// *and* replicas) plus the catalog entry. Temp cleanup path. Deletion
+    /// is a placement change, so it takes the object's in-flight mark
+    /// (mutually exclusive with migrations/replications of the object).
+    ///
+    /// Ordering matters for ghost-freedom: engine copies go first (refused
+    /// replica drops are orphan-marked), the catalog entry last — so at
+    /// every instant a copy [`BigDawg::refresh_catalog`] could observe is
+    /// either still cataloged or already orphan-marked, never registrable.
     pub fn drop_object(&self, object: &str) -> Result<()> {
-        let engine = self.locate(object)?;
-        self.engine(&engine)?.lock().drop_object(object)?;
+        let _in_flight = self.begin_placement(object)?;
+        let entry = self.placement(object)?;
+        self.engine(&entry.engine)?.lock().drop_object(object)?;
+        for replica in &entry.replicas {
+            self.drop_or_orphan(replica, object);
+        }
         self.catalog.write().unregister(object);
         Ok(())
     }
 
-    /// Migrate `object` to another engine (monitor-driven): cast + drop the
-    /// original + catalog relocate. The object keeps its name.
+    // ---- migration (see `crate::migrate` for the policy engine) -------------
+
+    /// Mark a placement of `object` in flight. At most one placement per
+    /// object runs at a time: without this, two placements racing to the
+    /// same target could have the loser's abort-cleanup drop the copy the
+    /// winner just committed. Losers get an error and retry on the next
+    /// cycle if demand persists. The returned guard releases the mark on
+    /// drop (panic-safe).
+    fn begin_placement(&self, object: &str) -> Result<PlacementGuard<'_>> {
+        if !self.placements_in_flight.lock().insert(object.to_string()) {
+            return Err(BigDawgError::Execution(format!(
+                "a placement of `{object}` is already in flight"
+            )));
+        }
+        Ok(PlacementGuard {
+            bd: self,
+            object: object.to_string(),
+        })
+    }
+
+    /// Record an untracked engine copy the catalog must never resurrect.
+    fn note_orphan(&self, engine: &str, object: &str) {
+        self.orphans
+            .lock()
+            .insert((engine.to_string(), object.to_string()));
+    }
+
+    /// A copy on `engine` became legitimate again (a placement landed
+    /// fresh data there under the same name): stop treating it as orphaned.
+    fn clear_orphan(&self, engine: &str, object: &str) {
+        self.orphans
+            .lock()
+            .remove(&(engine.to_string(), object.to_string()));
+    }
+
+    /// Drop an untracked copy from an engine; if the engine refuses while
+    /// still holding it, record the copy as an orphan so the catalog never
+    /// resurrects it. A not-found outcome means nothing lingers — no
+    /// orphan.
+    fn drop_or_orphan(&self, engine: &str, object: &str) {
+        match self.engine(engine).map(|e| e.lock().drop_object(object)) {
+            Ok(Ok(())) | Ok(Err(BigDawgError::NotFound(_))) | Err(_) => {}
+            Ok(Err(_)) => self.note_orphan(engine, object),
+        }
+    }
+
+    /// Migrate `object`'s primary to another engine (monitor-driven): copy
+    /// through CAST, commit the catalog relocation, drop the source. The
+    /// object keeps its name.
+    ///
+    /// The protocol is copy-then-commit, so a failure at any point leaves
+    /// the catalog pointing at an intact copy:
+    ///
+    /// 1. **Copy.** Read the source, ship, write the target. A failure here
+    ///    aborts with the catalog untouched (a partial target object is
+    ///    dropped best-effort). If the target already holds a replica the
+    ///    copy is skipped — promotion.
+    /// 2. **Commit.** Under the catalog write lock, verify the placement
+    ///    epoch did not advance since step 1 (a concurrent write or
+    ///    migration would have bumped it — committing would install
+    ///    pre-write data, so the move aborts and the target copy is
+    ///    dropped). Then relocate the primary.
+    /// 3. **Cleanup.** Drop the source copy. If the source engine refuses
+    ///    (it may have failed), the copy is left behind as an
+    ///    *unreferenced* orphan: the catalog never routes to it, and it is
+    ///    deliberately not registered as a replica because a write racing
+    ///    the commit window may have touched it.
+    ///
+    /// Placements of the same object are mutually exclusive (a concurrent
+    /// one fails fast with an `execution` error).
     pub fn migrate_object(
         &self,
         object: &str,
         to_engine: &str,
         transport: Transport,
     ) -> Result<CastReport> {
-        let from_engine = self.locate(object)?;
+        let _in_flight = self.begin_placement(object)?;
+        self.migrate_object_inner(object, to_engine, transport)
+    }
+
+    fn migrate_object_inner(
+        &self,
+        object: &str,
+        to_engine: &str,
+        transport: Transport,
+    ) -> Result<CastReport> {
+        let entry = self.placement(object)?;
+        let from_engine = entry.engine.clone();
         if from_engine == to_engine {
             return Err(BigDawgError::Execution(format!(
                 "object `{object}` already lives on `{to_engine}`"
             )));
         }
-        let batch = self.engine(&from_engine)?.lock().get_table(object)?;
-        let (shipped, report) = ship(&batch, transport)?;
-        self.engine(to_engine)?.lock().put_table(object, shipped)?;
-        // Drop the source copy; streams refuse drops, which fails migration.
-        self.engine(&from_engine)?.lock().drop_object(object)?;
-        self.catalog.write().relocate(object, to_engine)?;
+        if entry.kind.is_pinned() {
+            return Err(BigDawgError::Unsupported(format!(
+                "{} `{object}` is bound to its engine and cannot migrate",
+                entry.kind
+            )));
+        }
+        self.engine(to_engine)?; // fail before copying if the target is unknown
+
+        // 1. copy (skipped when promoting an existing replica)
+        let promoting = entry.located_on(to_engine);
+        let report = if promoting {
+            CastReport {
+                rows: 0,
+                wire_bytes: 0,
+                encode: std::time::Duration::ZERO,
+                transfer: std::time::Duration::ZERO,
+                decode: std::time::Duration::ZERO,
+                transport,
+            }
+        } else {
+            let batch = self.engine(&from_engine)?.lock().get_table(object)?;
+            let (shipped, report) = ship(&batch, transport)?;
+            // bind before testing: an `if let` on the locked call would keep
+            // the engine guard alive into the cleanup re-lock below
+            let put = self.engine(to_engine)?.lock().put_table(object, shipped);
+            if let Err(e) = put {
+                // abort: drop whatever partial state the target holds; the
+                // catalog still points at the intact source
+                self.drop_or_orphan(to_engine, object);
+                return Err(e);
+            }
+            // a fresh copy just landed under this name: if an old orphan
+            // lived here, it no longer does
+            self.clear_orphan(to_engine, object);
+            report
+        };
+
+        // 2. commit, guarded by the placement epoch
+        {
+            let mut cat = self.catalog.write();
+            let now_epoch = cat.locate(object)?.epoch;
+            if now_epoch != entry.epoch {
+                drop(cat);
+                if !promoting {
+                    self.drop_or_orphan(to_engine, object);
+                }
+                return Err(BigDawgError::Execution(format!(
+                    "placement of `{object}` changed during migration \
+                     (epoch {} -> {now_epoch}); move aborted",
+                    entry.epoch
+                )));
+            }
+            cat.relocate(object, to_engine)?;
+        }
+
+        // 3. cleanup: drop the source copy. The move is already committed,
+        // so a refusing source engine must not surface as a failed
+        // migration; its undropped copy is left as an *unreferenced* orphan
+        // — never registered as a replica, because a write racing the
+        // commit window may have landed on (and been refused from) exactly
+        // that copy, so its contents can no longer be trusted to match the
+        // new primary. The orphan is recorded so `refresh_catalog` never
+        // resurrects it and reaps it once the engine allows the drop.
+        self.drop_or_orphan(&from_engine, object);
         Ok(report)
+    }
+
+    /// Place an identical copy of `object` on `to_engine`, keeping the
+    /// primary where it is. Future queries gathering on `to_engine` resolve
+    /// to the co-located copy and skip the CAST round-trip entirely; a
+    /// write to the object invalidates the copy ([`BigDawg::note_write`]).
+    ///
+    /// Fault-safe the same way as [`BigDawg::migrate_object`]: the replica
+    /// is registered only after the copy fully lands, and only if the
+    /// placement epoch did not advance during the copy (otherwise the copy
+    /// may predate a concurrent write and is discarded). Placements of the
+    /// same object are mutually exclusive.
+    pub fn replicate_object(
+        &self,
+        object: &str,
+        to_engine: &str,
+        transport: Transport,
+    ) -> Result<CastReport> {
+        let _in_flight = self.begin_placement(object)?;
+        self.replicate_object_inner(object, to_engine, transport)
+    }
+
+    fn replicate_object_inner(
+        &self,
+        object: &str,
+        to_engine: &str,
+        transport: Transport,
+    ) -> Result<CastReport> {
+        let entry = self.placement(object)?;
+        if entry.kind.is_pinned() {
+            return Err(BigDawgError::Unsupported(format!(
+                "{} `{object}` is bound to its engine and cannot replicate",
+                entry.kind
+            )));
+        }
+        if entry.located_on(to_engine) {
+            return Err(BigDawgError::Execution(format!(
+                "`{to_engine}` already holds a copy of `{object}`"
+            )));
+        }
+        self.engine(to_engine)?;
+
+        let batch = self.engine(&entry.engine)?.lock().get_table(object)?;
+        let (shipped, report) = ship(&batch, transport)?;
+        // bind before testing (see migrate_object: avoids re-locking the
+        // engine while the put guard is still alive)
+        let put = self.engine(to_engine)?.lock().put_table(object, shipped);
+        if let Err(e) = put {
+            self.drop_or_orphan(to_engine, object);
+            return Err(e);
+        }
+        self.clear_orphan(to_engine, object);
+        {
+            let mut cat = self.catalog.write();
+            let now_epoch = cat.locate(object)?.epoch;
+            if now_epoch != entry.epoch {
+                drop(cat);
+                self.drop_or_orphan(to_engine, object);
+                return Err(BigDawgError::Execution(format!(
+                    "placement of `{object}` changed during replication \
+                     (epoch {} -> {now_epoch}); copy discarded",
+                    entry.epoch
+                )));
+            }
+            cat.add_replica(object, to_engine)?;
+        }
+        Ok(report)
+    }
+
+    /// Record that `object` was written: advance its placement epoch, drop
+    /// every replica (catalog first, then the engine copies, so no reader
+    /// is routed to a stale copy), and reset the object's demand counters
+    /// so the migrator re-places it only under fresh demand.
+    ///
+    /// The relational island's write path performs the catalog invalidation
+    /// *inside* the primary engine's critical section (so no reader can
+    /// observe the write and then a stale replica) and uses this method
+    /// only for the cleanup half. Callers writing through other channels
+    /// (e.g. direct `put_table`) should call this right after the write;
+    /// native (degenerate-island) writes bypass the middleware and
+    /// therefore also bypass invalidation, exactly as in the paper's
+    /// deployment.
+    pub fn note_write(&self, object: &str) -> Vec<String> {
+        let stale = self.catalog.write().invalidate(object);
+        self.drop_stale_copies(object, &stale);
+        stale
+    }
+
+    /// Cleanup half of write invalidation: drop the engine copies the
+    /// catalog no longer references and reset the object's demand counters.
+    /// Runs after the write's critical section.
+    ///
+    /// A placement may have *re*-placed a fresh copy on one of these
+    /// engines since the invalidation (the epoch guard admits copies read
+    /// after the write) — dropping that would leave the catalog referencing
+    /// a copy the engine no longer holds. So the drops run under the
+    /// object's in-flight placement mark with the catalog re-checked per
+    /// engine; if a placement is mid-flight, the stale copies are left
+    /// behind as unreferenced orphans instead (the catalog no longer routes
+    /// to them, and any future placement overwrites them).
+    pub(crate) fn drop_stale_copies(&self, object: &str, stale: &[String]) {
+        if !stale.is_empty() {
+            if self.placements_in_flight.lock().insert(object.to_string()) {
+                let _guard = PlacementGuard {
+                    bd: self,
+                    object: object.to_string(),
+                };
+                let current: Vec<String> = self
+                    .placement(object)
+                    .map(|e| e.locations().map(String::from).collect())
+                    .unwrap_or_default();
+                for engine in stale {
+                    if current.contains(engine) {
+                        continue; // a fresh post-write copy landed here — keep it
+                    }
+                    self.drop_or_orphan(engine, object);
+                }
+            } else {
+                // a placement is mid-flight: leave the stale copies behind
+                // as orphans — never routed to, never resurrected, reaped
+                // by the next refresh (a placement landing fresh data on
+                // one of these engines clears its mark)
+                for engine in stale {
+                    self.note_orphan(engine, object);
+                }
+            }
+        }
+        self.monitor.lock().reset_ships(object);
+    }
+
+    /// Move `object`'s primary to `to_engine` over the monitor's preferred
+    /// transport — the manual migration entry point.
+    pub fn migrate(&self, object: &str, to_engine: &str) -> Result<CastReport> {
+        let transport = self.preferred_transport();
+        self.migrate_object(object, to_engine, transport)
+    }
+
+    /// Replicate `object` onto `to_engine` over the monitor's preferred
+    /// transport — the manual replication entry point.
+    pub fn replicate(&self, object: &str, to_engine: &str) -> Result<CastReport> {
+        let transport = self.preferred_transport();
+        self.replicate_object(object, to_engine, transport)
+    }
+
+    /// Enable (`Some(policy)`) or disable (`None`) automatic monitor-driven
+    /// placement: with a policy set, every top-level query is followed by a
+    /// [`Migrator`] cycle that replicates/moves the monitor's hot objects so
+    /// repeat workloads converge onto co-located copies.
+    pub fn set_auto_migrate(&self, policy: Option<MigrationPolicy>) {
+        *self.auto_migrate.write() = policy;
+    }
+
+    /// The currently configured auto-migration policy, if any.
+    pub fn auto_migrate_policy(&self) -> Option<MigrationPolicy> {
+        *self.auto_migrate.read()
+    }
+
+    /// Run one auto-migration cycle if a policy is set and no other cycle
+    /// is in flight. Called after every top-level query; cheap when the hot
+    /// set is empty.
+    pub(crate) fn maybe_auto_migrate(&self) {
+        let Some(policy) = self.auto_migrate_policy() else {
+            return;
+        };
+        if self
+            .migration_active
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another thread is already migrating
+        }
+        // guard, not a trailing store: a panicking shim mid-cycle must not
+        // leave the flag set and silently disable auto-migration forever
+        let _cycle = CycleGuard(&self.migration_active);
+        Migrator::new(policy).run_cycle(self);
     }
 
     // ---- queries ------------------------------------------------------------
@@ -251,15 +726,21 @@ impl BigDawg {
     ///
     /// CAST terms are materialized concurrently by the scatter-gather
     /// executor ([`crate::exec`]); use [`BigDawg::execute_serial`] for the
-    /// one-at-a-time reference schedule.
+    /// one-at-a-time reference schedule. When auto-migration is enabled
+    /// ([`BigDawg::set_auto_migrate`]), a migrator cycle follows the query.
     pub fn execute(&self, query: &str) -> Result<Batch> {
-        exec::execute(self, query)
+        let result = exec::execute(self, query);
+        self.maybe_auto_migrate();
+        result
     }
 
     /// Execute a SCOPE/CAST query materializing CAST terms serially — the
-    /// reference schedule the federation benchmark compares against.
+    /// reference schedule the federation benchmark compares against. Also
+    /// triggers auto-migration, like [`BigDawg::execute`].
     pub fn execute_serial(&self, query: &str) -> Result<Batch> {
-        scope::execute(self, query)
+        let result = scope::execute(self, query);
+        self.maybe_auto_migrate();
+        result
     }
 
     /// Decompose a SCOPE/CAST query into its scatter-gather [`exec::Plan`]
@@ -393,6 +874,29 @@ mod tests {
             .unwrap();
         bd.drop_object("tmp").unwrap();
         assert!(bd.locate("tmp").is_err());
+    }
+
+    #[test]
+    fn drop_object_removes_every_copy_and_refresh_cannot_resurrect() {
+        let bd = federation();
+        bd.replicate_object("wave", "postgres", Transport::Binary)
+            .unwrap();
+        bd.drop_object("wave").unwrap();
+        assert!(bd.locate("wave").is_err());
+        assert!(bd
+            .engine("scidb")
+            .unwrap()
+            .lock()
+            .get_table("wave")
+            .is_err());
+        assert!(bd
+            .engine("postgres")
+            .unwrap()
+            .lock()
+            .get_table("wave")
+            .is_err());
+        bd.refresh_catalog();
+        assert!(bd.locate("wave").is_err(), "dropped object stays dropped");
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! A shim decorator that injects deterministic failures.
+//!
+//! Sibling of [`super::latency::LatencyShim`]: where that decorator makes
+//! an in-process engine *slow* like a remote one, [`FaultShim`] makes it
+//! *unreliable* like one. Every fallible operation — [`Shim::get_table`],
+//! [`Shim::put_table`], [`Shim::drop_object`], [`Shim::execute_native`] —
+//! increments an operation counter; when the counter lands on a point of
+//! the configured [`FaultPlan`], the operation fails with an
+//! [`BigDawgError::Execution`] error *before* reaching the wrapped engine,
+//! so the engine's state is exactly what a crashed request would leave.
+//!
+//! Plans are fully deterministic: an explicit operation index
+//! ([`FaultPlan::nth`], [`FaultPlan::at`]) or a seeded pseudo-random
+//! schedule ([`FaultPlan::seeded`]) that derives the same failure points
+//! for the same seed every run. That makes fault tests reproducible — the
+//! torn-placement test in `tests/migration_faults.rs` fails the exact
+//! `put_table` in the middle of a migration copy and asserts the catalog
+//! still points at the intact source.
+//!
+//! Metadata calls (`engine_name`, `kind`, `capabilities`, `object_names`)
+//! never fail and are not counted.
+
+use crate::shim::{Capability, EngineKind, Shim};
+use bigdawg_common::{Batch, BigDawgError, Result};
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which operation indices (1-based) fail.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    fail_at: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// Fail exactly the `n`-th fallible operation (1-based).
+    pub fn nth(n: u64) -> Self {
+        Self::at(&[n])
+    }
+
+    /// Fail exactly the listed operation indices (1-based).
+    pub fn at(indices: &[u64]) -> Self {
+        FaultPlan {
+            fail_at: indices.iter().copied().filter(|i| *i > 0).collect(),
+        }
+    }
+
+    /// A seeded pseudo-random schedule: roughly `rate_percent`% of the
+    /// first `horizon` operations fail, chosen by a splitmix64 stream so
+    /// the same seed always yields the same failure points.
+    pub fn seeded(seed: u64, rate_percent: u8, horizon: u64) -> Self {
+        let rate = u64::from(rate_percent.min(100));
+        let mut state = seed;
+        let mut fail_at = BTreeSet::new();
+        for i in 1..=horizon {
+            // splitmix64 step — tiny, deterministic, no external dependency
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            if z % 100 < rate {
+                fail_at.insert(i);
+            }
+        }
+        FaultPlan { fail_at }
+    }
+
+    /// The planned failure indices, ascending.
+    pub fn failure_points(&self) -> impl Iterator<Item = u64> + '_ {
+        self.fail_at.iter().copied()
+    }
+
+    fn fails(&self, op: u64) -> bool {
+        self.fail_at.contains(&op)
+    }
+}
+
+/// Wraps a [`Shim`], failing the operations its [`FaultPlan`] names.
+pub struct FaultShim {
+    inner: Box<dyn Shim>,
+    plan: FaultPlan,
+    ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultShim {
+    /// Wrap `inner` under the given failure plan.
+    pub fn new(inner: Box<dyn Shim>, plan: FaultPlan) -> Self {
+        FaultShim {
+            inner,
+            plan,
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of fallible operations attempted so far.
+    pub fn operations(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Count one operation; inject the planned failure when it is due.
+    fn tick(&self, op_name: &str, object: &str) -> Result<()> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.fails(op) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(BigDawgError::Execution(format!(
+                "injected fault: {op_name}(`{object}`) failed on operation {op} of `{}`",
+                self.inner.engine_name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Shim for FaultShim {
+    fn engine_name(&self) -> &str {
+        self.inner.engine_name()
+    }
+
+    fn kind(&self) -> EngineKind {
+        self.inner.kind()
+    }
+
+    fn capabilities(&self) -> Vec<Capability> {
+        self.inner.capabilities()
+    }
+
+    fn object_names(&self) -> Vec<String> {
+        self.inner.object_names()
+    }
+
+    fn get_table(&self, object: &str) -> Result<Batch> {
+        self.tick("get_table", object)?;
+        self.inner.get_table(object)
+    }
+
+    fn put_table(&mut self, object: &str, batch: Batch) -> Result<()> {
+        self.tick("put_table", object)?;
+        self.inner.put_table(object, batch)
+    }
+
+    fn drop_object(&mut self, object: &str) -> Result<()> {
+        self.tick("drop_object", object)?;
+        self.inner.drop_object(object)
+    }
+
+    fn execute_native(&mut self, query: &str) -> Result<Batch> {
+        self.tick("execute_native", query)?;
+        self.inner.execute_native(query)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self.inner.as_any()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self.inner.as_any_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shims::RelationalShim;
+
+    fn table_shim() -> Box<dyn Shim> {
+        let mut pg = RelationalShim::new("postgres");
+        pg.db_mut().execute("CREATE TABLE t (x INT)").unwrap();
+        pg.db_mut().execute("INSERT INTO t VALUES (1)").unwrap();
+        Box::new(pg)
+    }
+
+    #[test]
+    fn nth_operation_fails_exactly_once() {
+        let shim = FaultShim::new(table_shim(), FaultPlan::nth(2));
+        assert!(shim.get_table("t").is_ok(), "op 1 passes");
+        let err = shim.get_table("t").unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        assert!(err.to_string().contains("injected fault"));
+        assert!(shim.get_table("t").is_ok(), "op 3 passes again");
+        assert_eq!(shim.operations(), 3);
+        assert_eq!(shim.injected_failures(), 1);
+    }
+
+    #[test]
+    fn metadata_is_never_counted_or_failed() {
+        let shim = FaultShim::new(table_shim(), FaultPlan::nth(1));
+        assert_eq!(shim.engine_name(), "postgres");
+        assert_eq!(shim.object_names(), vec!["t"]);
+        assert_eq!(shim.operations(), 0, "metadata calls are free");
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_rate_bounded() {
+        let a = FaultPlan::seeded(7, 25, 1000);
+        let b = FaultPlan::seeded(7, 25, 1000);
+        assert_eq!(
+            a.failure_points().collect::<Vec<_>>(),
+            b.failure_points().collect::<Vec<_>>(),
+            "same seed, same schedule"
+        );
+        let c = FaultPlan::seeded(8, 25, 1000);
+        assert_ne!(
+            a.failure_points().collect::<Vec<_>>(),
+            c.failure_points().collect::<Vec<_>>(),
+            "different seed, different schedule"
+        );
+        let n = a.failure_points().count();
+        assert!((150..350).contains(&n), "~25% of 1000, got {n}");
+        assert!(FaultPlan::seeded(7, 0, 1000).failure_points().count() == 0);
+        assert_eq!(FaultPlan::seeded(7, 100, 50).failure_points().count(), 50);
+    }
+
+    #[test]
+    fn downcast_reaches_the_wrapped_shim() {
+        let shim = FaultShim::new(table_shim(), FaultPlan::default());
+        assert!(shim.as_any().downcast_ref::<RelationalShim>().is_some());
+    }
+}

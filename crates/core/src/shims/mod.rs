@@ -10,10 +10,13 @@
 //! | [`tupleware::TupleShim`] | `bigdawg-tupleware` | Tupleware |
 //!
 //! [`latency::LatencyShim`] wraps any of the above to emulate the network
-//! round-trips of the paper's distributed deployment.
+//! round-trips of the paper's distributed deployment;
+//! [`fault::FaultShim`] wraps any of the above to inject deterministic,
+//! seedable failures (the migration fault-injection harness).
 
 pub mod afl;
 pub mod array;
+pub mod fault;
 pub mod kv;
 pub mod latency;
 pub mod relational;
@@ -22,6 +25,7 @@ pub mod tile;
 pub mod tupleware;
 
 pub use array::ArrayShim;
+pub use fault::{FaultPlan, FaultShim};
 pub use kv::KvShim;
 pub use latency::LatencyShim;
 pub use relational::RelationalShim;

@@ -1,0 +1,203 @@
+//! Concurrency tests for the migrator: queries hammer the federation while
+//! background threads migrate, replicate, and invalidate the *same*
+//! objects. The invariants: no deadlocks (the test terminates), no lost
+//! writes (every insert is visible at the end), counts never go backwards
+//! within a thread (no stale replica is ever served after a write), and
+//! placement epochs only advance.
+
+use bigdawg_array::Array;
+use bigdawg_common::Value;
+use bigdawg_core::shims::{ArrayShim, RelationalShim};
+use bigdawg_core::{BigDawg, MigrationPolicy, Migrator};
+
+fn federation() -> BigDawg {
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("postgres");
+    pg.db_mut()
+        .execute("CREATE TABLE hot (i INT, v FLOAT)")
+        .unwrap();
+    pg.db_mut()
+        .execute("INSERT INTO hot VALUES (0, 0.5), (1, 1.5), (2, 2.5), (3, 3.5)")
+        .unwrap();
+    bd.add_engine(Box::new(pg));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        Array::from_vector(
+            "wave",
+            "v",
+            &(0..256).map(|i| (i % 11) as f64).collect::<Vec<_>>(),
+            32,
+        ),
+    );
+    let mut mover = ArrayShim::new("scidb2");
+    mover.store(
+        "mover",
+        Array::from_vector(
+            "mover",
+            "v",
+            &(0..64).map(|i| i as f64).collect::<Vec<_>>(),
+            16,
+        ),
+    );
+    bd.add_engine(Box::new(scidb));
+    bd.add_engine(Box::new(mover));
+    bd
+}
+
+const WRITERS: usize = 2;
+const WRITES_EACH: usize = 20;
+
+#[test]
+fn eight_threads_migrate_write_and_query_the_same_objects() {
+    let bd = federation();
+    std::thread::scope(|s| {
+        // --- 3 reader threads ------------------------------------------------
+        // `wave` is read-only: its count is exact, whatever engine serves it.
+        // `hot` is being appended to: each reader's successive counts must be
+        // non-decreasing (a stale replica served after a write would regress).
+        for t in 0..3 {
+            let bd = &bd;
+            s.spawn(move || {
+                let mut last_hot = 0i64;
+                for i in 0..30 {
+                    let b = bd
+                        .execute("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation))")
+                        .unwrap_or_else(|e| panic!("wave read on thread {t}: {e}"));
+                    assert_eq!(b.rows()[0][0], Value::Int(256));
+                    let island = if i % 2 == 0 {
+                        "RELATIONAL(SELECT COUNT(*) AS n FROM hot)"
+                    } else {
+                        "ARRAY(aggregate(hot, count, v))"
+                    };
+                    let b = bd
+                        .execute(island)
+                        .unwrap_or_else(|e| panic!("hot read on thread {t}: {e}"));
+                    let n = b.rows()[0][0].as_f64().unwrap() as i64;
+                    assert!(
+                        n >= last_hot,
+                        "hot count regressed on thread {t}: {last_hot} -> {n} (stale replica?)"
+                    );
+                    assert!(n <= 4 + (WRITERS * WRITES_EACH) as i64);
+                    last_hot = n;
+                }
+            });
+        }
+        // --- 2 writer threads ------------------------------------------------
+        for w in 0..WRITERS {
+            let bd = &bd;
+            s.spawn(move || {
+                for i in 0..WRITES_EACH {
+                    let id = 100 + w * WRITES_EACH + i;
+                    bd.execute(&format!(
+                        "RELATIONAL(INSERT INTO hot VALUES ({id}, {id}.0))"
+                    ))
+                    .unwrap_or_else(|e| panic!("write {id}: {e}"));
+                }
+            });
+        }
+        // --- 3 migration threads --------------------------------------------
+        // replicator: keeps placing `hot` and `wave` onto other engines
+        // (writes keep invalidating `hot`'s copies)
+        {
+            let bd = &bd;
+            s.spawn(move || {
+                let mut last_epoch = 0u64;
+                for i in 0..20 {
+                    let target = if i % 2 == 0 { "scidb" } else { "scidb2" };
+                    let _ = bd.replicate("hot", target); // racing a write may abort: fine
+                    let _ = bd.replicate("wave", "postgres");
+                    let e = bd.placement_epoch("hot").unwrap();
+                    assert!(e >= last_epoch, "epoch regressed: {last_epoch} -> {e}");
+                    last_epoch = e;
+                }
+            });
+        }
+        // mover: ping-pongs `mover`'s primary between the two array engines
+        {
+            let bd = &bd;
+            s.spawn(move || {
+                let mut last_epoch = bd.placement_epoch("mover").unwrap();
+                for i in 0..20 {
+                    let target = if i % 2 == 0 { "scidb" } else { "scidb2" };
+                    let _ = bd.migrate("mover", target); // may already be there
+                    let e = bd.placement_epoch("mover").unwrap();
+                    assert!(e >= last_epoch, "epoch regressed: {last_epoch} -> {e}");
+                    last_epoch = e;
+                }
+            });
+        }
+        // policy thread: full migrator cycles driven by live demand counters
+        {
+            let bd = &bd;
+            s.spawn(move || {
+                let migrator = Migrator::new(MigrationPolicy::with_min_ships(2));
+                for _ in 0..15 {
+                    let _ = migrator.run_cycle(bd);
+                }
+            });
+        }
+    });
+
+    // --- post-conditions -----------------------------------------------------
+    // no lost writes: every insert is visible, through both islands
+    let expected = 4 + (WRITERS * WRITES_EACH) as i64;
+    let b = bd
+        .execute("RELATIONAL(SELECT COUNT(*) AS n FROM hot)")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Int(expected), "lost writes");
+    let b = bd.execute("ARRAY(aggregate(hot, count, v))").unwrap();
+    assert_eq!(b.rows()[0][0], Value::Float(expected as f64));
+    // `mover` survived the ping-pong intact wherever it ended up
+    let b = bd.execute("ARRAY(aggregate(mover, count, v))").unwrap();
+    assert_eq!(b.rows()[0][0], Value::Float(64.0));
+    // no leaked temporaries; the three base objects remain cataloged
+    assert!(bd
+        .catalog()
+        .read()
+        .entries()
+        .all(|(name, _)| !name.starts_with("__cast")));
+    assert_eq!(bd.catalog().read().len(), 3);
+    // every copy the catalog claims actually exists on its engine
+    for (name, entry) in bd.catalog().read().entries() {
+        for engine in entry.locations() {
+            assert!(
+                bd.engine(engine).unwrap().lock().get_table(name).is_ok(),
+                "catalog claims `{name}` on `{engine}` but the engine lacks it"
+            );
+        }
+    }
+}
+
+/// Auto-migration enabled while many clients query: the federation must
+/// converge (hot objects get co-located) without a coordinator thread.
+#[test]
+fn auto_migration_under_concurrent_load_converges() {
+    let bd = federation();
+    bd.set_auto_migrate(Some(MigrationPolicy::with_min_ships(3)));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let bd = &bd;
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let b = bd
+                        .execute(
+                            "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v > 5)",
+                        )
+                        .unwrap();
+                    assert_eq!(b.rows()[0][0], Value::Int(115)); // 5 of every 11
+                }
+            });
+        }
+    });
+    assert!(
+        bd.located_on("wave", "postgres"),
+        "demand converged onto a co-located copy"
+    );
+    // converged plans have no scatter work left
+    let plan = bd
+        .explain("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v > 5)")
+        .unwrap();
+    assert!(plan.is_degenerate());
+    assert_eq!(plan.placements.len(), 1);
+}

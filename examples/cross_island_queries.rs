@@ -1,6 +1,6 @@
 //! A tour of every island over one federation: SCOPE/CAST, degenerate
-//! islands, D4M associative algebra, Myria iteration, and monitor-driven
-//! migration (§2.1).
+//! islands, D4M associative algebra, Myria iteration, monitor-driven
+//! migration, and automatic placement converging a hot workload (§2.1).
 //!
 //! ```text
 //! cargo run --example cross_island_queries
@@ -8,7 +8,7 @@
 
 use bigdawg::core::monitor::QueryClass;
 use bigdawg::core::shims::{ArrayShim, KvShim, RelationalShim};
-use bigdawg::core::{BigDawg, Transport};
+use bigdawg::core::{BigDawg, MigrationPolicy, Transport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bd = BigDawg::new();
@@ -93,5 +93,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  `readings` now lives on: {}", bd.locate("readings")?);
     let b = bd.execute("ARRAY(aggregate(readings, sum, v))")?;
     println!("  array-native sum after migration: {}", b.rows()[0][0]);
+
+    println!("\n— Migrator: a hot object converges onto the gather engine");
+    bd.set_auto_migrate(Some(MigrationPolicy::with_min_ships(3)));
+    let hot = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave_native, relation) WHERE v > 0)";
+    println!("  cold plan:");
+    print!("{}", bd.explain(hot)?);
+    for _ in 0..3 {
+        bd.execute(hot)?; // each run ships `wave_native` → demand accumulates
+    }
+    println!(
+        "  placements of `wave_native` after 3 runs: {:?} (epoch {})",
+        bd.placement("wave_native")?.locations().collect::<Vec<_>>(),
+        bd.placement_epoch("wave_native")?
+    );
+    println!("  converged plan (CAST elided — no round-trip left):");
+    print!("{}", bd.explain(hot)?);
     Ok(())
 }

@@ -187,6 +187,41 @@ fn monitor_migrates_on_workload_shift_end_to_end() {
 }
 
 #[test]
+fn auto_migration_converges_hot_objects_onto_the_gather_engine() {
+    let d = demo();
+    let bd = &d.bd;
+    bd.set_auto_migrate(Some(bigdawg::core::MigrationPolicy::with_min_ships(3)));
+    let q = "RELATIONAL(SELECT COUNT(*) AS spikes FROM CAST(waveform_0, relation) WHERE v > 2.5)";
+    // cold: the waveform ships from SciDB on every query
+    assert_eq!(bd.explain(q).unwrap().leaves.len(), 1);
+    let baseline = bd.execute(q).unwrap();
+    for _ in 0..3 {
+        let b = bd.execute(q).unwrap();
+        assert_eq!(b.rows(), baseline.rows(), "stable answers while migrating");
+    }
+    // converged: a replica landed on postgres, the plan has no leaves left,
+    // and EXPLAIN names the chosen placement
+    assert!(bd.located_on("waveform_0", "postgres"));
+    let plan = bd.explain(q).unwrap();
+    assert!(plan.is_degenerate());
+    assert_eq!(plan.placements.len(), 1);
+    assert_eq!(plan.placements[0].object, "waveform_0");
+    assert_eq!(plan.placements[0].engine, "postgres");
+    assert!(plan.to_string().contains("cast elided"));
+    // answers unchanged after convergence, on both schedules
+    let parallel = bd.execute(q).unwrap();
+    let serial = bd.execute_serial(q).unwrap();
+    assert_eq!(parallel.rows(), baseline.rows());
+    assert_eq!(serial.rows(), baseline.rows());
+    // the array engine still holds the primary; the array island still works
+    assert_eq!(bd.locate("waveform_0").unwrap(), "scidb");
+    let b = bd
+        .execute("ARRAY(aggregate(waveform_0, count, v))")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Float(4000.0));
+}
+
+#[test]
 fn streaming_alerts_fire_against_planted_anomalies() {
     let d = demo();
     let bd = &d.bd;

@@ -175,6 +175,95 @@ proptest! {
         }
     }
 
+    /// Query results are identical before and after *any* sequence of
+    /// migrations and replications of the queried object — placement is
+    /// invisible to query semantics (and the serial schedule agrees with
+    /// the parallel one at every step).
+    #[test]
+    fn results_stable_under_any_migration_sequence(
+        values in proptest::collection::vec(-100f64..100.0, 1..40),
+        threshold in -100f64..100.0,
+        steps in proptest::collection::vec((0usize..3, any::<bool>()), 0..6),
+    ) {
+        let mut bd = bigdawg::core::BigDawg::new();
+        bd.add_engine(Box::new(bigdawg::core::shims::RelationalShim::new("postgres")));
+        let mut scidb = bigdawg::core::shims::ArrayShim::new("scidb");
+        scidb.store("w", bigdawg::array::Array::from_vector("w", "v", &values, 16));
+        bd.add_engine(Box::new(scidb));
+        bd.add_engine(Box::new(bigdawg::core::shims::ArrayShim::new("scidb2")));
+        let engines = ["postgres", "scidb", "scidb2"];
+        let q = format!(
+            "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(w, relation) WHERE v > {threshold})"
+        );
+        let baseline = bd.execute(&q).expect("baseline run");
+        let expected = values.iter().filter(|v| **v > threshold).count() as i64;
+        prop_assert_eq!(&baseline.rows()[0][0], &Value::Int(expected));
+        let mut last_epoch = bd.placement_epoch("w").expect("cataloged");
+        for (target, replicate) in steps {
+            // moves and replications may no-op (already there): both are fine
+            let _ = if replicate {
+                bd.replicate("w", engines[target])
+            } else {
+                bd.migrate("w", engines[target])
+            };
+            let epoch = bd.placement_epoch("w").expect("still cataloged");
+            prop_assert!(epoch >= last_epoch, "epoch regressed: {} -> {}", last_epoch, epoch);
+            last_epoch = epoch;
+            let parallel = bd.execute(&q).expect("post-placement run");
+            let serial = bd.execute_serial(&q).expect("serial run");
+            prop_assert_eq!(parallel.rows(), baseline.rows());
+            prop_assert_eq!(serial.rows(), baseline.rows());
+        }
+    }
+
+    /// A replicated-then-written object never serves stale replica data:
+    /// after a write through the relational island, every island observes
+    /// the post-write state, no matter where copies had been placed.
+    #[test]
+    fn migrated_then_written_never_serves_stale_data(
+        ages in proptest::collection::vec(1i64..100, 1..20),
+        new_age in 1i64..100,
+        replicate_twice in any::<bool>(),
+    ) {
+        let mut bd = bigdawg::core::BigDawg::new();
+        let mut pg = bigdawg::core::shims::RelationalShim::new("postgres");
+        pg.db_mut().execute("CREATE TABLE t (i INT, age INT)").unwrap();
+        let rows: Vec<String> = ages.iter().enumerate()
+            .map(|(i, a)| format!("({i}, {a})"))
+            .collect();
+        pg.db_mut()
+            .execute(&format!("INSERT INTO t VALUES {}", rows.join(",")))
+            .unwrap();
+        bd.add_engine(Box::new(pg));
+        bd.add_engine(Box::new(bigdawg::core::shims::ArrayShim::new("scidb")));
+        bd.add_engine(Box::new(bigdawg::core::shims::ArrayShim::new("scidb2")));
+
+        bd.replicate("t", "scidb").expect("replicate");
+        if replicate_twice {
+            bd.replicate("t", "scidb2").expect("second replica");
+        }
+        // the array island now reads the co-located copy
+        let b = bd.execute("ARRAY(aggregate(t, count, age))").expect("pre-write read");
+        prop_assert_eq!(&b.rows()[0][0], &Value::Float(ages.len() as f64));
+
+        // write through the relational island: replicas must invalidate
+        bd.execute(&format!(
+            "RELATIONAL(INSERT INTO t VALUES ({}, {new_age}))", ages.len()
+        )).expect("write");
+        prop_assert!(!bd.located_on("t", "scidb"), "stale replica still cataloged");
+        prop_assert!(!bd.located_on("t", "scidb2"));
+
+        // every island sees the post-write state
+        let n = ages.len() as i64 + 1;
+        let b = bd.execute("RELATIONAL(SELECT COUNT(*) AS n FROM t)").expect("sql read");
+        prop_assert_eq!(&b.rows()[0][0], &Value::Int(n));
+        let b = bd.execute("ARRAY(aggregate(t, count, age))").expect("array read");
+        prop_assert_eq!(&b.rows()[0][0], &Value::Float(n as f64));
+        let sum: i64 = ages.iter().sum::<i64>() + new_age;
+        let b = bd.execute("ARRAY(aggregate(t, sum, age))").expect("array sum");
+        prop_assert_eq!(&b.rows()[0][0], &Value::Float(sum as f64));
+    }
+
     /// The parallel scatter-gather executor returns exactly what the serial
     /// reference schedule returns, for any filter threshold over a
     /// cross-engine CAST query.
