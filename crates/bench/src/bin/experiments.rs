@@ -95,4 +95,8 @@ fn main() {
         let r = migration_convergence::run(wire, if quick { 5 } else { 8 }).expect("E12 runs");
         println!("{}", migration_convergence::table(&r));
     }
+    if want("e13") {
+        let r = interchange::run(if quick { 20_000 } else { 100_000 }).expect("E13 runs");
+        println!("{}", interchange::table(&r));
+    }
 }

@@ -15,12 +15,14 @@
 //! | [`coupling`] | E10 | §2.4: tight vs loose linear-algebra coupling |
 //! | [`federation`] | E11 | §2.2: parallel scatter-gather vs serial executor |
 //! | [`migration_convergence`] | E12 | §2.1: auto-migration converges a hot workload to near in-process latency |
+//! | [`interchange`] | E13 | §2.1: zero-copy columnar interchange vs row codec vs file |
 
 pub mod anomaly_exp;
 pub mod cast_exp;
 pub mod coupling;
 pub mod federation;
 pub mod fig;
+pub mod interchange;
 pub mod migration;
 pub mod migration_convergence;
 pub mod onesize;

@@ -5,8 +5,11 @@
 //! through a small common vocabulary defined here:
 //!
 //! * [`Value`] — a dynamically typed scalar (the unit CAST moves around),
-//! * [`DataType`] / [`Schema`] — type metadata for rows and array cells,
+//! * [`DataType`] / [`Schema`] — type metadata for rows and array cells
+//!   (`Arc`-shared, so schema clones are refcount bumps),
 //! * [`Row`] / [`Batch`] — the tabular interchange format used by islands,
+//!   backed by `Arc`-shared typed [`Column`]s (copy-on-write),
+//! * [`Column`] / [`NullMask`] — the typed columnar storage behind batches,
 //! * [`BigDawgError`] — the error type shared across the federation.
 //!
 //! Nothing in this crate knows about any particular engine; it is the bottom
@@ -15,11 +18,13 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod column;
 pub mod error;
 pub mod schema;
 pub mod value;
 
 pub use batch::{Batch, Row};
+pub use column::{Column, ColumnData, NullMask};
 pub use error::{BigDawgError, Result};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

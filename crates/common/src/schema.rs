@@ -3,6 +3,7 @@
 use crate::error::{BigDawgError, Result};
 use crate::value::DataType;
 use std::fmt;
+use std::sync::Arc;
 
 /// A named, typed column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,23 +39,25 @@ impl Field {
 /// An ordered list of [`Field`]s.
 ///
 /// Lookup is linear: federated schemas are narrow (tens of columns), so a
-/// hash index would cost more to maintain than it saves.
+/// hash index would cost more to maintain than it saves. The field list is
+/// `Arc`-shared, so cloning a schema (every batch carries one, and CAST
+/// clones them freely) is one refcount bump, not a `Vec<Field>` deep copy.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
-    fields: Vec<Field>,
+    fields: Arc<Vec<Field>>,
 }
 
 impl Schema {
     /// A schema over the given fields, in order.
     pub fn new(fields: Vec<Field>) -> Self {
-        Schema { fields }
+        Schema {
+            fields: Arc::new(fields),
+        }
     }
 
     /// Build a schema of nullable fields from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
-        Schema {
-            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
-        }
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
     }
 
     /// The fields, in column order.
@@ -103,8 +106,8 @@ impl Schema {
     /// side are disambiguated with a `right.` prefix, mirroring what the
     /// relational island does for `JOIN` output.
     pub fn join(&self, right: &Schema) -> Schema {
-        let mut fields = self.fields.clone();
-        for f in &right.fields {
+        let mut fields = (*self.fields).clone();
+        for f in right.fields.iter() {
             let name = if self.index_of(&f.name).is_ok() {
                 format!("right.{}", f.name)
             } else {
@@ -116,14 +119,12 @@ impl Schema {
                 nullable: f.nullable,
             });
         }
-        Schema { fields }
+        Schema::new(fields)
     }
 
     /// Keep only the columns at `indices`, in that order.
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema {
-            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
-        }
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
     }
 
     /// Check that another schema is compatible for UNION/CAST: same arity and

@@ -6,16 +6,34 @@
 //! each system needs an access method that knows how to read binary data in
 //! parallel directly from another engine."
 //!
-//! Two transports implement that comparison (experiment E4):
+//! Three transports implement that spectrum (experiments E4 and E13):
 //!
 //! * [`Transport::File`] — the baseline: serialize the batch to CSV text
 //!   and parse it back (what `COPY TO`/`COPY FROM` across engines does);
-//! * [`Transport::Binary`] — the optimized path: the compact binary row
-//!   codec (shared with the stream engine's command log), encoded and
-//!   decoded **in parallel** across row partitions.
+//! * [`Transport::Binary`] — the optimized wire path: a *columnar* binary
+//!   codec. Each (row-chunk × column) becomes one contiguous buffer —
+//!   type tag, NULL bitmap, packed payload — encoded and decoded **in
+//!   parallel across both columns and row chunks**. When the source engine
+//!   sits behind an emulated wire ([`crate::shims::LatencyShim`]), each
+//!   buffer's transfer is pipelined on its own stream, so wire time
+//!   overlaps codec work instead of adding to it;
+//! * [`Transport::ZeroCopy`] — the co-resident fast path: the batch's
+//!   `Arc`-shared columns are handed over as-is. No encode, no decode, and
+//!   `wire_bytes` is honestly reported as 0 — nothing crossed any wire.
+//!   Copy-on-write at the batch layer guarantees the receiver's snapshot
+//!   is immune to later writes on the source.
+//!
+//! The legacy row-major codec ([`encode_binary`]/[`decode_binary`], shared
+//! with the stream engine's command log) is kept as the E13 comparison
+//! baseline.
 
-use bigdawg_common::{Batch, BigDawgError, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{
+    Batch, BigDawgError, Column, ColumnData, DataType, NullMask, Result, Row, Schema, Value,
+};
 use bigdawg_stream::recovery::{read_value, write_value};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How CAST ships rows between engines.
@@ -23,8 +41,12 @@ use std::time::{Duration, Instant};
 pub enum Transport {
     /// CSV text export/import (the paper's "file-based import/export").
     File,
-    /// Parallel binary encode/decode.
+    /// Parallel columnar binary encode/decode, pipelined over the wire.
     Binary,
+    /// In-process `Arc` handover between co-resident engines: no codec, no
+    /// wire. Falls back to [`Transport::Binary`] when a wire is present —
+    /// zero-copy cannot cross process boundaries.
+    ZeroCopy,
 }
 
 /// Measured result of one CAST.
@@ -32,16 +54,23 @@ pub enum Transport {
 pub struct CastReport {
     /// Number of rows shipped.
     pub rows: usize,
-    /// Bytes that crossed the (in-process) wire.
+    /// Bytes that crossed the wire. Zero for [`Transport::ZeroCopy`] —
+    /// nothing was serialized.
     pub wire_bytes: usize,
-    /// Time spent serializing on the source side.
+    /// Time spent serializing on the source side (for the pipelined binary
+    /// transport: the longest per-buffer encode, since buffers encode in
+    /// parallel).
     pub encode: Duration,
-    /// Time the encoded payload spent in flight. Always zero for the
-    /// in-process transports implemented today; kept in the report (and in
-    /// [`CastReport::total`]) so EXPERIMENTS.md numbers stay comparable when
-    /// transports later become remote.
+    /// Time not hidden behind codec work: end-to-end wall time minus the
+    /// overlapped encode/decode, so `total()` is honest wall clock. Behind
+    /// an emulated wire this is dominated by the payload's flight time and
+    /// pipelining shows up as `total() < encode + wire + decode` of the
+    /// serial schedule; in-process it is the (small) scheduling/merge
+    /// remainder of the parallel codec — exactly zero only for the
+    /// zero-copy and CSV transports.
     pub transfer: Duration,
-    /// Time spent deserializing on the target side.
+    /// Time spent deserializing on the target side (longest per-buffer
+    /// decode for the pipelined transport).
     pub decode: Duration,
     /// Which transport shipped the rows.
     pub transport: Transport,
@@ -54,30 +83,71 @@ impl CastReport {
     }
 }
 
-/// Ship a batch through the chosen transport, returning the reconstructed
-/// batch plus measurements. This is the data-plane of CAST; the engine
+/// Ship a batch through the chosen transport with no wire in between (the
+/// in-process case). This is the data-plane of CAST; the engine
 /// egress/ingress (get_table/put_table) happens in `BigDawg::cast_object`.
 pub fn ship(batch: &Batch, transport: Transport) -> Result<(Batch, CastReport)> {
+    ship_with_wire(batch, transport, Duration::ZERO)
+}
+
+/// Ship a batch through the chosen transport across an emulated wire with
+/// the given one-way payload latency (zero = in-process). The binary
+/// transport pipelines per-buffer transfers so the wire overlaps codec
+/// work; the file transport pays the wire serially, like a file copy
+/// between import and export would.
+pub fn ship_with_wire(
+    batch: &Batch,
+    transport: Transport,
+    wire: Duration,
+) -> Result<(Batch, CastReport)> {
     match transport {
-        Transport::File => ship_csv(batch),
-        Transport::Binary => ship_binary(batch),
+        Transport::File => ship_csv(batch, wire),
+        Transport::Binary => ship_binary(batch, wire),
+        Transport::ZeroCopy if wire.is_zero() => ship_zero_copy(batch),
+        // zero-copy cannot cross a wire: degrade to the columnar codec
+        Transport::ZeroCopy => ship_binary(batch, wire),
     }
+}
+
+// ---- zero-copy (co-resident) path ------------------------------------------
+
+fn ship_zero_copy(batch: &Batch) -> Result<(Batch, CastReport)> {
+    let t0 = Instant::now();
+    // O(columns) Arc bumps; the receiver shares the source's columns until
+    // either side writes (copy-on-write)
+    let out = batch.clone();
+    let encode = t0.elapsed();
+    let report = CastReport {
+        rows: batch.len(),
+        wire_bytes: 0,
+        encode,
+        transfer: Duration::ZERO,
+        decode: Duration::ZERO,
+        transport: Transport::ZeroCopy,
+    };
+    Ok((out, report))
 }
 
 // ---- CSV (file-based) path -------------------------------------------------
 
-fn ship_csv(batch: &Batch) -> Result<(Batch, CastReport)> {
+fn ship_csv(batch: &Batch, wire: Duration) -> Result<(Batch, CastReport)> {
     let t0 = Instant::now();
     let text = to_csv(batch);
     let encode = t0.elapsed();
     let t1 = Instant::now();
+    if !wire.is_zero() {
+        // one file, one transfer, strictly between export and import
+        std::thread::sleep(wire);
+    }
+    let transfer = t1.elapsed();
+    let t2 = Instant::now();
     let out = from_csv(&text, batch.schema())?;
-    let decode = t1.elapsed();
+    let decode = t2.elapsed();
     let report = CastReport {
         rows: batch.len(),
         wire_bytes: text.len(),
         encode,
-        transfer: Duration::ZERO,
+        transfer,
         decode,
         transport: Transport::File,
     };
@@ -86,40 +156,82 @@ fn ship_csv(batch: &Batch) -> Result<(Batch, CastReport)> {
 
 /// CSV with minimal quoting (quotes around fields containing `,`/`"`/newline,
 /// embedded quotes doubled). Header row carries column names and types.
+/// Cells are written straight into the output buffer (no per-cell `format!`
+/// temporaries), which is pre-reserved from a per-row size estimate.
 pub fn to_csv(batch: &Batch) -> String {
-    let mut out = String::new();
     let schema = batch.schema();
+    // rough per-row estimate: numerics print ≤ ~13 chars, floats ≤ ~20,
+    // text we guess; close enough to avoid repeated re-allocation
+    let per_row: usize = schema
+        .fields()
+        .iter()
+        .map(|f| match f.data_type {
+            DataType::Float => 20,
+            DataType::Text | DataType::Null => 16,
+            DataType::Bool => 6,
+            _ => 13,
+        } + 1)
+        .sum::<usize>()
+        .max(2);
+    let mut out = String::with_capacity(16 * (schema.len() + 1) + batch.len() * per_row);
     for (i, f) in schema.fields().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("{}:{}", f.name, f.data_type));
+        let _ = write!(out, "{}:{}", f.name, f.data_type);
     }
     out.push('\n');
-    for row in batch.rows() {
-        for (i, v) in row.iter().enumerate() {
-            if i > 0 {
+    for i in 0..batch.len() {
+        for (c, col) in batch.columns().iter().enumerate() {
+            if c > 0 {
                 out.push(',');
             }
-            match v {
-                Value::Null => {}
-                Value::Text(s) => {
-                    if s.contains(',') || s.contains('"') || s.contains('\n') {
-                        out.push('"');
-                        out.push_str(&s.replace('"', "\"\""));
-                        out.push('"');
-                    } else {
-                        out.push_str(s);
-                    }
+            if col.is_null(i) {
+                continue;
+            }
+            match col.data() {
+                ColumnData::Int(v) => {
+                    let _ = write!(out, "{}", v[i]);
                 }
-                Value::Float(f) => out.push_str(&format!("{f:?}")), // keeps precision
-                Value::Timestamp(t) => out.push_str(&t.to_string()),
-                other => out.push_str(&other.to_string()),
+                ColumnData::Timestamp(v) => {
+                    let _ = write!(out, "{}", v[i]);
+                }
+                ColumnData::Float(v) => {
+                    let _ = write!(out, "{:?}", v[i]); // keeps precision
+                }
+                ColumnData::Bool(v) => {
+                    let _ = write!(out, "{}", v[i]);
+                }
+                ColumnData::Text(v) => csv_text(&mut out, &v[i]),
+                ColumnData::Mixed(vals) => match &vals[i] {
+                    Value::Null => {}
+                    Value::Text(s) => csv_text(&mut out, s),
+                    Value::Float(f) => {
+                        let _ = write!(out, "{f:?}");
+                    }
+                    Value::Timestamp(t) => {
+                        let _ = write!(out, "{t}");
+                    }
+                    other => {
+                        let _ = write!(out, "{other}");
+                    }
+                },
             }
         }
         out.push('\n');
     }
     out
+}
+
+/// Append one text cell with CSV quoting.
+fn csv_text(out: &mut String, s: &str) {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        out.push('"');
+        out.push_str(&s.replace('"', "\"\""));
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
 }
 
 /// Parse CSV produced by [`to_csv`] back into a batch with `schema` types.
@@ -147,7 +259,8 @@ pub fn from_csv(text: &str, schema: &Schema) -> Result<Batch> {
             .collect::<Result<_>>()?;
         rows.push(row);
     }
-    Batch::new(schema.clone(), rows)
+    // arity was checked against the schema above — no re-validation needed
+    Ok(Batch::from_parts_trusted(schema.clone(), rows))
 }
 
 /// Split a CSV payload into records of fields, honoring quoting. A field
@@ -221,7 +334,12 @@ fn infer_text(text: &str) -> Value {
     }
 }
 
-// ---- binary parallel path ---------------------------------------------------
+// ---- legacy row-major binary codec -----------------------------------------
+//
+// The pre-columnar wire format: rows written value-by-value through the
+// stream engine's command-log codec, partitioned by rows only. Kept as the
+// E13 comparison baseline and for the equivalence property tests; the live
+// Binary transport uses the columnar codec below.
 
 /// Number of parallel encode/decode partitions.
 fn partitions() -> usize {
@@ -230,26 +348,8 @@ fn partitions() -> usize {
         .unwrap_or(4)
 }
 
-fn ship_binary(batch: &Batch) -> Result<(Batch, CastReport)> {
-    let t0 = Instant::now();
-    let parts = encode_binary(batch);
-    let encode = t0.elapsed();
-    let wire_bytes: usize = parts.iter().map(Vec::len).sum();
-    let t1 = Instant::now();
-    let out = decode_binary(&parts, batch.schema())?;
-    let decode = t1.elapsed();
-    let report = CastReport {
-        rows: batch.len(),
-        wire_bytes,
-        encode,
-        transfer: Duration::ZERO,
-        decode,
-        transport: Transport::Binary,
-    };
-    Ok((out, report))
-}
-
-/// Encode rows into per-partition binary buffers, in parallel.
+/// Encode rows into per-partition binary buffers, in parallel — the
+/// **legacy row-major codec** (see module docs).
 pub fn encode_binary(batch: &Batch) -> Vec<Vec<u8>> {
     let rows = batch.rows();
     let n_parts = partitions().max(1);
@@ -277,7 +377,8 @@ pub fn encode_binary(batch: &Batch) -> Vec<Vec<u8>> {
     })
 }
 
-/// Decode per-partition buffers back into a batch, in parallel.
+/// Decode per-partition buffers back into a batch, in parallel — pairs
+/// with [`encode_binary`] (the legacy row-major codec).
 pub fn decode_binary(parts: &[Vec<u8>], schema: &Schema) -> Result<Batch> {
     let width = schema.len();
     let decoded: Vec<Result<Vec<Row>>> = std::thread::scope(|s| {
@@ -313,13 +414,370 @@ pub fn decode_binary(parts: &[Vec<u8>], schema: &Schema) -> Result<Batch> {
     for part in decoded {
         rows.extend(part?);
     }
-    Batch::new(schema.clone(), rows)
+    // every row was built with exactly `width` values just above
+    Ok(Batch::from_parts_trusted(schema.clone(), rows))
+}
+
+// ---- columnar binary codec ---------------------------------------------------
+//
+// Wire unit: one buffer per (row-chunk × column), laid out as
+//
+//   u64 rows | u8 type-tag | u8 has-nulls | [null bitmap] | packed payload
+//
+// Numeric payloads are contiguous little-endian runs (NULL slots hold a
+// placeholder so offsets stay trivial); text is u64-length-prefixed; mixed
+// columns fall back to the per-value command-log codec. Buffers are
+// independent, which is what buys parallel encode/decode across both axes
+// and per-buffer transfer pipelining.
+
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_TEXT: u8 = 4;
+const TAG_TIMESTAMP: u8 = 5;
+const TAG_MIXED: u8 = 6;
+
+/// Encode one column's rows `lo..hi` into a self-contained buffer.
+fn encode_column_slice(col: &Column, lo: usize, hi: usize) -> Vec<u8> {
+    let n = hi - lo;
+    let nulls = col.nulls();
+    let has_nulls = (lo..hi).any(|i| nulls.is_null(i));
+    let mut buf = Vec::with_capacity(16 + n / 8 + n * 9);
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    let tag = match col.data() {
+        ColumnData::Bool(_) => TAG_BOOL,
+        ColumnData::Int(_) => TAG_INT,
+        ColumnData::Float(_) => TAG_FLOAT,
+        ColumnData::Text(_) => TAG_TEXT,
+        ColumnData::Timestamp(_) => TAG_TIMESTAMP,
+        ColumnData::Mixed(_) => TAG_MIXED,
+    };
+    buf.push(tag);
+    if tag == TAG_MIXED {
+        // mixed columns carry NULLs inline as tagged values
+        buf.push(0);
+    } else {
+        buf.push(u8::from(has_nulls));
+        if has_nulls {
+            let mut byte = 0u8;
+            for (k, i) in (lo..hi).enumerate() {
+                if nulls.is_null(i) {
+                    byte |= 1 << (k % 8);
+                }
+                if k % 8 == 7 {
+                    buf.push(byte);
+                    byte = 0;
+                }
+            }
+            if n % 8 != 0 {
+                buf.push(byte);
+            }
+        }
+    }
+    match col.data() {
+        ColumnData::Bool(v) => buf.extend(v[lo..hi].iter().map(|&b| u8::from(b))),
+        ColumnData::Int(v) | ColumnData::Timestamp(v) => {
+            for x in &v[lo..hi] {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        ColumnData::Float(v) => {
+            for x in &v[lo..hi] {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        ColumnData::Text(v) => {
+            for s in &v[lo..hi] {
+                buf.extend_from_slice(&(s.len() as u64).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+        ColumnData::Mixed(vals) => {
+            for v in &vals[lo..hi] {
+                write_value(&mut buf, v);
+            }
+        }
+    }
+    buf
+}
+
+/// Decode one buffer produced by [`encode_column_slice`].
+fn decode_column_part(buf: &[u8]) -> Result<Column> {
+    let corrupt = |what: &str| BigDawgError::Cast(format!("corrupt columnar part: {what}"));
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        // `n` may be a forged u64 length near usize::MAX: compare against
+        // the remaining bytes without computing `pos + n` (which would
+        // overflow) so corruption always errors instead of panicking
+        if n > buf.len().saturating_sub(pos) {
+            return Err(corrupt("truncated"));
+        }
+        let s = &buf[pos..pos + n];
+        pos += n;
+        Ok(s)
+    };
+    let n = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+    // every layout costs ≥ 1 payload byte per row, so a row count beyond
+    // the buffer length is corruption — reject it *before* sizing any
+    // allocation from it (a forged header must error, not OOM)
+    if n > buf.len() {
+        return Err(corrupt("row count exceeds payload"));
+    }
+    let tag = take(1)?[0];
+    let has_nulls = take(1)?[0] != 0;
+    let mut nulls = NullMask::new();
+    if tag != TAG_MIXED {
+        if has_nulls {
+            let bitmap = take(n.div_ceil(8))?;
+            for i in 0..n {
+                nulls.push(bitmap[i / 8] & (1 << (i % 8)) != 0);
+            }
+        } else {
+            nulls = NullMask::all_valid(n);
+        }
+    }
+    let data = match tag {
+        TAG_BOOL => ColumnData::Bool(take(n)?.iter().map(|&b| b != 0).collect()),
+        TAG_INT | TAG_TIMESTAMP => {
+            let raw = take(n * 8)?;
+            let v: Vec<i64> = raw
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            if tag == TAG_INT {
+                ColumnData::Int(v)
+            } else {
+                ColumnData::Timestamp(v)
+            }
+        }
+        TAG_FLOAT => {
+            let raw = take(n * 8)?;
+            ColumnData::Float(
+                raw.chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            )
+        }
+        TAG_TEXT => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize;
+                let bytes = take(len)?;
+                v.push(String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("bad utf8 in text"))?);
+            }
+            ColumnData::Text(v)
+        }
+        TAG_MIXED => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (val, used) = read_value(&buf[pos..])?;
+                pos += used;
+                v.push(val);
+            }
+            return Ok(Column::from_values(v));
+        }
+        other => return Err(corrupt(&format!("unknown column tag {other}"))),
+    };
+    Ok(Column::from_parts(data, nulls))
+}
+
+/// Row ranges splitting `len` rows into `n_chunks` chunks.
+fn chunk_ranges(len: usize, n_chunks: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return vec![(0, 0)];
+    }
+    let chunk = len.div_ceil(n_chunks.max(1)).max(1);
+    (0..len.div_ceil(chunk))
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(len)))
+        .collect()
+}
+
+/// Encode a batch into (row-chunk × column) buffers, chunk-major — the
+/// columnar wire codec, serially (the pipelined parallel path lives in
+/// [`ship_with_wire`]). `rows_per_chunk` controls the chunking; pass
+/// `batch.len().max(1)` for a single chunk.
+pub fn encode_columnar(batch: &Batch, rows_per_chunk: usize) -> Vec<Vec<u8>> {
+    let n_chunks = batch.len().div_ceil(rows_per_chunk.max(1)).max(1);
+    let mut parts = Vec::with_capacity(n_chunks * batch.schema().len());
+    for (lo, hi) in chunk_ranges(batch.len(), n_chunks) {
+        for col in batch.columns() {
+            parts.push(encode_column_slice(col, lo, hi));
+        }
+    }
+    parts
+}
+
+/// Decode chunk-major (row-chunk × column) buffers back into a batch.
+/// Pairs with [`encode_columnar`].
+pub fn decode_columnar(parts: &[Vec<u8>], schema: &Schema) -> Result<Batch> {
+    let width = schema.len();
+    if width == 0 {
+        return Ok(Batch::empty(schema.clone()));
+    }
+    if parts.len() % width != 0 || parts.is_empty() {
+        return Err(BigDawgError::Cast(format!(
+            "columnar payload has {} parts, not a multiple of {width} columns",
+            parts.len()
+        )));
+    }
+    let decoded: Vec<Column> = parts
+        .iter()
+        .map(|buf| decode_column_part(buf))
+        .collect::<Result<_>>()?;
+    // from_columns re-checks column-length agreement; surface a violation
+    // as payload corruption, which on this path it is
+    Batch::from_columns(schema.clone(), assemble_columns(width, decoded))
+        .map_err(|e| BigDawgError::Cast(format!("corrupt columnar payload: {e}")))
+}
+
+/// Reassemble chunk-major per-buffer columns (buffer `k` holds column
+/// `k % width` of chunk `k / width`) into whole columns. Shared by the
+/// serial decoder and the pipelined ship path so the two can never
+/// disagree on ordering.
+fn assemble_columns(width: usize, parts: Vec<Column>) -> Vec<Column> {
+    let mut columns: Vec<Option<Column>> = (0..width).map(|_| None).collect();
+    for (k, part) in parts.into_iter().enumerate() {
+        match &mut columns[k % width] {
+            Some(col) => col.append(part),
+            slot => *slot = Some(part),
+        }
+    }
+    columns
+        .into_iter()
+        .map(|c| c.expect("at least one chunk per column"))
+        .collect()
+}
+
+/// Outcome of one pipelined (encode → transfer → decode) buffer.
+struct PartOutcome {
+    column: Column,
+    bytes: usize,
+    encode: Duration,
+    decode: Duration,
+}
+
+fn ship_binary(batch: &Batch, wire: Duration) -> Result<(Batch, CastReport)> {
+    let started = Instant::now();
+    let len = batch.len();
+    let width = batch.schema().len();
+    if width == 0 {
+        // a zero-column batch still ships its row count — encode the
+        // header for real so wire_bytes stays an honest byte count
+        let t0 = Instant::now();
+        let header = (len as u64).to_le_bytes();
+        let encode = t0.elapsed();
+        if !wire.is_zero() {
+            std::thread::sleep(wire);
+        }
+        let t1 = Instant::now();
+        let n = u64::from_le_bytes(header) as usize;
+        let out = Batch::from_parts_trusted(batch.schema().clone(), vec![Vec::new(); n]);
+        let decode = t1.elapsed();
+        let wall = started.elapsed();
+        return Ok((
+            out,
+            CastReport {
+                rows: len,
+                wire_bytes: header.len(),
+                encode,
+                transfer: wall.saturating_sub(encode + decode),
+                decode,
+                transport: Transport::Binary,
+            },
+        ));
+    }
+
+    // chunking: enough buffers to keep every codec worker busy and — when a
+    // wire is present — enough independent streams that transfers overlap
+    let target_parts: usize = if wire.is_zero() { partitions() } else { 32 };
+    let n_chunks = if len < 4096 {
+        1
+    } else {
+        (target_parts / width).clamp(1, 16)
+    };
+    let ranges = chunk_ranges(len, n_chunks);
+    // (result slot, row range) per buffer, chunk-major
+    let task_list: Vec<(usize, usize, usize)> = ranges
+        .iter()
+        .enumerate()
+        .flat_map(|(c, &(lo, hi))| (0..width).map(move |j| (c * width + j, lo, hi)))
+        .collect();
+
+    let run_task = |slot: usize, lo: usize, hi: usize| -> Result<PartOutcome> {
+        let j = slot % width;
+        let t0 = Instant::now();
+        let buf = encode_column_slice(batch.column_ref(j), lo, hi);
+        let encode = t0.elapsed();
+        if !wire.is_zero() {
+            // this buffer's own transfer stream; concurrent buffers overlap
+            std::thread::sleep(wire);
+        }
+        let t1 = Instant::now();
+        let column = decode_column_part(&buf)?;
+        let decode = t1.elapsed();
+        Ok(PartOutcome {
+            column,
+            bytes: buf.len(),
+            encode,
+            decode,
+        })
+    };
+
+    let n_tasks = task_list.len();
+    let workers = n_tasks.min(if wire.is_zero() { partitions() } else { 32 });
+    let outcomes: Vec<Option<Result<PartOutcome>>> = if workers <= 1 {
+        task_list
+            .iter()
+            .map(|&(slot, lo, hi)| Some(run_task(slot, lo, hi)))
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<Result<PartOutcome>>>> =
+            Mutex::new((0..n_tasks).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(slot, lo, hi)) = task_list.get(i) else {
+                        break;
+                    };
+                    let out = run_task(slot, lo, hi);
+                    slots.lock().unwrap_or_else(|p| p.into_inner())[slot] = Some(out);
+                });
+            }
+        });
+        slots.into_inner().unwrap_or_else(|p| p.into_inner())
+    };
+
+    let mut parts = Vec::with_capacity(n_tasks);
+    let mut wire_bytes = 0usize;
+    let mut encode = Duration::ZERO;
+    let mut decode = Duration::ZERO;
+    for outcome in outcomes {
+        let part = outcome.expect("every task slot filled")?;
+        wire_bytes += part.bytes;
+        encode = encode.max(part.encode);
+        decode = decode.max(part.decode);
+        parts.push(part.column);
+    }
+    let out = Batch::from_columns(batch.schema().clone(), assemble_columns(width, parts))?;
+    let wall = started.elapsed();
+    let report = CastReport {
+        rows: len,
+        wire_bytes,
+        encode,
+        transfer: wall.saturating_sub(encode + decode),
+        decode,
+        transport: Transport::Binary,
+    };
+    Ok((out, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use bigdawg_common::Field;
+    use std::sync::Arc;
 
     fn batch() -> Batch {
         let schema = Schema::new(vec![
@@ -366,6 +824,59 @@ mod tests {
         let (back, report) = ship(&b, Transport::Binary).unwrap();
         assert_eq!(back.rows(), b.rows());
         assert_eq!(report.transport, Transport::Binary);
+        assert!(report.wire_bytes > 0);
+    }
+
+    #[test]
+    fn zero_copy_shares_columns_and_reports_no_wire_bytes() {
+        let b = batch();
+        let (back, report) = ship(&b, Transport::ZeroCopy).unwrap();
+        assert_eq!(back.rows(), b.rows());
+        assert_eq!(report.transport, Transport::ZeroCopy);
+        assert_eq!(report.wire_bytes, 0, "nothing was serialized");
+        assert!(
+            Arc::ptr_eq(&b.columns()[0], &back.columns()[0]),
+            "columns are handed over, not copied"
+        );
+    }
+
+    #[test]
+    fn zero_copy_degrades_to_binary_across_a_wire() {
+        let b = batch();
+        let (back, report) =
+            ship_with_wire(&b, Transport::ZeroCopy, Duration::from_millis(1)).unwrap();
+        assert_eq!(back.rows(), b.rows());
+        assert_eq!(
+            report.transport,
+            Transport::Binary,
+            "zero-copy cannot cross a wire"
+        );
+        assert!(report.wire_bytes > 0);
+    }
+
+    #[test]
+    fn columnar_codec_multi_chunk_roundtrip() {
+        let b = batch();
+        let parts = encode_columnar(&b, 100);
+        assert_eq!(parts.len(), 5 * 5, "5 chunks × 5 columns");
+        let back = decode_columnar(&parts, b.schema()).unwrap();
+        assert_eq!(back.rows(), b.rows());
+        // typed layouts survive the wire
+        assert!(back.column_ref(0).as_ints().is_some());
+        assert!(back.column_ref(2).as_floats().is_some());
+    }
+
+    #[test]
+    fn binary_ship_with_wire_roundtrips_and_pays_the_wire() {
+        let b = batch();
+        let wire = Duration::from_millis(2);
+        let (back, report) = ship_with_wire(&b, Transport::Binary, wire).unwrap();
+        assert_eq!(back.rows(), b.rows());
+        assert!(
+            report.total() >= wire,
+            "the wire cannot be cheated: {:?}",
+            report.total()
+        );
     }
 
     #[test]
@@ -401,6 +912,40 @@ mod tests {
         let mut parts = encode_binary(&b);
         parts[0].truncate(10);
         assert!(decode_binary(&parts, b.schema()).is_err());
+    }
+
+    #[test]
+    fn corrupt_columnar_detected() {
+        let b = batch();
+        let mut parts = encode_columnar(&b, 250);
+        parts[1].truncate(6);
+        assert!(decode_columnar(&parts, b.schema()).is_err());
+        let parts = encode_columnar(&b, 250);
+        assert!(
+            decode_columnar(&parts[..3], b.schema()).is_err(),
+            "part count must be a multiple of the column count"
+        );
+        // a forged row count must error, not size an allocation
+        let mut parts = encode_columnar(&b, 250);
+        parts[0][..8].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        let err = decode_columnar(&parts, b.schema()).unwrap_err();
+        assert_eq!(err.kind(), "cast");
+        // a forged text-length prefix (near u64::MAX) must error, not
+        // overflow the cursor arithmetic
+        let mut parts = encode_columnar(&b, 250);
+        let text_part = &mut parts[1]; // column 1 is the Text column
+        let first_len_at = 8 + 1 + 1 + 250usize.div_ceil(8); // rows, tag, has_nulls, bitmap
+        text_part[first_len_at..first_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_columnar(&parts, b.schema()).unwrap_err();
+        assert_eq!(err.kind(), "cast");
+    }
+
+    #[test]
+    fn row_and_columnar_codecs_agree() {
+        let b = batch();
+        let via_rows = decode_binary(&encode_binary(&b), b.schema()).unwrap();
+        let via_columns = decode_columnar(&encode_columnar(&b, 128), b.schema()).unwrap();
+        assert_eq!(via_rows.rows(), via_columns.rows());
     }
 
     #[test]

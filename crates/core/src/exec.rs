@@ -30,9 +30,12 @@
 //! fixed-width scoped-thread pattern of [`crate::cast`]'s partitioned
 //! codec. The gather node then executes the rewritten body on its island.
 //!
-//! Plan choice is monitor-driven: the CAST transport for every leaf comes
-//! from [`crate::monitor::Monitor::preferred_transport`] (measured file vs
-//! binary history, binary on cold start), and islands pick their engine
+//! Plan choice is monitor-driven: when every engine a leaf touches is
+//! co-resident with the coordinator the leaf ships zero-copy
+//! ([`Transport::ZeroCopy`] — `Arc` handover, no codec); otherwise the
+//! transport comes from
+//! [`crate::monitor::Monitor::preferred_transport`] (measured file vs
+//! binary history, binary on cold start). Islands pick their engine
 //! through [`crate::polystore::BigDawg::choose_engine_of_kind`] (cheapest
 //! by measured per-class latency when several engines qualify).
 
@@ -116,6 +119,7 @@ impl fmt::Display for Plan {
             let transport = match leaf.transport {
                 Transport::File => "file",
                 Transport::Binary => "binary",
+                Transport::ZeroCopy => "zero-copy",
             };
             let source = match &leaf.source {
                 LeafSource::Object(o) => format!("cast object `{o}`"),
@@ -157,7 +161,7 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
 /// references the co-located copy by name and the round-trip disappears.
 /// Those choices are recorded in [`Plan::placements`] for `EXPLAIN`.
 pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
-    let transport = bd.preferred_transport();
+    let preferred = bd.preferred_transport();
     let mut leaves = Vec::new();
     let mut placements = Vec::new();
     let mut out = String::with_capacity(body.len());
@@ -170,6 +174,14 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
         let consumed = start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
         let (inner, target) = scope::split_cast_args(inner_full)?;
         let target_engine = scope::resolve_target(bd, &target)?;
+        // a sub-query's rows are materialized from coordinator memory, so
+        // only the target's side of the wire matters; an object ship also
+        // crosses the source's wire
+        let mut transport = if bd.co_resident(&target_engine) {
+            Transport::ZeroCopy
+        } else {
+            preferred
+        };
         let source = if scope::try_scope(&inner).is_some() {
             LeafSource::SubQuery(inner)
         } else {
@@ -189,6 +201,11 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
                 });
                 rest = &rest[consumed..];
                 continue;
+            }
+            if !bd.co_resident(&entry.engine) {
+                // the object must cross its home engine's wire: zero-copy
+                // is off the table regardless of the target's side
+                transport = preferred;
             }
             LeafSource::Object(object.to_string())
         };

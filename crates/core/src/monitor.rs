@@ -427,6 +427,11 @@ impl Monitor {
     /// mean per-row shipping cost. Until *both* transports have history the
     /// binary transport wins by default (it is the paper's optimized path,
     /// and a one-sided measurement says nothing about the comparison).
+    ///
+    /// Only the two *codec* transports compete here: zero-copy is not a
+    /// wire format — the planner picks it structurally (co-resident
+    /// engines), never from measured history, though its ships are still
+    /// recorded per-transport for observability.
     pub fn preferred_transport(&self) -> Transport {
         let file = self
             .transports
@@ -821,6 +826,27 @@ mod tests {
         let stats = m.transport_stats(Transport::File).unwrap();
         assert_eq!(stats.casts, 2);
         assert_eq!(stats.rows, 110);
+    }
+
+    #[test]
+    fn zero_copy_stats_are_tracked_but_never_win_the_wire_choice() {
+        let mut m = Monitor::new();
+        // a flood of (trivially fast) zero-copy ships must not convince
+        // the cost model to pick zero-copy for a wire-crossing cast
+        for _ in 0..10 {
+            m.record_cast(&CastReport {
+                rows: 100_000,
+                wire_bytes: 0,
+                encode: Duration::from_nanos(500),
+                transfer: Duration::ZERO,
+                decode: Duration::ZERO,
+                transport: Transport::ZeroCopy,
+            });
+        }
+        assert_eq!(m.preferred_transport(), Transport::Binary);
+        let stats = m.transport_stats(Transport::ZeroCopy).unwrap();
+        assert_eq!(stats.casts, 10, "zero-copy ships are still observable");
+        assert_eq!(stats.rows, 1_000_000);
     }
 
     #[test]

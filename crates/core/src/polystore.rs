@@ -1,6 +1,6 @@
 //! The polystore façade: engines + catalog + islands + monitor + migrator.
 
-use crate::cast::{ship, CastReport, Transport};
+use crate::cast::{ship, ship_with_wire, CastReport, Transport};
 use crate::catalog::{Catalog, ObjectEntry, ObjectKind};
 use crate::exec;
 use crate::islands;
@@ -172,6 +172,36 @@ impl BigDawg {
         Ok(self.engine(engine)?.lock().kind())
     }
 
+    /// The emulated wire latency between the coordinator and `engine`
+    /// (zero = co-resident; see [`Shim::wire_latency`]). Unknown engines
+    /// read as co-resident so planning never fails on a metadata probe.
+    pub fn wire_of(&self, engine: &str) -> std::time::Duration {
+        self.engine(engine)
+            .map(|e| e.lock().wire_latency())
+            .unwrap_or(std::time::Duration::ZERO)
+    }
+
+    /// True when `engine` shares the coordinator's process — the condition
+    /// under which CAST may hand columns over by `Arc` instead of encoding
+    /// them ([`Transport::ZeroCopy`]).
+    pub fn co_resident(&self, engine: &str) -> bool {
+        self.wire_of(engine).is_zero()
+    }
+
+    /// The transport a ship toward `to_engine` may actually use: zero-copy
+    /// cannot reach an engine behind a wire, whatever the source side
+    /// looks like (the in-flight degrade in `ship_with_wire` only sees the
+    /// source's wire), so it falls back to the binary codec. Every
+    /// cast-like entry point must route its requested transport through
+    /// here before shipping.
+    fn effective_transport(&self, transport: Transport, to_engine: &str) -> Transport {
+        if transport == Transport::ZeroCopy && !self.co_resident(to_engine) {
+            Transport::Binary
+        } else {
+            transport
+        }
+    }
+
     // ---- catalog -----------------------------------------------------------
 
     /// The federation catalog (object → engine placement).
@@ -310,6 +340,7 @@ impl BigDawg {
         transport: Transport,
         record_demand: bool,
     ) -> Result<CastReport> {
+        let transport = self.effective_transport(transport, to_engine);
         let mut last = None;
         for _ in 0..3 {
             let entry = self.placement(object)?;
@@ -318,7 +349,11 @@ impl BigDawg {
             } else {
                 entry.engine.clone()
             };
-            let batch = match self.engine(&source)?.lock().get_table(object) {
+            let (got, wire) = {
+                let guard = self.engine(&source)?.lock();
+                (guard.get_table(object), guard.wire_latency())
+            };
+            let batch = match got {
                 Ok(b) => b,
                 Err(e @ BigDawgError::NotFound(_)) => {
                     // placement raced (the copy moved between resolve and
@@ -328,7 +363,10 @@ impl BigDawg {
                 }
                 Err(e) => return Err(e),
             };
-            let (shipped, report) = ship(&batch, transport)?;
+            // the payload transfer leg of the emulated wire (the request
+            // round-trip was paid inside get_table); the binary transport
+            // pipelines it chunk-by-chunk, the file transport pays it flat
+            let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
             self.engine(to_engine)?
                 .lock()
                 .put_table(new_name, shipped)?;
@@ -357,7 +395,7 @@ impl BigDawg {
         transport: Transport,
     ) -> Result<CastReport> {
         let batch = batch.narrow_types();
-        let (shipped, report) = ship(&batch, transport)?;
+        let (shipped, report) = ship(&batch, self.effective_transport(transport, to_engine))?;
         self.engine(to_engine)?.lock().put_table(name, shipped)?;
         // kind first, catalog lock second (see cast_object on lock order)
         let kind = default_kind(self.kind_of(to_engine)?);
@@ -498,8 +536,13 @@ impl BigDawg {
                 transport,
             }
         } else {
-            let batch = self.engine(&from_engine)?.lock().get_table(object)?;
-            let (shipped, report) = ship(&batch, transport)?;
+            let transport = self.effective_transport(transport, to_engine);
+            let (batch, wire) = {
+                let guard = self.engine(&from_engine)?.lock();
+                let wire = guard.wire_latency();
+                (guard.get_table(object)?, wire)
+            };
+            let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
             // bind before testing: an `if let` on the locked call would keep
             // the engine guard alive into the cleanup re-lock below
             let put = self.engine(to_engine)?.lock().put_table(object, shipped);
@@ -585,8 +628,13 @@ impl BigDawg {
         }
         self.engine(to_engine)?;
 
-        let batch = self.engine(&entry.engine)?.lock().get_table(object)?;
-        let (shipped, report) = ship(&batch, transport)?;
+        let transport = self.effective_transport(transport, to_engine);
+        let (batch, wire) = {
+            let guard = self.engine(&entry.engine)?.lock();
+            let wire = guard.wire_latency();
+            (guard.get_table(object)?, wire)
+        };
+        let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
         // bind before testing (see migrate_object: avoids re-locking the
         // engine while the put guard is still alive)
         let put = self.engine(to_engine)?.lock().put_table(object, shipped);

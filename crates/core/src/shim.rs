@@ -7,6 +7,7 @@
 
 use bigdawg_common::{Batch, Result};
 use std::any::Any;
+use std::time::Duration;
 
 /// Which family an engine belongs to (Figure 1's boxes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,6 +91,17 @@ pub trait Shim: Send {
     /// island path, offering "the full functionality of a single storage
     /// engine" (§2.1).
     fn execute_native(&mut self, query: &str) -> Result<Batch>;
+
+    /// One-way payload latency of the emulated wire between the
+    /// coordinator and this engine. Zero (the default) means the engine is
+    /// *co-resident* with the coordinator: CAST may hand its columns over
+    /// by `Arc` (the zero-copy transport) instead of encoding them.
+    /// Decorators that emulate remote engines
+    /// ([`crate::shims::LatencyShim`]) override this; the CAST data plane
+    /// uses it to pipeline chunk transfers over the wire.
+    fn wire_latency(&self) -> Duration {
+        Duration::ZERO
+    }
 
     /// Downcast support for islands that need engine-specific fast paths.
     fn as_any(&self) -> &dyn Any;

@@ -3,7 +3,7 @@
 use crate::shim::{Capability, EngineKind, Shim};
 use crate::shims::afl;
 use bigdawg_array::{Array, ArraySchema, Dimension};
-use bigdawg_common::{Batch, BigDawgError, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, Column, DataType, Result, Schema};
 use std::any::Any;
 use std::collections::BTreeMap;
 
@@ -49,7 +49,10 @@ impl ArrayShim {
     }
 }
 
-/// Export an array's cells as a batch (dims then attrs).
+/// Export an array's cells as a batch (dims then attrs). The cells are
+/// drained straight from the array's chunk layout into typed columns —
+/// contiguous `Vec<i64>` coordinates and `Vec<f64>` attributes, never a
+/// boxed `Value` per cell.
 pub fn array_to_batch(a: &Array) -> Batch {
     let s = a.schema();
     let mut pairs: Vec<(&str, DataType)> = s
@@ -61,15 +64,41 @@ pub fn array_to_batch(a: &Array) -> Batch {
         pairs.push((attr.as_str(), DataType::Float));
     }
     let schema = Schema::from_pairs(&pairs);
-    let rows: Vec<Row> = a
-        .iter_cells()
-        .map(|(coords, vals)| {
-            let mut row: Row = coords.into_iter().map(Value::Int).collect();
-            row.extend(vals.into_iter().map(Value::Float));
-            row
-        })
+    let n = a.cell_count();
+    let mut dim_cols: Vec<Vec<i64>> = vec![Vec::with_capacity(n); s.dims.len()];
+    let mut attr_cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); s.attrs.len()];
+    for (coords, vals) in a.iter_cells() {
+        for (col, c) in dim_cols.iter_mut().zip(coords) {
+            col.push(c);
+        }
+        for (col, v) in attr_cols.iter_mut().zip(vals) {
+            col.push(v);
+        }
+    }
+    let columns: Vec<Column> = dim_cols
+        .into_iter()
+        .map(Column::from_ints)
+        .chain(attr_cols.into_iter().map(Column::from_floats))
         .collect();
-    Batch::new(schema, rows).expect("schema matches construction")
+    Batch::from_columns(schema, columns).expect("schema matches construction")
+}
+
+/// One dimension column as strict i64 coordinates (typed layouts answer
+/// from their contiguous payload; NULLs and non-integers error, as the
+/// row-wise import always did).
+fn column_i64s(col: &Column) -> Result<Vec<i64>> {
+    match (col.as_ints().or_else(|| col.as_timestamps()), col.nulls()) {
+        (Some(v), nulls) if !nulls.any() => Ok(v.to_vec()),
+        _ => col.iter().map(|v| v.as_i64()).collect(),
+    }
+}
+
+/// One attribute column as strict f64 values (same contract as above).
+fn column_f64s(col: &Column) -> Result<Vec<f64>> {
+    match (col.as_floats(), col.nulls()) {
+        (Some(v), nulls) if !nulls.any() => Ok(v.to_vec()),
+        _ => col.iter().map(|v| v.as_f64()).collect(),
+    }
 }
 
 /// Import a batch as an array per the CAST convention.
@@ -83,13 +112,13 @@ pub fn batch_to_array(name: &str, batch: &Batch) -> Result<Array> {
     // Leading Int/Timestamp columns are dimensions; the rest are attributes.
     let mut n_dims = 0;
     for f in schema.fields() {
-        // Infer from declared type first, falling back to first row.
+        // Infer from declared type first, falling back to the first value.
         match f.data_type {
             DataType::Int | DataType::Timestamp => n_dims += 1,
             DataType::Null => {
-                // untyped (derived) column: inspect first row
-                let idx = n_dims;
-                match batch.rows().first().map(|r| r[idx].data_type()) {
+                // untyped (derived) column: inspect its first value
+                let first = (!batch.is_empty()).then(|| batch.value_at(0, n_dims).data_type());
+                match first {
                     Some(DataType::Int) | Some(DataType::Timestamp) => n_dims += 1,
                     _ => break,
                 }
@@ -112,10 +141,8 @@ pub fn batch_to_array(name: &str, batch: &Batch) -> Result<Array> {
             return true;
         }
         declared == DataType::Null
-            && batch
-                .rows()
-                .first()
-                .is_some_and(|r| r[i].data_type().is_numeric())
+            && !batch.is_empty()
+            && batch.value_at(0, i).data_type().is_numeric()
     };
     let attr_cols: Vec<usize> = (n_dims..schema.len()).filter(|&i| is_numeric(i)).collect();
     if n_dims == 0 || attr_cols.is_empty() {
@@ -124,12 +151,20 @@ pub fn batch_to_array(name: &str, batch: &Batch) -> Result<Array> {
              one numeric attribute column; got schema {schema}"
         )));
     }
+    // Pull the dimension and attribute columns as contiguous typed vectors
+    // (no per-row Value traffic on the hot import path).
+    let dims_data: Vec<Vec<i64>> = (0..n_dims)
+        .map(|d| column_i64s(batch.column_ref(d)))
+        .collect::<Result<_>>()?;
+    let attrs_data: Vec<Vec<f64>> = attr_cols
+        .iter()
+        .map(|&i| column_f64s(batch.column_ref(i)))
+        .collect::<Result<_>>()?;
     // Coordinate ranges.
     let mut lows = vec![i64::MAX; n_dims];
     let mut highs = vec![i64::MIN; n_dims];
-    for row in batch.rows() {
-        for d in 0..n_dims {
-            let c = row[d].as_i64()?;
+    for (d, coords) in dims_data.iter().enumerate() {
+        for &c in coords {
             lows[d] = lows[d].min(c);
             highs[d] = highs[d].max(c);
         }
@@ -154,15 +189,15 @@ pub fn batch_to_array(name: &str, batch: &Batch) -> Result<Array> {
         .map(|&i| schema.field(i).name.clone())
         .collect();
     let mut arr = Array::new(ArraySchema::new(name, dims, attrs)?);
-    for row in batch.rows() {
-        let coords: Vec<i64> = row[..n_dims]
-            .iter()
-            .map(Value::as_i64)
-            .collect::<Result<_>>()?;
-        let vals: Vec<f64> = attr_cols
-            .iter()
-            .map(|&i| row[i].as_f64())
-            .collect::<Result<_>>()?;
+    let mut coords = vec![0i64; n_dims];
+    let mut vals = vec![0f64; attrs_data.len()];
+    for i in 0..batch.len() {
+        for (d, c) in coords.iter_mut().enumerate() {
+            *c = dims_data[d][i];
+        }
+        for (a, v) in vals.iter_mut().enumerate() {
+            *v = attrs_data[a][i];
+        }
         arr.set(&coords, &vals)?;
     }
     Ok(arr)
@@ -228,6 +263,7 @@ impl std::fmt::Debug for ArrayShim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bigdawg_common::Value;
 
     #[test]
     fn cast_conventions_roundtrip() {

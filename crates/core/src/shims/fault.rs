@@ -156,6 +156,10 @@ impl Shim for FaultShim {
         self.inner.execute_native(query)
     }
 
+    fn wire_latency(&self) -> std::time::Duration {
+        self.inner.wire_latency()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self.inner.as_any()
     }

@@ -1,7 +1,7 @@
 //! The Accumulo shim.
 
 use crate::shim::{Capability, EngineKind, Shim};
-use bigdawg_common::{parse_err, Batch, BigDawgError, DataType, Result, Row, Schema, Value};
+use bigdawg_common::{parse_err, Batch, BigDawgError, Column, DataType, Result, Schema, Value};
 use bigdawg_kv::{TextIndex, TextQuery};
 use std::any::Any;
 
@@ -59,20 +59,29 @@ impl KvShim {
             ("ts", DataType::Timestamp),
             ("body", DataType::Text),
         ]);
-        let rows: Vec<Row> = self
+        // range-scan the corpus straight into typed columns (no per-cell
+        // Value boxing on the export path)
+        let mut doc_ids = Vec::new();
+        let mut owners = Vec::new();
+        let mut tss = Vec::new();
+        let mut bodies = Vec::new();
+        for (id, owner, ts, body) in self
             .docs
             .iter()
             .filter(|(id, _, _, _)| ids.is_none_or(|s| s.contains(id)))
-            .map(|(id, owner, ts, body)| {
-                vec![
-                    Value::Int(*id as i64),
-                    Value::Text(owner.clone()),
-                    Value::Timestamp(*ts),
-                    Value::Text(body.clone()),
-                ]
-            })
-            .collect();
-        Batch::new(schema, rows).expect("schema matches construction")
+        {
+            doc_ids.push(*id as i64);
+            owners.push(owner.clone());
+            tss.push(*ts);
+            bodies.push(body.clone());
+        }
+        let columns = vec![
+            Column::from_ints(doc_ids),
+            Column::from_texts(owners),
+            Column::from_timestamps(tss),
+            Column::from_texts(bodies),
+        ];
+        Batch::from_columns(schema, columns).expect("schema matches construction")
     }
 }
 

@@ -82,6 +82,11 @@ impl Shim for LatencyShim {
         self.inner.execute_native(query)
     }
 
+    fn wire_latency(&self) -> Duration {
+        // stacked decorators compound, like hops would
+        self.delay + self.inner.wire_latency()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self.inner.as_any()
     }

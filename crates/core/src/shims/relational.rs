@@ -69,8 +69,9 @@ impl Shim for RelationalShim {
     }
 
     fn get_table(&self, object: &str) -> Result<Batch> {
-        let t = self.db.table(object)?;
-        Batch::new(t.schema().clone(), t.scan())
+        // Arc-backed columnar snapshot: repeated egress of an unchanged
+        // table shares columns instead of deep-cloning every row
+        Ok(self.db.table(object)?.snapshot())
     }
 
     fn put_table(&mut self, object: &str, batch: Batch) -> Result<()> {

@@ -1,0 +1,170 @@
+//! Copy-on-write guarantees of the zero-copy interchange: a snapshot
+//! handed to another engine (or held by a reader) is immune to every
+//! subsequent write on the source engine, even under concurrency.
+
+use bigdawg_common::Value;
+use bigdawg_core::shims::RelationalShim;
+use bigdawg_core::{BigDawg, Transport};
+
+fn two_engine_federation(rows: usize) -> BigDawg {
+    let mut bd = BigDawg::new();
+    let mut src = RelationalShim::new("pg_src");
+    src.db_mut()
+        .execute("CREATE TABLE t (i INT, v FLOAT)")
+        .unwrap();
+    let values: Vec<String> = (0..rows).map(|i| format!("({i}, {i}.5)")).collect();
+    src.db_mut()
+        .execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    bd.add_engine(Box::new(src));
+    bd.add_engine(Box::new(RelationalShim::new("pg_dst")));
+    bd
+}
+
+#[test]
+fn zero_copy_cast_snapshot_immune_to_subsequent_source_write() {
+    let bd = two_engine_federation(64);
+    let report = bd
+        .cast_object("t", "pg_dst", "t_copy", Transport::ZeroCopy)
+        .unwrap();
+    assert_eq!(report.rows, 64);
+    assert_eq!(report.wire_bytes, 0, "nothing serialized");
+
+    // write to the source *after* the cast landed
+    bd.engine("pg_src")
+        .unwrap()
+        .lock()
+        .execute_native("INSERT INTO t VALUES (999, 999.0)")
+        .unwrap();
+    bd.engine("pg_src")
+        .unwrap()
+        .lock()
+        .execute_native("UPDATE t SET v = 0.0 WHERE i = 0")
+        .unwrap();
+
+    let copy = bd
+        .engine("pg_dst")
+        .unwrap()
+        .lock()
+        .get_table("t_copy")
+        .unwrap();
+    assert_eq!(copy.len(), 64, "the write must not leak into the copy");
+    assert_eq!(
+        copy.rows()[0],
+        vec![Value::Int(0), Value::Float(0.5)],
+        "pre-write values survive on the copy"
+    );
+    let source = bd.engine("pg_src").unwrap().lock().get_table("t").unwrap();
+    assert_eq!(source.len(), 65, "the source did take the write");
+}
+
+#[test]
+fn reader_snapshot_immune_to_writer_under_concurrency() {
+    let bd = two_engine_federation(128);
+    let writes: usize = 40;
+    let bd = &bd;
+    std::thread::scope(|s| {
+        // writer: keeps appending to the source table
+        s.spawn(|| {
+            for k in 0..writes {
+                bd.engine("pg_src")
+                    .unwrap()
+                    .lock()
+                    .execute_native(&format!("INSERT INTO t VALUES ({}, 0.0)", 1000 + k))
+                    .unwrap();
+            }
+        });
+        // readers: snapshot + zero-copy cast concurrently with the writer
+        for r in 0..4 {
+            s.spawn(move || {
+                for k in 0..10 {
+                    let snap = bd.engine("pg_src").unwrap().lock().get_table("t").unwrap();
+                    let len_at_snapshot = snap.len();
+                    assert!(
+                        (128..=128 + writes).contains(&len_at_snapshot),
+                        "snapshot sees a consistent prefix"
+                    );
+                    // the snapshot must stay frozen while the writer runs
+                    std::thread::yield_now();
+                    assert_eq!(snap.len(), len_at_snapshot);
+                    assert_eq!(snap.rows()[0], vec![Value::Int(0), Value::Float(0.5)]);
+                    let tmp = format!("copy_{r}_{k}");
+                    bd.cast_object("t", "pg_dst", &tmp, Transport::ZeroCopy)
+                        .unwrap();
+                    let copy = bd.engine("pg_dst").unwrap().lock().get_table(&tmp).unwrap();
+                    assert!(copy.len() >= 128, "copy is a complete snapshot");
+                    assert_eq!(copy.rows()[127], vec![Value::Int(127), Value::Float(127.5)]);
+                    bd.drop_object(&tmp).unwrap();
+                }
+            });
+        }
+    });
+    let final_len = bd
+        .engine("pg_src")
+        .unwrap()
+        .lock()
+        .get_table("t")
+        .unwrap()
+        .len();
+    assert_eq!(final_len, 128 + writes, "no write was lost");
+}
+
+#[test]
+fn explicit_zero_copy_to_a_wired_target_degrades_to_a_real_codec() {
+    let mut bd = BigDawg::new();
+    let mut src = RelationalShim::new("pg_src");
+    src.db_mut().execute("CREATE TABLE t (i INT)").unwrap();
+    src.db_mut()
+        .execute("INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    bd.add_engine(Box::new(src));
+    // the *target* sits behind an emulated wire; the source is local
+    bd.add_engine(Box::new(bigdawg_core::shims::LatencyShim::new(
+        Box::new(RelationalShim::new("pg_remote")),
+        std::time::Duration::from_millis(1),
+    )));
+    let report = bd
+        .cast_object("t", "pg_remote", "t_copy", Transport::ZeroCopy)
+        .unwrap();
+    assert_eq!(
+        report.transport,
+        Transport::Binary,
+        "an Arc cannot cross the wire to the target"
+    );
+    assert!(report.wire_bytes > 0, "the payload really serialized");
+}
+
+#[test]
+fn executor_chooses_zero_copy_in_process_and_codec_behind_a_wire() {
+    let bd = two_engine_federation(16);
+    let plan = bd
+        .explain("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(t, pg_dst))")
+        .unwrap();
+    assert_eq!(plan.leaves.len(), 1);
+    assert_eq!(
+        plan.leaves[0].transport,
+        Transport::ZeroCopy,
+        "co-resident engines ship by Arc handover"
+    );
+    assert!(plan.to_string().contains("zero-copy"));
+
+    // the same query behind an emulated wire must pick a real codec
+    let mut bd = BigDawg::new();
+    let mut src = RelationalShim::new("pg_src");
+    src.db_mut().execute("CREATE TABLE t (i INT)").unwrap();
+    src.db_mut().execute("INSERT INTO t VALUES (1)").unwrap();
+    bd.add_engine(Box::new(bigdawg_core::shims::LatencyShim::new(
+        Box::new(src),
+        std::time::Duration::from_millis(1),
+    )));
+    bd.add_engine(Box::new(RelationalShim::new("pg_dst")));
+    let plan = bd
+        .explain("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(t, pg_dst))")
+        .unwrap();
+    assert_eq!(plan.leaves.len(), 1);
+    assert_ne!(
+        plan.leaves[0].transport,
+        Transport::ZeroCopy,
+        "an object behind a wire cannot ship zero-copy"
+    );
+}

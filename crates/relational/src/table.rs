@@ -1,18 +1,39 @@
 //! Heap table storage with tombstoned slots and stable row ids.
 
-use bigdawg_common::{BigDawgError, Result, Row, Schema, Value};
+use bigdawg_common::{Batch, BigDawgError, Result, Row, Schema, Value};
+use std::sync::Mutex;
 
 /// Stable identifier of a row slot within one table.
 pub type RowId = usize;
 
 /// A heap table: rows live in slots, deletion leaves a tombstone so row ids
 /// stay stable for the secondary indexes.
-#[derive(Debug, Clone)]
+///
+/// The table also keeps a lazily built *columnar snapshot* of its live rows
+/// (an `Arc`-backed [`Batch`]), invalidated by every mutation: repeated CAST
+/// egress of an unchanged table is an `Arc` bump instead of a row-by-row
+/// deep clone.
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
     slots: Vec<Option<Row>>,
     live: usize,
+    /// Columnar snapshot of the live rows; `None` after any mutation.
+    snapshot: Mutex<Option<Batch>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            slots: self.slots.clone(),
+            live: self.live,
+            // the clone rebuilds its own snapshot on demand
+            snapshot: Mutex::new(None),
+        }
+    }
 }
 
 impl Table {
@@ -22,6 +43,7 @@ impl Table {
             schema,
             slots: Vec::new(),
             live: 0,
+            snapshot: Mutex::new(None),
         }
     }
 
@@ -79,11 +101,17 @@ impl Table {
         Ok(())
     }
 
+    /// Drop the cached columnar snapshot (called by every mutation).
+    fn invalidate_snapshot(&mut self) {
+        *self.snapshot.get_mut().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
     /// Insert a row, returning its id.
     pub fn insert(&mut self, mut row: Row) -> Result<RowId> {
         self.check_row(&mut row)?;
         self.slots.push(Some(row));
         self.live += 1;
+        self.invalidate_snapshot();
         Ok(self.slots.len() - 1)
     }
 
@@ -94,10 +122,10 @@ impl Table {
 
     /// Delete a row; returns the old row if it was live.
     pub fn delete(&mut self, id: RowId) -> Option<Row> {
-        let slot = self.slots.get_mut(id)?;
-        let old = slot.take();
+        let old = self.slots.get_mut(id)?.take();
         if old.is_some() {
             self.live -= 1;
+            self.invalidate_snapshot();
         }
         old
     }
@@ -106,7 +134,11 @@ impl Table {
     pub fn update(&mut self, id: RowId, mut row: Row) -> Result<Row> {
         self.check_row(&mut row)?;
         match self.slots.get_mut(id) {
-            Some(slot @ Some(_)) => Ok(slot.replace(row).expect("checked live")),
+            Some(slot @ Some(_)) => {
+                let old = slot.replace(row).expect("checked live");
+                self.invalidate_snapshot();
+                Ok(old)
+            }
             _ => Err(BigDawgError::NotFound(format!(
                 "row {id} in table `{}`",
                 self.name
@@ -125,6 +157,36 @@ impl Table {
     /// Clone all live rows (scan).
     pub fn scan(&self) -> Vec<Row> {
         self.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// An `Arc`-backed columnar snapshot of the live rows — the CAST
+    /// egress path. Built once per table version and cached; until the
+    /// next mutation every caller gets the same shared columns (O(columns)
+    /// clone). Copy-on-write at the batch layer keeps handed-out snapshots
+    /// immune to later writes.
+    pub fn snapshot(&self) -> Batch {
+        let mut cache = self.snapshot.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(b) = cache.as_ref() {
+            return b.clone();
+        }
+        // push live rows straight into typed columns — no intermediate
+        // row-major clone on the egress path (rows were validated against
+        // the schema on insert/update)
+        let mut columns: Vec<bigdawg_common::Column> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| bigdawg_common::Column::with_capacity(f.data_type, self.live))
+            .collect();
+        for (_, row) in self.iter() {
+            for (col, v) in columns.iter_mut().zip(row) {
+                col.push(v.clone());
+            }
+        }
+        let b = Batch::from_columns(self.schema.clone(), columns)
+            .expect("live rows match the table schema");
+        *cache = Some(b.clone());
+        b
     }
 
     /// Value of `col` in row `id`, if live.
@@ -223,5 +285,24 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = table();
         assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_cached_and_invalidated_by_writes() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Int(70), Value::Null])
+            .unwrap();
+        let a = t.snapshot();
+        let b = t.snapshot();
+        assert!(
+            std::sync::Arc::ptr_eq(&a.columns()[0], &b.columns()[0]),
+            "unchanged table shares one snapshot allocation"
+        );
+        t.insert(vec![Value::Int(2), Value::Int(60), Value::Null])
+            .unwrap();
+        let c = t.snapshot();
+        assert_eq!(c.len(), 2, "mutation invalidates the cache");
+        assert_eq!(a.len(), 1, "earlier snapshots are immune to the write");
+        assert_eq!(a.rows()[0][0], Value::Int(1));
     }
 }

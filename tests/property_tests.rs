@@ -3,7 +3,10 @@
 //! match naive recomputation, and the D4M algebra obeys its laws.
 
 use bigdawg::common::{Batch, DataType, Schema, Value};
-use bigdawg::core::cast::{decode_binary, encode_binary, from_csv, to_csv};
+use bigdawg::core::cast::{
+    decode_binary, decode_columnar, encode_binary, encode_columnar, from_csv, ship, to_csv,
+    Transport,
+};
 use bigdawg::d4m::algebra::{matmul, plus, times, transpose, Semiring};
 use bigdawg::d4m::AssocArray;
 use proptest::prelude::*;
@@ -35,15 +38,104 @@ fn arb_batch() -> impl Strategy<Value = Batch> {
     })
 }
 
+fn value_of(ty: DataType) -> impl Strategy<Value = Value> {
+    // a value of exactly `ty`, or NULL — so typed column layouts (and
+    // their bitmaps) are exercised, not just the mixed fallback
+    match ty {
+        DataType::Bool => {
+            prop_oneof![Just(Value::Null), any::<bool>().prop_map(Value::Bool)].boxed()
+        }
+        DataType::Int => prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Int)].boxed(),
+        DataType::Float => {
+            prop_oneof![Just(Value::Null), (-1e15f64..1e15).prop_map(Value::Float)].boxed()
+        }
+        DataType::Text => {
+            prop_oneof![Just(Value::Null), "[a-z ,\"\n]{0,24}".prop_map(Value::Text)].boxed()
+        }
+        _ => prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Timestamp)].boxed(),
+    }
+}
+
+/// A batch with *typed* schema columns (every `DataType`), holding values
+/// of exactly those types plus NULLs: the typed-column interchange case.
+fn arb_typed_batch() -> impl Strategy<Value = Batch> {
+    let types = [
+        DataType::Bool,
+        DataType::Int,
+        DataType::Float,
+        DataType::Text,
+        DataType::Timestamp,
+    ];
+    (
+        proptest::collection::vec(0usize..types.len(), 1..6),
+        0usize..40,
+    )
+        .prop_flat_map(move |(cols, rows)| {
+            let schema = Schema::from_pairs(
+                &cols
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| (format!("c{i}"), types[t]))
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .map(|(n, t)| (n.as_str(), *t))
+                    .collect::<Vec<_>>(),
+            );
+            let row = cols.iter().map(|&t| value_of(types[t])).collect::<Vec<_>>();
+            proptest::collection::vec(row, rows..=rows)
+                .prop_map(move |rows| Batch::new(schema.clone(), rows).expect("arity fixed"))
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Binary CAST is lossless for every value type.
+    /// Binary CAST (legacy row codec) is lossless for every value type.
     #[test]
     fn binary_cast_roundtrip(batch in arb_batch()) {
         let parts = encode_binary(&batch);
         let back = decode_binary(&parts, batch.schema()).expect("decodes");
         prop_assert_eq!(back.rows(), batch.rows());
+    }
+
+    /// rows → columnar Batch → columnar binary codec → rows is the
+    /// identity on untyped (mixed-layout) batches, including NULLs and
+    /// quoting-hostile text.
+    #[test]
+    fn columnar_codec_roundtrip_mixed(batch in arb_batch(), chunk in 1usize..16) {
+        let parts = encode_columnar(&batch, chunk);
+        let back = decode_columnar(&parts, batch.schema()).expect("decodes");
+        prop_assert_eq!(back.rows(), batch.rows());
+    }
+
+    /// The same identity on *typed* batches — every `DataType` column
+    /// layout plus its NULL bitmap survives the wire, across any chunking.
+    #[test]
+    fn columnar_codec_roundtrip_typed(batch in arb_typed_batch(), chunk in 1usize..16) {
+        let parts = encode_columnar(&batch, chunk);
+        let back = decode_columnar(&parts, batch.schema()).expect("decodes");
+        prop_assert_eq!(back.rows(), batch.rows());
+    }
+
+    /// The new columnar codec and the legacy row codec decode to exactly
+    /// the same rows on mixed batches — the E13 comparison is apples to
+    /// apples.
+    #[test]
+    fn columnar_codec_equals_row_codec(batch in arb_typed_batch()) {
+        let via_rows = decode_binary(&encode_binary(&batch), batch.schema())
+            .expect("row codec decodes");
+        let via_columns = decode_columnar(&encode_columnar(&batch, 7), batch.schema())
+            .expect("columnar codec decodes");
+        prop_assert_eq!(via_rows.rows(), via_columns.rows());
+    }
+
+    /// The zero-copy transport is the identity and honestly reports that
+    /// nothing crossed the wire.
+    #[test]
+    fn zero_copy_ship_is_identity(batch in arb_typed_batch()) {
+        let (back, report) = ship(&batch, Transport::ZeroCopy).expect("ships");
+        prop_assert_eq!(back.rows(), batch.rows());
+        prop_assert_eq!(report.wire_bytes, 0);
     }
 
     /// CSV CAST is lossless up to NULL/empty-text conflation (documented:

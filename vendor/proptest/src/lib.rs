@@ -501,6 +501,15 @@ pub mod collection {
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
+
+    /// Like real proptest, a `Vec` of strategies is a strategy for a `Vec`
+    /// with one value per element strategy (heterogeneous rows).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
 }
 
 pub mod prelude {
