@@ -99,4 +99,9 @@ fn main() {
         let r = interchange::run(if quick { 20_000 } else { 100_000 }).expect("E13 runs");
         println!("{}", interchange::table(&r));
     }
+    if want("e14") {
+        let seed = bigdawg_core::shims::test_seed(0xE14);
+        let r = availability::run(seed, if quick { 150 } else { 500 }).expect("E14 runs");
+        println!("{}", availability::table(&r));
+    }
 }

@@ -1,0 +1,203 @@
+//! E14 — availability under a fault storm (§2.1's replicated placement,
+//! stress-tested): with every array engine dropping ~10% of its reads on a
+//! seeded schedule, what fraction of federated queries still answer?
+//!
+//! Two objects live on two array engines and each is replicated onto the
+//! other, so every read has a surviving copy. One trial issues a
+//! cross-island query against each object and succeeds only if both
+//! answer correctly — under fail-fast (no retries, no failover) that
+//! multiplies the per-read survival odds (~0.9² ≈ 0.81), while the
+//! resilient policy retries each copy and sweeps to the replica, so a
+//! trial dies only when both copies fail through the whole retry budget.
+//!
+//! Reported per policy: success rate, mean and p99 latency. The claim:
+//! failover holds ≥ 99% availability where fail-fast drops below 90%,
+//! at a p99 cost bounded by the (deterministic, jittered) backoff.
+
+use crate::experiments::{fmt_dur, Table};
+use bigdawg_array::Array;
+use bigdawg_common::{Result, Value};
+use bigdawg_core::shims::{ArrayShim, FaultPlan, FaultShim, OpScope, RelationalShim};
+use bigdawg_core::{BigDawg, RetryPolicy, Transport};
+use std::time::{Duration, Instant};
+
+/// Read-fault probability injected on every array engine, in percent.
+pub const FAULT_RATE_PERCENT: u8 = 10;
+
+const QUERY_A: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave_a, relation))";
+const QUERY_B: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave_b, relation))";
+const ELEMENTS: i64 = 32;
+
+/// One policy's showing under the storm.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// Policy label for the table.
+    pub label: &'static str,
+    /// Trials attempted.
+    pub trials: usize,
+    /// Trials where both queries answered, correctly.
+    pub succeeded: usize,
+    /// Mean per-trial latency (successes and failures alike).
+    pub mean: Duration,
+    /// 99th-percentile per-trial latency.
+    pub p99: Duration,
+}
+
+impl ModeResult {
+    /// Fraction of trials that answered.
+    pub fn success_rate(&self) -> f64 {
+        self.succeeded as f64 / self.trials.max(1) as f64
+    }
+}
+
+/// Everything E14 reports.
+#[derive(Debug, Clone)]
+pub struct AvailabilityResult {
+    /// The seed behind both engines' fault schedules.
+    pub seed: u64,
+    /// Trials per policy.
+    pub trials: usize,
+    /// No retries, no failover — the pre-fault-tolerance data path.
+    pub fail_fast: ModeResult,
+    /// `RetryPolicy::standard`: bounded retries + replica failover.
+    pub failover: ModeResult,
+}
+
+/// Two array engines, each wrapped in a seeded ~10%-read-fault shim;
+/// `wave_a` lives on `scidb_a`, `wave_b` on `scidb_b`, and each is
+/// replicated onto the other engine. Replication runs under a resilient
+/// policy so setup itself rides through the storm; the caller then picks
+/// the policy to measure.
+fn storm_federation(seed: u64) -> Result<BigDawg> {
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("pg")));
+    for (engine, object, plan_seed) in [
+        ("scidb_a", "wave_a", seed),
+        ("scidb_b", "wave_b", seed ^ 0x9e37_79b9_7f4a_7c15),
+    ] {
+        let mut shim = ArrayShim::new(engine);
+        shim.store(
+            object,
+            Array::from_vector(
+                object,
+                "v",
+                &(0..ELEMENTS).map(|i| i as f64).collect::<Vec<_>>(),
+                8,
+            ),
+        );
+        bd.add_engine(Box::new(FaultShim::new(
+            Box::new(shim),
+            FaultPlan::seeded(plan_seed, FAULT_RATE_PERCENT, 1 << 16).scoped(OpScope::Reads),
+        )));
+    }
+    bd.set_retry_policy(RetryPolicy::standard(seed));
+    bd.replicate_object("wave_a", "scidb_b", Transport::Binary)?;
+    bd.replicate_object("wave_b", "scidb_a", Transport::Binary)?;
+    Ok(bd)
+}
+
+fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+    samples[idx]
+}
+
+fn run_mode(
+    label: &'static str,
+    policy: RetryPolicy,
+    seed: u64,
+    trials: usize,
+) -> Result<ModeResult> {
+    let bd = storm_federation(seed)?;
+    bd.set_retry_policy(policy);
+    let mut latencies = Vec::with_capacity(trials);
+    let mut succeeded = 0usize;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        let ok = [QUERY_A, QUERY_B].iter().all(|q| {
+            bd.execute(q)
+                .is_ok_and(|b| b.rows()[0][0] == Value::Int(ELEMENTS))
+        });
+        latencies.push(t0.elapsed());
+        if ok {
+            succeeded += 1;
+        }
+    }
+    let mean = latencies.iter().sum::<Duration>() / trials.max(1) as u32;
+    let p99 = percentile(&mut latencies, 0.99);
+    Ok(ModeResult {
+        label,
+        trials,
+        succeeded,
+        mean,
+        p99,
+    })
+}
+
+/// Run E14: the same seeded storm under fail-fast and under the standard
+/// resilient policy.
+pub fn run(seed: u64, trials: usize) -> Result<AvailabilityResult> {
+    let fail_fast = run_mode(
+        "fail-fast (no retry, no failover)",
+        RetryPolicy::none(),
+        seed,
+        trials,
+    )?;
+    let failover = run_mode(
+        "failover (standard: 3 retries + replica sweep)",
+        RetryPolicy::standard(seed),
+        seed,
+        trials,
+    )?;
+    Ok(AvailabilityResult {
+        seed,
+        trials,
+        fail_fast,
+        failover,
+    })
+}
+
+/// Render E14's table.
+pub fn table(r: &AvailabilityResult) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "E14: availability under a {FAULT_RATE_PERCENT}% read-fault storm \
+             (seed {}, {} trials/policy, 2 queries/trial)",
+            r.seed, r.trials
+        ),
+        &["policy", "succeeded", "success rate", "mean", "p99"],
+    );
+    for m in [&r.fail_fast, &r.failover] {
+        t.row(&[
+            m.label.to_string(),
+            format!("{}/{}", m.succeeded, m.trials),
+            format!("{:.1}%", m.success_rate() * 100.0),
+            fmt_dur(m.mean),
+            fmt_dur(m.p99),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_core::shims::test_seed;
+
+    #[test]
+    fn failover_stays_available_where_fail_fast_drops() {
+        let seed = test_seed(0xE14);
+        eprintln!("E14 smoke: seed {seed} (replay with BIGDAWG_TEST_SEED={seed})");
+        let r = run(seed, 150).expect("E14 runs");
+        assert!(
+            r.failover.success_rate() >= 0.99,
+            "failover availability {:.3} < 0.99",
+            r.failover.success_rate()
+        );
+        assert!(
+            r.fail_fast.success_rate() < 0.90,
+            "fail-fast availability {:.3} should drop below 0.90",
+            r.fail_fast.success_rate()
+        );
+    }
+}

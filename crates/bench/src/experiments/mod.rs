@@ -16,8 +16,10 @@
 //! | [`federation`] | E11 | §2.2: parallel scatter-gather vs serial executor |
 //! | [`migration_convergence`] | E12 | §2.1: auto-migration converges a hot workload to near in-process latency |
 //! | [`interchange`] | E13 | §2.1: zero-copy columnar interchange vs row codec vs file |
+//! | [`availability`] | E14 | §2.1: availability under a 10% read-fault storm — failover vs fail-fast |
 
 pub mod anomaly_exp;
+pub mod availability;
 pub mod cast_exp;
 pub mod coupling;
 pub mod federation;

@@ -40,6 +40,7 @@
 //! by measured per-class latency when several engines qualify).
 
 use crate::cast::Transport;
+use crate::monitor::EngineHealth;
 use crate::polystore::BigDawg;
 use crate::scope;
 use bigdawg_common::{Batch, BigDawgError, Result};
@@ -70,6 +71,11 @@ pub struct Leaf {
     pub temp: String,
     /// Transport chosen by the monitor's cost model at plan time.
     pub transport: Transport,
+    /// Failover edges: the object's other catalog placements the leaf's
+    /// read may fall back to when its preferred source fails. Populated
+    /// only for object leaves under a failover-enabled
+    /// [`crate::RetryPolicy`]; rendered by `EXPLAIN`.
+    pub fallbacks: Vec<String>,
 }
 
 /// A placement choice the planner made for one CAST term: the object was
@@ -100,6 +106,10 @@ pub struct Plan {
     /// CAST terms resolved to co-located copies at plan time — the
     /// migrator's payoff, shown by `EXPLAIN`.
     pub placements: Vec<Resolution>,
+    /// Engines whose circuit breaker was not fully healthy at plan time
+    /// (open, half-open, or carrying a failure streak), sorted by name —
+    /// the monitor's routing context, shown by `EXPLAIN`.
+    pub breakers: Vec<(String, EngineHealth)>,
 }
 
 impl Plan {
@@ -125,9 +135,14 @@ impl fmt::Display for Plan {
                 LeafSource::Object(o) => format!("cast object `{o}`"),
                 LeafSource::SubQuery(q) => format!("sub-query {q}"),
             };
+            let failover = if leaf.fallbacks.is_empty() {
+                String::new()
+            } else {
+                format!(" (failover: {})", leaf.fallbacks.join(", "))
+            };
             writeln!(
                 f,
-                "  leaf {i}  {source} -> {} as {} [{transport}]",
+                "  leaf {i}  {source} -> {} as {} [{transport}]{failover}",
                 leaf.target_engine, leaf.temp
             )?;
         }
@@ -136,6 +151,19 @@ impl fmt::Display for Plan {
                 f,
                 "  placed  object `{}` co-located on {} (epoch {}) — cast elided",
                 p.object, p.engine, p.epoch
+            )?;
+        }
+        for (engine, health) in &self.breakers {
+            writeln!(
+                f,
+                "  breaker {engine}: {} ({} consecutive failure{})",
+                health.state,
+                health.consecutive_failures,
+                if health.consecutive_failures == 1 {
+                    ""
+                } else {
+                    "s"
+                }
             )?;
         }
         Ok(())
@@ -162,6 +190,7 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
 /// Those choices are recorded in [`Plan::placements`] for `EXPLAIN`.
 pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
     let preferred = bd.preferred_transport();
+    let failover = bd.retry_policy().failover;
     let mut leaves = Vec::new();
     let mut placements = Vec::new();
     let mut out = String::with_capacity(body.len());
@@ -182,6 +211,7 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
         } else {
             preferred
         };
+        let mut fallbacks = Vec::new();
         let source = if scope::try_scope(&inner).is_some() {
             LeafSource::SubQuery(inner)
         } else {
@@ -207,6 +237,11 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
                 // is off the table regardless of the target's side
                 transport = preferred;
             }
+            if failover {
+                // failover edges: the leaf reads the primary first, and a
+                // transient failure falls back to the surviving replicas
+                fallbacks = entry.replicas.to_vec();
+            }
             LeafSource::Object(object.to_string())
         };
         let temp = bd.temp_name();
@@ -216,6 +251,7 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
             target_engine,
             temp,
             transport,
+            fallbacks,
         });
         rest = &rest[consumed..];
     }
@@ -225,6 +261,7 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
         body: out,
         leaves,
         placements,
+        breakers: bd.breakers().snapshot(),
     })
 }
 

@@ -53,7 +53,7 @@ const AFL_KEYWORDS: &[&str] = &[
 /// current placement instead of failing the query. Attempts that never
 /// depended on a placement (e.g. an unknown identifier) fail immediately.
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
-    super::retry_placement_races(|raced| execute_once(bd, query, raced))
+    super::retry_island_attempts(bd, |raced| execute_once(bd, query, raced))
 }
 
 fn execute_once(bd: &BigDawg, query: &str, placement_raced: &mut bool) -> Result<Batch> {
@@ -106,6 +106,7 @@ fn execute_once(bd: &BigDawg, query: &str, placement_raced: &mut bool) -> Result
         *placement_raced = true;
     }
     if result.is_ok() {
+        bd.breakers().record_success(&engine);
         // failed attempts must not feed the cost model: a fast NotFound
         // would otherwise make a flaky engine look cheap
         if let Some(first) = identifiers(query)

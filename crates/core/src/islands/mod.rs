@@ -20,27 +20,55 @@ pub mod relational;
 pub mod text;
 
 use crate::polystore::BigDawg;
+use crate::retry;
 use bigdawg_common::{Batch, BigDawgError, Result};
 
-/// Run one island attempt up to three times, retrying only when the
-/// attempt reports a *placement race* — a co-located copy invalidated (or
-/// an object moved) between resolve and read. The attempt closure receives
-/// a flag it sets when its failure may be placement-raced; attempts that
-/// never depended on a placement fail immediately, so genuinely unknown
-/// names pay no retries. Shared by the relational and array islands so the
-/// retry bound and race classification cannot diverge.
-pub(crate) fn retry_placement_races(
+/// Run one island attempt under the federation's two retry regimes:
+///
+/// * **Placement races** — a co-located copy invalidated (or an object
+///   moved) between resolve and read — retry up to three attempts with
+///   placements re-resolved and no backoff, exactly as before the
+///   fault-tolerance layer. The attempt closure receives a flag it sets
+///   when its failure may be placement-raced; attempts that never
+///   depended on a placement fail immediately, so genuinely unknown
+///   names pay no retries.
+/// * **Transient failures** (injected faults, engine errors mid-cast)
+///   additionally retry under the installed [`crate::RetryPolicy`] with
+///   its deterministic backoff — each fresh attempt re-chooses the
+///   island's engine, so a circuit breaker opened by the failed attempt
+///   re-routes the retry to a healthy peer. With the default fail-fast
+///   policy this regime never engages.
+///
+/// Shared by the relational and array islands so the retry bounds and
+/// race classification cannot diverge.
+pub(crate) fn retry_island_attempts(
+    bd: &BigDawg,
     mut attempt: impl FnMut(&mut bool) -> Result<Batch>,
 ) -> Result<Batch> {
-    let mut last = None;
-    for _ in 0..3 {
+    let policy = bd.retry_policy();
+    let mut races_left: u32 = 3;
+    let mut transients_left: u32 = policy.retries;
+    let mut attempt_no: u32 = 0;
+    loop {
         let mut placement_raced = false;
         match attempt(&mut placement_raced) {
-            Err(e) if placement_raced => last = Some(e),
+            Err(e) if placement_raced => {
+                races_left -= 1;
+                if races_left == 0 {
+                    return Err(e);
+                }
+            }
+            Err(e) if transients_left > 0 && retry::is_transient(&e) => {
+                transients_left -= 1;
+                let pause = policy.backoff(attempt_no, 0x15_1a_4d);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
             other => return other,
         }
+        attempt_no += 1;
     }
-    Err(last.expect("loop exits early unless an attempt failed"))
 }
 
 /// Route a query body to an island by SCOPE name (case-insensitive).
@@ -57,7 +85,21 @@ pub fn dispatch(bd: &BigDawg, island: &str, body: &str) -> Result<Batch> {
             // degenerate island: engine name, case preserved then lowered
             let engine = island.to_ascii_lowercase();
             if bd.engine_names().iter().any(|e| *e == engine) {
-                let out = bd.engine(&engine)?.lock().execute_native(body);
+                // a degenerate island has exactly one engine, so there is
+                // no failover — but transient failures still retry under
+                // the policy and feed the engine's circuit breaker
+                let out =
+                    retry::with_retry(&bd.retry_policy(), retry::stable_hash(&engine), |_| {
+                        let r = bd.engine(&engine)?.lock().execute_native(body);
+                        match &r {
+                            Ok(_) => bd.breakers().record_success(&engine),
+                            Err(e) if retry::is_transient(e) => {
+                                bd.breakers().record_failure(&engine);
+                            }
+                            Err(_) => {}
+                        }
+                        r
+                    });
                 bd.refresh_catalog(); // native DDL may have created objects
                 out
             } else {

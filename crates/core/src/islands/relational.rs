@@ -38,7 +38,7 @@ use std::time::Instant;
 /// nothing (a write that cannot resolve its table executes nothing), so
 /// retrying is safe.
 pub fn execute(bd: &BigDawg, sql: &str) -> Result<Batch> {
-    super::retry_placement_races(|raced| execute_once(bd, sql, raced))
+    super::retry_island_attempts(bd, |raced| execute_once(bd, sql, raced))
 }
 
 /// One attempt. Sets `placement_raced` when a `not_found` failure may be
@@ -194,6 +194,7 @@ fn execute_once(bd: &BigDawg, sql: &str, placement_raced: &mut bool) -> Result<B
         *placement_raced = true;
     }
     if result.is_ok() {
+        bd.breakers().record_success(&engine);
         if let Some(obj) = object {
             // temp names map back to the original object for monitoring: use
             // the first temp's source if the FROM was remote; recording the

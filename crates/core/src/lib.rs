@@ -30,6 +30,10 @@
 //!   placements (replicas and moves) versioned by catalog epochs, so
 //!   repeat workloads converge onto co-located copies and skip the CAST
 //!   round-trip entirely;
+//! * [`retry`] — the fault-tolerance layer: opt-in [`RetryPolicy`] with
+//!   deterministic seeded backoff, replica failover for reads, and the
+//!   per-engine circuit breakers (state machine in [`monitor`]) that let
+//!   the planner route around sick engines;
 //! * [`polystore`] — [`polystore::BigDawg`], the top-level façade tying it
 //!   all together.
 
@@ -42,6 +46,7 @@ pub mod islands;
 pub mod migrate;
 pub mod monitor;
 pub mod polystore;
+pub mod retry;
 pub mod scope;
 pub mod shim;
 pub mod shims;
@@ -50,5 +55,7 @@ pub use cast::Transport;
 pub use catalog::{Catalog, ObjectKind};
 pub use exec::Plan;
 pub use migrate::{MigrationPolicy, Migrator};
+pub use monitor::{BreakerBoard, BreakerConfig, BreakerState, EngineHealth};
 pub use polystore::BigDawg;
+pub use retry::RetryPolicy;
 pub use shim::{Capability, EngineKind, Shim};

@@ -255,6 +255,223 @@ pub struct HotObject {
     pub ships: u64,
 }
 
+/// Configuration of the per-engine circuit breakers.
+///
+/// All thresholds are counted in *events* (recorded failures, planner
+/// consultations), never in wall-clock time — breaker state transitions
+/// are exactly replayable from an operation trace, which is what lets the
+/// chaos harness assert "breakers re-close" deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Planner consultations ([`Monitor::engine_allowed`]) an open breaker
+    /// sits out before admitting a half-open probe.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            probe_after: 8,
+        }
+    }
+}
+
+/// The circuit-breaker state machine's position for one engine.
+///
+/// ```text
+///            failure_threshold
+///            consecutive fails              probe_after
+///  ┌────────┐ ───────────────► ┌──────┐ ────────────────► ┌───────────┐
+///  │ Closed │                  │ Open │  allowed-checks   │ Half-open │
+///  └────────┘ ◄─────────────── └──────┘ ◄──────────────── └───────────┘
+///       ▲       any success        ▲       probe fails          │
+///       └──────────────────────────┴────────── probe succeeds ──┘
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Sick: the planner routes around the engine while the cooldown runs.
+    Open,
+    /// Probing: the next request is admitted; its outcome closes or
+    /// re-opens the breaker.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Snapshot of one engine's breaker, as reported by
+/// [`Monitor::engine_health`] / [`crate::BigDawg::engine_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Where the breaker's state machine currently sits.
+    pub state: BreakerState,
+    /// Transient failures recorded since the last success.
+    pub consecutive_failures: u32,
+}
+
+impl Default for EngineHealth {
+    fn default() -> Self {
+        EngineHealth {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+}
+
+/// Internal breaker bookkeeping for one engine. Only engines with a
+/// non-default state are stored; a success removes the entry.
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Remaining allowed-checks before an open breaker half-opens.
+    cooldown: u32,
+}
+
+/// The federation's circuit-breaker board: one breaker per engine, behind
+/// its own short-lived lock.
+///
+/// The board is *shared* between the [`Monitor`] (whose planner methods
+/// consult it) and the data paths in [`crate::BigDawg`] (which record
+/// successes and failures). It deliberately does **not** live under the
+/// monitor's own mutex: the monitor-driven migrator runs *while holding*
+/// the monitor lock, and the migration copy path must still be able to
+/// trip and close breakers — putting the breakers behind the monitor lock
+/// would deadlock that path against itself. Every board operation locks,
+/// updates, and unlocks without calling out, so the only lock order is
+/// monitor → board.
+#[derive(Debug, Default)]
+pub struct BreakerBoard {
+    inner: parking_lot::Mutex<BoardInner>,
+}
+
+#[derive(Debug, Default)]
+struct BoardInner {
+    breakers: HashMap<String, Breaker>,
+    config: BreakerConfig,
+}
+
+impl BreakerBoard {
+    /// Replace the breaker thresholds (existing breaker states are kept).
+    pub fn set_config(&self, config: BreakerConfig) {
+        self.inner.lock().config = config;
+    }
+
+    /// The active breaker thresholds.
+    pub fn config(&self) -> BreakerConfig {
+        self.inner.lock().config
+    }
+
+    /// Record a transient failure of `engine` (an injected fault, a failed
+    /// put, a native execution error). At `failure_threshold` consecutive
+    /// failures the breaker opens; a failed half-open probe re-opens it.
+    /// Returns the breaker's state after the transition.
+    pub fn record_failure(&self, engine: &str) -> BreakerState {
+        let mut inner = self.inner.lock();
+        let cfg = inner.config;
+        let b = inner
+            .breakers
+            .entry(engine.to_string())
+            .or_insert_with(|| Breaker {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                cooldown: 0,
+            });
+        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        match b.state {
+            BreakerState::Closed if b.consecutive_failures >= cfg.failure_threshold.max(1) => {
+                b.state = BreakerState::Open;
+                b.cooldown = cfg.probe_after.max(1);
+            }
+            // a failed probe (or a failure from a request admitted before
+            // the trip) re-arms the full cooldown
+            BreakerState::HalfOpen | BreakerState::Open => {
+                b.state = BreakerState::Open;
+                b.cooldown = cfg.probe_after.max(1);
+            }
+            BreakerState::Closed => {}
+        }
+        b.state
+    }
+
+    /// Record a successful operation on `engine`: whatever state the
+    /// breaker was in, it closes and the failure streak resets.
+    pub fn record_success(&self, engine: &str) {
+        self.inner.lock().breakers.remove(engine);
+    }
+
+    /// May the planner route to `engine` right now? Closed and half-open
+    /// breakers say yes; an open breaker says no while counting down its
+    /// cooldown, then half-opens and admits one probe. Deterministic: the
+    /// transition happens on the `probe_after`-th consultation, not after
+    /// a wall-clock timeout.
+    pub fn allowed(&self, engine: &str) -> bool {
+        match self.inner.lock().breakers.get_mut(engine) {
+            None => true,
+            Some(b) => match b.state {
+                BreakerState::Closed | BreakerState::HalfOpen => true,
+                BreakerState::Open => {
+                    b.cooldown = b.cooldown.saturating_sub(1);
+                    if b.cooldown == 0 {
+                        b.state = BreakerState::HalfOpen;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+        }
+    }
+
+    /// The breaker snapshot for one engine (closed when never tripped).
+    pub fn health(&self, engine: &str) -> EngineHealth {
+        self.inner
+            .lock()
+            .breakers
+            .get(engine)
+            .map(|b| EngineHealth {
+                state: b.state,
+                consecutive_failures: b.consecutive_failures,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Every engine whose breaker is not fully healthy (open, half-open,
+    /// or closed with a failure streak), sorted by name — what `EXPLAIN`
+    /// renders.
+    pub fn snapshot(&self) -> Vec<(String, EngineHealth)> {
+        let mut out: Vec<(String, EngineHealth)> = self
+            .inner
+            .lock()
+            .breakers
+            .iter()
+            .map(|(e, b)| {
+                (
+                    e.clone(),
+                    EngineHealth {
+                        state: b.state,
+                        consecutive_failures: b.consecutive_failures,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
 /// The workload monitor. Keeps a sliding window of recent events so that
 /// *shifts* in the workload change the recommendation (old history ages
 /// out).
@@ -268,6 +485,10 @@ pub struct Monitor {
     transports: HashMap<Transport, TransportStats>,
     /// Migrator signal: per-object demand-ship counters.
     ships: HashMap<String, ShipStats>,
+    /// Fault signal: per-engine circuit breakers (absent = closed). Shared
+    /// with the federation's data paths — see [`BreakerBoard`] for why the
+    /// board carries its own lock instead of living under the monitor's.
+    breakers: std::sync::Arc<BreakerBoard>,
 }
 
 impl Default for Monitor {
@@ -290,6 +511,7 @@ impl Monitor {
             engine_class: HashMap::new(),
             transports: HashMap::new(),
             ships: HashMap::new(),
+            breakers: std::sync::Arc::new(BreakerBoard::default()),
         }
     }
 
@@ -389,6 +611,79 @@ impl Monitor {
     /// True when no events have been recorded (or all have aged out).
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    // ---- circuit breakers ---------------------------------------------------
+
+    /// The shared breaker board. [`crate::BigDawg`] clones this handle so
+    /// its data paths can record outcomes without taking the monitor lock.
+    pub fn breaker_board(&self) -> std::sync::Arc<BreakerBoard> {
+        std::sync::Arc::clone(&self.breakers)
+    }
+
+    /// Replace the breaker thresholds (existing breaker states are kept).
+    pub fn set_breaker_config(&self, config: BreakerConfig) {
+        self.breakers.set_config(config);
+    }
+
+    /// The active breaker thresholds.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breakers.config()
+    }
+
+    /// Record a transient failure of `engine` — see
+    /// [`BreakerBoard::record_failure`].
+    pub fn record_engine_failure(&self, engine: &str) -> BreakerState {
+        self.breakers.record_failure(engine)
+    }
+
+    /// Record a successful operation on `engine` — see
+    /// [`BreakerBoard::record_success`].
+    pub fn record_engine_success(&self, engine: &str) {
+        self.breakers.record_success(engine)
+    }
+
+    /// May the planner route to `engine` right now? — see
+    /// [`BreakerBoard::allowed`].
+    pub fn engine_allowed(&self, engine: &str) -> bool {
+        self.breakers.allowed(engine)
+    }
+
+    /// The breaker snapshot for one engine (closed when never tripped).
+    pub fn engine_health(&self, engine: &str) -> EngineHealth {
+        self.breakers.health(engine)
+    }
+
+    /// Every engine whose breaker is not fully healthy, sorted by name —
+    /// see [`BreakerBoard::snapshot`].
+    pub fn health_snapshot(&self) -> Vec<(String, EngineHealth)> {
+        self.breakers.snapshot()
+    }
+
+    /// Breaker-aware plan choice: [`Monitor::cheapest_engine`] restricted
+    /// to candidates whose breakers admit traffic. When *every* breaker is
+    /// open the full candidate list competes instead — the federation
+    /// never refuses to pick just because everything looks sick (the
+    /// attempt doubles as the probe that lets breakers re-close). Returns
+    /// `None` only for an empty candidate list; cold-start falls back to
+    /// the first candidate by the caller's order.
+    pub fn cheapest_healthy_engine(
+        &self,
+        candidates: &[String],
+        class: QueryClass,
+    ) -> Option<String> {
+        let healthy: Vec<String> = candidates
+            .iter()
+            .filter(|e| self.engine_allowed(e))
+            .cloned()
+            .collect();
+        let pool = if healthy.is_empty() {
+            candidates.to_vec()
+        } else {
+            healthy
+        };
+        self.cheapest_engine(&pool, class)
+            .or_else(|| pool.first().cloned())
     }
 
     // ---- cost model ---------------------------------------------------------
@@ -923,6 +1218,103 @@ mod tests {
             bd.catalog().read().located_on("wave_rel", "scidb"),
             "replica set survives re-registration"
         );
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_probes_closed() {
+        let m = Monitor::new();
+        let cfg = BreakerConfig::default();
+        assert_eq!(m.engine_health("scidb").state, BreakerState::Closed);
+        // below the threshold the breaker stays closed (streak visible)
+        for i in 1..cfg.failure_threshold {
+            assert_eq!(m.record_engine_failure("scidb"), BreakerState::Closed);
+            assert_eq!(m.engine_health("scidb").consecutive_failures, i);
+            assert!(m.engine_allowed("scidb"));
+        }
+        // the threshold-th consecutive failure trips it open
+        assert_eq!(m.record_engine_failure("scidb"), BreakerState::Open);
+        // open: the planner is refused for `probe_after - 1` consultations…
+        for _ in 1..cfg.probe_after {
+            assert!(!m.engine_allowed("scidb"));
+        }
+        // …then a half-open probe is admitted
+        assert!(m.engine_allowed("scidb"));
+        assert_eq!(m.engine_health("scidb").state, BreakerState::HalfOpen);
+        // a failed probe re-opens with a fresh cooldown
+        assert_eq!(m.record_engine_failure("scidb"), BreakerState::Open);
+        assert!(!m.engine_allowed("scidb"));
+        for _ in 1..cfg.probe_after {
+            m.engine_allowed("scidb");
+        }
+        assert!(m.engine_allowed("scidb"), "second probe admitted");
+        // a successful probe closes the breaker and clears the streak
+        m.record_engine_success("scidb");
+        let h = m.engine_health("scidb");
+        assert_eq!(h.state, BreakerState::Closed);
+        assert_eq!(h.consecutive_failures, 0);
+        assert!(m.health_snapshot().is_empty());
+    }
+
+    #[test]
+    fn success_resets_a_failure_streak_before_the_trip() {
+        let m = Monitor::new();
+        m.record_engine_failure("pg");
+        m.record_engine_failure("pg");
+        m.record_engine_success("pg");
+        // the streak restarted: two more failures still do not trip it
+        m.record_engine_failure("pg");
+        assert_eq!(m.record_engine_failure("pg"), BreakerState::Closed);
+        assert!(m.engine_allowed("pg"));
+    }
+
+    #[test]
+    fn cheapest_healthy_engine_routes_around_open_breakers() {
+        let mut m = Monitor::new();
+        let candidates = vec!["pg_a".to_string(), "pg_b".to_string()];
+        // history prefers pg_a…
+        for _ in 0..4 {
+            m.record("t", QueryClass::Join, "pg_a", Duration::from_millis(1));
+            m.record("t", QueryClass::Join, "pg_b", Duration::from_millis(9));
+        }
+        assert_eq!(
+            m.cheapest_healthy_engine(&candidates, QueryClass::Join),
+            Some("pg_a".to_string())
+        );
+        // …until its breaker opens: the sick engine is routed around
+        for _ in 0..3 {
+            m.record_engine_failure("pg_a");
+        }
+        assert_eq!(
+            m.cheapest_healthy_engine(&candidates, QueryClass::Join),
+            Some("pg_b".to_string())
+        );
+        // with every breaker open the full list competes again (the pick
+        // doubles as the probe) — never a refusal to plan
+        for _ in 0..3 {
+            m.record_engine_failure("pg_b");
+        }
+        assert_eq!(
+            m.cheapest_healthy_engine(&candidates, QueryClass::Join),
+            Some("pg_a".to_string())
+        );
+        assert_eq!(m.cheapest_healthy_engine(&[], QueryClass::Join), None);
+    }
+
+    #[test]
+    fn health_snapshot_lists_sick_engines_sorted() {
+        let m = Monitor::new();
+        for _ in 0..3 {
+            m.record_engine_failure("zeta");
+        }
+        m.record_engine_failure("alpha");
+        let snap = m.health_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "alpha");
+        assert_eq!(snap[0].1.state, BreakerState::Closed);
+        assert_eq!(snap[0].1.consecutive_failures, 1);
+        assert_eq!(snap[1].0, "zeta");
+        assert_eq!(snap[1].1.state, BreakerState::Open);
+        assert_eq!(format!("{}", snap[1].1.state), "open");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use crate::catalog::{Catalog, ObjectEntry, ObjectKind};
 use crate::exec;
 use crate::islands;
 use crate::migrate::{MigrationPolicy, Migrator};
-use crate::monitor::{Monitor, QueryClass};
+use crate::monitor::{BreakerBoard, EngineHealth, Monitor, QueryClass};
+use crate::retry::{self, RetryPolicy};
 use crate::scope;
 use crate::shim::{EngineKind, Shim};
 use bigdawg_common::{Batch, BigDawgError, Result};
@@ -36,7 +37,14 @@ pub struct BigDawg {
     engines: BTreeMap<String, Mutex<Box<dyn Shim>>>,
     catalog: RwLock<Catalog>,
     monitor: Mutex<Monitor>,
+    /// The monitor's circuit-breaker board, shared so data paths (and the
+    /// migrator, which runs *under* the monitor lock) can record outcomes
+    /// without touching the monitor mutex.
+    breakers: std::sync::Arc<BreakerBoard>,
     temp_counter: AtomicU64,
+    /// How transient failures are handled (retries, backoff, replica
+    /// failover). Fail-fast by default; see [`BigDawg::set_retry_policy`].
+    retry: RwLock<RetryPolicy>,
     /// When set, top-level queries are followed by a migrator cycle that
     /// acts on the monitor's hot set (see [`BigDawg::set_auto_migrate`]).
     auto_migrate: RwLock<Option<MigrationPolicy>>,
@@ -86,11 +94,15 @@ impl Default for BigDawg {
 impl BigDawg {
     /// An empty federation: no engines, an empty catalog, a fresh monitor.
     pub fn new() -> Self {
+        let monitor = Monitor::new();
+        let breakers = monitor.breaker_board();
         BigDawg {
             engines: BTreeMap::new(),
             catalog: RwLock::new(Catalog::new()),
-            monitor: Mutex::new(Monitor::new()),
+            monitor: Mutex::new(monitor),
+            breakers,
             temp_counter: AtomicU64::new(0),
+            retry: RwLock::new(RetryPolicy::none()),
             auto_migrate: RwLock::new(None),
             migration_active: AtomicBool::new(false),
             placements_in_flight: Mutex::new(std::collections::BTreeSet::new()),
@@ -152,19 +164,25 @@ impl BigDawg {
     /// this falls back to the first engine of the kind by name, matching
     /// [`BigDawg::engine_of_kind`]; with history, the engine with the
     /// lowest mean measured latency for that query class wins.
+    ///
+    /// The choice is also breaker-aware: engines whose circuit breaker is
+    /// open ([`BigDawg::engine_health`]) are routed around while healthy
+    /// peers of the kind exist. When every candidate's breaker is open —
+    /// including the only-engine-of-its-kind case — the pick proceeds
+    /// anyway: the federation never refuses to plan, and the attempt
+    /// doubles as the probe that lets a recovered engine's breaker close.
     pub fn choose_engine_of_kind(&self, kind: EngineKind, class: QueryClass) -> Result<String> {
         let candidates = self.engines_of_kind(kind);
-        match candidates.len() {
-            0 => Err(BigDawgError::NotFound(format!(
+        if candidates.is_empty() {
+            return Err(BigDawgError::NotFound(format!(
                 "an engine of kind `{kind}` in the federation"
-            ))),
-            1 => Ok(candidates.into_iter().next().expect("one candidate")),
-            _ => Ok(self
-                .monitor
-                .lock()
-                .cheapest_engine(&candidates, class)
-                .unwrap_or_else(|| candidates.into_iter().next().expect("candidates checked"))),
+            )));
         }
+        Ok(self
+            .monitor
+            .lock()
+            .cheapest_healthy_engine(&candidates, class)
+            .expect("candidates checked non-empty"))
     }
 
     /// The engine kind of a registered engine.
@@ -341,20 +359,29 @@ impl BigDawg {
         record_demand: bool,
     ) -> Result<CastReport> {
         let transport = self.effective_transport(transport, to_engine);
+        // each retry attempt re-runs the whole cast — re-resolving the
+        // placement and re-sweeping the surviving copies, so an engine
+        // that recovered (or a breaker that opened) changes the next
+        // attempt's routing
+        retry::with_retry(&self.retry_policy(), retry::stable_hash(object), |_| {
+            self.cast_once(object, to_engine, new_name, transport, record_demand)
+        })
+    }
+
+    /// One cast attempt: read a copy (failing over across placements when
+    /// the policy allows), ship, land, register.
+    fn cast_once(
+        &self,
+        object: &str,
+        to_engine: &str,
+        new_name: &str,
+        transport: Transport,
+        record_demand: bool,
+    ) -> Result<CastReport> {
         let mut last = None;
         for _ in 0..3 {
-            let entry = self.placement(object)?;
-            let source = if entry.located_on(to_engine) {
-                to_engine.to_string()
-            } else {
-                entry.engine.clone()
-            };
-            let (got, wire) = {
-                let guard = self.engine(&source)?.lock();
-                (guard.get_table(object), guard.wire_latency())
-            };
-            let batch = match got {
-                Ok(b) => b,
+            let (batch, wire, source) = match self.read_object_copy(object, Some(to_engine)) {
+                Ok(read) => read,
                 Err(e @ BigDawgError::NotFound(_)) => {
                     // placement raced (the copy moved between resolve and
                     // read): re-resolve against the current catalog
@@ -367,9 +394,14 @@ impl BigDawg {
             // round-trip was paid inside get_table); the binary transport
             // pipelines it chunk-by-chunk, the file transport pays it flat
             let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
-            self.engine(to_engine)?
-                .lock()
-                .put_table(new_name, shipped)?;
+            let put = self.engine(to_engine)?.lock().put_table(new_name, shipped);
+            if let Err(e) = put {
+                if retry::is_transient(&e) {
+                    self.breakers.record_failure(to_engine);
+                }
+                return Err(e);
+            }
+            self.breakers.record_success(to_engine);
             // resolve the kind (an engine lock) before taking the catalog
             // lock: the write path nests engine → catalog, so nesting
             // catalog → engine here would form a lock-order cycle
@@ -381,6 +413,90 @@ impl BigDawg {
             return Ok(report);
         }
         Err(last.expect("loop exits early unless a read failed"))
+    }
+
+    /// Read one intact copy of `object`, returning the batch, the source
+    /// engine's wire latency, and which engine served it.
+    ///
+    /// Source preference: a copy co-located with `prefer` (no wire), then
+    /// the primary, then the replicas — with breaker-refused engines
+    /// demoted to last resorts. Under a failover-enabled policy every
+    /// surviving placement is attempted in that order; a transient failure
+    /// feeds the source's circuit breaker and the sweep moves on. With
+    /// failover disabled only the first preference is tried, which is
+    /// exactly the pre-fault-tolerance behavior.
+    ///
+    /// Error contract: if every attempted copy failed transiently the
+    /// error names *all* attempted engines (so an operator sees the whole
+    /// blast radius); if all misses were `not_found` the race surfaces as
+    /// `not_found` for the caller's re-resolve loop.
+    fn read_object_copy(
+        &self,
+        object: &str,
+        prefer: Option<&str>,
+    ) -> Result<(Batch, std::time::Duration, String)> {
+        let entry = self.placement(object)?;
+        let policy = self.retry_policy();
+        let mut candidates: Vec<String> = Vec::new();
+        if let Some(p) = prefer {
+            if entry.located_on(p) {
+                candidates.push(p.to_string());
+            }
+        }
+        for loc in entry.locations() {
+            if !candidates.iter().any(|c| c == loc) {
+                candidates.push(loc.to_string());
+            }
+        }
+        if !policy.failover {
+            candidates.truncate(1);
+        } else if candidates.len() > 1 {
+            // stable partition: breaker-admitted sources keep their
+            // preference order, refused ones become last resorts (still
+            // attempted — a sweep must never fail without trying every
+            // surviving copy)
+            let (admitted, refused): (Vec<String>, Vec<String>) = candidates
+                .into_iter()
+                .partition(|c| self.breakers.allowed(c));
+            candidates = admitted;
+            candidates.extend(refused);
+        }
+        let mut failures: Vec<(String, BigDawgError)> = Vec::new();
+        let mut last_not_found = None;
+        for source in &candidates {
+            let (got, wire) = {
+                let guard = self.engine(source)?.lock();
+                (guard.get_table(object), guard.wire_latency())
+            };
+            match got {
+                Ok(batch) => {
+                    self.breakers.record_success(source);
+                    return Ok((batch, wire, source.clone()));
+                }
+                Err(e @ BigDawgError::NotFound(_)) => last_not_found = Some(e),
+                Err(e) => {
+                    if retry::is_transient(&e) {
+                        self.breakers.record_failure(source);
+                    }
+                    failures.push((source.clone(), e));
+                }
+            }
+        }
+        match (failures.len(), last_not_found) {
+            (0, Some(nf)) => Err(nf),
+            (0, None) => Err(BigDawgError::NotFound(format!(
+                "a readable copy of `{object}`"
+            ))),
+            (1, None) if candidates.len() == 1 => Err(failures.pop().expect("one failure").1),
+            _ => Err(BigDawgError::Execution(format!(
+                "read of `{object}` failed on every attempted copy: {}",
+                failures
+                    .iter()
+                    .map(|(engine, e)| format!("{engine} ({e})"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ))),
+        }
     }
 
     /// Materialize an intermediate result batch on an engine (used by
@@ -395,12 +511,22 @@ impl BigDawg {
         transport: Transport,
     ) -> Result<CastReport> {
         let batch = batch.narrow_types();
-        let (shipped, report) = ship(&batch, self.effective_transport(transport, to_engine))?;
-        self.engine(to_engine)?.lock().put_table(name, shipped)?;
-        // kind first, catalog lock second (see cast_object on lock order)
-        let kind = default_kind(self.kind_of(to_engine)?);
-        self.catalog.write().register(name, to_engine, kind);
-        Ok(report)
+        let transport = self.effective_transport(transport, to_engine);
+        retry::with_retry(&self.retry_policy(), retry::stable_hash(name), |_| {
+            let (shipped, report) = ship(&batch, transport)?;
+            let put = self.engine(to_engine)?.lock().put_table(name, shipped);
+            if let Err(e) = put {
+                if retry::is_transient(&e) {
+                    self.breakers.record_failure(to_engine);
+                }
+                return Err(e);
+            }
+            self.breakers.record_success(to_engine);
+            // kind first, catalog lock second (see cast_object on lock order)
+            let kind = default_kind(self.kind_of(to_engine)?);
+            self.catalog.write().register(name, to_engine, kind);
+            Ok(report)
+        })
     }
 
     /// Drop an object everywhere: every copy the catalog tracks (primary
@@ -537,21 +663,39 @@ impl BigDawg {
             }
         } else {
             let transport = self.effective_transport(transport, to_engine);
-            let (batch, wire) = {
-                let guard = self.engine(&from_engine)?.lock();
-                let wire = guard.wire_latency();
-                (guard.get_table(object)?, wire)
+            let policy = self.retry_policy();
+            let key = retry::stable_hash(object);
+            // the copy step retries under the federation policy: the read
+            // sweeps the surviving placements (any intact copy is a valid
+            // source — the commit's epoch guard rejects stale data), the
+            // put retries against the same target
+            let (batch, wire, _source) =
+                retry::with_retry(&policy, key, |_| self.read_object_copy(object, None))?;
+            let put = retry::with_retry(&policy, key, |_| {
+                let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
+                let landed = self.engine(to_engine)?.lock().put_table(object, shipped);
+                match landed {
+                    Ok(()) => {
+                        self.breakers.record_success(to_engine);
+                        Ok(report)
+                    }
+                    Err(e) => {
+                        if retry::is_transient(&e) {
+                            self.breakers.record_failure(to_engine);
+                        }
+                        Err(e)
+                    }
+                }
+            });
+            let report = match put {
+                Ok(report) => report,
+                Err(e) => {
+                    // abort: drop whatever partial state the target holds;
+                    // the catalog still points at the intact source
+                    self.drop_or_orphan(to_engine, object);
+                    return Err(e);
+                }
             };
-            let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
-            // bind before testing: an `if let` on the locked call would keep
-            // the engine guard alive into the cleanup re-lock below
-            let put = self.engine(to_engine)?.lock().put_table(object, shipped);
-            if let Err(e) = put {
-                // abort: drop whatever partial state the target holds; the
-                // catalog still points at the intact source
-                self.drop_or_orphan(to_engine, object);
-                return Err(e);
-            }
             // a fresh copy just landed under this name: if an old orphan
             // lived here, it no longer does
             self.clear_orphan(to_engine, object);
@@ -629,19 +773,35 @@ impl BigDawg {
         self.engine(to_engine)?;
 
         let transport = self.effective_transport(transport, to_engine);
-        let (batch, wire) = {
-            let guard = self.engine(&entry.engine)?.lock();
-            let wire = guard.wire_latency();
-            (guard.get_table(object)?, wire)
+        let policy = self.retry_policy();
+        let key = retry::stable_hash(object);
+        // same retrying copy step as migration: any surviving placement
+        // may serve the read (the epoch guard below rejects stale copies)
+        let (batch, wire, _source) =
+            retry::with_retry(&policy, key, |_| self.read_object_copy(object, None))?;
+        let put = retry::with_retry(&policy, key, |_| {
+            let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
+            let landed = self.engine(to_engine)?.lock().put_table(object, shipped);
+            match landed {
+                Ok(()) => {
+                    self.breakers.record_success(to_engine);
+                    Ok(report)
+                }
+                Err(e) => {
+                    if retry::is_transient(&e) {
+                        self.breakers.record_failure(to_engine);
+                    }
+                    Err(e)
+                }
+            }
+        });
+        let report = match put {
+            Ok(report) => report,
+            Err(e) => {
+                self.drop_or_orphan(to_engine, object);
+                return Err(e);
+            }
         };
-        let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
-        // bind before testing (see migrate_object: avoids re-locking the
-        // engine while the put guard is still alive)
-        let put = self.engine(to_engine)?.lock().put_table(object, shipped);
-        if let Err(e) = put {
-            self.drop_or_orphan(to_engine, object);
-            return Err(e);
-        }
         self.clear_orphan(to_engine, object);
         {
             let mut cat = self.catalog.write();
@@ -807,6 +967,46 @@ impl BigDawg {
     /// The islands this federation exposes (Figure 1).
     pub fn island_names(&self) -> Vec<String> {
         islands::island_names(self)
+    }
+
+    // ---- fault tolerance ------------------------------------------------------
+
+    /// Install the federation-wide [`RetryPolicy`] governing transient
+    /// failures: bounded retries with deterministic seeded backoff, a
+    /// per-operation wall-clock budget, and replica failover for reads.
+    /// The default is [`RetryPolicy::none`] (fail-fast, no failover), the
+    /// exact pre-fault-tolerance behavior.
+    ///
+    /// ```
+    /// use bigdawg_core::{BigDawg, RetryPolicy};
+    ///
+    /// let bd = BigDawg::new();
+    /// bd.set_retry_policy(RetryPolicy::standard(42));
+    /// assert!(!bd.retry_policy().is_fail_fast());
+    /// ```
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    /// The currently installed retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
+    }
+
+    /// The circuit-breaker health of one engine: closed (healthy), open
+    /// (sick — the planner routes around it), or half-open (probing),
+    /// plus the current consecutive-failure streak. Engines that never
+    /// failed — and unknown names — read as closed.
+    pub fn engine_health(&self, engine: &str) -> EngineHealth {
+        self.breakers.health(engine)
+    }
+
+    /// The shared circuit-breaker board — the same one the monitor's
+    /// planner consults. Data paths record outcomes here directly so
+    /// breaker bookkeeping never waits on (or deadlocks against) the
+    /// monitor lock.
+    pub fn breakers(&self) -> &BreakerBoard {
+        &self.breakers
     }
 
     // ---- monitor --------------------------------------------------------------

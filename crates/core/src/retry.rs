@@ -1,0 +1,329 @@
+//! Retry policy for the execution and data planes.
+//!
+//! The polystore federates autonomous engines, and autonomous engines
+//! misbehave: a request is dropped, a wire stalls, an engine restarts
+//! mid-copy. The companion architecture papers stress that the middleware
+//! must degrade gracefully rather than assume every backend is healthy.
+//! This module is the knob for that: a [`RetryPolicy`] installed on the
+//! federation ([`crate::BigDawg::set_retry_policy`]) governs how many
+//! times a transient failure is retried, how long each attempt backs off,
+//! and whether reads may *fail over* to another catalog placement (a
+//! migrator-placed replica) instead of failing the query.
+//!
+//! Everything here is deterministic. Backoff jitter comes from a seeded
+//! splitmix64 stream keyed by the operation (object name, attempt
+//! number), never from a clock or a global RNG, so a failing chaos test
+//! replays identically from its seed.
+//!
+//! The default policy is [`RetryPolicy::none`]: zero retries, no
+//! failover — exactly the fail-fast behavior the federation had before
+//! this module existed. Fault-injection tests that assert "one injected
+//! fault fails the operation" rely on that default; resilience is opt-in.
+
+use bigdawg_common::{BigDawgError, Result};
+use std::time::{Duration, Instant};
+
+/// How the federation responds to transient failures.
+///
+/// Installed with [`crate::BigDawg::set_retry_policy`]; consulted by the
+/// CAST data path, the scatter-gather executor's leaves, the island retry
+/// loops, and the migrator's copy-then-commit path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure. `0` means fail-fast.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for one logical operation (all attempts plus
+    /// their backoffs). `None` = unbounded; when the budget is spent the
+    /// next failure surfaces instead of retrying.
+    pub budget: Option<Duration>,
+    /// When true, reads of a replicated object may fail over to another
+    /// catalog placement (primary or replica) after the chosen source
+    /// fails, instead of failing the query.
+    pub failover: bool,
+    /// Seed for the deterministic backoff jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl RetryPolicy {
+    /// Fail-fast: no retries, no failover. The federation default, and
+    /// the behavior every release before the fault-tolerance layer had.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            budget: None,
+            failover: true,
+            jitter_seed: 0,
+        }
+        .with_failover(false)
+    }
+
+    /// A sensible resilient policy: 3 retries, 200 µs base backoff capped
+    /// at 5 ms, a 250 ms per-operation budget, and replica failover on.
+    pub fn standard(jitter_seed: u64) -> Self {
+        RetryPolicy {
+            retries: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+            budget: Some(Duration::from_millis(250)),
+            failover: true,
+            jitter_seed,
+        }
+    }
+
+    /// Set the number of retries (attempts beyond the first).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Set the exponential backoff's base and saturation bound.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max.max(base);
+        self
+    }
+
+    /// Set (or clear) the per-operation wall-clock budget.
+    pub fn with_budget(mut self, budget: Option<Duration>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enable or disable replica failover for reads.
+    pub fn with_failover(mut self, failover: bool) -> Self {
+        self.failover = failover;
+        self
+    }
+
+    /// Set the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// True when the policy degenerates to fail-fast (no retries).
+    pub fn is_fail_fast(&self) -> bool {
+        self.retries == 0
+    }
+
+    /// The pause before retry number `attempt` (0-based) of the operation
+    /// identified by `key`: exponential (`base << attempt`) saturated at
+    /// `max_backoff`, then jittered into `[50%, 100%]` of that value by a
+    /// splitmix64 stream seeded from `(jitter_seed, key, attempt)`.
+    /// Deterministic: the same policy, key, and attempt always pause the
+    /// same amount.
+    pub fn backoff(&self, attempt: u32, key: u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let mut state = self
+            .jitter_seed
+            .wrapping_add(key)
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let jitter = splitmix64(&mut state);
+        // keep at least half the exponential pause, jitter away the rest
+        let nanos = exp.as_nanos() as u64;
+        Duration::from_nanos(nanos / 2 + jitter % (nanos / 2 + 1))
+    }
+}
+
+/// True when an error may succeed on retry: an engine-side execution
+/// failure, a failed CAST transfer, or an aborted transaction. Catalog
+/// misses (`not_found`) are *not* transient — they are either genuinely
+/// unknown names or placement races, and races have their own bounded
+/// re-resolve loops with different semantics (no backoff, re-resolve
+/// first).
+pub fn is_transient(e: &BigDawgError) -> bool {
+    matches!(
+        e,
+        BigDawgError::Execution(_) | BigDawgError::Cast(_) | BigDawgError::TxAborted(_)
+    )
+}
+
+/// Run `op` under the policy: the first failure that is transient and
+/// within both the attempt and wall-clock budgets pauses for the
+/// deterministic backoff and retries. The closure receives the attempt
+/// number (0-based). Non-transient errors and budget exhaustion surface
+/// immediately.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    key: u64,
+    mut op: impl FnMut(u32) -> Result<T>,
+) -> Result<T> {
+    let started = Instant::now();
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let in_budget = policy.budget.is_none_or(|b| started.elapsed() < b);
+                if attempt >= policy.retries || !is_transient(&e) || !in_budget {
+                    return Err(e);
+                }
+                let pause = policy.backoff(attempt, key);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// One step of the splitmix64 stream — the same tiny deterministic
+/// generator the fault shim uses for seeded failure schedules.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a name — the stable per-operation jitter key (object or
+/// engine names), so two different objects retrying concurrently do not
+/// pause in lockstep.
+pub fn stable_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::exec_err;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn default_policy_is_fail_fast() {
+        let p = RetryPolicy::default();
+        assert!(p.is_fail_fast());
+        assert!(!p.failover);
+        let calls = AtomicU32::new(0);
+        let out: Result<()> = with_retry(&p, 1, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(exec_err!("transient"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "no second attempt");
+    }
+
+    #[test]
+    fn transient_errors_retry_up_to_the_budget() {
+        let p = RetryPolicy::standard(7).with_retries(3);
+        let calls = AtomicU32::new(0);
+        let out = with_retry(&p, 1, |attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < 2 {
+                Err(exec_err!("transient"))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn permanent_errors_never_retry() {
+        let p = RetryPolicy::standard(7);
+        let calls = AtomicU32::new(0);
+        let out: Result<()> = with_retry(&p, 1, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(BigDawgError::NotFound("ghost".into()))
+        });
+        assert_eq!(out.unwrap_err().kind(), "not_found");
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_the_last_error() {
+        let p = RetryPolicy::standard(7)
+            .with_retries(2)
+            .with_backoff(Duration::from_nanos(1), Duration::from_nanos(4));
+        let calls = AtomicU32::new(0);
+        let out: Result<()> = with_retry(&p, 1, |a| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(exec_err!("boom {a}"))
+        });
+        assert!(out.unwrap_err().to_string().contains("boom 2"));
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "1 try + 2 retries");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let p = RetryPolicy::standard(42)
+            .with_backoff(Duration::from_micros(100), Duration::from_millis(1));
+        for attempt in 0..4 {
+            assert_eq!(
+                p.backoff(attempt, 9),
+                p.backoff(attempt, 9),
+                "same inputs, same pause"
+            );
+        }
+        // each pause sits in [50%, 100%] of the saturated exponential
+        for (attempt, cap_us) in [(0u32, 100u64), (1, 200), (2, 400), (3, 800), (4, 1000)] {
+            let pause = p.backoff(attempt, 9);
+            assert!(
+                pause >= Duration::from_micros(cap_us / 2),
+                "attempt {attempt}"
+            );
+            assert!(pause <= Duration::from_micros(cap_us), "attempt {attempt}");
+        }
+        // different keys decorrelate the jitter
+        assert_ne!(p.backoff(3, 1), p.backoff(3, 2));
+        // zero-base policies never sleep
+        assert_eq!(RetryPolicy::none().backoff(5, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_retrying() {
+        let p = RetryPolicy::standard(7)
+            .with_retries(u32::MAX)
+            .with_backoff(Duration::from_millis(2), Duration::from_millis(2))
+            .with_budget(Some(Duration::from_millis(10)));
+        let started = Instant::now();
+        let out: Result<()> = with_retry(&p, 1, |_| Err(exec_err!("always")));
+        assert!(out.is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "budget bounded the loop"
+        );
+    }
+
+    #[test]
+    fn transient_classification_matches_the_error_taxonomy() {
+        assert!(is_transient(&BigDawgError::Execution("x".into())));
+        assert!(is_transient(&BigDawgError::Cast("x".into())));
+        assert!(is_transient(&BigDawgError::TxAborted("x".into())));
+        assert!(!is_transient(&BigDawgError::NotFound("x".into())));
+        assert!(!is_transient(&BigDawgError::Parse("x".into())));
+        assert!(!is_transient(&BigDawgError::Unsupported("x".into())));
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_names() {
+        assert_eq!(stable_hash("wave"), stable_hash("wave"));
+        assert_ne!(stable_hash("wave"), stable_hash("tiles"));
+    }
+}

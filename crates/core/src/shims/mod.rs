@@ -25,7 +25,7 @@ pub mod tile;
 pub mod tupleware;
 
 pub use array::ArrayShim;
-pub use fault::{FaultPlan, FaultShim};
+pub use fault::{test_seed, FaultHandle, FaultPlan, FaultShim, OpKind, OpScope};
 pub use kv::KvShim;
 pub use latency::LatencyShim;
 pub use relational::RelationalShim;

@@ -1,0 +1,203 @@
+//! Deterministic chaos soak: a multi-threaded query/write workload with
+//! auto-migration enabled rides through a fault storm — one array engine
+//! crashes mid-storm (until restarted), the other injects a seeded ~10%
+//! read-fault schedule — and the federation's user-visible guarantees must
+//! hold throughout:
+//!
+//! * every query answers, and answers exactly what a fault-free oracle
+//!   federation answers (failover + retries absorb the storm);
+//! * no committed write is lost;
+//! * placement epochs never regress;
+//! * no `__cast_*` temps are orphaned anywhere;
+//! * after the crashed engine restarts, every circuit breaker re-closes
+//!   under ordinary recovery traffic.
+//!
+//! The storm is seeded: each test pins one seed (printed, and overridable
+//! with `BIGDAWG_TEST_SEED` to replay a failure) so the fault schedule —
+//! and therefore every breaker transition — is replayable.
+
+use bigdawg_array::Array;
+use bigdawg_common::Value;
+use bigdawg_core::shims::{
+    test_seed, ArrayShim, FaultHandle, FaultPlan, FaultShim, OpScope, RelationalShim,
+};
+use bigdawg_core::{BigDawg, BreakerState, MigrationPolicy, RetryPolicy, Transport};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const READ_QUERY: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v >= 0)";
+const READERS: usize = 3;
+const ITERATIONS: usize = 30;
+
+/// pg_a (healthy, holds the `counters` write target) + scidb_a/scidb_b
+/// with `wave` replicated on both. `plan_a`/`plan_b` wrap the two array
+/// engines.
+fn federation(plan_a: FaultPlan, plan_b: FaultPlan) -> (BigDawg, FaultHandle, FaultHandle) {
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("pg_a");
+    pg.db_mut()
+        .execute("CREATE TABLE counters (id INT)")
+        .unwrap();
+    bd.add_engine(Box::new(pg));
+    let mut scidb_a = ArrayShim::new("scidb_a");
+    scidb_a.store(
+        "wave",
+        Array::from_vector(
+            "wave",
+            "v",
+            &(0..64).map(|i| i as f64).collect::<Vec<_>>(),
+            16,
+        ),
+    );
+    let shim_a = FaultShim::new(Box::new(scidb_a), plan_a);
+    let handle_a = shim_a.handle();
+    bd.add_engine(Box::new(shim_a));
+    let shim_b = FaultShim::new(Box::new(ArrayShim::new("scidb_b")), plan_b);
+    let handle_b = shim_b.handle();
+    bd.add_engine(Box::new(shim_b));
+    bd.replicate_object("wave", "scidb_b", Transport::Binary)
+        .unwrap();
+    (bd, handle_a, handle_b)
+}
+
+fn run_soak(default_seed: u64) {
+    let seed = test_seed(default_seed);
+    eprintln!("chaos soak: seed {seed} (replay with BIGDAWG_TEST_SEED={seed})");
+
+    // the oracle: the same federation and query with no faults at all
+    let (oracle_bd, _, _) = federation(FaultPlan::default(), FaultPlan::default());
+    let oracle = oracle_bd.execute(READ_QUERY).unwrap();
+    assert_eq!(oracle.rows()[0][0], Value::Int(64));
+
+    // the storm: scidb_a crashes on its 4th operation (the replication
+    // copy is op 1, so a few reads land first) and stays down until
+    // restarted; scidb_b fails ~10% of its reads on a schedule derived
+    // from the seed. Writes to scidb_b (migrator copies) are left clean
+    // so placement can still make progress during the storm.
+    let (bd, handle_a, handle_b) = federation(
+        FaultPlan::crash_at(4),
+        FaultPlan::seeded(seed, 10, 8192).scoped(OpScope::Reads),
+    );
+    bd.set_retry_policy(RetryPolicy::standard(seed));
+    bd.set_auto_migrate(Some(MigrationPolicy {
+        min_ships: 3,
+        replicate: true,
+        max_per_cycle: 2,
+    }));
+
+    let committed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let bd = &bd;
+        let committed = &committed;
+        let oracle = &oracle;
+        for reader in 0..READERS {
+            s.spawn(move || {
+                let mut last_epoch = 0u64;
+                for i in 0..ITERATIONS {
+                    // alternate schedules: both must absorb the storm
+                    let result = if (i + reader) % 2 == 0 {
+                        bd.execute(READ_QUERY)
+                    } else {
+                        bd.execute_serial(READ_QUERY)
+                    };
+                    let b = result.unwrap_or_else(|e| {
+                        panic!("reader {reader} iteration {i} saw the storm: {e}")
+                    });
+                    assert_eq!(b.rows(), oracle.rows(), "reader {reader} iteration {i}");
+                    // epochs are monotone from any observer's viewpoint
+                    let epoch = bd.placement_epoch("wave").unwrap();
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch regressed: {last_epoch}->{epoch}"
+                    );
+                    last_epoch = epoch;
+                }
+            });
+        }
+        s.spawn(move || {
+            for i in 0..ITERATIONS {
+                if bd
+                    .execute(&format!("RELATIONAL(INSERT INTO counters VALUES ({i}))"))
+                    .is_ok()
+                {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+
+    // the storm really happened: the crash engaged and the flaky replica
+    // absorbed read traffic (and injected read faults, not write faults)
+    assert!(handle_a.is_crashed(), "the crash plan engaged");
+    assert!(handle_b.attempts(bigdawg_core::shims::OpKind::Read) > 0);
+    assert_eq!(handle_b.injected(bigdawg_core::shims::OpKind::Write), 0);
+
+    // no committed write was lost
+    let n = bd
+        .execute("RELATIONAL(SELECT COUNT(*) AS n FROM counters)")
+        .unwrap();
+    assert_eq!(
+        n.rows()[0][0],
+        Value::Int(committed.load(Ordering::Relaxed) as i64),
+        "committed writes visible after the storm"
+    );
+
+    // no orphaned temps, in the catalog or on any engine
+    {
+        let cat = bd.catalog().read();
+        assert!(
+            cat.entries().all(|(name, _)| !name.starts_with("__cast_")),
+            "catalog holds an orphaned cast temp"
+        );
+    }
+    for engine in ["pg_a", "scidb_a", "scidb_b"] {
+        let names = bd.engine(engine).unwrap().lock().object_names();
+        assert!(
+            names.iter().all(|n| !n.starts_with("__cast_")),
+            "engine {engine} holds orphaned temps: {names:?}"
+        );
+    }
+
+    // restart the crashed engine; recovery traffic must re-close every
+    // breaker, deterministically. By now auto-migration has usually
+    // co-located `wave` on the gather engine (the federation read its way
+    // around the storm), so the gather query alone no longer touches the
+    // array engines — the degenerate-island scans are the traffic that
+    // reaches them directly.
+    handle_a.restart();
+    let mut recovered = false;
+    for _ in 0..64 {
+        let b = bd.execute(READ_QUERY).unwrap();
+        assert_eq!(b.rows(), oracle.rows());
+        let _ = bd.execute("SCIDB_A(scan(wave))");
+        let _ = bd.execute("SCIDB_B(scan(wave))");
+        if bd.engine_health("scidb_a").state == BreakerState::Closed
+            && bd.engine_health("scidb_b").state == BreakerState::Closed
+            && bd.engine_health("pg_a").state == BreakerState::Closed
+        {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(
+        recovered,
+        "breakers re-closed after restart + recovery traffic"
+    );
+
+    // and with the storm over, the answer is still the oracle's
+    assert_eq!(bd.execute(READ_QUERY).unwrap().rows(), oracle.rows());
+}
+
+#[test]
+fn chaos_soak_seed_1() {
+    run_soak(1);
+}
+
+#[test]
+fn chaos_soak_seed_7() {
+    run_soak(7);
+}
+
+#[test]
+fn chaos_soak_seed_42() {
+    run_soak(42);
+}

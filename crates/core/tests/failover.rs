@@ -1,0 +1,209 @@
+//! Failover and circuit-breaker behavior of the fault-tolerant data path.
+//!
+//! Each test pins one decision of the retry/failover machinery with
+//! deterministic [`FaultShim`] plans: where a read sweeps on engine
+//! failure, what the error names when every copy is down, how a zero-attempt
+//! policy degenerates to the old fail-fast semantics, and how a breaker
+//! trips open and re-closes through ordinary traffic.
+
+use bigdawg_array::Array;
+use bigdawg_common::Value;
+use bigdawg_core::shims::{ArrayShim, FaultHandle, FaultPlan, FaultShim, OpKind, RelationalShim};
+use bigdawg_core::{BigDawg, BreakerState, RetryPolicy, Transport};
+
+/// pg (healthy) + two array engines wrapped in fault shims; `wave` starts
+/// on scidb_a and is replicated onto scidb_b, so reads have a surviving
+/// copy when one array engine dies. Plans are offset so the replication
+/// itself (one get on scidb_a, one put on scidb_b) stays clean.
+fn replicated_federation(
+    plan_a: FaultPlan,
+    plan_b: FaultPlan,
+) -> (BigDawg, FaultHandle, FaultHandle) {
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    let mut scidb_a = ArrayShim::new("scidb_a");
+    scidb_a.store(
+        "wave",
+        Array::from_vector("wave", "v", &[1.0, 2.0, 3.0, 4.0], 2),
+    );
+    let shim_a = FaultShim::new(Box::new(scidb_a), plan_a);
+    let handle_a = shim_a.handle();
+    bd.add_engine(Box::new(shim_a));
+    let shim_b = FaultShim::new(Box::new(ArrayShim::new("scidb_b")), plan_b);
+    let handle_b = shim_b.handle();
+    bd.add_engine(Box::new(shim_b));
+    bd.replicate_object("wave", "scidb_b", Transport::Binary)
+        .unwrap();
+    (bd, handle_a, handle_b)
+}
+
+#[test]
+fn failed_read_fails_over_to_a_surviving_replica() {
+    // scidb_a dies on its second operation — the first post-replication read
+    let (bd, handle_a, _) = replicated_federation(FaultPlan::crash_at(2), FaultPlan::default());
+    bd.set_retry_policy(RetryPolicy::standard(7));
+
+    // the sweep hits the crashed primary, records the failure, and serves
+    // the replica — the query never sees the fault
+    let b = bd
+        .execute("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation))")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Int(4));
+    assert!(handle_a.is_crashed());
+    assert!(
+        bd.engine_health("scidb_a").consecutive_failures >= 1,
+        "the dead primary's failure was recorded"
+    );
+    assert_eq!(bd.engine_health("scidb_b").state, BreakerState::Closed);
+}
+
+#[test]
+fn all_replicas_down_error_names_every_attempted_engine() {
+    // both array engines die right after the replication copy
+    let (bd, _, _) = replicated_federation(FaultPlan::crash_at(2), FaultPlan::crash_at(2));
+    bd.set_retry_policy(
+        RetryPolicy::standard(7).with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO),
+    );
+
+    let err = bd
+        .cast_object("wave", "postgres", "wave_rel", Transport::Binary)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("failed on every attempted copy"),
+        "aggregate sweep error expected, got: {msg}"
+    );
+    assert!(msg.contains("scidb_a"), "names the primary: {msg}");
+    assert!(msg.contains("scidb_b"), "names the replica: {msg}");
+}
+
+#[test]
+fn zero_attempt_policy_degenerates_to_fail_fast() {
+    // the default policy: no retries, no failover — exactly the
+    // pre-fault-tolerance semantics the torn-placement tests rely on
+    assert!(RetryPolicy::none().is_fail_fast());
+    let (bd, handle_a, handle_b) = replicated_federation(FaultPlan::at(&[2]), FaultPlan::default());
+    assert!(bd.retry_policy().is_fail_fast(), "fail-fast is the default");
+
+    let reads_before = handle_a.attempts(OpKind::Read);
+    let err = bd
+        .cast_object("wave", "postgres", "wave_rel", Transport::Binary)
+        .unwrap_err();
+    // the raw single-engine error surfaces untouched, after exactly one
+    // attempt on the primary and none on the (ignored) replica
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    assert_eq!(handle_a.attempts(OpKind::Read) - reads_before, 1);
+    assert_eq!(handle_b.attempts(OpKind::Read), 0, "no failover attempted");
+}
+
+#[test]
+fn put_side_transient_failures_retry_under_the_policy() {
+    // the migration target fails its first put; with a retry budget the
+    // same migrate_object call rides through
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("postgres");
+    pg.db_mut()
+        .execute("CREATE TABLE patients (id INT, age INT)")
+        .unwrap();
+    pg.db_mut()
+        .execute("INSERT INTO patients VALUES (1, 70), (2, 50)")
+        .unwrap();
+    bd.add_engine(Box::new(pg));
+    let target = FaultShim::new(Box::new(ArrayShim::new("scidb")), FaultPlan::nth(1));
+    let handle = target.handle();
+    bd.add_engine(Box::new(target));
+    bd.set_retry_policy(RetryPolicy::standard(7));
+
+    bd.migrate_object("patients", "scidb", Transport::Binary)
+        .unwrap();
+    assert_eq!(bd.locate("patients").unwrap(), "scidb");
+    assert_eq!(handle.injected(OpKind::Write), 1, "the fault did fire");
+    assert!(handle.attempts(OpKind::Write) >= 2, "…and was retried");
+}
+
+#[test]
+fn open_breaker_on_the_only_engine_of_a_kind_still_plans() {
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("postgres");
+    pg.db_mut().execute("CREATE TABLE t (x INT)").unwrap();
+    pg.db_mut().execute("INSERT INTO t VALUES (1)").unwrap();
+    bd.add_engine(Box::new(pg));
+
+    // trip the only relational engine's breaker
+    for _ in 0..3 {
+        bd.breakers().record_failure("postgres");
+    }
+    assert_eq!(bd.engine_health("postgres").state, BreakerState::Open);
+
+    // the planner must not refuse: the attempt doubles as the probe, and
+    // its success closes the breaker
+    let b = bd
+        .execute("RELATIONAL(SELECT COUNT(*) AS n FROM t)")
+        .unwrap();
+    assert_eq!(b.rows()[0][0], Value::Int(1));
+    assert_eq!(bd.engine_health("postgres").state, BreakerState::Closed);
+}
+
+#[test]
+fn explain_renders_failover_edges_and_breaker_state() {
+    let (bd, _, _) = replicated_federation(FaultPlan::default(), FaultPlan::default());
+    let q = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation))";
+
+    // fail-fast policy: no failover edges to render
+    let plan = bd.explain(q).unwrap();
+    assert!(!plan.to_string().contains("failover"));
+
+    // failover policy: the leaf names its surviving replicas
+    bd.set_retry_policy(RetryPolicy::standard(7));
+    let plan = bd.explain(q).unwrap();
+    assert!(
+        plan.to_string().contains("(failover: scidb_b)"),
+        "plan lacks the failover edge:\n{plan}"
+    );
+
+    // a sick engine shows up as a breaker line
+    for _ in 0..3 {
+        bd.breakers().record_failure("scidb_a");
+    }
+    let rendered = bd.explain(q).unwrap().to_string();
+    assert!(
+        rendered.contains("breaker scidb_a: open (3 consecutive failures)"),
+        "plan lacks the breaker line:\n{rendered}"
+    );
+}
+
+#[test]
+fn breaker_trips_under_an_error_burst_and_recloses_through_traffic() {
+    // one array engine, no replicas: a read burst long enough to exhaust
+    // a whole cast (1 + 3 retries) trips the breaker; the next cast finds
+    // the engine recovered, succeeds, and closes it
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store("wave", Array::from_vector("wave", "v", &[1.0, 2.0], 2));
+    let shim = FaultShim::new(
+        Box::new(scidb),
+        FaultPlan::burst(1, 4).scoped(bigdawg_core::shims::OpScope::Reads),
+    );
+    bd.add_engine(Box::new(shim));
+    bd.set_retry_policy(
+        RetryPolicy::standard(7).with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO),
+    );
+
+    let err = bd
+        .cast_object("wave", "postgres", "wave_rel", Transport::Binary)
+        .unwrap_err();
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    assert_eq!(
+        bd.engine_health("scidb").state,
+        BreakerState::Open,
+        "four consecutive read failures trip the default threshold of 3"
+    );
+
+    // the burst is over: the engine serves again, and the successful read
+    // closes the breaker (single-copy reads are always attempted — an open
+    // breaker de-prioritizes, it never blocks the only copy)
+    bd.cast_object("wave", "postgres", "wave_rel", Transport::Binary)
+        .unwrap();
+    assert_eq!(bd.engine_health("scidb").state, BreakerState::Closed);
+}

@@ -296,8 +296,11 @@ fn epoch_guard_aborts_migration_when_a_write_lands_mid_copy() {
 #[test]
 fn auto_migration_rides_through_a_seeded_fault_storm() {
     // a seeded plan failing ~30% of the target's operations: auto-placement
-    // must never corrupt the catalog, and must converge once a copy lands
-    let bd = federation_with_faulty_target(FaultPlan::seeded(42, 30, 64));
+    // must never corrupt the catalog, and must converge once a copy lands.
+    // To replay a failure, re-run with BIGDAWG_TEST_SEED=<printed seed>.
+    let seed = bigdawg_core::shims::test_seed(42);
+    eprintln!("auto_migration_rides_through_a_seeded_fault_storm: seed {seed}");
+    let bd = federation_with_faulty_target(FaultPlan::seeded(seed, 30, 64));
     bd.set_auto_migrate(Some(MigrationPolicy {
         min_ships: 2,
         replicate: true,

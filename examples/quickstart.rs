@@ -21,6 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     bd.add_engine(Box::new(scidb));
 
+    // Opt into fault tolerance: bounded seeded-jitter retries plus replica
+    // failover on reads (the default is fail-fast).
+    bd.set_retry_policy(bigdawg::core::RetryPolicy::standard(42));
+
     // 2. Native DDL/DML through the degenerate Postgres island.
     bd.execute("POSTGRES(CREATE TABLE patients (id INT, name TEXT, age INT))")?;
     bd.execute(

@@ -356,6 +356,53 @@ proptest! {
         prop_assert_eq!(&b.rows()[0][0], &Value::Float(sum as f64));
     }
 
+    /// Fault tolerance is *invisible* below the retry budget: for any
+    /// sparse injected-fault schedule (no two consecutive operations fail,
+    /// so every failure has a clean retry), both the parallel and the
+    /// serial schedule answer exactly what a fault-free federation answers.
+    #[test]
+    fn faults_below_the_retry_budget_are_invisible(
+        values in proptest::collection::vec(-100f64..100.0, 1..40),
+        threshold in -100f64..100.0,
+        raw_faults in proptest::collection::vec(1u64..40, 0..12),
+    ) {
+        // sparsify: keep no adjacent indices, so a single retry (the
+        // standard policy allows three) always lands on a clean operation
+        let mut faults = raw_faults;
+        faults.sort_unstable();
+        faults.dedup();
+        let mut sparse: Vec<u64> = Vec::new();
+        for f in faults {
+            if sparse.last().is_none_or(|l| f > l + 1) {
+                sparse.push(f);
+            }
+        }
+
+        let mut bd = bigdawg::core::BigDawg::new();
+        bd.add_engine(Box::new(bigdawg::core::shims::RelationalShim::new("postgres")));
+        let mut scidb = bigdawg::core::shims::ArrayShim::new("scidb");
+        scidb.store("w", bigdawg::array::Array::from_vector("w", "v", &values, 16));
+        bd.add_engine(Box::new(bigdawg::core::shims::FaultShim::new(
+            Box::new(scidb),
+            bigdawg::core::shims::FaultPlan::at(&sparse),
+        )));
+        bd.set_retry_policy(
+            bigdawg::core::RetryPolicy::standard(7)
+                .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO),
+        );
+
+        let expected = values.iter().filter(|v| **v > threshold).count() as i64;
+        let q = format!(
+            "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(w, relation) WHERE v > {threshold})"
+        );
+        for _ in 0..3 {
+            let parallel = bd.execute(&q).expect("parallel rides through the faults");
+            prop_assert_eq!(&parallel.rows()[0][0], &Value::Int(expected));
+            let serial = bd.execute_serial(&q).expect("serial rides through the faults");
+            prop_assert_eq!(serial.rows(), parallel.rows());
+        }
+    }
+
     /// The parallel scatter-gather executor returns exactly what the serial
     /// reference schedule returns, for any filter threshold over a
     /// cross-engine CAST query.

@@ -12,8 +12,10 @@
 //! * **No shrinking.** A failing case panics with the generated inputs'
 //!   failure message; it is not minimized.
 //! * **Deterministic seeding.** The RNG seed is derived from the test
-//!   function's name (override with `PROPTEST_SEED=<u64>`), so CI runs are
-//!   reproducible.
+//!   function's name (override with `PROPTEST_SEED=<u64>`, or the
+//!   workspace-wide `BIGDAWG_TEST_SEED=<u64>` shared with the chaos
+//!   harness), so CI runs are reproducible. A failing case's panic
+//!   message names the seed to replay it with.
 //! * **String patterns** support character classes (`[a-z ,"\n]`, with
 //!   ranges and literal members) and `{n}` / `{lo,hi}` / `?` / `*` / `+`
 //!   quantifiers — the subset regex-backed strategies are used for here.
@@ -51,21 +53,29 @@ pub mod test_runner {
     #[derive(Debug, Clone)]
     pub struct TestRng {
         state: u64,
+        /// The seed this generator started from, kept so failures can
+        /// print a replayable value (see [`TestRng::seed`]).
+        seed: u64,
     }
 
     impl TestRng {
         pub fn from_seed(seed: u64) -> Self {
             TestRng {
                 state: seed | 1, // xorshift must not start at 0
+                seed,
             }
         }
 
-        /// Seed from the test name (or `PROPTEST_SEED` if set) so every run
-        /// of a given test explores the same sequence.
+        /// Seed from the test name so every run of a given test explores
+        /// the same sequence. `PROPTEST_SEED` overrides the derived seed;
+        /// `BIGDAWG_TEST_SEED` (the workspace-wide replay knob shared with
+        /// the chaos harness) is honored when `PROPTEST_SEED` is absent.
         pub fn deterministic(name: &str) -> Self {
-            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
-                if let Ok(seed) = seed.trim().parse::<u64>() {
-                    return TestRng::from_seed(seed);
+            for var in ["PROPTEST_SEED", "BIGDAWG_TEST_SEED"] {
+                if let Ok(seed) = std::env::var(var) {
+                    if let Ok(seed) = seed.trim().parse::<u64>() {
+                        return TestRng::from_seed(seed);
+                    }
                 }
             }
             // FNV-1a over the name
@@ -75,6 +85,13 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x100000001b3);
             }
             TestRng::from_seed(h)
+        }
+
+        /// The seed this generator was created from. Passing it back via
+        /// `BIGDAWG_TEST_SEED` (or `PROPTEST_SEED`) replays the exact
+        /// generated sequence.
+        pub fn seed(&self) -> u64 {
+            self.seed
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -611,13 +628,15 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
             let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let seed = rng.seed();
             let mut passed: u32 = 0;
             let mut attempts: u32 = 0;
             while passed < config.cases {
                 attempts += 1;
                 assert!(
                     attempts <= config.cases.saturating_mul(20).saturating_add(1000),
-                    "proptest `{}`: too many rejected cases ({passed}/{} passed)",
+                    "proptest `{}`: too many rejected cases ({passed}/{} passed; \
+                     replay with BIGDAWG_TEST_SEED={seed})",
                     stringify!($name),
                     config.cases,
                 );
@@ -634,7 +653,10 @@ macro_rules! proptest {
                     ) => continue,
                     ::std::result::Result::Err(
                         $crate::test_runner::TestCaseError::Fail(msg),
-                    ) => panic!("proptest `{}` failed: {msg}", stringify!($name)),
+                    ) => panic!(
+                        "proptest `{}` failed (replay with BIGDAWG_TEST_SEED={seed}): {msg}",
+                        stringify!($name)
+                    ),
                 }
             }
         }
@@ -662,6 +684,17 @@ mod tests {
             assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
             let t = "[xz ,\"\n]{0,4}".generate(&mut rng);
             assert!(t.chars().all(|c| "xz ,\"\n".contains(c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn seed_is_recorded_for_replay() {
+        assert_eq!(TestRng::from_seed(42).seed(), 42);
+        // replaying a name-derived seed reproduces the exact sequence
+        let mut named = TestRng::deterministic("some_test");
+        let mut replay = TestRng::from_seed(named.seed());
+        for _ in 0..8 {
+            assert_eq!(named.next_u64(), replay.next_u64());
         }
     }
 
