@@ -104,4 +104,18 @@ fn main() {
         let r = availability::run(seed, if quick { 150 } else { 500 }).expect("E14 runs");
         println!("{}", availability::table(&r));
     }
+    if want("e15") {
+        // always the default-scale federation: `tiny()`'s ~200 µs query
+        // inflates the *relative* cost of the fixed per-query span count
+        let cfg = DemoConfig::default();
+        let r = tracing_overhead::run(&cfg, if quick { 60 } else { 300 }).expect("E15 runs");
+        println!("{}", tracing_overhead::table(&r));
+        if quick {
+            assert!(
+                r.overhead() < 0.05,
+                "E15: tracing overhead {:.2}% exceeds the 5% budget",
+                r.overhead() * 100.0
+            );
+        }
+    }
 }

@@ -17,6 +17,7 @@
 //! | [`migration_convergence`] | E12 | §2.1: auto-migration converges a hot workload to near in-process latency |
 //! | [`interchange`] | E13 | §2.1: zero-copy columnar interchange vs row codec vs file |
 //! | [`availability`] | E14 | §2.1: availability under a 10% read-fault storm — failover vs fail-fast |
+//! | [`tracing_overhead`] | E15 | observability: span pipeline cost on the E11 federation query |
 
 pub mod anomaly_exp;
 pub mod availability;
@@ -32,6 +33,7 @@ pub mod scalar_exp;
 pub mod searchlight_exp;
 pub mod seedb_exp;
 pub mod streaming;
+pub mod tracing_overhead;
 pub mod tupleware_exp;
 
 use std::fmt;

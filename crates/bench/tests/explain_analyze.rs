@@ -1,0 +1,95 @@
+//! EXPLAIN ANALYZE acceptance: on E11's 5-engine federation query, the
+//! analyzed plan reports measured per-leaf wall time, transport, and row
+//! counts — and its retry counts reconcile exactly with the metrics
+//! registry.
+
+use bigdawg_array::Array;
+use bigdawg_bench::experiments::federation::QUERY;
+use bigdawg_bench::setup::{demo_polystore, DemoConfig};
+use bigdawg_common::metrics::labeled;
+use bigdawg_common::Value;
+use bigdawg_core::shims::{ArrayShim, FaultPlan, FaultShim, OpKind, RelationalShim};
+use bigdawg_core::{BigDawg, RetryPolicy, Transport};
+use std::time::Duration;
+
+#[test]
+fn analyzed_five_engine_query_reports_per_leaf_measurements() {
+    let demo = demo_polystore(DemoConfig::tiny()).expect("demo federation builds");
+    let bd = &demo.bd;
+
+    let (batch, analyzed) = bd.execute_analyzed(QUERY).expect("E11 query answers");
+    assert_eq!(
+        batch.len(),
+        1,
+        "four one-row aggregates joined into one row"
+    );
+
+    // four scatter leaves, each with a measured (nonzero) wall time, a
+    // transport, and the one aggregate row it materialized
+    assert_eq!(analyzed.leaves.len(), 4);
+    for (i, leaf) in analyzed.leaves.iter().enumerate() {
+        assert!(leaf.wall > Duration::ZERO, "leaf {i} wall time measured");
+        assert_eq!(leaf.rows, 1, "leaf {i} materialized its aggregate row");
+        assert_eq!(leaf.transport, Transport::ZeroCopy, "in-process default");
+        assert_eq!(leaf.retries, 0, "healthy engines: no retries");
+    }
+    assert!(analyzed.gather > Duration::ZERO, "gather time measured");
+    assert!(analyzed.total >= analyzed.gather, "total covers the gather");
+
+    // the render names every leaf with its measurements
+    let rendered = analyzed.to_string();
+    for i in 0..4 {
+        assert!(rendered.contains(&format!("leaf {i}")), "{rendered}");
+    }
+    assert!(rendered.contains("[zero-copy]"), "{rendered}");
+    assert!(rendered.contains("1 rows"), "{rendered}");
+
+    // zero leaf retries reconcile with a zero registry total
+    assert_eq!(
+        bd.metrics()
+            .counter_family_total("bigdawg_retry_attempts_total"),
+        0
+    );
+    // and the analyzed run itself was counted as a query
+    assert!(
+        bd.metrics().counter_value(&labeled(
+            "bigdawg_queries_total",
+            &[("schedule", "parallel")],
+        )) >= 1
+    );
+}
+
+#[test]
+fn analyzed_retry_counts_match_the_metrics_registry() {
+    // one injected read fault on the array engine: the cast leaf retries
+    // once, and the analyzed plan must agree with the registry exactly
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        Array::from_vector("wave", "v", &[1.0, 2.0, 3.0, 4.0], 2),
+    );
+    let shim = FaultShim::new(Box::new(scidb), FaultPlan::nth(1));
+    let handle = shim.handle();
+    bd.add_engine(Box::new(shim));
+    bd.set_retry_policy(RetryPolicy::standard(7).with_backoff(Duration::ZERO, Duration::ZERO));
+
+    let (batch, analyzed) = bd
+        .execute_analyzed("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation))")
+        .expect("the retry rides through the injected fault");
+    assert_eq!(batch.rows()[0][0], Value::Int(4));
+    assert_eq!(handle.injected(OpKind::Read), 1, "the fault fired");
+
+    let leaf_retries: u32 = analyzed.leaves.iter().map(|l| l.retries).sum();
+    assert_eq!(leaf_retries, 1, "the leaf reports its retry");
+    assert_eq!(
+        bd.metrics().counter_value(&labeled(
+            "bigdawg_retry_attempts_total",
+            &[("scope", "cast")],
+        )),
+        u64::from(leaf_retries),
+        "analyzed retry count reconciles with the registry"
+    );
+    assert!(analyzed.to_string().contains("1 retry"), "{analyzed}");
+}

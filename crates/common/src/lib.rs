@@ -10,7 +10,11 @@
 //! * [`Row`] / [`Batch`] — the tabular interchange format used by islands,
 //!   backed by `Arc`-shared typed [`Column`]s (copy-on-write),
 //! * [`Column`] / [`NullMask`] — the typed columnar storage behind batches,
-//! * [`BigDawgError`] — the error type shared across the federation.
+//! * [`BigDawgError`] — the error type shared across the federation,
+//! * [`trace`] — the dependency-free tracing core ([`Tracer`], [`TraceSink`],
+//!   injectable [`Clock`]) the data path emits spans through,
+//! * [`metrics`] — counters, gauges, and log2-bucket histograms behind a
+//!   [`MetricsRegistry`] with a Prometheus text dump.
 //!
 //! Nothing in this crate knows about any particular engine; it is the bottom
 //! of the dependency graph.
@@ -20,11 +24,18 @@
 pub mod batch;
 pub mod column;
 pub mod error;
+pub mod metrics;
 pub mod schema;
+pub mod trace;
 pub mod value;
 
 pub use batch::{Batch, Row};
 pub use column::{Column, ColumnData, NullMask};
 pub use error::{BigDawgError, Result};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use schema::{Field, Schema};
+pub use trace::{
+    Clock, CollectingSink, MonotonicClock, NoopSink, SpanGuard, SpanRecord, TestClock, TraceSink,
+    Tracer,
+};
 pub use value::{DataType, Value};

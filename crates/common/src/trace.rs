@@ -1,0 +1,569 @@
+//! A lightweight, dependency-free tracing core.
+//!
+//! The polystore's data path (plan → scatter → CAST → gather, plus the
+//! migrator and the retry layer) emits *spans* — named, labelled, nested
+//! intervals — through a [`Tracer`]. The tracer is deliberately tiny:
+//!
+//! * spans go to a pluggable [`TraceSink`] ([`NoopSink`] by default,
+//!   [`CollectingSink`] in tests and `EXPLAIN ANALYZE`-style tooling);
+//! * timestamps come from a pluggable [`Clock`], so tests can inject a
+//!   [`TestClock`] and get byte-identical traces with **zero wall-clock
+//!   dependence**;
+//! * parenting is automatic via a thread-local span stack, with
+//!   [`Tracer::span_under`] for handing a parent across threads at the
+//!   scatter boundary;
+//! * a disabled tracer (the default) short-circuits before touching the
+//!   clock, the sink, or the label formatter, so instrumented hot paths
+//!   stay effectively free when nobody is listening.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// A source of monotonic timestamps, expressed as an offset from an
+/// arbitrary origin.
+///
+/// Production code uses [`MonotonicClock`]; deterministic tests inject a
+/// [`TestClock`] whose "time" is a call counter, making span timestamps a
+/// pure function of the code path taken.
+pub trait Clock: Send + Sync {
+    /// The current time as a duration since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The production [`Clock`]: wall time elapsed since the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A deterministic [`Clock`] for tests: every `now()` call advances a tick
+/// counter by one microsecond.
+///
+/// Timestamps become a pure function of the *sequence of clock reads*, so a
+/// serial execution produces the same trace on every run, on every machine,
+/// with no sleeps.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    ticks: AtomicU64,
+}
+
+impl TestClock {
+    /// A test clock starting at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many times the clock has been read.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.ticks.fetch_add(1, Ordering::SeqCst))
+    }
+}
+
+/// One completed span (or instantaneous event) as delivered to a
+/// [`TraceSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the emitting [`Tracer`] (starts at 1).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root.
+    pub parent: u64,
+    /// Static span name, e.g. `"exec.leaf"` (see DESIGN.md's span taxonomy).
+    pub name: &'static str,
+    /// Dynamic label, e.g. the engine the leaf targets.
+    pub label: String,
+    /// Clock reading when the span opened.
+    pub start: Duration,
+    /// Clock reading when the span closed; equals `start` for events.
+    pub end: Duration,
+}
+
+impl SpanRecord {
+    /// The span's duration (zero for instantaneous events).
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Where completed spans go.
+pub trait TraceSink: Send + Sync {
+    /// Accept one completed span. Called from whichever thread closed it.
+    fn record(&self, span: SpanRecord);
+}
+
+/// A sink that drops everything (the default).
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _span: SpanRecord) {}
+}
+
+/// A sink that buffers every span in memory, for tests and trace dumps.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything collected so far, in completion order.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Drain the buffer, returning its contents.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.spans.lock().unwrap())
+    }
+
+    /// Number of spans buffered.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&self, span: SpanRecord) {
+        self.spans.lock().unwrap().push(span);
+    }
+}
+
+struct TracerInner {
+    sink: RwLock<Arc<dyn TraceSink>>,
+    clock: RwLock<Arc<dyn Clock>>,
+    next_id: AtomicU64,
+    enabled: AtomicBool,
+}
+
+thread_local! {
+    /// The stack of open span ids on this thread (across all tracers; the
+    /// polystore uses one tracer per federation and traces are not nested
+    /// across federations in practice).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The span factory threaded through the polystore.
+///
+/// Cheap to clone (an `Arc` bump); all methods take `&self`. Disabled by
+/// default — [`Tracer::set_sink`] turns emission on.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with a [`NoopSink`] and a [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                sink: RwLock::new(Arc::new(NoopSink)),
+                clock: RwLock::new(Arc::new(MonotonicClock::new())),
+                next_id: AtomicU64::new(1),
+                enabled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// A shared, permanently disabled tracer for code paths that need a
+    /// tracer reference but have none threaded in.
+    pub fn noop() -> &'static Tracer {
+        static NOOP: OnceLock<Tracer> = OnceLock::new();
+        NOOP.get_or_init(Tracer::new)
+    }
+
+    /// Install a sink and enable emission.
+    pub fn set_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.inner.sink.write().unwrap() = sink;
+        self.inner.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Replace the clock (e.g. with a [`TestClock`] in deterministic tests).
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.inner.clock.write().unwrap() = clock;
+    }
+
+    /// Stop emitting (the sink and clock stay installed).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether spans are currently emitted.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Read the tracer's clock.
+    pub fn now(&self) -> Duration {
+        self.inner.clock.read().unwrap().now()
+    }
+
+    /// The id of the innermost open span on this thread (0 if none).
+    ///
+    /// Capture this before spawning workers and hand it to
+    /// [`Tracer::span_under`] so cross-thread children parent correctly.
+    pub fn current(&self) -> u64 {
+        SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+    }
+
+    /// Open a span under the innermost open span on this thread.
+    ///
+    /// Returns `None` (and does no work — not even label formatting) when
+    /// the tracer is disabled. Hold the guard for the span's extent; it
+    /// reports to the sink on drop.
+    #[must_use]
+    pub fn span(&self, name: &'static str, label: impl fmt::Display) -> Option<SpanGuard> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let parent = self.current();
+        Some(self.open(name, label.to_string(), parent))
+    }
+
+    /// Open a span under an explicit parent id (use 0 for a root).
+    ///
+    /// This is the cross-thread variant of [`Tracer::span`]: scatter workers
+    /// open their leaf spans under the query span captured on the
+    /// coordinating thread. The guard still pushes onto *this* thread's span
+    /// stack, so nested spans inside the worker parent correctly.
+    #[must_use]
+    pub fn span_under(
+        &self,
+        parent: u64,
+        name: &'static str,
+        label: impl fmt::Display,
+    ) -> Option<SpanGuard> {
+        if !self.is_enabled() {
+            return None;
+        }
+        Some(self.open(name, label.to_string(), parent))
+    }
+
+    /// Emit an instantaneous event (a zero-duration span) under the
+    /// innermost open span on this thread.
+    pub fn event(&self, name: &'static str, label: impl fmt::Display) {
+        if !self.is_enabled() {
+            return;
+        }
+        let at = self.now();
+        let record = SpanRecord {
+            id: self.inner.next_id.fetch_add(1, Ordering::SeqCst),
+            parent: self.current(),
+            name,
+            label: label.to_string(),
+            start: at,
+            end: at,
+        };
+        self.inner.sink.read().unwrap().record(record);
+    }
+
+    fn open(&self, name: &'static str, label: String, parent: u64) -> SpanGuard {
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let start = self.now();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            tracer: self.clone(),
+            id,
+            parent,
+            name,
+            label,
+            start,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// An open span; closing happens on drop.
+///
+/// Not `Send`: the guard participates in its thread's span stack. To cross
+/// threads, pass [`SpanGuard::id`] and open children with
+/// [`Tracer::span_under`].
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    label: String,
+    start: Duration,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// The span's id, for parenting cross-thread children.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&open| open == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let end = self.tracer.now();
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            label: std::mem::take(&mut self.label),
+            start: self.start,
+            end,
+        };
+        self.tracer.inner.sink.read().unwrap().record(record);
+    }
+}
+
+/// Render a batch of spans as an indented forest, one `name [label]` line
+/// per span. Children appear in id (open) order — deterministic for serial
+/// executions.
+pub fn render_spans(spans: &[SpanRecord]) -> String {
+    render(spans, false)
+}
+
+/// Like [`render_spans`], but siblings are sorted by `(name, label)` instead
+/// of open order, so traces from parallel and serial executions of the same
+/// plan render identically.
+pub fn render_spans_sorted(spans: &[SpanRecord]) -> String {
+    render(spans, true)
+}
+
+fn render(spans: &[SpanRecord], sorted: bool) -> String {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| spans[i].id);
+    let known: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: std::collections::BTreeMap<u64, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    let mut roots = Vec::new();
+    for i in order {
+        let s = &spans[i];
+        if s.parent == 0 || !known.contains(&s.parent) {
+            roots.push(i);
+        } else {
+            children.entry(s.parent).or_default().push(i);
+        }
+    }
+    if sorted {
+        let by_name_label = |&i: &usize| (spans[i].name, spans[i].label.clone(), spans[i].id);
+        roots.sort_by_key(by_name_label);
+        for kids in children.values_mut() {
+            kids.sort_by_key(by_name_label);
+        }
+    }
+    let mut out = String::new();
+    for root in roots {
+        render_node(spans, &children, root, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(
+    spans: &[SpanRecord],
+    children: &std::collections::BTreeMap<u64, Vec<usize>>,
+    node: usize,
+    depth: usize,
+    out: &mut String,
+) {
+    let s = &spans[node];
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    if s.label.is_empty() {
+        out.push_str(s.name);
+    } else {
+        out.push_str(s.name);
+        out.push_str(" [");
+        out.push_str(&s.label);
+        out.push(']');
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&s.id) {
+        for &kid in kids {
+            render_node(spans, children, kid, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collecting_tracer() -> (Tracer, Arc<CollectingSink>) {
+        let tracer = Tracer::new();
+        let sink = Arc::new(CollectingSink::new());
+        tracer.set_sink(sink.clone());
+        (tracer, sink)
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let tracer = Tracer::new();
+        assert!(!tracer.is_enabled());
+        assert!(tracer.span("a", "x").is_none());
+        tracer.event("b", "y");
+        // Nothing panicked; nothing to observe — the sink is a no-op.
+    }
+
+    #[test]
+    fn spans_nest_via_the_thread_local_stack() {
+        let (tracer, sink) = collecting_tracer();
+        {
+            let outer = tracer.span("outer", "").unwrap();
+            assert_eq!(tracer.current(), outer.id());
+            {
+                let _inner = tracer.span("inner", "i").unwrap();
+                tracer.event("tick", "");
+            }
+        }
+        let spans = sink.take();
+        assert_eq!(spans.len(), 3);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let tick = spans.iter().find(|s| s.name == "tick").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(tick.parent, inner.id);
+        assert_eq!(tick.start, tick.end, "events are instantaneous");
+    }
+
+    #[test]
+    fn span_under_parents_across_threads() {
+        let (tracer, sink) = collecting_tracer();
+        let root = tracer.span("root", "").unwrap();
+        let root_id = root.id();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _leaf = tracer.span_under(root_id, "leaf", "w").unwrap();
+                let _nested = tracer.span("nested", "").unwrap();
+            });
+        });
+        drop(root);
+        let spans = sink.take();
+        let leaf = spans.iter().find(|s| s.name == "leaf").unwrap();
+        let nested = spans.iter().find(|s| s.name == "nested").unwrap();
+        assert_eq!(leaf.parent, root_id);
+        assert_eq!(
+            nested.parent, leaf.id,
+            "worker-side children nest under the leaf"
+        );
+    }
+
+    #[test]
+    fn test_clock_makes_traces_deterministic() {
+        let render_once = || {
+            let (tracer, sink) = collecting_tracer();
+            tracer.set_clock(Arc::new(TestClock::new()));
+            {
+                let _q = tracer.span("query", "RELATIONAL").unwrap();
+                let _l = tracer.span("leaf", "postgres").unwrap();
+            }
+            let spans = sink.take();
+            assert!(spans.iter().all(|s| s.end >= s.start));
+            (render_spans(&spans), spans)
+        };
+        let (a, spans_a) = render_once();
+        let (b, spans_b) = render_once();
+        assert_eq!(a, b);
+        assert_eq!(spans_a, spans_b, "ids, ticks, everything identical");
+    }
+
+    #[test]
+    fn renderers_draw_the_forest() {
+        let (tracer, sink) = collecting_tracer();
+        {
+            let _q = tracer.span("query", "RELATIONAL").unwrap();
+            let _b = tracer.span("leaf", "b-engine").unwrap();
+            drop(_b);
+            let _a = tracer.span("leaf", "a-engine").unwrap();
+        }
+        let spans = sink.take();
+        let plain = render_spans(&spans);
+        assert_eq!(
+            plain,
+            "query [RELATIONAL]\n  leaf [b-engine]\n  leaf [a-engine]\n"
+        );
+        let sorted = render_spans_sorted(&spans);
+        assert_eq!(
+            sorted,
+            "query [RELATIONAL]\n  leaf [a-engine]\n  leaf [b-engine]\n"
+        );
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_the_stack() {
+        let (tracer, sink) = collecting_tracer();
+        let a = tracer.span("a", "").unwrap();
+        let b = tracer.span("b", "").unwrap();
+        drop(a); // dropped before b on purpose
+        tracer.event("after", "");
+        drop(b);
+        let spans = sink.take();
+        let after = spans.iter().find(|s| s.name == "after").unwrap();
+        let b_rec = spans.iter().find(|s| s.name == "b").unwrap();
+        assert_eq!(after.parent, b_rec.id, "b is still the innermost open span");
+    }
+}

@@ -28,7 +28,7 @@
 //! baseline.
 
 use bigdawg_common::{
-    Batch, BigDawgError, Column, ColumnData, DataType, NullMask, Result, Row, Schema, Value,
+    Batch, BigDawgError, Column, ColumnData, DataType, NullMask, Result, Row, Schema, Tracer, Value,
 };
 use bigdawg_stream::recovery::{read_value, write_value};
 use std::fmt::Write as _;
@@ -47,6 +47,16 @@ pub enum Transport {
     /// wire. Falls back to [`Transport::Binary`] when a wire is present —
     /// zero-copy cannot cross process boundaries.
     ZeroCopy,
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transport::File => "file",
+            Transport::Binary => "binary",
+            Transport::ZeroCopy => "zero-copy",
+        })
+    }
 }
 
 /// Measured result of one CAST.
@@ -100,12 +110,36 @@ pub fn ship_with_wire(
     transport: Transport,
     wire: Duration,
 ) -> Result<(Batch, CastReport)> {
+    ship_with_wire_traced(batch, transport, wire, Tracer::noop())
+}
+
+/// [`ship_with_wire`] with tracing: each transport opens spans for the
+/// transfer phases it actually has. The sequential CSV path gets distinct
+/// `cast.encode` / `cast.wire` / `cast.decode` spans; the pipelined binary
+/// codec overlaps all three phases across worker threads, so it is traced
+/// honestly as one `cast.wire` span covering the pipelined region; the
+/// zero-copy handover is all "encode" (O(columns) `Arc` bumps).
+pub(crate) fn ship_with_wire_traced(
+    batch: &Batch,
+    transport: Transport,
+    wire: Duration,
+    tracer: &Tracer,
+) -> Result<(Batch, CastReport)> {
     match transport {
-        Transport::File => ship_csv(batch, wire),
-        Transport::Binary => ship_binary(batch, wire),
-        Transport::ZeroCopy if wire.is_zero() => ship_zero_copy(batch),
+        Transport::File => ship_csv(batch, wire, tracer),
+        Transport::Binary => {
+            let _wire_span = tracer.span("cast.wire", "binary (pipelined)");
+            ship_binary(batch, wire)
+        }
+        Transport::ZeroCopy if wire.is_zero() => {
+            let _encode_span = tracer.span("cast.encode", "zero-copy");
+            ship_zero_copy(batch)
+        }
         // zero-copy cannot cross a wire: degrade to the columnar codec
-        Transport::ZeroCopy => ship_binary(batch, wire),
+        Transport::ZeroCopy => {
+            let _wire_span = tracer.span("cast.wire", "binary (pipelined)");
+            ship_binary(batch, wire)
+        }
     }
 }
 
@@ -130,19 +164,24 @@ fn ship_zero_copy(batch: &Batch) -> Result<(Batch, CastReport)> {
 
 // ---- CSV (file-based) path -------------------------------------------------
 
-fn ship_csv(batch: &Batch, wire: Duration) -> Result<(Batch, CastReport)> {
+fn ship_csv(batch: &Batch, wire: Duration, tracer: &Tracer) -> Result<(Batch, CastReport)> {
+    let encode_span = tracer.span("cast.encode", "file");
     let t0 = Instant::now();
     let text = to_csv(batch);
     let encode = t0.elapsed();
+    drop(encode_span);
     let t1 = Instant::now();
     if !wire.is_zero() {
         // one file, one transfer, strictly between export and import
+        let _wire_span = tracer.span("cast.wire", "file");
         std::thread::sleep(wire);
     }
     let transfer = t1.elapsed();
+    let decode_span = tracer.span("cast.decode", "file");
     let t2 = Instant::now();
     let out = from_csv(&text, batch.schema())?;
     let decode = t2.elapsed();
+    drop(decode_span);
     let report = CastReport {
         rows: batch.len(),
         wire_bytes: text.len(),

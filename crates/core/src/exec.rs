@@ -47,6 +47,7 @@ use bigdawg_common::{Batch, BigDawgError, Result};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// What produces the rows of one scatter leaf.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,8 +175,106 @@ impl fmt::Display for Plan {
 /// Semantics match [`scope::execute`]; only the schedule differs.
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
     let (island, body) = scope::parse_scope(query)?;
+    let _query_span = bd.tracer().span("exec.query", &island);
     let plan = plan(bd, &island, &body)?;
     run(bd, &plan)
+}
+
+/// Measured execution of one scatter leaf — the `EXPLAIN ANALYZE`
+/// annotation attached to the corresponding [`Leaf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafMetrics {
+    /// Rows the leaf materialized on its target engine.
+    pub rows: usize,
+    /// Bytes that crossed the (emulated) wire; zero for zero-copy.
+    pub wire_bytes: usize,
+    /// Transport actually used — may differ from the planned one when a
+    /// degraded wire forces zero-copy down to the pipelined binary codec.
+    pub transport: Transport,
+    /// Transient failures retried before the leaf succeeded.
+    pub retries: u32,
+    /// Leaf wall time: source read (or sub-query), ship, and target write.
+    pub wall: Duration,
+}
+
+/// An executed [`Plan`] annotated with measurements — what
+/// [`crate::BigDawg::explain_analyze`] returns. The `Display` impl renders
+/// the same DAG as [`Plan`]'s, each leaf line carrying its measured rows,
+/// wire bytes, transport, retry count, and wall time, and elided casts
+/// keeping their `placed … cast elided` markers.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPlan {
+    /// The plan that ran.
+    pub plan: Plan,
+    /// Per-leaf measurements, index-aligned with `plan.leaves`.
+    pub leaves: Vec<LeafMetrics>,
+    /// Wall time of the gather node (island execution of the rewritten
+    /// body), excluding scatter.
+    pub gather: Duration,
+    /// End-to-end wall time: plan + scatter + gather + cleanup.
+    pub total: Duration,
+}
+
+impl fmt::Display for AnalyzedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gather  {}( {} )  (gather {:?}, total {:?})",
+            self.plan.island, self.plan.body, self.gather, self.total
+        )?;
+        for (i, leaf) in self.plan.leaves.iter().enumerate() {
+            let source = match &leaf.source {
+                LeafSource::Object(o) => format!("cast object `{o}`"),
+                LeafSource::SubQuery(q) => format!("sub-query {q}"),
+            };
+            write!(
+                f,
+                "  leaf {i}  {source} -> {} as {}",
+                leaf.target_engine, leaf.temp
+            )?;
+            match self.leaves.get(i) {
+                Some(m) => writeln!(
+                    f,
+                    " [{}]  ({} rows, {} wire bytes, {} retr{}, {:?})",
+                    m.transport,
+                    m.rows,
+                    m.wire_bytes,
+                    m.retries,
+                    if m.retries == 1 { "y" } else { "ies" },
+                    m.wall
+                )?,
+                None => writeln!(f, " [{}]  (not run)", leaf.transport)?,
+            }
+        }
+        for p in &self.plan.placements {
+            writeln!(
+                f,
+                "  placed  object `{}` co-located on {} (epoch {}) — cast elided",
+                p.object, p.engine, p.epoch
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Execute a SCOPE query and return both the result and the plan annotated
+/// with per-leaf measurements — the engine behind
+/// [`crate::BigDawg::execute_analyzed`].
+pub fn execute_analyzed(bd: &BigDawg, query: &str) -> Result<(Batch, AnalyzedPlan)> {
+    let started = Instant::now();
+    let (island, body) = scope::parse_scope(query)?;
+    let _query_span = bd.tracer().span("exec.query", &island);
+    let p = plan(bd, &island, &body)?;
+    let (batch, leaves, gather) = run_measured(bd, &p)?;
+    Ok((
+        batch,
+        AnalyzedPlan {
+            plan: p,
+            leaves,
+            gather,
+            total: started.elapsed(),
+        },
+    ))
 }
 
 /// Decompose `body` into a [`Plan`]: one leaf per top-level CAST term, the
@@ -189,6 +288,7 @@ pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
 /// references the co-located copy by name and the round-trip disappears.
 /// Those choices are recorded in [`Plan::placements`] for `EXPLAIN`.
 pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
+    let _plan_span = bd.tracer().span("exec.plan", island);
     let preferred = bd.preferred_transport();
     let failover = bd.retry_policy().failover;
     let mut leaves = Vec::new();
@@ -271,8 +371,20 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
 /// so sibling sub-queries complete or fail on their own terms and no
 /// engine is left mid-operation.
 pub fn run(bd: &BigDawg, plan: &Plan) -> Result<Batch> {
-    let result =
-        scatter(bd, &plan.leaves).and_then(|()| bd.island_execute(&plan.island, &plan.body));
+    run_measured(bd, plan).map(|(batch, _leaves, _gather)| batch)
+}
+
+/// [`run`] plus the measurements `EXPLAIN ANALYZE` reports: per-leaf
+/// [`LeafMetrics`] (index-aligned with `plan.leaves`) and the gather node's
+/// wall time.
+fn run_measured(bd: &BigDawg, plan: &Plan) -> Result<(Batch, Vec<LeafMetrics>, Duration)> {
+    let result = scatter(bd, &plan.leaves).and_then(|leaves| {
+        let gather_started = Instant::now();
+        let gather_span = bd.tracer().span("exec.gather", &plan.island);
+        let batch = bd.island_execute(&plan.island, &plan.body)?;
+        drop(gather_span);
+        Ok((batch, leaves, gather_started.elapsed()))
+    });
     for leaf in &plan.leaves {
         let _ = bd.drop_object(&leaf.temp);
     }
@@ -285,11 +397,15 @@ pub fn run(bd: &BigDawg, plan: &Plan) -> Result<Batch> {
 /// [`scope::execute`] so the two schedules can never parse or clean up a
 /// query differently.
 pub(crate) fn run_serial(bd: &BigDawg, plan: &Plan) -> Result<Batch> {
+    let parent = bd.tracer().current();
     let result = plan
         .leaves
         .iter()
-        .try_for_each(|leaf| run_leaf(bd, leaf, Schedule::Serial))
-        .and_then(|()| bd.island_execute(&plan.island, &plan.body));
+        .try_for_each(|leaf| run_leaf(bd, leaf, Schedule::Serial, parent).map(|_| ()))
+        .and_then(|()| {
+            let _gather_span = bd.tracer().span("exec.gather", &plan.island);
+            bd.island_execute(&plan.island, &plan.body)
+        });
     for leaf in &plan.leaves {
         let _ = bd.drop_object(&leaf.temp);
     }
@@ -308,16 +424,21 @@ fn scatter_width() -> usize {
 
 /// Materialize every leaf, independent leaves concurrently. The worker pool
 /// mirrors [`crate::cast`]'s partitioned codec: a fixed set of scoped
-/// threads pulling leaf indices from a shared counter.
-fn scatter(bd: &BigDawg, leaves: &[Leaf]) -> Result<()> {
+/// threads pulling leaf indices from a shared counter. On success returns
+/// the per-leaf measurements, index-aligned with `leaves`.
+fn scatter(bd: &BigDawg, leaves: &[Leaf]) -> Result<Vec<LeafMetrics>> {
+    // the query span lives on this thread's stack; workers parent their
+    // leaf spans under it explicitly since TLS does not cross threads
+    let parent = bd.tracer().current();
     match leaves.len() {
-        0 => Ok(()),
+        0 => Ok(Vec::new()),
         // degenerate scatter: no threads for a single leaf
-        1 => run_leaf(bd, &leaves[0], Schedule::Parallel),
+        1 => run_leaf(bd, &leaves[0], Schedule::Parallel, parent).map(|m| vec![m]),
         n => {
             let next = AtomicUsize::new(0);
             let failure: Mutex<Option<BigDawgError>> = Mutex::new(None);
             let failed = || failure.lock().unwrap_or_else(|p| p.into_inner()).is_some();
+            let runs: Vec<Mutex<Option<LeafMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
             std::thread::scope(|s| {
                 for _ in 0..scatter_width().min(n) {
                     s.spawn(|| loop {
@@ -330,16 +451,28 @@ fn scatter(bd: &BigDawg, leaves: &[Leaf]) -> Result<()> {
                         }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(leaf) = leaves.get(i) else { break };
-                        if let Err(e) = run_leaf(bd, leaf, Schedule::Parallel) {
-                            let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
-                            slot.get_or_insert(e);
+                        match run_leaf(bd, leaf, Schedule::Parallel, parent) {
+                            Ok(m) => {
+                                *runs[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(m);
+                            }
+                            Err(e) => {
+                                let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
+                                slot.get_or_insert(e);
+                            }
                         }
                     });
                 }
             });
             match failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
                 Some(e) => Err(e),
-                None => Ok(()),
+                None => Ok(runs
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .expect("no failure recorded, so every leaf ran")
+                    })
+                    .collect()),
             }
         }
     }
@@ -352,25 +485,52 @@ enum Schedule {
     Serial,
 }
 
+/// A leaf's span label, formatted lazily so a disabled tracer allocates
+/// nothing. Temp names stay out of the label — they are counter-generated
+/// and would make golden traces depend on federation history.
+struct LeafLabel<'a>(&'a Leaf);
+
+impl fmt::Display for LeafLabel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0.source {
+            LeafSource::Object(o) => write!(f, "{o} -> {}", self.0.target_engine),
+            LeafSource::SubQuery(_) => write!(f, "subquery -> {}", self.0.target_engine),
+        }
+    }
+}
+
 /// Execute one leaf: ship an object or run a nested scope query (a
 /// sub-DAG, recursively scattered — or recursively serial under the
 /// reference schedule) and materialize the result. The CAST measurement
-/// feeds the monitor's transport cost model.
-fn run_leaf(bd: &BigDawg, leaf: &Leaf, schedule: Schedule) -> Result<()> {
-    let report = match &leaf.source {
-        LeafSource::Object(object) => {
-            bd.cast_object(object, &leaf.target_engine, &leaf.temp, leaf.transport)?
-        }
+/// feeds the monitor's transport cost model; the returned [`LeafMetrics`]
+/// feed `EXPLAIN ANALYZE`.
+fn run_leaf(bd: &BigDawg, leaf: &Leaf, schedule: Schedule, parent: u64) -> Result<LeafMetrics> {
+    let _leaf_span = bd.tracer().span_under(parent, "exec.leaf", LeafLabel(leaf));
+    let started = Instant::now();
+    let (report, retries) = match &leaf.source {
+        LeafSource::Object(object) => bd.cast_object_attempts(
+            object,
+            &leaf.target_engine,
+            &leaf.temp,
+            leaf.transport,
+            true,
+        )?,
         LeafSource::SubQuery(query) => {
             let batch = match schedule {
                 Schedule::Parallel => execute(bd, query)?,
                 Schedule::Serial => scope::execute(bd, query)?,
             };
-            bd.materialize(batch, &leaf.target_engine, &leaf.temp, leaf.transport)?
+            bd.materialize_attempts(batch, &leaf.target_engine, &leaf.temp, leaf.transport)?
         }
     };
     bd.monitor().lock().record_cast(&report);
-    Ok(())
+    Ok(LeafMetrics {
+        rows: report.rows,
+        wire_bytes: report.wire_bytes,
+        transport: report.transport,
+        retries,
+        wall: started.elapsed(),
+    })
 }
 
 #[cfg(test)]
@@ -434,16 +594,9 @@ mod tests {
         assert_eq!(b.len(), 3);
     }
 
-    #[test]
-    fn parallel_matches_serial_semantics() {
-        let bd = federation();
-        let q = "RELATIONAL(SELECT * FROM CAST(a, relation) WHERE v > 5)";
-        let parallel = execute(&bd, q).unwrap();
-        let serial = scope::execute(&bd, q).unwrap();
-        assert_eq!(parallel.rows(), serial.rows());
-        // temporaries of both runs cleaned up
-        assert_eq!(bd.catalog().read().len(), 3);
-    }
+    // NOTE: the parallel==serial equivalence property is covered once, by
+    // `assert_parallel_matches_serial` in `tests/support/mod.rs`, shared by
+    // the executor-concurrency and workspace property suites.
 
     #[test]
     fn multi_leaf_scatter_gathers_across_three_engines() {

@@ -96,6 +96,7 @@ fn execute_once(bd: &BigDawg, query: &str, placement_raced: &mut bool) -> Result
 
     let started = Instant::now();
     let result = {
+        let _island_span = bd.tracer().span("island.execute", &engine);
         let shim = bd.engine(&engine)?.lock();
         let arr = shim.as_any().downcast_ref::<ArrayShim>().ok_or_else(|| {
             BigDawgError::Internal(format!("engine `{engine}` is not an ArrayShim"))

@@ -61,6 +61,7 @@ pub(crate) fn retry_island_attempts(
             Err(e) if transients_left > 0 && retry::is_transient(&e) => {
                 transients_left -= 1;
                 let pause = policy.backoff(attempt_no, 0x15_1a_4d);
+                bd.retry_observer("island").retrying(attempt_no, pause, &e);
                 if !pause.is_zero() {
                     std::thread::sleep(pause);
                 }
@@ -88,18 +89,27 @@ pub fn dispatch(bd: &BigDawg, island: &str, body: &str) -> Result<Batch> {
                 // a degenerate island has exactly one engine, so there is
                 // no failover — but transient failures still retry under
                 // the policy and feed the engine's circuit breaker
-                let out =
-                    retry::with_retry(&bd.retry_policy(), retry::stable_hash(&engine), |_| {
+                let out = retry::with_retry_observed(
+                    &bd.retry_policy(),
+                    retry::stable_hash(&engine),
+                    Some(&bd.retry_observer("island")),
+                    |_| {
+                        let _native_span = bd.tracer().span("engine.native", &engine);
                         let r = bd.engine(&engine)?.lock().execute_native(body);
                         match &r {
-                            Ok(_) => bd.breakers().record_success(&engine),
+                            Ok(_) => {
+                                bd.count_engine_op(&engine, "native", false);
+                                bd.breakers().record_success(&engine);
+                            }
                             Err(e) if retry::is_transient(e) => {
+                                bd.count_engine_op(&engine, "native", true);
                                 bd.breakers().record_failure(&engine);
                             }
-                            Err(_) => {}
+                            Err(_) => bd.count_engine_op(&engine, "native", false),
                         }
                         r
-                    });
+                    },
+                );
                 bd.refresh_catalog(); // native DDL may have created objects
                 out
             } else {

@@ -189,7 +189,9 @@ fn execute_once(bd: &BigDawg, sql: &str, placement_raced: &mut bool) -> Result<B
     // read raced an invalidation, a routed write raced a move) aborts this
     // attempt; [`execute`]'s outer retry re-resolves everything. Cleanup
     // below runs either way, so a retried attempt leaks no temporaries.
+    let island_span = bd.tracer().span("island.execute", &engine);
     let result = run_on(&engine, stmt);
+    drop(island_span);
     if placement_dependent && matches!(result, Err(BigDawgError::NotFound(_))) {
         *placement_raced = true;
     }

@@ -35,7 +35,12 @@
 //!   per-engine circuit breakers (state machine in [`monitor`]) that let
 //!   the planner route around sick engines;
 //! * [`polystore`] — [`polystore::BigDawg`], the top-level façade tying it
-//!   all together.
+//!   all together — including the observability surface: a span
+//!   [`bigdawg_common::Tracer`] threaded through the whole data path, a
+//!   [`bigdawg_common::MetricsRegistry`] of query/op/retry/breaker/cast
+//!   counters, and `EXPLAIN ANALYZE`
+//!   ([`polystore::BigDawg::explain_analyze`]) reporting measured per-leaf
+//!   latency, transport, rows, and retries on the executed plan.
 
 #![deny(missing_docs)]
 
@@ -53,7 +58,7 @@ pub mod shims;
 
 pub use cast::Transport;
 pub use catalog::{Catalog, ObjectKind};
-pub use exec::Plan;
+pub use exec::{AnalyzedPlan, LeafMetrics, Plan};
 pub use migrate::{MigrationPolicy, Migrator};
 pub use monitor::{BreakerBoard, BreakerConfig, BreakerState, EngineHealth};
 pub use polystore::BigDawg;

@@ -165,8 +165,32 @@ impl Migrator {
     /// catalog is left pointing at the intact source, and the next cycle
     /// retries if demand persists. Returns the placements that committed.
     pub fn run_cycle(&self, bd: &BigDawg) -> Vec<MigrationOutcome> {
+        let decisions = self.plan(bd);
+        if decisions.is_empty() {
+            // idle cycles are free: no span, no counter — only cycles with
+            // planned work show up in traces and metrics
+            return Vec::new();
+        }
+        let _cycle_span = bd
+            .tracer()
+            .span("migrate.cycle", format_args!("{} planned", decisions.len()));
+        bd.metrics().counter("bigdawg_migration_cycles_total").inc();
         let mut applied = Vec::new();
-        for decision in self.plan(bd) {
+        for decision in decisions {
+            let _placement_span = bd.tracer().span(
+                "migrate.placement",
+                format_args!(
+                    "{} {}: {} -> {}",
+                    if decision.replicate {
+                        "replicate"
+                    } else {
+                        "move"
+                    },
+                    decision.object,
+                    decision.from,
+                    decision.to
+                ),
+            );
             let result = if decision.replicate {
                 bd.replicate(&decision.object, &decision.to)
             } else {

@@ -39,7 +39,8 @@
 use crate::cast::{CastReport, Transport};
 use crate::polystore::BigDawg;
 use crate::shim::EngineKind;
-use bigdawg_common::{BigDawgError, Result};
+use bigdawg_common::metrics::labeled;
+use bigdawg_common::{BigDawgError, MetricsRegistry, Result, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
@@ -355,6 +356,11 @@ struct Breaker {
 #[derive(Debug, Default)]
 pub struct BreakerBoard {
     inner: parking_lot::Mutex<BoardInner>,
+    /// Observability hooks (installed by the federation): state transitions
+    /// become trace events and trip/re-close counters. Kept outside
+    /// `inner` and only consulted *after* the inner lock is released, so
+    /// sinks can never deadlock against breaker bookkeeping.
+    observer: parking_lot::Mutex<Option<BoardObserver>>,
 }
 
 #[derive(Debug, Default)]
@@ -363,7 +369,56 @@ struct BoardInner {
     config: BreakerConfig,
 }
 
+/// The observability hooks a [`BreakerBoard`] reports transitions through.
+#[derive(Debug, Clone)]
+pub(crate) struct BoardObserver {
+    pub(crate) tracer: Tracer,
+    pub(crate) metrics: std::sync::Arc<MetricsRegistry>,
+}
+
+impl BoardObserver {
+    fn transition(&self, engine: &str, from: BreakerState, to: BreakerState) {
+        self.tracer.event(
+            "breaker.transition",
+            format_args!("{engine}: {from} -> {to}"),
+        );
+        if to == BreakerState::Open && from != BreakerState::Open {
+            self.metrics
+                .counter(&labeled(
+                    "bigdawg_breaker_trips_total",
+                    &[("engine", engine)],
+                ))
+                .inc();
+        }
+        if to == BreakerState::Closed && from != BreakerState::Closed {
+            self.metrics
+                .counter(&labeled(
+                    "bigdawg_breaker_recloses_total",
+                    &[("engine", engine)],
+                ))
+                .inc();
+        }
+    }
+}
+
 impl BreakerBoard {
+    /// Install (or replace) the board's observability hooks.
+    pub(crate) fn set_observer(&self, observer: BoardObserver) {
+        *self.observer.lock() = Some(observer);
+    }
+
+    /// Report a state transition through the installed observer, if any.
+    /// Must be called with the `inner` lock already released.
+    fn observe(&self, engine: &str, from: BreakerState, to: BreakerState) {
+        if from == to {
+            return;
+        }
+        let observer = self.observer.lock().clone();
+        if let Some(obs) = observer {
+            obs.transition(engine, from, to);
+        }
+    }
+
     /// Replace the breaker thresholds (existing breaker states are kept).
     pub fn set_config(&self, config: BreakerConfig) {
         self.inner.lock().config = config;
@@ -379,37 +434,45 @@ impl BreakerBoard {
     /// failures the breaker opens; a failed half-open probe re-opens it.
     /// Returns the breaker's state after the transition.
     pub fn record_failure(&self, engine: &str) -> BreakerState {
-        let mut inner = self.inner.lock();
-        let cfg = inner.config;
-        let b = inner
-            .breakers
-            .entry(engine.to_string())
-            .or_insert_with(|| Breaker {
-                state: BreakerState::Closed,
-                consecutive_failures: 0,
-                cooldown: 0,
-            });
-        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
-        match b.state {
-            BreakerState::Closed if b.consecutive_failures >= cfg.failure_threshold.max(1) => {
-                b.state = BreakerState::Open;
-                b.cooldown = cfg.probe_after.max(1);
+        let (was, now) = {
+            let mut inner = self.inner.lock();
+            let cfg = inner.config;
+            let b = inner
+                .breakers
+                .entry(engine.to_string())
+                .or_insert_with(|| Breaker {
+                    state: BreakerState::Closed,
+                    consecutive_failures: 0,
+                    cooldown: 0,
+                });
+            let was = b.state;
+            b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+            match b.state {
+                BreakerState::Closed if b.consecutive_failures >= cfg.failure_threshold.max(1) => {
+                    b.state = BreakerState::Open;
+                    b.cooldown = cfg.probe_after.max(1);
+                }
+                // a failed probe (or a failure from a request admitted before
+                // the trip) re-arms the full cooldown
+                BreakerState::HalfOpen | BreakerState::Open => {
+                    b.state = BreakerState::Open;
+                    b.cooldown = cfg.probe_after.max(1);
+                }
+                BreakerState::Closed => {}
             }
-            // a failed probe (or a failure from a request admitted before
-            // the trip) re-arms the full cooldown
-            BreakerState::HalfOpen | BreakerState::Open => {
-                b.state = BreakerState::Open;
-                b.cooldown = cfg.probe_after.max(1);
-            }
-            BreakerState::Closed => {}
-        }
-        b.state
+            (was, b.state)
+        };
+        self.observe(engine, was, now);
+        now
     }
 
     /// Record a successful operation on `engine`: whatever state the
     /// breaker was in, it closes and the failure streak resets.
     pub fn record_success(&self, engine: &str) {
-        self.inner.lock().breakers.remove(engine);
+        let removed = self.inner.lock().breakers.remove(engine);
+        if let Some(b) = removed {
+            self.observe(engine, b.state, BreakerState::Closed);
+        }
     }
 
     /// May the planner route to `engine` right now? Closed and half-open
@@ -418,21 +481,25 @@ impl BreakerBoard {
     /// transition happens on the `probe_after`-th consultation, not after
     /// a wall-clock timeout.
     pub fn allowed(&self, engine: &str) -> bool {
-        match self.inner.lock().breakers.get_mut(engine) {
-            None => true,
+        let (admitted, half_opened) = match self.inner.lock().breakers.get_mut(engine) {
+            None => (true, false),
             Some(b) => match b.state {
-                BreakerState::Closed | BreakerState::HalfOpen => true,
+                BreakerState::Closed | BreakerState::HalfOpen => (true, false),
                 BreakerState::Open => {
                     b.cooldown = b.cooldown.saturating_sub(1);
                     if b.cooldown == 0 {
                         b.state = BreakerState::HalfOpen;
-                        true
+                        (true, true)
                     } else {
-                        false
+                        (false, false)
                     }
                 }
             },
+        };
+        if half_opened {
+            self.observe(engine, BreakerState::Open, BreakerState::HalfOpen);
         }
+        admitted
     }
 
     /// The breaker snapshot for one engine (closed when never tripped).

@@ -1,18 +1,20 @@
 //! The polystore façade: engines + catalog + islands + monitor + migrator.
 
-use crate::cast::{ship, ship_with_wire, CastReport, Transport};
+use crate::cast::{ship_with_wire_traced, CastReport, Transport};
 use crate::catalog::{Catalog, ObjectEntry, ObjectKind};
 use crate::exec;
 use crate::islands;
 use crate::migrate::{MigrationPolicy, Migrator};
-use crate::monitor::{BreakerBoard, EngineHealth, Monitor, QueryClass};
-use crate::retry::{self, RetryPolicy};
+use crate::monitor::{BoardObserver, BreakerBoard, EngineHealth, Monitor, QueryClass};
+use crate::retry::{self, RetryObserver, RetryPolicy};
 use crate::scope;
 use crate::shim::{EngineKind, Shim};
-use bigdawg_common::{Batch, BigDawgError, Result};
+use bigdawg_common::metrics::labeled;
+use bigdawg_common::{Batch, BigDawgError, Clock, MetricsRegistry, Result, TraceSink, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The federation is shared across scatter workers by reference, so it must
 /// stay `Send + Sync`; this fails to compile if a field ever regresses that.
@@ -60,6 +62,12 @@ pub struct BigDawg {
     /// (their contents can't be trusted); instead it reaps them when the
     /// engine finally allows the drop.
     orphans: Mutex<std::collections::BTreeSet<(String, String)>>,
+    /// The federation's span factory — disabled (free) until a sink is
+    /// installed with [`BigDawg::set_trace_sink`].
+    tracer: Tracer,
+    /// The federation's metrics registry (always on; counters are atomic
+    /// increments).
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// Panic-safe release of a [`BigDawg::begin_placement`] mark: placements
@@ -96,6 +104,15 @@ impl BigDawg {
     pub fn new() -> Self {
         let monitor = Monitor::new();
         let breakers = monitor.breaker_board();
+        let tracer = Tracer::new();
+        let metrics = Arc::new(MetricsRegistry::new());
+        // breaker state transitions happen inside the board (the only place
+        // that sees the previous state), so the board reports them through
+        // the federation's tracer and registry
+        breakers.set_observer(BoardObserver {
+            tracer: tracer.clone(),
+            metrics: metrics.clone(),
+        });
         BigDawg {
             engines: BTreeMap::new(),
             catalog: RwLock::new(Catalog::new()),
@@ -107,6 +124,8 @@ impl BigDawg {
             migration_active: AtomicBool::new(false),
             placements_in_flight: Mutex::new(std::collections::BTreeSet::new()),
             orphans: Mutex::new(std::collections::BTreeSet::new()),
+            tracer,
+            metrics,
         }
     }
 
@@ -358,14 +377,83 @@ impl BigDawg {
         transport: Transport,
         record_demand: bool,
     ) -> Result<CastReport> {
+        self.cast_object_attempts(object, to_engine, new_name, transport, record_demand)
+            .map(|(report, _retries)| report)
+    }
+
+    /// [`BigDawg::cast_object`] plus the number of retries the winning
+    /// attempt consumed (0 = first try) — the per-leaf retry count
+    /// `EXPLAIN ANALYZE` reports.
+    pub(crate) fn cast_object_attempts(
+        &self,
+        object: &str,
+        to_engine: &str,
+        new_name: &str,
+        transport: Transport,
+        record_demand: bool,
+    ) -> Result<(CastReport, u32)> {
         let transport = self.effective_transport(transport, to_engine);
+        let observer = self.retry_observer("cast");
         // each retry attempt re-runs the whole cast — re-resolving the
         // placement and re-sweeping the surviving copies, so an engine
         // that recovered (or a breaker that opened) changes the next
         // attempt's routing
-        retry::with_retry(&self.retry_policy(), retry::stable_hash(object), |_| {
-            self.cast_once(object, to_engine, new_name, transport, record_demand)
-        })
+        retry::with_retry_observed(
+            &self.retry_policy(),
+            retry::stable_hash(object),
+            Some(&observer),
+            |attempt| {
+                self.cast_once(object, to_engine, new_name, transport, record_demand)
+                    .map(|report| (report, attempt))
+            },
+        )
+    }
+
+    /// The observability hooks a retry loop in this federation reports to.
+    pub(crate) fn retry_observer(&self, scope: &'static str) -> RetryObserver<'_> {
+        RetryObserver {
+            tracer: &self.tracer,
+            metrics: &self.metrics,
+            scope,
+        }
+    }
+
+    /// Count one data-plane shim call (`get_table`/`put_table`/
+    /// `execute_native`) into the per-engine op counters; transient
+    /// failures also feed the failure counter, mirroring the breaker
+    /// bookkeeping 1:1.
+    pub(crate) fn count_engine_op(&self, engine: &str, op: &str, failed_transiently: bool) {
+        self.metrics
+            .counter(&labeled(
+                "bigdawg_engine_ops_total",
+                &[("engine", engine), ("op", op)],
+            ))
+            .inc();
+        if failed_transiently {
+            self.metrics
+                .counter(&labeled(
+                    "bigdawg_engine_op_failures_total",
+                    &[("engine", engine), ("op", op)],
+                ))
+                .inc();
+        }
+    }
+
+    /// Accumulate one successful CAST into the registry: cast count by
+    /// transport, wire bytes, and the shipping-time histogram.
+    fn record_cast_metrics(&self, report: &CastReport) {
+        self.metrics
+            .counter(&labeled(
+                "bigdawg_casts_total",
+                &[("transport", &report.transport.to_string())],
+            ))
+            .inc();
+        self.metrics
+            .counter("bigdawg_wire_bytes_total")
+            .add(report.wire_bytes as u64);
+        self.metrics
+            .histogram("bigdawg_cast_duration_microseconds")
+            .record(report.total());
     }
 
     /// One cast attempt: read a copy (failing over across placements when
@@ -393,15 +481,22 @@ impl BigDawg {
             // the payload transfer leg of the emulated wire (the request
             // round-trip was paid inside get_table); the binary transport
             // pipelines it chunk-by-chunk, the file transport pays it flat
-            let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
-            let put = self.engine(to_engine)?.lock().put_table(new_name, shipped);
+            let (shipped, report) = ship_with_wire_traced(&batch, transport, wire, &self.tracer)?;
+            let put = {
+                let _ingress = self.tracer.span("cast.ingress", to_engine);
+                self.engine(to_engine)?.lock().put_table(new_name, shipped)
+            };
             if let Err(e) = put {
-                if retry::is_transient(&e) {
+                let transient = retry::is_transient(&e);
+                self.count_engine_op(to_engine, "write", transient);
+                if transient {
                     self.breakers.record_failure(to_engine);
                 }
                 return Err(e);
             }
+            self.count_engine_op(to_engine, "write", false);
             self.breakers.record_success(to_engine);
+            self.record_cast_metrics(&report);
             // resolve the kind (an engine lock) before taking the catalog
             // lock: the write path nests engine → catalog, so nesting
             // catalog → engine here would form a lock-order cycle
@@ -464,18 +559,26 @@ impl BigDawg {
         let mut failures: Vec<(String, BigDawgError)> = Vec::new();
         let mut last_not_found = None;
         for source in &candidates {
+            let egress = self.tracer.span("cast.egress", source);
             let (got, wire) = {
                 let guard = self.engine(source)?.lock();
                 (guard.get_table(object), guard.wire_latency())
             };
+            drop(egress);
             match got {
                 Ok(batch) => {
+                    self.count_engine_op(source, "read", false);
                     self.breakers.record_success(source);
                     return Ok((batch, wire, source.clone()));
                 }
-                Err(e @ BigDawgError::NotFound(_)) => last_not_found = Some(e),
+                Err(e @ BigDawgError::NotFound(_)) => {
+                    self.count_engine_op(source, "read", false);
+                    last_not_found = Some(e);
+                }
                 Err(e) => {
-                    if retry::is_transient(&e) {
+                    let transient = retry::is_transient(&e);
+                    self.count_engine_op(source, "read", transient);
+                    if transient {
                         self.breakers.record_failure(source);
                     }
                     failures.push((source.clone(), e));
@@ -510,23 +613,54 @@ impl BigDawg {
         name: &str,
         transport: Transport,
     ) -> Result<CastReport> {
+        self.materialize_attempts(batch, to_engine, name, transport)
+            .map(|(report, _retries)| report)
+    }
+
+    /// [`BigDawg::materialize`] plus the retry count of the winning attempt
+    /// — the sub-query leg of `EXPLAIN ANALYZE`'s per-leaf retry count.
+    pub(crate) fn materialize_attempts(
+        &self,
+        batch: Batch,
+        to_engine: &str,
+        name: &str,
+        transport: Transport,
+    ) -> Result<(CastReport, u32)> {
         let batch = batch.narrow_types();
         let transport = self.effective_transport(transport, to_engine);
-        retry::with_retry(&self.retry_policy(), retry::stable_hash(name), |_| {
-            let (shipped, report) = ship(&batch, transport)?;
-            let put = self.engine(to_engine)?.lock().put_table(name, shipped);
-            if let Err(e) = put {
-                if retry::is_transient(&e) {
-                    self.breakers.record_failure(to_engine);
+        let observer = self.retry_observer("materialize");
+        retry::with_retry_observed(
+            &self.retry_policy(),
+            retry::stable_hash(name),
+            Some(&observer),
+            |attempt| {
+                let (shipped, report) = ship_with_wire_traced(
+                    &batch,
+                    transport,
+                    std::time::Duration::ZERO,
+                    &self.tracer,
+                )?;
+                let put = {
+                    let _ingress = self.tracer.span("cast.ingress", to_engine);
+                    self.engine(to_engine)?.lock().put_table(name, shipped)
+                };
+                if let Err(e) = put {
+                    let transient = retry::is_transient(&e);
+                    self.count_engine_op(to_engine, "write", transient);
+                    if transient {
+                        self.breakers.record_failure(to_engine);
+                    }
+                    return Err(e);
                 }
-                return Err(e);
-            }
-            self.breakers.record_success(to_engine);
-            // kind first, catalog lock second (see cast_object on lock order)
-            let kind = default_kind(self.kind_of(to_engine)?);
-            self.catalog.write().register(name, to_engine, kind);
-            Ok(report)
-        })
+                self.count_engine_op(to_engine, "write", false);
+                self.breakers.record_success(to_engine);
+                self.record_cast_metrics(&report);
+                // kind first, catalog lock second (see cast_object on lock order)
+                let kind = default_kind(self.kind_of(to_engine)?);
+                self.catalog.write().register(name, to_engine, kind);
+                Ok((report, attempt))
+            },
+        )
     }
 
     /// Drop an object everywhere: every copy the catalog tracks (primary
@@ -662,25 +796,38 @@ impl BigDawg {
                 transport,
             }
         } else {
+            let _copy_span = self
+                .tracer
+                .span("migrate.copy", format_args!("{object} -> {to_engine}"));
             let transport = self.effective_transport(transport, to_engine);
             let policy = self.retry_policy();
             let key = retry::stable_hash(object);
+            let observer = self.retry_observer("migrate");
             // the copy step retries under the federation policy: the read
             // sweeps the surviving placements (any intact copy is a valid
             // source — the commit's epoch guard rejects stale data), the
             // put retries against the same target
             let (batch, wire, _source) =
-                retry::with_retry(&policy, key, |_| self.read_object_copy(object, None))?;
-            let put = retry::with_retry(&policy, key, |_| {
-                let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
-                let landed = self.engine(to_engine)?.lock().put_table(object, shipped);
+                retry::with_retry_observed(&policy, key, Some(&observer), |_| {
+                    self.read_object_copy(object, None)
+                })?;
+            let put = retry::with_retry_observed(&policy, key, Some(&observer), |_| {
+                let (shipped, report) =
+                    ship_with_wire_traced(&batch, transport, wire, &self.tracer)?;
+                let landed = {
+                    let _ingress = self.tracer.span("cast.ingress", to_engine);
+                    self.engine(to_engine)?.lock().put_table(object, shipped)
+                };
                 match landed {
                     Ok(()) => {
+                        self.count_engine_op(to_engine, "write", false);
                         self.breakers.record_success(to_engine);
                         Ok(report)
                     }
                     Err(e) => {
-                        if retry::is_transient(&e) {
+                        let transient = retry::is_transient(&e);
+                        self.count_engine_op(to_engine, "write", transient);
+                        if transient {
                             self.breakers.record_failure(to_engine);
                         }
                         Err(e)
@@ -704,6 +851,9 @@ impl BigDawg {
 
         // 2. commit, guarded by the placement epoch
         {
+            let _commit_span = self
+                .tracer
+                .span("migrate.commit", format_args!("{object} -> {to_engine}"));
             let mut cat = self.catalog.write();
             let now_epoch = cat.locate(object)?.epoch;
             if now_epoch != entry.epoch {
@@ -719,6 +869,9 @@ impl BigDawg {
             }
             cat.relocate(object, to_engine)?;
         }
+        self.metrics
+            .counter(&labeled("bigdawg_migrations_total", &[("kind", "move")]))
+            .inc();
 
         // 3. cleanup: drop the source copy. The move is already committed,
         // so a refusing source engine must not surface as a failed
@@ -775,26 +928,39 @@ impl BigDawg {
         let transport = self.effective_transport(transport, to_engine);
         let policy = self.retry_policy();
         let key = retry::stable_hash(object);
+        let observer = self.retry_observer("replicate");
         // same retrying copy step as migration: any surviving placement
         // may serve the read (the epoch guard below rejects stale copies)
+        let copy_span = self
+            .tracer
+            .span("migrate.copy", format_args!("{object} -> {to_engine}"));
         let (batch, wire, _source) =
-            retry::with_retry(&policy, key, |_| self.read_object_copy(object, None))?;
-        let put = retry::with_retry(&policy, key, |_| {
-            let (shipped, report) = ship_with_wire(&batch, transport, wire)?;
-            let landed = self.engine(to_engine)?.lock().put_table(object, shipped);
+            retry::with_retry_observed(&policy, key, Some(&observer), |_| {
+                self.read_object_copy(object, None)
+            })?;
+        let put = retry::with_retry_observed(&policy, key, Some(&observer), |_| {
+            let (shipped, report) = ship_with_wire_traced(&batch, transport, wire, &self.tracer)?;
+            let landed = {
+                let _ingress = self.tracer.span("cast.ingress", to_engine);
+                self.engine(to_engine)?.lock().put_table(object, shipped)
+            };
             match landed {
                 Ok(()) => {
+                    self.count_engine_op(to_engine, "write", false);
                     self.breakers.record_success(to_engine);
                     Ok(report)
                 }
                 Err(e) => {
-                    if retry::is_transient(&e) {
+                    let transient = retry::is_transient(&e);
+                    self.count_engine_op(to_engine, "write", transient);
+                    if transient {
                         self.breakers.record_failure(to_engine);
                     }
                     Err(e)
                 }
             }
         });
+        drop(copy_span);
         let report = match put {
             Ok(report) => report,
             Err(e) => {
@@ -804,6 +970,9 @@ impl BigDawg {
         };
         self.clear_orphan(to_engine, object);
         {
+            let _commit_span = self
+                .tracer
+                .span("migrate.commit", format_args!("{object} -> {to_engine}"));
             let mut cat = self.catalog.write();
             let now_epoch = cat.locate(object)?.epoch;
             if now_epoch != entry.epoch {
@@ -817,6 +986,12 @@ impl BigDawg {
             }
             cat.add_replica(object, to_engine)?;
         }
+        self.metrics
+            .counter(&labeled(
+                "bigdawg_migrations_total",
+                &[("kind", "replicate")],
+            ))
+            .inc();
         Ok(report)
     }
 
@@ -937,7 +1112,9 @@ impl BigDawg {
     /// one-at-a-time reference schedule. When auto-migration is enabled
     /// ([`BigDawg::set_auto_migrate`]), a migrator cycle follows the query.
     pub fn execute(&self, query: &str) -> Result<Batch> {
+        let started = std::time::Instant::now();
         let result = exec::execute(self, query);
+        self.record_query_metrics("parallel", started, result.is_ok());
         self.maybe_auto_migrate();
         result
     }
@@ -946,9 +1123,49 @@ impl BigDawg {
     /// reference schedule the federation benchmark compares against. Also
     /// triggers auto-migration, like [`BigDawg::execute`].
     pub fn execute_serial(&self, query: &str) -> Result<Batch> {
+        let started = std::time::Instant::now();
         let result = scope::execute(self, query);
+        self.record_query_metrics("serial", started, result.is_ok());
         self.maybe_auto_migrate();
         result
+    }
+
+    /// Like [`BigDawg::execute`], but also returns the executed plan
+    /// annotated with measured per-leaf wall time, rows, wire bytes, the
+    /// transport actually used, and retry counts — `EXPLAIN ANALYZE` for
+    /// the federation.
+    pub fn execute_analyzed(&self, query: &str) -> Result<(Batch, exec::AnalyzedPlan)> {
+        let started = std::time::Instant::now();
+        let result = exec::execute_analyzed(self, query);
+        self.record_query_metrics("parallel", started, result.is_ok());
+        self.maybe_auto_migrate();
+        result
+    }
+
+    /// Run the query and return only the annotated plan (the result batch
+    /// is discarded) — the `EXPLAIN ANALYZE` convenience form. Unlike
+    /// [`BigDawg::explain`] this *executes* the query; the annotations are
+    /// measurements, not estimates.
+    pub fn explain_analyze(&self, query: &str) -> Result<exec::AnalyzedPlan> {
+        self.execute_analyzed(query).map(|(_batch, plan)| plan)
+    }
+
+    /// One query's worth of registry bookkeeping.
+    fn record_query_metrics(&self, schedule: &str, started: std::time::Instant, ok: bool) {
+        self.metrics
+            .counter(&labeled("bigdawg_queries_total", &[("schedule", schedule)]))
+            .inc();
+        if !ok {
+            self.metrics
+                .counter(&labeled(
+                    "bigdawg_query_failures_total",
+                    &[("schedule", schedule)],
+                ))
+                .inc();
+        }
+        self.metrics
+            .histogram("bigdawg_query_duration_microseconds")
+            .record(started.elapsed());
     }
 
     /// Decompose a SCOPE/CAST query into its scatter-gather [`exec::Plan`]
@@ -1007,6 +1224,33 @@ impl BigDawg {
     /// monitor lock.
     pub fn breakers(&self) -> &BreakerBoard {
         &self.breakers
+    }
+
+    // ---- observability --------------------------------------------------------
+
+    /// The federation-wide metrics registry: query/op/retry/breaker/cast
+    /// counters and latency histograms. Render it with
+    /// [`MetricsRegistry::render_prometheus`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The tracer every data-path span is emitted through. Disabled (and
+    /// free) until a sink is installed via [`BigDawg::set_trace_sink`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Install a span sink and enable tracing. Pass a
+    /// [`bigdawg_common::CollectingSink`] to capture the span tree.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.tracer.set_sink(sink);
+    }
+
+    /// Replace the tracer's clock — inject a [`bigdawg_common::TestClock`]
+    /// for deterministic span timestamps in tests.
+    pub fn set_trace_clock(&self, clock: Arc<dyn Clock>) {
+        self.tracer.set_clock(clock);
     }
 
     // ---- monitor --------------------------------------------------------------

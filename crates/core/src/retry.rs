@@ -20,7 +20,8 @@
 //! this module existed. Fault-injection tests that assert "one injected
 //! fault fails the operation" rely on that default; resilience is opt-in.
 
-use bigdawg_common::{BigDawgError, Result};
+use bigdawg_common::metrics::labeled;
+use bigdawg_common::{BigDawgError, MetricsRegistry, Result, Tracer};
 use std::time::{Duration, Instant};
 
 /// How the federation responds to transient failures.
@@ -164,6 +165,57 @@ pub fn is_transient(e: &BigDawgError) -> bool {
 pub fn with_retry<T>(
     policy: &RetryPolicy,
     key: u64,
+    op: impl FnMut(u32) -> Result<T>,
+) -> Result<T> {
+    with_retry_observed(policy, key, None, op)
+}
+
+/// Observability hooks for a retry loop: each retry decision becomes a
+/// `retry.attempt` trace event (plus a `retry.backoff` event when the loop
+/// actually pauses) and one increment of the scoped
+/// `bigdawg_retry_attempts_total` counter.
+pub(crate) struct RetryObserver<'a> {
+    /// Where attempt/backoff events go.
+    pub tracer: &'a Tracer,
+    /// Where retry counters accumulate.
+    pub metrics: &'a MetricsRegistry,
+    /// Which retry loop this is ("cast", "materialize", "island", …) —
+    /// baked into the counter label and event text.
+    pub scope: &'static str,
+}
+
+impl RetryObserver<'_> {
+    /// Report one retry decision (attempt `attempt` failed transiently and
+    /// the loop is about to go around again after `pause`).
+    pub(crate) fn retrying(&self, attempt: u32, pause: Duration, error: &BigDawgError) {
+        self.metrics
+            .counter(&labeled(
+                "bigdawg_retry_attempts_total",
+                &[("scope", self.scope)],
+            ))
+            .inc();
+        self.tracer.event(
+            "retry.attempt",
+            format_args!(
+                "{}: attempt {} failed ({}); retrying",
+                self.scope,
+                attempt + 1,
+                error.kind()
+            ),
+        );
+        if !pause.is_zero() {
+            self.tracer
+                .event("retry.backoff", format_args!("{}: {:?}", self.scope, pause));
+        }
+    }
+}
+
+/// [`with_retry`] with observability hooks: retry decisions are reported
+/// through `observer` before the loop pauses and goes around.
+pub(crate) fn with_retry_observed<T>(
+    policy: &RetryPolicy,
+    key: u64,
+    observer: Option<&RetryObserver<'_>>,
     mut op: impl FnMut(u32) -> Result<T>,
 ) -> Result<T> {
     let started = Instant::now();
@@ -177,6 +229,9 @@ pub fn with_retry<T>(
                     return Err(e);
                 }
                 let pause = policy.backoff(attempt, key);
+                if let Some(obs) = observer {
+                    obs.retrying(attempt, pause, &e);
+                }
                 if !pause.is_zero() {
                     std::thread::sleep(pause);
                 }

@@ -29,6 +29,7 @@ use bigdawg_common::{parse_err, Batch, BigDawgError, Result};
 /// same plan).
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
     let (island, body) = parse_scope(query)?;
+    let _query_span = bd.tracer().span("exec.query", &island);
     let plan = exec::plan(bd, &island, &body)?;
     exec::run_serial(bd, &plan)
 }

@@ -17,12 +17,33 @@
 //! and therefore every breaker transition — is replayable.
 
 use bigdawg_array::Array;
+use bigdawg_common::metrics::labeled;
 use bigdawg_common::Value;
 use bigdawg_core::shims::{
-    test_seed, ArrayShim, FaultHandle, FaultPlan, FaultShim, OpScope, RelationalShim,
+    test_seed, ArrayShim, FaultHandle, FaultPlan, FaultShim, OpKind, OpScope, RelationalShim,
 };
 use bigdawg_core::{BigDawg, BreakerState, MigrationPolicy, RetryPolicy, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes the federation's rendered Prometheus dump to
+/// `target/chaos-prom/soak_seed_<seed>.prom` when dropped — including
+/// during a panic unwind, so a failing CI run can upload the registry
+/// state as a build artifact.
+struct PromDump<'a> {
+    bd: &'a BigDawg,
+    seed: u64,
+}
+
+impl Drop for PromDump<'_> {
+    fn drop(&mut self) {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/chaos-prom");
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(
+            dir.join(format!("soak_seed_{}.prom", self.seed)),
+            self.bd.metrics().render_prometheus(),
+        );
+    }
+}
 
 const READ_QUERY: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v >= 0)";
 const READERS: usize = 3;
@@ -83,6 +104,7 @@ fn run_soak(default_seed: u64) {
         replicate: true,
         max_per_cycle: 2,
     }));
+    let _prom_dump = PromDump { bd: &bd, seed };
 
     let committed = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -185,6 +207,39 @@ fn run_soak(default_seed: u64) {
 
     // and with the storm over, the answer is still the oracle's
     assert_eq!(bd.execute(READ_QUERY).unwrap().rows(), oracle.rows());
+
+    // metrics ↔ fault-shim reconciliation: for every data-plane op kind the
+    // query path drives (read = get_table, write = put_table, native =
+    // execute_native), the registry's per-engine failure counter equals the
+    // shim's injection counter exactly — every injected fault was counted
+    // once, and nothing else was
+    for (engine, handle) in [("scidb_a", &handle_a), ("scidb_b", &handle_b)] {
+        for (op, kind) in [
+            ("read", OpKind::Read),
+            ("write", OpKind::Write),
+            ("native", OpKind::Native),
+        ] {
+            let counted = bd.metrics().counter_value(&labeled(
+                "bigdawg_engine_op_failures_total",
+                &[("engine", engine), ("op", op)],
+            ));
+            assert_eq!(
+                counted,
+                handle.injected(kind),
+                "{engine}/{op}: registry failures vs injected faults"
+            );
+        }
+    }
+    // every workload query was counted (the recovery loop adds more on
+    // top): injected faults never make a query vanish from the registry.
+    // Note the storm itself usually never reaches the *retry* counters —
+    // with an intact primary, the failover sweep inside a single cast
+    // attempt absorbs a flaky replica without failing the attempt.
+    let queries = bd.metrics().counter_family_total("bigdawg_queries_total");
+    assert!(
+        queries >= (READERS * ITERATIONS + ITERATIONS) as u64,
+        "only {queries} queries counted"
+    );
 }
 
 #[test]

@@ -4,37 +4,26 @@
 //! must not serialize — and a failing query on one thread must not poison
 //! any engine for the others.
 
-use bigdawg_array::Array;
-use bigdawg_common::Value;
-use bigdawg_core::shims::{ArrayShim, KvShim, RelationalShim};
-use bigdawg_core::BigDawg;
+mod support;
 
-fn federation() -> BigDawg {
-    let mut bd = BigDawg::new();
-    let mut pg = RelationalShim::new("postgres");
-    pg.db_mut()
-        .execute("CREATE TABLE patients (id INT, age INT)")
-        .unwrap();
-    pg.db_mut()
-        .execute("INSERT INTO patients VALUES (1, 70), (2, 50), (3, 81), (4, 64)")
-        .unwrap();
-    bd.add_engine(Box::new(pg));
-    let mut scidb = ArrayShim::new("scidb");
-    scidb.store(
-        "wave",
-        Array::from_vector(
-            "wave",
-            "v",
-            &(0..512).map(|i| (i % 13) as f64).collect::<Vec<_>>(),
-            64,
-        ),
+use bigdawg_common::Value;
+use support::{assert_parallel_matches_serial, federation};
+
+#[test]
+fn parallel_matches_serial_on_the_demo_queries() {
+    let bd = federation();
+    let b = assert_parallel_matches_serial(
+        &bd,
+        "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v > 10)",
     );
-    bd.add_engine(Box::new(scidb));
-    let mut kv = KvShim::new("accumulo");
-    kv.index_document(1, "p1", 0, "very sick");
-    kv.index_document(2, "p2", 5, "recovering");
-    bd.add_engine(Box::new(kv));
-    bd
+    assert_eq!(b.rows()[0][0], Value::Int(78));
+    assert_parallel_matches_serial(
+        &bd,
+        "RELATIONAL(SELECT p.id, n.docs FROM patients p \
+         JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1 ORDER BY p.id)",
+    );
+    // temporaries of every run cleaned up
+    assert_eq!(bd.catalog().read().len(), 3);
 }
 
 #[test]

@@ -55,6 +55,15 @@ fn failed_read_fails_over_to_a_surviving_replica() {
         "the dead primary's failure was recorded"
     );
     assert_eq!(bd.engine_health("scidb_b").state, BreakerState::Closed);
+    // the registry's read-failure counter agrees with the injection count
+    assert_eq!(
+        bd.metrics()
+            .counter_value(&bigdawg_common::metrics::labeled(
+                "bigdawg_engine_op_failures_total",
+                &[("engine", "scidb_a"), ("op", "read")],
+            )),
+        handle_a.injected(OpKind::Read)
+    );
 }
 
 #[test]
@@ -119,6 +128,32 @@ fn put_side_transient_failures_retry_under_the_policy() {
     assert_eq!(bd.locate("patients").unwrap(), "scidb");
     assert_eq!(handle.injected(OpKind::Write), 1, "the fault did fire");
     assert!(handle.attempts(OpKind::Write) >= 2, "…and was retried");
+
+    // the metrics registry saw exactly what the fault shim injected — one
+    // failure per injection, one op per attempt, no double-count, no miss
+    let failures = bd
+        .metrics()
+        .counter_value(&bigdawg_common::metrics::labeled(
+            "bigdawg_engine_op_failures_total",
+            &[("engine", "scidb"), ("op", "write")],
+        ));
+    assert_eq!(failures, handle.injected(OpKind::Write));
+    let ops = bd
+        .metrics()
+        .counter_value(&bigdawg_common::metrics::labeled(
+            "bigdawg_engine_ops_total",
+            &[("engine", "scidb"), ("op", "write")],
+        ));
+    assert_eq!(ops, handle.attempts(OpKind::Write));
+    assert_eq!(
+        bd.metrics()
+            .counter_value(&bigdawg_common::metrics::labeled(
+                "bigdawg_retry_attempts_total",
+                &[("scope", "migrate")],
+            )),
+        1,
+        "one retry, attributed to the migrate scope"
+    );
 }
 
 #[test]
@@ -185,6 +220,7 @@ fn breaker_trips_under_an_error_burst_and_recloses_through_traffic() {
         Box::new(scidb),
         FaultPlan::burst(1, 4).scoped(bigdawg_core::shims::OpScope::Reads),
     );
+    let handle = shim.handle();
     bd.add_engine(Box::new(shim));
     bd.set_retry_policy(
         RetryPolicy::standard(7).with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO),
@@ -206,4 +242,28 @@ fn breaker_trips_under_an_error_burst_and_recloses_through_traffic() {
     bd.cast_object("wave", "postgres", "wave_rel", Transport::Binary)
         .unwrap();
     assert_eq!(bd.engine_health("scidb").state, BreakerState::Closed);
+
+    // breaker lifecycle counters: one trip, one re-close — and the read
+    // failure counter equals the shim's injection counter exactly
+    let trips = bd
+        .metrics()
+        .counter_value(&bigdawg_common::metrics::labeled(
+            "bigdawg_breaker_trips_total",
+            &[("engine", "scidb")],
+        ));
+    assert_eq!(trips, 1, "the burst tripped the breaker exactly once");
+    let recloses = bd
+        .metrics()
+        .counter_value(&bigdawg_common::metrics::labeled(
+            "bigdawg_breaker_recloses_total",
+            &[("engine", "scidb")],
+        ));
+    assert_eq!(recloses, 1, "the probe success re-closed it exactly once");
+    let read_failures = bd
+        .metrics()
+        .counter_value(&bigdawg_common::metrics::labeled(
+            "bigdawg_engine_op_failures_total",
+            &[("engine", "scidb"), ("op", "read")],
+        ));
+    assert_eq!(read_failures, handle.injected(OpKind::Read));
 }

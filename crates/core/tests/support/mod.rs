@@ -1,0 +1,64 @@
+//! Shared helpers for the core integration suites (and, via a `#[path]`
+//! include, the workspace property suite).
+//!
+//! The parallel==serial equivalence check lives here **once**: the
+//! scatter-gather executor and the serial reference schedule must agree on
+//! every query, and keeping the assertion in a single helper means the two
+//! suites that exercise it can never drift apart.
+
+use bigdawg_array::Array;
+use bigdawg_common::Batch;
+use bigdawg_core::shims::{ArrayShim, KvShim, RelationalShim};
+use bigdawg_core::BigDawg;
+
+/// The canonical three-engine demo federation: a relational engine with a
+/// `patients` table (4 rows), an array engine with a 512-cell `wave`
+/// vector, and a key-value engine with two indexed documents.
+#[allow(dead_code)] // each including suite uses its own subset of helpers
+pub fn federation() -> BigDawg {
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("postgres");
+    pg.db_mut()
+        .execute("CREATE TABLE patients (id INT, age INT)")
+        .unwrap();
+    pg.db_mut()
+        .execute("INSERT INTO patients VALUES (1, 70), (2, 50), (3, 81), (4, 64)")
+        .unwrap();
+    bd.add_engine(Box::new(pg));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        Array::from_vector(
+            "wave",
+            "v",
+            &(0..512).map(|i| (i % 13) as f64).collect::<Vec<_>>(),
+            64,
+        ),
+    );
+    bd.add_engine(Box::new(scidb));
+    let mut kv = KvShim::new("accumulo");
+    kv.index_document(1, "p1", 0, "very sick");
+    kv.index_document(2, "p2", 5, "recovering");
+    bd.add_engine(Box::new(kv));
+    bd
+}
+
+/// Run `query` under both schedules and assert they return identical rows.
+/// Returns the (shared) result so callers can additionally assert on the
+/// answer itself. Panics on mismatch, which both `#[test]` bodies and the
+/// vendored proptest runner report as a failure.
+#[allow(dead_code)]
+pub fn assert_parallel_matches_serial(bd: &BigDawg, query: &str) -> Batch {
+    let parallel = bd
+        .execute(query)
+        .unwrap_or_else(|e| panic!("parallel schedule failed on `{query}`: {e}"));
+    let serial = bd
+        .execute_serial(query)
+        .unwrap_or_else(|e| panic!("serial schedule failed on `{query}`: {e}"));
+    assert_eq!(
+        parallel.rows(),
+        serial.rows(),
+        "parallel and serial schedules disagree on `{query}`"
+    );
+    parallel
+}

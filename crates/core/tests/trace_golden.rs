@@ -1,0 +1,177 @@
+//! Golden-trace harness: canonical queries against the demo federation,
+//! run with an injected [`TestClock`], must produce exactly the span tree
+//! (names, nesting, engine labels) checked into `tests/golden/`.
+//!
+//! Goldens are **structure-only**: the rendered tree carries no durations,
+//! so the snapshots are stable across machines. The injected clock still
+//! matters — it proves clock injection works end to end and lets the suite
+//! assert every span's timestamps are monotonic tick counts.
+//!
+//! Regenerate snapshots with:
+//!
+//! ```text
+//! BIGDAWG_BLESS=1 cargo test -p bigdawg_core --test trace_golden
+//! ```
+
+mod support;
+
+use bigdawg_array::Array;
+use bigdawg_common::trace::{render_spans, render_spans_sorted};
+use bigdawg_common::{CollectingSink, SpanRecord, TestClock};
+use bigdawg_core::shims::{ArrayShim, FaultPlan, FaultShim, RelationalShim};
+use bigdawg_core::{BigDawg, RetryPolicy};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Compare `actual` against `tests/golden/<name>.txt`, or rewrite the
+/// snapshot when `BIGDAWG_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("BIGDAWG_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden `{}` ({e}); run with BIGDAWG_BLESS=1 to generate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "trace for `{name}` diverged from its golden; \
+         re-bless with BIGDAWG_BLESS=1 if the change is intended"
+    );
+}
+
+/// The demo federation with a collecting sink and a deterministic clock
+/// installed: every `tracer.now()` is the next integer microsecond.
+fn traced_federation() -> (BigDawg, Arc<CollectingSink>) {
+    let bd = support::federation();
+    let sink = Arc::new(CollectingSink::new());
+    bd.set_trace_sink(sink.clone());
+    bd.set_trace_clock(Arc::new(TestClock::new()));
+    (bd, sink)
+}
+
+/// Every span closes no earlier than it opened, and (single-threaded
+/// serial schedule) span ids open in strictly increasing tick order — the
+/// injected clock is visibly monotonic.
+fn assert_monotonic(spans: &[SpanRecord]) {
+    let mut by_id = spans.to_vec();
+    by_id.sort_by_key(|s| s.id);
+    let mut last_start = None;
+    for s in &by_id {
+        assert!(
+            s.start <= s.end,
+            "span `{}` closed before it opened",
+            s.name
+        );
+        if let Some(prev) = last_start {
+            assert!(
+                s.start > prev,
+                "span `{}` opened at tick {:?}, not after the previous span's {:?}",
+                s.name,
+                s.start,
+                prev
+            );
+        }
+        last_start = Some(s.start);
+    }
+}
+
+#[test]
+fn golden_single_engine_query() {
+    let (bd, sink) = traced_federation();
+    bd.execute_serial("RELATIONAL(SELECT COUNT(*) AS n FROM patients WHERE age > 60)")
+        .unwrap();
+    let spans = sink.take();
+    assert_monotonic(&spans);
+    check_golden("single_engine_query", &render_spans(&spans));
+}
+
+#[test]
+fn golden_cross_engine_cast() {
+    let (bd, sink) = traced_federation();
+    bd.execute_serial("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v > 10)")
+        .unwrap();
+    let spans = sink.take();
+    assert_monotonic(&spans);
+    check_golden("cross_engine_cast", &render_spans(&spans));
+}
+
+#[test]
+fn golden_multi_island_subquery() {
+    let (bd, sink) = traced_federation();
+    bd.execute_serial(
+        "RELATIONAL(SELECT p.id, n.docs FROM patients p \
+         JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1 ORDER BY p.id)",
+    )
+    .unwrap();
+    let spans = sink.take();
+    assert_monotonic(&spans);
+    check_golden("multi_island_subquery", &render_spans(&spans));
+}
+
+/// A federation whose array engine fails its first data-plane operation:
+/// the cast's read retries once under a zero-backoff policy, so the trace
+/// gains a `retry.attempt` event and a second egress — identically for
+/// every seed, since nothing sleeps.
+fn faulted_run(seed: u64) -> String {
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        Array::from_vector("wave", "v", &[1.0, 2.0, 3.0, 4.0], 2),
+    );
+    bd.add_engine(Box::new(FaultShim::new(Box::new(scidb), FaultPlan::nth(1))));
+    bd.set_retry_policy(RetryPolicy::standard(seed).with_backoff(Duration::ZERO, Duration::ZERO));
+    let sink = Arc::new(CollectingSink::new());
+    bd.set_trace_sink(sink.clone());
+    bd.set_trace_clock(Arc::new(TestClock::new()));
+    bd.execute_serial("RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation))")
+        .unwrap();
+    let spans = sink.take();
+    assert_monotonic(&spans);
+    render_spans(&spans)
+}
+
+#[test]
+fn golden_retry_is_seed_independent() {
+    // zero backoff means the retry jitter never engages: all three seeds
+    // must produce byte-identical traces, with zero wall-clock sleeps
+    let traces: Vec<String> = [1u64, 7, 42].iter().map(|&s| faulted_run(s)).collect();
+    assert_eq!(traces[0], traces[1], "seed 1 vs seed 7");
+    assert_eq!(traces[0], traces[2], "seed 1 vs seed 42");
+    assert!(
+        traces[0].contains("retry.attempt"),
+        "the injected fault must surface as a retry event:\n{}",
+        traces[0]
+    );
+    check_golden("retry_cross_engine_cast", &traces[0]);
+}
+
+#[test]
+fn parallel_trace_matches_serial_up_to_leaf_order() {
+    let query = "RELATIONAL(SELECT p.id, x.v, n.docs FROM patients p \
+         JOIN CAST(wave, relation) x ON p.id = x.i \
+         JOIN CAST(ACCUMULO(count()), relation) n ON 1 = 1 \
+         ORDER BY p.id)";
+
+    let (serial_bd, serial_sink) = traced_federation();
+    serial_bd.execute_serial(query).unwrap();
+    let serial = render_spans_sorted(&serial_sink.take());
+
+    let (parallel_bd, parallel_sink) = traced_federation();
+    parallel_bd.execute(query).unwrap();
+    let parallel = render_spans_sorted(&parallel_sink.take());
+
+    assert_eq!(
+        serial, parallel,
+        "the two schedules must emit the same span forest (leaf order aside)"
+    );
+}

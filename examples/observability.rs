@@ -1,0 +1,58 @@
+//! Observability tour: trace a cross-engine query span by span, profile it
+//! with EXPLAIN ANALYZE, and scrape the federation's metrics registry.
+//!
+//! ```text
+//! cargo run --example observability
+//! ```
+
+use bigdawg::array::Array;
+use bigdawg::common::trace::render_spans;
+use bigdawg::common::CollectingSink;
+use bigdawg::core::shims::{ArrayShim, RelationalShim};
+use bigdawg::core::BigDawg;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-engine federation: SQL on "postgres", a waveform on "scidb".
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        Array::from_vector(
+            "wave",
+            "v",
+            &(0..256).map(|i| (i % 17) as f64).collect::<Vec<_>>(),
+            64,
+        ),
+    );
+    bd.add_engine(Box::new(scidb));
+    bd.execute("POSTGRES(CREATE TABLE patients (id INT, age INT))")?;
+    bd.execute("POSTGRES(INSERT INTO patients VALUES (1, 70), (2, 50), (3, 81))")?;
+
+    let query = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v > 10)";
+
+    // 1. Tracing: install a sink and every query emits a span tree —
+    //    planning, each scatter leaf, the CAST phases inside it, and the
+    //    island-side gather. Tracing is off (one atomic load per call
+    //    site) until a sink is installed.
+    let sink = Arc::new(CollectingSink::new());
+    bd.set_trace_sink(sink.clone());
+    bd.execute(query)?;
+    println!("span tree for {query}:");
+    print!("{}", render_spans(&sink.take()));
+    bd.tracer().disable();
+
+    // 2. EXPLAIN ANALYZE: run the query and annotate its plan with
+    //    measured per-leaf wall time, transport, row counts, and retries.
+    let analyzed = bd.explain_analyze(query)?;
+    println!("\nEXPLAIN ANALYZE:");
+    print!("{analyzed}");
+
+    // 3. Metrics: every query, engine op, retry, breaker transition, and
+    //    cast feeds a process-wide registry, rendered in Prometheus text
+    //    exposition format.
+    println!("\nmetrics registry:");
+    print!("{}", bd.metrics().render_prometheus());
+    Ok(())
+}

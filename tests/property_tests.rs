@@ -2,6 +2,11 @@
 //! lossless, engine answers agree across data models, window aggregates
 //! match naive recomputation, and the D4M algebra obeys its laws.
 
+// the parallel==serial equivalence assertion is shared with the core
+// integration suites — one helper, so the checks can never drift apart
+#[path = "../crates/core/tests/support/mod.rs"]
+mod support;
+
 use bigdawg::common::{Batch, DataType, Schema, Value};
 use bigdawg::core::cast::{
     decode_binary, decode_columnar, encode_binary, encode_columnar, from_csv, ship, to_csv,
@@ -301,10 +306,8 @@ proptest! {
             let epoch = bd.placement_epoch("w").expect("still cataloged");
             prop_assert!(epoch >= last_epoch, "epoch regressed: {} -> {}", last_epoch, epoch);
             last_epoch = epoch;
-            let parallel = bd.execute(&q).expect("post-placement run");
-            let serial = bd.execute_serial(&q).expect("serial run");
-            prop_assert_eq!(parallel.rows(), baseline.rows());
-            prop_assert_eq!(serial.rows(), baseline.rows());
+            let answer = support::assert_parallel_matches_serial(&bd, &q);
+            prop_assert_eq!(answer.rows(), baseline.rows());
         }
     }
 
@@ -396,10 +399,8 @@ proptest! {
             "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(w, relation) WHERE v > {threshold})"
         );
         for _ in 0..3 {
-            let parallel = bd.execute(&q).expect("parallel rides through the faults");
-            prop_assert_eq!(&parallel.rows()[0][0], &Value::Int(expected));
-            let serial = bd.execute_serial(&q).expect("serial rides through the faults");
-            prop_assert_eq!(serial.rows(), parallel.rows());
+            let answer = support::assert_parallel_matches_serial(&bd, &q);
+            prop_assert_eq!(&answer.rows()[0][0], &Value::Int(expected));
         }
     }
 
@@ -419,10 +420,29 @@ proptest! {
         let q = format!(
             "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(w, relation) WHERE v > {threshold})"
         );
-        let parallel = bd.execute(&q).expect("parallel run");
-        let serial = bd.execute_serial(&q).expect("serial run");
-        prop_assert_eq!(parallel.rows(), serial.rows());
+        let answer = support::assert_parallel_matches_serial(&bd, &q);
         let expected = values.iter().filter(|v| **v > threshold).count() as i64;
-        prop_assert_eq!(&parallel.rows()[0][0], &Value::Int(expected));
+        prop_assert_eq!(&answer.rows()[0][0], &Value::Int(expected));
+    }
+
+    /// Metrics-histogram conservation: however operations distribute over
+    /// the log2 buckets, the bucket totals always equal the recorded op
+    /// count (nothing double-counted, nothing dropped), and the rendered
+    /// Prometheus `_count` agrees.
+    #[test]
+    fn histogram_buckets_always_sum_to_the_op_count(
+        micros in proptest::collection::vec(0u64..10_000_000_000, 0..200),
+    ) {
+        let registry = bigdawg::common::MetricsRegistry::new();
+        let h = registry.histogram("bigdawg_test_duration_microseconds");
+        for &m in &micros {
+            h.record_micros(m);
+        }
+        prop_assert_eq!(h.count(), micros.len() as u64);
+        let buckets = h.bucket_counts();
+        prop_assert_eq!(buckets.iter().sum::<u64>(), micros.len() as u64);
+        let rendered = registry.render_prometheus();
+        let count_line = format!("bigdawg_test_duration_microseconds_count {}", micros.len());
+        prop_assert!(rendered.contains(&count_line));
     }
 }
