@@ -1,0 +1,45 @@
+//! E16 bench — the zipfian repeated-query workload behind an emulated 2 ms
+//! wire: cache-off (every draw ships the hot object) vs cache-on (only the
+//! first draw per distinct query ships; repeats are epoch-validated hits
+//! served from the Arc-shared batch). The gap is the wire the cache erased.
+
+use bigdawg_bench::experiments::result_cache::{queries, zipf_indices, ZIPF_S};
+use bigdawg_bench::setup::hot_object_federation;
+use bigdawg_core::CachePolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_result_cache");
+    g.sample_size(10);
+
+    let pool = queries(8);
+    let sequence = zipf_indices(64, 8, ZIPF_S, 0xE16);
+
+    let cold = hot_object_federation(Some(Duration::from_millis(2))).expect("federation builds");
+    g.bench_function("zipf_repeat_cold_wire_2ms", |b| {
+        b.iter(|| {
+            for &rank in &sequence {
+                cold.execute(&pool[rank]).unwrap();
+            }
+        })
+    });
+
+    let cached = hot_object_federation(Some(Duration::from_millis(2))).expect("federation builds");
+    cached.set_result_cache(Some(CachePolicy::admit_all()));
+    for q in &pool {
+        cached.execute(q).expect("priming run");
+    }
+    g.bench_function("zipf_repeat_cached_wire_2ms", |b| {
+        b.iter(|| {
+            for &rank in &sequence {
+                cached.execute(&pool[rank]).unwrap();
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

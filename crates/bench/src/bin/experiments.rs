@@ -118,4 +118,18 @@ fn main() {
             );
         }
     }
+    if want("e16") {
+        let wire = std::time::Duration::from_millis(if quick { 2 } else { 5 });
+        let (samples, distinct) = if quick { (120, 8) } else { (400, 16) };
+        let seed = bigdawg_core::shims::test_seed(0xE16);
+        let r = result_cache::run(wire, samples, distinct, seed).expect("E16 runs");
+        println!("{}", result_cache::table(&r));
+        if quick {
+            assert!(
+                r.speedup() >= 5.0,
+                "E16: cache speedup {:.1}× below the 5× floor",
+                r.speedup()
+            );
+        }
+    }
 }

@@ -18,6 +18,7 @@
 //! | [`interchange`] | E13 | §2.1: zero-copy columnar interchange vs row codec vs file |
 //! | [`availability`] | E14 | §2.1: availability under a 10% read-fault storm — failover vs fail-fast |
 //! | [`tracing_overhead`] | E15 | observability: span pipeline cost on the E11 federation query |
+//! | [`result_cache`] | E16 | epoch-validated result cache on a zipfian repeated-query workload |
 
 pub mod anomaly_exp;
 pub mod availability;
@@ -29,6 +30,7 @@ pub mod interchange;
 pub mod migration;
 pub mod migration_convergence;
 pub mod onesize;
+pub mod result_cache;
 pub mod scalar_exp;
 pub mod searchlight_exp;
 pub mod seedb_exp;

@@ -1,0 +1,201 @@
+//! E16 — the epoch-validated result cache erases repeat round-trips: a
+//! zipfian repeated-query workload behind an emulated per-request wire runs
+//! once per *distinct* query instead of once per *issued* query.
+//!
+//! The workload draws `samples` queries from a pool of `distinct`
+//! parameterized scans (a threshold sweep over the remote `wave_a` array,
+//! each casting it to the relational coordinator), with ranks weighted by a
+//! zipfian law — the skew real dashboards and demo screens exhibit, where a
+//! handful of queries dominate the stream. Cache-off, every draw pays the
+//! CAST ship over the wire. Cache-on, only the first draw of each rank
+//! pays; every repeat is an epoch-validated [`bigdawg_core::QueryCache`]
+//! hit served from the Arc-shared batch.
+//!
+//! Correctness rides along: every cached answer is checked cell-for-cell
+//! against the cache-off federation's answer for the same rank, and the
+//! run asserts zero stale drops (nothing wrote, so nothing may invalidate).
+
+use crate::experiments::{fmt_dur, fmt_ratio, Table};
+use crate::setup::hot_object_federation;
+use bigdawg_common::{BigDawgError, Result};
+use bigdawg_core::{CachePolicy, CacheStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Zipf exponent for the rank weights (1/rank^s).
+pub const ZIPF_S: f64 = 1.1;
+
+/// The parameterized query pool: one threshold scan per rank, all shipping
+/// the same hot remote object to the coordinator.
+pub fn queries(distinct: usize) -> Vec<String> {
+    (0..distinct)
+        .map(|k| {
+            format!(
+                "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave_a, relation) WHERE v >= {})",
+                k % 13
+            )
+        })
+        .collect()
+}
+
+/// Draw `samples` ranks in `0..distinct` from a zipfian distribution
+/// (inverse-CDF over 1/rank^s weights), deterministically from `seed`.
+pub fn zipf_indices(samples: usize, distinct: usize, s: f64, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (1..=distinct).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(distinct);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..samples)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            cdf.iter().position(|c| u < *c).unwrap_or(distinct - 1)
+        })
+        .collect()
+}
+
+/// The full E16 measurement.
+#[derive(Debug, Clone)]
+pub struct CacheResult {
+    /// Emulated per-request wire latency on the remote engines.
+    pub wire: Duration,
+    /// Queries issued per run.
+    pub samples: usize,
+    /// Distinct queries in the pool.
+    pub distinct: usize,
+    /// Total wall-clock with the cache off (every draw ships).
+    pub cold: Duration,
+    /// Total wall-clock with the cache on (first draw per rank ships).
+    pub warm: Duration,
+    /// Cache counters after the warm run.
+    pub stats: CacheStats,
+}
+
+impl CacheResult {
+    /// End-to-end speedup of the cached run over the uncached run.
+    pub fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of issued queries served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hits as f64 / self.samples.max(1) as f64
+    }
+}
+
+/// Run E16: the same zipfian sequence of `samples` draws over `distinct`
+/// queries against two federations behind `wire` — one cache-off, one
+/// cache-on — checking answer parity draw by draw.
+pub fn run(wire: Duration, samples: usize, distinct: usize, seed: u64) -> Result<CacheResult> {
+    let pool = queries(distinct);
+    let sequence = zipf_indices(samples, distinct, ZIPF_S, seed);
+
+    let cold_bd = hot_object_federation(Some(wire))?;
+    // one answer per rank, established up front so the timed loops match
+    let reference: Vec<_> = pool
+        .iter()
+        .map(|q| cold_bd.execute(q))
+        .collect::<Result<_>>()?;
+
+    let t0 = Instant::now();
+    for &rank in &sequence {
+        cold_bd.execute(&pool[rank])?;
+    }
+    let cold = t0.elapsed();
+
+    let warm_bd = hot_object_federation(Some(wire))?;
+    warm_bd.set_result_cache(Some(CachePolicy::admit_all()));
+    let t0 = Instant::now();
+    for &rank in &sequence {
+        let got = warm_bd.execute(&pool[rank])?;
+        if got.rows() != reference[rank].rows() {
+            return Err(BigDawgError::Internal(format!(
+                "E16 cached answer drifted from the uncached reference for `{}`",
+                pool[rank]
+            )));
+        }
+    }
+    let warm = t0.elapsed();
+
+    let stats = warm_bd
+        .cache_stats()
+        .ok_or_else(|| BigDawgError::Internal("E16 cache vanished mid-run".into()))?;
+    if stats.stale_drops != 0 {
+        return Err(BigDawgError::Internal(format!(
+            "E16 saw {} stale drops on a read-only workload",
+            stats.stale_drops
+        )));
+    }
+    Ok(CacheResult {
+        wire,
+        samples,
+        distinct,
+        cold,
+        warm,
+        stats,
+    })
+}
+
+/// Render the E16 result table.
+pub fn table(r: &CacheResult) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "E16: result cache on a zipfian workload ({} draws over {} queries, {} wire)",
+            r.samples,
+            r.distinct,
+            fmt_dur(r.wire)
+        ),
+        &["configuration", "total", "per query", "hits", "speedup"],
+    );
+    t.row(&[
+        "cache off".into(),
+        fmt_dur(r.cold),
+        fmt_dur(r.cold / r.samples.max(1) as u32),
+        "—".into(),
+        "1.0×".into(),
+    ]);
+    t.row(&[
+        "cache on".into(),
+        fmt_dur(r.warm),
+        fmt_dur(r.warm / r.samples.max(1) as u32),
+        format!("{} ({:.0}%)", r.stats.hits, r.hit_rate() * 100.0),
+        fmt_ratio(r.cold, r.warm),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_sampler_is_deterministic_and_skewed() {
+        let a = zipf_indices(200, 8, ZIPF_S, 7);
+        let b = zipf_indices(200, 8, ZIPF_S, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&r| r < 8));
+        // rank 0 dominates any single tail rank under zipf
+        let head = a.iter().filter(|&&r| r == 0).count();
+        let tail = a.iter().filter(|&&r| r == 7).count();
+        assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn cached_zipfian_workload_beats_the_wire_five_fold() {
+        let r = run(Duration::from_millis(2), 60, 6, 0xE16).unwrap();
+        assert!(
+            r.speedup() >= 5.0,
+            "speedup {:.1}× below the 5× floor (cold {:?}, warm {:?})",
+            r.speedup(),
+            r.cold,
+            r.warm
+        );
+        assert!(r.hit_rate() > 0.5, "hit rate {:.2}", r.hit_rate());
+        assert_eq!(r.stats.stale_drops, 0);
+    }
+}

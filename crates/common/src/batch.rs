@@ -168,6 +168,13 @@ impl Batch {
         &self.columns[i]
     }
 
+    /// Approximate payload footprint in bytes (sum of
+    /// [`Column::approx_bytes`] over every column). Cache budgets charge
+    /// each batch once, regardless of how many `Arc` clones exist.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
+    }
+
     /// The value at (`row`, `col`), without materializing rows.
     pub fn value_at(&self, row: usize, col: usize) -> Value {
         self.columns[col].value(row)

@@ -302,6 +302,27 @@ impl Column {
         }
     }
 
+    /// Approximate heap footprint of the column's payload in bytes —
+    /// fixed-width lanes at their natural size, strings at their UTF-8
+    /// length plus a small per-string overhead. Used for cache budgeting,
+    /// where "roughly right and cheap" beats exact accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let payload = match &self.data {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) | ColumnData::Timestamp(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Text(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnData::Mixed(v) => v
+                .iter()
+                .map(|val| match val {
+                    Value::Text(s) => s.len() + 40,
+                    _ => 16,
+                })
+                .sum(),
+        };
+        payload + self.nulls.len().div_ceil(8)
+    }
+
     /// Iterate the column's values in row order (Text cloned per item).
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(|i| self.value(i))

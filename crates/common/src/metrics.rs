@@ -134,6 +134,12 @@ impl Histogram {
 
 /// Bake labels into a sample name:
 /// `labeled("x_total", &[("engine", "pg")])` → `x_total{engine="pg"}`.
+///
+/// Label values are escaped per the Prometheus text exposition format
+/// (`\` → `\\`, `"` → `\"`, newline → `\n`) **here**, at name-construction
+/// time, so a hostile engine or object name can never corrupt
+/// [`MetricsRegistry::render_prometheus`] output — and so every lookup
+/// site that rebuilds the same name via `labeled` still finds the sample.
 pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return family.to_string();
@@ -145,7 +151,16 @@ pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{v}\"");
+        let _ = write!(out, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
     }
     out.push('}');
     out
@@ -346,6 +361,30 @@ mod tests {
         assert_eq!(
             labeled("x_total", &[("engine", "pg"), ("op", "read")]),
             "x_total{engine=\"pg\",op=\"read\"}"
+        );
+    }
+
+    #[test]
+    fn labeled_escapes_hostile_label_values() {
+        // backslash, quote, and newline per the Prometheus text format
+        assert_eq!(
+            labeled("x_total", &[("engine", "pg\"1\\2\n3")]),
+            "x_total{engine=\"pg\\\"1\\\\2\\n3\"}"
+        );
+        // escaping happens at name-construction time, so a render round-trip
+        // stays line-oriented: one sample line, no embedded raw newline
+        let reg = MetricsRegistry::new();
+        reg.counter(&labeled("ops_total", &[("engine", "evil\"\\\nname")]))
+            .add(1);
+        let prom = reg.render_prometheus();
+        for line in prom.lines().filter(|l| l.contains("ops_total{")) {
+            assert!(line.ends_with(" 1"), "corrupted sample line: {line:?}");
+            assert!(line.contains("evil\\\"\\\\\\nname"), "bad escape: {line:?}");
+        }
+        // and the same `labeled` call still finds the sample
+        assert_eq!(
+            reg.counter_value(&labeled("ops_total", &[("engine", "evil\"\\\nname")])),
+            1
         );
     }
 

@@ -1,0 +1,693 @@
+//! The epoch-validated query result cache.
+//!
+//! The architecture papers put planning and data movement in a thin
+//! middleware layer precisely so repeated work can be elided there; this
+//! module is that elision. A [`QueryCache`] remembers the result [`Batch`]
+//! of a federated query together with a snapshot of the **placement
+//! epochs** of every catalog object the query touched, taken *before* the
+//! query ran. Every mutation path the middleware sees already bumps an
+//! object's epoch — relational writes ([`crate::catalog::Catalog::invalidate`]),
+//! migrations ([`crate::catalog::Catalog::relocate`]), replications
+//! ([`crate::catalog::Catalog::add_replica`]), re-registration on another
+//! engine — so invalidation is free and lazy: a lookup re-reads the live
+//! epochs and a mismatched entry is dropped on the spot, never served.
+//!
+//! Key properties:
+//!
+//! * **Zero-copy hits.** [`Batch`] clones are `Arc` bumps (PR 4), so a hit
+//!   hands back the shared columns without touching a single row.
+//! * **Sound under races.** Epochs are snapshotted before execution; a
+//!   write that lands *during* execution bumps the live epoch past the
+//!   snapshot, so the entry can never validate again. Stale data is
+//!   unreachable, not merely unlikely.
+//! * **Single-flight misses.** Concurrent misses on one key elect a
+//!   leader; followers block on the leader's flight slot and share its
+//!   `Arc`'d result (after re-validating the epochs), so the federation
+//!   computes each result once per storm, not once per caller.
+//! * **Cost-aware admission.** Only successful, fault-free (zero-retry)
+//!   full results are admitted, and — when [`CachePolicy::adaptive`] is on
+//!   — only queries that are not trivially cheap relative to the monitor's
+//!   measured workload mean ([`crate::monitor::Monitor::mean_query_latency`]), so a
+//!   flood of microsecond queries cannot churn the size-bounded LRU.
+//!
+//! What is cacheable (the decision table lives in DESIGN.md): queries on
+//! the named islands whose body references at least one cataloged,
+//! non-pinned object and contains no mutation keyword. Everything else —
+//! degenerate (native) islands, whose writes bypass middleware
+//! invalidation; DML/DDL; bodies touching no cataloged object — bypasses
+//! the cache entirely. The serial reference schedule
+//! ([`crate::BigDawg::execute_serial`]) never consults the cache, so it
+//! stays an independent oracle for the cached parallel path.
+
+use crate::exec::{self, AnalyzedPlan, Plan};
+use crate::polystore::BigDawg;
+use crate::scope;
+use bigdawg_common::metrics::labeled;
+use bigdawg_common::{Batch, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Islands whose queries the cache will consider. Degenerate (per-engine
+/// native) islands are deliberately absent: native writes do not pass
+/// through middleware invalidation, so their reads must not be memoized.
+const CACHEABLE_ISLANDS: &[&str] = &["RELATIONAL", "ARRAY", "TEXT", "D4M", "MYRIA"];
+
+/// Word-bounded keywords (matched case-insensitively, outside string
+/// literals) that mark a body as a mutation — or as something whose
+/// side effects make memoization wrong. Over-matching is safe: a false
+/// positive merely bypasses the cache.
+const MUTATION_KEYWORDS: &[&str] = &[
+    "insert", "update", "delete", "merge", "upsert", "create", "drop", "alter", "truncate", "load",
+    "copy", "store", "put", "build", "register", "remove", "rename",
+];
+
+/// How a query interacted with the result cache — rendered by `EXPLAIN`
+/// and `EXPLAIN ANALYZE`, and carried on [`exec::AnalyzedPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the cache; epochs validated against the live catalog.
+    Hit,
+    /// Cacheable, but no entry existed; the query executed.
+    Miss,
+    /// An entry existed but its epoch snapshot no longer matched the
+    /// catalog — it was dropped on read and the query executed.
+    Stale,
+    /// Not cacheable (native island, mutation keyword, or no versionable
+    /// object reference); the cache was not consulted.
+    Bypass,
+    /// No cache is installed on the federation.
+    Disabled,
+}
+
+impl fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Stale => "stale (dropped on read)",
+            CacheStatus::Bypass => "bypass (not cacheable)",
+            CacheStatus::Disabled => "disabled",
+        })
+    }
+}
+
+/// Sizing and admission knobs for a [`QueryCache`].
+#[derive(Debug, Clone)]
+pub struct CachePolicy {
+    /// Total payload budget (sum of [`Batch::approx_bytes`] over entries).
+    pub max_bytes: usize,
+    /// Maximum number of entries.
+    pub max_entries: usize,
+    /// Static admission floor: results computed faster than this are not
+    /// worth an LRU slot.
+    pub min_cost: Duration,
+    /// Monitor-driven admission: when on, a result is only admitted if its
+    /// wall time is at least half the monitor's workload-wide mean query
+    /// latency, so cheap queries don't evict expensive ones.
+    pub adaptive: bool,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy {
+            max_bytes: 16 << 20,
+            max_entries: 1024,
+            min_cost: Duration::ZERO,
+            adaptive: true,
+        }
+    }
+}
+
+impl CachePolicy {
+    /// A permissive policy for tests and benchmarks: a large budget and no
+    /// cost gating, so every fault-free result is admitted.
+    pub fn admit_all() -> Self {
+        CachePolicy {
+            max_bytes: 256 << 20,
+            max_entries: 1 << 16,
+            min_cost: Duration::ZERO,
+            adaptive: false,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a cache's counters, from
+/// [`QueryCache::stats`] / [`BigDawg::cache_stats`]. The same numbers are
+/// exported continuously through the federation's metrics registry as
+/// `bigdawg_cache_*` samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Cacheable lookups that found no entry.
+    pub misses: u64,
+    /// Entries dropped on read because their epoch snapshot no longer
+    /// matched the live catalog.
+    pub stale_drops: u64,
+    /// Queries that were not cacheable at all.
+    pub bypasses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU to stay within budget.
+    pub evictions: u64,
+    /// Misses that shared a single-flight leader's result instead of
+    /// recomputing.
+    pub coalesced: u64,
+    /// Current payload bytes held.
+    pub bytes: u64,
+    /// Current entry count.
+    pub entries: u64,
+}
+
+/// Cache key: the island (case-folded) plus the whitespace-normalized
+/// query body, so spacing differences don't fragment the cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    island: String,
+    body: String,
+}
+
+impl CacheKey {
+    fn new(island: &str, body: &str) -> Self {
+        CacheKey {
+            island: island.to_ascii_uppercase(),
+            body: normalize_body(body),
+        }
+    }
+}
+
+/// Collapse whitespace runs outside single-quoted string literals into
+/// single spaces and trim the ends. Literal contents are preserved
+/// byte-for-byte — `'a  b'` and `'a b'` are different strings.
+fn normalize_body(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut in_str = false;
+    let mut pending_space = false;
+    for c in body.chars() {
+        if in_str {
+            out.push(c);
+            if c == '\'' {
+                in_str = false;
+            }
+        } else if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(c);
+            if c == '\'' {
+                in_str = true;
+            }
+        }
+    }
+    out
+}
+
+/// The maximal `[A-Za-z0-9_]` word tokens of `body` that sit outside
+/// single-quoted string literals. Char-boundary-safe for arbitrary UTF-8:
+/// word chars are ASCII, so every slice edge is a boundary.
+fn words_outside_literals(body: &str) -> Vec<&str> {
+    let mut words = Vec::new();
+    let mut in_str = false;
+    let mut start: Option<usize> = None;
+    for (i, c) in body.char_indices() {
+        let word_char = !in_str && (c.is_ascii_alphanumeric() || c == '_');
+        match (word_char, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                words.push(&body[s..i]);
+                start = None;
+            }
+            _ => {}
+        }
+        if c == '\'' {
+            in_str = !in_str;
+        }
+    }
+    if let Some(s) = start {
+        words.push(&body[s..]);
+    }
+    words
+}
+
+/// The epoch snapshot a cache entry validates against: one
+/// `(object, placement_epoch)` pair per catalog object the body mentions.
+type Epochs = Vec<(String, u64)>;
+
+/// Decide cacheability and snapshot the placement epochs of every catalog
+/// object `body` references — **before** the query executes, so a write
+/// racing the execution invalidates the entry rather than slipping under
+/// it. Returns `None` when the query must bypass the cache (see the
+/// decision table in DESIGN.md).
+fn epoch_snapshot(bd: &BigDawg, island: &str, body: &str) -> Option<Epochs> {
+    let island_uc = island.to_ascii_uppercase();
+    if !CACHEABLE_ISLANDS.contains(&island_uc.as_str()) {
+        return None;
+    }
+    let words = words_outside_literals(body);
+    if words.iter().any(|w| {
+        MUTATION_KEYWORDS
+            .iter()
+            .any(|kw| w.eq_ignore_ascii_case(kw))
+    }) {
+        return None;
+    }
+    let cat = bd.catalog().read();
+    let mut epochs: Epochs = Vec::new();
+    for w in words {
+        let Ok(entry) = cat.locate(w) else { continue };
+        if entry.kind.is_pinned() {
+            // pinned objects (corpora, streams) have write paths the
+            // middleware does not mediate — their epochs can't be trusted
+            // as a freshness signal
+            return None;
+        }
+        if !epochs.iter().any(|(name, _)| name == w) {
+            epochs.push((w.to_string(), entry.epoch));
+        }
+    }
+    if epochs.is_empty() {
+        // nothing versionable to validate against: `SELECT 1` and friends
+        // run uncached
+        return None;
+    }
+    Some(epochs)
+}
+
+/// Do the snapshotted epochs still match the live catalog?
+fn epochs_current(bd: &BigDawg, epochs: &[(String, u64)]) -> bool {
+    let cat = bd.catalog().read();
+    epochs
+        .iter()
+        .all(|(object, epoch)| cat.epoch(object).is_ok_and(|live| live == *epoch))
+}
+
+struct Entry {
+    batch: Batch,
+    epochs: Epochs,
+    bytes: usize,
+    /// LRU clock value of the last touch (insert or hit).
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// One in-progress computation for a key. The leader holds `done` while it
+/// computes; followers block on it and share the published result.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<Option<(Batch, Epochs)>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_drops: AtomicU64,
+    bypasses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+enum Lookup {
+    Hit(Batch),
+    Stale,
+    Miss,
+}
+
+/// The epoch-validated, single-flighted, size-bounded LRU result cache.
+/// Install one on a federation with [`BigDawg::set_result_cache`].
+///
+/// Lock order (documented so it stays acyclic): the cache's entry lock may
+/// be taken before the catalog's read lock (validation under lookup);
+/// nothing takes the entry lock while holding the catalog. Flight slots
+/// are held across query execution by design — that is the single-flight
+/// barrier — but never while holding the entry or flights-map locks.
+pub struct QueryCache {
+    policy: CachePolicy,
+    inner: Mutex<Inner>,
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    counters: Counters,
+}
+
+impl fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// An empty cache governed by `policy`.
+    pub fn new(policy: CachePolicy) -> Self {
+        QueryCache {
+            policy,
+            inner: Mutex::new(Inner::default()),
+            flights: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The policy this cache was built with.
+    pub fn policy(&self) -> &CachePolicy {
+        &self.policy
+    }
+
+    /// A point-in-time snapshot of the cache's counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let (bytes, entries) = {
+            let inner = self.inner.lock();
+            (inner.bytes as u64, inner.map.len() as u64)
+        };
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            stale_drops: self.counters.stale_drops.load(Ordering::Relaxed),
+            bypasses: self.counters.bypasses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            bytes,
+            entries,
+        }
+    }
+
+    /// Dry-run lookup for `EXPLAIN`: classifies the query against the
+    /// cache without serving, dropping, or counting anything.
+    pub fn probe(&self, bd: &BigDawg, island: &str, body: &str) -> CacheStatus {
+        let Some(_epochs) = epoch_snapshot(bd, island, body) else {
+            return CacheStatus::Bypass;
+        };
+        let key = CacheKey::new(island, body);
+        let inner = self.inner.lock();
+        match inner.map.get(&key) {
+            None => CacheStatus::Miss,
+            Some(entry) => {
+                if epochs_current(bd, &entry.epochs) {
+                    CacheStatus::Hit
+                } else {
+                    CacheStatus::Stale
+                }
+            }
+        }
+    }
+
+    /// Validated lookup: a present entry whose epoch snapshot no longer
+    /// matches the live catalog is dropped here, on read — the "free and
+    /// lazy" half of invalidation.
+    fn lookup(&self, bd: &BigDawg, key: &CacheKey) -> Lookup {
+        let mut inner = self.inner.lock();
+        let Some(entry) = inner.map.get(key) else {
+            return Lookup::Miss;
+        };
+        if !epochs_current(bd, &entry.epochs) {
+            if let Some(dropped) = inner.map.remove(key) {
+                inner.bytes -= dropped.bytes;
+            }
+            return Lookup::Stale;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(key).expect("validated entry present");
+        entry.tick = tick;
+        Lookup::Hit(entry.batch.clone())
+    }
+
+    /// Should a result that took `wall` to compute get an LRU slot?
+    fn admit(&self, bd: &BigDawg, wall: Duration) -> bool {
+        if wall < self.policy.min_cost {
+            return false;
+        }
+        if !self.policy.adaptive {
+            return true;
+        }
+        match bd.monitor().lock().mean_query_latency() {
+            // cold start: nothing measured yet, admit
+            None => true,
+            // cost-aware gate: cheaper than half the workload mean is not
+            // worth churning the LRU over
+            Some(mean) => wall * 2 >= mean,
+        }
+    }
+
+    /// Insert (or replace) an entry, then evict least-recently-used
+    /// entries until the cache is back under budget. Returns the number of
+    /// evictions.
+    fn store(&self, key: CacheKey, batch: Batch, epochs: Epochs) -> u64 {
+        let bytes = batch.approx_bytes();
+        if bytes > self.policy.max_bytes {
+            return 0; // would never fit, even alone
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key,
+            Entry {
+                batch,
+                epochs,
+                bytes,
+                tick,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = 0u64;
+        while inner.map.len() > self.policy.max_entries.max(1)
+            || inner.bytes > self.policy.max_bytes
+        {
+            // the fresh entry carries the newest tick, so it is evicted
+            // last — the loop always terminates with the cache non-empty
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(old) = inner.map.remove(&victim) {
+                inner.bytes -= old.bytes;
+            }
+            evicted += 1;
+            if inner.map.len() <= 1 {
+                break;
+            }
+        }
+        self.counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Join (or open) the single-flight for `key`. Returns the flight and
+    /// whether this caller is the leader who must compute.
+    fn enter_flight(&self, key: &CacheKey) -> (Arc<Flight>, bool) {
+        let mut flights = self.flights.lock();
+        if let Some(flight) = flights.get(key) {
+            return (flight.clone(), false);
+        }
+        let flight = Arc::new(Flight::default());
+        flights.insert(key.clone(), flight.clone());
+        (flight, true)
+    }
+
+    fn exit_flight(&self, key: &CacheKey) {
+        self.flights.lock().remove(key);
+    }
+
+    /// Publish the cache's occupancy and counters into the federation's
+    /// metrics registry.
+    fn publish(&self, bd: &BigDawg) {
+        let stats = self.stats();
+        let m = bd.metrics();
+        m.gauge("bigdawg_cache_bytes").set(stats.bytes as i64);
+        m.gauge("bigdawg_cache_entries").set(stats.entries as i64);
+    }
+}
+
+/// Execute `query` through the cache (when one is installed and the query
+/// is cacheable) or straight through the scatter-gather executor. This is
+/// the single implementation behind both [`BigDawg::execute`] and
+/// [`BigDawg::execute_analyzed`] — the returned [`AnalyzedPlan`] carries
+/// the [`CacheStatus`] either way.
+pub(crate) fn execute_cached(bd: &BigDawg, query: &str) -> Result<(Batch, AnalyzedPlan)> {
+    let started = Instant::now();
+    let (island, body) = scope::parse_scope(query)?;
+    let _query_span = bd.tracer().span("exec.query", &island);
+
+    let Some(cache) = bd.result_cache() else {
+        return compute(bd, &island, &body, started, CacheStatus::Disabled);
+    };
+    let Some(epochs) = epoch_snapshot(bd, &island, &body) else {
+        cache.counters.bypasses.fetch_add(1, Ordering::Relaxed);
+        cache_counter(bd, "bypass", &island).inc();
+        return compute(bd, &island, &body, started, CacheStatus::Bypass);
+    };
+    let key = CacheKey::new(&island, &body);
+
+    let status = {
+        let _lookup_span = bd.tracer().span("cache.lookup", &island);
+        match cache.lookup(bd, &key) {
+            Lookup::Hit(batch) => {
+                cache.counters.hits.fetch_add(1, Ordering::Relaxed);
+                cache_counter(bd, "hit", &island).inc();
+                return Ok((batch, hit_plan(&island, &body, started)));
+            }
+            Lookup::Stale => {
+                cache.counters.stale_drops.fetch_add(1, Ordering::Relaxed);
+                cache_counter(bd, "stale_drop", &island).inc();
+                cache.publish(bd);
+                CacheStatus::Stale
+            }
+            Lookup::Miss => {
+                cache.counters.misses.fetch_add(1, Ordering::Relaxed);
+                cache_counter(bd, "miss", &island).inc();
+                CacheStatus::Miss
+            }
+        }
+    };
+
+    let (flight, leader) = cache.enter_flight(&key);
+    if !leader {
+        // follower: block until the leader publishes, then share its
+        // result — re-validated, because a write may have landed while we
+        // waited
+        let slot = flight.done.lock();
+        if let Some((batch, flight_epochs)) = slot.as_ref() {
+            if epochs_current(bd, flight_epochs) {
+                cache.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                cache_counter(bd, "coalesced", &island).inc();
+                return Ok((batch.clone(), hit_plan(&island, &body, started)));
+            }
+        }
+        drop(slot);
+        // the leader failed, or its result is already stale: compute alone
+        return compute(bd, &island, &body, started, status);
+    }
+
+    // leader: hold the flight slot across the computation so concurrent
+    // misses coalesce instead of recomputing
+    let mut slot = flight.done.lock();
+    let computed = compute(bd, &island, &body, started, status);
+    if let Ok((batch, analyzed)) = &computed {
+        *slot = Some((batch.clone(), epochs.clone()));
+        // admission: successful, fault-free (no leaf needed a retry), and
+        // worth its slot under the monitor-driven cost gate
+        let fault_free = analyzed.leaves.iter().all(|m| m.retries == 0);
+        if fault_free && cache.admit(bd, analyzed.total) {
+            let _store_span = bd.tracer().span("cache.store", &island);
+            let evicted = cache.store(key.clone(), batch.clone(), epochs);
+            cache_counter(bd, "insertion", &island).inc();
+            if evicted > 0 {
+                bd.metrics()
+                    .counter("bigdawg_cache_evictions_total")
+                    .add(evicted);
+            }
+            cache.publish(bd);
+        }
+    }
+    cache.exit_flight(&key);
+    computed
+}
+
+/// The registry counter for one cache event, labeled by island.
+fn cache_counter(bd: &BigDawg, event: &str, island: &str) -> Arc<bigdawg_common::metrics::Counter> {
+    bd.metrics().counter(&labeled(
+        "bigdawg_cache_events_total",
+        &[("event", event), ("island", island)],
+    ))
+}
+
+/// Run the query for real, tagging the resulting plan with how the cache
+/// classified it.
+fn compute(
+    bd: &BigDawg,
+    island: &str,
+    body: &str,
+    started: Instant,
+    status: CacheStatus,
+) -> Result<(Batch, AnalyzedPlan)> {
+    let mut plan = exec::plan(bd, island, body)?;
+    plan.cache = (status != CacheStatus::Disabled).then_some(status);
+    let (batch, leaves, gather) = exec::run_measured(bd, &plan)?;
+    Ok((
+        batch,
+        AnalyzedPlan {
+            plan,
+            leaves,
+            gather,
+            total: started.elapsed(),
+            cache: status,
+        },
+    ))
+}
+
+/// The plan a cache hit reports: no leaves ran, no gather ran — the
+/// `Display` impls render the leaf-free DAG with the `cache hit` marker.
+fn hit_plan(island: &str, body: &str, started: Instant) -> AnalyzedPlan {
+    AnalyzedPlan {
+        plan: Plan {
+            island: island.to_string(),
+            body: body.to_string(),
+            leaves: Vec::new(),
+            placements: Vec::new(),
+            breakers: Vec::new(),
+            cache: Some(CacheStatus::Hit),
+        },
+        leaves: Vec::new(),
+        gather: Duration::ZERO,
+        total: started.elapsed(),
+        cache: CacheStatus::Hit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_normalization_folds_whitespace_outside_literals() {
+        assert_eq!(
+            normalize_body("  SELECT   *\n FROM\tt  "),
+            "SELECT * FROM t"
+        );
+        assert_eq!(
+            normalize_body("SELECT 'a  b'  FROM t"),
+            "SELECT 'a  b' FROM t"
+        );
+        assert_eq!(
+            CacheKey::new("relational", "SELECT  1 FROM t"),
+            CacheKey::new("RELATIONAL", "SELECT 1\nFROM t")
+        );
+    }
+
+    #[test]
+    fn word_scan_is_utf8_safe_and_literal_aware() {
+        assert_eq!(
+            words_outside_literals("SELECT x é FROM t"),
+            vec!["SELECT", "x", "FROM", "t"]
+        );
+        assert_eq!(
+            words_outside_literals("SELECT 'insert into' FROM t漢"),
+            vec!["SELECT", "FROM", "t"]
+        );
+        assert_eq!(words_outside_literals(""), Vec::<&str>::new());
+    }
+}

@@ -111,6 +111,9 @@ pub struct Plan {
     /// (open, half-open, or carrying a failure streak), sorted by name —
     /// the monitor's routing context, shown by `EXPLAIN`.
     pub breakers: Vec<(String, EngineHealth)>,
+    /// How the result cache classified this query (`None` when no cache is
+    /// installed on the federation), shown by `EXPLAIN`.
+    pub cache: Option<crate::cache::CacheStatus>,
 }
 
 impl Plan {
@@ -167,17 +170,19 @@ impl fmt::Display for Plan {
                 }
             )?;
         }
+        if let Some(cache) = &self.cache {
+            writeln!(f, "  cache   {cache}")?;
+        }
         Ok(())
     }
 }
 
 /// Execute a SCOPE query through the parallel scatter-gather executor.
-/// Semantics match [`scope::execute`]; only the schedule differs.
+/// Semantics match [`scope::execute`]; only the schedule differs. When the
+/// federation has a result cache installed, cacheable queries are served
+/// from it (see [`crate::cache`]).
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
-    let (island, body) = scope::parse_scope(query)?;
-    let _query_span = bd.tracer().span("exec.query", &island);
-    let plan = plan(bd, &island, &body)?;
-    run(bd, &plan)
+    crate::cache::execute_cached(bd, query).map(|(batch, _plan)| batch)
 }
 
 /// Measured execution of one scatter leaf — the `EXPLAIN ANALYZE`
@@ -211,8 +216,11 @@ pub struct AnalyzedPlan {
     /// Wall time of the gather node (island execution of the rewritten
     /// body), excluding scatter.
     pub gather: Duration,
-    /// End-to-end wall time: plan + scatter + gather + cleanup.
+    /// End-to-end wall time: plan + scatter + gather + cleanup — or, on a
+    /// cache hit, the (microsecond) lookup itself.
     pub total: Duration,
+    /// How the result cache classified this execution.
+    pub cache: crate::cache::CacheStatus,
 }
 
 impl fmt::Display for AnalyzedPlan {
@@ -253,28 +261,20 @@ impl fmt::Display for AnalyzedPlan {
                 p.object, p.engine, p.epoch
             )?;
         }
+        if self.cache != crate::cache::CacheStatus::Disabled {
+            writeln!(f, "  cache   {}", self.cache)?;
+        }
         Ok(())
     }
 }
 
 /// Execute a SCOPE query and return both the result and the plan annotated
 /// with per-leaf measurements — the engine behind
-/// [`crate::BigDawg::execute_analyzed`].
+/// [`crate::BigDawg::execute_analyzed`]. Routed through the result cache
+/// like [`execute`]; a hit reports an empty-leaf plan whose lines render
+/// as `(not run)`.
 pub fn execute_analyzed(bd: &BigDawg, query: &str) -> Result<(Batch, AnalyzedPlan)> {
-    let started = Instant::now();
-    let (island, body) = scope::parse_scope(query)?;
-    let _query_span = bd.tracer().span("exec.query", &island);
-    let p = plan(bd, &island, &body)?;
-    let (batch, leaves, gather) = run_measured(bd, &p)?;
-    Ok((
-        batch,
-        AnalyzedPlan {
-            plan: p,
-            leaves,
-            gather,
-            total: started.elapsed(),
-        },
-    ))
+    crate::cache::execute_cached(bd, query)
 }
 
 /// Decompose `body` into a [`Plan`]: one leaf per top-level CAST term, the
@@ -362,6 +362,7 @@ pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
         leaves,
         placements,
         breakers: bd.breakers().snapshot(),
+        cache: None,
     })
 }
 
@@ -376,8 +377,13 @@ pub fn run(bd: &BigDawg, plan: &Plan) -> Result<Batch> {
 
 /// [`run`] plus the measurements `EXPLAIN ANALYZE` reports: per-leaf
 /// [`LeafMetrics`] (index-aligned with `plan.leaves`) and the gather node's
-/// wall time.
-fn run_measured(bd: &BigDawg, plan: &Plan) -> Result<(Batch, Vec<LeafMetrics>, Duration)> {
+/// wall time. `pub(crate)` so the result cache's miss path can execute the
+/// plan it snapshotted epochs for and still collect admission evidence
+/// (retry counts, wall time).
+pub(crate) fn run_measured(
+    bd: &BigDawg,
+    plan: &Plan,
+) -> Result<(Batch, Vec<LeafMetrics>, Duration)> {
     let result = scatter(bd, &plan.leaves).and_then(|leaves| {
         let gather_started = Instant::now();
         let gather_span = bd.tracer().span("exec.gather", &plan.island);

@@ -21,6 +21,10 @@
 //! * [`exec`] — the parallel scatter-gather executor: CAST terms become
 //!   independent per-engine sub-plans run concurrently on a scoped worker
 //!   pool, joined at the gather barrier;
+//! * [`cache`] — the epoch-validated result cache: repeated federated
+//!   queries are served from `Arc`-shared batches with zero copies, and
+//!   every write or migration invalidates lazily through the catalog's
+//!   placement epochs — a stale entry is dropped on read, never served;
 //! * [`monitor`] — the cross-system monitor that re-executes workload
 //!   samples on multiple engines, learns which engine excels at which
 //!   query class, serves as the executor's cost model (per-engine/per-class
@@ -44,6 +48,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod cast;
 pub mod catalog;
 pub mod exec;
@@ -56,6 +61,7 @@ pub mod scope;
 pub mod shim;
 pub mod shims;
 
+pub use cache::{CachePolicy, CacheStats, CacheStatus, QueryCache};
 pub use cast::Transport;
 pub use catalog::{Catalog, ObjectKind};
 pub use exec::{AnalyzedPlan, LeafMetrics, Plan};

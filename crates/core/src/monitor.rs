@@ -760,6 +760,27 @@ impl Monitor {
         self.engine_class.get(&(engine.to_string(), class))
     }
 
+    /// Workload-wide mean query latency, pooled across every
+    /// (engine, class) histogram. `None` until anything was recorded.
+    ///
+    /// This is the result cache's adaptive admission floor: a query far
+    /// cheaper than the running workload mean is not worth an LRU slot —
+    /// caching it would evict entries whose recomputation actually hurts.
+    pub fn mean_query_latency(&self) -> Option<Duration> {
+        let mut sum = Duration::ZERO;
+        let mut count = 0u64;
+        for h in self.engine_class.values() {
+            sum += h.sum;
+            count += h.count;
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            (sum.as_nanos() / count as u128) as u64,
+        ))
+    }
+
     /// Estimated cost (mean measured latency) of running a `class` query on
     /// `engine`. `None` when no history exists — the cold-start case.
     pub fn engine_cost(&self, engine: &str, class: QueryClass) -> Option<Duration> {

@@ -1,5 +1,6 @@
 //! The polystore façade: engines + catalog + islands + monitor + migrator.
 
+use crate::cache::{CachePolicy, CacheStats, QueryCache};
 use crate::cast::{ship_with_wire_traced, CastReport, Transport};
 use crate::catalog::{Catalog, ObjectEntry, ObjectKind};
 use crate::exec;
@@ -68,6 +69,9 @@ pub struct BigDawg {
     /// The federation's metrics registry (always on; counters are atomic
     /// increments).
     metrics: Arc<MetricsRegistry>,
+    /// The epoch-validated result cache. `None` (off) by default; see
+    /// [`BigDawg::set_result_cache`].
+    result_cache: RwLock<Option<Arc<QueryCache>>>,
 }
 
 /// Panic-safe release of a [`BigDawg::begin_placement`] mark: placements
@@ -126,6 +130,7 @@ impl BigDawg {
             orphans: Mutex::new(std::collections::BTreeSet::new()),
             tracer,
             metrics,
+            result_cache: RwLock::new(None),
         }
     }
 
@@ -1170,10 +1175,59 @@ impl BigDawg {
 
     /// Decompose a SCOPE/CAST query into its scatter-gather [`exec::Plan`]
     /// without running it — `EXPLAIN` for the federation. The plan's
-    /// `Display` impl renders the DAG.
+    /// `Display` impl renders the DAG; when a result cache is installed
+    /// the plan also carries (and renders) the cache's dry-run verdict —
+    /// hit, miss, stale, or bypass — without serving or dropping anything.
     pub fn explain(&self, query: &str) -> Result<exec::Plan> {
         let (island, body) = scope::parse_scope(query)?;
-        exec::plan(self, &island, &body)
+        let mut plan = exec::plan(self, &island, &body)?;
+        if let Some(cache) = self.result_cache() {
+            plan.cache = Some(cache.probe(self, &island, &body));
+        }
+        Ok(plan)
+    }
+
+    // ---- result cache ----------------------------------------------------------
+
+    /// Install (or remove, with `None`) the epoch-validated result cache.
+    ///
+    /// Cacheable queries through [`BigDawg::execute`] /
+    /// [`BigDawg::execute_analyzed`] are then served from memory as long
+    /// as the placement epoch of every object they touch is unchanged;
+    /// any write or migration bumps an epoch and the entry is dropped on
+    /// its next read. [`BigDawg::execute_serial`] never consults the
+    /// cache — the serial reference schedule stays an independent oracle.
+    ///
+    /// ```
+    /// use bigdawg_core::{BigDawg, CachePolicy};
+    /// use bigdawg_core::shims::RelationalShim;
+    ///
+    /// let mut bd = BigDawg::new();
+    /// bd.add_engine(Box::new(RelationalShim::new("postgres")));
+    /// bd.execute("POSTGRES(CREATE TABLE t (x INT))").unwrap();
+    /// bd.execute("POSTGRES(INSERT INTO t VALUES (1), (2))").unwrap();
+    /// bd.set_result_cache(Some(CachePolicy::admit_all()));
+    ///
+    /// let q = "RELATIONAL(SELECT COUNT(*) AS n FROM t)";
+    /// let cold = bd.execute(q).unwrap(); // miss: computed, admitted
+    /// let warm = bd.execute(q).unwrap(); // hit: zero-copy shared batch
+    /// assert_eq!(cold.rows(), warm.rows());
+    /// assert_eq!(bd.cache_stats().unwrap().hits, 1);
+    /// ```
+    pub fn set_result_cache(&self, policy: Option<CachePolicy>) {
+        *self.result_cache.write() = policy.map(|p| Arc::new(QueryCache::new(p)));
+    }
+
+    /// The installed result cache, if any.
+    pub fn result_cache(&self) -> Option<Arc<QueryCache>> {
+        self.result_cache.read().clone()
+    }
+
+    /// Counter snapshot of the installed result cache (`None` when no
+    /// cache is installed). The same numbers are exported live as
+    /// `bigdawg_cache_*` samples in [`BigDawg::metrics`].
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.result_cache().map(|cache| cache.stats())
     }
 
     /// Execute a query on a named island directly (already-rewritten body).

@@ -22,7 +22,7 @@ use bigdawg_common::Value;
 use bigdawg_core::shims::{
     test_seed, ArrayShim, FaultHandle, FaultPlan, FaultShim, OpKind, OpScope, RelationalShim,
 };
-use bigdawg_core::{BigDawg, BreakerState, MigrationPolicy, RetryPolicy, Transport};
+use bigdawg_core::{BigDawg, BreakerState, CachePolicy, MigrationPolicy, RetryPolicy, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Writes the federation's rendered Prometheus dump to
@@ -46,6 +46,7 @@ impl Drop for PromDump<'_> {
 }
 
 const READ_QUERY: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v >= 0)";
+const COUNTER_QUERY: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM counters)";
 const READERS: usize = 3;
 const ITERATIONS: usize = 30;
 
@@ -104,6 +105,11 @@ fn run_soak(default_seed: u64) {
         replicate: true,
         max_per_cycle: 2,
     }));
+    // the stale-read oracle: the storm federation runs with the result
+    // cache on (admit everything), so every reader assertion below also
+    // proves no cached row is ever served stale under concurrent writes,
+    // injected faults, and auto-migration
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
     let _prom_dump = PromDump { bd: &bd, seed };
 
     let committed = AtomicU64::new(0);
@@ -114,6 +120,7 @@ fn run_soak(default_seed: u64) {
         for reader in 0..READERS {
             s.spawn(move || {
                 let mut last_epoch = 0u64;
+                let mut last_count = 0i64;
                 for i in 0..ITERATIONS {
                     // alternate schedules: both must absorb the storm
                     let result = if (i + reader) % 2 == 0 {
@@ -132,6 +139,18 @@ fn run_soak(default_seed: u64) {
                         "epoch regressed: {last_epoch}->{epoch}"
                     );
                     last_epoch = epoch;
+                    // the cached counter read can never go backwards: a
+                    // stale cached COUNT would regress as the writer
+                    // commits rows and epochs bump past the entry
+                    let c = bd.execute(COUNTER_QUERY).unwrap();
+                    let Value::Int(count) = c.rows()[0][0] else {
+                        panic!("counter count is an int")
+                    };
+                    assert!(
+                        count >= last_count,
+                        "stale cached read: counters went {last_count}->{count}"
+                    );
+                    last_count = count;
                 }
             });
         }
@@ -207,6 +226,27 @@ fn run_soak(default_seed: u64) {
 
     // and with the storm over, the answer is still the oracle's
     assert_eq!(bd.execute(READ_QUERY).unwrap().rows(), oracle.rows());
+
+    // write-then-read freshness through the cache: the write bumps
+    // `counters`' epoch, so the very next cached read must see the new row
+    let before = bd.execute(COUNTER_QUERY).unwrap().rows()[0][0].clone();
+    bd.execute("RELATIONAL(INSERT INTO counters VALUES (9999))")
+        .unwrap();
+    let after = bd.execute(COUNTER_QUERY).unwrap().rows()[0][0].clone();
+    let (Value::Int(b), Value::Int(a)) = (before, after) else {
+        panic!("counter counts are ints")
+    };
+    assert_eq!(a, b + 1, "cached read served a pre-write row");
+
+    // the cache really participated in the storm (counter reads are
+    // always cacheable), and its books balance: every classified lookup
+    // was a hit, a miss, or a stale drop
+    let stats = bd.cache_stats().unwrap();
+    assert!(stats.hits + stats.misses > 0, "cache never consulted");
+    assert!(
+        stats.insertions >= stats.evictions,
+        "evicted more than inserted: {stats:?}"
+    );
 
     // metrics ↔ fault-shim reconciliation: for every data-plane op kind the
     // query path drives (read = get_table, write = put_table, native =

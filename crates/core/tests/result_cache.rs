@@ -1,0 +1,318 @@
+//! Integration suite for the epoch-validated result cache: hit/miss/stale
+//! life cycle, zero-copy sharing, EXPLAIN rendering, admission and
+//! eviction policy, single-flight coalescing, and the bypass rules.
+
+mod support;
+
+use bigdawg_common::Value;
+use bigdawg_core::monitor::QueryClass;
+use bigdawg_core::shims::{FaultPlan, FaultShim, RelationalShim};
+use bigdawg_core::{BigDawg, CachePolicy, Transport};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const COUNT_PATIENTS: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM patients)";
+const COUNT_WAVE: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v >= 0)";
+
+#[test]
+fn hit_returns_the_same_rows_with_shared_columns() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+
+    let cold = bd.execute(COUNT_WAVE).unwrap();
+    let warm = bd.execute(COUNT_WAVE).unwrap();
+    assert_eq!(cold.rows(), warm.rows());
+    assert_eq!(warm.rows()[0][0], Value::Int(512));
+    // zero-copy: the hit shares the admitted batch's column Arcs
+    assert!(
+        Arc::ptr_eq(&cold.columns()[0], &warm.columns()[0]),
+        "hit must not copy columns"
+    );
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    assert_eq!(stats.entries, 1);
+    assert!(stats.bytes > 0);
+    // the registry carries the same numbers
+    assert!(bd.metrics().render_prometheus().contains("bigdawg_cache_"));
+}
+
+#[test]
+fn writes_invalidate_through_epochs() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+
+    let before = bd.execute(COUNT_PATIENTS).unwrap();
+    assert_eq!(before.rows()[0][0], Value::Int(4));
+    assert_eq!(
+        bd.execute(COUNT_PATIENTS).unwrap().rows()[0][0],
+        Value::Int(4)
+    );
+
+    // the write bumps `patients`' placement epoch; the cached entry can
+    // never validate again
+    bd.execute("RELATIONAL(INSERT INTO patients VALUES (5, 33))")
+        .unwrap();
+    let after = bd.execute(COUNT_PATIENTS).unwrap();
+    assert_eq!(after.rows()[0][0], Value::Int(5), "stale row served");
+
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!(stats.stale_drops, 1);
+    // and the cached answer still matches the uncached serial oracle
+    assert_eq!(
+        bd.execute(COUNT_PATIENTS).unwrap().rows(),
+        bd.execute_serial(COUNT_PATIENTS).unwrap().rows()
+    );
+}
+
+#[test]
+fn migrations_invalidate_through_epochs() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+
+    let cold = bd.execute(COUNT_WAVE).unwrap();
+    // replication bumps `wave`'s epoch (a new placement exists), so the
+    // entry is dropped and the query replans — now against the co-located
+    // copy, with the CAST elided
+    bd.replicate_object("wave", "postgres", Transport::Binary)
+        .unwrap();
+    let plan = bd.explain(COUNT_WAVE).unwrap();
+    assert_eq!(
+        format!("{}", plan.cache.unwrap()),
+        "stale (dropped on read)"
+    );
+    let warm = bd.execute(COUNT_WAVE).unwrap();
+    assert_eq!(cold.rows(), warm.rows());
+    assert_eq!(bd.cache_stats().unwrap().stale_drops, 1);
+}
+
+#[test]
+fn explain_renders_the_cache_verdict_without_mutating() {
+    let bd = support::federation();
+    // no cache installed: no cache line at all
+    assert!(!bd
+        .explain(COUNT_PATIENTS)
+        .unwrap()
+        .to_string()
+        .contains("cache"));
+
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+    assert!(bd
+        .explain(COUNT_PATIENTS)
+        .unwrap()
+        .to_string()
+        .contains("cache   miss"));
+    // probing is a dry run: still a miss, nothing counted as served
+    assert_eq!(bd.cache_stats().unwrap().hits, 0);
+
+    bd.execute(COUNT_PATIENTS).unwrap();
+    assert!(bd
+        .explain(COUNT_PATIENTS)
+        .unwrap()
+        .to_string()
+        .contains("cache   hit"));
+    bd.execute("RELATIONAL(INSERT INTO patients VALUES (9, 10))")
+        .unwrap();
+    assert!(bd
+        .explain(COUNT_PATIENTS)
+        .unwrap()
+        .to_string()
+        .contains("cache   stale"));
+    // a mutation is never cacheable
+    assert!(bd
+        .explain("RELATIONAL(INSERT INTO patients VALUES (6, 20))")
+        .unwrap()
+        .to_string()
+        .contains("cache   bypass"));
+}
+
+#[test]
+fn explain_analyze_reports_hits_with_no_leaves_run() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+
+    let (_, analyzed) = bd.execute_analyzed(COUNT_WAVE).unwrap();
+    let rendered = analyzed.to_string();
+    assert!(rendered.contains("cache   miss"), "{rendered}");
+    assert!(rendered.contains("leaf 0"), "{rendered}");
+
+    let (_, analyzed) = bd.execute_analyzed(COUNT_WAVE).unwrap();
+    let rendered = analyzed.to_string();
+    assert!(rendered.contains("cache   hit"), "{rendered}");
+    assert!(
+        !rendered.contains("leaf 0"),
+        "a hit runs no leaves: {rendered}"
+    );
+}
+
+#[test]
+fn bypass_rules_cover_native_islands_mutations_and_unversioned_queries() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+
+    // degenerate (native) island: writes there bypass middleware
+    // invalidation, so reads must bypass the cache
+    bd.execute("SCIDB(scan(wave))").unwrap();
+    bd.execute("SCIDB(scan(wave))").unwrap();
+    // mutation keyword
+    bd.execute("RELATIONAL(INSERT INTO patients VALUES (7, 41))")
+        .unwrap();
+    // no cataloged object referenced: nothing to validate against
+    bd.execute("RELATIONAL(SELECT 1 AS one)").unwrap();
+
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!(stats.hits + stats.misses, 0, "nothing was cacheable");
+    assert_eq!(stats.bypasses, 4);
+}
+
+#[test]
+fn admission_is_gated_by_static_and_monitor_driven_cost() {
+    // static floor: a demo query never takes a second
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy {
+        min_cost: Duration::from_secs(1),
+        adaptive: false,
+        ..CachePolicy::admit_all()
+    }));
+    bd.execute(COUNT_PATIENTS).unwrap();
+    bd.execute(COUNT_PATIENTS).unwrap();
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!(stats.insertions, 0, "below the cost floor");
+    assert_eq!(stats.misses, 2);
+
+    // adaptive floor: once the monitor has seen a (synthetic) 10 s
+    // workload mean, a microsecond query is not worth an LRU slot
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy {
+        adaptive: true,
+        ..CachePolicy::admit_all()
+    }));
+    bd.monitor().lock().record(
+        "patients",
+        QueryClass::Aggregate,
+        "postgres",
+        Duration::from_secs(10),
+    );
+    bd.execute(COUNT_PATIENTS).unwrap();
+    assert_eq!(bd.cache_stats().unwrap().insertions, 0);
+}
+
+#[test]
+fn lru_evicts_the_coldest_entry_under_entry_pressure() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy {
+        max_entries: 2,
+        ..CachePolicy::admit_all()
+    }));
+
+    let q1 = "RELATIONAL(SELECT COUNT(*) AS n FROM patients)";
+    let q2 = "RELATIONAL(SELECT MAX(age) AS m FROM patients)";
+    let q3 = "RELATIONAL(SELECT MIN(age) AS m FROM patients)";
+    bd.execute(q1).unwrap();
+    bd.execute(q2).unwrap();
+    bd.execute(q1).unwrap(); // touch q1 so q2 is now coldest
+    bd.execute(q3).unwrap(); // overflows: q2 evicted
+
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.evictions, 1);
+    assert!(bd.explain(q1).unwrap().to_string().contains("cache   hit"));
+    assert!(bd.explain(q2).unwrap().to_string().contains("cache   miss"));
+}
+
+#[test]
+fn oversized_results_are_never_admitted() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy {
+        max_bytes: 8, // smaller than any batch
+        ..CachePolicy::admit_all()
+    }));
+    bd.execute(COUNT_PATIENTS).unwrap();
+    bd.execute(COUNT_PATIENTS).unwrap();
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!(stats.insertions, 0);
+    assert_eq!(stats.entries, 0);
+}
+
+#[test]
+fn faulty_executions_are_not_admitted() {
+    // a query that needed retries to succeed may have seen partial engine
+    // state — only clean runs are admitted
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("pg");
+    pg.db_mut().execute("CREATE TABLE t (x INT)").unwrap();
+    pg.db_mut()
+        .execute("INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    bd.add_engine(Box::new(pg));
+    let mut scidb = bigdawg_core::shims::ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        bigdawg_array::Array::from_vector("wave", "v", &[1.0, 2.0, 3.0], 2),
+    );
+    // the first read of `wave` fails, so the first execution only
+    // succeeds via retry — and must not be admitted
+    let shim = FaultShim::new(
+        Box::new(scidb),
+        FaultPlan::nth(1).scoped(bigdawg_core::shims::OpScope::Reads),
+    );
+    bd.add_engine(Box::new(shim));
+    bd.set_retry_policy(bigdawg_core::RetryPolicy::standard(1));
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+
+    let q = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation))";
+    for _ in 0..6 {
+        let b = bd.execute(q).unwrap();
+        assert_eq!(b.rows()[0][0], Value::Int(3));
+    }
+    let stats = bd.cache_stats().unwrap();
+    // run 1 retried (not admitted), run 2 missed again and was admitted,
+    // runs 3-6 hit; every served hit validated its epochs first
+    assert_eq!((stats.misses, stats.insertions, stats.hits), (2, 1, 4));
+}
+
+#[test]
+fn concurrent_misses_single_flight_to_one_computation() {
+    let bd = support::federation();
+    // re-wrap the array engine to count real reads — without coalescing,
+    // every thread would scan `wave` itself
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+    const THREADS: usize = 8;
+    let barrier = Barrier::new(THREADS);
+    let served = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                barrier.wait();
+                let b = bd.execute(COUNT_WAVE).unwrap();
+                assert_eq!(b.rows()[0][0], Value::Int(512));
+                served.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(served.load(Ordering::Relaxed), THREADS);
+    let stats = bd.cache_stats().unwrap();
+    // every thread did exactly one lookup
+    assert_eq!(stats.hits + stats.misses, THREADS as u64, "{stats:?}");
+    // and the flight shared work: at least one thread was served another's
+    // result instead of scanning `wave` itself
+    assert!(
+        stats.hits + stats.coalesced >= 1,
+        "no sharing happened: {stats:?}"
+    );
+    assert!(stats.coalesced <= stats.misses, "{stats:?}");
+    assert_eq!(
+        bd.execute(COUNT_WAVE).unwrap().rows()[0][0],
+        Value::Int(512)
+    );
+}
+
+#[test]
+fn serial_schedule_never_consults_the_cache() {
+    let bd = support::federation();
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+    bd.execute_serial(COUNT_PATIENTS).unwrap();
+    bd.execute_serial(COUNT_PATIENTS).unwrap();
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!(stats.hits + stats.misses + stats.bypasses, 0);
+}

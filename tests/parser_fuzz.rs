@@ -1,0 +1,65 @@
+//! Fuzz-style property suite over the SCOPE/CAST front door: for
+//! arbitrary — including heavily non-ASCII — query text, the parser and
+//! planner never panic, and everything `parse_scope` rejects is a proper
+//! parse error. Seeded through the vendored proptest runner, which honors
+//! `BIGDAWG_TEST_SEED` for replays.
+
+#[path = "../crates/core/tests/support/mod.rs"]
+mod support;
+
+use bigdawg::core::scope::parse_scope;
+use proptest::prelude::*;
+
+/// Query-shaped text with multi-byte UTF-8 sprinkled everywhere the
+/// scanners index: identifiers, keywords, literals, and bare noise.
+fn arb_query() -> impl Strategy<Value = String> {
+    // char classes deliberately include multi-byte chars (é, Î, 漢, 🙂),
+    // quotes, parens, commas, and whitespace — the byte-offset traps
+    let noise = "[a-zA-Z0-9_éÎ漢🙂'(), \t]{0,40}";
+    let island = "[a-zA-ZéÎ_]{0,8}";
+    prop_oneof![
+        // totally arbitrary text
+        noise.prop_map(|s| s),
+        // island-shaped wrapping
+        (island, noise.prop_map(|s| s)).prop_map(|(i, b)| format!("{i}({b})")),
+        // CAST-shaped bodies, balanced and not
+        (island, noise.prop_map(|s| s), noise.prop_map(|s| s))
+            .prop_map(|(i, a, b)| format!("{i}(SELECT {a} FROM CAST({b}, relation))")),
+        (noise.prop_map(|s| s)).prop_map(|b| format!("RELATIONAL(SELECT {b}")),
+        (noise.prop_map(|s| s)).prop_map(|b| format!("RELATIONAL(écast{b})")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse_scope` totality: never panics, and every rejection is a
+    /// parse error (`kind() == "parse"`), not some internal failure.
+    #[test]
+    fn parse_scope_never_panics_and_rejects_with_parse_errors(q in arb_query()) {
+        match parse_scope(&q) {
+            Ok((island, _body)) => {
+                // accepted islands satisfy the documented shape
+                prop_assert!(!island.is_empty());
+                prop_assert!(island.chars().all(|c| c.is_alphanumeric() || c == '_'));
+            }
+            Err(e) => {
+                prop_assert_eq!(e.kind(), "parse");
+            }
+        }
+    }
+
+    /// Full-stack totality: `execute` and `explain` on a live federation
+    /// never panic on hostile input — they answer or they error, and every
+    /// error renders.
+    #[test]
+    fn execute_and_explain_never_panic_on_arbitrary_utf8(q in arb_query()) {
+        let bd = support::federation();
+        if let Err(e) = bd.execute(&q) {
+            let _ = e.to_string();
+        }
+        if let Err(e) = bd.explain(&q) {
+            let _ = e.to_string();
+        }
+    }
+}

@@ -446,3 +446,107 @@ proptest! {
         prop_assert!(rendered.contains(&count_line));
     }
 }
+
+// ---- result-cache properties -------------------------------------------------
+
+/// One step of the cache-equivalence workload: read queries interleaved
+/// with epoch-bumping mutations (writes and replications).
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    /// Run read query `i` on both federations and compare.
+    Read(usize),
+    /// Insert a row into `patients` on both federations.
+    Write(i64),
+    /// Replicate `wave` onto the relational engine (idempotent after the
+    /// first time — the catalog ignores an existing placement).
+    Replicate,
+}
+
+const CACHE_READS: &[&str] = &[
+    "RELATIONAL(SELECT COUNT(*) AS n FROM patients)",
+    "RELATIONAL(SELECT MAX(age) AS m FROM patients)",
+    "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v >= 3)",
+    "RELATIONAL(SELECT COUNT(*) AS n FROM patients WHERE age > 60)",
+];
+
+fn arb_cache_op() -> impl Strategy<Value = CacheOp> {
+    // unweighted alternation; reads dominate via the duplicated arm
+    prop_oneof![
+        (0usize..CACHE_READS.len()).prop_map(CacheOp::Read),
+        (0usize..CACHE_READS.len()).prop_map(CacheOp::Read),
+        (0i64..100).prop_map(CacheOp::Write),
+        Just(CacheOp::Replicate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Epoch-validated lookup is equivalent to re-execution: under any
+    /// interleaving of reads, writes, and migrations, a cached federation
+    /// answers exactly what an uncached twin answers — a stale row served
+    /// even once would diverge the streams.
+    #[test]
+    fn cached_federation_matches_uncached_twin_under_any_interleaving(
+        ops in proptest::collection::vec(arb_cache_op(), 1..24),
+    ) {
+        let cached = support::federation();
+        cached.set_result_cache(Some(bigdawg::core::CachePolicy::admit_all()));
+        let plain = support::federation();
+        let mut reads = 0u64;
+        for op in ops {
+            match op {
+                CacheOp::Read(i) => {
+                    let a = cached.execute(CACHE_READS[i]).unwrap();
+                    let b = plain.execute(CACHE_READS[i]).unwrap();
+                    prop_assert_eq!(a.rows(), b.rows());
+                    reads += 1;
+                }
+                CacheOp::Write(age) => {
+                    let q = format!("RELATIONAL(INSERT INTO patients VALUES ({age}, {age}))");
+                    cached.execute(&q).unwrap();
+                    plain.execute(&q).unwrap();
+                }
+                CacheOp::Replicate => {
+                    let a = cached.replicate_object("wave", "postgres", Transport::Binary);
+                    let b = plain.replicate_object("wave", "postgres", Transport::Binary);
+                    prop_assert_eq!(a.is_ok(), b.is_ok());
+                }
+            }
+        }
+        // the cache actually participated: every read was classified as a
+        // hit, miss, or stale drop (writes bypass by design)
+        let stats = cached.cache_stats().unwrap();
+        prop_assert_eq!(stats.hits + stats.misses + stats.stale_drops, reads);
+    }
+
+    /// Cache-on vs cache-off equivalence in the existing parallel==serial
+    /// harness: `execute` consults the cache, `execute_serial` never does,
+    /// so the shared assertion pits a (possibly) cached answer against an
+    /// always-recomputed reference — including right after invalidations.
+    #[test]
+    fn cached_parallel_matches_serial_reference(
+        ages in proptest::collection::vec(1i64..100, 1..8),
+    ) {
+        let bd = support::federation();
+        bd.set_result_cache(Some(bigdawg::core::CachePolicy::admit_all()));
+        for age in ages {
+            support::assert_parallel_matches_serial(
+                &bd,
+                "RELATIONAL(SELECT COUNT(*) AS n FROM patients)",
+            );
+            support::assert_parallel_matches_serial(
+                &bd,
+                "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v >= 0)",
+            );
+            bd.execute(&format!(
+                "RELATIONAL(INSERT INTO patients VALUES ({age}, {age}))"
+            ))
+            .unwrap();
+        }
+        support::assert_parallel_matches_serial(
+            &bd,
+            "RELATIONAL(SELECT COUNT(*) AS n FROM patients)",
+        );
+    }
+}
