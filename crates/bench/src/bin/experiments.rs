@@ -132,4 +132,22 @@ fn main() {
             );
         }
     }
+    if want("e17") {
+        let wire = std::time::Duration::from_millis(if quick { 2 } else { 5 });
+        let r = overload::run(wire, if quick { 10 } else { 40 }).expect("E17 runs");
+        println!("{}", overload::table(&r));
+        if quick {
+            let total = r.clients * r.per_client;
+            for m in [&r.unprotected, &r.protected] {
+                assert_eq!(m.total(), total, "E17 {}: query went unaccounted", m.label);
+                assert_eq!(m.other_errors, 0, "E17 {}: unstructured failure", m.label);
+            }
+            assert!(
+                r.protected.p99_served <= r.unloaded_p99 * 2,
+                "E17: protected served p99 {:?} exceeds 2x unloaded p99 {:?}",
+                r.protected.p99_served,
+                r.unloaded_p99
+            );
+        }
+    }
 }

@@ -19,6 +19,7 @@
 //! | [`availability`] | E14 | §2.1: availability under a 10% read-fault storm — failover vs fail-fast |
 //! | [`tracing_overhead`] | E15 | observability: span pipeline cost on the E11 federation query |
 //! | [`result_cache`] | E16 | epoch-validated result cache on a zipfian repeated-query workload |
+//! | [`overload`] | E17 | deadline + admission control under a 4× saturating storm: bounded served p99, structured shedding |
 
 pub mod anomaly_exp;
 pub mod availability;
@@ -30,6 +31,7 @@ pub mod interchange;
 pub mod migration;
 pub mod migration_convergence;
 pub mod onesize;
+pub mod overload;
 pub mod result_cache;
 pub mod scalar_exp;
 pub mod searchlight_exp;

@@ -1,0 +1,272 @@
+//! E17 — graceful load shedding under a saturating storm.
+//!
+//! One slow engine sits behind an emulated wire; client demand is 4× what
+//! that engine can serve. Unprotected, every query queues on the engine
+//! and the p99 balloons to (clients × wire). With a per-query deadline
+//! and the admission gate sized to the engine's real capacity, the
+//! queries that *are* served keep a p99 within 2× of the unloaded p99 —
+//! and everything beyond capacity is shed deterministically with a
+//! structured [`bigdawg_common::BigDawgError::Overloaded`] (carrying a
+//! retry hint the clients obey) or
+//! [`bigdawg_common::BigDawgError::DeadlineExceeded`], never a stuck
+//! query, never an unstructured failure.
+//!
+//! The claim: overload protection trades *how many* answer for *how
+//! fast* the answered ones are — accounting for every single query.
+
+use crate::experiments::{fmt_dur, Table};
+use bigdawg_array::Array;
+use bigdawg_common::{BigDawgError, Result, Value};
+use bigdawg_core::shims::{ArrayShim, LatencyShim, RelationalShim};
+use bigdawg_core::{AdmissionConfig, BigDawg};
+use std::time::{Duration, Instant};
+
+/// Clients per admission slot — the storm's saturation factor.
+pub const SATURATION: usize = 4;
+
+const QUERY: &str = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation))";
+const ELEMENTS: i64 = 32;
+
+/// One protection mode's complete accounting of the storm.
+#[derive(Debug, Clone)]
+pub struct ModeStats {
+    /// Mode label for the table.
+    pub label: &'static str,
+    /// Queries that answered (correctly — wrong answers panic).
+    pub served: usize,
+    /// Queries shed at the admission gate (`Overloaded`).
+    pub shed_overloaded: usize,
+    /// Queries shed by their deadline (`DeadlineExceeded`).
+    pub shed_deadline: usize,
+    /// Failures outside the structured overload family (must stay 0).
+    pub other_errors: usize,
+    /// Mean latency of the served queries.
+    pub mean_served: Duration,
+    /// 99th-percentile latency of the served queries.
+    pub p99_served: Duration,
+}
+
+impl ModeStats {
+    /// Total queries accounted for.
+    pub fn total(&self) -> usize {
+        self.served + self.shed_overloaded + self.shed_deadline + self.other_errors
+    }
+}
+
+/// Everything E17 reports.
+#[derive(Debug, Clone)]
+pub struct OverloadResult {
+    /// Emulated wire latency of the slow engine.
+    pub wire: Duration,
+    /// Concurrent clients in the storm.
+    pub clients: usize,
+    /// Queries issued per client.
+    pub per_client: usize,
+    /// p99 of the same query with no storm at all.
+    pub unloaded_p99: Duration,
+    /// The storm with no protection: every query admitted, none deadlined.
+    pub unprotected: ModeStats,
+    /// The storm behind deadline + admission control.
+    pub protected: ModeStats,
+}
+
+/// pg + one array engine holding `wave` behind `wire` of emulated
+/// round-trip per remote request.
+fn federation(wire: Duration) -> BigDawg {
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("pg")));
+    let mut scidb = ArrayShim::new("scidb");
+    scidb.store(
+        "wave",
+        Array::from_vector(
+            "wave",
+            "v",
+            &(0..ELEMENTS).map(|i| i as f64).collect::<Vec<_>>(),
+            8,
+        ),
+    );
+    bd.add_engine(Box::new(LatencyShim::new(Box::new(scidb), wire)));
+    bd
+}
+
+fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+    samples[idx]
+}
+
+fn run_storm(label: &'static str, bd: &BigDawg, clients: usize, per_client: usize) -> ModeStats {
+    let per_thread: Vec<(Vec<Duration>, usize, usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut served = Vec::new();
+                    let (mut over, mut dead, mut other) = (0usize, 0usize, 0usize);
+                    for _ in 0..per_client {
+                        let t0 = Instant::now();
+                        match bd.execute(QUERY) {
+                            Ok(b) => {
+                                assert_eq!(
+                                    b.rows()[0][0],
+                                    Value::Int(ELEMENTS),
+                                    "a served query must answer correctly"
+                                );
+                                served.push(t0.elapsed());
+                            }
+                            Err(BigDawgError::Overloaded { retry_after_hint }) => {
+                                over += 1;
+                                // structured backpressure: wait exactly as
+                                // long as the gate suggests before retrying
+                                std::thread::sleep(retry_after_hint);
+                            }
+                            Err(e) if e.kind() == "deadline_exceeded" => dead += 1,
+                            Err(_) => other += 1,
+                        }
+                    }
+                    (served, over, dead, other)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no stuck client"))
+            .collect()
+    });
+
+    let mut served: Vec<Duration> = Vec::new();
+    let (mut over, mut dead, mut other) = (0usize, 0usize, 0usize);
+    for (s, o, d, x) in per_thread {
+        served.extend(s);
+        over += o;
+        dead += d;
+        other += x;
+    }
+    let mean_served = if served.is_empty() {
+        Duration::ZERO
+    } else {
+        served.iter().sum::<Duration>() / served.len() as u32
+    };
+    let p99_served = if served.is_empty() {
+        Duration::ZERO
+    } else {
+        percentile(&mut served, 0.99)
+    };
+    ModeStats {
+        label,
+        served: served.len(),
+        shed_overloaded: over,
+        shed_deadline: dead,
+        other_errors: other,
+        mean_served,
+        p99_served,
+    }
+}
+
+/// Run E17: measure the unloaded p99, then the same storm unprotected and
+/// behind deadline + admission control.
+pub fn run(wire: Duration, per_client: usize) -> Result<OverloadResult> {
+    let clients = SATURATION; // gate width is 1: the engine serializes anyway
+
+    // unloaded baseline: one client, no contention
+    let bd = federation(wire);
+    let mut unloaded = Vec::with_capacity(30);
+    for _ in 0..30 {
+        let t0 = Instant::now();
+        let b = bd.execute(QUERY)?;
+        assert_eq!(b.rows()[0][0], Value::Int(ELEMENTS));
+        unloaded.push(t0.elapsed());
+    }
+    let unloaded_p99 = percentile(&mut unloaded, 0.99);
+
+    // the storm, unprotected: everything admitted, nothing deadlined
+    let bd = federation(wire);
+    let unprotected = run_storm("unprotected", &bd, clients, per_client);
+
+    // the storm behind the gate: one slot (the slow engine serializes its
+    // reads anyway), no queue — reject-newest with a one-wire retry hint —
+    // and a deadline backstop at 4× the wire
+    let bd = federation(wire);
+    bd.set_admission(Some(
+        AdmissionConfig::default()
+            .with_max_concurrent(1)
+            .with_max_queue(0)
+            .with_queue_budget(wire),
+    ));
+    bd.set_deadline(Some(wire * 4));
+    let protected = run_storm("deadline + admission", &bd, clients, per_client);
+    assert_eq!(
+        bd.metrics().gauge("bigdawg_admission_inflight").value(),
+        0,
+        "a query is stuck holding an admission slot"
+    );
+
+    Ok(OverloadResult {
+        wire,
+        clients,
+        per_client,
+        unloaded_p99,
+        unprotected,
+        protected,
+    })
+}
+
+/// Render E17's table.
+pub fn table(r: &OverloadResult) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "E17: {}-client saturating storm on a slow engine ({} wire, {} \
+             queries/client; unloaded p99 {})",
+            r.clients,
+            fmt_dur(r.wire),
+            r.per_client,
+            fmt_dur(r.unloaded_p99)
+        ),
+        &[
+            "mode",
+            "served",
+            "shed (gate)",
+            "shed (deadline)",
+            "other",
+            "mean served",
+            "p99 served",
+        ],
+    );
+    for m in [&r.unprotected, &r.protected] {
+        t.row(&[
+            m.label.to_string(),
+            format!("{}/{}", m.served, m.total()),
+            m.shed_overloaded.to_string(),
+            m.shed_deadline.to_string(),
+            m.other_errors.to_string(),
+            fmt_dur(m.mean_served),
+            fmt_dur(m.p99_served),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_bounds_served_tail_latency_and_sheds_the_rest() {
+        let r = run(Duration::from_millis(2), 10).expect("E17 runs");
+        let total = r.clients * r.per_client;
+        for m in [&r.unprotected, &r.protected] {
+            assert_eq!(m.total(), total, "{}: every query accounted for", m.label);
+            assert_eq!(m.other_errors, 0, "{}: only structured sheds", m.label);
+        }
+        assert_eq!(r.unprotected.served, total, "unprotected admits everything");
+        assert!(
+            r.protected.p99_served <= r.unloaded_p99 * 2,
+            "protected served p99 {:?} exceeds 2x the unloaded p99 {:?}",
+            r.protected.p99_served,
+            r.unloaded_p99
+        );
+        assert!(
+            r.protected.shed_overloaded + r.protected.shed_deadline > 0,
+            "a 4x storm against a width-1 gate must shed"
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! Per-query deadlines and cooperative cancellation.
+//!
+//! The overload-robustness layer rests on three small types:
+//!
+//! * [`Deadline`] — a time budget measured against an injectable
+//!   [`Clock`], so the whole deadline machinery is deterministic under
+//!   [`ManualClock`](crate::trace::ManualClock) in tests;
+//! * [`CancelToken`] — a shared cancellation flag with a condvar, so
+//!   blocking points (wire sleeps, retry backoffs, queue waits) can wake
+//!   early instead of riding out their full pause;
+//! * [`QueryContext`] — one per in-flight query, bundling the token and
+//!   the deadline with per-query bookkeeping (queue wait, slowest leaf,
+//!   hedge outcomes, unreachable leaves).
+//!
+//! The context propagates through the executor via a thread-local
+//! ([`enter`] / [`current`]), mirroring the tracer's span stack: the
+//! scatter installs the coordinator's context on every worker thread, so
+//! island reads, CAST wire legs, and retry loops can call
+//! [`check_current`] without threading a parameter through every
+//! signature. A blocking point that would outlive the remaining budget
+//! fails *fast* — sleeping past a deadline can never finish the work in
+//! time, so the sleep itself is skipped.
+
+use crate::error::{BigDawgError, Result};
+use crate::trace::Clock;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a query was cancelled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelCause {
+    /// Explicit cancellation through a `QueryHandle`/[`CancelToken`].
+    User,
+    /// The query's [`Deadline`] budget ran out.
+    Deadline(Duration),
+}
+
+impl CancelCause {
+    /// The error a blocked operation should surface for this cause.
+    pub fn to_error(&self) -> BigDawgError {
+        match self {
+            CancelCause::User => BigDawgError::Cancelled("query cancelled by its handle".into()),
+            CancelCause::Deadline(budget) => {
+                BigDawgError::DeadlineExceeded(format!("query exceeded its {budget:?} budget"))
+            }
+        }
+    }
+}
+
+/// A shared cancellation flag every blocking point of a query checks.
+///
+/// `cancel` is sticky (the first cause wins) and wakes any thread parked
+/// in [`CancelToken::sleep`], so a wire-latency emulation or a retry
+/// backoff unwinds promptly instead of riding out its full pause.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+    cause: Mutex<Option<CancelCause>>,
+    cv: Condvar,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Cancel with `cause`. The first cause wins; later calls are no-ops.
+    /// Wakes every thread parked in [`CancelToken::sleep`].
+    pub fn cancel(&self, cause: CancelCause) {
+        let mut slot = self.cause.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(cause);
+            self.flag.store(true, Ordering::Release);
+        }
+        drop(slot);
+        self.cv.notify_all();
+    }
+
+    /// Has the token been cancelled? One relaxed-ish atomic load.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The cause, if cancelled.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        self.cause.lock().unwrap().clone()
+    }
+
+    /// Park for up to `d` of wall time, waking early on cancellation.
+    /// Returns `true` if the token was cancelled while (or before)
+    /// sleeping.
+    pub fn sleep(&self, d: Duration) -> bool {
+        let wake_at = Instant::now() + d;
+        let mut slot = self.cause.lock().unwrap();
+        loop {
+            if slot.is_some() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= wake_at {
+                return false;
+            }
+            let (next, _) = self.cv.wait_timeout(slot, wake_at - now).unwrap();
+            slot = next;
+        }
+    }
+}
+
+/// A time budget measured against an injectable [`Clock`].
+#[derive(Clone)]
+pub struct Deadline {
+    clock: Arc<dyn Clock>,
+    armed_at: Duration,
+    budget: Duration,
+}
+
+impl std::fmt::Debug for Deadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deadline")
+            .field("armed_at", &self.armed_at)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl Deadline {
+    /// Arm a deadline: `budget` of clock time starting now.
+    pub fn after(clock: Arc<dyn Clock>, budget: Duration) -> Self {
+        let armed_at = clock.now();
+        Deadline {
+            clock,
+            armed_at,
+            budget,
+        }
+    }
+
+    /// The budget this deadline was armed with.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Clock time spent since the deadline was armed.
+    pub fn elapsed(&self) -> Duration {
+        self.clock.now().saturating_sub(self.armed_at)
+    }
+
+    /// Budget left (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.elapsed())
+    }
+
+    /// Has the budget run out?
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+}
+
+/// How a hedged read resolved, for EXPLAIN ANALYZE and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HedgeStats {
+    /// Second copies raced.
+    pub launched: u64,
+    /// Races the *hedge* copy won (the primary won the rest).
+    pub hedge_wins: u64,
+}
+
+/// Everything one in-flight query carries through the executor.
+///
+/// Shared (`Arc`) between the coordinator, the scatter workers, and any
+/// `QueryHandle` the caller holds; all bookkeeping is internally
+/// synchronized.
+#[derive(Debug)]
+pub struct QueryContext {
+    token: Arc<CancelToken>,
+    deadline: Option<Deadline>,
+    queue_wait: Mutex<Duration>,
+    slowest: Mutex<Option<(String, Duration)>>,
+    unreachable: Mutex<Vec<String>>,
+    hedges_launched: AtomicU64,
+    hedge_wins: AtomicU64,
+}
+
+impl QueryContext {
+    /// A context with no deadline (cancellable only through the token).
+    pub fn unbounded() -> Arc<Self> {
+        Self::with_token(CancelToken::new(), None)
+    }
+
+    /// A context bound by `deadline`.
+    pub fn with_deadline(deadline: Deadline) -> Arc<Self> {
+        Self::with_token(CancelToken::new(), Some(deadline))
+    }
+
+    /// A context over a caller-supplied token (e.g. a `QueryHandle`'s).
+    pub fn with_token(token: Arc<CancelToken>, deadline: Option<Deadline>) -> Arc<Self> {
+        Arc::new(QueryContext {
+            token,
+            deadline,
+            queue_wait: Mutex::new(Duration::ZERO),
+            slowest: Mutex::new(None),
+            unreachable: Mutex::new(Vec::new()),
+            hedges_launched: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared cancellation token.
+    pub fn token(&self) -> &Arc<CancelToken> {
+        &self.token
+    }
+
+    /// The deadline, if one was armed.
+    pub fn deadline(&self) -> Option<&Deadline> {
+        self.deadline.as_ref()
+    }
+
+    /// Budget left, or `None` when the query has no deadline.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.as_ref().map(Deadline::remaining)
+    }
+
+    /// The cooperative checkpoint every blocking point calls: errors if
+    /// the token is cancelled or the deadline has expired (expiry cancels
+    /// the token, so every other thread of the query wakes and unwinds
+    /// too).
+    pub fn check(&self) -> Result<()> {
+        if let Some(cause) = self.token.cause() {
+            return Err(cause.to_error());
+        }
+        if let Some(d) = &self.deadline {
+            if d.expired() {
+                let cause = CancelCause::Deadline(d.budget());
+                self.token.cancel(cause.clone());
+                return Err(cause.to_error());
+            }
+        }
+        Ok(())
+    }
+
+    /// A cancellation- and deadline-aware pause of `d`.
+    ///
+    /// If `d` exceeds the remaining budget the pause is *skipped* and the
+    /// deadline error returned immediately — sleeping past a deadline can
+    /// never finish the work in time. Otherwise parks on the token (waking
+    /// early on cancellation) and re-checks on wake.
+    pub fn sleep(&self, d: Duration) -> Result<()> {
+        self.check()?;
+        if let Some(remaining) = self.remaining() {
+            if d > remaining {
+                let cause = CancelCause::Deadline(
+                    self.deadline.as_ref().map(Deadline::budget).unwrap_or(d),
+                );
+                self.token.cancel(cause.clone());
+                return Err(cause.to_error());
+            }
+        }
+        self.token.sleep(d);
+        self.check()
+    }
+
+    /// Record how long the admission controller queued this query.
+    pub fn set_queue_wait(&self, d: Duration) {
+        *self.queue_wait.lock().unwrap() = d;
+    }
+
+    /// Queue wait recorded at admission (zero when admitted immediately).
+    pub fn queue_wait(&self) -> Duration {
+        *self.queue_wait.lock().unwrap()
+    }
+
+    /// Record one finished (or abandoned) leaf's wall time; the slowest
+    /// one is named by the deadline error and EXPLAIN ANALYZE.
+    pub fn note_leaf(&self, label: &str, wall: Duration) {
+        let mut slot = self.slowest.lock().unwrap();
+        if slot.as_ref().is_none_or(|(_, w)| wall > *w) {
+            *slot = Some((label.to_string(), wall));
+        }
+    }
+
+    /// The slowest leaf observed so far.
+    pub fn slowest_leaf(&self) -> Option<(String, Duration)> {
+        self.slowest.lock().unwrap().clone()
+    }
+
+    /// Mark a leaf as unreachable (for `PartialResult` metadata).
+    pub fn note_unreachable(&self, label: &str) {
+        self.unreachable.lock().unwrap().push(label.to_string());
+    }
+
+    /// Leaves marked unreachable so far.
+    pub fn unreachable(&self) -> Vec<String> {
+        self.unreachable.lock().unwrap().clone()
+    }
+
+    /// Record a hedged read being launched.
+    pub fn note_hedge_launched(&self) {
+        self.hedges_launched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a hedge race the *hedge* copy won.
+    pub fn note_hedge_win(&self) {
+        self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hedge bookkeeping so far.
+    pub fn hedge_stats(&self) -> HedgeStats {
+        HedgeStats {
+            launched: self.hedges_launched.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<QueryContext>>> = const { RefCell::new(None) };
+}
+
+/// Install `ctx` as this thread's current query context until the guard
+/// drops (restoring whatever was installed before). The scatter calls
+/// this on every worker thread; nested sub-query executions inherit the
+/// outer context.
+pub fn enter(ctx: Arc<QueryContext>) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ctx));
+    ContextGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// This thread's current query context, if inside one.
+pub fn current() -> Option<Arc<QueryContext>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// [`QueryContext::check`] against the current context; `Ok` when the
+/// thread is not executing a query.
+pub fn check_current() -> Result<()> {
+    match current() {
+        Some(ctx) => ctx.check(),
+        None => Ok(()),
+    }
+}
+
+/// Pause for `d`, cooperatively: inside a query the pause is
+/// deadline-clamped and cancellation wakes it early; outside one it is a
+/// plain sleep. Emulated wire latencies and retry backoffs route through
+/// here.
+pub fn sleep_cancellable(d: Duration) -> Result<()> {
+    match current() {
+        Some(ctx) => ctx.sleep(d),
+        None => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}
+
+/// Restores the previously installed context on drop. `!Send`, like a
+/// span guard: contexts are entered and exited on the same thread.
+pub struct ContextGuard {
+    prev: Option<Arc<QueryContext>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ManualClock;
+
+    #[test]
+    fn deadline_expires_only_when_the_clock_moves() {
+        let clock = Arc::new(ManualClock::new());
+        let d = Deadline::after(clock.clone(), Duration::from_millis(10));
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Duration::from_millis(10));
+        clock.advance(Duration::from_millis(4));
+        assert_eq!(d.remaining(), Duration::from_millis(6));
+        clock.advance(Duration::from_millis(6));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn check_surfaces_deadline_and_cancels_the_shared_token() {
+        let clock = Arc::new(ManualClock::new());
+        let ctx =
+            QueryContext::with_deadline(Deadline::after(clock.clone(), Duration::from_millis(5)));
+        assert!(ctx.check().is_ok());
+        clock.advance(Duration::from_millis(5));
+        let err = ctx.check().unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert!(err.to_string().contains("5ms"), "{err}");
+        // the token is now cancelled: every other thread of the query
+        // sees the same error without reading the clock
+        assert!(ctx.token().is_cancelled());
+        assert_eq!(ctx.check().unwrap_err().kind(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn explicit_cancel_wins_and_is_sticky() {
+        let ctx = QueryContext::unbounded();
+        ctx.token().cancel(CancelCause::User);
+        ctx.token()
+            .cancel(CancelCause::Deadline(Duration::from_secs(1)));
+        let err = ctx.check().unwrap_err();
+        assert_eq!(err.kind(), "cancelled", "first cause wins: {err}");
+    }
+
+    #[test]
+    fn oversized_sleep_fails_fast_without_sleeping() {
+        let clock = Arc::new(ManualClock::new());
+        let ctx =
+            QueryContext::with_deadline(Deadline::after(clock.clone(), Duration::from_micros(100)));
+        let t0 = Instant::now();
+        let err = ctx.sleep(Duration::from_secs(30)).unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "a 30s pause under a 100µs budget must not sleep"
+        );
+    }
+
+    #[test]
+    fn cancel_wakes_a_parked_sleeper_early() {
+        let ctx = QueryContext::unbounded();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            let ctx2 = Arc::clone(&ctx);
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                ctx2.token().cancel(CancelCause::User);
+            });
+            let err = ctx.sleep(Duration::from_secs(30)).unwrap_err();
+            assert_eq!(err.kind(), "cancelled");
+        });
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "cancellation must wake the sleeper long before 30s"
+        );
+    }
+
+    #[test]
+    fn context_nests_and_restores_on_the_same_thread() {
+        assert!(current().is_none());
+        let outer = QueryContext::unbounded();
+        let g1 = enter(Arc::clone(&outer));
+        assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        {
+            let inner = QueryContext::unbounded();
+            let _g2 = enter(Arc::clone(&inner));
+            assert!(Arc::ptr_eq(&current().unwrap(), &inner));
+        }
+        assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        drop(g1);
+        assert!(current().is_none());
+        assert!(check_current().is_ok());
+    }
+
+    #[test]
+    fn slowest_leaf_and_hedge_books_accumulate() {
+        let ctx = QueryContext::unbounded();
+        ctx.note_leaf("a -> pg", Duration::from_millis(2));
+        ctx.note_leaf("b -> scidb", Duration::from_millis(9));
+        ctx.note_leaf("c -> pg", Duration::from_millis(1));
+        assert_eq!(
+            ctx.slowest_leaf().unwrap(),
+            ("b -> scidb".to_string(), Duration::from_millis(9))
+        );
+        ctx.note_hedge_launched();
+        ctx.note_hedge_launched();
+        ctx.note_hedge_win();
+        assert_eq!(
+            ctx.hedge_stats(),
+            HedgeStats {
+                launched: 2,
+                hedge_wins: 1
+            }
+        );
+        ctx.note_unreachable("b -> scidb");
+        assert_eq!(ctx.unreachable(), vec!["b -> scidb".to_string()]);
+    }
+}

@@ -37,6 +37,21 @@ pub enum BigDawgError {
     Infeasible(String),
     /// An invariant that should be unreachable was violated; indicates a bug.
     Internal(String),
+    /// The query ran past its [`Deadline`](crate::deadline::Deadline)
+    /// budget; the message names the budget and (when known) the slowest
+    /// leaf still in flight when the budget ran out.
+    DeadlineExceeded(String),
+    /// The query was explicitly cancelled through its
+    /// [`QueryHandle`/`CancelToken`](crate::deadline::CancelToken).
+    Cancelled(String),
+    /// The admission controller shed the query: the federation is
+    /// saturated and the queue is full (or the queue-time budget ran out).
+    /// `retry_after_hint` is the controller's estimate of when a retry has
+    /// a fair shot at a slot.
+    Overloaded {
+        /// How long the caller should wait before retrying.
+        retry_after_hint: std::time::Duration,
+    },
 }
 
 impl BigDawgError {
@@ -53,6 +68,9 @@ impl BigDawgError {
             BigDawgError::TxAborted(_) => "tx_aborted",
             BigDawgError::Infeasible(_) => "infeasible",
             BigDawgError::Internal(_) => "internal",
+            BigDawgError::DeadlineExceeded(_) => "deadline_exceeded",
+            BigDawgError::Cancelled(_) => "cancelled",
+            BigDawgError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -67,14 +85,26 @@ impl BigDawgError {
             | BigDawgError::Cast(m)
             | BigDawgError::TxAborted(m)
             | BigDawgError::Infeasible(m)
-            | BigDawgError::Internal(m) => m,
+            | BigDawgError::Internal(m)
+            | BigDawgError::DeadlineExceeded(m)
+            | BigDawgError::Cancelled(m) => m,
+            BigDawgError::Overloaded { .. } => "query shed under load",
         }
     }
 }
 
 impl fmt::Display for BigDawgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.kind(), self.message())
+        match self {
+            BigDawgError::Overloaded { retry_after_hint } => write!(
+                f,
+                "{}: {} (retry after ~{:?})",
+                self.kind(),
+                self.message(),
+                retry_after_hint
+            ),
+            _ => write!(f, "{}: {}", self.kind(), self.message()),
+        }
     }
 }
 
@@ -107,6 +137,28 @@ mod tests {
         assert_eq!(BigDawgError::Parse("x".into()).kind(), "parse");
         assert_eq!(BigDawgError::Cast("x".into()).kind(), "cast");
         assert_eq!(BigDawgError::TxAborted("x".into()).kind(), "tx_aborted");
+        assert_eq!(
+            BigDawgError::DeadlineExceeded("x".into()).kind(),
+            "deadline_exceeded"
+        );
+        assert_eq!(BigDawgError::Cancelled("x".into()).kind(), "cancelled");
+        assert_eq!(
+            BigDawgError::Overloaded {
+                retry_after_hint: std::time::Duration::from_millis(5)
+            }
+            .kind(),
+            "overloaded"
+        );
+    }
+
+    #[test]
+    fn overloaded_display_carries_the_hint() {
+        let e = BigDawgError::Overloaded {
+            retry_after_hint: std::time::Duration::from_millis(5),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("overloaded:"), "{s}");
+        assert!(s.contains("5ms"), "{s}");
     }
 
     #[test]

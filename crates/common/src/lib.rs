@@ -14,7 +14,9 @@
 //! * [`trace`] — the dependency-free tracing core ([`Tracer`], [`TraceSink`],
 //!   injectable [`Clock`]) the data path emits spans through,
 //! * [`metrics`] — counters, gauges, and log2-bucket histograms behind a
-//!   [`MetricsRegistry`] with a Prometheus text dump.
+//!   [`MetricsRegistry`] with a Prometheus text dump,
+//! * [`deadline`] — per-query [`Deadline`]s, [`CancelToken`]s, and the
+//!   thread-local [`QueryContext`] the executor's blocking points check.
 //!
 //! Nothing in this crate knows about any particular engine; it is the bottom
 //! of the dependency graph.
@@ -23,6 +25,7 @@
 
 pub mod batch;
 pub mod column;
+pub mod deadline;
 pub mod error;
 pub mod metrics;
 pub mod schema;
@@ -31,11 +34,12 @@ pub mod value;
 
 pub use batch::{Batch, Row};
 pub use column::{Column, ColumnData, NullMask};
+pub use deadline::{CancelCause, CancelToken, Deadline, HedgeStats, QueryContext};
 pub use error::{BigDawgError, Result};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use schema::{Field, Schema};
 pub use trace::{
-    Clock, CollectingSink, MonotonicClock, NoopSink, SpanGuard, SpanRecord, TestClock, TraceSink,
-    Tracer,
+    Clock, CollectingSink, ManualClock, MonotonicClock, NoopSink, SpanGuard, SpanRecord, TestClock,
+    TraceSink, Tracer,
 };
 pub use value::{DataType, Value};

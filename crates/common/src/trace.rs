@@ -90,6 +90,37 @@ impl Clock for TestClock {
     }
 }
 
+/// A [`Clock`] that only moves when the test says so.
+///
+/// Where [`TestClock`] advances on every read (timestamps as a function of
+/// the code path), `ManualClock` holds still until [`ManualClock::advance`]
+/// is called — the right shape for deadline and queue-budget tests, which
+/// need to place "time passing" at exact points and assert what expires.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the clock forward by `d` (saturating at the u64 microsecond
+    /// ceiling).
+    pub fn advance(&self, d: Duration) {
+        let add = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.micros.fetch_add(add, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+}
+
 /// One completed span (or instantaneous event) as delivered to a
 /// [`TraceSink`].
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,519 @@
+//! Admission control: a bounded concurrency gate with graceful shedding.
+//!
+//! The scatter-gather executor is fast but not free: every admitted query
+//! pins worker threads, engine locks, and (behind a wire) emulated
+//! latency. Under a saturating storm the right behavior is not "everyone
+//! waits forever" but *bounded* waiting with deterministic shedding — the
+//! overload stays visible as structured [`BigDawgError::Overloaded`]
+//! errors with a retry hint, instead of unbounded latency growth.
+//!
+//! The controller is a classic gate + FIFO queue:
+//!
+//! ```text
+//!             ┌────────────── AdmissionController ──────────────┐
+//!   arrive ──►│ slot free?  ──yes──► RUNNING (≤ max_concurrent) │──► executor
+//!             │    │ no                   ▲ permit drop          │
+//!             │    ▼                      │ promotes FIFO head   │
+//!             │ queue full? ──no──► QUEUED (≤ max_queue) ────────┘
+//!             │    │ yes            │ queue budget / deadline /
+//!             │    ▼                │ cancel expires
+//!             │  SHED (reject-newest, Overloaded{retry_after})   │
+//!             └───────────────────────────────────────────────────┘
+//! ```
+//!
+//! Shedding is **reject-newest**: an arrival that finds the queue full
+//! bounces immediately, so under a steady overload exactly
+//! `arrivals − slots − queue` queries shed — the chaos harness asserts
+//! that count. Queue waits are measured against the federation's
+//! injectable [`Clock`], so queue-budget expiry is deterministic under a
+//! [`ManualClock`](bigdawg_common::ManualClock).
+
+use bigdawg_common::deadline::QueryContext;
+use bigdawg_common::metrics::labeled;
+use bigdawg_common::{Batch, BigDawgError, Clock, MetricsRegistry, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for the admission gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute concurrently.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait for a slot; arrivals beyond this shed.
+    pub max_queue: usize,
+    /// How long one query may wait in the queue before it sheds (also
+    /// capped by the query's own deadline, when it has one).
+    pub queue_budget: Duration,
+    /// When true, a query shed under load may degrade to a
+    /// [`PartialResult`] served from the result cache (stale allowed,
+    /// marked) instead of failing outright.
+    pub degraded_reads: bool,
+}
+
+impl Default for AdmissionConfig {
+    /// 8 concurrent queries, a queue of 16, a 50 ms queue budget, no
+    /// degraded reads.
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent: 8,
+            max_queue: 16,
+            queue_budget: Duration::from_millis(50),
+            degraded_reads: false,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Set the concurrency gate width (clamped to ≥ 1).
+    pub fn with_max_concurrent(mut self, n: usize) -> Self {
+        self.max_concurrent = n.max(1);
+        self
+    }
+
+    /// Set the queue capacity (0 = shed as soon as the gate is full).
+    pub fn with_max_queue(mut self, n: usize) -> Self {
+        self.max_queue = n;
+        self
+    }
+
+    /// Set the per-query queue-time budget.
+    pub fn with_queue_budget(mut self, d: Duration) -> Self {
+        self.queue_budget = d;
+        self
+    }
+
+    /// Enable or disable cache-backed degraded reads for shed queries.
+    pub fn with_degraded_reads(mut self, on: bool) -> Self {
+        self.degraded_reads = on;
+        self
+    }
+}
+
+/// A snapshot of the controller's books.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Queries admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Queries that waited in the queue before a verdict.
+    pub queued: u64,
+    /// Queries shed because the queue was full on arrival.
+    pub shed_queue_full: u64,
+    /// Queries shed because their queue-time budget ran out.
+    pub shed_queue_timeout: u64,
+    /// Queries that left the queue cancelled (deadline or handle).
+    pub cancelled_in_queue: u64,
+}
+
+impl AdmissionStats {
+    /// Total queries shed (queue-full + queue-timeout).
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_queue_timeout
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmState {
+    running: usize,
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// The bounded concurrency gate in front of the executor.
+///
+/// Installed with `BigDawg::set_admission`; every top-level `execute*`
+/// call passes through [`AdmissionController::admit`] and holds the
+/// returned permit for the duration of the query.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+    metrics: Arc<MetricsRegistry>,
+    admitted: AtomicU64,
+    queued: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_queue_timeout: AtomicU64,
+    cancelled_in_queue: AtomicU64,
+}
+
+/// How often a queued waiter re-checks its injected clock while parked.
+/// Pure wall-clock pacing of the *polling*, never of the verdict — the
+/// verdict (admit / shed / cancel) is a function of the injected clock
+/// and the controller state only.
+const QUEUE_POLL: Duration = Duration::from_micros(500);
+
+impl AdmissionController {
+    /// A controller over `config`, reporting into `metrics`.
+    pub fn new(config: AdmissionConfig, metrics: Arc<MetricsRegistry>) -> Self {
+        AdmissionController {
+            config,
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+            metrics,
+            admitted: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_queue_timeout: AtomicU64::new(0),
+            cancelled_in_queue: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this controller enforces.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Current books.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_queue_timeout: self.shed_queue_timeout.load(Ordering::Relaxed),
+            cancelled_in_queue: self.cancelled_in_queue.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The hint attached to [`BigDawgError::Overloaded`]: one queue
+    /// budget is a fair estimate of when a slot frees under a draining
+    /// storm.
+    fn retry_after_hint(&self) -> Duration {
+        self.config.queue_budget.max(Duration::from_micros(100))
+    }
+
+    fn shed_error(&self) -> BigDawgError {
+        BigDawgError::Overloaded {
+            retry_after_hint: self.retry_after_hint(),
+        }
+    }
+
+    /// Ask for an execution slot for the query behind `ctx`, measuring
+    /// queue time against `clock`.
+    ///
+    /// Returns a permit (released on drop) or the structured overload /
+    /// cancellation error. Never blocks past
+    /// `min(queue_budget, ctx.remaining())`.
+    pub fn admit(&self, ctx: &QueryContext, clock: &dyn Clock) -> Result<AdmissionPermit<'_>> {
+        ctx.check()?;
+        let mut st = self.state.lock().unwrap();
+        if st.queue.is_empty() && st.running < self.config.max_concurrent {
+            st.running += 1;
+            self.on_admitted(&st, Duration::ZERO, ctx);
+            return Ok(AdmissionPermit { controller: self });
+        }
+        if st.queue.len() >= self.config.max_queue {
+            // reject-newest: the arrival bounces, the queue keeps its FIFO
+            drop(st);
+            self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .counter(&labeled(
+                    "bigdawg_admission_shed_total",
+                    &[("reason", "queue_full")],
+                ))
+                .inc();
+            return Err(self.shed_error());
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counter("bigdawg_admission_queued_total").inc();
+        self.metrics
+            .gauge("bigdawg_admission_queue_depth")
+            .set(st.queue.len() as i64);
+        let entered = clock.now();
+        let budget = match ctx.remaining() {
+            Some(r) => self.config.queue_budget.min(r),
+            None => self.config.queue_budget,
+        };
+        loop {
+            if st.queue.front() == Some(&ticket) && st.running < self.config.max_concurrent {
+                st.queue.pop_front();
+                st.running += 1;
+                let waited = clock.now().saturating_sub(entered);
+                ctx.set_queue_wait(waited);
+                self.on_admitted(&st, waited, ctx);
+                // the next-in-line may also fit (more than one slot freed)
+                self.cv.notify_all();
+                return Ok(AdmissionPermit { controller: self });
+            }
+            let verdict = if ctx.token().is_cancelled() || ctx.check().is_err() {
+                Some(("cancelled", ctx.check().unwrap_err()))
+            } else if clock.now().saturating_sub(entered) >= budget {
+                Some(("queue_timeout", self.shed_error()))
+            } else {
+                None
+            };
+            if let Some((reason, err)) = verdict {
+                st.queue.retain(|t| *t != ticket);
+                self.metrics
+                    .gauge("bigdawg_admission_queue_depth")
+                    .set(st.queue.len() as i64);
+                drop(st);
+                let counter = if reason == "cancelled" {
+                    &self.cancelled_in_queue
+                } else {
+                    &self.shed_queue_timeout
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .counter(&labeled(
+                        "bigdawg_admission_shed_total",
+                        &[("reason", reason)],
+                    ))
+                    .inc();
+                self.cv.notify_all();
+                return Err(err);
+            }
+            let (next, _) = self.cv.wait_timeout(st, QUEUE_POLL).unwrap();
+            st = next;
+        }
+    }
+
+    fn on_admitted(&self, st: &AdmState, waited: Duration, _ctx: &QueryContext) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .counter("bigdawg_admission_admitted_total")
+            .inc();
+        self.metrics
+            .gauge("bigdawg_admission_inflight")
+            .set(st.running as i64);
+        self.metrics
+            .gauge("bigdawg_admission_queue_depth")
+            .set(st.queue.len() as i64);
+        self.metrics
+            .histogram("bigdawg_admission_queue_wait_microseconds")
+            .record(waited);
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.running = st.running.saturating_sub(1);
+        self.metrics
+            .gauge("bigdawg_admission_inflight")
+            .set(st.running as i64);
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// One granted execution slot; dropping it frees the slot and promotes
+/// the FIFO head.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.controller.release();
+    }
+}
+
+/// The degraded answer `BigDawg::execute_degraded` returns when the full
+/// path cannot: a cache-served batch (possibly stale, and marked so) with
+/// the unreachable leaves named, or — when even the cache is empty — no
+/// batch at all, but still the structured metadata instead of a bare
+/// error.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// The answer, when one was produced (full or cache-served).
+    pub batch: Option<Batch>,
+    /// False when `batch` came from the degraded path (or is absent).
+    pub complete: bool,
+    /// True when the served batch was a stale cache entry (bounded
+    /// staleness: the freshest answer the federation still holds).
+    pub stale: bool,
+    /// Leaves (object → engine) that could not be reached before the
+    /// query was shed or timed out.
+    pub unreachable: Vec<String>,
+    /// The error the full execution path hit, when it was degraded.
+    pub error: Option<BigDawgError>,
+}
+
+impl PartialResult {
+    /// A complete, non-degraded result.
+    pub fn complete(batch: Batch) -> Self {
+        PartialResult {
+            batch: Some(batch),
+            complete: true,
+            stale: false,
+            unreachable: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::deadline::{CancelCause, Deadline};
+    use bigdawg_common::{ManualClock, MonotonicClock};
+
+    fn controller(config: AdmissionConfig) -> AdmissionController {
+        AdmissionController::new(config, Arc::new(MetricsRegistry::new()))
+    }
+
+    #[test]
+    fn gate_admits_up_to_width_then_sheds_when_queue_is_zero() {
+        let c = controller(
+            AdmissionConfig::default()
+                .with_max_concurrent(2)
+                .with_max_queue(0),
+        );
+        let clock = MonotonicClock::new();
+        let ctx = QueryContext::unbounded();
+        let p1 = c.admit(&ctx, &clock).unwrap();
+        let p2 = c.admit(&ctx, &clock).unwrap();
+        // gate full, queue zero: deterministic reject-newest
+        let err = c.admit(&ctx, &clock).unwrap_err();
+        assert_eq!(err.kind(), "overloaded");
+        let BigDawgError::Overloaded { retry_after_hint } = err else {
+            panic!("structured overload expected")
+        };
+        assert!(retry_after_hint > Duration::ZERO);
+        drop(p1);
+        let _p3 = c.admit(&ctx, &clock).unwrap();
+        drop(p2);
+        let stats = c.stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.shed_queue_full, 1);
+        assert_eq!(stats.shed(), 1);
+    }
+
+    #[test]
+    fn queued_query_is_promoted_when_a_slot_frees() {
+        let c = controller(
+            AdmissionConfig::default()
+                .with_max_concurrent(1)
+                .with_max_queue(4)
+                .with_queue_budget(Duration::from_secs(30)),
+        );
+        let clock = MonotonicClock::new();
+        let ctx = QueryContext::unbounded();
+        let p1 = c.admit(&ctx, &clock).unwrap();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let ctx = QueryContext::unbounded();
+                let permit = c.admit(&ctx, &clock).unwrap();
+                (ctx.queue_wait(), permit)
+            });
+            // give the waiter time to park, then free the slot
+            std::thread::sleep(Duration::from_millis(2));
+            drop(p1);
+            let (wait, _permit) = waiter.join().unwrap();
+            assert!(wait > Duration::ZERO, "the wait was measured");
+        });
+        assert_eq!(c.stats().admitted, 2);
+        assert_eq!(c.stats().queued, 1);
+        assert_eq!(c.stats().shed(), 0);
+    }
+
+    #[test]
+    fn queue_budget_expiry_sheds_on_the_injected_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let c = controller(
+            AdmissionConfig::default()
+                .with_max_concurrent(1)
+                .with_max_queue(4)
+                .with_queue_budget(Duration::from_millis(10)),
+        );
+        let ctx = QueryContext::unbounded();
+        let _p1 = c.admit(&ctx, clock.as_ref()).unwrap();
+        std::thread::scope(|s| {
+            let clock2 = Arc::clone(&clock);
+            let c = &c;
+            let waiter = s.spawn(move || {
+                let ctx = QueryContext::unbounded();
+                c.admit(&ctx, clock2.as_ref()).unwrap_err()
+            });
+            std::thread::sleep(Duration::from_millis(2));
+            // time passes only when the test says so
+            clock.advance(Duration::from_millis(10));
+            let err = waiter.join().unwrap();
+            assert_eq!(err.kind(), "overloaded");
+        });
+        assert_eq!(c.stats().shed_queue_timeout, 1);
+    }
+
+    #[test]
+    fn cancelled_waiter_unwinds_out_of_the_queue() {
+        let clock = MonotonicClock::new();
+        let c = controller(
+            AdmissionConfig::default()
+                .with_max_concurrent(1)
+                .with_max_queue(4)
+                .with_queue_budget(Duration::from_secs(30)),
+        );
+        let holder = QueryContext::unbounded();
+        let _p1 = c.admit(&holder, &clock).unwrap();
+        let queued = QueryContext::unbounded();
+        std::thread::scope(|s| {
+            let queued2 = Arc::clone(&queued);
+            let c = &c;
+            let clock = &clock;
+            let waiter = s.spawn(move || c.admit(&queued2, clock).unwrap_err());
+            std::thread::sleep(Duration::from_millis(2));
+            queued.token().cancel(CancelCause::User);
+            let err = waiter.join().unwrap();
+            assert_eq!(err.kind(), "cancelled");
+        });
+        assert_eq!(c.stats().cancelled_in_queue, 1);
+        assert_eq!(c.stats().shed(), 0, "a cancel is not a shed");
+    }
+
+    #[test]
+    fn queue_budget_is_capped_by_the_query_deadline() {
+        let clock = Arc::new(ManualClock::new());
+        let c = controller(
+            AdmissionConfig::default()
+                .with_max_concurrent(1)
+                .with_max_queue(4)
+                .with_queue_budget(Duration::from_secs(30)),
+        );
+        let holder = QueryContext::unbounded();
+        let _p1 = c.admit(&holder, clock.as_ref()).unwrap();
+        // 5 ms of deadline left: the queue wait may not exceed it, even
+        // under a 30 s queue budget
+        let ctx =
+            QueryContext::with_deadline(Deadline::after(clock.clone(), Duration::from_millis(5)));
+        std::thread::scope(|s| {
+            let clock2 = Arc::clone(&clock);
+            let ctx2 = Arc::clone(&ctx);
+            let c = &c;
+            let waiter = s.spawn(move || c.admit(&ctx2, clock2.as_ref()).unwrap_err());
+            std::thread::sleep(Duration::from_millis(2));
+            clock.advance(Duration::from_millis(5));
+            let err = waiter.join().unwrap();
+            // the deadline fires first and is the more precise verdict
+            assert_eq!(err.kind(), "deadline_exceeded");
+        });
+    }
+
+    #[test]
+    fn metrics_mirror_the_stats() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let c = AdmissionController::new(
+            AdmissionConfig::default()
+                .with_max_concurrent(1)
+                .with_max_queue(0),
+            Arc::clone(&metrics),
+        );
+        let clock = MonotonicClock::new();
+        let ctx = QueryContext::unbounded();
+        let p = c.admit(&ctx, &clock).unwrap();
+        let _ = c.admit(&ctx, &clock).unwrap_err();
+        drop(p);
+        assert_eq!(metrics.counter_value("bigdawg_admission_admitted_total"), 1);
+        assert_eq!(
+            metrics.counter_value(&labeled(
+                "bigdawg_admission_shed_total",
+                &[("reason", "queue_full")]
+            )),
+            1
+        );
+        assert_eq!(metrics.gauge("bigdawg_admission_inflight").value(), 0);
+    }
+}

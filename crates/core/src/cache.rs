@@ -406,6 +406,20 @@ impl QueryCache {
         }
     }
 
+    /// Degraded-read lookup: the entry for this query even if its epochs
+    /// are stale, *without* serving it as fresh, dropping it, or touching
+    /// any counter. The overload path uses this to serve a marked-stale
+    /// answer when the full execution path was shed — bounded staleness
+    /// beats no answer, but only when the caller opted in and the result
+    /// says so. Returns the batch and whether it is stale.
+    pub fn peek_degraded(&self, bd: &BigDawg, island: &str, body: &str) -> Option<(Batch, bool)> {
+        let key = CacheKey::new(island, body);
+        let inner = self.inner.lock();
+        let entry = inner.map.get(&key)?;
+        let stale = !epochs_current(bd, &entry.epochs);
+        Some((entry.batch.clone(), stale))
+    }
+
     /// Validated lookup: a present entry whose epoch snapshot no longer
     /// matches the live catalog is dropped here, on read — the "free and
     /// lazy" half of invalidation.
@@ -528,6 +542,10 @@ impl QueryCache {
 /// [`BigDawg::execute_analyzed`] — the returned [`AnalyzedPlan`] carries
 /// the [`CacheStatus`] either way.
 pub(crate) fn execute_cached(bd: &BigDawg, query: &str) -> Result<(Batch, AnalyzedPlan)> {
+    // a cancelled or over-budget query never answers — not even from the
+    // cache; the hit path is instant, but serving it would make a
+    // cancelled query's outcome depend on what happens to be cached
+    bigdawg_common::deadline::check_current()?;
     let started = Instant::now();
     let (island, body) = scope::parse_scope(query)?;
     let _query_span = bd.tracer().span("exec.query", &island);
@@ -568,8 +586,9 @@ pub(crate) fn execute_cached(bd: &BigDawg, query: &str) -> Result<(Batch, Analyz
     if !leader {
         // follower: block until the leader publishes, then share its
         // result — re-validated, because a write may have landed while we
-        // waited
+        // waited (and the wait itself counts against our own deadline)
         let slot = flight.done.lock();
+        bigdawg_common::deadline::check_current()?;
         if let Some((batch, flight_epochs)) = slot.as_ref() {
             if epochs_current(bd, flight_epochs) {
                 cache.counters.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -635,6 +654,9 @@ fn compute(
             gather,
             total: started.elapsed(),
             cache: status,
+            queue_wait: Duration::ZERO,
+            hedge: Default::default(),
+            deadline_slack: None,
         },
     ))
 }
@@ -655,6 +677,9 @@ fn hit_plan(island: &str, body: &str, started: Instant) -> AnalyzedPlan {
         gather: Duration::ZERO,
         total: started.elapsed(),
         cache: CacheStatus::Hit,
+        queue_wait: Duration::ZERO,
+        hedge: Default::default(),
+        deadline_slack: None,
     }
 }
 

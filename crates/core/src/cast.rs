@@ -172,9 +172,10 @@ fn ship_csv(batch: &Batch, wire: Duration, tracer: &Tracer) -> Result<(Batch, Ca
     drop(encode_span);
     let t1 = Instant::now();
     if !wire.is_zero() {
-        // one file, one transfer, strictly between export and import
+        // one file, one transfer, strictly between export and import —
+        // cancellable, so an over-budget query never rides out the wire
         let _wire_span = tracer.span("cast.wire", "file");
-        std::thread::sleep(wire);
+        bigdawg_common::deadline::sleep_cancellable(wire)?;
     }
     let transfer = t1.elapsed();
     let decode_span = tracer.span("cast.decode", "file");
@@ -706,7 +707,7 @@ fn ship_binary(batch: &Batch, wire: Duration) -> Result<(Batch, CastReport)> {
         let header = (len as u64).to_le_bytes();
         let encode = t0.elapsed();
         if !wire.is_zero() {
-            std::thread::sleep(wire);
+            bigdawg_common::deadline::sleep_cancellable(wire)?;
         }
         let t1 = Instant::now();
         let n = u64::from_le_bytes(header) as usize;
@@ -742,6 +743,10 @@ fn ship_binary(batch: &Batch, wire: Duration) -> Result<(Batch, CastReport)> {
         .flat_map(|(c, &(lo, hi))| (0..width).map(move |j| (c * width + j, lo, hi)))
         .collect();
 
+    // the codec workers below have no thread-local query context of their
+    // own, so the caller's is captured once and its deadline-aware sleep
+    // shared — a cancellation wakes every in-flight transfer stream
+    let ctx = bigdawg_common::deadline::current();
     let run_task = |slot: usize, lo: usize, hi: usize| -> Result<PartOutcome> {
         let j = slot % width;
         let t0 = Instant::now();
@@ -749,7 +754,10 @@ fn ship_binary(batch: &Batch, wire: Duration) -> Result<(Batch, CastReport)> {
         let encode = t0.elapsed();
         if !wire.is_zero() {
             // this buffer's own transfer stream; concurrent buffers overlap
-            std::thread::sleep(wire);
+            match &ctx {
+                Some(c) => c.sleep(wire)?,
+                None => std::thread::sleep(wire),
+            }
         }
         let t1 = Instant::now();
         let column = decode_column_part(&buf)?;

@@ -43,7 +43,8 @@ use crate::cast::Transport;
 use crate::monitor::EngineHealth;
 use crate::polystore::BigDawg;
 use crate::scope;
-use bigdawg_common::{Batch, BigDawgError, Result};
+use bigdawg_common::deadline;
+use bigdawg_common::{Batch, BigDawgError, HedgeStats, Result};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -221,6 +222,14 @@ pub struct AnalyzedPlan {
     pub total: Duration,
     /// How the result cache classified this execution.
     pub cache: crate::cache::CacheStatus,
+    /// How long the admission controller queued the query before it ran
+    /// (zero when admission is off or the query was admitted immediately).
+    pub queue_wait: Duration,
+    /// Hedged-read outcomes across the query's replica reads.
+    pub hedge: HedgeStats,
+    /// `(slack, budget)` when the query ran under a deadline: how much of
+    /// the budget was left at the end, and the budget itself.
+    pub deadline_slack: Option<(Duration, Duration)>,
 }
 
 impl fmt::Display for AnalyzedPlan {
@@ -263,6 +272,23 @@ impl fmt::Display for AnalyzedPlan {
         }
         if self.cache != crate::cache::CacheStatus::Disabled {
             writeln!(f, "  cache   {}", self.cache)?;
+        }
+        // overload rows appear only when the feature that produces them is
+        // on, so plans from deadline-free federations render unchanged
+        if !self.queue_wait.is_zero() {
+            writeln!(f, "  queued  {:?} waiting for admission", self.queue_wait)?;
+        }
+        if self.hedge.launched > 0 {
+            writeln!(
+                f,
+                "  hedged  {} read{} raced, {} won by the hedge",
+                self.hedge.launched,
+                if self.hedge.launched == 1 { "" } else { "s" },
+                self.hedge.hedge_wins
+            )?;
+        }
+        if let Some((slack, budget)) = self.deadline_slack {
+            writeln!(f, "  slack   {slack:?} of the {budget:?} deadline budget")?;
         }
         Ok(())
     }
@@ -385,6 +411,9 @@ pub(crate) fn run_measured(
     plan: &Plan,
 ) -> Result<(Batch, Vec<LeafMetrics>, Duration)> {
     let result = scatter(bd, &plan.leaves).and_then(|leaves| {
+        // a deadline that expired during the scatter must not start the
+        // gather: the temps below are dropped either way
+        deadline::check_current()?;
         let gather_started = Instant::now();
         let gather_span = bd.tracer().span("exec.gather", &plan.island);
         let batch = bd.island_execute(&plan.island, &plan.body)?;
@@ -409,6 +438,7 @@ pub(crate) fn run_serial(bd: &BigDawg, plan: &Plan) -> Result<Batch> {
         .iter()
         .try_for_each(|leaf| run_leaf(bd, leaf, Schedule::Serial, parent).map(|_| ()))
         .and_then(|()| {
+            deadline::check_current()?;
             let _gather_span = bd.tracer().span("exec.gather", &plan.island);
             bd.island_execute(&plan.island, &plan.body)
         });
@@ -434,8 +464,11 @@ fn scatter_width() -> usize {
 /// the per-leaf measurements, index-aligned with `leaves`.
 fn scatter(bd: &BigDawg, leaves: &[Leaf]) -> Result<Vec<LeafMetrics>> {
     // the query span lives on this thread's stack; workers parent their
-    // leaf spans under it explicitly since TLS does not cross threads
+    // leaf spans under it explicitly since TLS does not cross threads —
+    // and install the coordinator's query context the same way, so every
+    // blocking point on a worker checks the same token and deadline
     let parent = bd.tracer().current();
+    let ctx = deadline::current();
     match leaves.len() {
         0 => Ok(Vec::new()),
         // degenerate scatter: no threads for a single leaf
@@ -447,23 +480,29 @@ fn scatter(bd: &BigDawg, leaves: &[Leaf]) -> Result<Vec<LeafMetrics>> {
             let runs: Vec<Mutex<Option<LeafMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
             std::thread::scope(|s| {
                 for _ in 0..scatter_width().min(n) {
-                    s.spawn(|| loop {
-                        // after a failure, in-flight leaves finish (no
-                        // engine is left mid-operation) but not-yet-started
-                        // ones are skipped — their temps would be dropped
-                        // unused anyway
-                        if failed() {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(leaf) = leaves.get(i) else { break };
-                        match run_leaf(bd, leaf, Schedule::Parallel, parent) {
-                            Ok(m) => {
-                                *runs[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(m);
+                    let ctx = ctx.clone();
+                    let (next, failure, failed, runs) = (&next, &failure, &failed, &runs);
+                    s.spawn(move || {
+                        let _ctx_guard = ctx.map(deadline::enter);
+                        loop {
+                            // after a failure, in-flight leaves finish (no
+                            // engine is left mid-operation) but
+                            // not-yet-started ones are skipped — their
+                            // temps would be dropped unused anyway
+                            if failed() {
+                                break;
                             }
-                            Err(e) => {
-                                let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
-                                slot.get_or_insert(e);
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(leaf) = leaves.get(i) else { break };
+                            match run_leaf(bd, leaf, Schedule::Parallel, parent) {
+                                Ok(m) => {
+                                    *runs[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(m);
+                                }
+                                Err(e) => {
+                                    let mut slot =
+                                        failure.lock().unwrap_or_else(|p| p.into_inner());
+                                    slot.get_or_insert(e);
+                                }
                             }
                         }
                     });
@@ -511,32 +550,44 @@ impl fmt::Display for LeafLabel<'_> {
 /// feeds the monitor's transport cost model; the returned [`LeafMetrics`]
 /// feed `EXPLAIN ANALYZE`.
 fn run_leaf(bd: &BigDawg, leaf: &Leaf, schedule: Schedule, parent: u64) -> Result<LeafMetrics> {
+    deadline::check_current()?;
     let _leaf_span = bd.tracer().span_under(parent, "exec.leaf", LeafLabel(leaf));
     let started = Instant::now();
-    let (report, retries) = match &leaf.source {
-        LeafSource::Object(object) => bd.cast_object_attempts(
-            object,
-            &leaf.target_engine,
-            &leaf.temp,
-            leaf.transport,
-            true,
-        )?,
-        LeafSource::SubQuery(query) => {
-            let batch = match schedule {
-                Schedule::Parallel => execute(bd, query)?,
-                Schedule::Serial => scope::execute(bd, query)?,
-            };
-            bd.materialize_attempts(batch, &leaf.target_engine, &leaf.temp, leaf.transport)?
+    let result = (|| {
+        let (report, retries) = match &leaf.source {
+            LeafSource::Object(object) => bd.cast_object_attempts(
+                object,
+                &leaf.target_engine,
+                &leaf.temp,
+                leaf.transport,
+                true,
+            )?,
+            LeafSource::SubQuery(query) => {
+                let batch = match schedule {
+                    Schedule::Parallel => execute(bd, query)?,
+                    Schedule::Serial => scope::execute(bd, query)?,
+                };
+                bd.materialize_attempts(batch, &leaf.target_engine, &leaf.temp, leaf.transport)?
+            }
+        };
+        bd.monitor().lock().record_cast(&report);
+        Ok(LeafMetrics {
+            rows: report.rows,
+            wire_bytes: report.wire_bytes,
+            transport: report.transport,
+            retries,
+            wall: started.elapsed(),
+        })
+    })();
+    // leaf wall time feeds the query context win or lose: a deadline error
+    // names the slowest leaf, and an abandoned leaf is usually it
+    if let Some(ctx) = deadline::current() {
+        ctx.note_leaf(&LeafLabel(leaf).to_string(), started.elapsed());
+        if result.is_err() {
+            ctx.note_unreachable(&LeafLabel(leaf).to_string());
         }
-    };
-    bd.monitor().lock().record_cast(&report);
-    Ok(LeafMetrics {
-        rows: report.rows,
-        wire_bytes: report.wire_bytes,
-        transport: report.transport,
-        retries,
-        wall: started.elapsed(),
-    })
+    }
+    result
 }
 
 #[cfg(test)]

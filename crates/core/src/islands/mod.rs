@@ -63,7 +63,9 @@ pub(crate) fn retry_island_attempts(
                 let pause = policy.backoff(attempt_no, 0x15_1a_4d);
                 bd.retry_observer("island").retrying(attempt_no, pause, &e);
                 if !pause.is_zero() {
-                    std::thread::sleep(pause);
+                    // deadline-clamped: a cancelled query stops retrying
+                    // here instead of riding out its backoff
+                    bigdawg_common::deadline::sleep_cancellable(pause)?;
                 }
             }
             other => return other,

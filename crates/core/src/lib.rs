@@ -34,6 +34,9 @@
 //!   placements (replicas and moves) versioned by catalog epochs, so
 //!   repeat workloads converge onto co-located copies and skip the CAST
 //!   round-trip entirely;
+//! * [`admission`] — the admission controller: a bounded concurrency gate
+//!   with a FIFO queue and deterministic reject-newest load shedding, the
+//!   front door every top-level query passes through when enabled;
 //! * [`retry`] — the fault-tolerance layer: opt-in [`RetryPolicy`] with
 //!   deterministic seeded backoff, replica failover for reads, and the
 //!   per-engine circuit breakers (state machine in [`monitor`]) that let
@@ -48,6 +51,7 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod cast;
 pub mod catalog;
@@ -61,12 +65,13 @@ pub mod scope;
 pub mod shim;
 pub mod shims;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, PartialResult};
 pub use cache::{CachePolicy, CacheStats, CacheStatus, QueryCache};
 pub use cast::Transport;
 pub use catalog::{Catalog, ObjectKind};
 pub use exec::{AnalyzedPlan, LeafMetrics, Plan};
 pub use migrate::{MigrationPolicy, Migrator};
-pub use monitor::{BreakerBoard, BreakerConfig, BreakerState, EngineHealth};
-pub use polystore::BigDawg;
+pub use monitor::{BreakerBoard, BreakerConfig, BreakerState, EngineHealth, LatencyBoard};
+pub use polystore::{BigDawg, QueryHandle};
 pub use retry::RetryPolicy;
 pub use shim::{Capability, EngineKind, Shim};

@@ -539,6 +539,58 @@ impl BreakerBoard {
     }
 }
 
+/// Minimum samples a `(engine, class)` pair needs before its p99 is
+/// trusted as a hedging threshold. Below this the tail estimate is noise
+/// and hedging would fire on cold engines.
+const HEDGE_MIN_SAMPLES: u64 = 8;
+
+/// Per-engine **read** latency distributions, shared between the monitor
+/// (planning) and the replica-read path (hedging decisions).
+///
+/// Like the [`BreakerBoard`], the latency board carries its own lock
+/// instead of living under the monitor's mutex: `read_object_copy` both
+/// *consults* the board (should this read hedge?) and *feeds* it (every
+/// completed read records its latency), and it runs on paths that may
+/// already hold the monitor lock (`apply_recommendations` drives
+/// migration copies while holding it). Every board operation locks,
+/// updates, and unlocks without calling out, keeping the lock order
+/// monitor → board.
+#[derive(Debug, Default)]
+pub struct LatencyBoard {
+    inner: parking_lot::Mutex<HashMap<(String, QueryClass), LatencyHistogram>>,
+}
+
+impl LatencyBoard {
+    /// Record one completed replica read of `class` against `engine`.
+    pub fn record_read(&self, engine: &str, class: QueryClass, latency: Duration) {
+        self.inner
+            .lock()
+            .entry((engine.to_string(), class))
+            .or_default()
+            .record(latency);
+    }
+
+    /// Samples recorded for `(engine, class)`.
+    pub fn read_count(&self, engine: &str, class: QueryClass) -> u64 {
+        self.inner
+            .lock()
+            .get(&(engine.to_string(), class))
+            .map_or(0, LatencyHistogram::count)
+    }
+
+    /// The p99 read latency for `(engine, class)`, once at least
+    /// [`HEDGE_MIN_SAMPLES`](self) samples exist — the threshold a hedged
+    /// read waits for the primary copy before racing a second one.
+    pub fn read_p99(&self, engine: &str, class: QueryClass) -> Option<Duration> {
+        let inner = self.inner.lock();
+        let h = inner.get(&(engine.to_string(), class))?;
+        if h.count() < HEDGE_MIN_SAMPLES {
+            return None;
+        }
+        h.quantile(0.99)
+    }
+}
+
 /// The workload monitor. Keeps a sliding window of recent events so that
 /// *shifts* in the workload change the recommendation (old history ages
 /// out).
@@ -556,6 +608,9 @@ pub struct Monitor {
     /// with the federation's data paths — see [`BreakerBoard`] for why the
     /// board carries its own lock instead of living under the monitor's.
     breakers: std::sync::Arc<BreakerBoard>,
+    /// Hedging signal: per-(engine, class) read-latency distributions,
+    /// shared with the replica-read path — see [`LatencyBoard`].
+    read_latency: std::sync::Arc<LatencyBoard>,
 }
 
 impl Default for Monitor {
@@ -579,7 +634,15 @@ impl Monitor {
             transports: HashMap::new(),
             ships: HashMap::new(),
             breakers: std::sync::Arc::new(BreakerBoard::default()),
+            read_latency: std::sync::Arc::new(LatencyBoard::default()),
         }
+    }
+
+    /// The shared read-latency board (hedging thresholds). Cloning the
+    /// `Arc` lets the read path record and consult latencies without
+    /// taking the monitor lock.
+    pub fn latency_board(&self) -> std::sync::Arc<LatencyBoard> {
+        std::sync::Arc::clone(&self.read_latency)
     }
 
     /// Record one query execution. The event enters the sliding window

@@ -1,21 +1,28 @@
 //! The polystore façade: engines + catalog + islands + monitor + migrator.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats, PartialResult};
 use crate::cache::{CachePolicy, CacheStats, QueryCache};
 use crate::cast::{ship_with_wire_traced, CastReport, Transport};
 use crate::catalog::{Catalog, ObjectEntry, ObjectKind};
 use crate::exec;
 use crate::islands;
 use crate::migrate::{MigrationPolicy, Migrator};
-use crate::monitor::{BoardObserver, BreakerBoard, EngineHealth, Monitor, QueryClass};
+use crate::monitor::{
+    BoardObserver, BreakerBoard, EngineHealth, LatencyBoard, Monitor, QueryClass,
+};
 use crate::retry::{self, RetryObserver, RetryPolicy};
 use crate::scope;
 use crate::shim::{EngineKind, Shim};
+use bigdawg_common::deadline::{self, CancelCause, CancelToken, Deadline, QueryContext};
 use bigdawg_common::metrics::labeled;
-use bigdawg_common::{Batch, BigDawgError, Clock, MetricsRegistry, Result, TraceSink, Tracer};
+use bigdawg_common::{
+    Batch, BigDawgError, Clock, MetricsRegistry, MonotonicClock, Result, TraceSink, Tracer,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The federation is shared across scatter workers by reference, so it must
 /// stay `Send + Sync`; this fails to compile if a field ever regresses that.
@@ -72,6 +79,20 @@ pub struct BigDawg {
     /// The epoch-validated result cache. `None` (off) by default; see
     /// [`BigDawg::set_result_cache`].
     result_cache: RwLock<Option<Arc<QueryCache>>>,
+    /// The clock deadlines and queue budgets are measured against —
+    /// monotonic wall time by default, injectable for deterministic
+    /// overload tests ([`BigDawg::set_query_clock`]).
+    query_clock: RwLock<Arc<dyn Clock>>,
+    /// Per-query time budget applied to every top-level query. `None`
+    /// (unbounded) by default; see [`BigDawg::set_deadline`].
+    deadline_budget: RwLock<Option<Duration>>,
+    /// The admission gate in front of the executor. `None` (every query
+    /// admitted) by default; see [`BigDawg::set_admission`].
+    admission: RwLock<Option<Arc<AdmissionController>>>,
+    /// The monitor's read-latency board, shared with the replica-read
+    /// path the same way the breaker board is — hedging thresholds must
+    /// not take the monitor lock.
+    latency_board: Arc<LatencyBoard>,
 }
 
 /// Panic-safe release of a [`BigDawg::begin_placement`] mark: placements
@@ -85,6 +106,42 @@ struct PlacementGuard<'a> {
 impl Drop for PlacementGuard<'_> {
     fn drop(&mut self) {
         self.bd.placements_in_flight.lock().remove(&self.object);
+    }
+}
+
+/// A caller-held cancellation handle for one query (or several — a handle
+/// may be reused, but its cancellation is sticky). Clone it into another
+/// thread and call [`QueryHandle::cancel`] to make every blocking point
+/// of the running query unwind cooperatively.
+///
+/// ```
+/// use bigdawg_core::BigDawg;
+///
+/// let bd = BigDawg::new();
+/// let handle = bd.query_handle();
+/// handle.cancel();
+/// assert!(handle.is_cancelled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryHandle {
+    token: Arc<CancelToken>,
+}
+
+impl QueryHandle {
+    /// Cancel the query. Sticky and thread-safe; parked sleeps wake
+    /// immediately.
+    pub fn cancel(&self) {
+        self.token.cancel(CancelCause::User);
+    }
+
+    /// Has this handle been cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// The underlying shared token.
+    pub fn token(&self) -> &Arc<CancelToken> {
+        &self.token
     }
 }
 
@@ -108,6 +165,7 @@ impl BigDawg {
     pub fn new() -> Self {
         let monitor = Monitor::new();
         let breakers = monitor.breaker_board();
+        let latency_board = monitor.latency_board();
         let tracer = Tracer::new();
         let metrics = Arc::new(MetricsRegistry::new());
         // breaker state transitions happen inside the board (the only place
@@ -131,6 +189,10 @@ impl BigDawg {
             tracer,
             metrics,
             result_cache: RwLock::new(None),
+            query_clock: RwLock::new(Arc::new(MonotonicClock::new())),
+            deadline_budget: RwLock::new(None),
+            admission: RwLock::new(None),
+            latency_board,
         }
     }
 
@@ -535,6 +597,7 @@ impl BigDawg {
         object: &str,
         prefer: Option<&str>,
     ) -> Result<(Batch, std::time::Duration, String)> {
+        deadline::check_current()?;
         let entry = self.placement(object)?;
         let policy = self.retry_policy();
         let mut candidates: Vec<String> = Vec::new();
@@ -563,31 +626,38 @@ impl BigDawg {
         }
         let mut failures: Vec<(String, BigDawgError)> = Vec::new();
         let mut last_not_found = None;
-        for source in &candidates {
-            let egress = self.tracer.span("cast.egress", source);
-            let (got, wire) = {
-                let guard = self.engine(source)?.lock();
-                (guard.get_table(object), guard.wire_latency())
-            };
-            drop(egress);
-            match got {
-                Ok(batch) => {
-                    self.count_engine_op(source, "read", false);
-                    self.breakers.record_success(source);
-                    return Ok((batch, wire, source.clone()));
-                }
-                Err(e @ BigDawgError::NotFound(_)) => {
-                    self.count_engine_op(source, "read", false);
-                    last_not_found = Some(e);
-                }
-                Err(e) => {
-                    let transient = retry::is_transient(&e);
-                    self.count_engine_op(source, "read", transient);
-                    if transient {
-                        self.breakers.record_failure(source);
+        let mut start = 0;
+        if policy.hedging && candidates.len() >= 2 {
+            // hedge only once the preferred source has a trustworthy tail
+            // estimate; a cold board reads plain
+            if let Some(threshold) = self.latency_board.read_p99(&candidates[0], READ_CLASS) {
+                start = 2;
+                match self.read_hedged(object, &candidates[0], &candidates[1], threshold) {
+                    Ok(won) => return Ok(won),
+                    Err(racer_failures) => {
+                        for (source, e) in racer_failures {
+                            match e {
+                                e @ (BigDawgError::DeadlineExceeded(_)
+                                | BigDawgError::Cancelled(_)) => return Err(e),
+                                e @ BigDawgError::NotFound(_) => last_not_found = Some(e),
+                                e => failures.push((source, e)),
+                            }
+                        }
                     }
-                    failures.push((source.clone(), e));
                 }
+            }
+        }
+        for source in &candidates[start..] {
+            match self.read_one_copy(object, source) {
+                Ok((batch, wire)) => return Ok((batch, wire, source.clone())),
+                // a cancelled or over-budget query must unwind as exactly
+                // that — never diluted into an aggregate execution error
+                // (which would read as transient and be retried)
+                Err(e @ (BigDawgError::DeadlineExceeded(_) | BigDawgError::Cancelled(_))) => {
+                    return Err(e)
+                }
+                Err(e @ BigDawgError::NotFound(_)) => last_not_found = Some(e),
+                Err(e) => failures.push((source.clone(), e)),
             }
         }
         match (failures.len(), last_not_found) {
@@ -600,10 +670,148 @@ impl BigDawg {
                 "read of `{object}` failed on every attempted copy: {}",
                 failures
                     .iter()
-                    .map(|(engine, e)| format!("{engine} ({e})"))
+                    .map(|(engine, e)| summarize_failure(engine, e))
                     .collect::<Vec<_>>()
                     .join("; ")
             ))),
+        }
+    }
+
+    /// Read `object` from one specific engine, with all the per-op
+    /// bookkeeping in one place: op counters, breaker feedback, and (on
+    /// success) the read-latency board that drives hedging thresholds.
+    fn read_one_copy(&self, object: &str, source: &str) -> Result<(Batch, std::time::Duration)> {
+        let egress = self.tracer.span("cast.egress", source);
+        let started = std::time::Instant::now();
+        let (got, wire) = {
+            let guard = self.engine(source)?.lock();
+            (guard.get_table(object), guard.wire_latency())
+        };
+        drop(egress);
+        match got {
+            Ok(batch) => {
+                self.count_engine_op(source, "read", false);
+                self.breakers.record_success(source);
+                self.latency_board
+                    .record_read(source, READ_CLASS, started.elapsed());
+                Ok((batch, wire))
+            }
+            Err(e @ BigDawgError::NotFound(_)) => {
+                self.count_engine_op(source, "read", false);
+                Err(e)
+            }
+            Err(e) => {
+                let transient = retry::is_transient(&e);
+                self.count_engine_op(source, "read", transient);
+                if transient {
+                    self.breakers.record_failure(source);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// A hedged replica read: start the preferred copy, and if it has not
+    /// answered within `threshold` (the board's p99 for that engine),
+    /// race a second copy — first result wins, the loser's token is
+    /// cancelled so its emulated wire sleeps unwind instead of running to
+    /// completion.
+    ///
+    /// Each racer runs under a child context that *shares the parent's
+    /// deadline* (so an expiring budget fails both racers fast) but
+    /// carries its own token (so cancelling the loser cannot cancel the
+    /// query). On a double failure the racers' errors are returned for
+    /// the caller's ordinary sweep to aggregate.
+    #[allow(clippy::type_complexity)]
+    fn read_hedged(
+        &self,
+        object: &str,
+        primary: &str,
+        hedge: &str,
+        threshold: std::time::Duration,
+    ) -> std::result::Result<(Batch, std::time::Duration, String), Vec<(String, BigDawgError)>>
+    {
+        use std::sync::mpsc;
+        let parent_deadline = deadline::current().and_then(|c| c.deadline().cloned());
+        let racer_ctx =
+            |token: Arc<CancelToken>| QueryContext::with_token(token, parent_deadline.clone());
+        let primary_token = CancelToken::new();
+        let hedge_token = CancelToken::new();
+        let mut failures: Vec<(String, BigDawgError)> = Vec::new();
+        let result = std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel();
+            {
+                let tx = tx.clone();
+                let ctx = racer_ctx(Arc::clone(&primary_token));
+                let source = primary.to_string();
+                s.spawn(move || {
+                    let _g = deadline::enter(ctx);
+                    let outcome = self.read_one_copy(object, &source);
+                    let _ = tx.send((source, outcome));
+                });
+            }
+            let first = match rx.recv_timeout(threshold) {
+                Ok(msg) => Some(msg),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("the primary racer always sends")
+                }
+            };
+            if let Some((source, outcome)) = first {
+                // the primary resolved inside its p99: no race needed; a
+                // fast failure falls through to a plain read of the
+                // would-be hedge copy
+                match outcome {
+                    Ok((batch, wire)) => return Ok((batch, wire, source)),
+                    Err(e) => failures.push((source, e)),
+                }
+                match self.read_one_copy(object, hedge) {
+                    Ok((batch, wire)) => return Ok((batch, wire, hedge.to_string())),
+                    Err(e) => {
+                        failures.push((hedge.to_string(), e));
+                        return Err(());
+                    }
+                }
+            }
+            // slow primary: race the second copy
+            if let Some(ctx) = deadline::current() {
+                ctx.note_hedge_launched();
+            }
+            self.metrics.counter("bigdawg_hedge_launched_total").inc();
+            {
+                let tx = tx.clone();
+                let ctx = racer_ctx(Arc::clone(&hedge_token));
+                let source = hedge.to_string();
+                s.spawn(move || {
+                    let _g = deadline::enter(ctx);
+                    let outcome = self.read_one_copy(object, &source);
+                    let _ = tx.send((source, outcome));
+                });
+            }
+            for _ in 0..2 {
+                let (source, outcome) = rx.recv().expect("both racers send exactly once");
+                match outcome {
+                    Ok((batch, wire)) => {
+                        // first success wins; the loser is cancelled so
+                        // its wire sleeps wake instead of running out
+                        primary_token.cancel(CancelCause::User);
+                        hedge_token.cancel(CancelCause::User);
+                        if source == hedge {
+                            if let Some(ctx) = deadline::current() {
+                                ctx.note_hedge_win();
+                            }
+                            self.metrics.counter("bigdawg_hedge_wins_total").inc();
+                        }
+                        return Ok((batch, wire, source));
+                    }
+                    Err(e) => failures.push((source, e)),
+                }
+            }
+            Err(())
+        });
+        match result {
+            Ok(won) => Ok(won),
+            Err(()) => Err(failures),
         }
     }
 
@@ -854,6 +1062,16 @@ impl BigDawg {
             report
         };
 
+        // a cancellation (or deadline) observed between copy and commit
+        // aborts *pre-commit*: the target copy is dropped, the catalog —
+        // and therefore the epoch protocol — is untouched
+        if let Err(e) = deadline::check_current() {
+            if !promoting {
+                self.drop_or_orphan(to_engine, object);
+            }
+            return Err(e);
+        }
+
         // 2. commit, guarded by the placement epoch
         {
             let _commit_span = self
@@ -974,6 +1192,12 @@ impl BigDawg {
             }
         };
         self.clear_orphan(to_engine, object);
+        // cancelled mid-replication: discard the landed copy pre-commit,
+        // leaving the catalog (and its epochs) untouched
+        if let Err(e) = deadline::check_current() {
+            self.drop_or_orphan(to_engine, object);
+            return Err(e);
+        }
         {
             let _commit_span = self
                 .tracer
@@ -1116,35 +1340,111 @@ impl BigDawg {
     /// executor ([`crate::exec`]); use [`BigDawg::execute_serial`] for the
     /// one-at-a-time reference schedule. When auto-migration is enabled
     /// ([`BigDawg::set_auto_migrate`]), a migrator cycle follows the query.
+    ///
+    /// When a deadline ([`BigDawg::set_deadline`]) or admission gate
+    /// ([`BigDawg::set_admission`]) is configured, the query runs under a
+    /// [`QueryContext`] every blocking point checks; see
+    /// [`BigDawg::execute_with`] for caller-side cancellation.
     pub fn execute(&self, query: &str) -> Result<Batch> {
-        let started = std::time::Instant::now();
-        let result = exec::execute(self, query);
-        self.record_query_metrics("parallel", started, result.is_ok());
-        self.maybe_auto_migrate();
-        result
+        self.run_query("parallel", None, || exec::execute(self, query))
+            .0
     }
 
     /// Execute a SCOPE/CAST query materializing CAST terms serially — the
     /// reference schedule the federation benchmark compares against. Also
-    /// triggers auto-migration, like [`BigDawg::execute`].
+    /// triggers auto-migration, like [`BigDawg::execute`], and runs under
+    /// the same deadline and admission gate.
     pub fn execute_serial(&self, query: &str) -> Result<Batch> {
-        let started = std::time::Instant::now();
-        let result = scope::execute(self, query);
-        self.record_query_metrics("serial", started, result.is_ok());
-        self.maybe_auto_migrate();
-        result
+        self.run_query("serial", None, || scope::execute(self, query))
+            .0
     }
 
     /// Like [`BigDawg::execute`], but also returns the executed plan
     /// annotated with measured per-leaf wall time, rows, wire bytes, the
-    /// transport actually used, and retry counts — `EXPLAIN ANALYZE` for
-    /// the federation.
+    /// transport actually used, retry counts, and — when the overload
+    /// machinery is on — admission queue wait, hedged-read outcomes, and
+    /// remaining deadline slack: `EXPLAIN ANALYZE` for the federation.
     pub fn execute_analyzed(&self, query: &str) -> Result<(Batch, exec::AnalyzedPlan)> {
+        let (result, ctx) =
+            self.run_query("parallel", None, || exec::execute_analyzed(self, query));
+        result.map(|(batch, mut plan)| {
+            if let Some(ctx) = ctx {
+                plan.queue_wait = ctx.queue_wait();
+                plan.hedge = ctx.hedge_stats();
+                plan.deadline_slack = ctx.deadline().map(|d| (d.remaining(), d.budget()));
+            }
+            (batch, plan)
+        })
+    }
+
+    /// Run one top-level query under a fresh [`QueryContext`]: arm the
+    /// configured deadline, pass the admission gate, install the context
+    /// for the duration of `f`, and fold context state (slowest leaf,
+    /// deadline cause) into the final error. A call that is already inside
+    /// a query context (a leaf's nested sub-query) inherits the outer
+    /// context untouched — re-entering the admission gate from inside an
+    /// admitted query would deadlock it against itself.
+    fn run_query<T>(
+        &self,
+        schedule: &'static str,
+        token: Option<Arc<CancelToken>>,
+        f: impl FnOnce() -> Result<T>,
+    ) -> (Result<T>, Option<Arc<QueryContext>>) {
+        if deadline::current().is_some() {
+            return (f(), None);
+        }
         let started = std::time::Instant::now();
-        let result = exec::execute_analyzed(self, query);
-        self.record_query_metrics("parallel", started, result.is_ok());
+        let clock = self.query_clock();
+        let budget = *self.deadline_budget.read();
+        let armed = budget.map(|b| Deadline::after(Arc::clone(&clock), b));
+        let ctx = QueryContext::with_token(token.unwrap_or_default(), armed);
+        let admission = self.admission.read().clone();
+        let permit = match admission.as_deref() {
+            Some(gate) => {
+                let queue_span = self.tracer.span("admission.queue", schedule);
+                match gate.admit(&ctx, clock.as_ref()) {
+                    Ok(permit) => {
+                        drop(queue_span);
+                        Some(permit)
+                    }
+                    Err(e) => {
+                        drop(queue_span);
+                        let e = self.finish_query_error(e, &ctx);
+                        self.record_query_metrics(schedule, started, false);
+                        return (Err(e), Some(ctx));
+                    }
+                }
+            }
+            None => None,
+        };
+        let guard = deadline::enter(Arc::clone(&ctx));
+        let result = f();
+        drop(guard);
+        drop(permit);
+        let result = result.map_err(|e| self.finish_query_error(e, &ctx));
+        self.record_query_metrics(schedule, started, result.is_ok());
         self.maybe_auto_migrate();
-        result
+        (result, Some(ctx))
+    }
+
+    /// Final bookkeeping on a query-level error: a deadline error is
+    /// counted, named after the slowest leaf observed (the usual culprit),
+    /// and emitted as an `exec.deadline` trace event.
+    fn finish_query_error(&self, e: BigDawgError, ctx: &QueryContext) -> BigDawgError {
+        match e {
+            BigDawgError::DeadlineExceeded(msg) => {
+                self.metrics
+                    .counter("bigdawg_deadline_exceeded_total")
+                    .inc();
+                let msg = match ctx.slowest_leaf() {
+                    Some((leaf, wall)) => format!("{msg}; slowest leaf: {leaf} ({wall:?})"),
+                    None => msg,
+                };
+                self.tracer.event("exec.deadline", format_args!("{msg}"));
+                BigDawgError::DeadlineExceeded(msg)
+            }
+            other => other,
+        }
     }
 
     /// Run the query and return only the annotated plan (the result batch
@@ -1240,6 +1540,128 @@ impl BigDawg {
         islands::island_names(self)
     }
 
+    // ---- overload & deadlines -------------------------------------------------
+
+    /// Apply a per-query time budget to every top-level query (`None`
+    /// disables). An over-budget query cancels its own token, so every
+    /// worker, wire sleep, and retry backoff of that query unwinds
+    /// cooperatively; the error names the slowest leaf. Budgets are
+    /// measured against the federation's query clock
+    /// ([`BigDawg::set_query_clock`]).
+    pub fn set_deadline(&self, budget: Option<Duration>) {
+        *self.deadline_budget.write() = budget;
+    }
+
+    /// The per-query deadline budget, if one is configured.
+    pub fn deadline(&self) -> Option<Duration> {
+        *self.deadline_budget.read()
+    }
+
+    /// Install (or remove, with `None`) the admission gate in front of
+    /// the executor: at most `max_concurrent` queries run at once, at
+    /// most `max_queue` wait (FIFO, each for at most `queue_budget`), and
+    /// everything beyond that sheds deterministically with
+    /// [`BigDawgError::Overloaded`] and a retry hint.
+    pub fn set_admission(&self, config: Option<AdmissionConfig>) {
+        *self.admission.write() =
+            config.map(|c| Arc::new(AdmissionController::new(c, Arc::clone(&self.metrics))));
+    }
+
+    /// The installed admission configuration, if any.
+    pub fn admission_config(&self) -> Option<AdmissionConfig> {
+        self.admission.read().as_ref().map(|a| *a.config())
+    }
+
+    /// Counter snapshot of the admission gate (`None` when admission is
+    /// off). The same numbers are exported as `bigdawg_admission_*`
+    /// metrics.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.read().as_ref().map(|a| a.stats())
+    }
+
+    /// Replace the clock deadlines and queue budgets are measured
+    /// against. Inject a [`bigdawg_common::ManualClock`] for overload
+    /// tests that must not depend on wall time.
+    pub fn set_query_clock(&self, clock: Arc<dyn Clock>) {
+        *self.query_clock.write() = clock;
+    }
+
+    /// The clock deadlines and queue budgets are measured against.
+    pub fn query_clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.query_clock.read())
+    }
+
+    /// A cancellation handle for use with [`BigDawg::execute_with`]: the
+    /// holder can cancel the query from any thread while it runs.
+    pub fn query_handle(&self) -> QueryHandle {
+        QueryHandle {
+            token: CancelToken::new(),
+        }
+    }
+
+    /// [`BigDawg::execute`] under a caller-held [`QueryHandle`]:
+    /// cancelling the handle — from any thread, at any point — makes
+    /// every blocking point of the query unwind cooperatively with
+    /// [`BigDawgError::Cancelled`], temporaries cleaned up.
+    pub fn execute_with(&self, query: &str, handle: &QueryHandle) -> Result<Batch> {
+        self.run_query("parallel", Some(Arc::clone(&handle.token)), || {
+            exec::execute(self, query)
+        })
+        .0
+    }
+
+    /// [`BigDawg::execute`] with graceful degradation: when the full
+    /// path is shed ([`BigDawgError::Overloaded`]), times out, or is
+    /// cancelled — and the admission config opted into
+    /// `degraded_reads` — the query is served from the result cache
+    /// instead (stale entries allowed, and marked), with the unreachable
+    /// leaves named in the metadata. Errors outside the overload family,
+    /// or with degraded reads off, pass through unchanged.
+    pub fn execute_degraded(&self, query: &str) -> Result<PartialResult> {
+        let (result, ctx) = self.run_query("parallel", None, || exec::execute(self, query));
+        let err = match result {
+            Ok(batch) => return Ok(PartialResult::complete(batch)),
+            Err(e) => e,
+        };
+        let degraded_on = self.admission_config().is_some_and(|c| c.degraded_reads);
+        let sheddable = matches!(
+            err,
+            BigDawgError::Overloaded { .. }
+                | BigDawgError::DeadlineExceeded(_)
+                | BigDawgError::Cancelled(_)
+        );
+        if !degraded_on || !sheddable {
+            return Err(err);
+        }
+        let unreachable = ctx.map(|c| c.unreachable()).unwrap_or_default();
+        let (island, body) = scope::parse_scope(query)?;
+        let served = self
+            .result_cache()
+            .and_then(|cache| cache.peek_degraded(self, &island, &body));
+        self.metrics
+            .counter(&labeled(
+                "bigdawg_degraded_total",
+                &[("served", if served.is_some() { "cache" } else { "none" })],
+            ))
+            .inc();
+        match served {
+            Some((batch, stale)) => Ok(PartialResult {
+                batch: Some(batch),
+                complete: false,
+                stale,
+                unreachable,
+                error: Some(err),
+            }),
+            None => Ok(PartialResult {
+                batch: None,
+                complete: false,
+                stale: false,
+                unreachable,
+                error: Some(err),
+            }),
+        }
+    }
+
     // ---- fault tolerance ------------------------------------------------------
 
     /// Install the federation-wide [`RetryPolicy`] governing transient
@@ -1318,6 +1740,37 @@ impl BigDawg {
     /// (binary until measured history says otherwise).
     pub fn preferred_transport(&self) -> Transport {
         self.monitor.lock().preferred_transport()
+    }
+}
+
+/// The query class replica reads are booked under on the latency board.
+/// Object ships are row scans regardless of what the gather node computes,
+/// so one class keeps the hedging histogram dense instead of splitting the
+/// same physical operation across classes.
+const READ_CLASS: QueryClass = QueryClass::SqlFilter;
+
+/// How much of one engine's failure text survives into the aggregate
+/// failover error.
+const FAILURE_SNIPPET_CHARS: usize = 160;
+
+/// One engine's failure rendered for the aggregate failover error: first
+/// line only, bounded length, with an elision count. Failover errors can
+/// nest (a retried cast wraps the previous sweep's aggregate), so quoting
+/// messages verbatim grows the error geometrically across attempts — the
+/// cap keeps it O(engines).
+fn summarize_failure(engine: &str, e: &BigDawgError) -> String {
+    let text = e.to_string();
+    let mut lines = text.lines();
+    let first = lines.next().unwrap_or("").trim_end();
+    let elided_lines = lines.count();
+    let mut snippet: String = first.chars().take(FAILURE_SNIPPET_CHARS).collect();
+    if first.chars().count() > FAILURE_SNIPPET_CHARS {
+        snippet.push('…');
+    }
+    if elided_lines > 0 {
+        format!("{engine} ({snippet} [+{elided_lines} more lines elided])")
+    } else {
+        format!("{engine} ({snippet})")
     }
 }
 

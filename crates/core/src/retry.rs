@@ -21,8 +21,8 @@
 //! fault fails the operation" rely on that default; resilience is opt-in.
 
 use bigdawg_common::metrics::labeled;
-use bigdawg_common::{BigDawgError, MetricsRegistry, Result, Tracer};
-use std::time::{Duration, Instant};
+use bigdawg_common::{BigDawgError, Clock, MetricsRegistry, MonotonicClock, Result, Tracer};
+use std::time::Duration;
 
 /// How the federation responds to transient failures.
 ///
@@ -45,6 +45,11 @@ pub struct RetryPolicy {
     /// catalog placement (primary or replica) after the chosen source
     /// fails, instead of failing the query.
     pub failover: bool,
+    /// When true, a replica read that runs past the monitor's p99 for its
+    /// engine races a second copy and takes the first result, cancelling
+    /// the loser (tail-latency hedging). Off by default; needs `failover`
+    /// placements to have anything to race.
+    pub hedging: bool,
     /// Seed for the deterministic backoff jitter stream.
     pub jitter_seed: u64,
 }
@@ -65,6 +70,7 @@ impl RetryPolicy {
             max_backoff: Duration::ZERO,
             budget: None,
             failover: true,
+            hedging: false,
             jitter_seed: 0,
         }
         .with_failover(false)
@@ -79,6 +85,7 @@ impl RetryPolicy {
             max_backoff: Duration::from_millis(5),
             budget: Some(Duration::from_millis(250)),
             failover: true,
+            hedging: false,
             jitter_seed,
         }
     }
@@ -105,6 +112,13 @@ impl RetryPolicy {
     /// Enable or disable replica failover for reads.
     pub fn with_failover(mut self, failover: bool) -> Self {
         self.failover = failover;
+        self
+    }
+
+    /// Enable or disable hedged reads (racing a second replica when the
+    /// first read runs past the monitor's p99 for its engine).
+    pub fn with_hedging(mut self, hedging: bool) -> Self {
+        self.hedging = hedging;
         self
     }
 
@@ -216,24 +230,58 @@ pub(crate) fn with_retry_observed<T>(
     policy: &RetryPolicy,
     key: u64,
     observer: Option<&RetryObserver<'_>>,
+    op: impl FnMut(u32) -> Result<T>,
+) -> Result<T> {
+    let clock = MonotonicClock::new();
+    with_retry_clocked(
+        policy,
+        key,
+        observer,
+        &clock,
+        &mut bigdawg_common::deadline::sleep_cancellable,
+        op,
+    )
+}
+
+/// The retry loop proper, with the clock and the sleeper injected so the
+/// budget arithmetic is testable without wall time.
+///
+/// Every backoff is **clamped to the remaining budget** before sleeping:
+/// a jittered exponential pause near the saturation bound could otherwise
+/// sleep far past the budget and only notice on the next failure. The
+/// loop is also cancellation-aware — each pass checks the current
+/// [`QueryContext`](bigdawg_common::deadline::QueryContext), and the
+/// sleeper may return an error (deadline expired, query cancelled) that
+/// surfaces instead of the next attempt.
+pub(crate) fn with_retry_clocked<T>(
+    policy: &RetryPolicy,
+    key: u64,
+    observer: Option<&RetryObserver<'_>>,
+    clock: &dyn Clock,
+    sleep: &mut dyn FnMut(Duration) -> Result<()>,
     mut op: impl FnMut(u32) -> Result<T>,
 ) -> Result<T> {
-    let started = Instant::now();
+    let started = clock.now();
     let mut attempt = 0;
     loop {
+        bigdawg_common::deadline::check_current()?;
         match op(attempt) {
             Ok(v) => return Ok(v),
             Err(e) => {
-                let in_budget = policy.budget.is_none_or(|b| started.elapsed() < b);
+                let elapsed = clock.now().saturating_sub(started);
+                let in_budget = policy.budget.is_none_or(|b| elapsed < b);
                 if attempt >= policy.retries || !is_transient(&e) || !in_budget {
                     return Err(e);
                 }
-                let pause = policy.backoff(attempt, key);
+                let mut pause = policy.backoff(attempt, key);
+                if let Some(b) = policy.budget {
+                    pause = pause.min(b.saturating_sub(elapsed));
+                }
                 if let Some(obs) = observer {
                     obs.retrying(attempt, pause, &e);
                 }
                 if !pause.is_zero() {
-                    std::thread::sleep(pause);
+                    sleep(pause)?;
                 }
                 attempt += 1;
             }
@@ -268,6 +316,7 @@ mod tests {
     use super::*;
     use bigdawg_common::exec_err;
     use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Instant;
 
     #[test]
     fn default_policy_is_fail_fast() {
@@ -374,6 +423,87 @@ mod tests {
         assert!(!is_transient(&BigDawgError::NotFound("x".into())));
         assert!(!is_transient(&BigDawgError::Parse("x".into())));
         assert!(!is_transient(&BigDawgError::Unsupported("x".into())));
+        // cancellation and shedding must never be retried: the whole point
+        // is to stop doing work
+        assert!(!is_transient(&BigDawgError::DeadlineExceeded("x".into())));
+        assert!(!is_transient(&BigDawgError::Cancelled("x".into())));
+        assert!(!is_transient(&BigDawgError::Overloaded {
+            retry_after_hint: Duration::from_millis(1)
+        }));
+    }
+
+    #[test]
+    fn backoff_is_clamped_to_the_remaining_budget() {
+        // regression: a jittered pause near the saturation bound used to
+        // sleep past the 250 ms budget before the budget check ran — with
+        // each attempt costing 40 ms and 100 ms backoffs, an unclamped
+        // pause at ~elapsed 240 ms overshoots by up to 90 ms. Run the loop
+        // on an injected test clock and recording sleeper: every pause must
+        // fit inside what's left of the budget, with zero wall sleeps.
+        // With the attempt costing 210 ms, the first backoff decision sees
+        // 40 ms of budget left — *below* the 50 ms jitter floor of a
+        // 100 ms backoff — so the clamp must engage, deterministically,
+        // for every seed.
+        use bigdawg_common::ManualClock;
+        use std::sync::Arc;
+        let budget = Duration::from_millis(250);
+        let p = RetryPolicy::standard(7)
+            .with_retries(u32::MAX)
+            .with_backoff(Duration::from_millis(100), Duration::from_millis(100))
+            .with_budget(Some(budget));
+        let clock = Arc::new(ManualClock::new());
+        let op_clock = Arc::clone(&clock);
+        let sleep_clock = Arc::clone(&clock);
+        let mut pauses = Vec::new();
+        let out: Result<()> = with_retry_clocked(
+            &p,
+            1,
+            None,
+            clock.as_ref(),
+            &mut |d| {
+                let remaining = budget.saturating_sub(sleep_clock.now());
+                assert!(
+                    d <= remaining,
+                    "pause {d:?} overshoots the remaining budget {remaining:?}"
+                );
+                pauses.push(d);
+                sleep_clock.advance(d);
+                Ok(())
+            },
+            |_| {
+                op_clock.advance(Duration::from_millis(210));
+                Err(exec_err!("always"))
+            },
+        );
+        assert!(out.is_err());
+        // exactly one backoff: clamped to the 40 ms remaining (the
+        // unclamped jitter is ≥ 50 ms); the next attempt exhausts the
+        // budget and surfaces the error
+        assert_eq!(pauses, vec![Duration::from_millis(40)]);
+        // and the loop never ran past budget + one attempt's cost
+        assert!(clock.now() <= budget + Duration::from_millis(210));
+    }
+
+    #[test]
+    fn cancelled_context_stops_the_retry_loop() {
+        use bigdawg_common::deadline::{enter, CancelCause, QueryContext};
+        let ctx = QueryContext::unbounded();
+        let _guard = enter(std::sync::Arc::clone(&ctx));
+        let calls = AtomicU32::new(0);
+        let p = RetryPolicy::standard(7).with_retries(10);
+        let out: Result<()> = with_retry(&p, 1, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            // the op itself triggers cancellation (as a QueryHandle on
+            // another thread would); the backoff pause must surface it
+            ctx.token().cancel(CancelCause::User);
+            Err(exec_err!("transient"))
+        });
+        assert_eq!(out.unwrap_err().kind(), "cancelled");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "no retry after cancellation"
+        );
     }
 
     #[test]

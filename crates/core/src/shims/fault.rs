@@ -342,8 +342,10 @@ impl FaultShim {
         for plan in &self.plans {
             if plan.scope.matches(kind) && plan.fails(op) {
                 if let Some(spike) = plan.latency_spike {
-                    std::thread::sleep(spike);
-                    continue; // a stall, not an error
+                    // a stall, not an error — but still a blocking point a
+                    // deadlined query may unwind out of
+                    bigdawg_common::deadline::sleep_cancellable(spike)?;
+                    continue;
                 }
                 self.inject(kind);
                 return Err(BigDawgError::Execution(format!(

@@ -21,18 +21,39 @@
 use crate::shim::{Capability, EngineKind, Shim};
 use bigdawg_common::{Batch, Result};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Wraps a [`Shim`], delaying each remote request by a fixed duration.
+/// Wraps a [`Shim`], delaying each remote request by a fixed duration —
+/// optionally with a deterministic *slow-request schedule* spiking every
+/// Nth request, the tool overload experiments use to manufacture a slow
+/// leaf without randomness.
 pub struct LatencyShim {
     inner: Box<dyn Shim>,
     delay: Duration,
+    /// `(every, extra)`: request numbers divisible by `every` pay `extra`
+    /// on top of the base delay.
+    spike: Option<(u64, Duration)>,
+    requests: AtomicU64,
 }
 
 impl LatencyShim {
     /// Wrap `inner`, delaying every remote request by `delay`.
     pub fn new(inner: Box<dyn Shim>, delay: Duration) -> Self {
-        LatencyShim { inner, delay }
+        LatencyShim {
+            inner,
+            delay,
+            spike: None,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Add a deterministic slow-request schedule: every `every`-th remote
+    /// request (1-based) pays `extra` on top of the base delay. `every`
+    /// is clamped to ≥ 1 (every request spikes at 1).
+    pub fn with_spike(mut self, every: u64, extra: Duration) -> Self {
+        self.spike = Some((every.max(1), extra));
+        self
     }
 
     /// The configured per-request delay.
@@ -40,10 +61,20 @@ impl LatencyShim {
         self.delay
     }
 
-    fn wire(&self) {
-        if !self.delay.is_zero() {
-            std::thread::sleep(self.delay);
+    fn wire(&self) -> Result<()> {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut pause = self.delay;
+        if let Some((every, extra)) = self.spike {
+            if n % every == 0 {
+                pause += extra;
+            }
         }
+        if !pause.is_zero() {
+            // the emulated wire is a blocking point: it rides the query's
+            // deadline/cancellation when one is in scope
+            bigdawg_common::deadline::sleep_cancellable(pause)?;
+        }
+        Ok(())
     }
 }
 
@@ -65,7 +96,7 @@ impl Shim for LatencyShim {
     }
 
     fn get_table(&self, object: &str) -> Result<Batch> {
-        self.wire();
+        self.wire()?;
         self.inner.get_table(object)
     }
 
@@ -78,7 +109,7 @@ impl Shim for LatencyShim {
     }
 
     fn execute_native(&mut self, query: &str) -> Result<Batch> {
-        self.wire();
+        self.wire()?;
         self.inner.execute_native(query)
     }
 

@@ -20,10 +20,12 @@ use bigdawg_array::Array;
 use bigdawg_common::metrics::labeled;
 use bigdawg_common::Value;
 use bigdawg_core::shims::{
-    test_seed, ArrayShim, FaultHandle, FaultPlan, FaultShim, OpKind, OpScope, RelationalShim,
+    test_seed, ArrayShim, FaultHandle, FaultPlan, FaultShim, LatencyShim, OpKind, OpScope,
+    RelationalShim,
 };
 use bigdawg_core::{BigDawg, BreakerState, CachePolicy, MigrationPolicy, RetryPolicy, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Writes the federation's rendered Prometheus dump to
 /// `target/chaos-prom/soak_seed_<seed>.prom` when dropped — including
@@ -280,6 +282,228 @@ fn run_soak(default_seed: u64) {
         queries >= (READERS * ITERATIONS + ITERATIONS) as u64,
         "only {queries} queries counted"
     );
+}
+
+// ---- cancellation-hygiene soak ---------------------------------------------
+
+/// The seeded generator driving each reader's cancellation schedule —
+/// which queries get a canceller and how long it spins before pulling the
+/// trigger. Only the *schedule* is seeded; whether a given cancel lands
+/// before, inside, or after its query is a genuine race, and every
+/// invariant below must hold on all three outcomes.
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Fault-free federation for the cancellation soak: pg_a (counters) +
+/// scidb_a behind an emulated 500 µs wire (so cancels have a real blocking
+/// point to land in) + a fast scidb_b replica of `wave`.
+fn cancel_federation() -> BigDawg {
+    let mut bd = BigDawg::new();
+    let mut pg = RelationalShim::new("pg_a");
+    pg.db_mut()
+        .execute("CREATE TABLE counters (id INT)")
+        .unwrap();
+    bd.add_engine(Box::new(pg));
+    let mut scidb_a = ArrayShim::new("scidb_a");
+    scidb_a.store(
+        "wave",
+        Array::from_vector(
+            "wave",
+            "v",
+            &(0..64).map(|i| i as f64).collect::<Vec<_>>(),
+            16,
+        ),
+    );
+    bd.add_engine(Box::new(LatencyShim::new(
+        Box::new(scidb_a),
+        Duration::from_micros(500),
+    )));
+    bd.add_engine(Box::new(ArrayShim::new("scidb_b")));
+    bd.replicate_object("wave", "scidb_b", Transport::Binary)
+        .unwrap();
+    bd
+}
+
+/// Cancel queries at arbitrary points of a concurrent workload (before
+/// they start, mid-wire, after they finish — the schedule doesn't care)
+/// and hold the hygiene line throughout: every query either answers the
+/// oracle's rows or unwinds with `cancelled`; no `__cast_*` temp is
+/// orphaned; no placement names an engine that doesn't hold the data;
+/// epochs stay monotone; no committed write is lost.
+fn run_cancel_soak(default_seed: u64) {
+    let seed = test_seed(default_seed);
+    eprintln!("cancel soak: seed {seed} (replay with BIGDAWG_TEST_SEED={seed})");
+
+    let oracle_bd = cancel_federation();
+    let oracle = oracle_bd.execute(READ_QUERY).unwrap();
+    assert_eq!(oracle.rows()[0][0], Value::Int(64));
+
+    let bd = cancel_federation();
+    bd.set_retry_policy(RetryPolicy::standard(seed));
+    bd.set_auto_migrate(Some(MigrationPolicy {
+        min_ships: 3,
+        replicate: true,
+        max_per_cycle: 2,
+    }));
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+
+    let committed = AtomicU64::new(0);
+    let cancelled_seen = AtomicU64::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(bigdawg_core::QueryHandle, u64)>();
+    std::thread::scope(|s| {
+        let bd = &bd;
+        let committed = &committed;
+        let cancelled_seen = &cancelled_seen;
+        let oracle = &oracle;
+
+        // the canceller: pulls handles off the wire and cancels each after
+        // a seeded spin — early enough to hit the admission of the query,
+        // late enough to sometimes miss it entirely
+        s.spawn(move || {
+            while let Ok((handle, spin)) = rx.recv() {
+                for _ in 0..spin {
+                    std::hint::spin_loop();
+                }
+                handle.cancel();
+            }
+        });
+
+        for reader in 0..READERS {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut rng = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(reader as u64 + 1);
+                let mut last_epoch = 0u64;
+                for i in 0..ITERATIONS {
+                    let result = match xorshift(&mut rng) % 4 {
+                        0 => bd.execute(READ_QUERY),
+                        1 => bd.execute_serial(READ_QUERY),
+                        2 => {
+                            // cancelled before it can start: must unwind
+                            // without touching anything
+                            let h = bd.query_handle();
+                            h.cancel();
+                            let r = bd.execute_with(READ_QUERY, &h);
+                            assert!(r.is_err(), "a pre-cancelled query cannot answer");
+                            r
+                        }
+                        _ => {
+                            let h = bd.query_handle();
+                            tx.send((h.clone(), xorshift(&mut rng) % 8192))
+                                .expect("canceller alive");
+                            bd.execute_with(READ_QUERY, &h)
+                        }
+                    };
+                    match result {
+                        Ok(b) => {
+                            assert_eq!(b.rows(), oracle.rows(), "reader {reader} iteration {i}")
+                        }
+                        Err(e) => {
+                            assert_eq!(
+                                e.kind(),
+                                "cancelled",
+                                "reader {reader} iteration {i}: only cancellation may fail \
+                                 this fault-free storm, got: {e}"
+                            );
+                            cancelled_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let epoch = bd.placement_epoch("wave").unwrap();
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch regressed: {last_epoch}->{epoch}"
+                    );
+                    last_epoch = epoch;
+                }
+            });
+        }
+        drop(tx);
+        s.spawn(move || {
+            for i in 0..ITERATIONS {
+                if bd
+                    .execute(&format!("RELATIONAL(INSERT INTO counters VALUES ({i}))"))
+                    .is_ok()
+                {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+
+    assert!(
+        cancelled_seen.load(Ordering::Relaxed) > 0,
+        "the schedule never landed a cancellation — the soak proved nothing"
+    );
+
+    // no committed write was lost to a neighbouring cancellation
+    let n = bd.execute(COUNTER_QUERY).unwrap();
+    assert_eq!(
+        n.rows()[0][0],
+        Value::Int(committed.load(Ordering::Relaxed) as i64)
+    );
+
+    // no orphaned temps, in the catalog or on any engine
+    {
+        let cat = bd.catalog().read();
+        assert!(
+            cat.entries().all(|(name, _)| !name.starts_with("__cast_")),
+            "catalog holds an orphaned cast temp"
+        );
+    }
+    for engine in ["pg_a", "scidb_a", "scidb_b"] {
+        let names = bd.engine(engine).unwrap().lock().object_names();
+        assert!(
+            names.iter().all(|n| !n.starts_with("__cast_")),
+            "engine {engine} holds orphaned temps: {names:?}"
+        );
+    }
+
+    // no held placement marks: every location the catalog claims is backed
+    // by real data on that engine — a cancelled migration either finished
+    // its copy or rolled it back, never half-committed
+    let placements: Vec<(String, Vec<String>)> = {
+        let cat = bd.catalog().read();
+        cat.entries()
+            .map(|(name, entry)| {
+                (
+                    name.to_string(),
+                    entry.locations().map(str::to_string).collect(),
+                )
+            })
+            .collect()
+    };
+    for (object, locations) in placements {
+        for engine in locations {
+            let names = bd.engine(&engine).unwrap().lock().object_names();
+            assert!(
+                names.contains(&object),
+                "catalog places `{object}` on {engine}, but the engine doesn't hold it"
+            );
+        }
+    }
+
+    // with the storm over the federation answers plainly
+    assert_eq!(bd.execute(READ_QUERY).unwrap().rows(), oracle.rows());
+}
+
+#[test]
+fn cancel_soak_seed_3() {
+    run_cancel_soak(3);
+}
+
+#[test]
+fn cancel_soak_seed_11() {
+    run_cancel_soak(11);
+}
+
+#[test]
+fn cancel_soak_seed_23() {
+    run_cancel_soak(23);
 }
 
 #[test]

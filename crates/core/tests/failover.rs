@@ -84,6 +84,20 @@ fn all_replicas_down_error_names_every_attempted_engine() {
     );
     assert!(msg.contains("scidb_a"), "names the primary: {msg}");
     assert!(msg.contains("scidb_b"), "names the replica: {msg}");
+    // the aggregate stays bounded: one summarized line per engine (the
+    // underlying error's first line, char-capped, with an elision count for
+    // anything dropped) — never the full error text per attempt
+    assert!(!msg.contains('\n'), "aggregate must be single-line: {msg}");
+    // each engine contributes exactly one `engine (summary)` entry — the
+    // name may recur *inside* a snippet (the injected error quotes it),
+    // but never as a second entry
+    assert_eq!(msg.matches("scidb_a (").count(), 1, "one entry per engine");
+    assert_eq!(msg.matches("scidb_b (").count(), 1, "one entry per engine");
+    assert!(
+        msg.len() < 600,
+        "aggregate grew unboundedly ({} chars): {msg}",
+        msg.len()
+    );
 }
 
 #[test]

@@ -549,4 +549,81 @@ proptest! {
             "RELATIONAL(SELECT COUNT(*) AS n FROM patients)",
         );
     }
+
+    /// Cancellation hygiene at an arbitrary point: a canceller thread
+    /// pulls the trigger after a proptest-chosen spin, so the cancel lands
+    /// before, during, or after the federated query — and on every
+    /// outcome the query either answers exactly the oracle's rows or
+    /// unwinds with `cancelled`, no `__cast_*` temp survives anywhere, the
+    /// placement epoch never regresses, every placement the catalog holds
+    /// is backed by real data, and the federation answers plainly
+    /// afterwards. Runs with the result cache both off and on: a
+    /// cancelled query must not answer from the cache either.
+    #[test]
+    fn cancellation_at_an_arbitrary_point_is_hygienic(
+        spin in 0u32..60_000,
+        use_cache in any::<bool>(),
+    ) {
+        let bd = support::federation();
+        if use_cache {
+            bd.set_result_cache(Some(bigdawg::core::CachePolicy::admit_all()));
+        }
+        let q = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(wave, relation) WHERE v >= 0)";
+        let oracle = bd.execute(q).unwrap();
+        let epoch_before = bd.placement_epoch("wave").unwrap();
+
+        let handle = bd.query_handle();
+        let result = std::thread::scope(|s| {
+            let h = handle.clone();
+            s.spawn(move || {
+                for _ in 0..spin {
+                    std::hint::spin_loop();
+                }
+                h.cancel();
+            });
+            bd.execute_with(q, &handle)
+        });
+        match result {
+            Ok(b) => prop_assert_eq!(b.rows(), oracle.rows()),
+            Err(e) => prop_assert_eq!(e.kind(), "cancelled"),
+        }
+
+        // no orphaned temps, in the catalog or on any engine
+        {
+            let cat = bd.catalog().read();
+            prop_assert!(
+                cat.entries().all(|(name, _)| !name.starts_with("__cast_")),
+                "catalog holds an orphaned cast temp"
+            );
+        }
+        for engine in bd.engine_names() {
+            let names = bd.engine(engine).unwrap().lock().object_names();
+            prop_assert!(
+                names.iter().all(|n| !n.starts_with("__cast_")),
+                "engine {} holds orphaned temps: {:?}", engine, names
+            );
+        }
+        // epochs are monotone, and every placement is backed by real data
+        prop_assert!(bd.placement_epoch("wave").unwrap() >= epoch_before);
+        let placements: Vec<(String, Vec<String>)> = {
+            let cat = bd.catalog().read();
+            cat.entries()
+                .map(|(name, entry)| {
+                    (name.to_string(), entry.locations().map(str::to_string).collect())
+                })
+                .collect()
+        };
+        for (object, locations) in placements {
+            for engine in locations {
+                let names = bd.engine(&engine).unwrap().lock().object_names();
+                prop_assert!(
+                    names.contains(&object),
+                    "catalog places `{}` on {}, but the engine doesn't hold it",
+                    object, engine
+                );
+            }
+        }
+        // the cancelled query left nothing behind that changes the answer
+        prop_assert_eq!(bd.execute(q).unwrap().rows(), oracle.rows());
+    }
 }
