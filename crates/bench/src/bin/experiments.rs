@@ -150,4 +150,22 @@ fn main() {
             );
         }
     }
+    if want("e18") {
+        let wire = std::time::Duration::from_millis(if quick { 2 } else { 5 });
+        let r = pushdown::run(if quick { 10_000 } else { 50_000 }, wire).expect("E18 runs");
+        println!("{}", pushdown::table(&r));
+        if quick {
+            assert!(
+                r.byte_reduction() >= 2.0,
+                "E18: byte reduction {:.1}× below the 2× floor",
+                r.byte_reduction()
+            );
+            assert!(
+                r.opt_wall <= r.unopt_wall,
+                "E18: optimized plan slower end-to-end ({:?} vs {:?})",
+                r.opt_wall,
+                r.unopt_wall
+            );
+        }
+    }
 }

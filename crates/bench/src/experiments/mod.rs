@@ -20,6 +20,7 @@
 //! | [`tracing_overhead`] | E15 | observability: span pipeline cost on the E11 federation query |
 //! | [`result_cache`] | E16 | epoch-validated result cache on a zipfian repeated-query workload |
 //! | [`overload`] | E17 | deadline + admission control under a 4× saturating storm: bounded served p99, structured shedding |
+//! | [`pushdown`] | E18 | typed-IR rewrite passes: predicate pushdown + projection pruning cut shipped bytes behind the wire |
 
 pub mod anomaly_exp;
 pub mod availability;
@@ -32,6 +33,7 @@ pub mod migration;
 pub mod migration_convergence;
 pub mod onesize;
 pub mod overload;
+pub mod pushdown;
 pub mod result_cache;
 pub mod scalar_exp;
 pub mod searchlight_exp;
@@ -111,6 +113,17 @@ pub fn fmt_ratio(baseline: Duration, fast: Duration) -> String {
     format!("{r:.1}×")
 }
 
+/// Byte-count cell with a binary-prefix unit.
+pub fn fmt_bytes(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{:.2} MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +146,12 @@ mod tests {
             fmt_ratio(Duration::from_millis(100), Duration::from_millis(10)),
             "10.0×"
         );
+    }
+
+    #[test]
+    fn byte_formats() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(4096), "4.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
     }
 }

@@ -40,8 +40,8 @@
 //! stays an independent oracle for the cached parallel path.
 
 use crate::exec::{self, AnalyzedPlan, Plan};
+use crate::plan::{self, QueryAst};
 use crate::polystore::BigDawg;
-use crate::scope;
 use bigdawg_common::metrics::labeled;
 use bigdawg_common::{Batch, Result};
 use parking_lot::Mutex;
@@ -163,8 +163,10 @@ pub struct CacheStats {
     pub entries: u64,
 }
 
-/// Cache key: the island (case-folded) plus the whitespace-normalized
-/// query body, so spacing differences don't fragment the cache.
+/// Cache key: the island (case-folded) plus the **canonical** body
+/// rendered from the typed AST ([`crate::plan::BodyAst::render`]), so
+/// spacing and case differences in the CAST spelling don't fragment the
+/// cache — semantically identical queries share one entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     island: String,
@@ -175,38 +177,9 @@ impl CacheKey {
     fn new(island: &str, body: &str) -> Self {
         CacheKey {
             island: island.to_ascii_uppercase(),
-            body: normalize_body(body),
+            body: body.to_string(),
         }
     }
-}
-
-/// Collapse whitespace runs outside single-quoted string literals into
-/// single spaces and trim the ends. Literal contents are preserved
-/// byte-for-byte — `'a  b'` and `'a b'` are different strings.
-fn normalize_body(body: &str) -> String {
-    let mut out = String::with_capacity(body.len());
-    let mut in_str = false;
-    let mut pending_space = false;
-    for c in body.chars() {
-        if in_str {
-            out.push(c);
-            if c == '\'' {
-                in_str = false;
-            }
-        } else if c.is_whitespace() {
-            pending_space = true;
-        } else {
-            if pending_space && !out.is_empty() {
-                out.push(' ');
-            }
-            pending_space = false;
-            out.push(c);
-            if c == '\'' {
-                in_str = true;
-            }
-        }
-    }
-    out
 }
 
 /// The maximal `[A-Za-z0-9_]` word tokens of `body` that sit outside
@@ -547,16 +520,20 @@ pub(crate) fn execute_cached(bd: &BigDawg, query: &str) -> Result<(Batch, Analyz
     // cancelled query's outcome depend on what happens to be cached
     bigdawg_common::deadline::check_current()?;
     let started = Instant::now();
-    let (island, body) = scope::parse_scope(query)?;
+    // parse once: the AST is the plan input, and its canonical rendering
+    // is both the cache key and the body a hit's plan reports
+    let ast = plan::parse_query(query)?;
+    let island = ast.island.clone();
+    let body = ast.body.render();
     let _query_span = bd.tracer().span("exec.query", &island);
 
     let Some(cache) = bd.result_cache() else {
-        return compute(bd, &island, &body, started, CacheStatus::Disabled);
+        return compute(bd, &ast, started, CacheStatus::Disabled);
     };
     let Some(epochs) = epoch_snapshot(bd, &island, &body) else {
         cache.counters.bypasses.fetch_add(1, Ordering::Relaxed);
         cache_counter(bd, "bypass", &island).inc();
-        return compute(bd, &island, &body, started, CacheStatus::Bypass);
+        return compute(bd, &ast, started, CacheStatus::Bypass);
     };
     let key = CacheKey::new(&island, &body);
 
@@ -598,13 +575,13 @@ pub(crate) fn execute_cached(bd: &BigDawg, query: &str) -> Result<(Batch, Analyz
         }
         drop(slot);
         // the leader failed, or its result is already stale: compute alone
-        return compute(bd, &island, &body, started, status);
+        return compute(bd, &ast, started, status);
     }
 
     // leader: hold the flight slot across the computation so concurrent
     // misses coalesce instead of recomputing
     let mut slot = flight.done.lock();
-    let computed = compute(bd, &island, &body, started, status);
+    let computed = compute(bd, &ast, started, status);
     if let Ok((batch, analyzed)) = &computed {
         *slot = Some((batch.clone(), epochs.clone()));
         // admission: successful, fault-free (no leaf needed a retry), and
@@ -638,12 +615,11 @@ fn cache_counter(bd: &BigDawg, event: &str, island: &str) -> Arc<bigdawg_common:
 /// classified it.
 fn compute(
     bd: &BigDawg,
-    island: &str,
-    body: &str,
+    ast: &QueryAst,
     started: Instant,
     status: CacheStatus,
 ) -> Result<(Batch, AnalyzedPlan)> {
-    let mut plan = exec::plan(bd, island, body)?;
+    let mut plan = plan::plan_query(bd, ast, true)?;
     plan.cache = (status != CacheStatus::Disabled).then_some(status);
     let (batch, leaves, gather) = exec::run_measured(bd, &plan)?;
     Ok((
@@ -688,18 +664,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn body_normalization_folds_whitespace_outside_literals() {
+    fn canonical_ast_bodies_share_one_key() {
+        // the key is built from the AST's canonical rendering: spelling
+        // variants of one query collapse to one entry
+        let canon = |q: &str| {
+            let ast = plan::parse_query(q).unwrap();
+            CacheKey::new(&ast.island, &ast.body.render())
+        };
         assert_eq!(
-            normalize_body("  SELECT   *\n FROM\tt  "),
-            "SELECT * FROM t"
+            canon("relational(SELECT  * FROM CAST( a ,  RELATION ) WHERE v > 5)"),
+            canon("RELATIONAL(SELECT * FROM CAST(a, relation) WHERE v > 5)")
         );
-        assert_eq!(
-            normalize_body("SELECT 'a  b'  FROM t"),
-            "SELECT 'a  b' FROM t"
-        );
-        assert_eq!(
-            CacheKey::new("relational", "SELECT  1 FROM t"),
-            CacheKey::new("RELATIONAL", "SELECT 1\nFROM t")
+        // literal contents are preserved: different strings, different keys
+        assert_ne!(
+            canon("RELATIONAL(SELECT 'a  b' FROM t)"),
+            canon("RELATIONAL(SELECT 'a b' FROM t)")
         );
     }
 

@@ -78,6 +78,49 @@ pub struct Leaf {
     /// only for object leaves under a failover-enabled
     /// [`crate::RetryPolicy`]; rendered by `EXPLAIN`.
     pub fallbacks: Vec<String>,
+    /// Rewrites the pass pipeline pushed below this move: applied to the
+    /// rows *before* they are encoded for the wire, so filtered-out rows
+    /// and pruned columns never ship. Empty for unoptimized plans.
+    pub pushdown: LeafPushdown,
+}
+
+/// Predicate/projection rewrites pushed below a CAST boundary by the
+/// optimizer (see [`crate::plan::passes`]). Carried on the [`Leaf`] and
+/// applied at execution time between the source read and the wire —
+/// leniently, since the gather body re-applies both (see
+/// `crate::plan::apply_pushdown`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LeafPushdown {
+    /// Rendered predicate to filter rows with before shipping.
+    pub predicate: Option<String>,
+    /// Columns to keep (sorted); others are dropped before shipping.
+    pub columns: Option<Vec<String>>,
+}
+
+impl LeafPushdown {
+    /// True when no rewrite was pushed below this leaf.
+    pub fn is_empty(&self) -> bool {
+        self.predicate.is_none() && self.columns.is_none()
+    }
+}
+
+impl fmt::Display for LeafPushdown {
+    /// The `EXPLAIN` annotation: `(push: filter v >= 9; cols id, v)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return Ok(());
+        }
+        f.write_str(" (push:")?;
+        let mut sep = " ";
+        if let Some(p) = &self.predicate {
+            write!(f, "{sep}filter {p}")?;
+            sep = "; ";
+        }
+        if let Some(cols) = &self.columns {
+            write!(f, "{sep}cols {}", cols.join(", "))?;
+        }
+        f.write_str(")")
+    }
 }
 
 /// A placement choice the planner made for one CAST term: the object was
@@ -147,8 +190,8 @@ impl fmt::Display for Plan {
             };
             writeln!(
                 f,
-                "  leaf {i}  {source} -> {} as {} [{transport}]{failover}",
-                leaf.target_engine, leaf.temp
+                "  leaf {i}  {source} -> {} as {} [{transport}]{failover}{}",
+                leaf.target_engine, leaf.temp, leaf.pushdown
             )?;
         }
         for p in &self.placements {
@@ -246,8 +289,8 @@ impl fmt::Display for AnalyzedPlan {
             };
             write!(
                 f,
-                "  leaf {i}  {source} -> {} as {}",
-                leaf.target_engine, leaf.temp
+                "  leaf {i}  {source} -> {} as {}{}",
+                leaf.target_engine, leaf.temp, leaf.pushdown
             )?;
             match self.leaves.get(i) {
                 Some(m) => writeln!(
@@ -303,10 +346,11 @@ pub fn execute_analyzed(bd: &BigDawg, query: &str) -> Result<(Batch, AnalyzedPla
     crate::cache::execute_cached(bd, query)
 }
 
-/// Decompose `body` into a [`Plan`]: one leaf per top-level CAST term, the
-/// rewritten body as the gather node. Nothing executes here — temp names
-/// are reserved and transports chosen, so the same plan can be displayed
-/// (`EXPLAIN`) or run.
+/// Plan `body` into a [`Plan`]: parse it once into the typed AST, run the
+/// rewrite-pass pipeline ([`crate::plan`]), and lower to the physical
+/// scatter-leaf form. Nothing executes here — temp names are reserved and
+/// transports chosen, so the same plan can be displayed (`EXPLAIN`) or
+/// run.
 ///
 /// Placement resolution happens at plan time: a CAST term naming an object
 /// the catalog already places on the target engine (its primary, or a
@@ -314,82 +358,11 @@ pub fn execute_analyzed(bd: &BigDawg, query: &str) -> Result<(Batch, AnalyzedPla
 /// references the co-located copy by name and the round-trip disappears.
 /// Those choices are recorded in [`Plan::placements`] for `EXPLAIN`.
 pub fn plan(bd: &BigDawg, island: &str, body: &str) -> Result<Plan> {
-    let _plan_span = bd.tracer().span("exec.plan", island);
-    let preferred = bd.preferred_transport();
-    let failover = bd.retry_policy().failover;
-    let mut leaves = Vec::new();
-    let mut placements = Vec::new();
-    let mut out = String::with_capacity(body.len());
-    let mut rest = body;
-    while let Some(start) = scope::find_cast(rest) {
-        out.push_str(&rest[..start]);
-        let after_kw = &rest[start + 4..]; // past "CAST"
-        let after_kw_trim = after_kw.trim_start();
-        let inner_full = scope::balanced(after_kw_trim)?;
-        let consumed = start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
-        let (inner, target) = scope::split_cast_args(inner_full)?;
-        let target_engine = scope::resolve_target(bd, &target)?;
-        // a sub-query's rows are materialized from coordinator memory, so
-        // only the target's side of the wire matters; an object ship also
-        // crosses the source's wire
-        let mut transport = if bd.co_resident(&target_engine) {
-            Transport::ZeroCopy
-        } else {
-            preferred
-        };
-        let mut fallbacks = Vec::new();
-        let source = if scope::try_scope(&inner).is_some() {
-            LeafSource::SubQuery(inner)
-        } else {
-            let object = inner.trim();
-            let Ok(entry) = bd.placement(object) else {
-                return Err(BigDawgError::NotFound(format!(
-                    "CAST source `{object}` (not an object or nested scope query)"
-                )));
-            };
-            if entry.located_on(&target_engine) {
-                // co-located copy: elide the leaf, reference it directly
-                out.push_str(object);
-                placements.push(Resolution {
-                    object: object.to_string(),
-                    engine: target_engine,
-                    epoch: entry.epoch,
-                });
-                rest = &rest[consumed..];
-                continue;
-            }
-            if !bd.co_resident(&entry.engine) {
-                // the object must cross its home engine's wire: zero-copy
-                // is off the table regardless of the target's side
-                transport = preferred;
-            }
-            if failover {
-                // failover edges: the leaf reads the primary first, and a
-                // transient failure falls back to the surviving replicas
-                fallbacks = entry.replicas.to_vec();
-            }
-            LeafSource::Object(object.to_string())
-        };
-        let temp = bd.temp_name();
-        out.push_str(&temp);
-        leaves.push(Leaf {
-            source,
-            target_engine,
-            temp,
-            transport,
-            fallbacks,
-        });
-        rest = &rest[consumed..];
-    }
-    out.push_str(rest);
-    Ok(Plan {
+    let ast = crate::plan::QueryAst {
         island: island.to_string(),
-        body: out,
-        leaves,
-        placements,
-        breakers: bd.breakers().snapshot(),
-        cache: None,
-    })
+        body: crate::plan::ast::parse_body(body)?,
+    };
+    crate::plan::plan_query(bd, &ast, true)
 }
 
 /// Run a plan: scatter every leaf concurrently, then gather. Temporaries
@@ -561,6 +534,7 @@ fn run_leaf(bd: &BigDawg, leaf: &Leaf, schedule: Schedule, parent: u64) -> Resul
                 &leaf.temp,
                 leaf.transport,
                 true,
+                &leaf.pushdown,
             )?,
             LeafSource::SubQuery(query) => {
                 let batch = match schedule {

@@ -16,8 +16,13 @@
 //!   Myria multi-system islands (§2.1.1), and degenerate islands exposing
 //!   each engine's full native language;
 //! * [`scope`] — the SCOPE/CAST query language:
-//!   `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)` — and its
-//!   serial reference executor;
+//!   `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)` — its
+//!   surface scanners and the serial (unoptimized) reference executor;
+//! * [`plan`] — the typed logical-plan IR and rewrite-pass pipeline: the
+//!   query is parsed once into an AST, lifted into a [`plan::LogicalPlan`]
+//!   DAG, and rewritten by deterministic passes (placement & cost
+//!   resolution, predicate pushdown through CAST boundaries, projection
+//!   pruning) before lowering to the physical plan;
 //! * [`exec`] — the parallel scatter-gather executor: CAST terms become
 //!   independent per-engine sub-plans run concurrently on a scoped worker
 //!   pool, joined at the gather barrier;
@@ -59,6 +64,7 @@ pub mod exec;
 pub mod islands;
 pub mod migrate;
 pub mod monitor;
+pub mod plan;
 pub mod polystore;
 pub mod retry;
 pub mod scope;
@@ -69,9 +75,10 @@ pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, Partia
 pub use cache::{CachePolicy, CacheStats, CacheStatus, QueryCache};
 pub use cast::Transport;
 pub use catalog::{Catalog, ObjectKind};
-pub use exec::{AnalyzedPlan, LeafMetrics, Plan};
+pub use exec::{AnalyzedPlan, LeafMetrics, LeafPushdown, Plan};
 pub use migrate::{MigrationPolicy, Migrator};
 pub use monitor::{BreakerBoard, BreakerConfig, BreakerState, EngineHealth, LatencyBoard};
+pub use plan::{LogicalPlan, QueryAst};
 pub use polystore::{BigDawg, QueryHandle};
 pub use retry::RetryPolicy;
 pub use shim::{Capability, EngineKind, Shim};

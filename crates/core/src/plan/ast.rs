@@ -1,0 +1,268 @@
+//! SCOPE/CAST abstract syntax: the typed form of `ISLAND( body )` text.
+//!
+//! [`parse_query`] parses a SCOPE query **once** into a [`QueryAst`]: the
+//! island name plus a [`BodyAst`] whose CAST terms are lifted out of the
+//! body text into typed [`CastAst`] nodes (nested scope queries recurse
+//! into sub-ASTs). Everything downstream — the logical plan, the rewrite
+//! passes, the executor, the result-cache key — works on this AST; no
+//! layer re-scans strings for `CAST(`.
+//!
+//! The AST renders back to text in **canonical form** ([`QueryAst::render`]):
+//! island and `CAST` case-folded, whitespace collapsed outside quoted
+//! regions, one space after the CAST comma. Canonical text is a parse
+//! fixpoint (`parse(render(parse(q)))` renders identically — a property
+//! the fuzz suite checks), which makes it a collision-free cache key:
+//! semantically identical spellings of a query share one entry.
+
+use crate::scope;
+use bigdawg_common::Result;
+use std::fmt;
+
+/// A full SCOPE query: `ISLAND( body )`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAst {
+    /// Island (or degenerate per-engine island) name, as written.
+    pub island: String,
+    /// The body, with its CAST terms lifted out.
+    pub body: BodyAst,
+}
+
+/// A scope body: literal text segments interleaved with CAST terms.
+///
+/// Invariant: `segments.len() == casts.len() + 1`; the body reads
+/// `segments[0] casts[0] segments[1] … casts[n-1] segments[n]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BodyAst {
+    /// Raw island-language text between CAST terms.
+    pub segments: Vec<String>,
+    /// The CAST terms, in body order.
+    pub casts: Vec<CastAst>,
+}
+
+/// One `CAST(inner, target)` term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CastAst {
+    /// What the CAST moves.
+    pub source: CastSource,
+    /// The raw target: a model name (`relation`, `array`, …) or an
+    /// explicit engine name. Resolved to an engine by the placement pass.
+    pub target: String,
+}
+
+/// The inner argument of a CAST term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CastSource {
+    /// A named federation object.
+    Object(String),
+    /// A nested scope query, planned and executed as its own sub-DAG.
+    SubQuery(Box<QueryAst>),
+}
+
+/// Parse a full SCOPE query into its AST. This is the only place query
+/// text is scanned; every later layer consumes the AST.
+pub fn parse_query(query: &str) -> Result<QueryAst> {
+    let (island, body) = scope::parse_scope(query)?;
+    Ok(QueryAst {
+        island,
+        body: parse_body(&body)?,
+    })
+}
+
+/// Parse a scope body (the text inside `ISLAND( … )`) into a [`BodyAst`],
+/// recursing into nested scope queries inside CAST terms.
+pub fn parse_body(body: &str) -> Result<BodyAst> {
+    let mut segments = Vec::new();
+    let mut casts = Vec::new();
+    let mut rest = body;
+    while let Some(start) = scope::find_cast(rest) {
+        segments.push(rest[..start].to_string());
+        let after_kw = &rest[start + 4..]; // past "CAST"
+        let after_kw_trim = after_kw.trim_start();
+        let inner_full = scope::balanced(after_kw_trim)?;
+        let consumed = start + 4 + (after_kw.len() - after_kw_trim.len()) + inner_full.len() + 2;
+        let (inner, target) = scope::split_cast_args(inner_full)?;
+        let source = if scope::try_scope(&inner).is_some() {
+            CastSource::SubQuery(Box::new(parse_query(&inner)?))
+        } else {
+            CastSource::Object(inner.trim().to_string())
+        };
+        casts.push(CastAst { source, target });
+        rest = &rest[consumed..];
+    }
+    segments.push(rest.to_string());
+    Ok(BodyAst { segments, casts })
+}
+
+impl QueryAst {
+    /// Canonical rendering of the whole query: `ISLAND(body)` with the
+    /// island upper-cased and the body in canonical form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}({})",
+            self.island.to_ascii_uppercase(),
+            self.body.render()
+        )
+    }
+}
+
+impl fmt::Display for QueryAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl BodyAst {
+    /// Canonical rendering of the body: segments with whitespace collapsed
+    /// (quoted regions preserved byte-for-byte), CAST terms re-rendered as
+    /// `CAST(inner, target)` with a lower-cased target, outer ends trimmed.
+    pub fn render(&self) -> String {
+        self.render_slots(|cast| cast.render())
+    }
+
+    /// Render with each CAST term replaced by an arbitrary slot string —
+    /// the executor's gather body, where a term becomes its temp name (or
+    /// the co-located object's own name when the cast was elided).
+    pub(crate) fn render_slots(&self, mut slot: impl FnMut(&CastAst) -> String) -> String {
+        let mut out = String::new();
+        for (i, seg) in self.segments.iter().enumerate() {
+            push_collapsed(&mut out, seg);
+            if let Some(cast) = self.casts.get(i) {
+                out.push_str(&slot(cast));
+            }
+        }
+        out.trim().to_string()
+    }
+}
+
+impl CastAst {
+    /// Canonical rendering: `CAST(inner, target)`, target lower-cased.
+    pub fn render(&self) -> String {
+        let inner = match &self.source {
+            CastSource::Object(o) => o.clone(),
+            CastSource::SubQuery(q) => q.render(),
+        };
+        format!(
+            "CAST({}, {})",
+            inner,
+            self.target.trim().to_ascii_lowercase()
+        )
+    }
+}
+
+/// Append `text` with whitespace runs collapsed to single spaces. Content
+/// inside single- or double-quoted regions is preserved byte-for-byte
+/// (`'a  b'` and `'a b'` stay different strings; TEXT-island phrases keep
+/// their spacing), with SQL's doubled-quote escape (`''`) kept inside its
+/// literal. Idempotent, so canonical text re-renders to itself.
+pub(crate) fn push_collapsed(out: &mut String, text: &str) {
+    let mut chars = text.chars().peekable();
+    let mut quote: Option<char> = None;
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        match quote {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    if chars.peek() == Some(&q) {
+                        // doubled quote: an escaped quote, still inside
+                        out.push(chars.next().expect("peeked"));
+                    } else {
+                        quote = None;
+                    }
+                }
+            }
+            None => {
+                if c.is_whitespace() {
+                    pending_space = true;
+                } else {
+                    if pending_space {
+                        out.push(' ');
+                        pending_space = false;
+                    }
+                    if c == '\'' || c == '"' {
+                        quote = Some(c);
+                    }
+                    out.push(c);
+                }
+            }
+        }
+    }
+    if pending_space {
+        out.push(' ');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(q: &str) -> String {
+        parse_query(q).unwrap().render()
+    }
+
+    #[test]
+    fn parse_lifts_casts_into_typed_terms() {
+        let ast = parse_query(
+            "RELATIONAL(SELECT * FROM CAST(a, relation) x \
+             JOIN CAST(ARRAY(filter(a, v > 3)), relation) y ON x.i = y.i)",
+        )
+        .unwrap();
+        assert_eq!(ast.island, "RELATIONAL");
+        assert_eq!(ast.body.casts.len(), 2);
+        assert_eq!(ast.body.segments.len(), 3);
+        assert_eq!(ast.body.casts[0].source, CastSource::Object("a".into()));
+        match &ast.body.casts[1].source {
+            CastSource::SubQuery(sub) => assert_eq!(sub.island, "ARRAY"),
+            other => panic!("expected sub-query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_render_folds_case_and_whitespace() {
+        assert_eq!(
+            canon("relational(SELECT  *\n FROM   cast( a ,  RELATION ) WHERE v > 5)"),
+            "RELATIONAL(SELECT * FROM CAST(a, relation) WHERE v > 5)"
+        );
+        // semantically identical spellings share one canonical form
+        assert_eq!(
+            canon("RELATIONAL(SELECT * FROM CAST(a, relation) WHERE v > 5)"),
+            canon("Relational( SELECT *  FROM CAST(a,relation)  WHERE v > 5 )")
+        );
+    }
+
+    #[test]
+    fn canonical_render_is_a_parse_fixpoint() {
+        for q in [
+            "RELATIONAL(SELECT * FROM CAST(a, relation) WHERE v > 5)",
+            "ARRAY(aggregate(CAST(patients, scidb), avg, age))",
+            "RELATIONAL(SELECT * FROM CAST(ARRAY(filter(a, v > 3)), relation) ORDER BY v)",
+            "TEXT(phrase(\"very  sick\"))",
+            "RELATIONAL(SELECT 'it''s  ok' FROM t)",
+        ] {
+            let once = canon(q);
+            assert_eq!(canon(&once), once, "render not a fixpoint for {q}");
+        }
+    }
+
+    #[test]
+    fn quoted_regions_survive_collapsing() {
+        // single-quoted literal spacing preserved, doubled quote intact
+        assert_eq!(
+            canon("RELATIONAL(SELECT  'a  b''c'  FROM t)"),
+            "RELATIONAL(SELECT 'a  b''c' FROM t)"
+        );
+        // double-quoted phrase spacing preserved (TEXT island searches)
+        assert_eq!(
+            canon("TEXT(phrase(\"very   sick\")  )"),
+            "TEXT(phrase(\"very   sick\"))"
+        );
+    }
+
+    #[test]
+    fn nested_subqueries_render_recursively_canonical() {
+        assert_eq!(
+            canon("relational(SELECT * FROM CAST( array( filter(a,  v > 3) ) , Relation ))"),
+            "RELATIONAL(SELECT * FROM CAST(ARRAY(filter(a, v > 3)), relation))"
+        );
+    }
+}

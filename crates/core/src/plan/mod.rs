@@ -1,0 +1,187 @@
+//! The typed logical-plan layer: parser → IR → rewrite passes → physical
+//! plan.
+//!
+//! The BigDAWG companion papers make the planner/optimizer a first-class
+//! layer between the island languages and the executor; this module is
+//! that layer. A SCOPE query is parsed **once** ([`ast::parse_query`])
+//! into a typed AST, lifted into a [`LogicalPlan`] DAG, rewritten by a
+//! deterministic pass pipeline ([`passes`]), and lowered to the executor's
+//! physical [`crate::exec::Plan`]. No stage re-scans query strings.
+//!
+//! Node taxonomy:
+//!
+//! * [`LogicalPlan::Scan`] — read a named federation object;
+//! * [`LogicalPlan::Filter`] — keep only rows matching a predicate
+//!   (planted below a move by predicate pushdown);
+//! * [`LogicalPlan::Project`] — keep only the named columns (planted by
+//!   projection pruning);
+//! * [`LogicalPlan::CastMove`] — materialize the input on another engine:
+//!   the CAST operator, carrying its [`MoveResolution`] once the
+//!   placement pass has run;
+//! * [`LogicalPlan::IslandExec`] — run a nested scope query (its own
+//!   sub-DAG, planned recursively at execution time);
+//! * [`LogicalPlan::Gather`] — the root: execute the island body with
+//!   every move's result spliced in.
+//!
+//! Pass pipeline, in order (see `passes` for the contract of each):
+//!
+//! 1. **Placement & cost resolution** — CAST targets resolved through the
+//!    monitor's cost model, co-located casts elided, transports chosen.
+//! 2. **Predicate pushdown** — gather-level conjuncts that only touch one
+//!    moved object run *before* its rows cross the wire.
+//! 3. **Projection pruning** — only columns the gather body references
+//!    cross the wire.
+//!
+//! The serial reference schedule plans with `optimize = false` (placement
+//! resolution only), so [`crate::BigDawg::execute_serial`] stays an
+//! independent oracle for the rewrite passes: optimized and unoptimized
+//! plans must agree on every query, a property the fuzz suite checks.
+
+pub mod ast;
+pub mod passes;
+mod physical;
+
+pub use ast::{parse_query, BodyAst, CastAst, CastSource, QueryAst};
+pub(crate) use physical::apply_pushdown;
+
+use crate::cast::Transport;
+use crate::exec;
+use crate::polystore::BigDawg;
+use bigdawg_common::Result;
+
+/// A node of the logical plan DAG. Built from a [`QueryAst`] by
+/// [`plan_query`], rewritten in place by the [`passes`] pipeline, then
+/// lowered to the physical [`crate::exec::Plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicalPlan {
+    /// Read a named federation object from one of its catalog placements.
+    Scan {
+        /// The cataloged object name.
+        object: String,
+    },
+    /// Keep only rows matching a predicate, evaluated on the source side
+    /// of a move. The predicate is stored in its rendered SQL form — the
+    /// pushdown pass only plants predicates that round-trip through the
+    /// SQL expression parser unchanged.
+    Filter {
+        /// The node whose rows are filtered.
+        input: Box<LogicalPlan>,
+        /// Rendered predicate (a conjunction of verified conjuncts).
+        predicate: String,
+    },
+    /// Keep only the named columns.
+    Project {
+        /// The node whose columns are pruned.
+        input: Box<LogicalPlan>,
+        /// Column names to keep (sorted, deduplicated).
+        columns: Vec<String>,
+    },
+    /// Materialize the input on another engine — the CAST operator.
+    CastMove {
+        /// What is moved (a scan, a nested island execution, or either
+        /// wrapped in pushed-down filters/projections).
+        input: Box<LogicalPlan>,
+        /// The raw CAST target (model or engine name), as written.
+        target: String,
+        /// Filled by the placement pass; `None` only before it runs.
+        resolved: Option<MoveResolution>,
+    },
+    /// Execute a nested scope query as its own sub-DAG.
+    IslandExec {
+        /// The nested query's AST.
+        query: QueryAst,
+    },
+    /// The root: run the island body with every move's result spliced in.
+    Gather {
+        /// Island (or degenerate engine) name.
+        island: String,
+        /// Canonical body text between moves
+        /// (`segments.len() == inputs.len() + 1`).
+        segments: Vec<String>,
+        /// One [`LogicalPlan::CastMove`] per CAST term, in body order.
+        inputs: Vec<LogicalPlan>,
+    },
+}
+
+/// The placement pass's decision for one [`LogicalPlan::CastMove`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoveResolution {
+    /// The rows must ship: materialize them on `engine` as `temp`.
+    Ship {
+        /// Target engine, chosen through the monitor's cost model.
+        engine: String,
+        /// Transport chosen by the cost model at plan time.
+        transport: Transport,
+        /// Reserved temporary name the gather body references.
+        temp: String,
+        /// Failover placements the read may fall back to.
+        fallbacks: Vec<String>,
+    },
+    /// A copy already lives on the target engine (the primary itself or a
+    /// migrator-placed replica): the move — and its round-trip — is
+    /// elided, and the gather body references the object directly.
+    Elided {
+        /// The engine whose co-located copy serves the object.
+        engine: String,
+        /// The placement epoch the elision was decided at.
+        epoch: u64,
+    },
+}
+
+/// Plan a parsed query: lift the AST into a [`LogicalPlan`], run the
+/// rewrite passes, and lower to the executor's physical plan. With
+/// `optimize = false` only placement resolution runs — the reference plan
+/// the serial oracle executes; pushdown and pruning are skipped.
+pub fn plan_query(bd: &BigDawg, query: &QueryAst, optimize: bool) -> Result<exec::Plan> {
+    let _plan_span = bd.tracer().span("exec.plan", &query.island);
+    let mut root = build(query);
+    passes::resolve_placements(bd, &mut root)?;
+    if optimize {
+        passes::optimize(&mut root);
+    }
+    Ok(physical::lower(bd, &root))
+}
+
+/// Lift an AST into the initial (unresolved) logical plan.
+fn build(query: &QueryAst) -> LogicalPlan {
+    let inputs = query
+        .body
+        .casts
+        .iter()
+        .map(|cast| LogicalPlan::CastMove {
+            input: Box::new(match &cast.source {
+                CastSource::Object(object) => LogicalPlan::Scan {
+                    object: object.clone(),
+                },
+                CastSource::SubQuery(sub) => LogicalPlan::IslandExec {
+                    query: (**sub).clone(),
+                },
+            }),
+            target: cast.target.clone(),
+            resolved: None,
+        })
+        .collect();
+    // segments are canonicalized here, once: the gather body, the cache
+    // key, and EXPLAIN all render from the same canonical pieces
+    let mut segments: Vec<String> = query
+        .body
+        .segments
+        .iter()
+        .map(|seg| {
+            let mut out = String::new();
+            ast::push_collapsed(&mut out, seg);
+            out
+        })
+        .collect();
+    if let Some(first) = segments.first_mut() {
+        *first = first.trim_start().to_string();
+    }
+    if let Some(last) = segments.last_mut() {
+        *last = last.trim_end().to_string();
+    }
+    LogicalPlan::Gather {
+        island: query.island.clone(),
+        segments,
+        inputs,
+    }
+}

@@ -1,0 +1,237 @@
+//! Lowering: logical plan → the executor's physical [`exec::Plan`], plus
+//! the execution-time application of pushed-down rewrites.
+//!
+//! Lowering is mechanical — every planning decision (engine, transport,
+//! elision, pushdown) was already made by the [`super::passes`] pipeline;
+//! this module just flattens the DAG into the scatter-leaf form the
+//! executor runs and renders the gather body from the canonical segments.
+
+use crate::exec::{self, Leaf, LeafPushdown, LeafSource, Resolution};
+use crate::polystore::BigDawg;
+use bigdawg_common::Batch;
+use bigdawg_relational::sql::parse_expr;
+
+use super::{LogicalPlan, MoveResolution};
+
+/// Flatten a resolved logical plan into the executor's physical form: one
+/// scatter [`Leaf`] per shipped move (pushed-down filters/projections
+/// folded into its [`LeafPushdown`]), elided moves recorded as
+/// [`Resolution`]s, and the gather body rendered with each move's slot
+/// name spliced between the canonical segments.
+pub(crate) fn lower(bd: &BigDawg, root: &LogicalPlan) -> exec::Plan {
+    let LogicalPlan::Gather {
+        island,
+        segments,
+        inputs,
+    } = root
+    else {
+        unreachable!("plan roots are always Gather nodes");
+    };
+    let mut leaves = Vec::new();
+    let mut placements = Vec::new();
+    let mut body = String::new();
+    for (i, seg) in segments.iter().enumerate() {
+        body.push_str(seg);
+        let Some(node) = inputs.get(i) else { continue };
+        let LogicalPlan::CastMove {
+            input, resolved, ..
+        } = node
+        else {
+            unreachable!("gather inputs are always CastMove nodes");
+        };
+        let (origin, pushdown) = unwrap_pushdown(input);
+        match resolved
+            .as_ref()
+            .expect("placement pass ran before lowering")
+        {
+            MoveResolution::Elided { engine, epoch } => {
+                let LogicalPlan::Scan { object } = origin else {
+                    unreachable!("only object scans are elided");
+                };
+                body.push_str(object);
+                placements.push(Resolution {
+                    object: object.clone(),
+                    engine: engine.clone(),
+                    epoch: *epoch,
+                });
+            }
+            MoveResolution::Ship {
+                engine,
+                transport,
+                temp,
+                fallbacks,
+            } => {
+                let source = match origin {
+                    LogicalPlan::Scan { object } => LeafSource::Object(object.clone()),
+                    LogicalPlan::IslandExec { query } => LeafSource::SubQuery(query.render()),
+                    _ => unreachable!("moves originate at a scan or a nested query"),
+                };
+                body.push_str(temp);
+                leaves.push(Leaf {
+                    source,
+                    target_engine: engine.clone(),
+                    temp: temp.clone(),
+                    transport: *transport,
+                    fallbacks: fallbacks.clone(),
+                    pushdown,
+                });
+            }
+        }
+    }
+    exec::Plan {
+        island: island.clone(),
+        body,
+        leaves,
+        placements,
+        breakers: bd.breakers().snapshot(),
+        cache: None,
+    }
+}
+
+/// Peel [`LogicalPlan::Filter`]/[`LogicalPlan::Project`] wrappers off a
+/// move's input, folding them into the [`LeafPushdown`] the leaf carries,
+/// and return the origin node underneath.
+fn unwrap_pushdown(mut node: &LogicalPlan) -> (&LogicalPlan, LeafPushdown) {
+    let mut push = LeafPushdown::default();
+    loop {
+        match node {
+            LogicalPlan::Filter { input, predicate } => {
+                push.predicate = Some(predicate.clone());
+                node = input;
+            }
+            LogicalPlan::Project { input, columns } => {
+                push.columns = Some(columns.clone());
+                node = input;
+            }
+            other => return (other, push),
+        }
+    }
+}
+
+/// Apply a leaf's pushed-down rewrites to the rows it read, *before* they
+/// are encoded for the wire. Returns `None` when nothing applied (ship the
+/// batch as read).
+///
+/// Application is deliberately lenient — the gather body re-applies the
+/// full predicate and projection, so skipping a rewrite here costs wire
+/// bytes but never correctness:
+///
+/// * the predicate is skipped wholesale unless every column it references
+///   exists in the source schema and every row evaluates cleanly (the
+///   planner verified the gather query's shape, but the source object may
+///   expose different columns than the gather-side alias suggested);
+/// * the projection keeps only the intersection of the keep-set with the
+///   actual schema, and is skipped when it would drop nothing (or
+///   everything — a sign the planner's column attribution missed).
+pub(crate) fn apply_pushdown(batch: &Batch, push: &LeafPushdown) -> Option<Batch> {
+    if push.is_empty() {
+        return None;
+    }
+    let mut out: Option<Batch> = None;
+    if let Some(pred) = &push.predicate {
+        if let Some(filtered) = try_filter(batch, pred) {
+            out = Some(filtered);
+        }
+    }
+    if let Some(keep) = &push.columns {
+        let current = out.as_ref().unwrap_or(batch);
+        let schema = current.schema();
+        let names: Vec<&str> = keep
+            .iter()
+            .map(String::as_str)
+            .filter(|n| schema.index_of(n).is_ok())
+            .collect();
+        if !names.is_empty() && names.len() < schema.len() {
+            if let Ok(projected) = current.project(&names) {
+                out = Some(projected);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate the pushed predicate against every row; `None` (ship
+/// unfiltered) if it does not parse, references a column the source lacks,
+/// or any row fails to evaluate.
+fn try_filter(batch: &Batch, pred: &str) -> Option<Batch> {
+    let expr = parse_expr(pred).ok()?;
+    let schema = batch.schema();
+    if expr
+        .columns()
+        .iter()
+        .any(|col| schema.index_of(col).is_err())
+    {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for row in batch.rows() {
+        if expr.matches(schema, row).ok()? {
+            rows.push(row.clone());
+        }
+    }
+    Some(Batch::from_parts_trusted(schema.clone(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdawg_common::{DataType, Schema, Value};
+
+    fn batch() -> Batch {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("v", DataType::Int),
+            ("note", DataType::Text),
+        ]);
+        Batch::from_parts_trusted(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(5), Value::Text("a".into())],
+                vec![Value::Int(2), Value::Int(9), Value::Text("b".into())],
+                vec![Value::Int(3), Value::Int(12), Value::Text("c".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn filter_and_projection_apply_before_the_wire() {
+        let push = LeafPushdown {
+            predicate: Some("v >= 9".to_string()),
+            columns: Some(vec!["id".to_string(), "v".to_string()]),
+        };
+        let out = apply_pushdown(&batch(), &push).expect("both rewrites apply");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().names(), vec!["id", "v"]);
+        assert!(out.approx_bytes() < batch().approx_bytes());
+    }
+
+    #[test]
+    fn missing_column_ships_unfiltered_instead_of_erroring() {
+        let push = LeafPushdown {
+            predicate: Some("ghost > 1".to_string()),
+            columns: None,
+        };
+        assert_eq!(apply_pushdown(&batch(), &push), None);
+    }
+
+    #[test]
+    fn projection_intersects_with_the_actual_schema() {
+        let push = LeafPushdown {
+            predicate: None,
+            columns: Some(vec!["id".to_string(), "ghost".to_string()]),
+        };
+        let out = apply_pushdown(&batch(), &push).expect("id still prunable");
+        assert_eq!(out.schema().names(), vec!["id"]);
+        // keep-set covering the whole schema prunes nothing
+        let push = LeafPushdown {
+            predicate: None,
+            columns: Some(vec!["id".into(), "note".into(), "v".into()]),
+        };
+        assert_eq!(apply_pushdown(&batch(), &push), None);
+    }
+
+    #[test]
+    fn empty_pushdown_is_a_no_op() {
+        assert_eq!(apply_pushdown(&batch(), &LeafPushdown::default()), None);
+    }
+}

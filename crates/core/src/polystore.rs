@@ -10,6 +10,7 @@ use crate::migrate::{MigrationPolicy, Migrator};
 use crate::monitor::{
     BoardObserver, BreakerBoard, EngineHealth, LatencyBoard, Monitor, QueryClass,
 };
+use crate::plan;
 use crate::retry::{self, RetryObserver, RetryPolicy};
 use crate::scope;
 use crate::shim::{EngineKind, Shim};
@@ -444,13 +445,22 @@ impl BigDawg {
         transport: Transport,
         record_demand: bool,
     ) -> Result<CastReport> {
-        self.cast_object_attempts(object, to_engine, new_name, transport, record_demand)
-            .map(|(report, _retries)| report)
+        self.cast_object_attempts(
+            object,
+            to_engine,
+            new_name,
+            transport,
+            record_demand,
+            &exec::LeafPushdown::default(),
+        )
+        .map(|(report, _retries)| report)
     }
 
     /// [`BigDawg::cast_object`] plus the number of retries the winning
     /// attempt consumed (0 = first try) — the per-leaf retry count
-    /// `EXPLAIN ANALYZE` reports.
+    /// `EXPLAIN ANALYZE` reports. `pushdown` carries the rewrites the
+    /// optimizer planted below this CAST boundary; they are applied to the
+    /// rows before wire encoding.
     pub(crate) fn cast_object_attempts(
         &self,
         object: &str,
@@ -458,6 +468,7 @@ impl BigDawg {
         new_name: &str,
         transport: Transport,
         record_demand: bool,
+        pushdown: &exec::LeafPushdown,
     ) -> Result<(CastReport, u32)> {
         let transport = self.effective_transport(transport, to_engine);
         let observer = self.retry_observer("cast");
@@ -470,8 +481,15 @@ impl BigDawg {
             retry::stable_hash(object),
             Some(&observer),
             |attempt| {
-                self.cast_once(object, to_engine, new_name, transport, record_demand)
-                    .map(|report| (report, attempt))
+                self.cast_once(
+                    object,
+                    to_engine,
+                    new_name,
+                    transport,
+                    record_demand,
+                    pushdown,
+                )
+                .map(|report| (report, attempt))
             },
         )
     }
@@ -532,6 +550,7 @@ impl BigDawg {
         new_name: &str,
         transport: Transport,
         record_demand: bool,
+        pushdown: &exec::LeafPushdown,
     ) -> Result<CastReport> {
         let mut last = None;
         for _ in 0..3 {
@@ -544,6 +563,13 @@ impl BigDawg {
                     continue;
                 }
                 Err(e) => return Err(e),
+            };
+            // pushed-down rewrites run here, after the source read and
+            // before wire encoding: filtered rows and pruned columns never
+            // pay for codec, wire, or target ingest
+            let batch = match crate::plan::apply_pushdown(&batch, pushdown) {
+                Some(rewritten) => rewritten,
+                None => batch,
             };
             // the payload transfer leg of the emulated wire (the request
             // round-trip was paid inside get_table); the binary transport
@@ -1479,10 +1505,10 @@ impl BigDawg {
     /// the plan also carries (and renders) the cache's dry-run verdict —
     /// hit, miss, stale, or bypass — without serving or dropping anything.
     pub fn explain(&self, query: &str) -> Result<exec::Plan> {
-        let (island, body) = scope::parse_scope(query)?;
-        let mut plan = exec::plan(self, &island, &body)?;
+        let ast = plan::parse_query(query)?;
+        let mut plan = plan::plan_query(self, &ast, true)?;
         if let Some(cache) = self.result_cache() {
-            plan.cache = Some(cache.probe(self, &island, &body));
+            plan.cache = Some(cache.probe(self, &ast.island, &ast.body.render()));
         }
         Ok(plan)
     }
@@ -1634,10 +1660,10 @@ impl BigDawg {
             return Err(err);
         }
         let unreachable = ctx.map(|c| c.unreachable()).unwrap_or_default();
-        let (island, body) = scope::parse_scope(query)?;
+        let ast = plan::parse_query(query)?;
         let served = self
             .result_cache()
-            .and_then(|cache| cache.peek_degraded(self, &island, &body));
+            .and_then(|cache| cache.peek_degraded(self, &ast.island, &ast.body.render()));
         self.metrics
             .counter(&labeled(
                 "bigdawg_degraded_total",

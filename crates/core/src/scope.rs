@@ -6,31 +6,34 @@
 //! engines. For example a user may issue a relational query on an array A
 //! via the query: `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)`."
 //!
-//! Execution strategy: the body of a scope is scanned for `CAST(inner,
-//! target)` terms. Each `inner` is either a bare object name (moved with
-//! [`crate::cast`]) or a nested scope query (executed recursively and its
-//! result materialized on the target engine). The CAST term is replaced by
-//! the materialized temporary's name, and the rewritten body is handed to
-//! the island. Temporaries are dropped afterwards.
+//! This module owns the **surface scanners** — splitting `ISLAND( body )`,
+//! balancing parentheses outside string literals, locating `CAST(`
+//! keywords — which [`crate::plan::ast`] drives exactly once per query to
+//! build the typed AST. Everything downstream (rewrite passes, executor,
+//! cache key, EXPLAIN) works on that AST; no layer re-scans query strings.
 //!
-//! [`execute`] here materializes CAST terms **serially**, one after the
-//! other — the reference schedule, kept as the baseline the federation
-//! benchmark compares against. Both schedules run the same
-//! [`crate::exec::Plan`] (one parser, one cleanup path); only the leaf
-//! schedule differs. [`BigDawg::execute`] routes through the parallel one.
+//! [`execute`] here runs the **unoptimized** plan (placement resolution
+//! only, CAST terms materialized serially) — the reference schedule the
+//! federation benchmark compares against *and* the oracle the rewrite
+//! passes are checked against: optimized and unoptimized plans must agree
+//! on every query. Both schedules run the same [`crate::exec::Plan`] shape
+//! (one parser, one cleanup path). [`BigDawg::execute`] routes through the
+//! parallel, optimized one.
 
 use crate::exec;
+use crate::plan;
 use crate::polystore::BigDawg;
-use crate::shim::EngineKind;
-use bigdawg_common::{parse_err, Batch, BigDawgError, Result};
+use bigdawg_common::{parse_err, Batch, Result};
 
-/// Execute a full SCOPE query `ISLAND( body )`, materializing CAST terms
-/// serially (see [`crate::exec::execute`] for the parallel schedule of the
-/// same plan).
+/// Execute a full SCOPE query `ISLAND( body )` as the serial reference
+/// oracle: the plan skips the optimizer's rewrite passes (no pushdown, no
+/// pruning — placement resolution only) and materializes CAST terms one at
+/// a time (see [`crate::exec::execute`] for the parallel, optimized
+/// schedule).
 pub fn execute(bd: &BigDawg, query: &str) -> Result<Batch> {
-    let (island, body) = parse_scope(query)?;
-    let _query_span = bd.tracer().span("exec.query", &island);
-    let plan = exec::plan(bd, &island, &body)?;
+    let ast = plan::parse_query(query)?;
+    let _query_span = bd.tracer().span("exec.query", &ast.island);
+    let plan = plan::plan_query(bd, &ast, false)?;
     exec::run_serial(bd, &plan)
 }
 
@@ -41,7 +44,15 @@ pub fn parse_scope(query: &str) -> Result<(String, String)> {
         .find('(')
         .ok_or_else(|| parse_err!("expected `ISLAND( query )`, got `{q}`"))?;
     let island = q[..open].trim();
-    if island.is_empty() || !island.chars().all(|c| c.is_alphanumeric() || c == '_') {
+    // ASCII identifiers only: island names are our own dispatch tokens
+    // (upper/lowercased with ASCII folding everywhere), so admitting
+    // arbitrary Unicode alphanumerics here would create names that
+    // case-fold inconsistently downstream
+    if island.is_empty()
+        || !island
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
         return Err(parse_err!("bad island name `{island}`"));
     }
     let rest = &q[open..];
@@ -54,13 +65,24 @@ pub fn parse_scope(query: &str) -> Result<(String, String)> {
 }
 
 /// Given text starting with `(`, return the content of the balanced group.
+///
+/// String literals shield their content: parentheses inside `'…'` don't
+/// count, and SQL's doubled-quote escape (`''`) is consumed as a pair so
+/// an escaped quote never toggles the scanner out of (or into) a literal.
 pub(crate) fn balanced(text: &str) -> Result<&str> {
     debug_assert!(text.starts_with('('));
     let mut depth = 0i32;
     let mut in_str = false;
-    for (i, c) in text.char_indices() {
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
         match c {
-            '\'' => in_str = !in_str,
+            '\'' => {
+                if in_str && chars.peek().is_some_and(|&(_, n)| n == '\'') {
+                    chars.next(); // doubled quote: escaped, stay in string
+                } else {
+                    in_str = !in_str;
+                }
+            }
             '(' if !in_str => depth += 1,
             ')' if !in_str => {
                 depth -= 1;
@@ -83,8 +105,13 @@ pub(crate) fn balanced(text: &str) -> Result<&str> {
 pub(crate) fn find_cast(text: &str) -> Option<usize> {
     let mut in_str = false;
     let mut prev: Option<char> = None;
-    for (i, c) in text.char_indices() {
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
         if c == '\'' {
+            if in_str && chars.peek().is_some_and(|&(_, n)| n == '\'') {
+                prev = Some(chars.next().expect("peeked").1); // escaped quote
+                continue;
+            }
             in_str = !in_str;
         } else if !in_str {
             let rest = &text.as_bytes()[i..];
@@ -102,14 +129,22 @@ pub(crate) fn find_cast(text: &str) -> Option<usize> {
     None
 }
 
-/// Split `inner, target` at the last top-level comma.
+/// Split `inner, target` at the last top-level comma. Doubled quotes
+/// inside literals are consumed in pairs, like [`balanced`].
 pub(crate) fn split_cast_args(text: &str) -> Result<(String, String)> {
     let mut depth = 0i32;
     let mut in_str = false;
     let mut last_comma = None;
-    for (i, c) in text.char_indices() {
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
         match c {
-            '\'' => in_str = !in_str,
+            '\'' => {
+                if in_str && chars.peek().is_some_and(|&(_, n)| n == '\'') {
+                    chars.next();
+                } else {
+                    in_str = !in_str;
+                }
+            }
             '(' if !in_str => depth += 1,
             ')' if !in_str => depth -= 1,
             ',' if !in_str && depth == 0 => last_comma = Some(i),
@@ -129,7 +164,7 @@ pub(crate) fn try_scope(text: &str) -> Option<(String, String)> {
     let t = text.trim();
     let open = t.find('(')?;
     let ident = t[..open].trim();
-    if ident.is_empty() || !ident.chars().all(|c| c.is_alphanumeric() || c == '_') {
+    if ident.is_empty() || !ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return None;
     }
     let body = balanced(&t[open..]).ok()?;
@@ -140,39 +175,12 @@ pub(crate) fn try_scope(text: &str) -> Option<(String, String)> {
         .then(|| (ident.to_string(), body.to_string()))
 }
 
-/// Resolve a CAST target: a model name (`relation`, `array`, `text`,
-/// `tile`, `dataset`, `stream`) or an explicit engine name.
-pub(crate) fn resolve_target(bd: &BigDawg, target: &str) -> Result<String> {
-    let t = target.trim().to_ascii_lowercase();
-    let kind = match t.as_str() {
-        "relation" | "relational" | "table" => Some(EngineKind::Relational),
-        "array" => Some(EngineKind::Array),
-        "text" | "corpus" => Some(EngineKind::KeyValue),
-        "tile" | "tiles" => Some(EngineKind::TileStore),
-        "dataset" => Some(EngineKind::Compute),
-        "stream" => Some(EngineKind::Streaming),
-        _ => None,
-    };
-    match kind {
-        Some(k) => bd.engine_of_kind(k),
-        None => {
-            if bd.engine_names().iter().any(|e| *e == t) {
-                Ok(t)
-            } else {
-                Err(BigDawgError::NotFound(format!(
-                    "CAST target `{target}` (not a model name or engine)"
-                )))
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::shims::{ArrayShim, KvShim, RelationalShim};
     use bigdawg_array::Array;
-    use bigdawg_common::Value;
+    use bigdawg_common::{BigDawgError, Value};
 
     fn federation() -> BigDawg {
         let mut bd = BigDawg::new();
@@ -295,6 +303,52 @@ mod tests {
         // word-boundary check sees the full char before the keyword
         assert_eq!(find_cast("écast(a, b)"), None);
         assert_eq!(find_cast("é cast(a, b)"), Some(3));
+    }
+
+    #[test]
+    fn doubled_quotes_stay_inside_string_literals() {
+        // `''` is an escaped quote, not a string boundary: the parens and
+        // commas after it are still shielded
+        assert_eq!(balanced("('it''s (ok)')").unwrap(), "'it''s (ok)'");
+        assert_eq!(balanced("('a'')' )").unwrap(), "'a'')' ");
+        assert_eq!(find_cast("SELECT 'it''s cast(a, b)' FROM t"), None);
+        assert_eq!(
+            split_cast_args("'it''s, fine', relation").unwrap(),
+            ("'it''s, fine'".to_string(), "relation".to_string())
+        );
+        // end-to-end: a literal containing '' followed by a real CAST
+        let bd = federation();
+        let b = bd
+            .execute(
+                "RELATIONAL(SELECT 'it''s cast(v, off)' AS note, v \
+                 FROM CAST(a, relation) WHERE v > 5)",
+            )
+            .unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.rows()[0][0], Value::Text("it's cast(v, off)".into()));
+        assert_eq!(bd.catalog().read().len(), 3, "temps cleaned");
+    }
+
+    #[test]
+    fn island_names_are_ascii_identifiers_only() {
+        // Unicode alphanumerics used to slip through `char::is_alphanumeric`
+        for hostile in [
+            "ÎLE(scan(a))",
+            "ＲＥＬＡＴＩＯＮＡＬ(SELECT 1)",
+            "数据(scan(a))",
+        ] {
+            let err = parse_scope(hostile).unwrap_err();
+            assert!(
+                err.to_string().contains("bad island name"),
+                "`{hostile}` parsed as {err:?}"
+            );
+        }
+        // nested scope detection applies the same rule: a non-ASCII ident
+        // inside CAST is an object name, not a sub-query
+        assert_eq!(try_scope("île(scan(a))"), None);
+        assert!(try_scope("ARRAY(scan(a))").is_some());
+        // ASCII identifiers with digits and underscores still pass
+        assert!(parse_scope("ENGINE_2(SELECT 1)").is_ok());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! The typed logical-plan IR and its rewrite passes, end to end: pushdown
+//! and pruning must cut what ships across the wire without ever changing
+//! an answer, the canonical AST must unify cache keys, and EXPLAIN must
+//! render the pushed rewrites.
+
+use bigdawg_common::Value;
+use bigdawg_core::shims::{LatencyShim, RelationalShim};
+use bigdawg_core::{BigDawg, CachePolicy};
+use std::time::Duration;
+
+/// A federation with a wide table behind an emulated wire: the shape
+/// pushdown exists for. `readings` lives on `pg_remote` (behind `wire`);
+/// the gather island's local engine is `pg_local`.
+fn wired_federation(rows: usize, wire: Duration) -> BigDawg {
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("pg_local")));
+    let mut remote = RelationalShim::new("pg_remote");
+    remote
+        .db_mut()
+        .execute("CREATE TABLE readings (id INT, v INT, a INT, b INT, note TEXT)")
+        .unwrap();
+    let values: Vec<String> = (0..rows)
+        .map(|i| format!("({i}, {}, {i}, {i}, 'sensor row {i}')", i % 100))
+        .collect();
+    remote
+        .db_mut()
+        .execute(&format!(
+            "INSERT INTO readings VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
+    bd.add_engine(Box::new(LatencyShim::new(Box::new(remote), wire)));
+    bd
+}
+
+const FILTERED: &str =
+    "RELATIONAL(SELECT id, v FROM CAST(readings, pg_local) WHERE v >= 90 ORDER BY id)";
+
+#[test]
+fn pushdown_cuts_wire_bytes_without_changing_the_answer() {
+    let rows = 2000;
+    let bd = wired_federation(rows, Duration::from_millis(1));
+
+    // serial oracle: unoptimized plan, full object ships
+    let oracle = bd.execute_serial(FILTERED).unwrap();
+    let unopt_bytes = bd.metrics().counter("bigdawg_wire_bytes_total").value();
+    assert!(unopt_bytes > 0, "the oracle's leaf really crossed the wire");
+
+    // optimized plan: only `v >= 90` rows and only (id, v) columns ship
+    let (batch, analyzed) = bd.execute_analyzed(FILTERED).unwrap();
+    assert_eq!(
+        batch.rows(),
+        oracle.rows(),
+        "optimizer must not change answers"
+    );
+    assert_eq!(batch.len(), rows / 10, "v in 90..100 of a 0..100 cycle");
+    let opt_bytes: usize = analyzed.leaves.iter().map(|m| m.wire_bytes).sum();
+    assert!(opt_bytes > 0, "the optimized leaf still shipped");
+    assert!(
+        (opt_bytes as u64) * 2 <= unopt_bytes,
+        "pushdown + pruning must cut shipped bytes at least 2x \
+         (unoptimized {unopt_bytes}, optimized {opt_bytes})"
+    );
+}
+
+#[test]
+fn explain_renders_pushed_rewrites() {
+    let bd = wired_federation(100, Duration::from_millis(1));
+    let plan = bd.explain(FILTERED).unwrap();
+    assert_eq!(plan.leaves.len(), 1);
+    let push = &plan.leaves[0].pushdown;
+    assert_eq!(push.predicate.as_deref(), Some("(v >= 90)"));
+    assert_eq!(
+        push.columns.as_deref(),
+        Some(&["id".to_string(), "v".to_string()][..])
+    );
+    let rendered = plan.to_string();
+    assert!(
+        rendered.contains("(push: filter (v >= 90); cols id, v)"),
+        "EXPLAIN must show the pushdown: {rendered}"
+    );
+    // the serial (unoptimized) oracle plans the same query with no pushdown
+    let oracle = bd.execute_serial(FILTERED).unwrap();
+    assert_eq!(oracle.len(), 10, "v in 90..100 of a 0..100 cycle");
+}
+
+#[test]
+fn zero_copy_moves_are_never_rewritten() {
+    // co-resident engines ship by Arc handover: filtering or projecting
+    // the shared columns would cost a copy to save zero wire bytes
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("pg_local")));
+    let mut src = RelationalShim::new("pg_src");
+    src.db_mut()
+        .execute("CREATE TABLE t (i INT, v INT)")
+        .unwrap();
+    src.db_mut()
+        .execute("INSERT INTO t VALUES (1, 5), (2, 9)")
+        .unwrap();
+    bd.add_engine(Box::new(src));
+    let plan = bd
+        .explain("RELATIONAL(SELECT i FROM CAST(t, pg_local) WHERE v > 4)")
+        .unwrap();
+    assert_eq!(plan.leaves.len(), 1);
+    assert!(
+        plan.leaves[0].pushdown.is_empty(),
+        "zero-copy leaf untouched"
+    );
+}
+
+#[test]
+fn aliased_and_joined_predicates_push_only_where_attribution_is_certain() {
+    let bd = wired_federation(100, Duration::from_millis(1));
+    bd.execute("PG_LOCAL(CREATE TABLE dims (id INT, label TEXT))")
+        .unwrap();
+    bd.execute("PG_LOCAL(INSERT INTO dims VALUES (1, 'one'), (95, 'big'))")
+        .unwrap();
+    // r-qualified conjunct pushes below the move; the join condition and
+    // the d-qualified conjunct stay at the gather
+    let plan = bd
+        .explain(
+            "RELATIONAL(SELECT r.id, d.label FROM CAST(readings, pg_local) r \
+             JOIN dims d ON r.id = d.id WHERE r.v >= 90 AND d.label <> 'one')",
+        )
+        .unwrap();
+    assert_eq!(plan.leaves.len(), 1);
+    let push = &plan.leaves[0].pushdown;
+    assert_eq!(push.predicate.as_deref(), Some("(v >= 90)"));
+    // every column the gather references for r's slot — including the join
+    // key — survives the pruning
+    assert_eq!(
+        push.columns.as_deref(),
+        Some(&["id".to_string(), "v".to_string()][..])
+    );
+    // and the answers agree with the oracle
+    let q = "RELATIONAL(SELECT r.id, d.label FROM CAST(readings, pg_local) r \
+             JOIN dims d ON r.id = d.id WHERE r.v >= 90 AND d.label <> 'one' ORDER BY r.id)";
+    let opt = bd.execute(q).unwrap();
+    let oracle = bd.execute_serial(q).unwrap();
+    assert_eq!(opt.rows(), oracle.rows());
+    assert_eq!(opt.len(), 1);
+    assert_eq!(opt.rows()[0][1], Value::Text("big".into()));
+}
+
+#[test]
+fn select_star_and_aggregates_ship_unpruned_but_still_filter() {
+    let bd = wired_federation(100, Duration::from_millis(1));
+    // SELECT * blocks pruning; the predicate still pushes
+    let plan = bd
+        .explain("RELATIONAL(SELECT * FROM CAST(readings, pg_local) WHERE v = 7)")
+        .unwrap();
+    let push = &plan.leaves[0].pushdown;
+    assert_eq!(push.predicate.as_deref(), Some("(v = 7)"));
+    assert_eq!(push.columns, None, "SELECT * keeps every column");
+    // an aggregate conjunct (HAVING-style) never crosses the boundary
+    let plan = bd
+        .explain(
+            "RELATIONAL(SELECT v, COUNT(*) AS n FROM CAST(readings, pg_local) \
+             GROUP BY v HAVING COUNT(*) > 0)",
+        )
+        .unwrap();
+    assert_eq!(plan.leaves[0].pushdown.predicate, None);
+    // answers agree either way
+    let q = "RELATIONAL(SELECT v, COUNT(*) AS n FROM CAST(readings, pg_local) \
+             GROUP BY v HAVING COUNT(*) > 0 ORDER BY v)";
+    assert_eq!(
+        bd.execute(q).unwrap().rows(),
+        bd.execute_serial(q).unwrap().rows()
+    );
+}
+
+#[test]
+fn canonical_ast_unifies_cache_entries_across_spellings() {
+    let bd = wired_federation(50, Duration::from_millis(1));
+    bd.set_result_cache(Some(CachePolicy::admit_all()));
+    let spelled_one = "RELATIONAL(SELECT id, v FROM CAST(readings, pg_local) WHERE v >= 90)";
+    let spelled_two = "relational( SELECT id,  v FROM cast( readings ,  PG_LOCAL ) WHERE v >= 90 )";
+    let a = bd.execute(spelled_one).unwrap();
+    let b = bd.execute(spelled_two).unwrap();
+    assert_eq!(a.rows(), b.rows());
+    let stats = bd.cache_stats().unwrap();
+    assert_eq!(stats.hits, 1, "the second spelling hit the first's entry");
+    assert_eq!(stats.misses, 1);
+}
+
+#[test]
+fn pushed_predicate_on_renamed_source_columns_ships_safely() {
+    // the gather query's column names must exist on the *source* object
+    // for the pushdown to apply at the leaf; when they don't (the object
+    // exposes different names), the leaf ships unfiltered and the gather
+    // still applies the predicate — answers never change
+    let mut bd = BigDawg::new();
+    bd.add_engine(Box::new(RelationalShim::new("pg_local")));
+    let mut remote = RelationalShim::new("pg_remote");
+    remote
+        .db_mut()
+        .execute("CREATE TABLE m (id INT, v INT)")
+        .unwrap();
+    remote
+        .db_mut()
+        .execute("INSERT INTO m VALUES (1, 5), (2, 95)")
+        .unwrap();
+    bd.add_engine(Box::new(LatencyShim::new(
+        Box::new(remote),
+        Duration::from_millis(1),
+    )));
+    let q = "RELATIONAL(SELECT id FROM CAST(m, pg_local) WHERE ghost IS NULL AND v > 90)";
+    // `ghost` doesn't exist anywhere: both schedules fail identically
+    assert_eq!(
+        bd.execute(q).is_err(),
+        bd.execute_serial(q).is_err(),
+        "optimizer must not change error behavior"
+    );
+}

@@ -10,4 +10,4 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{OrderKey, SelectItem, SelectStatement, Statement, TableRef};
-pub use parser::parse;
+pub use parser::{parse, parse_expr};

@@ -1,12 +1,16 @@
 //! Fuzz-style property suite over the SCOPE/CAST front door: for
 //! arbitrary — including heavily non-ASCII — query text, the parser and
 //! planner never panic, and everything `parse_scope` rejects is a proper
-//! parse error. Seeded through the vendored proptest runner, which honors
+//! parse error; for arbitrary *valid* queries, the typed AST's canonical
+//! rendering is a parse fixpoint and the optimizer's rewrite passes never
+//! change an answer (optimized parallel == unoptimized serial oracle).
+//! Seeded through the vendored proptest runner, which honors
 //! `BIGDAWG_TEST_SEED` for replays.
 
 #[path = "../crates/core/tests/support/mod.rs"]
 mod support;
 
+use bigdawg::core::plan::parse_query;
 use bigdawg::core::scope::parse_scope;
 use proptest::prelude::*;
 
@@ -39,9 +43,9 @@ proptest! {
     fn parse_scope_never_panics_and_rejects_with_parse_errors(q in arb_query()) {
         match parse_scope(&q) {
             Ok((island, _body)) => {
-                // accepted islands satisfy the documented shape
+                // accepted islands satisfy the documented (ASCII) shape
                 prop_assert!(!island.is_empty());
-                prop_assert!(island.chars().all(|c| c.is_alphanumeric() || c == '_'));
+                prop_assert!(island.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
             }
             Err(e) => {
                 prop_assert_eq!(e.kind(), "parse");
@@ -62,4 +66,66 @@ proptest! {
             let _ = e.to_string();
         }
     }
+
+    /// AST round-trip: whenever arbitrary text parses at all, the canonical
+    /// rendering is a parse **fixpoint** — it re-parses, and re-rendering
+    /// reproduces it byte-for-byte. (This is what makes the canonical form
+    /// a sound cache key.)
+    #[test]
+    fn canonical_render_is_a_parse_fixpoint_on_arbitrary_text(q in arb_query()) {
+        if let Ok(ast) = parse_query(&q) {
+            let once = ast.render();
+            // the AST keeps raw segment text, so we compare *renderings*:
+            // canonical text re-parses, and re-rendering is the identity
+            let reparsed = parse_query(&once)
+                .expect("canonical text must re-parse");
+            prop_assert_eq!(reparsed.render(), once);
+        }
+    }
+
+    /// The optimizer oracle: on arbitrary *valid* federated queries, the
+    /// optimized parallel schedule (pushdown + pruning + placement) returns
+    /// exactly what the unoptimized serial reference schedule returns.
+    #[test]
+    fn optimized_plans_agree_with_the_unoptimized_oracle(q in arb_valid_query()) {
+        let bd = support::federation();
+        support::assert_parallel_matches_serial(&bd, &q);
+    }
+}
+
+/// Well-formed cross-island queries over the shared demo federation: a
+/// relational gather over `CAST(wave, relation)` (columns `i`, `v`) with
+/// arbitrary projections, predicates, aliases, and ORDER BY — the space
+/// the pushdown and pruning passes rewrite in.
+fn arb_valid_query() -> impl Strategy<Value = String> {
+    let cols = prop_oneof![
+        Just("*".to_string()),
+        Just("i".to_string()),
+        Just("v".to_string()),
+        Just("i, v".to_string()),
+        Just("COUNT(*) AS n".to_string()),
+    ];
+    let op = prop_oneof![Just(">"), Just(">="), Just("<"), Just("="), Just("<>")];
+    let alias = prop_oneof![Just(""), Just(" w")];
+    (cols, op, 0..13i64, alias, any::<bool>()).prop_map(|(cols, op, n, alias, ordered)| {
+        let qual = if alias.is_empty() { "" } else { "w." };
+        // only qualify the projection when it names real columns
+        let cols = if alias.is_empty() || cols.contains('*') || cols.contains("COUNT") {
+            cols
+        } else {
+            cols.split(", ")
+                .map(|c| format!("{qual}{c}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let order = if ordered && !cols.contains("COUNT") {
+            format!(" ORDER BY {qual}i")
+        } else {
+            String::new()
+        };
+        format!(
+            "RELATIONAL(SELECT {cols} FROM CAST(wave, relation){alias} \
+                 WHERE {qual}v {op} {n}{order})"
+        )
+    })
 }
